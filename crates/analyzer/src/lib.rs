@@ -1,0 +1,301 @@
+//! The automatic stack analyzer (§5 of *End-to-End Verification of
+//! Stack-Space Bounds for C Programs*, PLDI 2014).
+//!
+//! The analyzer computes a call graph of the Clight program and derives a
+//! stack bound for each function in topological order: the bound of a
+//! statement is the maximum over its control-flow alternatives of the
+//! bounds of the calls it performs, where a call to `g` costs
+//! `M(g) + bound(g)` symbolically. Crucially, `auto_bound` does not just
+//! compute a number — it emits a **derivation in the quantitative Hoare
+//! logic** for every function, which `qhl::Checker` validates. This is
+//! what makes the analyzer trustworthy and lets automatically derived
+//! bounds compose with interactively derived ones (Table 2's recursive
+//! functions can sit in the same [`qhl::Context`]).
+//!
+//! The analyzer is guaranteed to succeed on programs without recursion
+//! and function pointers (function pointers cannot even be expressed in
+//! our Clight subset); on recursive programs it reports the cycle.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = clight::frontend("
+//!     u32 leaf(u32 x) { return x + 1; }
+//!     u32 mid(u32 x) { u32 r; r = leaf(x); return r; }
+//!     int main() { u32 r; r = mid(41); return r; }
+//! ", &[]).unwrap();
+//!
+//! let analysis = analyzer::analyze(&program).unwrap();
+//! analysis.check(&program).unwrap(); // every derivation re-validates
+//!
+//! // Instantiate with a concrete metric (the compiler's SF(f) + 4):
+//! let metric = trace::Metric::from_pairs([("leaf", 8u32), ("mid", 12), ("main", 16)]);
+//! assert_eq!(analysis.concrete_bound("main", &metric), Some(36.0)); // 16+12+8
+//! ```
+
+#![warn(missing_docs)]
+
+use clight::{Program, Stmt};
+use qhl::{BExpr, Checker, Context, Derivation, FunSpec, QhlError, Valuation};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why the analyzer gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzerError {
+    /// The call graph has a cycle; the paper's automatic analyzer only
+    /// handles non-recursive programs (recursive bounds are derived
+    /// interactively, Table 2).
+    Recursion {
+        /// One cycle in call order, ending where it started.
+        cycle: Vec<String>,
+    },
+    /// A call to a function that is neither defined nor external.
+    UndefinedCallee {
+        /// The calling function.
+        caller: String,
+        /// The missing callee.
+        callee: String,
+    },
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Recursion { cycle } => {
+                write!(f, "recursive call cycle: {}", cycle.join(" -> "))
+            }
+            AnalyzerError::UndefinedCallee { caller, callee } => {
+                write!(f, "`{caller}` calls undefined function `{callee}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {}
+
+/// The result of a successful analysis: one verified bound per function.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    context: Context,
+    derivations: HashMap<String, Derivation>,
+    order: Vec<String>,
+}
+
+impl Analysis {
+    /// The function context with the derived specifications
+    /// (`Γ(f) = {B_f} f {B_f}` where `B_f` bounds the calls `f` performs).
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// The derivation generated for `fname`.
+    pub fn derivation(&self, fname: &str) -> Option<&Derivation> {
+        self.derivations.get(fname)
+    }
+
+    /// Functions in the topological order they were analyzed (callees
+    /// first).
+    pub fn order(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The symbolic *body* bound `B_f` of a function.
+    pub fn bound(&self, fname: &str) -> Option<&BExpr> {
+        self.context.get(fname).map(|s| &s.pre)
+    }
+
+    /// The concrete verified stack bound for calling `fname`, in bytes:
+    /// `B_f + M(f)` instantiated with `metric`. This is the number
+    /// reported in the paper's Table 1.
+    pub fn concrete_bound(&self, fname: &str, metric: &trace::Metric) -> Option<f64> {
+        let spec = self.context.get(fname)?;
+        let b = spec.pre.eval(metric, &Valuation::new()).ok()?;
+        Some(b.finite()? + f64::from(metric.call_cost(fname)))
+    }
+
+    /// Re-checks every generated derivation with the logic checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing side condition — which would indicate a
+    /// bug in the analyzer, exactly the class of bug the paper's
+    /// derivation-generating architecture is designed to catch.
+    pub fn check(&self, program: &Program) -> Result<(), QhlError> {
+        let checker = Checker::new(program, &self.context);
+        for fname in &self.order {
+            checker.check_function(fname, &self.derivations[fname], None)?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes a program, deriving a stack bound and a logic derivation for
+/// every function.
+///
+/// # Errors
+///
+/// Fails on recursion (including mutual recursion) and undefined callees;
+/// the analyzer is total on everything else.
+///
+/// # Examples
+///
+/// ```
+/// let program = clight::frontend(
+///     "u32 f(u32 n) { u32 r; r = f(n); return r; } int main() { return 0; }", &[]).unwrap();
+/// let err = analyzer::analyze(&program).unwrap_err();
+/// assert!(matches!(err, analyzer::AnalyzerError::Recursion { .. }));
+/// ```
+pub fn analyze(program: &Program) -> Result<Analysis, AnalyzerError> {
+    let order = topological_order(program)?;
+    let mut context = Context::new();
+    let mut derivations = HashMap::new();
+    for fname in &order {
+        let f = program.function(fname).expect("ordered names are defined");
+        let bound = bound_of(&f.body, program, &context, fname)?;
+        let deriv = derivation_of(&f.body, &bound);
+        context.insert(fname.clone(), FunSpec::restoring(bound));
+        derivations.insert(fname.clone(), deriv);
+    }
+    Ok(Analysis {
+        context,
+        derivations,
+        order,
+    })
+}
+
+/// Computes a topological order of the call graph (callees first).
+///
+/// # Errors
+///
+/// Reports a call cycle or an undefined callee.
+pub fn topological_order(program: &Program) -> Result<Vec<String>, AnalyzerError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: HashMap<&str, Mark> = program
+        .function_names()
+        .map(|n| (n, Mark::White))
+        .collect();
+    let mut order = Vec::new();
+
+    fn visit<'a>(
+        name: &'a str,
+        program: &'a Program,
+        marks: &mut HashMap<&'a str, Mark>,
+        order: &mut Vec<String>,
+        stack: &mut Vec<String>,
+    ) -> Result<(), AnalyzerError> {
+        match marks.get(name) {
+            Some(Mark::Black) => return Ok(()),
+            Some(Mark::Grey) => {
+                let mut cycle: Vec<String> = stack
+                    .iter()
+                    .skip_while(|f| f.as_str() != name)
+                    .cloned()
+                    .collect();
+                cycle.push(name.to_owned());
+                return Err(AnalyzerError::Recursion { cycle });
+            }
+            _ => {}
+        }
+        marks.insert(name, Mark::Grey);
+        stack.push(name.to_owned());
+        let f = program.function(name).expect("marked names are defined");
+        for callee in f.body.callees() {
+            if let Some(g) = program.function(&callee) {
+                visit(&g.name, program, marks, order, stack)?;
+            } else if program.external(&callee).is_none() {
+                return Err(AnalyzerError::UndefinedCallee {
+                    caller: name.to_owned(),
+                    callee,
+                });
+            }
+        }
+        stack.pop();
+        marks.insert(name, Mark::Black);
+        order.push(name.to_owned());
+        Ok(())
+    }
+
+    let names: Vec<&str> = program.function_names().collect();
+    let mut stack = Vec::new();
+    for name in names {
+        visit(name, program, &mut marks, &mut order, &mut stack)?;
+    }
+    Ok(order)
+}
+
+/// The bound of a statement: the maximum over control-flow alternatives
+/// of `M(g) + B_g` for the calls it performs.
+fn bound_of(
+    s: &Stmt,
+    program: &Program,
+    ctx: &Context,
+    caller: &str,
+) -> Result<BExpr, AnalyzerError> {
+    Ok(match s {
+        Stmt::Skip
+        | Stmt::Assign(..)
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::Return(_) => BExpr::zero(),
+        Stmt::Call(_, g, _) => {
+            if let Some(spec) = ctx.get(g) {
+                BExpr::add(spec.pre.clone(), BExpr::metric(g))
+            } else if program.external(g).is_some() {
+                BExpr::zero()
+            } else if program.function(g).is_some() {
+                // Defined but not yet analyzed: a recursion the topological
+                // order should have caught.
+                return Err(AnalyzerError::Recursion {
+                    cycle: vec![caller.to_owned(), g.clone()],
+                });
+            } else {
+                return Err(AnalyzerError::UndefinedCallee {
+                    caller: caller.to_owned(),
+                    callee: g.clone(),
+                });
+            }
+        }
+        Stmt::Seq(a, b) | Stmt::Loop(a, b) => BExpr::max(
+            bound_of(a, program, ctx, caller)?,
+            bound_of(b, program, ctx, caller)?,
+        ),
+        Stmt::If(_, t, e) => BExpr::max(
+            bound_of(t, program, ctx, caller)?,
+            bound_of(e, program, ctx, caller)?,
+        ),
+    })
+}
+
+/// Builds the derivation mirroring the statement structure. Every loop
+/// invariant is the *function* bound `B_f`: the side conditions the
+/// checker generates are then of the form `max(parts…) ≤ B_f` where each
+/// part is a component of `B_f` by construction, which the syntactic
+/// comparator discharges.
+fn derivation_of(body: &Stmt, fn_bound: &BExpr) -> Derivation {
+    match body {
+        Stmt::Seq(a, b) => {
+            Derivation::seq(derivation_of(a, fn_bound), derivation_of(b, fn_bound))
+        }
+        Stmt::If(_, t, e) => Derivation::If(
+            Box::new(derivation_of(t, fn_bound)),
+            Box::new(derivation_of(e, fn_bound)),
+        ),
+        Stmt::Loop(b, i) => Derivation::Loop {
+            invariant: fn_bound.clone(),
+            just: None,
+            body: Box::new(derivation_of(b, fn_bound)),
+            incr: Box::new(derivation_of(i, fn_bound)),
+        },
+        Stmt::Call(..) => Derivation::call(),
+        _ => Derivation::Mono,
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,263 @@
+use crate::{analyze, topological_order, AnalyzerError};
+use proptest::prelude::*;
+use qhl::Valuation;
+use trace::Metric;
+
+fn front(src: &str) -> clight::Program {
+    clight::frontend(src, &[]).unwrap_or_else(|e| panic!("frontend: {e}"))
+}
+
+#[test]
+fn leaf_functions_have_zero_body_bound() {
+    let p = front("u32 f(u32 x) { return x * 2; } int main() { return 0; }");
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("f", 16)]);
+    assert_eq!(a.concrete_bound("f", &metric), Some(16.0));
+}
+
+#[test]
+fn chains_add_up() {
+    let p = front(
+        "u32 c() { return 1; }
+         u32 b() { u32 r; r = c(); return r; }
+         u32 a() { u32 r; r = b(); return r; }
+         int main() { u32 r; r = a(); return r; }",
+    );
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("a", 10), ("b", 20), ("c", 30), ("main", 40)]);
+    assert_eq!(a.concrete_bound("c", &metric), Some(30.0));
+    assert_eq!(a.concrete_bound("b", &metric), Some(50.0));
+    assert_eq!(a.concrete_bound("a", &metric), Some(60.0));
+    assert_eq!(a.concrete_bound("main", &metric), Some(100.0));
+}
+
+#[test]
+fn alternatives_take_the_max() {
+    let p = front(
+        "u32 cheap() { return 1; }
+         u32 costly() { u32 r; r = cheap(); return r; }
+         int main(){ u32 r; if (1) { r = cheap(); } else { r = costly(); } return r; }",
+    );
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("cheap", 8), ("costly", 12), ("main", 16)]);
+    // main: max(M(cheap), M(costly)+M(cheap)) + M(main) = 20 + 16.
+    assert_eq!(a.concrete_bound("main", &metric), Some(36.0));
+}
+
+#[test]
+fn sequential_calls_take_the_max_not_the_sum() {
+    let p = front(
+        "void f() { return; } void g() { return; }
+         int main() { f(); g(); return 0; }",
+    );
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("f", 100), ("g", 60), ("main", 8)]);
+    assert_eq!(a.concrete_bound("main", &metric), Some(108.0));
+}
+
+#[test]
+fn calls_inside_loops_are_analyzed() {
+    let p = front(
+        "u32 work(u32 x) { return x + 1; }
+         int main() { u32 i; u32 r; r = 0;
+           for (i = 0; i < 10; i++) { r = work(r); }
+           return r; }",
+    );
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("work", 12), ("main", 20)]);
+    // Loops do not multiply stack cost: the frame is released each call.
+    assert_eq!(a.concrete_bound("main", &metric), Some(32.0));
+}
+
+#[test]
+fn nested_loops_with_breaks() {
+    let p = front(
+        "void f() { return; }
+         int main() { u32 i; u32 j;
+           for (i = 0; i < 4; i++) {
+             for (j = 0; j < 4; j++) {
+               if (j == 2) break;
+               f();
+             }
+             if (i == 3) break;
+           }
+           return 0; }",
+    );
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("f", 24), ("main", 8)]);
+    assert_eq!(a.concrete_bound("main", &metric), Some(32.0));
+}
+
+#[test]
+fn external_calls_cost_nothing() {
+    let p = front(
+        "extern u32 io(u32 x);
+         int main() { u32 r; r = io(1); return r; }",
+    );
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let metric = Metric::from_pairs([("main", 8)]);
+    assert_eq!(a.concrete_bound("main", &metric), Some(8.0));
+}
+
+#[test]
+fn direct_recursion_is_reported_with_cycle() {
+    let p = front("u32 f(u32 n) { u32 r; r = f(n - 1); return r; } int main() { return 0; }");
+    match analyze(&p).unwrap_err() {
+        AnalyzerError::Recursion { cycle } => {
+            assert_eq!(cycle, vec!["f".to_owned(), "f".to_owned()]);
+        }
+        other => panic!("expected recursion error, got {other}"),
+    }
+}
+
+#[test]
+fn mutual_recursion_is_reported_with_cycle() {
+    let p = front(
+        "u32 even(u32 n) { u32 r; if (n == 0) return 1; r = odd(n - 1); return r; }
+         u32 odd(u32 n) { u32 r; if (n == 0) return 0; r = even(n - 1); return r; }
+         int main() { return 0; }",
+    );
+    match analyze(&p).unwrap_err() {
+        AnalyzerError::Recursion { cycle } => {
+            assert!(cycle.len() == 3, "cycle: {cycle:?}");
+            assert_eq!(cycle.first(), cycle.last());
+        }
+        other => panic!("expected recursion error, got {other}"),
+    }
+}
+
+#[test]
+fn topological_order_puts_callees_first() {
+    let p = front(
+        "u32 c() { return 1; }
+         u32 b() { u32 r; r = c(); return r; }
+         u32 a() { u32 r; u32 s; r = b(); s = c(); return r + s; }
+         int main() { u32 r; r = a(); return r; }",
+    );
+    let order = topological_order(&p).unwrap();
+    let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+    assert!(pos("c") < pos("b"));
+    assert!(pos("b") < pos("a"));
+    assert!(pos("a") < pos("main"));
+}
+
+#[test]
+fn diverging_loops_are_fine() {
+    let p = front("int main() { while (1) { } return 0; }");
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    assert_eq!(a.concrete_bound("main", &Metric::from_pairs([("main", 4)])), Some(4.0));
+}
+
+#[test]
+fn bounds_compose_with_compiler_metric_end_to_end() {
+    // The full paper loop: analyze, compile, instantiate, compare with the
+    // machine measurement.
+    let src = "
+        u32 depth3(u32 x) { return x; }
+        u32 depth2(u32 x) { u32 r; r = depth3(x); return r + 1; }
+        u32 depth1(u32 x) { u32 r; r = depth2(x); return r + 1; }
+        int main() { u32 r; r = depth1(0); return r; }
+    ";
+    let p = front(src);
+    let a = analyze(&p).unwrap();
+    a.check(&p).unwrap();
+    let compiled = compiler::compile(&p).unwrap();
+    let bound = a.concrete_bound("main", &compiled.metric).unwrap();
+    let m = asm::measure_main(&compiled.asm, bound as u32, 1_000_000).unwrap();
+    assert_eq!(m.result(), Some(2));
+    // Theorem 1 + the paper's observation: bound = measured + 4 exactly.
+    assert_eq!(bound, f64::from(m.stack_usage + 4));
+}
+
+#[test]
+fn analysis_bound_dominates_source_trace_weight() {
+    let src = "
+        u32 h() { return 7; }
+        u32 g() { u32 a; u32 b; a = h(); b = h(); return a + b; }
+        int main() { u32 r; u32 i; r = 0; for (i = 0; i < 5; i++) { r = g(); } return r; }
+    ";
+    let p = front(src);
+    let a = analyze(&p).unwrap();
+    let metric = Metric::from_pairs([("h", 8), ("g", 12), ("main", 16)]);
+    let b = clight::Executor::run_main(&p, 1_000_000);
+    let weight = b.weight(&metric);
+    let bound = a.concrete_bound("main", &metric).unwrap();
+    assert!(bound >= weight as f64, "bound {bound} < weight {weight}");
+    assert_eq!(bound, 36.0);
+    assert_eq!(weight, 36);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random non-recursive call DAGs: the analyzer always succeeds, its
+    /// derivations always check, and its bound always dominates the
+    /// measured source weight.
+    #[test]
+    fn prop_analyzer_sound_on_random_dags(edges in proptest::collection::vec((0u32..6, 0u32..6), 0..12)) {
+        // Build a DAG: function fi may call fj only if j > i.
+        let mut bodies = vec![String::new(); 6];
+        for (a, b) in &edges {
+            let (a, b) = (*a.min(b), *a.max(b));
+            if a != b {
+                bodies[a as usize].push_str(&format!("f{b}();"));
+            }
+        }
+        let mut src = String::new();
+        for i in (0..6).rev() {
+            src.push_str(&format!("void f{i}() {{ {} return; }}\n", bodies[i]));
+        }
+        src.push_str("int main() { f0(); return 0; }");
+        let p = front(&src);
+        let analysis = analyze(&p).unwrap();
+        analysis.check(&p).unwrap();
+
+        let metric: Metric = (0..6).map(|i| (format!("f{i}"), 8 * (i + 1))).chain([("main".to_owned(), 4)]).collect();
+        let b = clight::Executor::run_main(&p, 1_000_000);
+        prop_assert!(b.converges());
+        let weight = b.weight(&metric);
+        let bound = analysis.concrete_bound("main", &metric).unwrap();
+        prop_assert!(bound >= weight as f64, "bound {bound} < weight {weight}");
+    }
+
+    /// The analyzer's symbolic bound is metric-parametric: evaluating at
+    /// two different metrics is consistent with monotonicity.
+    #[test]
+    fn prop_bounds_monotone_in_metric(scale in 1u32..5) {
+        let p = front(
+            "u32 f() { return 1; }
+             u32 g() { u32 r; r = f(); return r; }
+             int main() { u32 r; r = g(); return r; }",
+        );
+        let a = analyze(&p).unwrap();
+        let m1: Metric = [("f", 8u32), ("g", 8), ("main", 8)].into_iter().collect();
+        let m2: Metric = [("f", 8 * scale), ("g", 8 * scale), ("main", 8 * scale)]
+            .into_iter()
+            .collect();
+        let b1 = a.concrete_bound("main", &m1).unwrap();
+        let b2 = a.concrete_bound("main", &m2).unwrap();
+        prop_assert!(b2 >= b1);
+        prop_assert_eq!(b2, b1 * f64::from(scale));
+    }
+}
+
+#[test]
+fn spec_pre_is_closed_for_auto_bounds() {
+    let p = front("u32 f() { return 1; } int main() { u32 r; r = f(); return r; }");
+    let a = analyze(&p).unwrap();
+    // Auto bounds never mention program variables.
+    let spec = a.context().get("main").unwrap();
+    assert!(spec.pre.vars().is_empty());
+    assert_eq!(
+        spec.pre.eval(&Metric::from_pairs([("f", 12)]), &Valuation::new()).unwrap(),
+        qhl::Bound::Fin(12.0)
+    );
+}

@@ -1,0 +1,494 @@
+//! The `ASMsz` abstract machine: a register machine with one finite,
+//! preallocated stack block.
+
+use crate::{AsmProgram, Instr, Operand, Reg};
+use mem::{BlockId, Memory, Value};
+use std::collections::HashMap;
+use std::fmt;
+use trace::{Behavior, Event, Trace};
+
+/// Sentinel "function index" stored in the return address pushed by the
+/// startup code; returning to it halts the machine.
+const HALT: u32 = u32::MAX;
+
+/// Why a machine execution went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// `ESP` left the stack block: the paper's stack overflow.
+    StackOverflow {
+        /// The byte offset `ESP` was moved to, relative to the block base
+        /// (wrapped arithmetic; offsets above the block size mean the
+        /// pointer went below the block).
+        offset: u32,
+        /// Total stack block size (`sz + 4`).
+        size: u32,
+    },
+    /// A non-pointer value was written to `ESP`.
+    BadStackPointer(String),
+    /// Memory access error (out of bounds, unaligned, …).
+    Memory(String),
+    /// Ill-formed instruction stream (missing label, bad register use, …).
+    BadProgram(String),
+    /// Arithmetic error (division by zero) or ill-typed operand.
+    Arithmetic(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::StackOverflow { offset, size } => {
+                write!(f, "stack overflow: esp moved to offset {offset} of a {size}-byte stack")
+            }
+            MachineError::BadStackPointer(m) => write!(f, "bad stack pointer: {m}"),
+            MachineError::Memory(m) => write!(f, "memory error: {m}"),
+            MachineError::BadProgram(m) => write!(f, "ill-formed program: {m}"),
+            MachineError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+struct ResolvedFunction {
+    name: std::sync::Arc<str>,
+    code: Vec<Instr>,
+    labels: HashMap<u32, usize>,
+}
+
+/// The `ASMsz` machine state.
+///
+/// See the crate documentation for the stack discipline. The machine
+/// tracks the low-water mark of `ESP` (the paper's ptrace measurement) via
+/// [`Machine::stack_usage`].
+pub struct Machine {
+    functions: Vec<ResolvedFunction>,
+    externals: Vec<crate::AsmExternal>,
+    memory: Memory,
+    stack: BlockId,
+    stack_size: u32,
+    global_blocks: Vec<BlockId>,
+    regs: [Value; 8],
+    pc: (u32, usize),
+    flags: Option<(Value, Value)>,
+    trace: Trace,
+    steps: u64,
+    baseline: u32,
+    low_water: u32,
+    halted: Option<u32>,
+    last_error: Option<MachineError>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.pc)
+            .field("steps", &self.steps)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Creates a machine for `program` with a stack of `sz + 4` bytes,
+    /// poised to call `main` (which must exist). `sz` is the usable stack
+    /// space in the sense of Theorem 1; the extra 4 bytes hold the return
+    /// address pushed by the startup code.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program has no `main` or `sz + 4` is not a multiple
+    /// of 4.
+    pub fn new(program: &AsmProgram, sz: u32) -> Result<Machine, MachineError> {
+        let main = program
+            .function_index("main")
+            .ok_or_else(|| MachineError::BadProgram("no `main` function".into()))?;
+        let mut m = Machine::bare(program, sz.checked_add(4).ok_or(
+            MachineError::BadProgram("stack size overflow".into()))?)?;
+        m.startup_call(main, &[])?;
+        Ok(m)
+    }
+
+    /// Creates a machine poised to call an arbitrary function with the
+    /// given integer arguments (the paper's per-function measurement
+    /// harness). The startup code materializes a caller outgoing-argument
+    /// area above the callee's frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the function does not exist or the stack cannot hold the
+    /// arguments.
+    pub fn for_function(
+        program: &AsmProgram,
+        fname: &str,
+        args: &[u32],
+        sz: u32,
+    ) -> Result<Machine, MachineError> {
+        let idx = program
+            .function_index(fname)
+            .ok_or_else(|| MachineError::BadProgram(format!("no function `{fname}`")))?;
+        // The block additionally holds the synthetic caller's outgoing
+        // argument area, so `sz` keeps the Theorem 1 meaning: usable bytes
+        // below the measured function's entry ESP.
+        let total = sz
+            .checked_add(4 + 4 * args.len() as u32)
+            .ok_or(MachineError::BadProgram("stack size overflow".into()))?;
+        let mut m = Machine::bare(program, total)?;
+        m.startup_call(idx, args)?;
+        Ok(m)
+    }
+
+    /// `total` is the full stack block size (already including the startup
+    /// return-address slot and any argument area).
+    fn bare(program: &AsmProgram, total: u32) -> Result<Machine, MachineError> {
+        if !total.is_multiple_of(4) {
+            return Err(MachineError::BadProgram(format!(
+                "stack size {} is not a multiple of 4",
+                total.saturating_sub(4)
+            )));
+        }
+        let mut memory = Memory::new();
+        let mut global_blocks = Vec::new();
+        for (_, size, init) in &program.globals {
+            let b = memory.alloc(*size);
+            for i in 0..(*size / 4) {
+                let v = init.get(i as usize).copied().unwrap_or(0);
+                memory
+                    .store(b, i * 4, Value::Int(v))
+                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+            }
+            global_blocks.push(b);
+        }
+        let stack_size = total;
+        let stack = memory.alloc(stack_size);
+        let functions = program
+            .functions
+            .iter()
+            .map(|f| {
+                let mut labels = HashMap::new();
+                for (i, ins) in f.code.iter().enumerate() {
+                    if let Instr::Label(l) = ins {
+                        labels.insert(*l, i);
+                    }
+                }
+                ResolvedFunction {
+                    name: std::sync::Arc::from(f.name.as_str()),
+                    code: f.code.clone(),
+                    labels,
+                }
+            })
+            .collect();
+        Ok(Machine {
+            functions,
+            externals: program.externals.clone(),
+            memory,
+            stack,
+            stack_size,
+            global_blocks,
+            regs: [Value::Undef; 8],
+            pc: (HALT, 0),
+            flags: None,
+            trace: Trace::new(),
+            steps: 0,
+            baseline: stack_size,
+            low_water: stack_size,
+            halted: None,
+            last_error: None,
+        })
+    }
+
+    /// The startup sequence: reserve an outgoing-argument area, write the
+    /// arguments, push the halt return address, and jump to the function.
+    fn startup_call(&mut self, idx: u32, args: &[u32]) -> Result<(), MachineError> {
+        let args_bytes = 4 * args.len() as u32;
+        if self.stack_size < args_bytes + 4 {
+            return Err(MachineError::StackOverflow {
+                offset: 0,
+                size: self.stack_size,
+            });
+        }
+        let args_base = self.stack_size - args_bytes;
+        for (i, a) in args.iter().enumerate() {
+            self.memory
+                .store(self.stack, args_base + 4 * i as u32, Value::Int(*a))
+                .map_err(|e| MachineError::Memory(e.to_string()))?;
+        }
+        // Push the halt return address.
+        let ra_off = args_base - 4;
+        self.memory
+            .store(self.stack, ra_off, Value::RetAddr(HALT, 0))
+            .map_err(|e| MachineError::Memory(e.to_string()))?;
+        self.regs[Reg::Esp.index()] = Value::Ptr(self.stack, ra_off);
+        // Usage is measured from the moment the measured function starts
+        // executing (its caller's push included — it is part of M(f)).
+        self.baseline = ra_off;
+        self.low_water = ra_off;
+        self.pc = (idx, 0);
+        Ok(())
+    }
+
+    /// Peak stack usage in bytes observed so far: the distance between
+    /// `ESP` at entry of the started function and its low-water mark. This
+    /// is what the paper's ptrace tool reports, and the verified weight
+    /// bounds it with exactly 4 bytes of slack — the deepest activation's
+    /// unused push allowance.
+    pub fn stack_usage(&self) -> u32 {
+        self.baseline - self.low_water
+    }
+
+    /// The events produced so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The structured error that stopped the machine, if any. Use this to
+    /// distinguish a genuine [`MachineError::StackOverflow`] from other
+    /// failures in Theorem 1 experiments.
+    pub fn last_error(&self) -> Option<&MachineError> {
+        self.last_error.as_ref()
+    }
+
+    /// Runs until halt, error, or fuel exhaustion, returning the behavior.
+    /// `run_main` is a clearer alias used when the machine was built with
+    /// [`Machine::new`].
+    pub fn run(&mut self, fuel: u64) -> Behavior {
+        while self.steps < fuel {
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(code)) => return Behavior::Converges(self.trace.clone(), code),
+                Err(e) => {
+                    self.last_error = Some(e.clone());
+                    return Behavior::Fails(self.trace.clone(), e.to_string());
+                }
+            }
+        }
+        Behavior::Diverges(self.trace.clone())
+    }
+
+    /// Runs `main` (see [`Machine::run`]).
+    pub fn run_main(&mut self, fuel: u64) -> Behavior {
+        self.run(fuel)
+    }
+
+    fn reg(&self, r: Reg) -> Value {
+        self.regs[r.index()]
+    }
+
+    fn operand(&self, o: Operand) -> Value {
+        match o {
+            Operand::Imm(n) => Value::Int(n),
+            Operand::Reg(r) => self.reg(r),
+        }
+    }
+
+    /// Writes a register; `ESP` writes are bounds-checked and tracked.
+    fn set_reg(&mut self, r: Reg, v: Value) -> Result<(), MachineError> {
+        if r == Reg::Esp {
+            match v {
+                Value::Ptr(b, off) if b == self.stack => {
+                    if off > self.stack_size {
+                        return Err(MachineError::StackOverflow {
+                            offset: off,
+                            size: self.stack_size,
+                        });
+                    }
+                    self.low_water = self.low_water.min(off);
+                }
+                other => {
+                    return Err(MachineError::BadStackPointer(format!(
+                        "esp set to {other}"
+                    )));
+                }
+            }
+        }
+        self.regs[r.index()] = v;
+        Ok(())
+    }
+
+    fn addr(&self, base: Reg, disp: i32) -> Result<(BlockId, u32), MachineError> {
+        let (b, off) = self
+            .reg(base)
+            .as_ptr()
+            .map_err(|e| MachineError::Memory(e.to_string()))?;
+        Ok((b, off.wrapping_add(disp as u32)))
+    }
+
+    /// Executes one instruction. Returns `Some(code)` on halt.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`]; the machine is then stuck.
+    pub fn step(&mut self) -> Result<Option<u32>, MachineError> {
+        if let Some(code) = self.halted {
+            return Ok(Some(code));
+        }
+        self.steps += 1;
+        let (fi, ii) = self.pc;
+        let fun = self
+            .functions
+            .get(fi as usize)
+            .ok_or_else(|| MachineError::BadProgram(format!("bad function index {fi}")))?;
+        let Some(instr) = fun.code.get(ii).cloned() else {
+            return Err(MachineError::BadProgram(format!(
+                "fell off the end of `{}`",
+                fun.name
+            )));
+        };
+        self.pc.1 += 1;
+        match instr {
+            Instr::Label(_) => {}
+            Instr::Mov(r, o) => {
+                let v = self.operand(o);
+                self.set_reg(r, v)?;
+            }
+            Instr::LeaGlobal(r, g, off) => {
+                let b = *self.global_blocks.get(g as usize).ok_or_else(|| {
+                    MachineError::BadProgram(format!("bad global index {g}"))
+                })?;
+                self.set_reg(r, Value::Ptr(b, off))?;
+            }
+            Instr::Alu(op, r, o) => {
+                let a = self.reg(r);
+                let b = self.operand(o);
+                let v = mem::eval_binop(op, a, b)
+                    .map_err(|e| MachineError::Arithmetic(e.to_string()))?;
+                self.set_reg(r, v)?;
+            }
+            Instr::Un(op, r) => {
+                let a = self.reg(r);
+                let v =
+                    mem::eval_unop(op, a).map_err(|e| MachineError::Arithmetic(e.to_string()))?;
+                self.set_reg(r, v)?;
+            }
+            Instr::Load(r, base, disp) => {
+                let (b, off) = self.addr(base, disp)?;
+                let v = self
+                    .memory
+                    .load(b, off)
+                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+                self.set_reg(r, v)?;
+            }
+            Instr::Store(base, disp, src) => {
+                let (b, off) = self.addr(base, disp)?;
+                let v = self.reg(src);
+                self.memory
+                    .store(b, off, v)
+                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+            }
+            Instr::Cmp(r, o) => {
+                self.flags = Some((self.reg(r), self.operand(o)));
+            }
+            Instr::Jcc(op, label) => {
+                let (a, b) = self
+                    .flags
+                    .ok_or_else(|| MachineError::BadProgram("jcc without cmp".into()))?;
+                let v = mem::eval_binop(op, a, b)
+                    .map_err(|e| MachineError::Arithmetic(e.to_string()))?;
+                if v != Value::Int(0) {
+                    self.jump(label)?;
+                }
+            }
+            Instr::Jmp(label) => self.jump(label)?,
+            Instr::Call(target) => {
+                if self.functions.get(target as usize).is_none() {
+                    return Err(MachineError::BadProgram(format!(
+                        "call to bad function index {target}"
+                    )));
+                }
+                // Push the return address: esp -= 4; [esp] = ra.
+                let (b, off) = self
+                    .reg(Reg::Esp)
+                    .as_ptr()
+                    .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
+                let new_off = off.wrapping_sub(4);
+                self.set_reg(Reg::Esp, Value::Ptr(b, new_off))?;
+                self.memory
+                    .store(b, new_off, Value::RetAddr(self.pc.0, self.pc.1 as u32))
+                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+                self.pc = (target, 0);
+            }
+            Instr::CallExt(target) => {
+                let ext = self
+                    .externals
+                    .get(target as usize)
+                    .cloned()
+                    .ok_or_else(|| {
+                        MachineError::BadProgram(format!("bad external index {target}"))
+                    })?;
+                let (b, off) = self
+                    .reg(Reg::Esp)
+                    .as_ptr()
+                    .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
+                let mut args = Vec::with_capacity(ext.arity);
+                for i in 0..ext.arity {
+                    let v = self
+                        .memory
+                        .load(b, off + 4 * i as u32)
+                        .map_err(|e| MachineError::Memory(e.to_string()))?;
+                    args.push(
+                        v.as_int()
+                            .map_err(|e| MachineError::Arithmetic(e.to_string()))?,
+                    );
+                }
+                let result = clight_io_result(&ext.name, &args);
+                self.trace.push(Event::io(ext.name.as_str(), args, result));
+                self.regs[Reg::Eax.index()] = Value::Int(result);
+            }
+            Instr::Ret => {
+                let (b, off) = self
+                    .reg(Reg::Esp)
+                    .as_ptr()
+                    .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
+                let ra = self
+                    .memory
+                    .load(b, off)
+                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+                let Value::RetAddr(rf, ri) = ra else {
+                    return Err(MachineError::BadProgram(format!(
+                        "ret popped a non-return-address value {ra}"
+                    )));
+                };
+                self.set_reg(Reg::Esp, Value::Ptr(b, off + 4))?;
+                if rf == HALT {
+                    // Void entry functions leave eax undefined: exit code 0.
+                    let code = match self.reg(Reg::Eax) {
+                        Value::Undef => 0,
+                        v => v
+                            .as_int()
+                            .map_err(|e| MachineError::Arithmetic(e.to_string()))?,
+                    };
+                    self.halted = Some(code);
+                    return Ok(Some(code));
+                }
+                self.pc = (rf, ri as usize);
+            }
+        }
+        Ok(None)
+    }
+
+    fn jump(&mut self, label: u32) -> Result<(), MachineError> {
+        let fun = &self.functions[self.pc.0 as usize];
+        let target = fun.labels.get(&label).ok_or_else(|| {
+            MachineError::BadProgram(format!("missing label {label} in `{}`", fun.name))
+        })?;
+        self.pc.1 = *target;
+        Ok(())
+    }
+}
+
+/// The shared deterministic external-call model (same as `clight`'s, kept
+/// dependency-free here to avoid an `asm -> clight` edge).
+fn clight_io_result(name: &str, args: &[u32]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in name.bytes() {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    for a in args {
+        h = (h ^ a).wrapping_mul(0x0100_0193);
+    }
+    h
+}

@@ -1,0 +1,446 @@
+use proptest::prelude::*;
+use crate::{measure_function, AsmExternal, AsmFunction, AsmProgram, Instr, Machine, MachineError, Operand, Reg};
+use mem::{Binop, Unop};
+use Instr::*;
+use Operand::{Imm, Reg as R};
+
+fn prog(functions: Vec<AsmFunction>) -> AsmProgram {
+    AsmProgram {
+        globals: vec![],
+        externals: vec![],
+        functions,
+    }
+}
+
+/// A function with the standard prologue/epilogue around `body`.
+fn func(name: &str, frame: u32, body: Vec<Instr>) -> AsmFunction {
+    let mut code = vec![Alu(Binop::Sub, Reg::Esp, Imm(frame))];
+    code.extend(body);
+    code.push(Alu(Binop::Add, Reg::Esp, Imm(frame)));
+    code.push(Ret);
+    AsmFunction::new(name, frame, code)
+}
+
+#[test]
+fn returns_constant() {
+    let p = prog(vec![func("main", 8, vec![Mov(Reg::Eax, Imm(42))])]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(42));
+    assert_eq!(m.stack_usage(), 8);
+}
+
+#[test]
+fn alu_operations() {
+    let p = prog(vec![func(
+        "main",
+        8,
+        vec![
+            Mov(Reg::Eax, Imm(10)),
+            Alu(Binop::Mul, Reg::Eax, Imm(5)),
+            Alu(Binop::Sub, Reg::Eax, Imm(8)),
+            Un(Unop::Not, Reg::Eax),
+            Un(Unop::Not, Reg::Eax),
+        ],
+    )]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(42));
+}
+
+#[test]
+fn store_load_roundtrip_on_stack() {
+    let p = prog(vec![func(
+        "main",
+        16,
+        vec![
+            Mov(Reg::Ebx, Imm(7)),
+            Store(Reg::Esp, 4, Reg::Ebx),
+            Load(Reg::Eax, Reg::Esp, 4),
+            Alu(Binop::Mul, Reg::Eax, Imm(6)),
+        ],
+    )]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(42));
+}
+
+#[test]
+fn globals_are_initialized_and_addressable() {
+    let mut p = prog(vec![func(
+        "main",
+        8,
+        vec![
+            LeaGlobal(Reg::Ebx, 0, 4),
+            Load(Reg::Eax, Reg::Ebx, 0),
+            LeaGlobal(Reg::Ecx, 0, 0),
+            Load(Reg::Edx, Reg::Ecx, 0),
+            Alu(Binop::Add, Reg::Eax, R(Reg::Edx)),
+        ],
+    )]);
+    p.globals.push(("tab".into(), 12, vec![40, 2]));
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(42));
+}
+
+#[test]
+fn conditional_jumps_and_loop() {
+    // Sum 1..=10 with a loop.
+    let p = prog(vec![func(
+        "main",
+        8,
+        vec![
+            Mov(Reg::Eax, Imm(0)),
+            Mov(Reg::Ebx, Imm(1)),
+            Label(0),
+            Cmp(Reg::Ebx, Imm(10)),
+            Jcc(Binop::Gtu, 1),
+            Alu(Binop::Add, Reg::Eax, R(Reg::Ebx)),
+            Alu(Binop::Add, Reg::Ebx, Imm(1)),
+            Jmp(0),
+            Label(1),
+        ],
+    )]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(55));
+}
+
+#[test]
+fn call_passes_arguments_through_outgoing_slots() {
+    // add(a, b): args at [esp + SF + 4 + 0] and [esp + SF + 4 + 4].
+    let add = func(
+        "add",
+        8,
+        vec![
+            Load(Reg::Eax, Reg::Esp, 12),
+            Load(Reg::Ebx, Reg::Esp, 16),
+            Alu(Binop::Add, Reg::Eax, R(Reg::Ebx)),
+        ],
+    );
+    // main: 16-byte frame with an 8-byte outgoing area at the bottom.
+    let main = func(
+        "main",
+        16,
+        vec![
+            Mov(Reg::Ebx, Imm(40)),
+            Store(Reg::Esp, 0, Reg::Ebx),
+            Mov(Reg::Ebx, Imm(2)),
+            Store(Reg::Esp, 4, Reg::Ebx),
+            Call(0),
+        ],
+    );
+    let p = prog(vec![add, main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(42));
+    // 16 (main) + 4 (push) + 8 (add).
+    assert_eq!(m.stack_usage(), 28);
+}
+
+#[test]
+fn stack_usage_matches_weight_minus_four() {
+    // Three nested calls with known frames.
+    let leaf = func("leaf", 12, vec![Mov(Reg::Eax, Imm(1))]);
+    let mid = func("mid", 20, vec![Call(0)]);
+    let main = func("main", 8, vec![Call(1)]);
+    let p = prog(vec![leaf, mid, main]);
+    let metric = p.metric();
+    assert_eq!(metric.call_cost("leaf"), 16);
+    assert_eq!(metric.call_cost("mid"), 24);
+    assert_eq!(metric.call_cost("main"), 12);
+    let mut m = Machine::new(&p, 256).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(1));
+    let weight = 12 + 24 + 16; // M(main) + M(mid) + M(leaf)
+    assert_eq!(m.stack_usage(), weight - 4);
+}
+
+#[test]
+fn stack_overflow_is_detected_and_typed() {
+    // Infinite recursion must overflow, not run forever.
+    let f = AsmFunction::new(
+        "main",
+        8,
+        vec![Alu(Binop::Sub, Reg::Esp, Imm(8)), Call(0)],
+    );
+    let p = prog(vec![f]);
+    let mut m = Machine::new(&p, 256).unwrap();
+    let b = m.run_main(1_000_000);
+    assert!(b.goes_wrong(), "{b}");
+    assert!(matches!(
+        m.last_error(),
+        Some(MachineError::StackOverflow { .. })
+    ));
+}
+
+#[test]
+fn exact_stack_size_suffices_and_smaller_overflows() {
+    // main(8) calls leaf(12): weight = (8+4) + (12+4) = 28, usage = 24.
+    let leaf = func("leaf", 12, vec![Mov(Reg::Eax, Imm(7))]);
+    let main = func("main", 8, vec![Call(0)]);
+    let p = prog(vec![leaf, main]);
+
+    // Theorem 1: running with sz >= weight cannot overflow.
+    let mut m = Machine::new(&p, 28).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(7));
+    assert_eq!(m.stack_usage(), 24);
+
+    // sz = usage still works (the slack byte allowance is never touched)...
+    let mut m = Machine::new(&p, 24).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(7));
+
+    // ...but any smaller stack overflows.
+    let mut m = Machine::new(&p, 20).unwrap();
+    let b = m.run_main(1000);
+    assert!(b.goes_wrong(), "{b}");
+    assert!(matches!(
+        m.last_error(),
+        Some(MachineError::StackOverflow { .. })
+    ));
+}
+
+#[test]
+fn measure_function_with_arguments() {
+    let double = func(
+        "double",
+        8,
+        vec![Load(Reg::Eax, Reg::Esp, 12), Alu(Binop::Mul, Reg::Eax, Imm(2))],
+    );
+    let p = prog(vec![double]);
+    let m = measure_function(&p, "double", &[21], 64, 1000).unwrap();
+    assert_eq!(m.result(), Some(42));
+    assert_eq!(m.stack_usage, 8);
+    assert!(!m.overflowed());
+}
+
+#[test]
+fn recursion_depth_scales_stack_usage() {
+    // count(n): if n == 0 return 0; return count(n - 1);
+    let count = AsmFunction::new(
+        "count",
+        16,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(16)),
+            Load(Reg::Eax, Reg::Esp, 20), // n
+            Cmp(Reg::Eax, Imm(0)),
+            Jcc(Binop::Eq, 0),
+            Alu(Binop::Sub, Reg::Eax, Imm(1)),
+            Store(Reg::Esp, 0, Reg::Eax), // outgoing arg
+            Call(0),
+            Label(0),
+            Alu(Binop::Add, Reg::Esp, Imm(16)),
+            Ret,
+        ],
+    );
+    let p = prog(vec![count]);
+    for n in [0u32, 1, 5, 10] {
+        let m = measure_function(&p, "count", &[n], 4096, 100_000).unwrap();
+        assert_eq!(m.result(), Some(0));
+        // n+1 activations of 16+4 bytes, minus the unused 4 of the deepest.
+        assert_eq!(m.stack_usage, (n + 1) * 20 - 4, "n = {n}");
+    }
+}
+
+#[test]
+fn external_calls_emit_io_and_return_deterministic_values() {
+    let ext = AsmExternal {
+        name: "sensor".into(),
+        arity: 1,
+    };
+    let main = func(
+        "main",
+        12,
+        vec![
+            Mov(Reg::Ebx, Imm(5)),
+            Store(Reg::Esp, 0, Reg::Ebx),
+            CallExt(0),
+            Mov(Reg::Ecx, R(Reg::Eax)),
+            Store(Reg::Esp, 0, Reg::Ebx),
+            CallExt(0),
+            Alu(Binop::Eq, Reg::Eax, R(Reg::Ecx)),
+        ],
+    );
+    let p = AsmProgram {
+        globals: vec![],
+        externals: vec![ext],
+        functions: vec![main],
+    };
+    let mut m = Machine::new(&p, 64).unwrap();
+    let b = m.run_main(1000);
+    assert_eq!(b.return_code(), Some(1));
+    assert_eq!(b.trace().events().len(), 2);
+    assert!(b.trace().events().iter().all(|e| !e.is_memory()));
+}
+
+#[test]
+fn ret_with_clobbered_return_address_goes_wrong() {
+    let main = AsmFunction::new(
+        "main",
+        8,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(8)),
+            Mov(Reg::Eax, Imm(0)),
+            Store(Reg::Esp, 8, Reg::Eax), // smash the return address
+            Alu(Binop::Add, Reg::Esp, Imm(8)),
+            Ret,
+        ],
+    );
+    let p = prog(vec![main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    let b = m.run_main(1000);
+    assert!(b.goes_wrong(), "{b}");
+    assert!(matches!(m.last_error(), Some(MachineError::BadProgram(_))));
+}
+
+#[test]
+fn setting_esp_to_integer_goes_wrong() {
+    let main = AsmFunction::new("main", 0, vec![Mov(Reg::Esp, Imm(0))]);
+    let p = prog(vec![main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    let b = m.run_main(1000);
+    assert!(b.goes_wrong());
+    assert!(matches!(
+        m.last_error(),
+        Some(MachineError::BadStackPointer(_))
+    ));
+}
+
+#[test]
+fn division_by_zero_goes_wrong() {
+    let main = func(
+        "main",
+        8,
+        vec![
+            Mov(Reg::Eax, Imm(1)),
+            Mov(Reg::Ebx, Imm(0)),
+            Alu(Binop::Divu, Reg::Eax, R(Reg::Ebx)),
+        ],
+    );
+    let p = prog(vec![main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert!(m.run_main(1000).goes_wrong());
+}
+
+#[test]
+fn missing_label_is_reported() {
+    let main = func("main", 8, vec![Jmp(99)]);
+    let p = prog(vec![main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    let b = m.run_main(1000);
+    assert!(b.goes_wrong());
+    assert!(b.to_string().contains("label"), "{b}");
+}
+
+#[test]
+fn fuel_exhaustion_reports_divergence() {
+    let main = AsmFunction::new("main", 0, vec![Label(0), Jmp(0)]);
+    let p = prog(vec![main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert!(matches!(m.run_main(100), trace::Behavior::Diverges(_)));
+}
+
+#[test]
+fn program_without_main_is_rejected() {
+    let p = prog(vec![func("f", 8, vec![])]);
+    assert!(matches!(
+        Machine::new(&p, 64),
+        Err(MachineError::BadProgram(_))
+    ));
+}
+
+#[test]
+fn listing_renders_assembly_text() {
+    let p = prog(vec![func("main", 8, vec![Mov(Reg::Eax, Imm(1))])]);
+    let text = p.listing();
+    assert!(text.contains("main: # frame 8 bytes"));
+    assert!(text.contains("sub esp, $8"));
+    assert!(text.contains("ret"));
+}
+
+#[test]
+fn signed_comparisons_in_jcc() {
+    // if (-1 < 1) signed -> take branch.
+    let main = func(
+        "main",
+        8,
+        vec![
+            Mov(Reg::Eax, Imm(0)),
+            Mov(Reg::Ebx, Imm(0xFFFF_FFFF)),
+            Cmp(Reg::Ebx, Imm(1)),
+            Jcc(Binop::Lts, 0),
+            Jmp(1),
+            Label(0),
+            Mov(Reg::Eax, Imm(1)),
+            Label(1),
+        ],
+    );
+    let p = prog(vec![main]);
+    let mut m = Machine::new(&p, 64).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(1));
+}
+
+
+// ---- robustness fuzzing --------------------------------------------------------
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        Just(Reg::Eax),
+        Just(Reg::Ebx),
+        Just(Reg::Ecx),
+        Just(Reg::Edx),
+        Just(Reg::Esi),
+        Just(Reg::Edi),
+        Just(Reg::Ebp),
+        Just(Reg::Esp),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![any::<u32>().prop_map(Imm), arb_reg().prop_map(R)]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u32..4).prop_map(Label),
+        (arb_reg(), arb_operand()).prop_map(|(r, o)| Mov(r, o)),
+        (arb_reg(), 0u32..2, 0u32..64).prop_map(|(r, g, off)| LeaGlobal(r, g, off)),
+        (arb_reg(), arb_operand()).prop_map(|(r, o)| Alu(Binop::Add, r, o)),
+        (arb_reg(), arb_operand()).prop_map(|(r, o)| Alu(Binop::Sub, r, o)),
+        (arb_reg(), arb_operand()).prop_map(|(r, o)| Alu(Binop::Divu, r, o)),
+        (arb_reg(), arb_reg(), -64i32..64).prop_map(|(a, b, d)| Load(a, b, d)),
+        (arb_reg(), -64i32..64, arb_reg()).prop_map(|(a, d, b)| Store(a, d, b)),
+        (arb_reg(), arb_operand()).prop_map(|(r, o)| Cmp(r, o)),
+        (0u32..4).prop_map(|l| Jcc(Binop::Ltu, l)),
+        (0u32..4).prop_map(Jmp),
+        (0u32..3).prop_map(Call),
+        Just(Ret),
+        (arb_reg()).prop_map(|r| Un(Unop::Neg, r)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The machine is total: arbitrary (even ill-formed) instruction
+    /// streams terminate with *some* behavior — converge, diverge, or a
+    /// structured error — and never panic or loop past their fuel.
+    #[test]
+    fn prop_machine_never_panics_on_random_code(
+        code in proptest::collection::vec(arb_instr(), 0..24),
+        frame in (0u32..8).prop_map(|w| w * 4),
+    ) {
+        let mut full = vec![Alu(Binop::Sub, Reg::Esp, Imm(frame))];
+        full.extend(code);
+        full.push(Alu(Binop::Add, Reg::Esp, Imm(frame)));
+        full.push(Ret);
+        let mut p = prog(vec![
+            AsmFunction::new("main", frame, full.clone()),
+            AsmFunction::new("aux", 8, vec![
+                Alu(Binop::Sub, Reg::Esp, Imm(8)),
+                Alu(Binop::Add, Reg::Esp, Imm(8)),
+                Ret,
+            ]),
+            AsmFunction::new("aux2", 0, vec![Ret]),
+        ]);
+        p.globals.push(("g0".into(), 16, vec![1, 2]));
+        p.globals.push(("g1".into(), 8, vec![]));
+        let mut m = Machine::new(&p, 256).unwrap();
+        let _ = m.run_main(5_000); // must not panic
+        prop_assert!(m.steps() <= 5_000);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion bench backing the paper's §6 timing claim: "the automatic
+//! stack-bound analysis runs very efficiently and needs less than a second
+//! for every example file".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn analyzer_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer");
+    for bench in stackbound::benchsuite::table1_benchmarks() {
+        let program = bench.program().expect("front end");
+        let name = bench.file.replace('/', "_");
+        group.bench_function(format!("analyze/{name}"), |b| {
+            b.iter(|| stackbound::analyzer::analyze(black_box(&program)).unwrap())
+        });
+        let analysis = stackbound::analyzer::analyze(&program).unwrap();
+        group.bench_function(format!("check/{name}"), |b| {
+            b.iter(|| analysis.check(black_box(&program)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analyzer_speed);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the interpreters: Clight small-step vs the `ASMsz`
+//! machine on the same workload, and the monitor overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const FIB: &str = "
+    u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n;
+        a = fib(n - 1); b = fib(n - 2); return a + b; }
+    int main() { u32 r; r = fib(17); return r & 0xff; }";
+
+fn machine(c: &mut Criterion) {
+    let program = stackbound::clight::frontend(FIB, &[]).unwrap();
+    let compiled = stackbound::compiler::compile(&program).unwrap();
+
+    c.bench_function("interp/clight/fib17", |b| {
+        b.iter(|| {
+            let behavior =
+                stackbound::clight::Executor::run_main(black_box(&program), 100_000_000);
+            assert!(behavior.converges());
+            behavior
+        })
+    });
+    c.bench_function("interp/mach/fib17", |b| {
+        b.iter(|| {
+            let behavior =
+                stackbound::compiler::mach::run_main(black_box(&compiled.mach), 100_000_000);
+            assert!(behavior.converges());
+            behavior
+        })
+    });
+    c.bench_function("machine/asm/fib17", |b| {
+        b.iter(|| {
+            let m = stackbound::asm::measure_main(black_box(&compiled.asm), 1 << 16, 100_000_000)
+                .unwrap();
+            assert!(m.behavior.converges());
+            m.stack_usage
+        })
+    });
+}
+
+criterion_group!(benches, machine);
+criterion_main!(benches);

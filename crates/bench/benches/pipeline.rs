@@ -1,0 +1,41 @@
+//! Criterion bench for the compiler pipeline: per-pass translation cost
+//! on the largest benchmark file, plus the end-to-end `verify_program`
+//! loop on a medium program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn pipeline(c: &mut Criterion) {
+    let bench = stackbound::benchsuite::table1_benchmark("certikos/proc.c").unwrap();
+    let program = bench.program().unwrap();
+
+    c.bench_function("compile/certikos_proc", |b| {
+        b.iter(|| stackbound::compiler::compile(black_box(&program)).unwrap())
+    });
+    c.bench_function("compile_no_opt/certikos_proc", |b| {
+        b.iter(|| {
+            stackbound::compiler::compile_with(
+                black_box(&program),
+                stackbound::compiler::Options::no_opt(),
+            )
+            .unwrap()
+        })
+    });
+
+    let quickstart = "
+        u32 scale(u32 x)  { return x * 3; }
+        u32 offset(u32 x) { u32 s; s = scale(x); return s + 7; }
+        int main() { u32 i; u32 acc; acc = 0;
+            for (i = 0; i < 10; i++) { u32 v; v = offset(i); acc = acc + v; }
+            return acc % 256; }";
+    c.bench_function("verify_program/quickstart", |b| {
+        b.iter(|| stackbound::verify_program(black_box(quickstart)).unwrap())
+    });
+
+    c.bench_function("frontend/certikos_proc", |b| {
+        b.iter(|| stackbound::clight::frontend(black_box(bench.source), &[]).unwrap())
+    });
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

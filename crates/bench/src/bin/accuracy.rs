@@ -1,0 +1,77 @@
+//! Regenerates the §6 accuracy claim: *"all manually and automatically
+//! derived bounds over-approximate the actual stack-space consumption by
+//! exactly 4 bytes"* — checked for every Table 1 `main` and every Table 2
+//! function on a representative input.
+//!
+//! ```sh
+//! cargo run -p bench --bin accuracy
+//! ```
+
+use bench::{measure, measure_main};
+use stackbound::{benchsuite, clight, compiler, qhl};
+
+fn main() {
+    println!("§6 accuracy: verified bound vs. measured stack consumption\n");
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "program / function", "bound", "measured", "slack"
+    );
+    println!("{}", "-".repeat(72));
+    let mut all_exactly_four = true;
+
+    for prep in bench::prepare_table1() {
+        let bound = prep
+            .analysis
+            .concrete_bound("main", &prep.compiled.metric)
+            .expect("bounded") as u32;
+        let m = measure_main(&prep.compiled);
+        assert!(m.behavior.converges(), "{}: {}", prep.file, m.behavior);
+        let slack = bound - m.stack_usage;
+        all_exactly_four &= slack == 4;
+        println!(
+            "{:<34} {bound:>6} bytes {:>6} bytes {slack:>7}B",
+            format!("{} main", prep.file),
+            m.stack_usage
+        );
+    }
+
+    for case in benchsuite::recursive_cases() {
+        let program = clight::frontend(case.source, &[]).expect("front end");
+        case.check(&program).expect("derivation");
+        let compiled = compiler::compile(&program).expect("compiles");
+        let n = (case.sweep.0 + case.sweep.1) / 2;
+        let args = (case.args_for)(n);
+        let f = program.function(case.name).expect("fn");
+        let env = qhl::Valuation::of_vars(
+            f.params
+                .iter()
+                .map(|p| p.name.clone())
+                .zip(args.iter().copied()),
+        );
+        let bound = case
+            .spec()
+            .pre
+            .eval(&compiled.metric, &env)
+            .expect("evaluates")
+            .finite()
+            .expect("finite") as u32
+            + compiled.metric.call_cost(case.name);
+        let uargs: Vec<u32> = args.iter().map(|a| *a as u32).collect();
+        let m = measure(&compiled, case.name, &uargs);
+        assert!(m.behavior.converges(), "{}: {}", case.file, m.behavior);
+        let slack = bound - m.stack_usage;
+        all_exactly_four &= slack == 4;
+        println!(
+            "{:<34} {bound:>6} bytes {:>6} bytes {slack:>7}B",
+            format!("{} (n = {n})", case.name),
+            m.stack_usage
+        );
+    }
+
+    println!("{}", "-".repeat(72));
+    if all_exactly_four {
+        println!("every bound over-approximates by exactly 4 bytes, as in the paper.");
+    } else {
+        println!("WARNING: some slack differs from 4 bytes — investigate!");
+    }
+}

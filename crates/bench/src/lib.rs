@@ -1,0 +1,78 @@
+//! Shared helpers for the paper-reproduction harness binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation (§6):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — automatically verified bounds |
+//! | `table2` | Table 2 — manually verified symbolic bounds |
+//! | `fig7` | Figure 7 — bound vs. measured usage sweeps |
+//! | `accuracy` | §6 — every bound equals measured + 4 |
+//! | `theorem1` | Theorem 1 — the exact overflow boundary |
+//! | `ablation_merge` | stack merging on/off |
+//! | `ablation_opt` | optimizations on/off |
+//! | `ablation_metric` | `M = SF + 4` vs. the naive `M = SF` |
+//!
+//! Run them with `cargo run -p bench --bin <name>`.
+
+#![warn(missing_docs)]
+
+use stackbound::{analyzer, asm, clight, compiler};
+
+/// Fuel for all harness executions.
+pub const FUEL: u64 = 400_000_000;
+
+/// A fully prepared Table 1 benchmark: program, analysis, compiled code.
+pub struct Prepared {
+    /// File name as in the paper.
+    pub file: &'static str,
+    /// Source line count.
+    pub loc: usize,
+    /// The functions Table 1 reports.
+    pub functions: &'static [&'static str],
+    /// The type-checked program.
+    pub program: clight::Program,
+    /// The analyzer output.
+    pub analysis: analyzer::Analysis,
+    /// The compiled program.
+    pub compiled: compiler::Compiled,
+}
+
+/// Analyzes and compiles every Table 1 benchmark, panicking with a clear
+/// message on any failure (the test suite guards these paths; the harness
+/// just reports).
+pub fn prepare_table1() -> Vec<Prepared> {
+    stackbound::benchsuite::table1_benchmarks()
+        .into_iter()
+        .map(|b| {
+            let program = b
+                .program()
+                .unwrap_or_else(|e| panic!("{}: front end: {e}", b.file));
+            let analysis = analyzer::analyze(&program)
+                .unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
+            analysis
+                .check(&program)
+                .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
+            let compiled = compiler::compile(&program)
+                .unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
+            Prepared {
+                file: b.file,
+                loc: b.loc(),
+                functions: b.table1_functions,
+                program,
+                analysis,
+                compiled,
+            }
+        })
+        .collect()
+}
+
+/// Measures the peak stack usage of `main` with a generous stack.
+pub fn measure_main(compiled: &compiler::Compiled) -> asm::Measurement {
+    asm::measure_main(&compiled.asm, 1 << 22, FUEL).expect("machine setup")
+}
+
+/// Measures `fname(args)` with a generous stack.
+pub fn measure(compiled: &compiler::Compiled, fname: &str, args: &[u32]) -> asm::Measurement {
+    asm::measure_function(&compiled.asm, fname, args, 1 << 22, FUEL).expect("machine setup")
+}

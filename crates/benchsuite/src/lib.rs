@@ -1,0 +1,142 @@
+//! The evaluation benchmark suite of *End-to-End Verification of
+//! Stack-Space Bounds for C Programs* (PLDI 2014), ported to the supported
+//! C subset:
+//!
+//! * **Table 1** (automatic analysis): MiBench programs (`dijkstra.c`,
+//!   `bitcount.c`, `blowfish.c`, `md5.c`, `fft.c`), the simplified
+//!   CertiKOS modules (`vmm.c`, `proc.c`), and CompCert test-suite
+//!   programs (`mandelbrot.c`, `nbody.c`) — see [`table1_benchmarks`];
+//! * **Table 2** (interactive derivations): the eight recursive functions
+//!   with hand-written quantitative-logic proofs — see
+//!   [`recursive_cases`].
+//!
+//! # Examples
+//!
+//! ```
+//! // Every Table 1 benchmark parses, type-checks and runs.
+//! for b in benchsuite::table1_benchmarks() {
+//!     let program = b.program().unwrap();
+//!     assert!(program.function("main").is_some(), "{}", b.file);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod extras;
+mod recursive;
+mod sources;
+
+pub use extras::extra_benchmarks;
+pub use recursive::{recursive_case, recursive_cases, FunctionProof, RecursiveCase};
+
+/// One benchmark file of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// File path as printed in the paper's Table 1.
+    pub file: &'static str,
+    /// The C source.
+    pub source: &'static str,
+    /// The functions whose bounds Table 1 reports for this file.
+    pub table1_functions: &'static [&'static str],
+}
+
+impl Benchmark {
+    /// Parses and type-checks the benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error message (never happens for the shipped
+    /// sources; the test suite pins this).
+    pub fn program(&self) -> Result<clight::Program, String> {
+        clight::frontend(self.source, &[])
+    }
+
+    /// Number of source lines (for the LOC column of Table 1).
+    pub fn loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+/// The Table 1 benchmark files, in the paper's order.
+pub fn table1_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            file: "mibench/net/dijkstra.c",
+            source: sources::DIJKSTRA,
+            table1_functions: &["enqueue", "dequeue", "dijkstra"],
+        },
+        Benchmark {
+            file: "mibench/auto/bitcount.c",
+            source: sources::BITCOUNT,
+            table1_functions: &["bitcount", "bitstring"],
+        },
+        Benchmark {
+            file: "mibench/sec/blowfish.c",
+            source: sources::BLOWFISH,
+            table1_functions: &["BF_encrypt", "BF_options", "BF_ecb_encrypt"],
+        },
+        Benchmark {
+            file: "mibench/sec/pgp/md5.c",
+            source: sources::MD5,
+            table1_functions: &["MD5Init", "MD5Update", "MD5Final", "MD5Transform"],
+        },
+        Benchmark {
+            file: "mibench/tele/fft.c",
+            source: sources::FFT,
+            table1_functions: &[
+                "IsPowerOfTwo",
+                "NumberOfBitsNeeded",
+                "ReverseBits",
+                "fft_float",
+            ],
+        },
+        Benchmark {
+            file: "certikos/vmm.c",
+            source: sources::CERTIKOS_VMM,
+            table1_functions: &[
+                "palloc",
+                "pfree",
+                "mem_init",
+                "pmap_init",
+                "pt_free",
+                "pt_init",
+                "pt_init_kern",
+                "pt_insert",
+                "pt_read",
+                "pt_resv",
+            ],
+        },
+        Benchmark {
+            file: "certikos/proc.c",
+            source: sources::CERTIKOS_PROC,
+            table1_functions: &[
+                "enqueue",
+                "dequeue",
+                "kctxt_new",
+                "sched_init",
+                "tdqueue_init",
+                "thread_init",
+                "thread_spawn",
+                "main",
+            ],
+        },
+        Benchmark {
+            file: "compcert/mandelbrot.c",
+            source: sources::MANDELBROT,
+            table1_functions: &["main"],
+        },
+        Benchmark {
+            file: "compcert/nbody.c",
+            source: sources::NBODY,
+            table1_functions: &["advance", "energy", "offset_momentum", "setup_bodies", "main"],
+        },
+    ]
+}
+
+/// Finds a Table 1 benchmark by file name.
+pub fn table1_benchmark(file: &str) -> Option<Benchmark> {
+    table1_benchmarks().into_iter().find(|b| b.file == file)
+}
+
+#[cfg(test)]
+mod tests;

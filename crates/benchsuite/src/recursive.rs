@@ -1,0 +1,641 @@
+//! The recursive functions of Table 2, each with its hand-written
+//! quantitative-logic derivation — the counterpart of the paper's
+//! interactive Coq proofs.
+//!
+//! Every case carries: the C source, a symbolic specification per function
+//! (parametric in the metric, like the paper's `M(search)·(2 + log2 Δ)`),
+//! a derivation checked by `qhl::Checker`, and a sweep description used by
+//! the Figure 7 experiment to compare the instantiated bound with the
+//! measured stack consumption of the compiled code.
+
+use qhl::{BExpr, Checker, Context, Derivation, FunSpec, IExpr, Justification, QhlError};
+
+/// A specification + derivation for one function.
+#[derive(Debug, Clone)]
+pub struct FunctionProof {
+    /// Function name.
+    pub name: &'static str,
+    /// The quantitative specification.
+    pub spec: FunSpec,
+    /// The derivation of the body triple.
+    pub derivation: Derivation,
+    /// Justification for the final `pre(body) ≤ spec.pre` obligation.
+    pub final_just: Option<Justification>,
+}
+
+/// One row of Table 2: a recursive function, its proof, and its
+/// experimental sweep.
+pub struct RecursiveCase {
+    /// Headline function (the table row).
+    pub name: &'static str,
+    /// Source file name, as in the paper.
+    pub file: &'static str,
+    /// The C source.
+    pub source: &'static str,
+    /// Proofs for every function the case verifies.
+    pub proofs: Vec<FunctionProof>,
+    /// Human-readable symbolic bound (the Table 2 cell).
+    pub bound_display: &'static str,
+    /// Maps the sweep parameter to the headline function's arguments.
+    pub args_for: fn(i64) -> Vec<i64>,
+    /// Inclusive sweep range for the parameter.
+    pub sweep: (i64, i64),
+}
+
+impl RecursiveCase {
+    /// Builds the function context containing every spec of the case.
+    pub fn context(&self) -> Context {
+        self.proofs
+            .iter()
+            .map(|p| (p.name, p.spec.clone()))
+            .collect()
+    }
+
+    /// The headline function's specification.
+    pub fn spec(&self) -> &FunSpec {
+        &self
+            .proofs
+            .iter()
+            .find(|p| p.name == self.name)
+            .expect("headline proof present")
+            .spec
+    }
+
+    /// Checks every derivation of the case.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing side condition.
+    pub fn check(&self, program: &clight::Program) -> Result<(), QhlError> {
+        let ctx = self.context();
+        let checker = Checker::new(program, &ctx);
+        for p in &self.proofs {
+            checker.check_function(p.name, &p.derivation, p.final_just.as_ref())?;
+        }
+        Ok(())
+    }
+}
+
+fn m(f: &str) -> BExpr {
+    BExpr::metric(f)
+}
+
+fn v(x: &str) -> IExpr {
+    IExpr::var(x)
+}
+
+fn k(n: i64) -> IExpr {
+    IExpr::Const(n)
+}
+
+/// `max(0, a − b)` as a clamped size.
+fn size(a: IExpr, b: IExpr) -> BExpr {
+    BExpr::OfIntClamp(IExpr::sub(a, b))
+}
+
+/// All eight rows of Table 2.
+pub fn recursive_cases() -> Vec<RecursiveCase> {
+    vec![
+        recid(),
+        bsearch(),
+        fib(),
+        qsort(),
+        filter_pos(),
+        sum(),
+        fact_sq(),
+        filter_find(),
+    ]
+}
+
+/// Finds a case by headline name.
+pub fn recursive_case(name: &str) -> Option<RecursiveCase> {
+    recursive_cases().into_iter().find(|c| c.name == name)
+}
+
+// ---- recid ---------------------------------------------------------------------
+
+fn recid() -> RecursiveCase {
+    let source = r#"
+u32 recid(u32 a) {
+    u32 r;
+    if (a <= 1) return a;
+    r = recid(a - 1);
+    return r;
+}
+"#;
+    // Body bound M·max(0, a−1); the bound for calling recid(a) is M·a.
+    let bound = BExpr::mul(m("recid"), size(v("a"), k(1)));
+    let deriv = Derivation::seq(
+        Derivation::Mono, // if (a <= 1) return a;
+        Derivation::seq(
+            Derivation::Conseq {
+                pre: bound.clone(),
+                just: Some(Justification::NumericGuarded {
+                    ranges: vec![("a".into(), 0, 4096, 1)],
+                    // Path condition: a >= 2 on the recursive branch.
+                    guards: vec![IExpr::sub(v("a"), k(2))],
+                }),
+                inner: Box::new(Derivation::call()),
+            },
+            Derivation::Mono, // return r;
+        ),
+    );
+    RecursiveCase {
+        name: "recid",
+        file: "recid.c",
+        source,
+        proofs: vec![FunctionProof {
+            name: "recid",
+            spec: FunSpec::restoring(bound),
+            derivation: deriv,
+            final_just: None,
+        }],
+        bound_display: "M(recid) · a",
+        args_for: |n| vec![n],
+        sweep: (1, 512),
+    }
+}
+
+// ---- bsearch -------------------------------------------------------------------
+
+fn bsearch_proof() -> FunctionProof {
+    // Body bound M·⌈log2(h − l)⌉; calling bsearch costs M·(1 + ⌈log2 Δ⌉),
+    // the integer-halving form of the paper's 40·(1 + log2(hi − lo)).
+    let delta = IExpr::sub(v("h"), v("l"));
+    let bound = BExpr::mul(m("bsearch"), BExpr::Log2Ceil(delta.clone()));
+    let tail = Derivation::Conseq {
+        pre: bound.clone(),
+        just: Some(Justification::NumericGuarded {
+            ranges: vec![("l".into(), 0, 160, 1), ("h".into(), 0, 160, 1)],
+            // Path condition: h − l >= 2 (the guard returned otherwise).
+            guards: vec![IExpr::sub(delta, k(2))],
+        }),
+        inner: Box::new(Derivation::seq(
+            Derivation::Assign, // mid = (h + l) / 2;
+            Derivation::seq(
+                Derivation::If(
+                    Box::new(Derivation::Assign), // h = mid;
+                    Box::new(Derivation::Assign), // l = mid;
+                ),
+                Derivation::seq(Derivation::call(), Derivation::Mono),
+            ),
+        )),
+    };
+    FunctionProof {
+        name: "bsearch",
+        spec: FunSpec::restoring(bound),
+        derivation: Derivation::seq(Derivation::Mono, tail),
+        final_just: None,
+    }
+}
+
+fn bsearch() -> RecursiveCase {
+    let source = r#"
+u32 table[8192];
+
+u32 bsearch(u32 x, u32 l, u32 h) {
+    u32 mid;
+    if (h - l <= 1) return l;
+    mid = (h + l) / 2;
+    if (table[mid] > x) h = mid; else l = mid;
+    return bsearch(x, l, h);
+}
+"#;
+    RecursiveCase {
+        name: "bsearch",
+        file: "bsearch.c",
+        source,
+        proofs: vec![bsearch_proof()],
+        bound_display: "M(bsearch) · (1 + ⌈log2(hi − lo)⌉)",
+        args_for: |n| vec![n / 2, 0, n],
+        sweep: (2, 4096),
+    }
+}
+
+// ---- fib -----------------------------------------------------------------------
+
+fn fib() -> RecursiveCase {
+    let source = r#"
+u32 fib(u32 n) {
+    u32 a;
+    u32 b;
+    if (n < 2) return n;
+    a = fib(n - 1);
+    b = fib(n - 2);
+    return a + b;
+}
+"#;
+    // Body bound M·max(0, n−1); recursion depth of fib(n) is n for n >= 1.
+    let bound = BExpr::mul(m("fib"), size(v("n"), k(1)));
+    let just = Justification::NumericGuarded {
+        ranges: vec![("n".into(), 0, 256, 1)],
+        guards: vec![IExpr::sub(v("n"), k(2))],
+    };
+    let deriv = Derivation::seq(
+        Derivation::Mono, // if (n < 2) return n;
+        Derivation::Conseq {
+            pre: bound.clone(),
+            just: Some(just),
+            inner: Box::new(Derivation::seq(
+                Derivation::call(), // a = fib(n - 1);
+                Derivation::seq(
+                    Derivation::call(), // b = fib(n - 2);
+                    Derivation::Mono,   // return a + b;
+                ),
+            )),
+        },
+    );
+    RecursiveCase {
+        name: "fib",
+        file: "fib.c",
+        source,
+        proofs: vec![FunctionProof {
+            name: "fib",
+            spec: FunSpec::restoring(bound),
+            derivation: deriv,
+            final_just: None,
+        }],
+        bound_display: "M(fib) · n",
+        args_for: |n| vec![n],
+        sweep: (1, 22),
+    }
+}
+
+// ---- qsort ---------------------------------------------------------------------
+
+fn qsort() -> RecursiveCase {
+    let source = r#"
+u32 arr[1024];
+
+void qsort(u32 lo, u32 hi) {
+    u32 p; u32 i; u32 t; u32 pivot;
+    if (hi - lo <= 1) return;
+    pivot = arr[hi - 1];
+    p = lo;
+    for (i = lo; i < hi - 1; i++) {
+        if (arr[i] < pivot) {
+            t = arr[i];
+            arr[i] = arr[p];
+            arr[p] = t;
+            p = p + 1;
+        }
+    }
+    t = arr[p];
+    arr[p] = arr[hi - 1];
+    arr[hi - 1] = t;
+    qsort(lo, p);
+    qsort(p + 1, hi);
+    return;
+}
+"#;
+    // Body bound M·max(0, hi−lo−1): worst-case recursion depth is hi−lo.
+    let bound = BExpr::mul(
+        m("qsort"),
+        size(IExpr::sub(v("hi"), v("lo")), k(1)),
+    );
+    let guards = vec![
+        IExpr::sub(IExpr::sub(v("hi"), v("lo")), k(2)), // hi − lo >= 2
+        IExpr::sub(v("p"), v("lo")),                    // p >= lo
+        IExpr::sub(IExpr::sub(v("hi"), k(1)), v("p")),  // p <= hi − 1
+    ];
+    let ranges = vec![
+        ("lo".into(), 0, 48, 1),
+        ("p".into(), 0, 48, 1),
+        ("hi".into(), 0, 48, 1),
+    ];
+    // The partition loop: guard-if then the swap block (assigns p but the
+    // invariant does not mention p).
+    let loop_deriv = Derivation::Loop {
+        invariant: bound.clone(),
+        just: Some(Justification::NumericGuarded {
+            ranges: ranges.clone(),
+            guards: guards.clone(),
+        }),
+        body: Box::new(Derivation::seq(Derivation::Mono, Derivation::Mono)),
+        incr: Box::new(Derivation::Mono),
+    };
+    // Body (right-nested): if; pivot=; p=lo; (i=lo; loop); t=; arr[p]=;
+    // arr[hi-1]=; qsort(lo,p); qsort(p+1,hi); return — the `for` lowering
+    // sequences its init statement with the loop.
+    let deriv = Derivation::seq(
+        Derivation::Mono, // if (hi - lo <= 1) return;
+        Derivation::seq(
+            Derivation::Mono, // pivot = arr[hi - 1];
+            Derivation::seq(
+                Derivation::Assign, // p = lo;
+                Derivation::seq(
+                    Derivation::seq(Derivation::Mono, loop_deriv), // i = lo; loop
+                    Derivation::seq(
+                        Derivation::Mono, // t = arr[p];
+                        Derivation::seq(
+                            Derivation::Mono, // arr[p] = ...;
+                            Derivation::seq(
+                                Derivation::Mono, // arr[hi-1] = t;
+                                Derivation::Conseq {
+                                    pre: bound.clone(),
+                                    just: Some(Justification::NumericGuarded {
+                                        ranges,
+                                        guards,
+                                    }),
+                                    inner: Box::new(Derivation::seq(
+                                        Derivation::call(), // qsort(lo, p);
+                                        Derivation::seq(
+                                            Derivation::call(), // qsort(p+1, hi);
+                                            Derivation::Mono,   // return;
+                                        ),
+                                    )),
+                                },
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    RecursiveCase {
+        name: "qsort",
+        file: "qsort.c",
+        source,
+        proofs: vec![FunctionProof {
+            name: "qsort",
+            spec: FunSpec::restoring(bound),
+            derivation: deriv,
+            final_just: None,
+        }],
+        bound_display: "M(qsort) · (hi − lo)",
+        args_for: |n| vec![0, n],
+        sweep: (1, 192),
+    }
+}
+
+// ---- filter_pos -----------------------------------------------------------------
+
+fn filter_pos() -> RecursiveCase {
+    let source = r#"
+u32 arr[1024];
+u32 out[1024];
+
+u32 filter_pos(u32 lo, u32 hi) {
+    u32 c;
+    if (hi - lo <= 1) {
+        if (hi - lo == 0) return 0;
+        if (arr[lo] > 0) {
+            out[0] = arr[lo];
+            return 1;
+        }
+        return 0;
+    }
+    c = filter_pos(lo + 1, hi);
+    if (arr[lo] > 0) {
+        out[c] = arr[lo];
+        c = c + 1;
+    }
+    return c;
+}
+"#;
+    let bound = BExpr::mul(
+        m("filter_pos"),
+        size(IExpr::sub(v("hi"), v("lo")), k(1)),
+    );
+    let deriv = Derivation::seq(
+        Derivation::Mono, // the base-case if
+        Derivation::Conseq {
+            pre: bound.clone(),
+            just: Some(Justification::NumericGuarded {
+                ranges: vec![("lo".into(), 0, 96, 1), ("hi".into(), 0, 96, 1)],
+                guards: vec![IExpr::sub(IExpr::sub(v("hi"), v("lo")), k(2))],
+            }),
+            inner: Box::new(Derivation::seq(
+                Derivation::call(), // c = filter_pos(lo + 1, hi);
+                Derivation::seq(
+                    Derivation::Mono, // the filtering if
+                    Derivation::Mono, // return c;
+                ),
+            )),
+        },
+    );
+    RecursiveCase {
+        name: "filter_pos",
+        file: "filter_pos.c",
+        source,
+        proofs: vec![FunctionProof {
+            name: "filter_pos",
+            spec: FunSpec::restoring(bound),
+            derivation: deriv,
+            final_just: None,
+        }],
+        bound_display: "M(filter_pos) · (hi − lo)",
+        args_for: |n| vec![0, n],
+        sweep: (1, 512),
+    }
+}
+
+// ---- sum ------------------------------------------------------------------------
+
+fn sum() -> RecursiveCase {
+    let source = r#"
+u32 arr[1024];
+
+u32 sum(u32 lo, u32 hi) {
+    u32 r;
+    if (hi - lo <= 1) {
+        if (hi - lo == 0) return 0;
+        return arr[lo];
+    }
+    r = sum(lo + 1, hi);
+    return arr[lo] + r;
+}
+"#;
+    // Recursion depth is hi − lo, so the body bound is M·max(0, hi−lo−1)
+    // and calling sum costs M·(hi − lo) — the paper's 32·(hi − lo).
+    let bound = BExpr::mul(m("sum"), size(IExpr::sub(v("hi"), v("lo")), k(1)));
+    let deriv = Derivation::seq(
+        Derivation::Mono,
+        Derivation::Conseq {
+            pre: bound.clone(),
+            just: Some(Justification::NumericGuarded {
+                ranges: vec![("lo".into(), 0, 96, 1), ("hi".into(), 0, 96, 1)],
+                guards: vec![IExpr::sub(IExpr::sub(v("hi"), v("lo")), k(2))],
+            }),
+            inner: Box::new(Derivation::seq(Derivation::call(), Derivation::Mono)),
+        },
+    );
+    RecursiveCase {
+        name: "sum",
+        file: "sum.c",
+        source,
+        proofs: vec![FunctionProof {
+            name: "sum",
+            spec: FunSpec::restoring(bound),
+            derivation: deriv,
+            final_just: None,
+        }],
+        bound_display: "M(sum) · (hi − lo)",
+        args_for: |n| vec![0, n],
+        sweep: (1, 512),
+    }
+}
+
+// ---- fact_sq --------------------------------------------------------------------
+
+fn fact_sq() -> RecursiveCase {
+    let source = r#"
+u32 fact(u32 n) {
+    u32 r;
+    if (n <= 1) return 1;
+    r = fact(n - 1);
+    return n * r;
+}
+
+u32 fact_sq(u32 n) {
+    u32 m2;
+    u32 r;
+    m2 = n * n;
+    r = fact(m2);
+    return r;
+}
+"#;
+    let fact_bound = BExpr::mul(m("fact"), size(v("n"), k(1)));
+    let fact_deriv = Derivation::seq(
+        Derivation::Mono,
+        Derivation::seq(
+            Derivation::Conseq {
+                pre: fact_bound.clone(),
+                just: Some(Justification::NumericGuarded {
+                    ranges: vec![("n".into(), 0, 16384, 3)],
+                    guards: vec![IExpr::sub(v("n"), k(2))],
+                }),
+                inner: Box::new(Derivation::call()),
+            },
+            Derivation::Mono,
+        ),
+    );
+    // fact_sq body bound: M(fact)·max(0, n² − 1) + M(fact) — the call
+    // fact(n·n) plus its own activation; verifying it demonstrates the
+    // modularity of the logic (the paper's point with this example).
+    let n_sq = IExpr::Mul(Box::new(v("n")), Box::new(v("n")));
+    let fact_sq_bound = BExpr::add(
+        BExpr::mul(m("fact"), BExpr::OfIntClamp(IExpr::sub(n_sq, k(1)))),
+        m("fact"),
+    );
+    let fact_sq_deriv = Derivation::seq(
+        Derivation::Assign, // m2 = n * n;
+        Derivation::seq(Derivation::call(), Derivation::Mono),
+    );
+    RecursiveCase {
+        name: "fact_sq",
+        file: "fact_sq.c",
+        source,
+        proofs: vec![
+            FunctionProof {
+                name: "fact",
+                spec: FunSpec::restoring(fact_bound),
+                derivation: fact_deriv,
+                final_just: None,
+            },
+            FunctionProof {
+                name: "fact_sq",
+                spec: FunSpec::restoring(fact_sq_bound),
+                derivation: fact_sq_deriv,
+                final_just: None,
+            },
+        ],
+        bound_display: "M(fact_sq) + M(fact) · n²",
+        args_for: |n| vec![n],
+        sweep: (1, 100),
+    }
+}
+
+// ---- filter_find ----------------------------------------------------------------
+
+fn filter_find() -> RecursiveCase {
+    let source = r#"
+u32 table[8192];
+u32 arr[1024];
+u32 found[1024];
+
+u32 bsearch(u32 x, u32 l, u32 h) {
+    u32 mid;
+    if (h - l <= 1) return l;
+    mid = (h + l) / 2;
+    if (table[mid] > x) h = mid; else l = mid;
+    return bsearch(x, l, h);
+}
+
+u32 filter_find(u32 bl, u32 lo, u32 hi) {
+    u32 c;
+    u32 idx;
+    if (hi - lo == 0) return 0;
+    c = 0;
+    if (hi - lo > 1) {
+        c = filter_find(bl, lo + 1, hi);
+    }
+    idx = bsearch(arr[lo], 0, bl);
+    if (table[idx] == arr[lo]) {
+        found[c] = arr[lo];
+        c = c + 1;
+    }
+    return c;
+}
+"#;
+    // At the deepest point the whole filter_find chain is live *and* a
+    // bsearch tower sits on top:
+    //   M(ff)·max(0, hi−lo−1) + M(bs)·(1 + ⌈log2 bl⌉).
+    let ff_delta = size(IExpr::sub(v("hi"), v("lo")), k(1));
+    let bs_cost = BExpr::add(
+        BExpr::mul(m("bsearch"), BExpr::Log2Ceil(IExpr::sub(v("bl"), k(0)))),
+        m("bsearch"),
+    );
+    let bound = BExpr::add(BExpr::mul(m("filter_find"), ff_delta), bs_cost);
+    let ranges = vec![
+        ("bl".into(), 1, 64, 1),
+        ("lo".into(), 0, 40, 1),
+        ("hi".into(), 0, 40, 1),
+    ];
+    // The recursive call only runs when hi − lo >= 2, so its Conseq sits
+    // inside the then-branch with that path condition.
+    let rec_call = Derivation::If(
+        Box::new(Derivation::Conseq {
+            pre: bound.clone(),
+            just: Some(Justification::NumericGuarded {
+                ranges,
+                guards: vec![IExpr::sub(IExpr::sub(v("hi"), v("lo")), k(2))],
+            }),
+            inner: Box::new(Derivation::call()),
+        }),
+        Box::new(Derivation::Mono),
+    );
+    let deriv = Derivation::seq(
+        Derivation::Mono, // if (hi - lo == 0) return 0;
+        Derivation::seq(
+            Derivation::Mono, // c = 0;
+            Derivation::seq(
+                rec_call,
+                Derivation::seq(
+                    Derivation::call(), // idx = bsearch(arr[lo], 0, bl);
+                    Derivation::seq(
+                        Derivation::Mono, // the filtering if
+                        Derivation::Mono, // return c;
+                    ),
+                ),
+            ),
+        ),
+    );
+    RecursiveCase {
+        name: "filter_find",
+        file: "filter_find.c",
+        source,
+        proofs: vec![
+            bsearch_proof(),
+            FunctionProof {
+                name: "filter_find",
+                spec: FunSpec::restoring(bound),
+                derivation: deriv,
+                final_just: None,
+            },
+        ],
+        bound_display: "M(filter_find) · (hi − lo) + M(bsearch) · (1 + ⌈log2 BL⌉)",
+        args_for: |n| vec![64, 0, n],
+        sweep: (1, 256),
+    }
+}

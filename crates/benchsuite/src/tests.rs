@@ -1,0 +1,250 @@
+use crate::{extra_benchmarks, recursive_cases, table1_benchmarks};
+use qhl::validate_spec;
+
+const FUEL: u64 = 80_000_000;
+
+// ---- Table 1 benchmarks --------------------------------------------------------
+
+#[test]
+fn all_table1_benchmarks_parse_and_typecheck() {
+    for b in table1_benchmarks() {
+        let p = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.file));
+        for f in b.table1_functions {
+            assert!(
+                p.function(f).is_some(),
+                "{}: Table 1 function `{f}` missing",
+                b.file
+            );
+        }
+    }
+}
+
+#[test]
+fn all_table1_benchmarks_run_to_completion() {
+    for b in table1_benchmarks() {
+        let p = b.program().unwrap();
+        let behavior = clight::Executor::run_main(&p, FUEL);
+        assert!(
+            behavior.converges(),
+            "{}: {behavior}",
+            b.file
+        );
+        assert_eq!(behavior.trace().check_bracketing(), Some(0), "{}", b.file);
+    }
+}
+
+#[test]
+fn all_table1_benchmarks_are_analyzable() {
+    for b in table1_benchmarks() {
+        let p = b.program().unwrap();
+        let analysis = analyzer::analyze(&p)
+            .unwrap_or_else(|e| panic!("{}: analyzer failed: {e}", b.file));
+        analysis
+            .check(&p)
+            .unwrap_or_else(|e| panic!("{}: derivation check failed: {e}", b.file));
+    }
+}
+
+#[test]
+fn table1_benchmarks_compile_and_respect_bounds() {
+    for b in table1_benchmarks() {
+        let p = b.program().unwrap();
+        let analysis = analyzer::analyze(&p).unwrap();
+        let compiled = compiler::compile(&p)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.file));
+        let bound = analysis
+            .concrete_bound("main", &compiled.metric)
+            .unwrap_or_else(|| panic!("{}: no main bound", b.file));
+        let m = asm::measure_main(&compiled.asm, bound as u32, FUEL)
+            .unwrap_or_else(|e| panic!("{}: machine setup failed: {e}", b.file));
+        assert!(
+            m.behavior.converges(),
+            "{}: asm behavior {}",
+            b.file,
+            m.behavior
+        );
+        // Theorem 1: no overflow at the verified bound; the paper's §6
+        // observation: bounds over-approximate by exactly 4 bytes.
+        assert!(!m.overflowed(), "{}", b.file);
+        assert_eq!(
+            bound,
+            f64::from(m.stack_usage + 4),
+            "{}: bound vs measured mismatch",
+            b.file
+        );
+    }
+}
+
+#[test]
+fn table1_results_agree_between_source_and_asm() {
+    for b in table1_benchmarks() {
+        let p = b.program().unwrap();
+        let src = clight::Executor::run_main(&p, FUEL);
+        let compiled = compiler::compile(&p).unwrap();
+        let m = asm::measure_main(&compiled.asm, 1 << 20, FUEL).unwrap();
+        assert_eq!(
+            src.return_code(),
+            m.result(),
+            "{}: source {src} vs asm {}",
+            b.file,
+            m.behavior
+        );
+    }
+}
+
+#[test]
+fn benchmark_registry_lookup() {
+    assert!(crate::table1_benchmark("certikos/vmm.c").is_some());
+    assert!(crate::table1_benchmark("nonexistent.c").is_none());
+    for b in table1_benchmarks() {
+        assert!(b.loc() > 0);
+    }
+}
+
+// ---- Table 2 recursive cases ------------------------------------------------------
+
+#[test]
+fn all_recursive_derivations_check() {
+    for case in recursive_cases() {
+        let p = clight::frontend(case.source, &[])
+            .unwrap_or_else(|e| panic!("{}: {e}", case.file));
+        case.check(&p)
+            .unwrap_or_else(|e| panic!("{}: derivation rejected: {e}", case.file));
+    }
+}
+
+#[test]
+fn recursive_bounds_are_sound_on_sweeps() {
+    for case in recursive_cases() {
+        let p = clight::frontend(case.source, &[]).unwrap();
+        let compiled = compiler::compile(&p).unwrap();
+        let spec = case.spec();
+        let (lo, hi) = case.sweep;
+        // A handful of points across the sweep, including both ends.
+        let points = [lo, (lo + hi) / 2, hi];
+        for n in points {
+            let args = (case.args_for)(n);
+            let v = validate_spec(&p, case.name, spec, &args, &compiled.metric, FUEL)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.file));
+            assert!(
+                v.behavior.converges(),
+                "{} n={n}: {}",
+                case.file,
+                v.behavior
+            );
+            assert!(
+                v.sound(),
+                "{} n={n}: bound {} < weight {}",
+                case.file,
+                v.bound,
+                v.weight
+            );
+        }
+    }
+}
+
+#[test]
+fn recursive_bounds_are_exactly_measured_plus_4() {
+    // The worst-case paths of these benchmarks are realized by their
+    // sweep inputs, so the bound is *tight*: measured + 4.
+    for case in recursive_cases() {
+        let p = clight::frontend(case.source, &[]).unwrap();
+        let compiled = compiler::compile(&p).unwrap();
+        let spec = case.spec();
+        let n = case.sweep.1 / 2 + 1;
+        let args = (case.args_for)(n);
+        let v = validate_spec(&p, case.name, spec, &args, &compiled.metric, FUEL).unwrap();
+        let uargs: Vec<u32> = args.iter().map(|a| *a as u32).collect();
+        let m = asm::measure_function(&compiled.asm, case.name, &uargs, 1 << 22, FUEL)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.file));
+        assert!(m.behavior.converges(), "{}: {}", case.file, m.behavior);
+        let bound = v.bound.finite().unwrap_or_else(|| panic!("{}: infinite bound", case.file));
+        assert_eq!(
+            bound,
+            f64::from(m.stack_usage + 4),
+            "{} (n = {n}): bound vs measured + 4",
+            case.file
+        );
+    }
+}
+
+#[test]
+fn recursive_asm_results_match_source() {
+    for case in recursive_cases() {
+        let p = clight::frontend(case.source, &[]).unwrap();
+        let compiled = compiler::compile(&p).unwrap();
+        let n = case.sweep.0.max(3);
+        let args = (case.args_for)(n);
+        let vals: Vec<mem::Value> = args.iter().map(|a| mem::Value::Int(*a as u32)).collect();
+        let src = clight::Executor::run_function(&p, case.name, vals, FUEL);
+        let uargs: Vec<u32> = args.iter().map(|a| *a as u32).collect();
+        let m = asm::measure_function(&compiled.asm, case.name, &uargs, 1 << 22, FUEL).unwrap();
+        assert_eq!(src.return_code(), m.result(), "{}", case.file);
+    }
+}
+
+#[test]
+fn wrong_bounds_for_recursive_cases_are_rejected() {
+    // Halving any bound must make its derivation fail to check.
+    for case in recursive_cases() {
+        let p = clight::frontend(case.source, &[]).unwrap();
+        let mut ctx = case.context();
+        let headline = case.spec().clone();
+        let halved = qhl::FunSpec::restoring(qhl::BExpr::mul(
+            qhl::BExpr::Const(0.4),
+            headline.pre.clone(),
+        ));
+        ctx.insert(case.name, halved);
+        let checker = qhl::Checker::new(&p, &ctx);
+        let proof = case
+            .proofs
+            .iter()
+            .find(|pr| pr.name == case.name)
+            .unwrap();
+        assert!(
+            checker
+                .check_function(case.name, &proof.derivation, proof.final_just.as_ref())
+                .is_err(),
+            "{}: halved bound was accepted",
+            case.file
+        );
+    }
+}
+
+
+// ---- extra benchmarks (beyond Table 1) --------------------------------------------
+
+#[test]
+fn extra_benchmarks_run_the_full_pipeline() {
+    for b in extra_benchmarks() {
+        let p = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.file));
+        let analysis = analyzer::analyze(&p)
+            .unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
+        analysis
+            .check(&p)
+            .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
+        let compiled = compiler::compile(&p).unwrap_or_else(|e| panic!("{}: {e}", b.file));
+        let bound = analysis.concrete_bound("main", &compiled.metric).unwrap() as u32;
+        let m = asm::measure_main(&compiled.asm, bound, FUEL)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.file));
+        assert!(m.behavior.converges(), "{}: {}", b.file, m.behavior);
+        assert_eq!(bound, m.stack_usage + 4, "{}", b.file);
+        // Agreement with the source interpreter.
+        let src = clight::Executor::run_main(&p, FUEL);
+        assert_eq!(src.return_code(), m.result(), "{}", b.file);
+    }
+}
+
+#[test]
+fn every_benchmark_roundtrips_through_the_pretty_printer() {
+    for b in table1_benchmarks().into_iter().chain(extra_benchmarks()) {
+        let p1 = b.program().unwrap();
+        let printed = clight::pretty::print_program(&p1);
+        let p2 = clight::frontend(&printed, &[])
+            .unwrap_or_else(|e| panic!("{}: reparse: {e}", b.file));
+        let b1 = clight::Executor::run_main(&p1, FUEL);
+        let b2 = clight::Executor::run_main(&p2, FUEL);
+        assert_eq!(b1.return_code(), b2.return_code(), "{}", b.file);
+        assert_eq!(b1.trace().events(), b2.trace().events(), "{}", b.file);
+    }
+}

@@ -1,0 +1,274 @@
+//! Lexer for the C subset accepted by the front end.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(u32),
+    /// Punctuation or operator, e.g. `"<<="` or `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Punct(p) => write!(f, "{p}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source line (1-based), for error messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|",
+    "^", "~", "?", ":", ";", ",", "(", ")", "{", "}", "[", "]",
+];
+
+/// Tokenizes `src`, skipping whitespace, `//` line comments, `/* */` block
+/// comments, and `#` preprocessor lines (the benchmark ports keep their
+/// `#define`-free form, so preprocessor lines are treated as comments).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or stray characters.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments and preprocessor lines.
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' || c == b'#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start_line = line;
+            i += 2;
+            while i + 1 < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    continue 'outer;
+                }
+                i += 1;
+            }
+            return Err(LexError {
+                message: "unterminated block comment".into(),
+                line: start_line,
+            });
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(SpannedToken {
+                token: Token::Ident(src[start..i].to_owned()),
+                line,
+            });
+            continue;
+        }
+        // Integer literals.
+        if c.is_ascii_digit() {
+            let start = i;
+            let (radix, digits_start) =
+                if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                    i += 2;
+                    (16, i)
+                } else {
+                    (10, i)
+                };
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let mut text = &src[digits_start..i];
+            // Allow C suffixes u/U/l/L.
+            while let Some(stripped) = text
+                .strip_suffix(['u', 'U', 'l', 'L'])
+            {
+                text = stripped;
+            }
+            let value = u32::from_str_radix(text, radix).map_err(|_| LexError {
+                message: format!("malformed integer literal `{}`", &src[start..i]),
+                line,
+            })?;
+            out.push(SpannedToken {
+                token: Token::Int(value),
+                line,
+            });
+            continue;
+        }
+        // Character literals appear in a couple of MiBench ports; treat as int.
+        if c == b'\'' {
+            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                out.push(SpannedToken {
+                    token: Token::Int(u32::from(bytes[i + 1])),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            return Err(LexError {
+                message: "unsupported character literal".into(),
+                line,
+            });
+        }
+        // Punctuation, longest match first.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(SpannedToken {
+                    token: Token::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected character `{}`", c as char),
+            line,
+        });
+    }
+    out.push(SpannedToken {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            toks("foo 42 0x2A bar_9"),
+            vec![
+                Token::Ident("foo".into()),
+                Token::Int(42),
+                Token::Int(42),
+                Token::Ident("bar_9".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_suffixed_literals() {
+        assert_eq!(toks("10u 10UL")[0], Token::Int(10));
+        assert_eq!(toks("10u 10UL")[1], Token::Int(10));
+    }
+
+    #[test]
+    fn maximal_munch_on_operators() {
+        assert_eq!(
+            toks("a <<= b << c <= d < e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<="),
+                Token::Ident("b".into()),
+                Token::Punct("<<"),
+                Token::Ident("c".into()),
+                Token::Punct("<="),
+                Token::Ident("d".into()),
+                Token::Punct("<"),
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        let src = "a // comment\n#define X 1\nb /* multi\nline */ c";
+        assert_eq!(
+            toks(src),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let ts = tokenize("a\nb\n  c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn char_literal_is_int() {
+        assert_eq!(toks("'A'")[0], Token::Int(65));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("a @ b").is_err());
+        assert!(tokenize("0xZZ").is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! CompCert Clight for `stackbound`: a C-subset front end (lexer, parser,
+//! type checker) and the paper's continuation-based small-step semantics
+//! with `call`/`ret` memory events (§4 of *End-to-End Verification of
+//! Stack-Space Bounds for C Programs*, PLDI 2014).
+//!
+//! The accepted language matches the paper's benchmarks: `u32`/`int`
+//! scalars, one-dimensional arrays, pointers to scalars, side-effect-free
+//! expressions, structured control flow (`if`, `while`, `for`, `do`,
+//! `break`, `continue`, `return`), and function calls in statement
+//! position. `switch` is accepted in its break-terminated form and lowered
+//! to if-else chains (Quantitative CompCert supports `switch` even though
+//! the paper's logic does not, §4.4). `goto`, function pointers, and
+//! variable-length arrays are not supported — the same restrictions as
+//! the paper's logic subset and (for VLAs) Quantitative CompCert itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use trace::Metric;
+//!
+//! let src = "
+//!     u32 g(u32 x) { return x * 2; }
+//!     int main() { u32 r; r = g(21); return r; }
+//! ";
+//! let mut program = clight::parse(src)?;
+//! clight::typecheck(&mut program)?;
+//! let behavior = clight::Executor::run_main(&program, 1_000_000);
+//! assert_eq!(behavior.return_code(), Some(42));
+//!
+//! // Weigh the trace under a metric assigning frame sizes to functions.
+//! let metric = Metric::from_pairs([("main", 16u32), ("g", 8)]);
+//! assert_eq!(behavior.trace().weight(&metric), 24);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lex;
+mod parse;
+pub mod pretty;
+mod sem;
+mod typecheck;
+mod types;
+
+pub use ast::{Expr, External, Function, GlobalVar, LocalVar, Program, Stmt};
+pub use lex::{tokenize, LexError, Token};
+pub use parse::{const_eval, parse, parse_with_params, ParseError};
+pub use sem::{io_result, Executor, GlobalEnv, RuntimeError};
+pub use typecheck::{typecheck, TypeError};
+pub use types::Ty;
+
+/// Parses and type-checks in one call; the common front-end entry point.
+///
+/// # Errors
+///
+/// Returns the parse or type error message.
+///
+/// # Examples
+///
+/// ```
+/// let program = clight::frontend("int main() { return 7; }", &[]).unwrap();
+/// assert_eq!(program.functions.len(), 1);
+/// ```
+pub fn frontend(src: &str, params: &[(&str, u32)]) -> Result<Program, String> {
+    let mut p = parse_with_params(src, params).map_err(|e| e.to_string())?;
+    typecheck(&mut p).map_err(|e| e.to_string())?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests;

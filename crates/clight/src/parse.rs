@@ -1,0 +1,1105 @@
+//! Recursive-descent parser for the C subset, lowering to Clight.
+//!
+//! The parser performs the same lowerings as CompCert's `SimplExpr` /
+//! front end: `while`/`for` become `Sloop`, short-circuit `&&`/`||` become
+//! pure conditional expressions (legal because our expressions are
+//! side-effect free), compound assignments and `++`/`--` become plain
+//! assignments, and declarations with initializers become declarations
+//! plus assignment statements.
+//!
+//! Compile-time parameters (the paper's `ALEN`/`SEED` section hypotheses)
+//! are injected via [`parse_with_params`]: identifiers bound there act as
+//! integer constants, so a benchmark can be re-elaborated for each
+//! parameter value exactly like re-instantiating a Coq section.
+
+use crate::ast::{External, Function, GlobalVar, LocalVar, Program, Stmt};
+use crate::lex::{tokenize, SpannedToken, Token};
+use crate::{Expr, Ty};
+use mem::{Binop, Unop};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lex::LexError> for ParseError {
+    fn from(e: crate::lex::LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses a C translation unit into a Clight [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// let p = clight::parse("u32 f(u32 x) { return x + 1; } int main() { return 0; }").unwrap();
+/// assert_eq!(p.functions.len(), 2);
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    parse_with_params(src, &[])
+}
+
+/// Parses with compile-time integer parameters in scope (see module docs).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// let p = clight::parse_with_params("u32 a[ALEN]; int main() { return 0; }",
+///                                   &[("ALEN", 16)]).unwrap();
+/// assert_eq!(p.globals[0].ty.size(), 64);
+/// ```
+pub fn parse_with_params(src: &str, params: &[(&str, u32)]) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    // `u32` is predeclared (every benchmark starts from the paper's
+    // `typedef unsigned int u32;`, which is also accepted explicitly).
+    let mut typedefs = HashMap::new();
+    typedefs.insert("u32".to_owned(), Ty::U32);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        typedefs,
+        consts: params
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect(),
+        program: Program::default(),
+        temp_counter: 0,
+    };
+    p.translation_unit()?;
+    Ok(p.program)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    typedefs: HashMap<String, Ty>,
+    consts: HashMap<String, u32>,
+    program: Program,
+    temp_counter: u32,
+}
+
+/// Locals collected while parsing one function body.
+struct FnCtx {
+    locals: Vec<LocalVar>,
+    names: HashSet<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(q) if *q == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // ---- types ------------------------------------------------------------
+
+    /// True when the upcoming tokens start a type.
+    fn at_type(&self) -> bool {
+        match self.peek() {
+            Token::Ident(s) => {
+                matches!(s.as_str(), "unsigned" | "int" | "void" | "const")
+                    || self.typedefs.contains_key(s)
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses a base type followed by `*` suffixes. Returns `None` for void.
+    fn parse_type(&mut self) -> Result<Option<Ty>, ParseError> {
+        self.eat_kw("const");
+        let base = if self.eat_kw("void") {
+            None
+        } else if self.eat_kw("unsigned") {
+            self.eat_kw("int");
+            Some(Ty::U32)
+        } else if self.eat_kw("int") {
+            Some(Ty::I32)
+        } else if let Token::Ident(s) = self.peek() {
+            let s = s.clone();
+            match self.typedefs.get(&s) {
+                Some(ty) => {
+                    let ty = ty.clone();
+                    self.next();
+                    Some(ty)
+                }
+                None => return self.err(format!("unknown type `{s}`")),
+            }
+        } else {
+            return self.err(format!("expected type, found `{}`", self.peek()));
+        };
+        let mut ty = base;
+        while self.eat_punct("*") {
+            match ty {
+                Some(t) => ty = Some(Ty::Ptr(Box::new(t))),
+                None => return self.err("pointer to void is not supported"),
+            }
+        }
+        Ok(ty)
+    }
+
+    // ---- top level ----------------------------------------------------------
+
+    fn translation_unit(&mut self) -> Result<(), ParseError> {
+        while !matches!(self.peek(), Token::Eof) {
+            if self.eat_kw("typedef") {
+                let ty = self
+                    .parse_type()?
+                    .ok_or_else(|| ParseError {
+                        message: "typedef of void".into(),
+                        line: self.line(),
+                    })?;
+                let name = self.expect_ident()?;
+                self.expect_punct(";")?;
+                self.typedefs.insert(name, ty);
+                continue;
+            }
+            if self.eat_kw("extern") {
+                let ret = self.parse_type()?;
+                let name = self.expect_ident()?;
+                self.expect_punct("(")?;
+                let mut arity = 0;
+                if !self.eat_punct(")") {
+                    loop {
+                        if self.eat_kw("void") && matches!(self.peek(), Token::Punct(")")) {
+                            // `(void)` parameter list
+                        } else {
+                            self.parse_type()?;
+                            // Optional parameter name.
+                            if matches!(self.peek(), Token::Ident(_)) {
+                                self.next();
+                            }
+                            arity += 1;
+                        }
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                self.expect_punct(";")?;
+                self.program.externals.push(External { name, ret, arity });
+                continue;
+            }
+            // `enum { A = 1, B = 2 };` defines compile-time constants.
+            if self.eat_kw("enum") {
+                self.expect_punct("{")?;
+                let mut next_value = 0u32;
+                loop {
+                    let name = self.expect_ident()?;
+                    if self.eat_punct("=") {
+                        let e = self.ternary(None)?;
+                        next_value = self.const_eval(&e)?;
+                    }
+                    self.consts.insert(name, next_value);
+                    next_value = next_value.wrapping_add(1);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if matches!(self.peek(), Token::Punct("}")) {
+                        break;
+                    }
+                }
+                self.expect_punct("}")?;
+                self.expect_punct(";")?;
+                continue;
+            }
+            let is_const = matches!(self.peek(), Token::Ident(s) if s == "const");
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            if matches!(self.peek(), Token::Punct("(")) {
+                self.function_def(ty, name)?;
+            } else {
+                self.global_def(ty, name, is_const)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses one global declarator; a trailing comma continues with the
+    /// next declarator of the same base type.
+    fn global_def(&mut self, ty: Option<Ty>, name: String, is_const: bool) -> Result<(), ParseError> {
+        let ty = match ty {
+            Some(t) => t,
+            None => return self.err("global of type void"),
+        };
+        let mut gty = ty.clone();
+        if self.eat_punct("[") {
+            let e = self.ternary(None)?;
+            let n = self.const_eval(&e)?;
+            self.expect_punct("]")?;
+            gty = Ty::Array(Box::new(gty), n);
+        }
+        let mut init = Vec::new();
+        if self.eat_punct("=") {
+            if self.eat_punct("{") {
+                while !matches!(self.peek(), Token::Punct("}")) {
+                    let e = self.ternary(None)?;
+                    init.push(self.const_eval(&e)?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct("}")?;
+            } else {
+                let e = self.ternary(None)?;
+                let v = self.const_eval(&e)?;
+                if is_const && gty.is_integer() {
+                    // `const u32 N = 17;` acts as a compile-time constant
+                    // and does not become a runtime global.
+                    self.consts.insert(name, v);
+                    if !self.eat_punct(",") {
+                        return self.expect_punct(";");
+                    }
+                    let next = self.expect_ident()?;
+                    return self.global_def(Some(ty), next, is_const);
+                }
+                init.push(v);
+            }
+        }
+        self.program.globals.push(GlobalVar { name, ty: gty, init });
+        if self.eat_punct(",") {
+            let next = self.expect_ident()?;
+            return self.global_def(Some(ty), next, is_const);
+        }
+        self.expect_punct(";")
+    }
+
+    fn function_def(&mut self, ret: Option<Ty>, name: String) -> Result<(), ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                if self.eat_kw("void") && matches!(self.peek(), Token::Punct(")")) {
+                    // `f(void)`
+                } else {
+                    let ty = self
+                        .parse_type()?
+                        .ok_or_else(|| ParseError {
+                            message: "void parameter".into(),
+                            line: self.line(),
+                        })?;
+                    let pname = self.expect_ident()?;
+                    // `u32 a[]` parameter decays to pointer.
+                    let ty = if self.eat_punct("[") {
+                        self.expect_punct("]")?;
+                        Ty::Ptr(Box::new(ty))
+                    } else {
+                        ty
+                    };
+                    params.push(LocalVar { name: pname, ty });
+                }
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        let mut ctx = FnCtx {
+            locals: Vec::new(),
+            names: params.iter().map(|p| p.name.clone()).collect(),
+        };
+        let body = self.block(&mut ctx)?;
+        self.program.functions.push(Function {
+            name,
+            ret,
+            params,
+            locals: ctx.locals,
+            body: Rc::new(body),
+            addressable: HashSet::new(),
+        });
+        Ok(())
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn block(&mut self, ctx: &mut FnCtx) -> Result<Stmt, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.statement(ctx)?);
+        }
+        Ok(Stmt::block(stmts))
+    }
+
+    fn fresh_temp(&mut self, ctx: &mut FnCtx, ty: Ty) -> String {
+        loop {
+            let name = format!("__t{}", self.temp_counter);
+            self.temp_counter += 1;
+            if ctx.names.insert(name.clone()) {
+                ctx.locals.push(LocalVar {
+                    name: name.clone(),
+                    ty,
+                });
+                return name;
+            }
+        }
+    }
+
+    fn statement(&mut self, ctx: &mut FnCtx) -> Result<Stmt, ParseError> {
+        // Declarations.
+        if self.at_type() {
+            return self.declaration(ctx);
+        }
+        match self.peek().clone() {
+            Token::Punct(";") => {
+                self.next();
+                Ok(Stmt::Skip)
+            }
+            Token::Punct("{") => self.block(ctx),
+            Token::Ident(kw) if kw == "if" => {
+                self.next();
+                self.expect_punct("(")?;
+                let cond = self.expression(Some(ctx))?;
+                self.expect_punct(")")?;
+                let then = self.statement(ctx)?;
+                let els = if self.eat_kw("else") {
+                    self.statement(ctx)?
+                } else {
+                    Stmt::Skip
+                };
+                Ok(Stmt::If(cond, Rc::new(then), Rc::new(els)))
+            }
+            Token::Ident(kw) if kw == "while" => {
+                self.next();
+                self.expect_punct("(")?;
+                let cond = self.expression(Some(ctx))?;
+                self.expect_punct(")")?;
+                let body = self.statement(ctx)?;
+                let guarded = Stmt::seq(
+                    Stmt::If(cond, Rc::new(Stmt::Skip), Rc::new(Stmt::Break)),
+                    body,
+                );
+                Ok(Stmt::Loop(Rc::new(guarded), Rc::new(Stmt::Skip)))
+            }
+            Token::Ident(kw) if kw == "do" => {
+                self.next();
+                let body = self.statement(ctx)?;
+                if !self.eat_kw("while") {
+                    return self.err("expected `while` after do-body");
+                }
+                self.expect_punct("(")?;
+                let cond = self.expression(Some(ctx))?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                let guarded = Stmt::seq(
+                    body,
+                    Stmt::If(cond, Rc::new(Stmt::Skip), Rc::new(Stmt::Break)),
+                );
+                Ok(Stmt::Loop(Rc::new(guarded), Rc::new(Stmt::Skip)))
+            }
+            Token::Ident(kw) if kw == "for" => {
+                self.next();
+                self.expect_punct("(")?;
+                let init = if matches!(self.peek(), Token::Punct(";")) {
+                    self.next();
+                    Stmt::Skip
+                } else if self.at_type() {
+                    self.declaration(ctx)?
+                } else {
+                    let s = self.expr_statement(ctx)?;
+                    self.expect_punct(";")?;
+                    s
+                };
+                let cond = if matches!(self.peek(), Token::Punct(";")) {
+                    Expr::uint(1)
+                } else {
+                    self.expression(Some(ctx))?
+                };
+                self.expect_punct(";")?;
+                let step = if matches!(self.peek(), Token::Punct(")")) {
+                    Stmt::Skip
+                } else {
+                    self.expr_statement(ctx)?
+                };
+                self.expect_punct(")")?;
+                let body = self.statement(ctx)?;
+                let guarded = Stmt::seq(
+                    Stmt::If(cond, Rc::new(Stmt::Skip), Rc::new(Stmt::Break)),
+                    body,
+                );
+                Ok(Stmt::seq(init, Stmt::Loop(Rc::new(guarded), Rc::new(step))))
+            }
+            Token::Ident(kw) if kw == "switch" => {
+                self.next();
+                self.parse_switch(ctx)
+            }
+            Token::Ident(kw) if kw == "return" => {
+                self.next();
+                let e = if matches!(self.peek(), Token::Punct(";")) {
+                    None
+                } else {
+                    Some(self.expression(Some(ctx))?)
+                };
+                self.expect_punct(";")?;
+                // `return f(args);` becomes `tmp = f(args); return tmp;`.
+                if let Some(Expr::Call0(fname, args)) = e {
+                    let tmp = self.fresh_temp(ctx, Ty::U32);
+                    return Ok(Stmt::seq(
+                        Stmt::Call(Some(tmp.clone()), fname, args),
+                        Stmt::Return(Some(Expr::Var(tmp))),
+                    ));
+                }
+                Ok(Stmt::Return(e))
+            }
+            Token::Ident(kw) if kw == "break" => {
+                self.next();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            Token::Ident(kw) if kw == "continue" => {
+                self.next();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let s = self.expr_statement(ctx)?;
+                self.expect_punct(";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Parses a `switch` statement and lowers it to an if-else chain.
+    ///
+    /// Quantitative CompCert supports `switch` even though the paper's
+    /// logic does not (§4.4); we support the break-terminated fragment:
+    /// every non-empty case body must end in `break` or `return` (empty
+    /// bodies group their labels with the next case). Fallthrough into a
+    /// non-empty body is rejected.
+    fn parse_switch(&mut self, ctx: &mut FnCtx) -> Result<Stmt, ParseError> {
+        self.expect_punct("(")?;
+        let scrutinee = self.expression(Some(ctx))?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        // Collect (labels, body) groups.
+        let mut arms: Vec<(Vec<u32>, Vec<Stmt>)> = Vec::new();
+        let mut default: Option<Vec<Stmt>> = None;
+        let mut labels: Vec<u32> = Vec::new();
+        let mut in_default = false;
+        let mut body: Vec<Stmt> = Vec::new();
+        loop {
+            let at_case = matches!(self.peek(), Token::Ident(k) if k == "case");
+            let at_default = matches!(self.peek(), Token::Ident(k) if k == "default");
+            let at_end = matches!(self.peek(), Token::Punct("}"));
+            if at_case || at_default || at_end {
+                // Close the previous group, if it had a body.
+                if !body.is_empty() || in_default {
+                    // Strip the mandatory trailing break; bodies that never
+                    // fall through (every path returns) are fine as-is.
+                    match body.last() {
+                        Some(Stmt::Break) => {
+                            body.pop();
+                        }
+                        Some(last) if never_falls_through(last) => {}
+                        _ if at_end && in_default => {}
+                        _ => {
+                            return self.err(
+                                "switch case must end in `break` or `return` \
+                                 (fallthrough is not supported)",
+                            )
+                        }
+                    }
+                    if in_default {
+                        if default.is_some() {
+                            return self.err("duplicate `default` in switch");
+                        }
+                        default = Some(std::mem::take(&mut body));
+                    } else {
+                        arms.push((std::mem::take(&mut labels), std::mem::take(&mut body)));
+                    }
+                    in_default = false;
+                } else if at_end && !labels.is_empty() {
+                    return self.err("trailing case labels with no body in switch");
+                }
+                if at_end {
+                    self.next();
+                    break;
+                }
+                if at_case {
+                    self.next();
+                    let e = self.ternary(Some(ctx))?;
+                    labels.push(self.const_eval(&e)?);
+                    self.expect_punct(":")?;
+                } else {
+                    self.next();
+                    self.expect_punct(":")?;
+                    if !labels.is_empty() {
+                        return self.err(
+                            "case labels grouped with `default` are not supported",
+                        );
+                    }
+                    in_default = true;
+                }
+                continue;
+            }
+            body.push(self.statement(ctx)?);
+        }
+        // Lower to an if-else chain on a temporary holding the scrutinee.
+        let tmp = self.fresh_temp(ctx, Ty::U32);
+        let mut chain = default.map(Stmt::block).unwrap_or(Stmt::Skip);
+        for (labels, body) in arms.into_iter().rev() {
+            let mut cond: Option<Expr> = None;
+            for l in labels {
+                let test = Expr::binop(Binop::Eq, Expr::Var(tmp.clone()), Expr::uint(l));
+                cond = Some(match cond {
+                    None => test,
+                    Some(c) => Expr::Cond(
+                        Box::new(c),
+                        Box::new(Expr::uint(1)),
+                        Box::new(test),
+                    ),
+                });
+            }
+            let cond = cond.ok_or_else(|| ParseError {
+                message: "case body with no labels in switch".into(),
+                line: self.line(),
+            })?;
+            chain = Stmt::If(cond, Rc::new(Stmt::block(body)), Rc::new(chain));
+        }
+        Ok(Stmt::seq(Stmt::Assign(Expr::Var(tmp), scrutinee), chain))
+    }
+
+    fn declaration(&mut self, ctx: &mut FnCtx) -> Result<Stmt, ParseError> {
+        let base = self
+            .parse_type()?
+            .ok_or_else(|| ParseError {
+                message: "declaration of void variable".into(),
+                line: self.line(),
+            })?;
+        let mut stmts = Vec::new();
+        loop {
+            let mut ty = base.clone();
+            while self.eat_punct("*") {
+                ty = Ty::Ptr(Box::new(ty));
+            }
+            let name = self.expect_ident()?;
+            if self.eat_punct("[") {
+                let e = self.ternary(Some(ctx))?;
+                let n = self.const_eval(&e)?;
+                self.expect_punct("]")?;
+                ty = Ty::Array(Box::new(ty), n);
+            }
+            if !ctx.names.insert(name.clone()) {
+                return self.err(format!("duplicate local `{name}`"));
+            }
+            ctx.locals.push(LocalVar {
+                name: name.clone(),
+                ty,
+            });
+            if self.eat_punct("=") {
+                let rhs = self.expression(Some(ctx))?;
+                stmts.push(self.make_assign(ctx, Expr::Var(name), rhs)?);
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::block(stmts))
+    }
+
+    /// Parses an expression statement: assignment, compound assignment,
+    /// increment/decrement, or a bare call.
+    fn expr_statement(&mut self, ctx: &mut FnCtx) -> Result<Stmt, ParseError> {
+        // `++x` / `--x` prefix forms.
+        for (p, op) in [("++", Binop::Add), ("--", Binop::Sub)] {
+            if matches!(self.peek(), Token::Punct(q) if *q == p) {
+                self.next();
+                let lv = self.unary(Some(ctx))?;
+                return Ok(Stmt::Assign(
+                    lv.clone(),
+                    Expr::binop(op, lv, Expr::uint(1)),
+                ));
+            }
+        }
+        let lhs = self.unary(Some(ctx))?;
+        // Bare call statement (`f(args);`).
+        if let Expr::Call0(fname, args) = lhs {
+            return Ok(Stmt::Call(None, fname, args));
+        }
+        // Postfix increment/decrement.
+        for (p, op) in [("++", Binop::Add), ("--", Binop::Sub)] {
+            if matches!(self.peek(), Token::Punct(q) if *q == p) {
+                self.next();
+                return Ok(Stmt::Assign(
+                    lhs.clone(),
+                    Expr::binop(op, lhs, Expr::uint(1)),
+                ));
+            }
+        }
+        // Compound assignments.
+        for (p, op) in [
+            ("+=", Binop::Add),
+            ("-=", Binop::Sub),
+            ("*=", Binop::Mul),
+            ("/=", Binop::Divs),
+            ("%=", Binop::Mods),
+            ("&=", Binop::And),
+            ("|=", Binop::Or),
+            ("^=", Binop::Xor),
+            ("<<=", Binop::Shl),
+            (">>=", Binop::Shrs),
+        ] {
+            if matches!(self.peek(), Token::Punct(q) if *q == p) {
+                self.next();
+                let rhs = self.expression(Some(ctx))?;
+                return Ok(Stmt::Assign(
+                    lhs.clone(),
+                    Expr::binop(op, lhs, rhs),
+                ));
+            }
+        }
+        if self.eat_punct("=") {
+            let rhs = self.expression(Some(ctx))?;
+            return self.make_assign(ctx, lhs, rhs);
+        }
+        self.err(format!(
+            "expected assignment or call statement, found `{}`",
+            self.peek()
+        ))
+    }
+
+    /// Builds an assignment, splitting out function calls on the right-hand
+    /// side into Clight `Scall` statements (introducing a temporary when the
+    /// destination is not a plain variable).
+    fn make_assign(&mut self, ctx: &mut FnCtx, lv: Expr, rhs: Expr) -> Result<Stmt, ParseError> {
+        if let Expr::Var(_) = &rhs {
+            // plain variable copy — fall through
+        }
+        match rhs {
+            Expr::Call0(fname, args) => match lv {
+                Expr::Var(dest) => Ok(Stmt::Call(Some(dest), fname, args)),
+                other => {
+                    let tmp = self.fresh_temp(ctx, Ty::U32);
+                    Ok(Stmt::seq(
+                        Stmt::Call(Some(tmp.clone()), fname, args),
+                        Stmt::Assign(other, Expr::Var(tmp)),
+                    ))
+                }
+            },
+            pure => Ok(Stmt::Assign(lv, pure)),
+        }
+    }
+
+    fn call_args(&mut self, ctx: &mut FnCtx) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.expression(Some(ctx))?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(args)
+    }
+
+    // ---- expressions ----------------------------------------------------------
+    //
+    // Precedence climbing. `ctx` is `Some` inside function bodies (where
+    // calls may appear in RHS position) and `None` in constant contexts.
+
+    fn expression(&mut self, ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        self.ternary(ctx)
+    }
+
+    fn ternary(&mut self, ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut ctx = ctx;
+        let c = self.logical_or(ctx.as_deref_mut())?;
+        if self.eat_punct("?") {
+            let t = self.ternary(ctx.as_deref_mut())?;
+            self.expect_punct(":")?;
+            let e = self.ternary(ctx)?;
+            return Ok(Expr::Cond(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        Ok(c)
+    }
+
+    fn logical_or(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and(ctx.as_deref_mut())?;
+        while self.eat_punct("||") {
+            let rhs = self.logical_and(ctx.as_deref_mut())?;
+            lhs = Expr::Cond(
+                Box::new(lhs),
+                Box::new(Expr::uint(1)),
+                Box::new(to_bool(rhs)),
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or(ctx.as_deref_mut())?;
+        while self.eat_punct("&&") {
+            let rhs = self.bit_or(ctx.as_deref_mut())?;
+            lhs = Expr::Cond(
+                Box::new(lhs),
+                Box::new(to_bool(rhs)),
+                Box::new(Expr::uint(0)),
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_xor(ctx.as_deref_mut())?;
+        while matches!(self.peek(), Token::Punct("|")) && !matches!(self.peek2(), Token::Punct("|"))
+        {
+            self.next();
+            let rhs = self.bit_xor(ctx.as_deref_mut())?;
+            lhs = Expr::binop(Binop::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_and(ctx.as_deref_mut())?;
+        while self.eat_punct("^") {
+            let rhs = self.bit_and(ctx.as_deref_mut())?;
+            lhs = Expr::binop(Binop::Xor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality(ctx.as_deref_mut())?;
+        while matches!(self.peek(), Token::Punct("&")) && !matches!(self.peek2(), Token::Punct("&"))
+        {
+            self.next();
+            let rhs = self.equality(ctx.as_deref_mut())?;
+            lhs = Expr::binop(Binop::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational(ctx.as_deref_mut())?;
+        loop {
+            let op = if self.eat_punct("==") {
+                Binop::Eq
+            } else if self.eat_punct("!=") {
+                Binop::Ne
+            } else {
+                break;
+            };
+            let rhs = self.relational(ctx.as_deref_mut())?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift(ctx.as_deref_mut())?;
+        loop {
+            // Parser emits signed comparisons; the type checker rewrites to
+            // unsigned where C's conversions require it.
+            let op = if self.eat_punct("<=") {
+                Binop::Les
+            } else if self.eat_punct(">=") {
+                Binop::Ges
+            } else if self.eat_punct("<") {
+                Binop::Lts
+            } else if self.eat_punct(">") {
+                Binop::Gts
+            } else {
+                break;
+            };
+            let rhs = self.shift(ctx.as_deref_mut())?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive(ctx.as_deref_mut())?;
+        loop {
+            let op = if self.eat_punct("<<") {
+                Binop::Shl
+            } else if self.eat_punct(">>") {
+                Binop::Shrs
+            } else {
+                break;
+            };
+            let rhs = self.additive(ctx.as_deref_mut())?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative(ctx.as_deref_mut())?;
+        loop {
+            let op = if self.eat_punct("+") {
+                Binop::Add
+            } else if self.eat_punct("-") {
+                Binop::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative(ctx.as_deref_mut())?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary(ctx.as_deref_mut())?;
+        loop {
+            let op = if self.eat_punct("*") {
+                Binop::Mul
+            } else if self.eat_punct("/") {
+                Binop::Divs
+            } else if self.eat_punct("%") {
+                Binop::Mods
+            } else {
+                break;
+            };
+            let rhs = self.unary(ctx.as_deref_mut())?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self, ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let e = self.unary(ctx)?;
+            return Ok(match e {
+                Expr::Const(n, ty) => Expr::Const(n.wrapping_neg(), ty),
+                e => Expr::Unop(Unop::Neg, Box::new(e)),
+            });
+        }
+        if self.eat_punct("~") {
+            let e = self.unary(ctx)?;
+            return Ok(Expr::Unop(Unop::Not, Box::new(e)));
+        }
+        if self.eat_punct("!") {
+            let e = self.unary(ctx)?;
+            return Ok(Expr::Unop(Unop::BoolNot, Box::new(e)));
+        }
+        if self.eat_punct("*") {
+            let e = self.unary(ctx)?;
+            return Ok(Expr::Deref(Box::new(e)));
+        }
+        if self.eat_punct("&") {
+            let e = self.unary(ctx)?;
+            return Ok(Expr::Addr(Box::new(e)));
+        }
+        // Cast: `(` type `)` unary.
+        if matches!(self.peek(), Token::Punct("(")) {
+            let save = self.pos;
+            self.next();
+            if self.at_type() {
+                if let Ok(Some(ty)) = self.parse_type() {
+                    if self.eat_punct(")") {
+                        let e = self.unary(ctx)?;
+                        return Ok(Expr::Cast(ty, Box::new(e)));
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.postfix(ctx)
+    }
+
+    fn postfix(&mut self, mut ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        let mut e = self.primary(ctx.as_deref_mut())?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.expression(ctx.as_deref_mut())?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if matches!(self.peek(), Token::Punct("(")) {
+                // Call in expression position: only allowed as the entire
+                // right-hand side of an assignment (handled by make_assign).
+                let fname = match &e {
+                    Expr::Var(f) => f.clone(),
+                    _ => return self.err("called object is not a function name"),
+                };
+                match ctx.as_deref_mut() {
+                    Some(c) => {
+                        let args = self.call_args(c)?;
+                        e = Expr::Call0(fname, args);
+                        // A call result cannot be used inside a larger
+                        // expression (Clight restriction).
+                        if !matches!(
+                            self.peek(),
+                            Token::Punct(";") | Token::Punct(")") | Token::Punct(",")
+                        ) {
+                            return self.err(
+                                "function calls cannot be nested in expressions \
+                                 (Clight restriction); assign the result to a variable first",
+                            );
+                        }
+                        return Ok(e);
+                    }
+                    None => return self.err("function call in constant expression"),
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self, ctx: Option<&mut FnCtx>) -> Result<Expr, ParseError> {
+        match self.next() {
+            // C typing: a literal that fits in `int` is `int`; larger
+            // literals (only reachable via hex) are `unsigned`.
+            Token::Int(n) => Ok(if n <= i32::MAX as u32 {
+                Expr::Const(n, Ty::I32)
+            } else {
+                Expr::uint(n)
+            }),
+            Token::Ident(name) => {
+                if let Some(v) = self.consts.get(&name) {
+                    return Ok(Expr::uint(*v));
+                }
+                Ok(Expr::Var(name))
+            }
+            Token::Punct("(") => {
+                let e = self.expression(ctx)?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+
+    // ---- constant evaluation ---------------------------------------------------
+
+    fn const_eval(&self, e: &Expr) -> Result<u32, ParseError> {
+        const_eval(e).ok_or_else(|| ParseError {
+            message: format!("expression `{e}` is not a compile-time constant"),
+            line: self.line(),
+        })
+    }
+}
+
+/// True when control can never flow past the statement (every path ends
+/// in `return` or `break`). Used to validate switch case bodies.
+fn never_falls_through(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return(_) | Stmt::Break => true,
+        Stmt::Seq(a, b) => never_falls_through(a) || never_falls_through(b),
+        Stmt::If(_, t, e) => never_falls_through(t) && never_falls_through(e),
+        _ => false,
+    }
+}
+
+/// Normalizes an expression to 0/1 for the `&&`/`||` lowering.
+fn to_bool(e: Expr) -> Expr {
+    match &e {
+        Expr::Binop(op, ..) if op.is_comparison() => e,
+        Expr::Const(n, _) => Expr::uint(u32::from(*n != 0)),
+        _ => Expr::binop(Binop::Ne, e, Expr::uint(0)),
+    }
+}
+
+/// Evaluates a compile-time constant expression, if it is one.
+pub fn const_eval(e: &Expr) -> Option<u32> {
+    match e {
+        Expr::Const(n, _) => Some(*n),
+        Expr::Unop(op, a) => {
+            let v = mem::Value::Int(const_eval(a)?);
+            mem::eval_unop(*op, v).ok().and_then(|v| v.as_int().ok())
+        }
+        Expr::Binop(op, a, b) => {
+            let va = mem::Value::Int(const_eval(a)?);
+            let vb = mem::Value::Int(const_eval(b)?);
+            mem::eval_binop(*op, va, vb)
+                .ok()
+                .and_then(|v| v.as_int().ok())
+        }
+        Expr::Cond(c, t, f) => {
+            if const_eval(c)? != 0 {
+                const_eval(t)
+            } else {
+                const_eval(f)
+            }
+        }
+        Expr::Cast(_, a) => const_eval(a),
+        _ => None,
+    }
+}

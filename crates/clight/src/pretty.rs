@@ -1,0 +1,288 @@
+//! Pretty-printer: renders a Clight [`Program`] back to compilable C.
+//!
+//! The output parses back to an equivalent program (`parse ∘ print` is
+//! the identity up to elaboration), which the round-trip property tests
+//! pin down. Useful for inspecting what the front end actually produced
+//! — lowered loops, resolved signedness, materialized temporaries.
+
+use crate::ast::{Expr, Function, Program, Stmt};
+use crate::Ty;
+use std::fmt::Write;
+
+/// Renders a program as C source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        match &g.ty {
+            Ty::Array(elem, n) => {
+                let _ = write!(out, "{} {}[{}]", ty_name(elem), g.name, n);
+            }
+            ty => {
+                let _ = write!(out, "{} {}", ty_name(ty), g.name);
+            }
+        }
+        if !g.init.is_empty() {
+            if matches!(g.ty, Ty::Array(..)) {
+                let words: Vec<String> = g.init.iter().map(|w| w.to_string()).collect();
+                let _ = write!(out, " = {{{}}}", words.join(", "));
+            } else {
+                let _ = write!(out, " = {}", g.init[0]);
+            }
+        }
+        out.push_str(";\n");
+    }
+    for e in &p.externals {
+        let ret = e.ret.as_ref().map(ty_name).unwrap_or_else(|| "void".into());
+        let params: Vec<String> = (0..e.arity).map(|i| format!("u32 a{i}")).collect();
+        let _ = writeln!(out, "extern {ret} {}({});", e.name, params.join(", "));
+    }
+    for f in &p.functions {
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    let ret = f.ret.as_ref().map(ty_name).unwrap_or_else(|| "void".into());
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", ty_name(&p.ty), p.name))
+        .collect();
+    let _ = writeln!(out, "{ret} {}({}) {{", f.name, params.join(", "));
+    for l in &f.locals {
+        match &l.ty {
+            Ty::Array(elem, n) => {
+                let _ = writeln!(out, "    {} {}[{}];", ty_name(elem), l.name, n);
+            }
+            ty => {
+                let _ = writeln!(out, "    {} {};", ty_name(ty), l.name);
+            }
+        }
+    }
+    print_stmt(out, &f.body, 1);
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Skip => {}
+        Stmt::Seq(a, b) => {
+            print_stmt(out, a, level);
+            print_stmt(out, b, level);
+        }
+        Stmt::Assign(lv, e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{} = {};", expr(lv), expr(e));
+        }
+        Stmt::Call(dest, f, args) => {
+            indent(out, level);
+            let args: Vec<String> = args.iter().map(expr).collect();
+            match dest {
+                Some(d) => {
+                    let _ = writeln!(out, "{d} = {f}({});", args.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "{f}({});", args.join(", "));
+                }
+            }
+        }
+        Stmt::If(c, t, e) => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", expr(c));
+            print_stmt(out, t, level + 1);
+            indent(out, level);
+            if matches!(e.as_ref(), Stmt::Skip) {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_stmt(out, e, level + 1);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Loop(body, incr) => {
+            // Re-sugar `Sloop` into `for (;;)` with the increment inline;
+            // `continue` keeps its meaning because the increment is
+            // emitted in the for-step position.
+            indent(out, level);
+            if matches!(incr.as_ref(), Stmt::Skip) {
+                out.push_str("for (;;) {\n");
+            } else {
+                let mut step = String::new();
+                print_stmt(&mut step, incr, 0);
+                let step = step.trim().trim_end_matches(';');
+                let _ = writeln!(out, "for (; 1; {step}) {{");
+            }
+            print_stmt(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Return(e) => {
+            indent(out, level);
+            match e {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+    }
+}
+
+fn ty_name(ty: &Ty) -> String {
+    match ty {
+        Ty::U32 => "u32".into(),
+        Ty::I32 => "int".into(),
+        Ty::Ptr(e) => format!("{} *", ty_name(e)),
+        Ty::Array(e, n) => format!("{}[{n}]", ty_name(e)),
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    use mem::Binop::*;
+    match e {
+        Expr::Const(n, Ty::I32) => {
+            let v = *n as i32;
+            if v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Const(n, _) => format!("{n}u"),
+        Expr::Var(x) => x.clone(),
+        Expr::Unop(op, a) => format!("{op}({})", expr(a)),
+        Expr::Binop(op, a, b) => {
+            let sym = match op {
+                Add => "+",
+                Sub => "-",
+                Mul => "*",
+                Divu | Divs => "/",
+                Modu | Mods => "%",
+                And => "&",
+                Or => "|",
+                Xor => "^",
+                Shl => "<<",
+                Shru | Shrs => ">>",
+                Eq => "==",
+                Ne => "!=",
+                Ltu | Lts => "<",
+                Leu | Les => "<=",
+                Gtu | Gts => ">",
+                Geu | Ges => ">=",
+            };
+            format!("({} {sym} {})", expr(a), expr(b))
+        }
+        Expr::Index(a, i) => format!("{}[{}]", expr(a), expr(i)),
+        Expr::Deref(p) => format!("*({})", expr(p)),
+        Expr::Addr(lv) => format!("&({})", expr(lv)),
+        Expr::Cond(c, t, f) => format!("({} ? {} : {})", expr(c), expr(t), expr(f)),
+        Expr::Cast(ty, a) => format!("({})({})", ty_name(ty), expr(a)),
+        Expr::Call0(f, args) => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("{f}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::print_program;
+    use crate::{frontend, Executor};
+
+    /// Round trip: parse, print, re-parse, and check both programs behave
+    /// identically.
+    fn roundtrip(src: &str) {
+        let p1 = frontend(src, &[]).unwrap_or_else(|e| panic!("first parse: {e}"));
+        let printed = print_program(&p1);
+        let p2 = frontend(&printed, &[])
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        let b1 = Executor::run_main(&p1, 10_000_000);
+        let b2 = Executor::run_main(&p2, 10_000_000);
+        assert_eq!(
+            b1.return_code(),
+            b2.return_code(),
+            "behaviors differ\n---\n{printed}"
+        );
+        assert_eq!(b1.trace().events(), b2.trace().events());
+    }
+
+    #[test]
+    fn roundtrips_arithmetic() {
+        roundtrip("int main() { u32 x; x = 2 + 3 * 4; return x - 7 % 3; }");
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "int main() { u32 s; u32 i; s = 0;
+               for (i = 0; i < 10; i++) { if (i % 2) continue; if (i > 7) break; s += i; }
+               return s; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_calls_and_globals() {
+        roundtrip(
+            "u32 tab[4] = {1, 2, 3};
+             u32 g = 9;
+             u32 f(u32 a, u32 b) { return a + b + g; }
+             int main() { u32 r; r = f(tab[0], tab[2]); f(0, 0); return r; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_pointers() {
+        roundtrip(
+            "void bump(u32 *p) { *p = *p + 1; }
+             int main() { u32 x; u32 b[3]; x = 1; b[0] = 5; bump(&x); bump(&b[0]);
+               return x + b[0]; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_signedness() {
+        roundtrip("int main() { int a; u32 b; a = -7; b = 3; return (a / 2) + (b / 2); }");
+    }
+
+    #[test]
+    fn roundtrips_ternary_and_shortcircuit() {
+        roundtrip(
+            "int main() { u32 x; x = 5; return (x > 2 && x < 9) ? (x ? 1 : 2) : 3; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_recursion() {
+        roundtrip(
+            "u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n;
+               a = fib(n - 1); b = fib(n - 2); return a + b; }
+             int main() { u32 r; r = fib(9); return r; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_every_benchmark() {
+        // The whole Table 1 suite round-trips with identical behavior.
+        {
+            let b = "u32 f() { u32 i; u32 s; s = 0; do { s++; i = s; } while (i < 3); return s; }
+             int main() { u32 r; r = f(); return r; }";
+            roundtrip(b);
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! Continuation-based small-step semantics for Clight (§4.2 of the paper),
+//! instrumented with `call(f)`/`ret(f)` memory events.
+//!
+//! States mirror CompCert's Clight semantics: regular statement execution
+//! `(S, K, σ)`, call states, and return states. Continuations `K` record
+//! the local control flow (`Kseq`, `Kloop1`, `Kloop2`) and the logical call
+//! stack (`Kcall`). A `call(f)` event is emitted when entering an internal
+//! function and `ret(f)` when leaving it, so the weight of the produced
+//! trace under a stack metric is exactly the peak stack usage of the
+//! execution.
+
+use crate::ast::{Expr, External, Function, Program, Stmt};
+use crate::Ty;
+use mem::{BlockId, Memory, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+use trace::{Behavior, Event, Trace};
+
+/// Deterministic result of an external (I/O) function: a small hash of the
+/// name and arguments. Every interpreter in the pipeline uses this same
+/// model, so I/O traces must agree exactly across compilation.
+pub fn io_result(name: &str, args: &[u32]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in name.bytes() {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    for a in args {
+        h = (h ^ a).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// The global environment: memory blocks for globals plus function tables.
+#[derive(Debug, Clone)]
+pub struct GlobalEnv {
+    globals: HashMap<String, (BlockId, Ty)>,
+    functions: HashMap<String, Rc<Function>>,
+    externals: HashMap<String, External>,
+}
+
+impl GlobalEnv {
+    /// Allocates and initializes global blocks in `memory`.
+    ///
+    /// Globals are zero-initialized (C semantics) and then overwritten by
+    /// their explicit initializers.
+    pub fn new(program: &Program, memory: &mut Memory) -> GlobalEnv {
+        let mut globals = HashMap::new();
+        for g in &program.globals {
+            let b = memory.alloc(g.ty.size());
+            let words = g.ty.size() / 4;
+            for i in 0..words {
+                let v = g.init.get(i as usize).copied().unwrap_or(0);
+                memory
+                    .store(b, i * 4, Value::Int(v))
+                    .expect("in-bounds global init");
+            }
+            globals.insert(g.name.clone(), (b, g.ty.clone()));
+        }
+        GlobalEnv {
+            globals,
+            functions: program
+                .functions
+                .iter()
+                .map(|f| (f.name.clone(), Rc::new(f.clone())))
+                .collect(),
+            externals: program
+                .externals
+                .iter()
+                .map(|e| (e.name.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// Block and type of a global.
+    pub fn global(&self, name: &str) -> Option<&(BlockId, Ty)> {
+        self.globals.get(name)
+    }
+}
+
+/// The local environment of one activation: scalar temporaries `θ` plus
+/// one memory block per addressable local.
+#[derive(Debug, Clone, Default)]
+struct LocalEnv {
+    fname: Rc<str>,
+    scalars: HashMap<String, Value>,
+    blocks: HashMap<String, (BlockId, Ty)>,
+}
+
+/// A continuation, as in the paper:
+/// `K ::= Kstop | Kseq S K | Kloop S K | Kcall x f θ K`.
+#[derive(Debug, Clone)]
+enum Cont {
+    Stop,
+    Seq(Rc<Stmt>, Rc<Cont>),
+    /// Executing the loop body; fall-through or `continue` proceeds to the
+    /// increment statement.
+    Loop1(Rc<Stmt>, Rc<Stmt>, Rc<Cont>),
+    /// Executing the loop increment; fall-through restarts the body.
+    Loop2(Rc<Stmt>, Rc<Stmt>, Rc<Cont>),
+    /// A stack frame: destination variable, saved caller environment.
+    Call(Option<String>, Box<LocalEnv>, Rc<Cont>),
+}
+
+#[derive(Debug)]
+enum MachState {
+    /// `(S, K, σ)`.
+    Stmt(Rc<Stmt>, Rc<Cont>),
+    /// About to enter `fname` with evaluated arguments.
+    Call(String, Vec<Value>, Option<String>, Rc<Cont>),
+    /// Returning `value` through `K`.
+    Return(Value, Rc<Cont>),
+    Finished(u32),
+}
+
+/// A runtime error: the program *goes wrong*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError(pub String);
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<mem::MemError> for RuntimeError {
+    fn from(e: mem::MemError) -> Self {
+        RuntimeError(e.to_string())
+    }
+}
+
+/// The Clight small-step interpreter.
+///
+/// # Examples
+///
+/// ```
+/// let mut p = clight::parse("u32 f(u32 x) { return x + 1; }
+///                            int main() { u32 r; r = f(41); return r; }").unwrap();
+/// clight::typecheck(&mut p).unwrap();
+/// let behavior = clight::Executor::run_main(&p, 10_000);
+/// assert_eq!(behavior.return_code(), Some(42));
+/// assert_eq!(behavior.trace().events().len(), 4); // call(main) call(f) ret(f) ret(main)
+/// ```
+#[derive(Debug)]
+pub struct Executor {
+    genv: GlobalEnv,
+    memory: Memory,
+    env: LocalEnv,
+    state: MachState,
+    trace: Trace,
+    steps: u64,
+    /// Whether the entry function returns a value; void entry functions
+    /// finish with exit code 0.
+    entry_returns: bool,
+}
+
+impl Executor {
+    /// Creates an executor poised to call `fname(args)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `fname` is not an internal function of `program` or the
+    /// arity does not match.
+    pub fn new(program: &Program, fname: &str, args: Vec<Value>) -> Result<Executor, RuntimeError> {
+        let mut memory = Memory::new();
+        let genv = GlobalEnv::new(program, &mut memory);
+        let f = genv
+            .functions
+            .get(fname)
+            .ok_or_else(|| RuntimeError(format!("no function `{fname}`")))?;
+        if f.params.len() != args.len() {
+            return Err(RuntimeError(format!(
+                "`{fname}` expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let entry_returns = f.ret.is_some();
+        Ok(Executor {
+            genv,
+            memory,
+            env: LocalEnv::default(),
+            state: MachState::Call(fname.to_owned(), args, None, Rc::new(Cont::Stop)),
+            trace: Trace::new(),
+            steps: 0,
+            entry_returns,
+        })
+    }
+
+    /// Runs `main()` of `program` for at most `fuel` steps and returns its
+    /// behavior (converging, diverging — i.e. fuel exhausted — or wrong).
+    pub fn run_main(program: &Program, fuel: u64) -> Behavior {
+        match Executor::new(program, "main", Vec::new()) {
+            Ok(ex) => ex.run(fuel),
+            Err(e) => Behavior::Fails(Trace::new(), e.0),
+        }
+    }
+
+    /// Runs `fname(args)` for at most `fuel` steps.
+    pub fn run_function(program: &Program, fname: &str, args: Vec<Value>, fuel: u64) -> Behavior {
+        match Executor::new(program, fname, args) {
+            Ok(ex) => ex.run(fuel),
+            Err(e) => Behavior::Fails(Trace::new(), e.0),
+        }
+    }
+
+    /// Runs to completion or fuel exhaustion.
+    pub fn run(mut self, fuel: u64) -> Behavior {
+        while self.steps < fuel {
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(code)) => return Behavior::Converges(self.trace, code),
+                Err(e) => return Behavior::Fails(self.trace, e.0),
+            }
+        }
+        Behavior::Diverges(self.trace)
+    }
+
+    /// Number of small steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The trace produced so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Performs one small step. Returns `Some(code)` when the program has
+    /// finished with return code `code`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] when the program goes wrong.
+    pub fn step(&mut self) -> Result<Option<u32>, RuntimeError> {
+        self.steps += 1;
+        let state = std::mem::replace(&mut self.state, MachState::Finished(0));
+        match state {
+            MachState::Finished(code) => Ok(Some(code)),
+            MachState::Stmt(s, k) => {
+                self.step_stmt(&s, k)?;
+                Ok(None)
+            }
+            MachState::Call(fname, args, dest, k) => {
+                self.enter_function(&fname, args, dest, k)?;
+                Ok(None)
+            }
+            MachState::Return(v, k) => self.step_return(v, k),
+        }
+    }
+
+    fn step_stmt(&mut self, s: &Stmt, k: Rc<Cont>) -> Result<(), RuntimeError> {
+        match s {
+            Stmt::Skip => self.unwind_skip(k),
+            Stmt::Assign(lv, e) => {
+                let v = self.eval(e)?;
+                self.assign(lv, v)?;
+                self.state = MachState::Stmt(Rc::new(Stmt::Skip), k);
+                Ok(())
+            }
+            Stmt::Call(dest, fname, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_, _>>()?;
+                self.state = MachState::Call(fname.clone(), vals, dest.clone(), k);
+                Ok(())
+            }
+            Stmt::Seq(s1, s2) => {
+                self.state = MachState::Stmt(s1.clone(), Rc::new(Cont::Seq(s2.clone(), k)));
+                Ok(())
+            }
+            Stmt::If(c, t, e) => {
+                let v = self.eval(c)?;
+                let branch = if truthy(v)? { t } else { e };
+                self.state = MachState::Stmt(branch.clone(), k);
+                Ok(())
+            }
+            Stmt::Loop(body, incr) => {
+                self.state = MachState::Stmt(
+                    body.clone(),
+                    Rc::new(Cont::Loop1(body.clone(), incr.clone(), k)),
+                );
+                Ok(())
+            }
+            Stmt::Break => self.unwind_break(k),
+            Stmt::Continue => self.unwind_continue(k),
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Undef,
+                };
+                self.leave_function()?;
+                self.state = MachState::Return(v, k);
+                Ok(())
+            }
+        }
+    }
+
+    /// `skip` with the various continuations.
+    fn unwind_skip(&mut self, k: Rc<Cont>) -> Result<(), RuntimeError> {
+        match k.as_ref() {
+            Cont::Stop | Cont::Call(..) => {
+                // Fell off the end of a function body: return undef.
+                self.leave_function()?;
+                self.state = MachState::Return(Value::Undef, k);
+                Ok(())
+            }
+            Cont::Seq(s2, k2) => {
+                self.state = MachState::Stmt(s2.clone(), k2.clone());
+                Ok(())
+            }
+            Cont::Loop1(body, incr, k2) => {
+                // Body finished: run the increment.
+                self.state = MachState::Stmt(
+                    incr.clone(),
+                    Rc::new(Cont::Loop2(body.clone(), incr.clone(), k2.clone())),
+                );
+                Ok(())
+            }
+            Cont::Loop2(body, incr, k2) => {
+                // Increment finished: restart the body.
+                self.state = MachState::Stmt(
+                    body.clone(),
+                    Rc::new(Cont::Loop1(body.clone(), incr.clone(), k2.clone())),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn unwind_break(&mut self, k: Rc<Cont>) -> Result<(), RuntimeError> {
+        match k.as_ref() {
+            Cont::Seq(_, k2) => self.unwind_break(k2.clone()),
+            Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {
+                self.state = MachState::Stmt(Rc::new(Stmt::Skip), k2.clone());
+                Ok(())
+            }
+            _ => Err(RuntimeError("break outside of a loop".into())),
+        }
+    }
+
+    fn unwind_continue(&mut self, k: Rc<Cont>) -> Result<(), RuntimeError> {
+        match k.as_ref() {
+            Cont::Seq(_, k2) => self.unwind_continue(k2.clone()),
+            Cont::Loop1(body, incr, k2) => {
+                self.state = MachState::Stmt(
+                    incr.clone(),
+                    Rc::new(Cont::Loop2(body.clone(), incr.clone(), k2.clone())),
+                );
+                Ok(())
+            }
+            _ => Err(RuntimeError("continue outside of a loop body".into())),
+        }
+    }
+
+    fn enter_function(
+        &mut self,
+        fname: &str,
+        args: Vec<Value>,
+        dest: Option<String>,
+        k: Rc<Cont>,
+    ) -> Result<(), RuntimeError> {
+        if let Some(f) = self.genv.functions.get(fname).cloned() {
+            self.trace.push(Event::call(fname));
+            let caller = std::mem::take(&mut self.env);
+            let mut env = LocalEnv {
+                fname: Rc::from(fname),
+                scalars: HashMap::new(),
+                blocks: HashMap::new(),
+            };
+            for (p, v) in f.params.iter().zip(args) {
+                env.scalars.insert(p.name.clone(), v);
+            }
+            for l in &f.locals {
+                if f.addressable.contains(&l.name) {
+                    let b = self.memory.alloc(l.ty.size());
+                    env.blocks.insert(l.name.clone(), (b, l.ty.clone()));
+                } else {
+                    env.scalars.insert(l.name.clone(), Value::Undef);
+                }
+            }
+            self.env = env;
+            self.state = MachState::Stmt(
+                f.body.clone(),
+                Rc::new(Cont::Call(dest, Box::new(caller), k)),
+            );
+            return Ok(());
+        }
+        if let Some(ext) = self.genv.externals.get(fname) {
+            // External call: I/O event, no stack cost.
+            let ints: Vec<u32> = args
+                .iter()
+                .map(|v| v.as_int().map_err(RuntimeError::from))
+                .collect::<Result<_, _>>()?;
+            let result = io_result(fname, &ints);
+            self.trace.push(Event::io(fname, ints, result));
+            if let Some(d) = dest {
+                if ext.ret.is_none() {
+                    return Err(RuntimeError(format!(
+                        "void external `{fname}` used as a value"
+                    )));
+                }
+                self.assign(&Expr::Var(d), Value::Int(result))?;
+            }
+            self.state = MachState::Stmt(Rc::new(Stmt::Skip), k);
+            return Ok(());
+        }
+        Err(RuntimeError(format!("call to undefined function `{fname}`")))
+    }
+
+    /// Frees the addressable blocks of the current activation and emits the
+    /// `ret(f)` event.
+    fn leave_function(&mut self) -> Result<(), RuntimeError> {
+        for (b, _) in self.env.blocks.values() {
+            self.memory.free(*b)?;
+        }
+        self.trace.push(Event::ret(self.env.fname.as_ref()));
+        Ok(())
+    }
+
+    fn step_return(&mut self, v: Value, k: Rc<Cont>) -> Result<Option<u32>, RuntimeError> {
+        match k.as_ref() {
+            Cont::Stop => {
+                let code = match v {
+                    Value::Int(n) => n,
+                    Value::Undef if !self.entry_returns => 0,
+                    Value::Undef => {
+                        return Err(RuntimeError(
+                            "main finished without returning a value".into(),
+                        ))
+                    }
+                    other => {
+                        return Err(RuntimeError(format!(
+                            "main returned a non-integer value {other}"
+                        )))
+                    }
+                };
+                self.state = MachState::Finished(code);
+                Ok(None)
+            }
+            Cont::Call(dest, saved, k2) => {
+                // The outermost frame is the entry call (`main`): returning
+                // through it finishes the program.
+                if matches!(k2.as_ref(), Cont::Stop) {
+                    return self.step_return(v, k2.clone());
+                }
+                self.env = (**saved).clone();
+                if let Some(d) = dest {
+                    self.assign(&Expr::Var(d.clone()), v)?;
+                }
+                self.state = MachState::Stmt(Rc::new(Stmt::Skip), k2.clone());
+                Ok(None)
+            }
+            // Return unwinds local control flow without extra steps.
+            Cont::Seq(_, k2) | Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {
+                self.step_return(v, k2.clone())
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    /// Big-step, side-effect-free expression evaluation.
+    fn eval(&self, e: &Expr) -> Result<Value, RuntimeError> {
+        match e {
+            Expr::Const(n, _) => Ok(Value::Int(*n)),
+            Expr::Var(x) => {
+                if let Some(v) = self.env.scalars.get(x) {
+                    return Ok(*v);
+                }
+                if let Some((b, ty)) = self.env.blocks.get(x) {
+                    return self.load_var(*b, ty);
+                }
+                if let Some((b, ty)) = self.genv.globals.get(x) {
+                    return self.load_var(*b, ty);
+                }
+                Err(RuntimeError(format!("undefined variable `{x}`")))
+            }
+            Expr::Unop(op, a) => {
+                let v = self.eval(a)?;
+                mem::eval_unop(*op, v).map_err(RuntimeError::from)
+            }
+            Expr::Binop(op, a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                mem::eval_binop(*op, va, vb).map_err(RuntimeError::from)
+            }
+            Expr::Index(..) | Expr::Deref(_) => {
+                let (b, off) = self.lvalue_addr(e)?;
+                self.memory.load(b, off).map_err(RuntimeError::from)
+            }
+            Expr::Addr(lv) => {
+                let (b, off) = self.lvalue_addr(lv)?;
+                Ok(Value::Ptr(b, off))
+            }
+            Expr::Cond(c, t, f) => {
+                let v = self.eval(c)?;
+                if truthy(v)? {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            Expr::Cast(_, a) => self.eval(a),
+            Expr::Call0(fname, _) => Err(RuntimeError(format!(
+                "unelaborated call to `{fname}` in expression"
+            ))),
+        }
+    }
+
+    /// The rvalue of a variable that lives in memory: arrays decay to a
+    /// pointer to their first element, scalars are loaded.
+    fn load_var(&self, b: BlockId, ty: &Ty) -> Result<Value, RuntimeError> {
+        if matches!(ty, Ty::Array(..)) {
+            Ok(Value::Ptr(b, 0))
+        } else {
+            self.memory.load(b, 0).map_err(RuntimeError::from)
+        }
+    }
+
+    /// Address of an lvalue expression.
+    fn lvalue_addr(&self, e: &Expr) -> Result<(BlockId, u32), RuntimeError> {
+        match e {
+            Expr::Var(x) => {
+                if let Some((b, _)) = self.env.blocks.get(x) {
+                    return Ok((*b, 0));
+                }
+                if let Some((b, _)) = self.genv.globals.get(x) {
+                    return Ok((*b, 0));
+                }
+                Err(RuntimeError(format!("`{x}` is not addressable")))
+            }
+            Expr::Index(a, i) => {
+                let base = self.eval(a)?;
+                let (b, off) = base.as_ptr().map_err(RuntimeError::from)?;
+                let idx = self.eval(i)?.as_int().map_err(RuntimeError::from)?;
+                Ok((b, off.wrapping_add(idx.wrapping_mul(4))))
+            }
+            Expr::Deref(p) => {
+                let v = self.eval(p)?;
+                v.as_ptr().map_err(RuntimeError::from)
+            }
+            other => Err(RuntimeError(format!("`{other}` is not an lvalue"))),
+        }
+    }
+
+    fn assign(&mut self, lv: &Expr, v: Value) -> Result<(), RuntimeError> {
+        if let Expr::Var(x) = lv {
+            if let Some(slot) = self.env.scalars.get_mut(x) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        let (b, off) = self.lvalue_addr(lv)?;
+        self.memory.store(b, off, v).map_err(RuntimeError::from)
+    }
+}
+
+/// C truthiness: zero is false, nonzero and pointers are true.
+fn truthy(v: Value) -> Result<bool, RuntimeError> {
+    match v {
+        Value::Int(n) => Ok(n != 0),
+        Value::Ptr(..) => Ok(true),
+        other => Err(RuntimeError(format!(
+            "branch condition evaluated to {other}"
+        ))),
+    }
+}

@@ -1,0 +1,572 @@
+use crate::{frontend, parse, parse_with_params, typecheck, Executor, Program, Ty};
+use mem::Value;
+use proptest::prelude::*;
+use trace::{Event, Metric};
+
+const FUEL: u64 = 5_000_000;
+
+fn run(src: &str) -> trace::Behavior {
+    let p = frontend(src, &[]).unwrap_or_else(|e| panic!("frontend: {e}"));
+    Executor::run_main(&p, FUEL)
+}
+
+fn ret(src: &str) -> u32 {
+    let b = run(src);
+    match b.return_code() {
+        Some(n) => n,
+        None => panic!("expected convergence, got {b}"),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+#[test]
+fn parses_typedef_and_globals() {
+    let p = parse(
+        "typedef unsigned int u32;\n u32 seed = 7; u32 a[4] = {1,2,3}; int main() { return 0; }",
+    )
+    .unwrap();
+    assert_eq!(p.globals.len(), 2);
+    assert_eq!(p.globals[0].init, vec![7]);
+    assert_eq!(p.globals[1].ty, Ty::Array(Box::new(Ty::U32), 4));
+    assert_eq!(p.globals[1].init, vec![1, 2, 3]);
+}
+
+#[test]
+fn parses_externals() {
+    let p = parse("extern u32 getchar(void); extern void put(u32 c); int main() { return 0; }")
+        .unwrap();
+    assert_eq!(p.externals.len(), 2);
+    assert_eq!(p.externals[0].arity, 0);
+    assert_eq!(p.externals[1].arity, 1);
+    assert_eq!(p.externals[1].ret, None);
+}
+
+#[test]
+fn parses_enum_constants() {
+    let p = parse("enum { A = 3, B, C = 10 }; u32 x[B]; int main() { return C; }").unwrap();
+    assert_eq!(p.globals[0].ty, Ty::Array(Box::new(Ty::U32), 4));
+}
+
+#[test]
+fn const_globals_become_parameters() {
+    let src = "const u32 N = 8; u32 a[N]; int main() { return N; }";
+    let p = frontend(src, &[]).unwrap();
+    assert_eq!(p.globals.len(), 1); // N is folded away
+    assert_eq!(Executor::run_main(&p, FUEL).return_code(), Some(8));
+}
+
+#[test]
+fn injected_params_act_as_constants() {
+    let p = parse_with_params("u32 a[ALEN]; int main() { return ALEN * 2; }", &[("ALEN", 21)])
+        .unwrap();
+    assert_eq!(p.globals[0].ty.size(), 84);
+    let mut p = p;
+    typecheck(&mut p).unwrap();
+    assert_eq!(Executor::run_main(&p, FUEL).return_code(), Some(42));
+}
+
+#[test]
+fn rejects_nested_calls_in_expressions() {
+    let err = parse("u32 f(void) { return 1; } int main() { return f() + 1; }").unwrap_err();
+    assert!(err.message.contains("nested") || err.message.contains("call"), "{err}");
+}
+
+#[test]
+fn rejects_unknown_type() {
+    assert!(parse("foo main() { return 0; }").is_err());
+}
+
+#[test]
+fn parse_error_reports_line() {
+    let err = parse("int main() {\n  return @;\n}").unwrap_err();
+    assert_eq!(err.line, 2);
+}
+
+// ---- type checking ----------------------------------------------------------
+
+#[test]
+fn rejects_undefined_variable() {
+    let mut p = parse("int main() { return nope; }").unwrap();
+    let err = typecheck(&mut p).unwrap_err();
+    assert!(err.message.contains("undefined variable"), "{err}");
+}
+
+#[test]
+fn rejects_undefined_function() {
+    let mut p = parse("int main() { u32 x; x = nope(); return x; }").unwrap();
+    assert!(typecheck(&mut p).is_err());
+}
+
+#[test]
+fn rejects_arity_mismatch() {
+    let mut p = parse("u32 f(u32 a) { return a; } int main() { u32 x; x = f(1, 2); return x; }")
+        .unwrap();
+    let err = typecheck(&mut p).unwrap_err();
+    assert!(err.message.contains("expects 1 arguments"), "{err}");
+}
+
+#[test]
+fn rejects_void_result_use() {
+    let mut p =
+        parse("void f(void) { return; } int main() { u32 x; x = f(); return x; }").unwrap();
+    assert!(typecheck(&mut p).is_err());
+}
+
+#[test]
+fn rejects_break_outside_loop() {
+    let mut p = parse("int main() { break; return 0; }").unwrap();
+    assert!(typecheck(&mut p).is_err());
+}
+
+#[test]
+fn rejects_address_of_parameter() {
+    let mut p = parse("u32 f(u32 x) { u32 *p; p = &x; return *p; } int main() { return 0; }")
+        .unwrap();
+    let err = typecheck(&mut p).unwrap_err();
+    assert!(err.message.contains("parameter"), "{err}");
+}
+
+#[test]
+fn marks_addressable_locals() {
+    let src = "int main() { u32 buf[4]; u32 x; u32 y; u32 *p; p = &x; y = 0; return y + buf[0]; }";
+    let mut p = parse(src).unwrap();
+    typecheck(&mut p).unwrap();
+    let f = p.function("main").unwrap();
+    assert!(f.addressable.contains("buf"));
+    assert!(f.addressable.contains("x"));
+    assert!(!f.addressable.contains("y"));
+    assert!(!f.addressable.contains("p"));
+}
+
+#[test]
+fn signedness_resolution_division() {
+    // -2 / 2: signed division gives -1; unsigned gives a huge value.
+    assert_eq!(ret("int main() { int a; a = -2; return (a / 2) == -1; }"), 1);
+    assert_eq!(
+        ret("int main() { u32 a; a = -2; return (a / 2) == 0x7FFFFFFF; }"),
+        1
+    );
+}
+
+#[test]
+fn signedness_resolution_comparison() {
+    assert_eq!(ret("int main() { int a; a = -1; return a < 1; }"), 1);
+    assert_eq!(ret("int main() { u32 a; a = -1; return a < 1; }"), 0);
+}
+
+#[test]
+fn right_shift_follows_left_operand() {
+    assert_eq!(ret("int main() { int a; a = -4; return (a >> 1) == -2; }"), 1);
+    assert_eq!(
+        ret("int main() { u32 a; a = 0x80000000; return (a >> 31) == 1; }"),
+        1
+    );
+}
+
+// ---- semantics --------------------------------------------------------------
+
+#[test]
+fn arithmetic_and_control_flow() {
+    assert_eq!(ret("int main() { return 2 + 3 * 4; }"), 14);
+    assert_eq!(ret("int main() { if (1 < 2) return 10; else return 20; }"), 10);
+    assert_eq!(
+        ret("int main() { u32 s; u32 i; s = 0; for (i = 0; i < 10; i++) s += i; return s; }"),
+        45
+    );
+    assert_eq!(
+        ret("int main() { u32 i; i = 0; while (i < 5) { i = i + 1; } return i; }"),
+        5
+    );
+    assert_eq!(
+        ret("int main() { u32 i; i = 0; do { i++; } while (i < 3); return i; }"),
+        3
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        ret("int main() { u32 i; u32 s; s = 0; \
+             for (i = 0; i < 10; i++) { if (i == 5) break; s += i; } return s; }"),
+        10
+    );
+    assert_eq!(
+        ret("int main() { u32 i; u32 s; s = 0; \
+             for (i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s; }"),
+        20
+    );
+}
+
+#[test]
+fn short_circuit_does_not_touch_right_operand() {
+    // a[10] is out of bounds; && must not evaluate it.
+    assert_eq!(
+        ret("u32 a[10]; int main() { u32 i; i = 10; \
+             if (i < 10 && a[i] > 0) return 1; return 2; }"),
+        2
+    );
+    assert_eq!(
+        ret("u32 a[10]; int main() { u32 i; i = 10; \
+             if (i >= 10 || a[i] > 0) return 1; return 2; }"),
+        1
+    );
+}
+
+#[test]
+fn globals_are_zero_initialized() {
+    assert_eq!(ret("u32 a[8]; u32 g; int main() { return a[3] + g; }"), 0);
+}
+
+#[test]
+fn global_initializers_apply() {
+    assert_eq!(
+        ret("u32 a[4] = {10, 20, 30}; int main() { return a[0] + a[1] + a[2] + a[3]; }"),
+        60
+    );
+}
+
+#[test]
+fn local_arrays_and_pointers() {
+    assert_eq!(
+        ret("int main() { u32 b[4]; u32 *p; b[0] = 7; p = b; p[1] = 35; return b[0] + *(p + 1); }"),
+        42
+    );
+}
+
+#[test]
+fn address_of_local_scalar() {
+    assert_eq!(
+        ret("int main() { u32 x; u32 *p; x = 1; p = &x; *p = 42; return x; }"),
+        42
+    );
+}
+
+#[test]
+fn pointer_difference_counts_elements() {
+    assert_eq!(
+        ret("u32 a[10]; int main() { u32 *p; u32 *q; p = &a[2]; q = &a[7]; return q - p; }"),
+        5
+    );
+}
+
+#[test]
+fn array_out_of_bounds_goes_wrong() {
+    let b = run("u32 a[4]; int main() { return a[4]; }");
+    assert!(b.goes_wrong(), "{b}");
+}
+
+#[test]
+fn reading_uninitialized_local_goes_wrong() {
+    let b = run("int main() { u32 x; return x + 1; }");
+    assert!(b.goes_wrong(), "{b}");
+}
+
+#[test]
+fn division_by_zero_goes_wrong() {
+    let b = run("int main() { u32 z; z = 0; return 4 / z; }");
+    assert!(b.goes_wrong(), "{b}");
+}
+
+#[test]
+fn infinite_loop_diverges() {
+    let p = frontend("int main() { while (1) { } return 0; }", &[]).unwrap();
+    let b = Executor::run_main(&p, 10_000);
+    assert!(matches!(b, trace::Behavior::Diverges(_)));
+}
+
+#[test]
+fn call_events_match_paper_example_shape() {
+    let src = "
+        u32 random() { return 4; }
+        void init() { u32 r; r = random(); }
+        u32 search(u32 e) { return e; }
+        int main() { u32 x; init(); x = search(3); return x; }
+    ";
+    let b = run(src);
+    let names: Vec<String> = b.trace().events().iter().map(|e| e.to_string()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "call(main)",
+            "call(init)",
+            "call(random)",
+            "ret(random)",
+            "ret(init)",
+            "call(search)",
+            "ret(search)",
+            "ret(main)"
+        ]
+    );
+    assert_eq!(b.trace().check_bracketing(), Some(0));
+}
+
+#[test]
+fn recursion_weight_is_linear_in_depth() {
+    let src = "
+        u32 down(u32 n) { u32 r; if (n == 0) return 0; r = down(n - 1); return r; }
+        int main() { u32 r; r = down(10); return r; }
+    ";
+    let b = run(src);
+    let m = Metric::from_pairs([("down", 8), ("main", 16)]);
+    assert_eq!(b.weight(&m), 16 + 11 * 8);
+}
+
+#[test]
+fn external_calls_emit_io_events() {
+    let src = "
+        extern u32 sensor(u32 channel);
+        int main() { u32 a; u32 b; a = sensor(1); b = sensor(1); return a == b; }
+    ";
+    let b = run(src);
+    assert_eq!(b.return_code(), Some(1)); // deterministic externals
+    let ios: Vec<&Event> = b.trace().events().iter().filter(|e| !e.is_memory()).collect();
+    assert_eq!(ios.len(), 2);
+}
+
+#[test]
+fn void_function_call_statement() {
+    assert_eq!(
+        ret("u32 g; void bump() { g = g + 1; } int main() { bump(); bump(); return g; }"),
+        2
+    );
+}
+
+#[test]
+fn missing_return_in_called_function_goes_wrong_when_used() {
+    let src = "u32 f(u32 x) { if (x > 100) return 1; } \
+               int main() { u32 r; r = f(0); return r; }";
+    let b = run(src);
+    assert!(b.goes_wrong(), "{b}");
+}
+
+#[test]
+fn function_arguments_pass_arrays_as_pointers() {
+    let src = "
+        u32 a[4] = {1, 2, 3, 4};
+        u32 sum(u32 *p, u32 n) { u32 s; u32 i; s = 0; for (i = 0; i < n; i++) s += p[i]; return s; }
+        int main() { u32 r; r = sum(a, 4); return r; }
+    ";
+    assert_eq!(ret(src), 10);
+}
+
+#[test]
+fn fibonacci_recursive() {
+    let src = "
+        u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n; \
+                         a = fib(n - 1); b = fib(n - 2); return a + b; }
+        int main() { u32 r; r = fib(12); return r; }
+    ";
+    let b = run(src);
+    assert_eq!(b.return_code(), Some(144));
+    // Max open activations of fib = recursion depth = 12.
+    assert_eq!(b.trace().weight(&Metric::indicator("fib")), 12);
+}
+
+#[test]
+fn mutual_recursion_with_forward_reference() {
+    let src = "
+        u32 odd(u32 n);
+        int main() { return 0; }
+    ";
+    // Prototypes are not supported; forward references work because the
+    // checker sees all definitions. This is the supported spelling:
+    let _ = src;
+    let src = "
+        u32 even(u32 n) { u32 r; if (n == 0) return 1; r = odd(n - 1); return r; }
+        u32 odd(u32 n) { u32 r; if (n == 0) return 0; r = even(n - 1); return r; }
+        int main() { u32 r; r = even(9); return r; }
+    ";
+    assert_eq!(ret(src), 0);
+}
+
+#[test]
+fn run_function_directly() {
+    let src = "u32 twice(u32 x) { return x + x; } int main() { return 0; }";
+    let p = frontend(src, &[]).unwrap();
+    let b = Executor::run_function(&p, "twice", vec![Value::Int(21)], FUEL);
+    assert_eq!(b.return_code(), Some(42));
+}
+
+#[test]
+fn ternary_expression() {
+    assert_eq!(ret("int main() { u32 x; x = 5; return x > 3 ? 10 : 20; }"), 10);
+}
+
+#[test]
+fn compound_assignment_operators() {
+    assert_eq!(
+        ret("int main() { u32 x; x = 8; x += 2; x *= 3; x -= 5; x /= 5; x <<= 2; x |= 1; \
+             return x; }"),
+        21
+    );
+}
+
+#[test]
+fn casts_between_scalars() {
+    assert_eq!(ret("int main() { int a; a = -1; return (u32)a > 0; }"), 1);
+}
+
+#[test]
+fn assigning_call_result_to_array_element_via_temp() {
+    let src = "
+        u32 a[4];
+        u32 f(u32 x) { return x * 2; }
+        int main() { u32 i; for (i = 0; i < 4; i++) { a[i] = f(i); } return a[3]; }
+    ";
+    assert_eq!(ret(src), 6);
+}
+
+#[test]
+fn local_array_blocks_are_freed_on_return() {
+    let src = "
+        u32 deep(u32 n) { u32 buf[10]; u32 r; buf[0] = n; if (n == 0) return buf[0]; \
+                          r = deep(n - 1); return r; }
+        int main() { u32 r; r = deep(5); return r; }
+    ";
+    let p = frontend(src, &[]).unwrap();
+    let b = Executor::run_main(&p, FUEL);
+    assert_eq!(b.return_code(), Some(0));
+}
+
+// ---- property tests ---------------------------------------------------------
+
+/// A tiny random arithmetic-expression generator: builds an expression with
+/// a known value and checks the interpreter agrees with host arithmetic.
+fn arith_expr(depth: u32) -> BoxedStrategy<(String, u32)> {
+    let leaf = (0u32..100).prop_map(|n| (n.to_string(), n));
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (inner.clone(), inner, 0u8..3).prop_map(|((sa, va), (sb, vb), op)| match op {
+            0 => (format!("({sa} + {sb})"), va.wrapping_add(vb)),
+            1 => (format!("({sa} * {sb})"), va.wrapping_mul(vb)),
+            _ => (format!("({sa} - {sb})"), va.wrapping_sub(vb)),
+        })
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_interpreter_agrees_with_host_arithmetic((src, expected) in arith_expr(4)) {
+        let program = format!("int main() {{ u32 x; x = {src}; return x & 0xff; }}");
+        prop_assert_eq!(ret(&program), expected & 0xff);
+    }
+
+    #[test]
+    fn prop_loop_sum_matches_closed_form(n in 0u32..200) {
+        let src = format!(
+            "int main() {{ u32 s; u32 i; s = 0; for (i = 0; i < {n}; i++) s += i; \
+             return s & 0xffff; }}"
+        );
+        prop_assert_eq!(ret(&src), (n.wrapping_sub(1).wrapping_mul(n) / 2) & 0xffff);
+    }
+
+    #[test]
+    fn prop_mutual_recursion_traces_well_bracketed(n in 0u32..15) {
+        let src = format!("
+            u32 even(u32 n) {{ u32 r; if (n == 0) return 1; r = odd(n - 1); return r; }}
+            u32 odd(u32 n) {{ u32 r; if (n == 0) return 0; r = even(n - 1); return r; }}
+            int main() {{ u32 r; r = even({n}); return r; }}
+        ");
+        let p = frontend(&src, &[]).unwrap();
+        let b = Executor::run_main(&p, FUEL);
+        prop_assert_eq!(b.trace().check_bracketing(), Some(0));
+        prop_assert_eq!(b.return_code(), Some(u32::from(n % 2 == 0)));
+    }
+}
+
+// ---- misc --------------------------------------------------------------------
+
+#[test]
+fn frontend_reports_errors_as_strings() {
+    assert!(frontend("int main() { return x; }", &[]).is_err());
+    assert!(frontend("not a program", &[]).is_err());
+}
+
+#[test]
+fn program_accessors() {
+    let p: Program = frontend(
+        "u32 g; extern u32 e(void); u32 f(void) { return 1; } int main() { return 0; }",
+        &[],
+    )
+    .unwrap();
+    assert!(p.function("f").is_some());
+    assert!(p.external("e").is_some());
+    assert!(p.global("g").is_some());
+    assert_eq!(p.function_names().collect::<Vec<_>>(), vec!["f", "main"]);
+}
+
+
+// ---- switch statements --------------------------------------------------------
+
+#[test]
+fn switch_dispatches_on_cases_and_default() {
+    let src = "
+        u32 classify(u32 x) {
+            switch (x) {
+                case 0: return 10;
+                case 1:
+                case 2: return 20;
+                case 3: { u32 y; y = x * 2; return y; }
+                default: return 99;
+            }
+        }
+        int main() { u32 a; u32 b; u32 c; u32 d; u32 e;
+            a = classify(0); b = classify(1); c = classify(2);
+            d = classify(3); e = classify(7);
+            return a + b + c + d + e; }
+    ";
+    assert_eq!(ret(src), 10 + 20 + 20 + 6 + 99);
+}
+
+#[test]
+fn switch_with_breaks_falls_through_to_following_code() {
+    let src = "
+        int main() {
+            u32 r; u32 x;
+            x = 2; r = 0;
+            switch (x) {
+                case 1: r = 10; break;
+                case 2: r = 20; break;
+            }
+            return r + 1;
+        }
+    ";
+    assert_eq!(ret(src), 21);
+}
+
+#[test]
+fn switch_without_matching_case_or_default_is_a_noop() {
+    assert_eq!(
+        ret("int main() { u32 x; x = 9; switch (x) { case 1: return 1; } return 5; }"),
+        5
+    );
+}
+
+#[test]
+fn switch_rejects_fallthrough() {
+    let err = parse(
+        "int main() { switch (1) { case 1: return 1; case 2: main(); case 3: break; } return 0; }",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("fallthrough"), "{err}");
+}
+
+#[test]
+fn switch_breaks_inside_nested_loops_stay_with_the_loop() {
+    let src = "
+        int main() {
+            u32 x; u32 i; u32 n;
+            x = 1; n = 0;
+            switch (x) {
+                case 1:
+                    for (i = 0; i < 10; i++) { if (i == 3) break; n = n + 1; }
+                    break;
+            }
+            return n;
+        }
+    ";
+    assert_eq!(ret(src), 3);
+}

@@ -1,0 +1,510 @@
+//! Type checker for Clight programs.
+//!
+//! Beyond name resolution and type compatibility, the checker performs the
+//! elaborations CompCert's front end performs during C-to-Clight
+//! translation:
+//!
+//! * resolves C's usual arithmetic conversions — division, modulo, right
+//!   shift and comparisons become their unsigned variants when an operand
+//!   is unsigned (the parser always emits the signed variant);
+//! * scales pointer arithmetic — `p + i` on a `u32*` becomes a byte offset
+//!   `p + i*4`, and pointer difference divides by the element size;
+//! * computes each function's set of *addressable* locals (arrays, and
+//!   scalars whose address is taken), which the semantics allocates memory
+//!   blocks for and the compiler lays out in the stack frame.
+
+use crate::ast::{Expr, Function, Program, Stmt};
+use crate::Ty;
+use mem::Binop;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// A type error, with the function it occurred in where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Function being checked, if any.
+    pub function: Option<String>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "in `{name}`: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Type-checks and elaborates a program in place.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+///
+/// # Examples
+///
+/// ```
+/// let mut p = clight::parse("int main() { u32 x; x = 3 / 4; return x; }").unwrap();
+/// clight::typecheck(&mut p).unwrap();
+/// ```
+pub fn typecheck(program: &mut Program) -> Result<(), TypeError> {
+    // Global name uniqueness.
+    let mut seen = HashSet::new();
+    for g in &program.globals {
+        if !seen.insert(g.name.clone()) {
+            return Err(err_global(format!("duplicate global `{}`", g.name)));
+        }
+        match &g.ty {
+            Ty::Array(elem, n) => {
+                if !elem.is_scalar() {
+                    return Err(err_global(format!(
+                        "global `{}`: only arrays of scalars are supported",
+                        g.name
+                    )));
+                }
+                if *n == 0 {
+                    return Err(err_global(format!("global `{}` has zero length", g.name)));
+                }
+                if g.init.len() > *n as usize {
+                    return Err(err_global(format!(
+                        "global `{}`: {} initializers for {} elements",
+                        g.name,
+                        g.init.len(),
+                        n
+                    )));
+                }
+            }
+            _ => {
+                if g.init.len() > 1 {
+                    return Err(err_global(format!(
+                        "global `{}`: scalar with multiple initializers",
+                        g.name
+                    )));
+                }
+            }
+        }
+    }
+    for f in &program.functions {
+        if !seen.insert(f.name.clone()) {
+            return Err(err_global(format!("duplicate definition of `{}`", f.name)));
+        }
+    }
+    for e in &program.externals {
+        if !seen.insert(e.name.clone()) {
+            return Err(err_global(format!("duplicate definition of `{}`", e.name)));
+        }
+    }
+
+    // Signatures for call checking.
+    let signatures: HashMap<String, (Option<Ty>, Vec<Option<Ty>>)> = program
+        .functions
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                (
+                    f.ret.clone(),
+                    f.params.iter().map(|p| Some(p.ty.clone())).collect(),
+                ),
+            )
+        })
+        .chain(program.externals.iter().map(|e| {
+            (
+                e.name.clone(),
+                (e.ret.clone(), vec![None; e.arity]),
+            )
+        }))
+        .collect();
+    let global_tys: HashMap<String, Ty> = program
+        .globals
+        .iter()
+        .map(|g| (g.name.clone(), g.ty.clone()))
+        .collect();
+
+    let mut functions = std::mem::take(&mut program.functions);
+    for f in &mut functions {
+        check_function(f, &signatures, &global_tys).map_err(|message| TypeError {
+            function: Some(f.name.clone()),
+            message,
+        })?;
+    }
+    program.functions = functions;
+    Ok(())
+}
+
+fn err_global(message: String) -> TypeError {
+    TypeError {
+        function: None,
+        message,
+    }
+}
+
+struct FnChecker<'a> {
+    func_name: String,
+    ret: Option<Ty>,
+    vars: HashMap<String, Ty>,
+    params: HashSet<String>,
+    addressable: HashSet<String>,
+    signatures: &'a HashMap<String, (Option<Ty>, Vec<Option<Ty>>)>,
+    globals: &'a HashMap<String, Ty>,
+}
+
+fn check_function(
+    f: &mut Function,
+    signatures: &HashMap<String, (Option<Ty>, Vec<Option<Ty>>)>,
+    globals: &HashMap<String, Ty>,
+) -> Result<(), String> {
+    let mut vars = HashMap::new();
+    for p in &f.params {
+        if !p.ty.is_scalar() {
+            return Err(format!("parameter `{}` has non-scalar type", p.name));
+        }
+        if vars.insert(p.name.clone(), p.ty.clone()).is_some() {
+            return Err(format!("duplicate parameter `{}`", p.name));
+        }
+    }
+    for l in &f.locals {
+        if vars.insert(l.name.clone(), l.ty.clone()).is_some() {
+            return Err(format!("duplicate local `{}`", l.name));
+        }
+        if let Ty::Array(elem, n) = &l.ty {
+            if !elem.is_scalar() || *n == 0 {
+                return Err(format!("local array `{}` must be a nonempty array of scalars", l.name));
+            }
+        }
+    }
+    if let Some(ret) = &f.ret {
+        if !ret.is_scalar() {
+            return Err("return type must be scalar".into());
+        }
+    }
+
+    let mut ck = FnChecker {
+        func_name: f.name.clone(),
+        ret: f.ret.clone(),
+        vars,
+        params: f.params.iter().map(|p| p.name.clone()).collect(),
+        addressable: f
+            .locals
+            .iter()
+            .filter(|l| matches!(l.ty, Ty::Array(..)))
+            .map(|l| l.name.clone())
+            .collect(),
+        signatures,
+        globals,
+    };
+    let body = Rc::make_mut(&mut f.body);
+    ck.check_stmt(body, false)?;
+    f.addressable = ck.addressable;
+    Ok(())
+}
+
+impl FnChecker<'_> {
+    fn var_ty(&self, name: &str) -> Option<Ty> {
+        self.vars
+            .get(name)
+            .or_else(|| self.globals.get(name))
+            .cloned()
+    }
+
+    fn check_stmt(&mut self, s: &mut Stmt, in_loop: bool) -> Result<(), String> {
+        match s {
+            Stmt::Skip => Ok(()),
+            Stmt::Assign(lv, e) => {
+                if !lv.is_lvalue() {
+                    return Err(format!("`{lv}` is not assignable"));
+                }
+                let lt = self.check_expr(lv)?;
+                if !lt.is_scalar() {
+                    return Err(format!("cannot assign to `{lv}` of array type"));
+                }
+                let rt = self.check_expr(e)?;
+                compatible(&lt, &rt)
+                    .then_some(())
+                    .ok_or_else(|| format!("cannot assign `{rt}` to `{lv}` of type `{lt}`"))
+            }
+            Stmt::Call(dest, fname, args) => {
+                let (ret, params) = self
+                    .signatures
+                    .get(fname)
+                    .ok_or_else(|| format!("call to undefined function `{fname}`"))?
+                    .clone();
+                if args.len() != params.len() {
+                    return Err(format!(
+                        "`{fname}` expects {} arguments, got {}",
+                        params.len(),
+                        args.len()
+                    ));
+                }
+                for (a, pty) in args.iter_mut().zip(&params) {
+                    let at = self.check_expr(a)?;
+                    if let Some(pty) = pty {
+                        if !compatible(pty, &at) {
+                            return Err(format!(
+                                "argument `{a}` of `{fname}` has type `{at}`, expected `{pty}`"
+                            ));
+                        }
+                    } else if !at.decayed().is_scalar() {
+                        return Err(format!("argument `{a}` is not scalar"));
+                    }
+                }
+                if let Some(d) = dest {
+                    let dt = self
+                        .vars
+                        .get(d.as_str())
+                        .ok_or_else(|| format!("call destination `{d}` is not a local variable"))?;
+                    if !dt.is_scalar() {
+                        return Err(format!("call destination `{d}` is not scalar"));
+                    }
+                    let rt = ret.ok_or_else(|| {
+                        format!("void function `{fname}` used as a value")
+                    })?;
+                    if !compatible(dt, &rt) {
+                        return Err(format!(
+                            "cannot store `{fname}` result of type `{rt}` into `{d}`"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Seq(a, b) => {
+                self.check_stmt(Rc::make_mut(a), in_loop)?;
+                self.check_stmt(Rc::make_mut(b), in_loop)
+            }
+            Stmt::If(c, t, e) => {
+                let ct = self.check_expr(c)?;
+                if !ct.is_scalar() {
+                    return Err(format!("condition `{c}` is not scalar"));
+                }
+                self.check_stmt(Rc::make_mut(t), in_loop)?;
+                self.check_stmt(Rc::make_mut(e), in_loop)
+            }
+            Stmt::Loop(b, i) => {
+                self.check_stmt(Rc::make_mut(b), true)?;
+                self.check_stmt(Rc::make_mut(i), true)
+            }
+            Stmt::Break | Stmt::Continue => in_loop
+                .then_some(())
+                .ok_or_else(|| "break/continue outside of a loop".into()),
+            Stmt::Return(e) => match (self.ret.clone(), e) {
+                (None, None) => Ok(()),
+                (None, Some(v)) => Err(format!(
+                    "void function `{}` returns a value `{v}`",
+                    self.func_name
+                )),
+                (Some(_), None) => Err(format!(
+                    "non-void function `{}` returns without a value",
+                    self.func_name
+                )),
+                (Some(rt), Some(v)) => {
+                    let vt = self.check_expr(v)?;
+                    compatible(&rt, &vt).then_some(()).ok_or_else(|| {
+                        format!("return value `{v}` has type `{vt}`, expected `{rt}`")
+                    })
+                }
+            },
+        }
+    }
+
+    /// Checks an expression, rewriting it in place (signedness resolution
+    /// and pointer-arithmetic scaling), and returns its type.
+    fn check_expr(&mut self, e: &mut Expr) -> Result<Ty, String> {
+        match e {
+            Expr::Const(_, ty) => Ok(ty.clone()),
+            Expr::Var(x) => self
+                .var_ty(x)
+                .ok_or_else(|| format!("undefined variable `{x}`")),
+            Expr::Unop(_, a) => {
+                let at = self.check_expr(a)?;
+                if !at.is_integer() {
+                    return Err(format!("unary operation on non-integer `{a}`"));
+                }
+                Ok(at)
+            }
+            Expr::Binop(op, a, b) => {
+                let at = self.check_expr(a)?.decayed();
+                let bt = self.check_expr(b)?.decayed();
+                self.check_binop(op, a, b, at, bt)
+            }
+            Expr::Index(a, i) => {
+                let at = self.check_expr(a)?;
+                let it = self.check_expr(i)?;
+                if !it.is_integer() {
+                    return Err(format!("array index `{i}` is not an integer"));
+                }
+                match at.element() {
+                    Some(elem) if elem.is_scalar() => Ok(elem.clone()),
+                    Some(_) => Err(format!("`{a}`: arrays of arrays are not supported")),
+                    None => Err(format!("`{a}` of type `{at}` cannot be indexed")),
+                }
+            }
+            Expr::Deref(p) => {
+                let pt = self.check_expr(p)?.decayed();
+                match pt {
+                    Ty::Ptr(elem) if elem.is_scalar() => Ok(*elem),
+                    _ => Err(format!("cannot dereference `{p}` of type `{pt}`")),
+                }
+            }
+            Expr::Addr(lv) => {
+                if !lv.is_lvalue() {
+                    return Err(format!("cannot take the address of `{lv}`"));
+                }
+                if let Expr::Var(x) = lv.as_ref() {
+                    if self.params.contains(x) {
+                        return Err(format!(
+                            "cannot take the address of parameter `{x}` \
+                             (copy it into a local first)"
+                        ));
+                    }
+                    if self.vars.contains_key(x) {
+                        self.addressable.insert(x.clone());
+                    }
+                }
+                let lt = self.check_expr(lv)?;
+                Ok(Ty::Ptr(Box::new(lt)))
+            }
+            Expr::Cond(c, t, f) => {
+                let ct = self.check_expr(c)?;
+                if !ct.is_scalar() {
+                    return Err(format!("condition `{c}` is not scalar"));
+                }
+                let tt = self.check_expr(t)?.decayed();
+                let ft = self.check_expr(f)?.decayed();
+                if !compatible(&tt, &ft) && !compatible(&ft, &tt) {
+                    return Err(format!(
+                        "branches of `?:` have incompatible types `{tt}` and `{ft}`"
+                    ));
+                }
+                Ok(common_type(&tt, &ft))
+            }
+            Expr::Cast(ty, a) => {
+                let at = self.check_expr(a)?.decayed();
+                if !ty.is_scalar() {
+                    return Err(format!("cast to non-scalar type `{ty}`"));
+                }
+                if matches!(ty, Ty::Ptr(_)) && at.is_integer() {
+                    return Err("casting an integer to a pointer is not supported".into());
+                }
+                Ok(ty.clone())
+            }
+            Expr::Call0(fname, _) => Err(format!(
+                "call to `{fname}` nested inside an expression \
+                 (assign its result to a variable first)"
+            )),
+        }
+    }
+
+    fn check_binop(
+        &mut self,
+        op: &mut Binop,
+        a: &mut Box<Expr>,
+        b: &mut Box<Expr>,
+        at: Ty,
+        bt: Ty,
+    ) -> Result<Ty, String> {
+        use Binop::*;
+        // Pointer arithmetic: scale the integer operand by the element size.
+        match (&at, &bt) {
+            (Ty::Ptr(elem), t) if t.is_integer() && matches!(op, Add | Sub) => {
+                let size = elem.size();
+                scale_in_place(b, size);
+                return Ok(at);
+            }
+            (t, Ty::Ptr(elem)) if t.is_integer() && matches!(op, Add) => {
+                let size = elem.size();
+                scale_in_place(a, size);
+                return Ok(bt);
+            }
+            (Ty::Ptr(e1), Ty::Ptr(e2)) if matches!(op, Sub) => {
+                if e1 != e2 {
+                    return Err("subtracting pointers of different element types".into());
+                }
+                // (p - q) / sizeof(elem), computed on the raw byte difference.
+                let size = e1.size();
+                let raw = Expr::Binop(Sub, a.clone(), b.clone());
+                **a = raw;
+                **b = Expr::uint(size);
+                *op = Divu;
+                return Ok(Ty::U32);
+            }
+            (Ty::Ptr(_), Ty::Ptr(_)) if op.is_comparison() => {
+                *op = to_unsigned(*op);
+                return Ok(Ty::I32);
+            }
+            _ => {}
+        }
+        if !at.is_integer() || !bt.is_integer() {
+            return Err(format!(
+                "operator `{op}` applied to non-integer operands `{a}` ({at}) and `{b}` ({bt})"
+            ));
+        }
+        let unsigned = at.is_unsigned() || bt.is_unsigned();
+        // Right shift signedness follows the left operand (C semantics).
+        if matches!(op, Shrs | Shru) {
+            *op = if at.is_unsigned() { Shru } else { Shrs };
+            return Ok(at);
+        }
+        if unsigned {
+            *op = to_unsigned(*op);
+        }
+        if op.is_comparison() {
+            return Ok(Ty::I32);
+        }
+        Ok(if unsigned { Ty::U32 } else { Ty::I32 })
+    }
+}
+
+/// Rewrites `e` to `e * size` (skipped when `size == 1`).
+fn scale_in_place(e: &mut Expr, size: u32) {
+    if size == 1 {
+        return;
+    }
+    let old = std::mem::replace(e, Expr::uint(0));
+    *e = Expr::binop(Binop::Mul, old, Expr::uint(size));
+}
+
+fn to_unsigned(op: Binop) -> Binop {
+    use Binop::*;
+    match op {
+        Divs => Divu,
+        Mods => Modu,
+        Shrs => Shru,
+        Lts => Ltu,
+        Les => Leu,
+        Gts => Gtu,
+        Ges => Geu,
+        other => other,
+    }
+}
+
+/// Assignment compatibility: integers inter-convert freely (C implicit
+/// conversions between `int` and `unsigned`), arrays decay to pointers,
+/// pointers must agree on the element type.
+fn compatible(dst: &Ty, src: &Ty) -> bool {
+    let src = src.decayed();
+    match (dst, &src) {
+        (a, b) if a == b => true,
+        (a, b) if a.is_integer() && b.is_integer() => true,
+        (Ty::Ptr(a), Ty::Ptr(b)) => a == b,
+        _ => false,
+    }
+}
+
+fn common_type(a: &Ty, b: &Ty) -> Ty {
+    if matches!(a, Ty::Ptr(_)) {
+        return a.clone();
+    }
+    if matches!(b, Ty::Ptr(_)) {
+        return b.clone();
+    }
+    if a.is_unsigned() || b.is_unsigned() {
+        Ty::U32
+    } else {
+        Ty::I32
+    }
+}

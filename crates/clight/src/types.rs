@@ -1,0 +1,83 @@
+//! Types of the Clight subset.
+
+use std::fmt;
+
+/// A Clight type in our subset.
+///
+/// Everything is word-sized (4 bytes) except arrays. This matches the
+/// paper's benchmarks, which manipulate `u32` words, word arrays, and
+/// pointers to words. Arrays of arrays are rejected by the type checker
+/// (multi-dimensional tables in the benchmark ports are flattened).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Unsigned 32-bit integer (`u32`, `unsigned`).
+    U32,
+    /// Signed 32-bit integer (`int`).
+    I32,
+    /// Pointer to a value of the element type.
+    Ptr(Box<Ty>),
+    /// Array with a compile-time length.
+    Array(Box<Ty>, u32),
+}
+
+impl Ty {
+    /// Size of a value of this type in bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use clight::Ty;
+    /// assert_eq!(Ty::U32.size(), 4);
+    /// assert_eq!(Ty::Array(Box::new(Ty::U32), 10).size(), 40);
+    /// ```
+    pub fn size(&self) -> u32 {
+        match self {
+            Ty::U32 | Ty::I32 | Ty::Ptr(_) => 4,
+            Ty::Array(elem, n) => elem.size() * n,
+        }
+    }
+
+    /// True for `U32`/`I32`.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Ty::U32 | Ty::I32)
+    }
+
+    /// True for unsigned integers and pointers (C comparison semantics).
+    pub fn is_unsigned(&self) -> bool {
+        matches!(self, Ty::U32 | Ty::Ptr(_))
+    }
+
+    /// True for scalar (word-sized) types that fit in a register.
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Ty::Array(..))
+    }
+
+    /// The element type for arrays and pointers.
+    pub fn element(&self) -> Option<&Ty> {
+        match self {
+            Ty::Array(e, _) | Ty::Ptr(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The pointer type this type *decays* to in rvalue position:
+    /// arrays decay to pointers to their element type, everything else is
+    /// unchanged.
+    pub fn decayed(&self) -> Ty {
+        match self {
+            Ty::Array(e, _) => Ty::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::U32 => write!(f, "u32"),
+            Ty::I32 => write!(f, "int"),
+            Ty::Ptr(e) => write!(f, "{e}*"),
+            Ty::Array(e, n) => write!(f, "{e}[{n}]"),
+        }
+    }
+}

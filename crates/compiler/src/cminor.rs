@@ -1,0 +1,477 @@
+//! Cminor: the first intermediate language of the pipeline.
+//!
+//! Compared to Clight, the addressable locals of each function are merged
+//! into a single per-function *stack block* with static offsets (CompCert's
+//! `Cminorgen`), memory accesses are explicit `Load`/`Store` operations,
+//! and types have been erased — everything is a machine word. Scalar locals
+//! remain named temporaries.
+//!
+//! The small-step semantics mirrors Clight's and emits the same
+//! `call`/`ret` events, so quantitative refinement of the Clight→Cminor
+//! pass can be checked trace against trace.
+
+use mem::{Binop, BlockId, Memory, Unop, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use trace::{Behavior, Event, Trace};
+
+/// A Cminor expression (word-valued, side-effect free).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmExpr {
+    /// Integer constant.
+    Const(u32),
+    /// Scalar temporary.
+    Temp(String),
+    /// Address of the function's own stack block plus offset.
+    StackAddr(u32),
+    /// Address of a global plus offset.
+    GlobalAddr(String, u32),
+    /// Word load from an address.
+    Load(Box<CmExpr>),
+    /// Unary operation.
+    Unop(Unop, Box<CmExpr>),
+    /// Binary operation.
+    Binop(Binop, Box<CmExpr>, Box<CmExpr>),
+    /// Lazy conditional expression.
+    Cond(Box<CmExpr>, Box<CmExpr>, Box<CmExpr>),
+}
+
+impl fmt::Display for CmExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmExpr::Const(n) => write!(f, "{n}"),
+            CmExpr::Temp(x) => write!(f, "{x}"),
+            CmExpr::StackAddr(o) => write!(f, "&stack[{o}]"),
+            CmExpr::GlobalAddr(g, o) => write!(f, "&{g}[{o}]"),
+            CmExpr::Load(a) => write!(f, "load({a})"),
+            CmExpr::Unop(op, a) => write!(f, "{op}({a})"),
+            CmExpr::Binop(op, a, b) => write!(f, "({a} {op} {b})"),
+            CmExpr::Cond(c, t, e) => write!(f, "({c} ? {t} : {e})"),
+        }
+    }
+}
+
+/// A Cminor statement. Control flow stays structured (lowering to a CFG
+/// happens in RTL generation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmStmt {
+    /// No-op.
+    Skip,
+    /// `temp = expr`.
+    Assign(String, CmExpr),
+    /// `[addr] = value`.
+    Store(CmExpr, CmExpr),
+    /// `temp? = f(args)`.
+    Call(Option<String>, String, Vec<CmExpr>),
+    /// Sequence.
+    Seq(Rc<CmStmt>, Rc<CmStmt>),
+    /// Conditional.
+    If(CmExpr, Rc<CmStmt>, Rc<CmStmt>),
+    /// Infinite loop with increment part (same shape as Clight).
+    Loop(Rc<CmStmt>, Rc<CmStmt>),
+    /// Exit the innermost loop.
+    Break,
+    /// Skip to the increment of the innermost loop.
+    Continue,
+    /// Return.
+    Return(Option<CmExpr>),
+}
+
+impl CmStmt {
+    /// `s1; s2` with skip elimination.
+    pub fn seq(s1: CmStmt, s2: CmStmt) -> CmStmt {
+        match (&s1, &s2) {
+            (CmStmt::Skip, _) => s2,
+            (_, CmStmt::Skip) => s1,
+            _ => CmStmt::Seq(Rc::new(s1), Rc::new(s2)),
+        }
+    }
+}
+
+/// A Cminor function: named temporaries plus one stack block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmFunction {
+    /// Function name.
+    pub name: String,
+    /// Parameter temporaries, in order.
+    pub params: Vec<String>,
+    /// Non-parameter temporaries.
+    pub temps: Vec<String>,
+    /// Size in bytes of the function's stack block (its merged
+    /// addressable locals).
+    pub stacksize: u32,
+    /// Body.
+    pub body: Rc<CmStmt>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+}
+
+/// A Cminor program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CmProgram {
+    /// Globals: name, byte size, initial words.
+    pub globals: Vec<(String, u32, Vec<u32>)>,
+    /// Externals: name, arity, returns-value flag.
+    pub externals: Vec<(String, usize, bool)>,
+    /// Function definitions.
+    pub functions: Vec<CmFunction>,
+}
+
+impl CmProgram {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&CmFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+// ---- semantics ---------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct Frame {
+    fname: Rc<str>,
+    temps: HashMap<String, Value>,
+    stack_block: Option<BlockId>,
+}
+
+#[derive(Debug, Clone)]
+enum Cont {
+    Stop,
+    Seq(Rc<CmStmt>, Rc<Cont>),
+    Loop1(Rc<CmStmt>, Rc<CmStmt>, Rc<Cont>),
+    Loop2(Rc<CmStmt>, Rc<CmStmt>, Rc<Cont>),
+    Call(Option<String>, Box<Frame>, Rc<Cont>),
+}
+
+#[derive(Debug)]
+enum State {
+    Stmt(Rc<CmStmt>, Rc<Cont>),
+    Call(String, Vec<Value>, Option<String>, Rc<Cont>),
+    Return(Value, Rc<Cont>),
+}
+
+/// Runs `main()` of a Cminor program for at most `fuel` steps.
+pub fn run_main(program: &CmProgram, fuel: u64) -> Behavior {
+    run_function(program, "main", Vec::new(), fuel)
+}
+
+/// Runs `fname(args)` of a Cminor program for at most `fuel` steps.
+pub fn run_function(program: &CmProgram, fname: &str, args: Vec<Value>, fuel: u64) -> Behavior {
+    let mut ex = match CmExecutor::new(program, fname, args) {
+        Ok(ex) => ex,
+        Err(e) => return Behavior::Fails(Trace::new(), e),
+    };
+    ex.run(fuel)
+}
+
+struct CmExecutor<'p> {
+    program: &'p CmProgram,
+    globals: HashMap<String, BlockId>,
+    memory: Memory,
+    frame: Frame,
+    state: State,
+    trace: Trace,
+    steps: u64,
+    entry_returns: bool,
+}
+
+impl<'p> CmExecutor<'p> {
+    fn new(program: &'p CmProgram, fname: &str, args: Vec<Value>) -> Result<Self, String> {
+        let mut memory = Memory::new();
+        let mut globals = HashMap::new();
+        for (name, size, init) in &program.globals {
+            let b = memory.alloc(*size);
+            for i in 0..(*size / 4) {
+                let v = init.get(i as usize).copied().unwrap_or(0);
+                memory.store(b, i * 4, Value::Int(v)).map_err(|e| e.to_string())?;
+            }
+            globals.insert(name.clone(), b);
+        }
+        let Some(f) = program.function(fname) else {
+            return Err(format!("no function `{fname}`"));
+        };
+        let entry_returns = f.returns_value;
+        Ok(CmExecutor {
+            program,
+            globals,
+            memory,
+            frame: Frame::default(),
+            state: State::Call(fname.to_owned(), args, None, Rc::new(Cont::Stop)),
+            trace: Trace::new(),
+            steps: 0,
+            entry_returns,
+        })
+    }
+
+    fn run(&mut self, fuel: u64) -> Behavior {
+        while self.steps < fuel {
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(code)) => return Behavior::Converges(self.trace.clone(), code),
+                Err(e) => return Behavior::Fails(self.trace.clone(), e),
+            }
+        }
+        Behavior::Diverges(self.trace.clone())
+    }
+
+    fn step(&mut self) -> Result<Option<u32>, String> {
+        self.steps += 1;
+        let state = std::mem::replace(&mut self.state, State::Return(Value::Undef, Rc::new(Cont::Stop)));
+        match state {
+            State::Stmt(s, k) => {
+                self.step_stmt(&s, k)?;
+                Ok(None)
+            }
+            State::Call(fname, args, dest, k) => {
+                self.enter(&fname, args, dest, k)?;
+                Ok(None)
+            }
+            State::Return(v, k) => self.step_return(v, k),
+        }
+    }
+
+    fn step_stmt(&mut self, s: &CmStmt, k: Rc<Cont>) -> Result<(), String> {
+        match s {
+            CmStmt::Skip => self.unwind_skip(k),
+            CmStmt::Assign(x, e) => {
+                let v = self.eval(e)?;
+                match self.frame.temps.get_mut(x) {
+                    Some(slot) => *slot = v,
+                    None => return Err(format!("unknown temp `{x}`")),
+                }
+                self.state = State::Stmt(Rc::new(CmStmt::Skip), k);
+                Ok(())
+            }
+            CmStmt::Store(addr, value) => {
+                let a = self.eval(addr)?;
+                let v = self.eval(value)?;
+                let (b, off) = a.as_ptr().map_err(|e| e.to_string())?;
+                self.memory.store(b, off, v).map_err(|e| e.to_string())?;
+                self.state = State::Stmt(Rc::new(CmStmt::Skip), k);
+                Ok(())
+            }
+            CmStmt::Call(dest, fname, args) => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_, _>>()?;
+                self.state = State::Call(fname.clone(), vals, dest.clone(), k);
+                Ok(())
+            }
+            CmStmt::Seq(a, b) => {
+                self.state = State::Stmt(a.clone(), Rc::new(Cont::Seq(b.clone(), k)));
+                Ok(())
+            }
+            CmStmt::If(c, t, e) => {
+                let v = self.eval(c)?;
+                let s = if truthy(v)? { t } else { e };
+                self.state = State::Stmt(s.clone(), k);
+                Ok(())
+            }
+            CmStmt::Loop(body, incr) => {
+                self.state = State::Stmt(body.clone(), Rc::new(Cont::Loop1(body.clone(), incr.clone(), k)));
+                Ok(())
+            }
+            CmStmt::Break => self.unwind_break(k),
+            CmStmt::Continue => self.unwind_continue(k),
+            CmStmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Undef,
+                };
+                self.leave()?;
+                self.state = State::Return(v, k);
+                Ok(())
+            }
+        }
+    }
+
+    fn unwind_skip(&mut self, k: Rc<Cont>) -> Result<(), String> {
+        match k.as_ref() {
+            Cont::Stop | Cont::Call(..) => {
+                self.leave()?;
+                self.state = State::Return(Value::Undef, k);
+                Ok(())
+            }
+            Cont::Seq(s2, k2) => {
+                self.state = State::Stmt(s2.clone(), k2.clone());
+                Ok(())
+            }
+            Cont::Loop1(b, i, k2) => {
+                self.state = State::Stmt(i.clone(), Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())));
+                Ok(())
+            }
+            Cont::Loop2(b, i, k2) => {
+                self.state = State::Stmt(b.clone(), Rc::new(Cont::Loop1(b.clone(), i.clone(), k2.clone())));
+                Ok(())
+            }
+        }
+    }
+
+    fn unwind_break(&mut self, k: Rc<Cont>) -> Result<(), String> {
+        match k.as_ref() {
+            Cont::Seq(_, k2) => self.unwind_break(k2.clone()),
+            Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {
+                self.state = State::Stmt(Rc::new(CmStmt::Skip), k2.clone());
+                Ok(())
+            }
+            _ => Err("break outside of a loop".into()),
+        }
+    }
+
+    fn unwind_continue(&mut self, k: Rc<Cont>) -> Result<(), String> {
+        match k.as_ref() {
+            Cont::Seq(_, k2) => self.unwind_continue(k2.clone()),
+            Cont::Loop1(b, i, k2) => {
+                self.state = State::Stmt(i.clone(), Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())));
+                Ok(())
+            }
+            _ => Err("continue outside of a loop body".into()),
+        }
+    }
+
+    fn enter(
+        &mut self,
+        fname: &str,
+        args: Vec<Value>,
+        dest: Option<String>,
+        k: Rc<Cont>,
+    ) -> Result<(), String> {
+        if let Some(f) = self.program.function(fname) {
+            self.trace.push(Event::call(fname));
+            let caller = std::mem::take(&mut self.frame);
+            if f.params.len() != args.len() {
+                return Err(format!("arity mismatch calling `{fname}`"));
+            }
+            let mut temps: HashMap<String, Value> =
+                f.params.iter().cloned().zip(args).collect();
+            for t in &f.temps {
+                temps.entry(t.clone()).or_insert(Value::Undef);
+            }
+            self.frame = Frame {
+                fname: Rc::from(fname),
+                temps,
+                stack_block: Some(self.memory.alloc(f.stacksize)),
+            };
+            self.state = State::Stmt(f.body.clone(), Rc::new(Cont::Call(dest, Box::new(caller), k)));
+            return Ok(());
+        }
+        if let Some((name, arity, has_ret)) = self
+            .program
+            .externals
+            .iter()
+            .find(|(n, _, _)| n == fname)
+            .cloned()
+        {
+            if args.len() != arity {
+                return Err(format!("arity mismatch calling external `{fname}`"));
+            }
+            let ints: Vec<u32> = args
+                .iter()
+                .map(|v| v.as_int().map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            let result = clight::io_result(&name, &ints);
+            self.trace.push(Event::io(name.as_str(), ints, result));
+            if let Some(d) = dest {
+                if !has_ret {
+                    return Err(format!("void external `{fname}` used as a value"));
+                }
+                match self.frame.temps.get_mut(&d) {
+                    Some(slot) => *slot = Value::Int(result),
+                    None => return Err(format!("unknown temp `{d}`")),
+                }
+            }
+            self.state = State::Stmt(Rc::new(CmStmt::Skip), k);
+            return Ok(());
+        }
+        Err(format!("call to undefined function `{fname}`"))
+    }
+
+    fn leave(&mut self) -> Result<(), String> {
+        if let Some(b) = self.frame.stack_block.take() {
+            self.memory.free(b).map_err(|e| e.to_string())?;
+        }
+        self.trace.push(Event::ret(self.frame.fname.as_ref()));
+        Ok(())
+    }
+
+    fn step_return(&mut self, v: Value, k: Rc<Cont>) -> Result<Option<u32>, String> {
+        match k.as_ref() {
+            Cont::Stop => match v {
+                Value::Int(n) => Ok(Some(n)),
+                Value::Undef if !self.entry_returns => Ok(Some(0)),
+                other => Err(format!("program finished with non-integer value {other}")),
+            },
+            Cont::Call(dest, saved, k2) => {
+                if matches!(k2.as_ref(), Cont::Stop) {
+                    return self.step_return(v, k2.clone());
+                }
+                self.frame = (**saved).clone();
+                if let Some(d) = dest {
+                    match self.frame.temps.get_mut(d) {
+                        Some(slot) => *slot = v,
+                        None => return Err(format!("unknown temp `{d}`")),
+                    }
+                }
+                self.state = State::Stmt(Rc::new(CmStmt::Skip), k2.clone());
+                Ok(None)
+            }
+            Cont::Seq(_, k2) | Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {
+                self.step_return(v, k2.clone())
+            }
+        }
+    }
+
+    fn eval(&self, e: &CmExpr) -> Result<Value, String> {
+        match e {
+            CmExpr::Const(n) => Ok(Value::Int(*n)),
+            CmExpr::Temp(x) => self
+                .frame
+                .temps
+                .get(x)
+                .copied()
+                .ok_or_else(|| format!("unknown temp `{x}`")),
+            CmExpr::StackAddr(off) => {
+                let b = self
+                    .frame
+                    .stack_block
+                    .ok_or_else(|| "no stack block".to_owned())?;
+                Ok(Value::Ptr(b, *off))
+            }
+            CmExpr::GlobalAddr(g, off) => {
+                let b = self
+                    .globals
+                    .get(g)
+                    .ok_or_else(|| format!("unknown global `{g}`"))?;
+                Ok(Value::Ptr(*b, *off))
+            }
+            CmExpr::Load(a) => {
+                let v = self.eval(a)?;
+                let (b, off) = v.as_ptr().map_err(|e| e.to_string())?;
+                self.memory.load(b, off).map_err(|e| e.to_string())
+            }
+            CmExpr::Unop(op, a) => {
+                let v = self.eval(a)?;
+                mem::eval_unop(*op, v).map_err(|e| e.to_string())
+            }
+            CmExpr::Binop(op, a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                mem::eval_binop(*op, va, vb).map_err(|e| e.to_string())
+            }
+            CmExpr::Cond(c, t, f) => {
+                let v = self.eval(c)?;
+                if truthy(v)? {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+        }
+    }
+}
+
+fn truthy(v: Value) -> Result<bool, String> {
+    match v {
+        Value::Int(n) => Ok(n != 0),
+        Value::Ptr(..) => Ok(true),
+        other => Err(format!("branch condition evaluated to {other}")),
+    }
+}

@@ -1,0 +1,374 @@
+//! Mach: the last per-frame language before assembly generation.
+//!
+//! A Mach function's stack frame is completely laid out: outgoing-argument
+//! slots at the bottom, then spill slots, then the stack-data area holding
+//! the merged addressable locals. Its total size `SF(f)` is the source of
+//! the cost metric `M(f) = SF(f) + 4` — "at the level of Mach, we already
+//! know the stack size necessary for a function call" (§3.2).
+//!
+//! The semantics still allocates one memory block per frame (stack merging
+//! into the single finite block happens in the next pass), reads incoming
+//! parameters abstractly via `GetParam`, and emits `call`/`ret` events.
+
+use asm::Reg;
+use mem::{Binop, BlockId, Memory, Unop, Value};
+use std::collections::HashMap;
+use std::fmt;
+use trace::{Behavior, Event, Trace};
+
+/// A Mach instruction over machine registers and frame offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MInstr {
+    /// Jump target.
+    Label(u32),
+    /// `dst <- k`.
+    Const(u32, Reg),
+    /// `dst <- src`.
+    Move(Reg, Reg),
+    /// `r <- op r` in place.
+    Unop(Unop, Reg),
+    /// `dst <- dst op src` in place.
+    Binop(Binop, Reg, Reg),
+    /// `dst <- &frame + off` (a pointer into the stack-data area).
+    StackAddr(u32, Reg),
+    /// `dst <- &global[idx] + off`.
+    GlobalAddr(u32, u32, Reg),
+    /// `dst <- [addr]`.
+    Load(Reg, Reg),
+    /// `[addr] <- src`.
+    Store(Reg, Reg),
+    /// `dst <- frame[off]` (spill reload or outgoing slot read).
+    LoadStack(u32, Reg),
+    /// `frame[off] <- src` (spill or outgoing-argument write).
+    StoreStack(u32, Reg),
+    /// `dst <- incoming parameter i` (resolved to a cross-frame load by
+    /// assembly generation — the pass the paper highlights).
+    GetParam(u32, Reg),
+    /// Conditional branch.
+    Cond(Binop, Reg, Reg, u32),
+    /// Unconditional branch.
+    Jmp(u32),
+    /// Call an internal function by index; arguments were stored in the
+    /// outgoing slots. The result, if any, is in `eax` afterwards.
+    Call(u32),
+    /// Call an external function by index.
+    CallExt(u32),
+    /// Return; the result, if any, is in `eax`.
+    Return,
+}
+
+impl fmt::Display for MInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MInstr::Label(l) => write!(f, ".L{l}:"),
+            MInstr::Const(k, r) => write!(f, "\t{r} = {k}"),
+            MInstr::Move(d, s) => write!(f, "\t{d} = {s}"),
+            MInstr::Unop(op, r) => write!(f, "\t{r} = {op}{r}"),
+            MInstr::Binop(op, d, s) => write!(f, "\t{d} = {d} {op} {s}"),
+            MInstr::StackAddr(o, r) => write!(f, "\t{r} = &frame[{o}]"),
+            MInstr::GlobalAddr(g, o, r) => write!(f, "\t{r} = &g{g}[{o}]"),
+            MInstr::Load(a, d) => write!(f, "\t{d} = [{a}]"),
+            MInstr::Store(a, s) => write!(f, "\t[{a}] = {s}"),
+            MInstr::LoadStack(o, r) => write!(f, "\t{r} = frame[{o}]"),
+            MInstr::StoreStack(o, r) => write!(f, "\tframe[{o}] = {r}"),
+            MInstr::GetParam(i, r) => write!(f, "\t{r} = param[{i}]"),
+            MInstr::Cond(op, a, b, l) => write!(f, "\tif {a} {op} {b} goto .L{l}"),
+            MInstr::Jmp(l) => write!(f, "\tgoto .L{l}"),
+            MInstr::Call(i) => write!(f, "\tcall fn{i}"),
+            MInstr::CallExt(i) => write!(f, "\tcall ext{i}"),
+            MInstr::Return => write!(f, "\treturn"),
+        }
+    }
+}
+
+/// A Mach function with its fully laid-out frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachFunction {
+    /// Function name.
+    pub name: String,
+    /// Total frame size `SF(f)` in bytes.
+    pub frame_size: u32,
+    /// Number of parameters.
+    pub nparams: usize,
+    /// Code.
+    pub code: Vec<MInstr>,
+}
+
+/// A Mach program. Globals and externals are indexed; the tables carry the
+/// names for events and diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MachProgram {
+    /// Globals: name, byte size, initial words.
+    pub globals: Vec<(String, u32, Vec<u32>)>,
+    /// Externals: name, arity, returns-value flag.
+    pub externals: Vec<(String, usize, bool)>,
+    /// Function definitions.
+    pub functions: Vec<MachFunction>,
+}
+
+impl MachProgram {
+    /// The stack-frame sizes `SF` produced by the stacking pass.
+    pub fn frame_sizes(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.functions.iter().map(|f| (f.name.as_str(), f.frame_size))
+    }
+
+    /// The cost metric `M(f) = SF(f) + 4` of Theorem 1.
+    pub fn metric(&self) -> trace::Metric {
+        self.functions
+            .iter()
+            .map(|f| (f.name.clone(), f.frame_size + 4))
+            .collect()
+    }
+
+    /// Looks up a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<u32> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Renders the program as readable Mach text.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for f in &self.functions {
+            let _ = writeln!(out, "{}: # SF = {} bytes, {} params", f.name, f.frame_size, f.nparams);
+            for i in &f.code {
+                let _ = writeln!(out, "{i}");
+            }
+        }
+        out
+    }
+}
+
+// ---- semantics ---------------------------------------------------------------
+
+struct MFrame {
+    func: usize,
+    pc: usize,
+    block: BlockId,
+    params: Vec<Value>,
+}
+
+/// Runs `main()` of a Mach program for at most `fuel` instruction steps.
+pub fn run_main(program: &MachProgram, fuel: u64) -> Behavior {
+    run_function(program, "main", Vec::new(), fuel)
+}
+
+/// Like [`run_main`], additionally reporting the peak number of live
+/// frame bytes — the stack usage of the *per-frame-block* semantics, which
+/// the stack-merging ablation compares against the merged `ASMsz` block.
+pub fn run_main_with_peak(program: &MachProgram, fuel: u64) -> (Behavior, u64) {
+    let globals_bytes: u64 = program
+        .globals
+        .iter()
+        .map(|(_, size, _)| u64::from(size.div_ceil(4) * 4))
+        .sum();
+    let mut peak = 0;
+    let behavior = run_function_impl(program, "main", Vec::new(), fuel, Some(&mut peak));
+    (behavior, peak.saturating_sub(globals_bytes))
+}
+
+/// Runs `fname(args)` of a Mach program.
+pub fn run_function(program: &MachProgram, fname: &str, args: Vec<Value>, fuel: u64) -> Behavior {
+    run_function_impl(program, fname, args, fuel, None)
+}
+
+fn run_function_impl(
+    program: &MachProgram,
+    fname: &str,
+    args: Vec<Value>,
+    fuel: u64,
+    peak_out: Option<&mut u64>,
+) -> Behavior {
+    let peak_slot = peak_out;
+    let mut memory = Memory::new();
+    let memory = &mut memory;
+    let behavior = (|| -> Behavior {
+    let mut trace = Trace::new();
+    let mut global_blocks = Vec::new();
+    for (_, size, init) in &program.globals {
+        let b = memory.alloc(*size);
+        for i in 0..(*size / 4) {
+            let v = init.get(i as usize).copied().unwrap_or(0);
+            if memory.store(b, i * 4, Value::Int(v)).is_err() {
+                return Behavior::Fails(trace, "bad global initializer".into());
+            }
+        }
+        global_blocks.push(b);
+    }
+    let Some(fidx) = program.functions.iter().position(|f| f.name == fname) else {
+        return Behavior::Fails(trace, format!("no function `{fname}`"));
+    };
+    // Per-function label tables.
+    let labels: Vec<HashMap<u32, usize>> = program
+        .functions
+        .iter()
+        .map(|f| {
+            f.code
+                .iter()
+                .enumerate()
+                .filter_map(|(i, ins)| match ins {
+                    MInstr::Label(l) => Some((*l, i)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut regs: [Value; 8] = [Value::Undef; 8];
+    let mut stack: Vec<MFrame> = Vec::new();
+    trace.push(Event::call(fname));
+    stack.push(MFrame {
+        func: fidx,
+        pc: 0,
+        block: memory.alloc(program.functions[fidx].frame_size),
+        params: args,
+    });
+
+    let mut steps = 0u64;
+    macro_rules! frame {
+        () => {
+            stack.last_mut().expect("nonempty call stack")
+        };
+    }
+    while steps < fuel {
+        steps += 1;
+        let fr_func = frame!().func;
+        let fr_pc = frame!().pc;
+        let func = &program.functions[fr_func];
+        let Some(instr) = func.code.get(fr_pc) else {
+            return Behavior::Fails(trace, format!("fell off the end of `{}`", func.name));
+        };
+        frame!().pc += 1;
+        macro_rules! fail {
+            ($e:expr) => {
+                return Behavior::Fails(trace, $e.to_string())
+            };
+        }
+        macro_rules! try_or_fail {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(e) => fail!(e),
+                }
+            };
+        }
+        match instr {
+            MInstr::Label(_) => {}
+            MInstr::Const(k, r) => regs[r.index()] = Value::Int(*k),
+            MInstr::Move(d, s) => regs[d.index()] = regs[s.index()],
+            MInstr::Unop(op, r) => {
+                regs[r.index()] = try_or_fail!(mem::eval_unop(*op, regs[r.index()]));
+            }
+            MInstr::Binop(op, d, s) => {
+                regs[d.index()] =
+                    try_or_fail!(mem::eval_binop(*op, regs[d.index()], regs[s.index()]));
+            }
+            MInstr::StackAddr(off, r) => {
+                let b = frame!().block;
+                regs[r.index()] = Value::Ptr(b, *off);
+            }
+            MInstr::GlobalAddr(g, off, r) => match global_blocks.get(*g as usize) {
+                Some(b) => regs[r.index()] = Value::Ptr(*b, *off),
+                None => fail!(format!("bad global index {g}")),
+            },
+            MInstr::Load(a, d) => {
+                let (b, off) = try_or_fail!(regs[a.index()].as_ptr());
+                regs[d.index()] = try_or_fail!(memory.load(b, off));
+            }
+            MInstr::Store(a, s) => {
+                let (b, off) = try_or_fail!(regs[a.index()].as_ptr());
+                try_or_fail!(memory.store(b, off, regs[s.index()]));
+            }
+            MInstr::LoadStack(off, r) => {
+                let b = frame!().block;
+                regs[r.index()] = try_or_fail!(memory.load(b, *off));
+            }
+            MInstr::StoreStack(off, r) => {
+                let b = frame!().block;
+                let v = regs[r.index()];
+                try_or_fail!(memory.store(b, *off, v));
+            }
+            MInstr::GetParam(i, r) => {
+                let fr = frame!();
+                match fr.params.get(*i as usize) {
+                    Some(v) => regs[r.index()] = *v,
+                    None => fail!(format!("parameter {i} out of range")),
+                }
+            }
+            MInstr::Cond(op, a, b, l) => {
+                let v = try_or_fail!(mem::eval_binop(*op, regs[a.index()], regs[b.index()]));
+                if v != Value::Int(0) {
+                    match labels[fr_func].get(l) {
+                        Some(t) => frame!().pc = *t,
+                        None => fail!(format!("missing label {l} in `{}`", func.name)),
+                    }
+                }
+            }
+            MInstr::Jmp(l) => match labels[fr_func].get(l) {
+                Some(t) => frame!().pc = *t,
+                None => fail!(format!("missing label {l} in `{}`", func.name)),
+            },
+            MInstr::Call(ci) => {
+                let Some(callee) = program.functions.get(*ci as usize) else {
+                    fail!(format!("bad function index {ci}"));
+                };
+                // Read arguments from the caller's outgoing slots.
+                let b = frame!().block;
+                let mut args = Vec::with_capacity(callee.nparams);
+                for i in 0..callee.nparams {
+                    args.push(try_or_fail!(memory.load(b, 4 * i as u32)));
+                }
+                trace.push(Event::call(callee.name.as_str()));
+                let block = memory.alloc(callee.frame_size);
+                stack.push(MFrame {
+                    func: *ci as usize,
+                    pc: 0,
+                    block,
+                    params: args,
+                });
+            }
+            MInstr::CallExt(ei) => {
+                let Some((name, arity, _)) = program.externals.get(*ei as usize).cloned() else {
+                    fail!(format!("bad external index {ei}"));
+                };
+                let b = frame!().block;
+                let mut args = Vec::with_capacity(arity);
+                for i in 0..arity {
+                    let v = try_or_fail!(memory.load(b, 4 * i as u32));
+                    args.push(try_or_fail!(v.as_int()));
+                }
+                let result = clight::io_result(&name, &args);
+                trace.push(Event::io(name.as_str(), args, result));
+                regs[Reg::Eax.index()] = Value::Int(result);
+            }
+            MInstr::Return => {
+                let popped = stack.pop().expect("nonempty call stack");
+                if memory.free(popped.block).is_err() {
+                    fail!("frame block already freed");
+                }
+                trace.push(Event::ret(func.name.as_str()));
+                if stack.is_empty() {
+                    // A void entry function leaves eax undefined; report
+                    // exit code 0 like a C runtime would.
+                    return match regs[Reg::Eax.index()] {
+                        Value::Int(code) => Behavior::Converges(trace, code),
+                        Value::Undef => Behavior::Converges(trace, 0),
+                        other => Behavior::Fails(
+                            trace,
+                            format!("program finished with non-integer value {other}"),
+                        ),
+                    };
+                }
+            }
+        }
+    }
+        Behavior::Diverges(trace)
+    })();
+    if let Some(p) = peak_slot {
+        *p = memory.peak_live_bytes();
+    }
+    behavior
+}

@@ -1,0 +1,546 @@
+use crate::{cminor, compile_c, compile_with, mach, rtl, Options};
+use proptest::prelude::*;
+use trace::refinement::{check_classic, check_quantitative};
+use trace::Behavior;
+
+const FUEL: u64 = 20_000_000;
+
+/// Compiles `src` and checks the whole pipeline on one execution:
+/// quantitative refinement between every adjacent pair of IR interpreters,
+/// and Theorem 1 for the final machine code. Returns the source behavior.
+fn check_pipeline(src: &str) -> Behavior {
+    let program = clight::frontend(src, &[]).unwrap_or_else(|e| panic!("frontend: {e}"));
+    let compiled = crate::compile(&program).unwrap_or_else(|e| panic!("compile: {e}"));
+
+    let b_clight = clight::Executor::run_main(&program, FUEL);
+    let b_cminor = cminor::run_main(&compiled.cminor, FUEL);
+    let b_rtl = rtl::run_main(&compiled.rtl, FUEL);
+    let b_rtl_opt = rtl::run_main(&compiled.rtl_opt, FUEL);
+    let b_mach = mach::run_main(&compiled.mach, FUEL);
+
+    let metric = [("mach", &compiled.metric)];
+    check_quantitative(&b_clight, &b_cminor, &metric)
+        .unwrap_or_else(|e| panic!("clight -> cminor: {e}\nsource: {b_clight}\ntarget: {b_cminor}"));
+    check_quantitative(&b_cminor, &b_rtl, &metric)
+        .unwrap_or_else(|e| panic!("cminor -> rtl: {e}\nsource: {b_cminor}\ntarget: {b_rtl}"));
+    check_quantitative(&b_rtl, &b_rtl_opt, &metric)
+        .unwrap_or_else(|e| panic!("rtl -> rtl_opt: {e}"));
+    check_quantitative(&b_rtl_opt, &b_mach, &metric)
+        .unwrap_or_else(|e| panic!("rtl_opt -> mach: {e}\nsource: {b_rtl_opt}\ntarget: {b_mach}"));
+
+    // Theorem 1 at the machine level: with sz >= the source weight under
+    // the compiler's metric, the target refines the source and cannot
+    // overflow, and the measured usage is exactly weight - 4.
+    if !b_clight.goes_wrong() {
+        let weight = b_mach.weight(&compiled.metric);
+        assert!(weight >= 0);
+        let sz = u32::try_from(weight).unwrap().div_ceil(4) * 4;
+        let m = asm::measure_main(&compiled.asm, sz, FUEL).unwrap();
+        check_classic(&b_mach, &m.behavior)
+            .unwrap_or_else(|e| panic!("mach -> asm: {e}\nsource: {b_mach}\ntarget: {}", m.behavior));
+        assert!(!m.overflowed(), "overflow with sz = weight = {sz}");
+        if m.behavior.converges() {
+            assert_eq!(
+                i64::from(m.stack_usage),
+                weight - 4,
+                "measured usage != weight - 4"
+            );
+        }
+    }
+    b_clight
+}
+
+fn returns(src: &str, expected: u32) {
+    let b = check_pipeline(src);
+    assert_eq!(b.return_code(), Some(expected), "behavior: {b}");
+}
+
+// ---- end-to-end correctness on a program battery ------------------------------
+
+#[test]
+fn constants_and_arithmetic() {
+    returns("int main() { return (3 + 4) * (10 - 4); }", 42);
+    returns("int main() { return 7 % 4 + 39; }", 42);
+    returns("int main() { u32 x; x = 0x1000; return x >> 8; }", 16);
+}
+
+#[test]
+fn locals_and_assignments() {
+    returns("int main() { u32 a; u32 b; a = 6; b = a * a; return b + a; }", 42);
+}
+
+#[test]
+fn if_then_else_chains() {
+    returns(
+        "int main() { int x; x = -5; if (x < 0) x = -x; if (x > 4) return x + 37; return 0; }",
+        42,
+    );
+}
+
+#[test]
+fn loops_with_break_and_continue() {
+    returns(
+        "int main() { u32 s; u32 i; s = 0;
+           for (i = 0; i < 100; i++) {
+             if (i % 3 == 0) continue;
+             if (i >= 10) break;
+             s += i;
+           } return s; }",
+        1 + 2 + 4 + 5 + 7 + 8,
+    );
+}
+
+#[test]
+fn while_and_do_while() {
+    returns(
+        "int main() { u32 n; u32 c; n = 27; c = 0;
+           while (n != 1) { if (n % 2) n = 3 * n + 1; else n = n / 2; c++; }
+           return c; }",
+        111,
+    );
+}
+
+#[test]
+fn globals_and_arrays() {
+    returns(
+        "u32 tab[8] = {5, 4, 3}; u32 g = 30;
+         int main() { tab[3] = tab[0] + tab[1]; return tab[3] + tab[2] + g; }",
+        42,
+    );
+}
+
+#[test]
+fn local_arrays_and_pointers() {
+    returns(
+        "int main() { u32 b[4]; u32 *p; u32 i;
+           for (i = 0; i < 4; i++) b[i] = i * i;
+           p = &b[1];
+           return b[0] + p[0] + p[1] + p[2] + 28; }",
+        42,
+    );
+}
+
+#[test]
+fn address_of_scalar_local() {
+    returns(
+        "void bump(u32 *p) { *p = *p + 1; }
+         int main() { u32 x; x = 41; bump(&x); return x; }",
+        42,
+    );
+}
+
+#[test]
+fn simple_calls() {
+    returns(
+        "u32 add(u32 a, u32 b) { return a + b; }
+         u32 twice(u32 x) { u32 r; r = add(x, x); return r; }
+         int main() { u32 r; r = twice(21); return r; }",
+        42,
+    );
+}
+
+#[test]
+fn many_arguments_spill_to_outgoing_slots() {
+    returns(
+        "u32 sum6(u32 a, u32 b, u32 c, u32 d, u32 e, u32 f) {
+           return a + b + c + d + e + f;
+         }
+         int main() { u32 r; r = sum6(1, 2, 3, 4, 5, 27); return r; }",
+        42,
+    );
+}
+
+#[test]
+fn recursion_fib() {
+    returns(
+        "u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n;
+           a = fib(n - 1); b = fib(n - 2); return a + b; }
+         int main() { u32 r; r = fib(10); return r; }",
+        55,
+    );
+}
+
+#[test]
+fn mutual_recursion() {
+    returns(
+        "u32 even(u32 n) { u32 r; if (n == 0) return 1; r = odd(n - 1); return r; }
+         u32 odd(u32 n) { u32 r; if (n == 0) return 0; r = even(n - 1); return r; }
+         int main() { u32 r; r = even(10); return r; }",
+        1,
+    );
+}
+
+#[test]
+fn externals_produce_identical_io() {
+    returns(
+        "extern u32 sensor(u32 ch);
+         int main() { u32 a; u32 b; a = sensor(3); b = sensor(3); return a == b; }",
+        1,
+    );
+}
+
+#[test]
+fn register_pressure_forces_spills() {
+    // Nine simultaneously-live values exceed the four allocatable registers.
+    returns(
+        "int main() {
+           u32 a; u32 b; u32 c; u32 d; u32 e; u32 f; u32 g; u32 h; u32 i;
+           a = 1; b = 2; c = 3; d = 4; e = 5; f = 6; g = 7; h = 8; i = 9;
+           return a + b + c + d + e + f + g + h + i - 3; }",
+        42,
+    );
+}
+
+#[test]
+fn values_live_across_calls_are_spilled() {
+    returns(
+        "u32 id(u32 x) { return x; }
+         int main() { u32 a; u32 b; u32 c; u32 r;
+           a = 10; b = 20; c = 12;
+           r = id(0);
+           return a + b + c + r; }",
+        42,
+    );
+}
+
+#[test]
+fn ternary_and_short_circuit() {
+    returns(
+        "int main() { u32 x; u32 y; x = 5; y = x > 3 && x < 10 ? 42 : 0; return y; }",
+        42,
+    );
+}
+
+#[test]
+fn signed_unsigned_operations() {
+    returns("int main() { int a; a = -84; return a / -2; }", 42);
+    returns(
+        "int main() { u32 a; a = 0xFFFFFFFF; return (a >> 28) + 27; }",
+        42,
+    );
+}
+
+#[test]
+fn nested_loops() {
+    returns(
+        "int main() { u32 s; u32 i; u32 j; s = 0;
+           for (i = 0; i < 6; i++)
+             for (j = 0; j < 7; j++)
+               s += 1;
+           return s; }",
+        42,
+    );
+}
+
+#[test]
+fn void_functions_and_global_state() {
+    returns(
+        "u32 counter;
+         void tick() { counter = counter + 1; }
+         int main() { u32 i; for (i = 0; i < 42; i++) tick(); return counter; }",
+        42,
+    );
+}
+
+#[test]
+fn empty_frames_are_legal() {
+    // A leaf with no locals has frame size 0 but metric 4.
+    let c = compile_c("u32 four() { return 4; } int main() { u32 r; r = four(); return r; }", &[])
+        .unwrap();
+    assert_eq!(c.frame_size("four"), Some(0));
+    assert_eq!(c.metric.call_cost("four"), 4);
+    returns(
+        "u32 four() { return 4; } int main() { u32 r; r = four(); return r + 38; }",
+        42,
+    );
+}
+
+// ---- failure preservation ------------------------------------------------------
+
+#[test]
+fn division_by_zero_fails_at_every_level() {
+    let b = check_pipeline("int main() { u32 z; z = 0; return 4 / z; }");
+    assert!(b.goes_wrong());
+}
+
+#[test]
+fn out_of_bounds_fails_at_source() {
+    let b = check_pipeline("u32 a[4]; int main() { u32 i; i = 4; return a[i]; }");
+    assert!(b.goes_wrong());
+}
+
+#[test]
+fn diverging_programs_stay_diverging() {
+    let src = "int main() { u32 x; x = 0; while (1) { x++; } return x; }";
+    let program = clight::frontend(src, &[]).unwrap();
+    let compiled = crate::compile(&program).unwrap();
+    assert!(matches!(
+        mach::run_main(&compiled.mach, 100_000),
+        Behavior::Diverges(_)
+    ));
+    let m = asm::measure_main(&compiled.asm, 1024, 100_000).unwrap();
+    assert!(matches!(m.behavior, Behavior::Diverges(_)));
+}
+
+// ---- optimization-specific tests -------------------------------------------------
+
+#[test]
+fn constprop_folds_constant_expressions() {
+    let c = compile_c("int main() { return 2 * 3 + 4 * 5 + 16; }", &[]).unwrap();
+    let main = c.rtl_opt.function("main").unwrap();
+    // After folding, a single constant feeds the return.
+    let consts: Vec<u32> = main
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            rtl::RtlInstr::Op(rtl::RtlOp::Const(k), _, _, _) => Some(*k),
+            _ => None,
+        })
+        .collect();
+    assert!(consts.contains(&42), "folded constants: {consts:?}");
+}
+
+#[test]
+fn constprop_does_not_fold_trapping_division() {
+    let src = "int main() { u32 a; a = 1; return a / 0; }";
+    let b = check_pipeline(src);
+    assert!(b.goes_wrong(), "division by zero must be preserved: {b}");
+}
+
+#[test]
+fn dce_removes_dead_code() {
+    let with_dead = compile_c(
+        "int main() { u32 dead; dead = 1000; return 42; }",
+        &[],
+    )
+    .unwrap();
+    let live_ops = with_dead
+        .rtl_opt
+        .function("main")
+        .unwrap()
+        .code
+        .iter()
+        .filter(|i| !matches!(i, rtl::RtlInstr::Nop(_)))
+        .count();
+    let baseline = compile_c("int main() { return 42; }", &[]).unwrap();
+    let base_ops = baseline
+        .rtl_opt
+        .function("main")
+        .unwrap()
+        .code
+        .iter()
+        .filter(|i| !matches!(i, rtl::RtlInstr::Nop(_)))
+        .count();
+    assert_eq!(live_ops, base_ops, "dead assignment not eliminated");
+}
+
+#[test]
+fn optimizations_never_change_results_or_traces() {
+    let srcs = [
+        "int main() { u32 s; u32 i; s = 0; for (i = 0; i < 9; i++) s += 2 * 3; return s; }",
+        "u32 f(u32 x) { return x * 2; }
+         int main() { u32 a; u32 b; a = f(1 + 2); b = f(3 + 4); return a + b + 1; }",
+    ];
+    for src in srcs {
+        let program = clight::frontend(src, &[]).unwrap();
+        let opt = compile_with(&program, Options::default()).unwrap();
+        let raw = compile_with(&program, Options::no_opt()).unwrap();
+        let b_opt = mach::run_main(&opt.mach, FUEL);
+        let b_raw = mach::run_main(&raw.mach, FUEL);
+        assert_eq!(b_opt.return_code(), b_raw.return_code());
+        // Call events are preserved exactly by the optimizations.
+        let calls = |b: &Behavior| {
+            b.trace()
+                .events()
+                .iter()
+                .filter(|e| e.is_memory())
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(calls(&b_opt), calls(&b_raw));
+    }
+}
+
+// ---- frame-size and metric facts ---------------------------------------------------
+
+#[test]
+fn frame_sizes_are_static_and_metric_matches() {
+    let c = compile_c(
+        "u32 buf(u32 n) { u32 b[10]; b[0] = n; return b[0]; }
+         int main() { u32 r; r = buf(1); return r; }",
+        &[],
+    )
+    .unwrap();
+    // buf's frame contains at least its 40-byte array.
+    let sf = c.frame_size("buf").unwrap();
+    assert!(sf >= 40, "SF(buf) = {sf}");
+    assert_eq!(c.metric.call_cost("buf"), sf + 4);
+    for f in &c.asm.functions {
+        assert_eq!(c.metric.call_cost(&f.name), f.frame_size + 4);
+    }
+}
+
+#[test]
+fn deeper_recursion_needs_proportionally_more_stack() {
+    let src = "
+        u32 down(u32 n) { u32 r; if (n == 0) return 7; r = down(n - 1); return r; }
+        int main() { u32 r; r = down(DEPTH); return r; }
+    ";
+    let mut usages = Vec::new();
+    for depth in [1u32, 2, 4, 8] {
+        let compiled = compile_c(src, &[("DEPTH", depth)]).unwrap();
+        let m = asm::measure_main(&compiled.asm, 1 << 20, FUEL).unwrap();
+        assert_eq!(m.result(), Some(7));
+        usages.push((depth, m.stack_usage, compiled.metric.call_cost("down")));
+    }
+    // usage(depth) is affine with slope M(down).
+    let (d0, u0, m0) = usages[0];
+    for &(d, u, m) in &usages[1..] {
+        assert_eq!(m, m0);
+        assert_eq!(u - u0, (d - d0) * m0, "usage not linear in depth");
+    }
+}
+
+#[test]
+fn theorem1_overflow_boundary_is_exact() {
+    let src = "
+        u32 leaf(u32 x) { return x + 1; }
+        u32 mid(u32 x) { u32 r; r = leaf(x); return r; }
+        int main() { u32 r; r = mid(41); return r; }
+    ";
+    let compiled = compile_c(src, &[]).unwrap();
+    let b = mach::run_main(&compiled.mach, FUEL);
+    let weight = u32::try_from(b.weight(&compiled.metric)).unwrap();
+
+    // sz = weight - 4 (the measured usage) still succeeds...
+    let ok = asm::measure_main(&compiled.asm, weight - 4, FUEL).unwrap();
+    assert_eq!(ok.result(), Some(42));
+    assert_eq!(ok.stack_usage, weight - 4);
+    // ...and sz = weight - 8 overflows.
+    let bad = asm::measure_main(&compiled.asm, weight - 8, FUEL).unwrap();
+    assert!(bad.overflowed(), "expected overflow: {}", bad.behavior);
+}
+
+// ---- property tests ------------------------------------------------------------
+
+/// Generates a random but well-formed arithmetic/control-flow program.
+fn random_program() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        (0u32..3, 0u32..100).prop_map(|(v, k)| format!("x{v} = x{v} + {k};")),
+        (0u32..3, 1u32..50).prop_map(|(v, k)| format!("x{v} = x{v} * {k};")),
+        (0u32..3, 0u32..3, 0u32..20).prop_map(|(a, b, k)| {
+            format!("if (x{a} < x{b} + {k}) {{ x{a} = x{a} + 1; }} else {{ x{b} = x{b} + 2; }}")
+        }),
+        (0u32..3, 1u32..6).prop_map(|(v, k)| {
+            format!("for (i = 0; i < {k}; i++) x{v} += i;")
+        }),
+        (0u32..3).prop_map(|v| format!("x{v} = helper(x{v});")),
+    ];
+    proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
+        format!(
+            "u32 helper(u32 n) {{ return n % 1000 + 3; }}
+             int main() {{ u32 x0; u32 x1; u32 x2; u32 i; x0 = 1; x1 = 2; x2 = 3;
+             {}
+             return (x0 + x1 + x2) & 0xff; }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_pipeline_refines_on_random_programs(src in random_program()) {
+        let b = check_pipeline(&src);
+        prop_assert!(b.converges(), "random programs converge: {b}");
+    }
+
+    #[test]
+    fn prop_recursive_weight_equals_measured_plus_4(n in 0u32..30) {
+        let src = format!("
+            u32 down(u32 n) {{ u32 r; if (n == 0) return 0; r = down(n - 1); return r; }}
+            int main() {{ u32 r; r = down({n}); return r; }}
+        ");
+        let compiled = compile_c(&src, &[]).unwrap();
+        let b = mach::run_main(&compiled.mach, FUEL);
+        let weight = b.weight(&compiled.metric);
+        let m = asm::measure_main(&compiled.asm, 1 << 20, FUEL).unwrap();
+        prop_assert_eq!(i64::from(m.stack_usage), weight - 4);
+    }
+}
+
+
+#[test]
+fn listings_render_every_ir() {
+    let c = compile_c(
+        "u32 f(u32 x) { return x + 1; } int main() { u32 r; r = f(1); return r; }",
+        &[],
+    )
+    .unwrap();
+    let rtl = c.rtl_opt.listing();
+    assert!(rtl.contains("main("), "{rtl}");
+    assert!(rtl.contains("return"), "{rtl}");
+    let machl = c.mach.listing();
+    assert!(machl.contains("# SF ="), "{machl}");
+    assert!(machl.contains("call fn"), "{machl}");
+    let asml = c.asm.listing();
+    assert!(asml.contains("main: # frame"), "{asml}");
+}
+
+#[test]
+fn tunnel_handles_nop_cycles() {
+    // A loop that constant-folds to pure Nops must not hang tunneling.
+    let src = "int main() { u32 x; x = 1; while (x) { } return 0; }";
+    let program = clight::frontend(src, &[]).unwrap();
+    let compiled = crate::compile(&program).unwrap();
+    // The program diverges; the machine must too (not crash).
+    let b = mach::run_main(&compiled.mach, 50_000);
+    assert!(matches!(b, Behavior::Diverges(_)), "{b}");
+}
+
+#[test]
+fn deeply_nested_expressions_compile() {
+    // Stress expression translation and register allocation.
+    let mut e = String::from("1");
+    for i in 2..40 {
+        e = format!("({e} + {i})");
+    }
+    let src = format!("int main() {{ u32 x; x = {e}; return x & 0xff; }}");
+    returns(&src, ((1..40).sum::<u32>()) & 0xff);
+}
+
+#[test]
+fn arguments_beyond_registers_roundtrip() {
+    // 10 arguments: all pass through outgoing stack slots.
+    returns(
+        "u32 f(u32 a,u32 b,u32 c,u32 d,u32 e,u32 g,u32 h,u32 i,u32 j,u32 k) {
+           return a+b+c+d+e+g+h+i+j+k;
+         }
+         int main() { u32 r; r = f(1,2,3,4,5,6,7,8,9,10); return r; }",
+        55,
+    );
+}
+
+
+#[test]
+fn switch_statements_compile_through_the_pipeline() {
+    returns(
+        "u32 opcode(u32 op, u32 a, u32 b) {
+           switch (op) {
+             case 0: return a + b;
+             case 1: return a - b;
+             case 2:
+             case 3: return a * b;
+             default: return 0;
+           }
+         }
+         int main() { u32 r; u32 s; u32 t; u32 u;
+           r = opcode(0, 40, 2);
+           s = opcode(1, 44, 2);
+           t = opcode(3, 21, 2);
+           u = opcode(9, 1, 1);
+           return (r + s + t + u) / 3; }",
+        42,
+    );
+}

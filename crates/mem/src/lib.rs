@@ -1,0 +1,757 @@
+//! CompCert-style block-based memory model shared by every IR interpreter in
+//! the `stackbound` workspace.
+//!
+//! The paper's semantics (CompCert 1.13) uses a memory made of disjoint
+//! *blocks*; pointer values are `(block, offset)` pairs and pointer
+//! arithmetic may never cross block boundaries. The source and intermediate
+//! languages allocate one block per addressable local variable and one block
+//! per stack frame, while the final `ASMsz` machine pre-allocates a *single*
+//! finite block holding the whole stack (see `asm`).
+//!
+//! Data is stored at 4-byte granularity: every C value in our subset
+//! (`u32`/`i32`, pointers) occupies exactly one cell. This mirrors the way
+//! the paper's benchmarks only manipulate word-sized data and lets a memory
+//! cell hold abstract values such as return addresses without inventing a
+//! byte-level encoding for them.
+//!
+//! # Examples
+//!
+//! ```
+//! use mem::{Memory, Value};
+//!
+//! let mut m = Memory::new();
+//! let b = m.alloc(16); // a 16-byte block: 4 cells
+//! m.store(b, 4, Value::Int(7)).unwrap();
+//! assert_eq!(m.load(b, 4).unwrap(), Value::Int(7));
+//! m.free(b).unwrap();
+//! assert!(m.load(b, 4).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Identifier of a memory block.
+///
+/// Blocks are never reused: freeing a block marks it dead, and loads from a
+/// dead block fail, matching CompCert's `Mem.free` (the paper's `‚` label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A runtime value: the paper's `Val ::= int n | adr ℓ`, extended with the
+/// machine-level values the `ASMsz` semantics needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 32-bit machine integer. Signed operations reinterpret the bits.
+    Int(u32),
+    /// A pointer: block plus byte offset within the block.
+    Ptr(BlockId, u32),
+    /// A code address (function index, instruction index) — only ever created
+    /// by the `ASMsz` `call` instruction when it stores a return address into
+    /// the stack block.
+    RetAddr(u32, u32),
+    /// The undefined value; reading uninitialized memory yields it.
+    Undef,
+}
+
+impl Value {
+    /// The integer carried by the value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is not an `Int` (using a pointer or `Undef` as a
+    /// number is a dynamic type error, i.e. the program "goes wrong").
+    pub fn as_int(self) -> Result<u32, MemError> {
+        match self {
+            Value::Int(n) => Ok(n),
+            other => Err(MemError::TypeMismatch {
+                expected: "int",
+                found: other,
+            }),
+        }
+    }
+
+    /// The pointer carried by the value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is not a `Ptr`.
+    pub fn as_ptr(self) -> Result<(BlockId, u32), MemError> {
+        match self {
+            Value::Ptr(b, o) => Ok((b, o)),
+            other => Err(MemError::TypeMismatch {
+                expected: "pointer",
+                found: other,
+            }),
+        }
+    }
+
+    /// True when the value is defined (not [`Value::Undef`]).
+    pub fn is_defined(self) -> bool {
+        !matches!(self, Value::Undef)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Ptr(b, o) => write!(f, "{b}+{o}"),
+            Value::RetAddr(fun, pc) => write!(f, "ra({fun},{pc})"),
+            Value::Undef => write!(f, "undef"),
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Int(n as u32)
+    }
+}
+
+/// Errors raised by memory operations.
+///
+/// Any of these means the program *goes wrong* in the sense of the paper's
+/// `fail(t)` behaviors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Access to a block identifier that was never allocated.
+    BadBlock(BlockId),
+    /// Access to a block after it was freed.
+    UseAfterFree(BlockId),
+    /// Offset out of the block bounds.
+    OutOfBounds {
+        /// The offending block.
+        block: BlockId,
+        /// Byte offset of the access.
+        offset: u32,
+        /// Size of the block in bytes.
+        size: u32,
+    },
+    /// Offset not 4-byte aligned.
+    Unaligned {
+        /// The offending block.
+        block: BlockId,
+        /// Byte offset of the access.
+        offset: u32,
+    },
+    /// Double free.
+    DoubleFree(BlockId),
+    /// A value had the wrong runtime kind.
+    TypeMismatch {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it got.
+        found: Value,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BadBlock(b) => write!(f, "access to unallocated block {b}"),
+            MemError::UseAfterFree(b) => write!(f, "use after free of block {b}"),
+            MemError::OutOfBounds {
+                block,
+                offset,
+                size,
+            } => write!(f, "offset {offset} out of bounds of {block} (size {size})"),
+            MemError::Unaligned { block, offset } => {
+                write!(f, "unaligned access at {block}+{offset}")
+            }
+            MemError::DoubleFree(b) => write!(f, "double free of block {b}"),
+            MemError::TypeMismatch { expected, found } => {
+                write!(f, "expected {expected}, found value {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Debug, Clone)]
+struct Block {
+    cells: Vec<Value>,
+    live: bool,
+}
+
+/// A block-based memory: the paper's `H : Loc → Val ∪ {‚}`.
+///
+/// # Examples
+///
+/// ```
+/// use mem::{Memory, Value};
+///
+/// let mut m = Memory::new();
+/// let b = m.alloc(8);
+/// assert_eq!(m.load(b, 0).unwrap(), Value::Undef);
+/// m.store(b, 0, Value::Int(1)).unwrap();
+/// let snapshot = m.clone(); // memories are cheap to snapshot for testing
+/// assert_eq!(snapshot.load(b, 0).unwrap(), Value::Int(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    blocks: Vec<Block>,
+    /// Currently live allocated bytes.
+    live_bytes: u64,
+    /// Peak number of live allocated bytes, for the stack-merging ablation.
+    peak_live_bytes: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory with no blocks.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Allocates a fresh block of `size` bytes (rounded up to a multiple of
+    /// 4) filled with [`Value::Undef`], and returns its identifier.
+    pub fn alloc(&mut self, size: u32) -> BlockId {
+        let cells = (size as usize).div_ceil(4);
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            cells: vec![Value::Undef; cells],
+            live: true,
+        });
+        self.live_bytes += (cells * 4) as u64;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        id
+    }
+
+    /// Frees a block. Subsequent accesses fail with [`MemError::UseAfterFree`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown blocks and double frees.
+    pub fn free(&mut self, b: BlockId) -> Result<(), MemError> {
+        let block = self
+            .blocks
+            .get_mut(b.0 as usize)
+            .ok_or(MemError::BadBlock(b))?;
+        if !block.live {
+            return Err(MemError::DoubleFree(b));
+        }
+        block.live = false;
+        self.live_bytes -= (block.cells.len() * 4) as u64;
+        Ok(())
+    }
+
+    fn cell_index(&self, b: BlockId, offset: u32) -> Result<(usize, usize), MemError> {
+        let block = self.blocks.get(b.0 as usize).ok_or(MemError::BadBlock(b))?;
+        if !block.live {
+            return Err(MemError::UseAfterFree(b));
+        }
+        if !offset.is_multiple_of(4) {
+            return Err(MemError::Unaligned { block: b, offset });
+        }
+        let idx = (offset / 4) as usize;
+        if idx >= block.cells.len() {
+            return Err(MemError::OutOfBounds {
+                block: b,
+                offset,
+                size: (block.cells.len() * 4) as u32,
+            });
+        }
+        Ok((b.0 as usize, idx))
+    }
+
+    /// Loads the 4-byte cell at `offset` in block `b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dead/unknown blocks, unaligned or out-of-bounds offsets.
+    pub fn load(&self, b: BlockId, offset: u32) -> Result<Value, MemError> {
+        let (bi, ci) = self.cell_index(b, offset)?;
+        Ok(self.blocks[bi].cells[ci])
+    }
+
+    /// Stores `v` into the 4-byte cell at `offset` in block `b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dead/unknown blocks, unaligned or out-of-bounds offsets.
+    pub fn store(&mut self, b: BlockId, offset: u32, v: Value) -> Result<(), MemError> {
+        let (bi, ci) = self.cell_index(b, offset)?;
+        self.blocks[bi].cells[ci] = v;
+        Ok(())
+    }
+
+    /// Size in bytes of a block (live or dead).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block was never allocated.
+    pub fn block_size(&self, b: BlockId) -> Result<u32, MemError> {
+        let block = self.blocks.get(b.0 as usize).ok_or(MemError::BadBlock(b))?;
+        Ok((block.cells.len() * 4) as u32)
+    }
+
+    /// Whether a block is currently live.
+    pub fn is_live(&self, b: BlockId) -> bool {
+        self.blocks.get(b.0 as usize).is_some_and(|bl| bl.live)
+    }
+
+    /// Number of blocks ever allocated.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Currently live allocated bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of live allocated bytes over the memory's lifetime.
+    ///
+    /// For the per-frame-block intermediate semantics this *is* the stack
+    /// usage, which the stack-merging ablation compares against the merged
+    /// `ASMsz` block usage.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+}
+
+/// Evaluate a binary operation on 32-bit machine integers, shared by every
+/// IR interpreter so that all languages agree on arithmetic.
+///
+/// Pointer arithmetic (`Ptr ± Int`) is supported for `Add`/`Sub` only and
+/// never crosses block boundaries (bounds are checked at access time, like
+/// CompCert). Pointer equality across blocks is defined; pointer ordering is
+/// only defined within one block.
+///
+/// # Errors
+///
+/// Division or modulo by zero and ill-typed operands make the program go
+/// wrong.
+pub fn eval_binop(op: Binop, a: Value, b: Value) -> Result<Value, MemError> {
+    use Binop::*;
+    // Pointer arithmetic first.
+    match (op, a, b) {
+        (Add, Value::Ptr(blk, off), Value::Int(n)) | (Add, Value::Int(n), Value::Ptr(blk, off)) => {
+            return Ok(Value::Ptr(blk, off.wrapping_add(n)));
+        }
+        (Sub, Value::Ptr(blk, off), Value::Int(n)) => {
+            return Ok(Value::Ptr(blk, off.wrapping_sub(n)));
+        }
+        (Sub, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) if b1 == b2 => {
+            return Ok(Value::Int(o1.wrapping_sub(o2)));
+        }
+        (Eq, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) => {
+            return Ok(Value::Int(u32::from(b1 == b2 && o1 == o2)));
+        }
+        (Ne, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) => {
+            return Ok(Value::Int(u32::from(b1 != b2 || o1 != o2)));
+        }
+        // Comparing a pointer with the integer 0 (C null checks): our
+        // pointers are never null.
+        (Eq, Value::Ptr(..), Value::Int(0)) | (Eq, Value::Int(0), Value::Ptr(..)) => {
+            return Ok(Value::Int(0));
+        }
+        (Ne, Value::Ptr(..), Value::Int(0)) | (Ne, Value::Int(0), Value::Ptr(..)) => {
+            return Ok(Value::Int(1));
+        }
+        (Ltu, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) if b1 == b2 => {
+            return Ok(Value::Int(u32::from(o1 < o2)));
+        }
+        (Leu, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) if b1 == b2 => {
+            return Ok(Value::Int(u32::from(o1 <= o2)));
+        }
+        (Gtu, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) if b1 == b2 => {
+            return Ok(Value::Int(u32::from(o1 > o2)));
+        }
+        (Geu, Value::Ptr(b1, o1), Value::Ptr(b2, o2)) if b1 == b2 => {
+            return Ok(Value::Int(u32::from(o1 >= o2)));
+        }
+        _ => {}
+    }
+    let x = a.as_int()?;
+    let y = b.as_int()?;
+    let r = match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        Divu => {
+            if y == 0 {
+                return Err(MemError::TypeMismatch {
+                    expected: "nonzero divisor",
+                    found: b,
+                });
+            }
+            x / y
+        }
+        Modu => {
+            if y == 0 {
+                return Err(MemError::TypeMismatch {
+                    expected: "nonzero divisor",
+                    found: b,
+                });
+            }
+            x % y
+        }
+        Divs => {
+            let (xs, ys) = (x as i32, y as i32);
+            if ys == 0 || (xs == i32::MIN && ys == -1) {
+                return Err(MemError::TypeMismatch {
+                    expected: "valid signed divisor",
+                    found: b,
+                });
+            }
+            (xs / ys) as u32
+        }
+        Mods => {
+            let (xs, ys) = (x as i32, y as i32);
+            if ys == 0 || (xs == i32::MIN && ys == -1) {
+                return Err(MemError::TypeMismatch {
+                    expected: "valid signed divisor",
+                    found: b,
+                });
+            }
+            (xs % ys) as u32
+        }
+        And => x & y,
+        Or => x | y,
+        Xor => x ^ y,
+        Shl => x.wrapping_shl(y & 31),
+        Shru => x.wrapping_shr(y & 31),
+        Shrs => ((x as i32).wrapping_shr(y & 31)) as u32,
+        Eq => u32::from(x == y),
+        Ne => u32::from(x != y),
+        Ltu => u32::from(x < y),
+        Leu => u32::from(x <= y),
+        Gtu => u32::from(x > y),
+        Geu => u32::from(x >= y),
+        Lts => u32::from((x as i32) < (y as i32)),
+        Les => u32::from((x as i32) <= (y as i32)),
+        Gts => u32::from((x as i32) > (y as i32)),
+        Ges => u32::from((x as i32) >= (y as i32)),
+    };
+    Ok(Value::Int(r))
+}
+
+/// Evaluate a unary operation.
+///
+/// # Errors
+///
+/// Fails on ill-typed operands.
+pub fn eval_unop(op: Unop, a: Value) -> Result<Value, MemError> {
+    let x = a.as_int()?;
+    let r = match op {
+        Unop::Neg => x.wrapping_neg(),
+        Unop::Not => !x,
+        Unop::BoolNot => u32::from(x == 0),
+    };
+    Ok(Value::Int(r))
+}
+
+/// Binary operators shared by every IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Binop {
+    Add,
+    Sub,
+    Mul,
+    Divu,
+    Modu,
+    Divs,
+    Mods,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shru,
+    Shrs,
+    Eq,
+    Ne,
+    Ltu,
+    Leu,
+    Gtu,
+    Geu,
+    Lts,
+    Les,
+    Gts,
+    Ges,
+}
+
+impl Binop {
+    /// True for comparison operators (result is always 0 or 1).
+    pub fn is_comparison(self) -> bool {
+        use Binop::*;
+        matches!(
+            self,
+            Eq | Ne | Ltu | Leu | Gtu | Geu | Lts | Les | Gts | Ges
+        )
+    }
+
+    /// The comparison with swapped operand order (`a op b` = `b op.swapped() a`),
+    /// if this is a comparison.
+    pub fn swapped(self) -> Option<Binop> {
+        use Binop::*;
+        Some(match self {
+            Eq => Eq,
+            Ne => Ne,
+            Ltu => Gtu,
+            Leu => Geu,
+            Gtu => Ltu,
+            Geu => Leu,
+            Lts => Gts,
+            Les => Ges,
+            Gts => Lts,
+            Ges => Les,
+            _ => return None,
+        })
+    }
+
+    /// The negated comparison (`!(a op b)` = `a op.negated() b`), if this is
+    /// a comparison.
+    pub fn negated(self) -> Option<Binop> {
+        use Binop::*;
+        Some(match self {
+            Eq => Ne,
+            Ne => Eq,
+            Ltu => Geu,
+            Leu => Gtu,
+            Gtu => Leu,
+            Geu => Ltu,
+            Lts => Ges,
+            Les => Gts,
+            Gts => Les,
+            Ges => Lts,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Binop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Binop::*;
+        let s = match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Divu => "/u",
+            Modu => "%u",
+            Divs => "/s",
+            Mods => "%s",
+            And => "&",
+            Or => "|",
+            Xor => "^",
+            Shl => "<<",
+            Shru => ">>u",
+            Shrs => ">>s",
+            Eq => "==",
+            Ne => "!=",
+            Ltu => "<u",
+            Leu => "<=u",
+            Gtu => ">u",
+            Geu => ">=u",
+            Lts => "<s",
+            Les => "<=s",
+            Gts => ">s",
+            Ges => ">=s",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators shared by every IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unop {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// C logical not: `!x` is 1 when `x == 0`, else 0.
+    BoolNot,
+}
+
+impl fmt::Display for Unop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Unop::Neg => "-",
+            Unop::Not => "~",
+            Unop::BoolNot => "!",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store_roundtrip() {
+        let mut m = Memory::new();
+        let b = m.alloc(16);
+        assert_eq!(m.block_size(b).unwrap(), 16);
+        for i in 0..4 {
+            m.store(b, i * 4, Value::Int(i * 10)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(m.load(b, i * 4).unwrap(), Value::Int(i * 10));
+        }
+    }
+
+    #[test]
+    fn fresh_cells_are_undef() {
+        let mut m = Memory::new();
+        let b = m.alloc(8);
+        assert_eq!(m.load(b, 0).unwrap(), Value::Undef);
+        assert_eq!(m.load(b, 4).unwrap(), Value::Undef);
+        assert!(!m.load(b, 0).unwrap().is_defined());
+    }
+
+    #[test]
+    fn size_rounds_up_to_cell() {
+        let mut m = Memory::new();
+        let b = m.alloc(5);
+        assert_eq!(m.block_size(b).unwrap(), 8);
+        let z = m.alloc(0);
+        assert_eq!(m.block_size(z).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_fails() {
+        let mut m = Memory::new();
+        let b = m.alloc(8);
+        assert!(matches!(m.load(b, 8), Err(MemError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.store(b, 12, Value::Int(0)),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unaligned_fails() {
+        let mut m = Memory::new();
+        let b = m.alloc(8);
+        assert!(matches!(m.load(b, 2), Err(MemError::Unaligned { .. })));
+    }
+
+    #[test]
+    fn use_after_free_fails() {
+        let mut m = Memory::new();
+        let b = m.alloc(8);
+        m.free(b).unwrap();
+        assert!(matches!(m.load(b, 0), Err(MemError::UseAfterFree(_))));
+        assert!(matches!(m.free(b), Err(MemError::DoubleFree(_))));
+        assert!(!m.is_live(b));
+    }
+
+    #[test]
+    fn unknown_block_fails() {
+        let m = Memory::new();
+        assert!(matches!(m.load(BlockId(3), 0), Err(MemError::BadBlock(_))));
+    }
+
+    #[test]
+    fn peak_live_bytes_tracks_high_water() {
+        let mut m = Memory::new();
+        let a = m.alloc(16);
+        let b = m.alloc(16);
+        m.free(a).unwrap();
+        let _c = m.alloc(8);
+        assert_eq!(m.peak_live_bytes(), 32);
+        m.free(b).unwrap();
+        assert_eq!(m.peak_live_bytes(), 32);
+        assert_eq!(m.live_bytes(), 8);
+        assert_eq!(m.block_count(), 3);
+    }
+
+    #[test]
+    fn pointer_arithmetic_stays_in_block() {
+        let mut m = Memory::new();
+        let b = m.alloc(16);
+        let p = Value::Ptr(b, 0);
+        let q = eval_binop(Binop::Add, p, Value::Int(8)).unwrap();
+        assert_eq!(q, Value::Ptr(b, 8));
+        let d = eval_binop(Binop::Sub, q, p).unwrap();
+        assert_eq!(d, Value::Int(8));
+    }
+
+    #[test]
+    fn cross_block_pointer_compare_eq_only() {
+        let mut m = Memory::new();
+        let b1 = m.alloc(4);
+        let b2 = m.alloc(4);
+        let p = Value::Ptr(b1, 0);
+        let q = Value::Ptr(b2, 0);
+        assert_eq!(eval_binop(Binop::Eq, p, q).unwrap(), Value::Int(0));
+        assert_eq!(eval_binop(Binop::Ne, p, q).unwrap(), Value::Int(1));
+        // Ordering across blocks is undefined behaviour -> error.
+        assert!(eval_binop(Binop::Ltu, p, q).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_goes_wrong() {
+        assert!(eval_binop(Binop::Divu, Value::Int(1), Value::Int(0)).is_err());
+        assert!(eval_binop(Binop::Mods, Value::Int(1), Value::Int(0)).is_err());
+        assert!(
+            eval_binop(Binop::Divs, Value::Int(i32::MIN as u32), Value::Int(-1i32 as u32)).is_err()
+        );
+    }
+
+    #[test]
+    fn signed_vs_unsigned_comparisons() {
+        let minus_one = Value::Int(-1i32 as u32);
+        let one = Value::Int(1);
+        assert_eq!(eval_binop(Binop::Lts, minus_one, one).unwrap(), Value::Int(1));
+        assert_eq!(eval_binop(Binop::Ltu, minus_one, one).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        assert_eq!(
+            eval_binop(Binop::Shl, Value::Int(1), Value::Int(33)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_binop(Binop::Shrs, Value::Int(0x8000_0000), Value::Int(31)).unwrap(),
+            Value::Int(0xFFFF_FFFF)
+        );
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(eval_unop(Unop::Neg, Value::Int(1)).unwrap(), Value::Int(u32::MAX));
+        assert_eq!(eval_unop(Unop::Not, Value::Int(0)).unwrap(), Value::Int(u32::MAX));
+        assert_eq!(eval_unop(Unop::BoolNot, Value::Int(0)).unwrap(), Value::Int(1));
+        assert_eq!(eval_unop(Unop::BoolNot, Value::Int(7)).unwrap(), Value::Int(0));
+        assert!(eval_unop(Unop::Neg, Value::Undef).is_err());
+    }
+
+    #[test]
+    fn negated_and_swapped_comparisons_are_involutive() {
+        use Binop::*;
+        for op in [Eq, Ne, Ltu, Leu, Gtu, Geu, Lts, Les, Gts, Ges] {
+            assert_eq!(op.negated().unwrap().negated().unwrap(), op);
+            assert_eq!(op.swapped().unwrap().swapped().unwrap(), op);
+            assert!(op.is_comparison());
+        }
+        assert_eq!(Add.negated(), None);
+        assert_eq!(Mul.swapped(), None);
+        assert!(!Add.is_comparison());
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(7u32), Value::Int(7));
+        assert_eq!(Value::from(-1i32), Value::Int(u32::MAX));
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Ptr(BlockId(2), 8).to_string(), "b2+8");
+        assert_eq!(Value::Undef.to_string(), "undef");
+        assert!(Value::Int(0).as_ptr().is_err());
+        assert!(Value::Undef.as_int().is_err());
+    }
+}

@@ -1,0 +1,550 @@
+//! Symbolic bound expressions: the assertion language of the quantitative
+//! Hoare logic.
+//!
+//! An assertion of the paper maps a program state to `ℕ ∪ {∞}`. Here
+//! assertions are *symbolic*: bound expressions over
+//!
+//! * integer expressions in program variables (parameter and local values)
+//!   and auxiliary (logical) variables,
+//! * symbolic metric costs `M(f)` resolved by a concrete [`trace::Metric`]
+//!   at instantiation time (the compiler provides `M(f) = SF(f) + 4`), and
+//! * the operations `+`, `·`, `max` and `log2`.
+//!
+//! `log2` follows the paper's convention: `log2(Δ) = +∞` for `Δ < 0` and
+//! `log2(0) = 0`, which simulates the logical precondition `beg ≤ end`
+//! without a separate guard. More generally a negative integer expression
+//! used as a quantity makes the bound `+∞` ("no guarantee").
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A bound value: a non-negative real or `+∞`.
+///
+/// Bounds are evaluated in `f64` because the paper's symbolic bounds use
+/// the real `log2` (e.g. `40·(1 + log2 x)` in Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// A finite non-negative quantity (bytes).
+    Fin(f64),
+    /// No guarantee (the quantitative `false`).
+    Inf,
+}
+
+#[allow(clippy::should_implement_trait)] // saturating ∞-arithmetic, not std ops
+impl Bound {
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<f64> {
+        match self {
+            Bound::Fin(x) => Some(x),
+            Bound::Inf => None,
+        }
+    }
+
+    /// Addition in `ℕ ∪ {∞}`.
+    pub fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Fin(a), Bound::Fin(b)) => Bound::Fin(a + b),
+            _ => Bound::Inf,
+        }
+    }
+
+    /// Multiplication in `ℕ ∪ {∞}`.
+    pub fn mul(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Fin(a), Bound::Fin(b)) => Bound::Fin(a * b),
+            _ => Bound::Inf,
+        }
+    }
+
+    /// Maximum in `ℕ ∪ {∞}`.
+    pub fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Fin(a), Bound::Fin(b)) => Bound::Fin(a.max(b)),
+            _ => Bound::Inf,
+        }
+    }
+
+    /// `self ≤ other` in `ℕ ∪ {∞}` (everything is below `∞`).
+    pub fn le(self, other: Bound) -> bool {
+        match (self, other) {
+            (_, Bound::Inf) => true,
+            (Bound::Inf, Bound::Fin(_)) => false,
+            (Bound::Fin(a), Bound::Fin(b)) => a <= b + 1e-9,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Fin(x) => write!(f, "{x}"),
+            Bound::Inf => write!(f, "∞"),
+        }
+    }
+}
+
+/// An integer expression over program variables and auxiliary variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IExpr {
+    /// Integer constant.
+    Const(i64),
+    /// Value of a program variable (parameter or local).
+    Var(String),
+    /// Value of an auxiliary (logical) variable.
+    Aux(String),
+    /// Sum.
+    Add(Box<IExpr>, Box<IExpr>),
+    /// Difference.
+    Sub(Box<IExpr>, Box<IExpr>),
+    /// Product.
+    Mul(Box<IExpr>, Box<IExpr>),
+    /// Truncated division by a positive constant (e.g. `(h + l) / 2`).
+    Div(Box<IExpr>, i64),
+}
+
+#[allow(clippy::should_implement_trait)] // tree constructors, not std ops
+impl IExpr {
+    /// Shorthand for a program variable.
+    pub fn var(name: impl Into<String>) -> IExpr {
+        IExpr::Var(name.into())
+    }
+
+    /// Shorthand for an auxiliary variable.
+    pub fn aux(name: impl Into<String>) -> IExpr {
+        IExpr::Aux(name.into())
+    }
+
+    /// `a - b`.
+    pub fn sub(a: IExpr, b: IExpr) -> IExpr {
+        IExpr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: IExpr, b: IExpr) -> IExpr {
+        IExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates under variable and auxiliary assignments.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the name of the first unbound variable.
+    pub fn eval(&self, env: &Valuation) -> Result<i64, String> {
+        Ok(match self {
+            IExpr::Const(k) => *k,
+            IExpr::Var(x) => *env
+                .vars
+                .get(x)
+                .ok_or_else(|| format!("unbound program variable `{x}`"))?,
+            IExpr::Aux(z) => *env
+                .aux
+                .get(z)
+                .ok_or_else(|| format!("unbound auxiliary variable `{z}`"))?,
+            IExpr::Add(a, b) => a.eval(env)?.wrapping_add(b.eval(env)?),
+            IExpr::Sub(a, b) => a.eval(env)?.wrapping_sub(b.eval(env)?),
+            IExpr::Mul(a, b) => a.eval(env)?.wrapping_mul(b.eval(env)?),
+            IExpr::Div(a, k) => a.eval(env)?.div_euclid(*k),
+        })
+    }
+
+    /// Substitutes program variables (capture-free; auxiliary variables are
+    /// untouched).
+    pub fn subst_vars(&self, map: &HashMap<String, IExpr>) -> IExpr {
+        match self {
+            IExpr::Const(_) | IExpr::Aux(_) => self.clone(),
+            IExpr::Var(x) => map.get(x).cloned().unwrap_or_else(|| self.clone()),
+            IExpr::Add(a, b) => IExpr::Add(
+                Box::new(a.subst_vars(map)),
+                Box::new(b.subst_vars(map)),
+            ),
+            IExpr::Sub(a, b) => IExpr::Sub(
+                Box::new(a.subst_vars(map)),
+                Box::new(b.subst_vars(map)),
+            ),
+            IExpr::Mul(a, b) => IExpr::Mul(
+                Box::new(a.subst_vars(map)),
+                Box::new(b.subst_vars(map)),
+            ),
+            IExpr::Div(a, k) => IExpr::Div(Box::new(a.subst_vars(map)), *k),
+        }
+    }
+
+    /// Substitutes auxiliary variables.
+    pub fn subst_aux(&self, map: &HashMap<String, IExpr>) -> IExpr {
+        match self {
+            IExpr::Const(_) | IExpr::Var(_) => self.clone(),
+            IExpr::Aux(z) => map.get(z).cloned().unwrap_or_else(|| self.clone()),
+            IExpr::Add(a, b) => {
+                IExpr::Add(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map)))
+            }
+            IExpr::Sub(a, b) => {
+                IExpr::Sub(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map)))
+            }
+            IExpr::Mul(a, b) => {
+                IExpr::Mul(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map)))
+            }
+            IExpr::Div(a, k) => IExpr::Div(Box::new(a.subst_aux(map)), *k),
+        }
+    }
+
+    /// Names of program variables occurring in the expression.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            IExpr::Const(_) | IExpr::Aux(_) => {}
+            IExpr::Var(x) => {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            IExpr::Add(a, b) | IExpr::Sub(a, b) | IExpr::Mul(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            IExpr::Div(a, _) => a.vars(out),
+        }
+    }
+}
+
+impl fmt::Display for IExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IExpr::Const(k) => write!(f, "{k}"),
+            IExpr::Var(x) => write!(f, "{x}"),
+            IExpr::Aux(z) => write!(f, "${z}"),
+            IExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            IExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            IExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            IExpr::Div(a, k) => write!(f, "({a} / {k})"),
+        }
+    }
+}
+
+impl From<i64> for IExpr {
+    fn from(k: i64) -> IExpr {
+        IExpr::Const(k)
+    }
+}
+
+/// A variable/auxiliary assignment for evaluating assertions.
+#[derive(Debug, Clone, Default)]
+pub struct Valuation {
+    /// Program variable values.
+    pub vars: HashMap<String, i64>,
+    /// Auxiliary variable values.
+    pub aux: HashMap<String, i64>,
+}
+
+impl Valuation {
+    /// An empty valuation.
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    /// Builds a valuation from program-variable pairs.
+    pub fn of_vars<I, S>(pairs: I) -> Valuation
+    where
+        I: IntoIterator<Item = (S, i64)>,
+        S: Into<String>,
+    {
+        Valuation {
+            vars: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            aux: HashMap::new(),
+        }
+    }
+}
+
+/// A symbolic bound expression (a quantitative assertion).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Constant number of bytes.
+    Const(f64),
+    /// The symbolic metric cost `M(f)` of calling `f`.
+    Metric(String),
+    /// A non-negative integer quantity; negative values mean `∞`
+    /// (the guard-embedding convention of the paper).
+    OfInt(IExpr),
+    /// The non-negative part `max(0, e)`: negative values clamp to 0
+    /// instead of poisoning the bound (used for sizes like `hi − lo − 1`
+    /// that legitimately reach −1 at recursion leaves).
+    OfIntClamp(IExpr),
+    /// `log2` with the paper's conventions (`< 0 ↦ ∞`, `0 ↦ 0`).
+    Log2(IExpr),
+    /// `⌈log2⌉` with the same conventions. Divide-and-conquer recursion
+    /// with integer halving has worst-case depth `1 + ⌈log2 Δ⌉`, so this
+    /// is the variant that admits a *checkable* derivation (the paper's
+    /// smooth `log2` plots slightly below it at non-powers of two).
+    Log2Ceil(IExpr),
+    /// Sum.
+    Add(Box<BExpr>, Box<BExpr>),
+    /// Product.
+    Mul(Box<BExpr>, Box<BExpr>),
+    /// Maximum.
+    Max(Box<BExpr>, Box<BExpr>),
+    /// The quantitative `false`: no bound.
+    Inf,
+}
+
+#[allow(clippy::should_implement_trait)] // simplifying constructors, not std ops
+impl BExpr {
+    /// Zero bytes (the quantitative `true` with no potential).
+    pub fn zero() -> BExpr {
+        BExpr::Const(0.0)
+    }
+
+    /// `M(f)`.
+    pub fn metric(f: impl Into<String>) -> BExpr {
+        BExpr::Metric(f.into())
+    }
+
+    /// `a + b`, simplifying zero.
+    pub fn add(a: BExpr, b: BExpr) -> BExpr {
+        match (&a, &b) {
+            (BExpr::Const(x), _) if *x == 0.0 => b,
+            (_, BExpr::Const(x)) if *x == 0.0 => a,
+            _ => BExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a · b`.
+    pub fn mul(a: BExpr, b: BExpr) -> BExpr {
+        BExpr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`, simplifying equal operands.
+    pub fn max(a: BExpr, b: BExpr) -> BExpr {
+        if a == b {
+            return a;
+        }
+        match (&a, &b) {
+            (BExpr::Const(x), _) if *x == 0.0 => b,
+            (_, BExpr::Const(x)) if *x == 0.0 => a,
+            _ => BExpr::Max(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Maximum of an iterator of bounds (0 when empty).
+    pub fn max_all(items: impl IntoIterator<Item = BExpr>) -> BExpr {
+        items.into_iter().fold(BExpr::zero(), BExpr::max)
+    }
+
+    /// Evaluates the bound under a metric and a valuation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a program or auxiliary variable is unbound.
+    pub fn eval(&self, metric: &trace::Metric, env: &Valuation) -> Result<Bound, String> {
+        Ok(match self {
+            BExpr::Const(k) => Bound::Fin(*k),
+            BExpr::Metric(f) => Bound::Fin(f64::from(metric.call_cost(f))),
+            BExpr::OfInt(e) => {
+                let v = e.eval(env)?;
+                if v < 0 {
+                    Bound::Inf
+                } else {
+                    Bound::Fin(v as f64)
+                }
+            }
+            BExpr::OfIntClamp(e) => Bound::Fin(e.eval(env)?.max(0) as f64),
+            BExpr::Log2(e) => {
+                let v = e.eval(env)?;
+                if v < 0 {
+                    Bound::Inf
+                } else if v == 0 {
+                    Bound::Fin(0.0)
+                } else {
+                    Bound::Fin((v as f64).log2())
+                }
+            }
+            BExpr::Log2Ceil(e) => {
+                let v = e.eval(env)?;
+                if v < 0 {
+                    Bound::Inf
+                } else if v <= 1 {
+                    Bound::Fin(0.0)
+                } else {
+                    Bound::Fin(f64::from(64 - ((v - 1) as u64).leading_zeros()))
+                }
+            }
+            BExpr::Add(a, b) => a.eval(metric, env)?.add(b.eval(metric, env)?),
+            BExpr::Mul(a, b) => a.eval(metric, env)?.mul(b.eval(metric, env)?),
+            BExpr::Max(a, b) => a.eval(metric, env)?.max(b.eval(metric, env)?),
+            BExpr::Inf => Bound::Inf,
+        })
+    }
+
+    /// Substitutes program variables inside integer expressions.
+    pub fn subst_vars(&self, map: &HashMap<String, IExpr>) -> BExpr {
+        self.map_iexprs(&|e| e.subst_vars(map))
+    }
+
+    /// Substitutes auxiliary variables inside integer expressions.
+    pub fn subst_aux(&self, map: &HashMap<String, IExpr>) -> BExpr {
+        self.map_iexprs(&|e| e.subst_aux(map))
+    }
+
+    fn map_iexprs(&self, f: &dyn Fn(&IExpr) -> IExpr) -> BExpr {
+        match self {
+            BExpr::Const(_) | BExpr::Metric(_) | BExpr::Inf => self.clone(),
+            BExpr::OfInt(e) => BExpr::OfInt(f(e)),
+            BExpr::OfIntClamp(e) => BExpr::OfIntClamp(f(e)),
+            BExpr::Log2(e) => BExpr::Log2(f(e)),
+            BExpr::Log2Ceil(e) => BExpr::Log2Ceil(f(e)),
+            BExpr::Add(a, b) => {
+                BExpr::Add(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f)))
+            }
+            BExpr::Mul(a, b) => {
+                BExpr::Mul(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f)))
+            }
+            BExpr::Max(a, b) => {
+                BExpr::Max(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f)))
+            }
+        }
+    }
+
+    /// Names of program variables the bound depends on.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            BExpr::Const(_) | BExpr::Metric(_) | BExpr::Inf => {}
+            BExpr::OfInt(e)
+            | BExpr::OfIntClamp(e)
+            | BExpr::Log2(e)
+            | BExpr::Log2Ceil(e) => e.vars(out),
+            BExpr::Add(a, b) | BExpr::Mul(a, b) | BExpr::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Conservative syntactic comparison: `true` means `self ≤ other`
+    /// pointwise, for every metric and valuation. `false` means the
+    /// comparison could not be established syntactically (it may still
+    /// hold — use a numeric justification then).
+    pub fn le_syntactic(&self, other: &BExpr) -> bool {
+        let lhs = normalize(self);
+        let rhs = normalize(other);
+        lhs.iter()
+            .all(|ls| rhs.iter().any(|rs| sum_le(ls, rs)))
+    }
+}
+
+impl fmt::Display for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BExpr::Const(k) => write!(f, "{k}"),
+            BExpr::Metric(g) => write!(f, "M({g})"),
+            BExpr::OfInt(e) => write!(f, "{e}"),
+            BExpr::OfIntClamp(e) => write!(f, "max(0, {e})"),
+            BExpr::Log2(e) => write!(f, "log2({e})"),
+            BExpr::Log2Ceil(e) => write!(f, "⌈log2({e})⌉"),
+            BExpr::Add(a, b) => write!(f, "{a} + {b}"),
+            BExpr::Mul(a, b) => write!(f, "({a})·({b})"),
+            BExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            BExpr::Inf => write!(f, "∞"),
+        }
+    }
+}
+
+// ---- normalization for the syntactic comparator --------------------------------
+
+/// A product atom.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Atom {
+    Metric(String),
+    OfInt(IExpr),
+    OfIntClamp(IExpr),
+    Log2(IExpr),
+    Log2Ceil(IExpr),
+    Inf,
+}
+
+/// A sum in canonical form: atom-multiset -> coefficient.
+type Sum = BTreeMap<Vec<Atom>, f64>;
+
+/// Normalizes to max-of-sums-of-products with `+`/`·` distributed over
+/// `max` (sound because all quantities are non-negative, so `max` is
+/// monotone under both).
+fn normalize(e: &BExpr) -> Vec<Sum> {
+    match e {
+        BExpr::Const(k) => vec![single(vec![], *k)],
+        BExpr::Metric(f) => vec![single(vec![Atom::Metric(f.clone())], 1.0)],
+        BExpr::OfInt(i) => match i {
+            IExpr::Const(k) if *k >= 0 => vec![single(vec![], *k as f64)],
+            _ => vec![single(vec![Atom::OfInt(i.clone())], 1.0)],
+        },
+        BExpr::OfIntClamp(i) => vec![single(vec![Atom::OfIntClamp(i.clone())], 1.0)],
+        BExpr::Log2(i) => vec![single(vec![Atom::Log2(i.clone())], 1.0)],
+        BExpr::Log2Ceil(i) => vec![single(vec![Atom::Log2Ceil(i.clone())], 1.0)],
+        BExpr::Inf => vec![single(vec![Atom::Inf], 1.0)],
+        BExpr::Max(a, b) => {
+            let mut out = normalize(a);
+            out.extend(normalize(b));
+            out
+        }
+        BExpr::Add(a, b) => {
+            let na = normalize(a);
+            let nb = normalize(b);
+            let mut out = Vec::new();
+            for sa in &na {
+                for sb in &nb {
+                    let mut s = sa.clone();
+                    for (atoms, c) in sb {
+                        *s.entry(atoms.clone()).or_insert(0.0) += c;
+                    }
+                    out.push(s);
+                }
+            }
+            out
+        }
+        BExpr::Mul(a, b) => {
+            let na = normalize(a);
+            let nb = normalize(b);
+            let mut out = Vec::new();
+            for sa in &na {
+                for sb in &nb {
+                    let mut s: Sum = BTreeMap::new();
+                    for (aa, ca) in sa {
+                        for (ab, cb) in sb {
+                            let mut atoms = aa.clone();
+                            atoms.extend(ab.iter().cloned());
+                            atoms.sort();
+                            *s.entry(atoms).or_insert(0.0) += ca * cb;
+                        }
+                    }
+                    out.push(s);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn single(atoms: Vec<Atom>, coeff: f64) -> Sum {
+    let mut s = Sum::new();
+    if coeff != 0.0 {
+        s.insert(atoms, coeff);
+    }
+    s
+}
+
+/// `ls ≤ rs` when every canonical term of `ls` has a coefficient below the
+/// matching term of `rs` (missing terms count as 0; `Inf` on the right
+/// dominates everything).
+fn sum_le(ls: &Sum, rs: &Sum) -> bool {
+    if rs.keys().any(|atoms| atoms.contains(&Atom::Inf)) {
+        return true;
+    }
+    if ls.keys().any(|atoms| atoms.contains(&Atom::Inf)) {
+        return false;
+    }
+    ls.iter().all(|(atoms, c)| {
+        let rc = rs.get(atoms).copied().unwrap_or(0.0);
+        *c <= rc + 1e-9
+    })
+}

@@ -1,0 +1,800 @@
+//! Derivation trees and the derivation checker.
+//!
+//! A [`Derivation`] is an explicit proof object for a quantitative Hoare
+//! triple, mirroring the rules of Figure 4 (Q:SKIP, Q:SEQ, Q:LOOP, Q:CALL,
+//! Q:FRAME, Q:CONSEQ) plus the auxiliary-state machinery of §4.3. The
+//! checker walks the program and the derivation in lockstep and computes
+//! the precondition the derivation establishes, validating every side
+//! condition.
+//!
+//! Inequality side conditions are discharged in one of two ways:
+//!
+//! * **syntactically**, by the conservative max-plus comparator
+//!   ([`crate::BExpr::le_syntactic`]) — this covers everything the
+//!   automatic analyzer generates; or
+//! * **numerically**, by a [`Justification::Numeric`] recorded in the
+//!   derivation: the inequality is verified on every point of a declared
+//!   integer grid. This replaces the interactive Coq proofs of the paper
+//!   with bounded exhaustive verification over the operating domain the
+//!   verifier declares (compare the paper's `0 < ALEN ≤ 2³²−1` section
+//!   hypothesis, which is likewise chosen by the user).
+
+use crate::bound::{BExpr, IExpr, Valuation};
+use crate::logic::{Context, FunSpec, Post};
+use clight::{Expr, Program, Stmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How an inequality side condition `lhs ≤ rhs` is discharged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Justification {
+    /// Use the conservative syntactic comparator.
+    Syntactic,
+    /// Verify the inequality on every point of the grid: each entry names
+    /// a program/auxiliary variable with an inclusive range and step.
+    /// Metric symbols are sampled over a fixed set of representative
+    /// frame sizes, exploiting that bounds are monotone in each `M(f)`.
+    Numeric {
+        /// `(variable, lo, hi, step)` grid declarations.
+        ranges: Vec<(String, i64, i64, i64)>,
+    },
+    /// Like [`Justification::Numeric`], but grid points where `guard`
+    /// evaluates to a negative value are skipped. The guard records a
+    /// *path condition* (e.g. `h - l - 2 ≥ 0` for the recursive branch of
+    /// binary search) that the surrounding control flow establishes —
+    /// the role the paper's logical preconditions (`Z > 0`) play in its
+    /// Coq derivations. The checker does not verify the guard itself;
+    /// the empirical soundness validation covers it.
+    NumericGuarded {
+        /// `(variable, lo, hi, step)` grid declarations.
+        ranges: Vec<(String, i64, i64, i64)>,
+        /// Grid points where any guard evaluates negative are outside the
+        /// path condition.
+        guards: Vec<IExpr>,
+    },
+}
+
+impl Justification {
+    /// A numeric justification over one variable range (step 1 when the
+    /// range is small, coarser otherwise).
+    pub fn over(var: impl Into<String>, lo: i64, hi: i64) -> Justification {
+        let step = ((hi - lo) / 512).max(1);
+        Justification::Numeric {
+            ranges: vec![(var.into(), lo, hi, step)],
+        }
+    }
+}
+
+/// A derivation-checking error, with a path for locating the offending
+/// rule application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QhlError {
+    /// Human-readable location (function and rule path).
+    pub at: String,
+    /// Description of the violated side condition.
+    pub message: String,
+}
+
+impl fmt::Display for QhlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for QhlError {}
+
+/// A derivation tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Derivation {
+    /// Covers any *call-free* statement whose assignments do not interfere
+    /// with the ambient assertions: its cost is zero, so the precondition
+    /// is the maximum of the reachable postcondition components. This
+    /// packages Q:SKIP, Q:BREAK, Q:RETURN and the cost-free assignment
+    /// rule for the common case.
+    Mono,
+    /// Assignment `x = e` where the postcondition may mention `x`: the
+    /// precondition is the postcondition with `e` substituted for `x`
+    /// (the quantitative assignment rule).
+    Assign,
+    /// Q:SEQ.
+    Seq(Box<Derivation>, Box<Derivation>),
+    /// Conditional: the precondition is the maximum of the branch
+    /// preconditions.
+    If(Box<Derivation>, Box<Derivation>),
+    /// Q:LOOP with a declared invariant `I` (the precondition of the loop
+    /// body at every iteration).
+    Loop {
+        /// The loop invariant.
+        invariant: BExpr,
+        /// Discharges `pre(body) ≤ I`.
+        just: Option<Justification>,
+        /// Derivation for the body.
+        body: Box<Derivation>,
+        /// Derivation for the increment statement.
+        incr: Box<Derivation>,
+    },
+    /// Q:CALL (+ Q:FRAME): instantiate the callee's specification with the
+    /// call arguments and an auxiliary-variable substitution, framed by
+    /// `frame` extra bytes.
+    Call {
+        /// Substitution for the callee spec's auxiliary variables (the
+        /// extended consequence rule for recursion, e.g. `Z ↦ Z - 1`).
+        aux: HashMap<String, IExpr>,
+        /// Frame amount added to both sides (Q:FRAME).
+        frame: BExpr,
+        /// Discharges `post_f + M(f) + frame ≥ post.normal`.
+        just: Option<Justification>,
+    },
+    /// Q:CONSEQ on the precondition: establishes `pre` from an inner
+    /// derivation whose precondition is at most `pre`.
+    Conseq {
+        /// The weaker (larger) precondition to establish.
+        pre: BExpr,
+        /// Discharges `pre(inner) ≤ pre`.
+        just: Option<Justification>,
+        /// The inner derivation.
+        inner: Box<Derivation>,
+    },
+    /// Q:CONSEQ on the postcondition: checks the inner derivation against
+    /// a stronger postcondition (each component `≥` the ambient one).
+    ConseqPost {
+        /// The stronger postcondition the inner derivation satisfies.
+        post: Post,
+        /// Discharges the componentwise `≥` against the ambient post.
+        just: Option<Justification>,
+        /// The inner derivation.
+        inner: Box<Derivation>,
+    },
+}
+
+impl Derivation {
+    /// Renders the derivation as an indented proof tree, naming the rule
+    /// applied at each node (for inspecting machine-generated proofs and
+    /// documenting hand-written ones).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Derivation::Mono => {
+                let _ = writeln!(out, "{pad}Q:MONO (call-free region)");
+            }
+            Derivation::Assign => {
+                let _ = writeln!(out, "{pad}Q:ASSIGN (wp substitution)");
+            }
+            Derivation::Seq(a, b) => {
+                let _ = writeln!(out, "{pad}Q:SEQ");
+                a.render_into(out, depth + 1);
+                b.render_into(out, depth + 1);
+            }
+            Derivation::If(t, e) => {
+                let _ = writeln!(out, "{pad}Q:IF (max of branches)");
+                t.render_into(out, depth + 1);
+                e.render_into(out, depth + 1);
+            }
+            Derivation::Loop {
+                invariant, body, incr, just,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Q:LOOP invariant {invariant}{}",
+                    just_tag(just)
+                );
+                body.render_into(out, depth + 1);
+                incr.render_into(out, depth + 1);
+            }
+            Derivation::Call { aux, frame, just } => {
+                let aux_str = if aux.is_empty() {
+                    String::new()
+                } else {
+                    let mut parts: Vec<String> =
+                        aux.iter().map(|(k, v)| format!("{k} := {v}")).collect();
+                    parts.sort();
+                    format!(" aux[{}]", parts.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}Q:CALL (+Q:FRAME {frame}){aux_str}{}",
+                    just_tag(just)
+                );
+            }
+            Derivation::Conseq { pre, just, inner } => {
+                let _ = writeln!(out, "{pad}Q:CONSEQ pre {pre}{}", just_tag(just));
+                inner.render_into(out, depth + 1);
+            }
+            Derivation::ConseqPost { post, just, inner } => {
+                let _ = writeln!(out, "{pad}Q:CONSEQ-POST {post}{}", just_tag(just));
+                inner.render_into(out, depth + 1);
+            }
+        }
+    }
+
+    /// `Seq` convenience constructor.
+    pub fn seq(a: Derivation, b: Derivation) -> Derivation {
+        Derivation::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// A plain Q:CALL with no frame and no auxiliary substitution.
+    pub fn call() -> Derivation {
+        Derivation::Call {
+            aux: HashMap::new(),
+            frame: BExpr::zero(),
+            just: None,
+        }
+    }
+}
+
+fn just_tag(just: &Option<Justification>) -> &'static str {
+    match just {
+        None | Some(Justification::Syntactic) => "",
+        Some(Justification::Numeric { .. }) => "  [numeric justification]",
+        Some(Justification::NumericGuarded { .. }) => "  [guarded numeric justification]",
+    }
+}
+
+/// The derivation checker.
+pub struct Checker<'p> {
+    program: &'p Program,
+    ctx: &'p Context,
+}
+
+impl<'p> Checker<'p> {
+    /// Creates a checker for a program under a function context `Γ`.
+    pub fn new(program: &'p Program, ctx: &'p Context) -> Checker<'p> {
+        Checker { program, ctx }
+    }
+
+    /// Checks a derivation for the body of `fname` against its spec in
+    /// `Γ` (which may include `fname` itself — recursion). `just`
+    /// discharges the final `pre(body) ≤ spec.pre` obligation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated side condition.
+    pub fn check_function(
+        &self,
+        fname: &str,
+        deriv: &Derivation,
+        just: Option<&Justification>,
+    ) -> Result<(), QhlError> {
+        let f = self.program.function(fname).ok_or_else(|| QhlError {
+            at: fname.to_owned(),
+            message: "no such function".into(),
+        })?;
+        let spec = self.ctx.get(fname).ok_or_else(|| QhlError {
+            at: fname.to_owned(),
+            message: "no specification in context".into(),
+        })?;
+        let post = Post::function_body(spec.post.clone());
+        let pre = self.check_stmt(&f.body, deriv, &post, &format!("{fname}/body"))?;
+        self.require_le(&pre, &spec.pre, just, &format!("{fname}: pre(body) ≤ spec.pre"))
+    }
+
+    /// Checks a derivation for a statement, returning the precondition it
+    /// establishes against `post`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated side condition.
+    pub fn check_stmt(
+        &self,
+        s: &Stmt,
+        d: &Derivation,
+        post: &Post,
+        at: &str,
+    ) -> Result<BExpr, QhlError> {
+        match d {
+            Derivation::Mono => self.check_mono(s, post, at),
+            Derivation::Assign => match s {
+                Stmt::Assign(Expr::Var(x), e) => {
+                    let ie = translate_expr(e).ok_or_else(|| QhlError {
+                        at: at.to_owned(),
+                        message: format!(
+                            "assignment source `{e}` is not expressible as an integer expression"
+                        ),
+                    })?;
+                    let mut map = HashMap::new();
+                    map.insert(x.clone(), ie);
+                    Ok(post.normal.subst_vars(&map))
+                }
+                other => Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!("Assign rule applied to `{other}`"),
+                }),
+            },
+            Derivation::Seq(d1, d2) => match s {
+                Stmt::Seq(s1, s2) => {
+                    let p2 = self.check_stmt(s2, d2, post, &format!("{at}/seq.2"))?;
+                    let post1 = Post {
+                        normal: p2,
+                        brk: post.brk.clone(),
+                        cont: post.cont.clone(),
+                        ret: post.ret.clone(),
+                    };
+                    self.check_stmt(s1, d1, &post1, &format!("{at}/seq.1"))
+                }
+                other => Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!("Seq rule applied to `{other}`"),
+                }),
+            },
+            Derivation::If(dt, de) => match s {
+                Stmt::If(_, t, e) => {
+                    let pt = self.check_stmt(t, dt, post, &format!("{at}/then"))?;
+                    let pe = self.check_stmt(e, de, post, &format!("{at}/else"))?;
+                    Ok(BExpr::max(pt, pe))
+                }
+                other => Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!("If rule applied to `{other}`"),
+                }),
+            },
+            Derivation::Loop {
+                invariant,
+                just,
+                body,
+                incr,
+            } => match s {
+                Stmt::Loop(sb, si) => {
+                    // {J} incr {(I, ⊥, ⊥, Q_r)}
+                    let incr_post = Post {
+                        normal: invariant.clone(),
+                        brk: BExpr::Inf,
+                        cont: BExpr::Inf,
+                        ret: post.ret.clone(),
+                    };
+                    let j = self.check_stmt(si, incr, &incr_post, &format!("{at}/incr"))?;
+                    // {pb} body {(J, Q_s, J, Q_r)}
+                    let body_post = Post {
+                        normal: j.clone(),
+                        brk: post.normal.clone(),
+                        cont: j,
+                        ret: post.ret.clone(),
+                    };
+                    let pb = self.check_stmt(sb, body, &body_post, &format!("{at}/loop-body"))?;
+                    self.require_le(
+                        &pb,
+                        invariant,
+                        just.as_ref(),
+                        &format!("{at}: pre(body) ≤ invariant"),
+                    )?;
+                    Ok(invariant.clone())
+                }
+                other => Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!("Loop rule applied to `{other}`"),
+                }),
+            },
+            Derivation::Call { aux, frame, just } => match s {
+                Stmt::Call(dest, fname, args) => {
+                    self.check_call(dest.as_deref(), fname, args, aux, frame, just.as_ref(), post, at)
+                }
+                other => Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!("Call rule applied to `{other}`"),
+                }),
+            },
+            Derivation::Conseq { pre, just, inner } => {
+                let p = self.check_stmt(s, inner, post, &format!("{at}/conseq"))?;
+                self.require_le(&p, pre, just.as_ref(), &format!("{at}: conseq pre"))?;
+                Ok(pre.clone())
+            }
+            Derivation::ConseqPost { post: stronger, just, inner } => {
+                for (name, strong, ambient) in [
+                    ("normal", &stronger.normal, &post.normal),
+                    ("break", &stronger.brk, &post.brk),
+                    ("continue", &stronger.cont, &post.cont),
+                    ("return", &stronger.ret, &post.ret),
+                ] {
+                    self.require_le(
+                        ambient,
+                        strong,
+                        just.as_ref(),
+                        &format!("{at}: conseq post ({name})"),
+                    )?;
+                }
+                self.check_stmt(s, inner, stronger, &format!("{at}/conseq-post"))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_call(
+        &self,
+        dest: Option<&str>,
+        fname: &str,
+        args: &[Expr],
+        aux: &HashMap<String, IExpr>,
+        frame: &BExpr,
+        just: Option<&Justification>,
+        post: &Post,
+        at: &str,
+    ) -> Result<BExpr, QhlError> {
+        let spec = match self.ctx.get(fname) {
+            Some(s) => s.clone(),
+            None if self.program.external(fname).is_some() => FunSpec::zero(),
+            None => {
+                return Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!("no specification for callee `{fname}`"),
+                })
+            }
+        };
+        // Build the parameter substitution from the call arguments.
+        let mut map: HashMap<String, IExpr> = HashMap::new();
+        if let Some(f) = self.program.function(fname) {
+            let needed: Vec<String> = {
+                let mut v = spec.pre.vars();
+                v.extend(spec.post.vars());
+                v
+            };
+            for (p, a) in f.params.iter().zip(args) {
+                match translate_expr(a) {
+                    Some(ie) => {
+                        map.insert(p.name.clone(), ie);
+                    }
+                    None if needed.contains(&p.name) => {
+                        return Err(QhlError {
+                            at: at.to_owned(),
+                            message: format!(
+                                "argument `{a}` for parameter `{}` of `{fname}` is not \
+                                 expressible but the specification depends on it",
+                                p.name
+                            ),
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+        // External functions have zero stack cost (M(g(v⃗ ↦ v)) = 0).
+        let metric_cost = if self.program.function(fname).is_some() {
+            BExpr::metric(fname)
+        } else {
+            BExpr::zero()
+        };
+        let pre_f = BExpr::add(
+            BExpr::add(spec.pre.subst_vars(&map).subst_aux(aux), metric_cost.clone()),
+            frame.clone(),
+        );
+        let post_f = BExpr::add(
+            BExpr::add(spec.post.subst_vars(&map).subst_aux(aux), metric_cost),
+            frame.clone(),
+        );
+        if let Some(d) = dest {
+            if post_f.vars().iter().any(|v| v == d) || post.normal.vars().iter().any(|v| v == d) {
+                return Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!(
+                        "call destination `{d}` occurs in an assertion; \
+                         assign through a temporary instead"
+                    ),
+                });
+            }
+        }
+        // For potential-restoring specifications (P_f = Q_f, every bound in
+        // the paper's tables), the composite of Q:CALL, Q:FRAME and
+        // Q:CONSEQ derives `{max(P_f + M(f), Q)} call {Q}` with no side
+        // condition: running the call needs `P_f + M(f)`, and since the
+        // potential is fully restored, whatever was available before the
+        // call (at least `Q`) is available after it. This is how Figure 5
+        // eliminates the `max` without subtraction.
+        if spec.pre == spec.post {
+            return Ok(BExpr::max(pre_f, post.normal.clone()));
+        }
+        self.require_le(
+            &post.normal,
+            &post_f,
+            just,
+            &format!("{at}: call post covers ambient post"),
+        )?;
+        Ok(pre_f)
+    }
+
+    /// The Mono rule: a call-free statement costs nothing, so its
+    /// precondition is the maximum of the reachable exit assertions —
+    /// provided the statement does not assign any variable those
+    /// assertions mention.
+    fn check_mono(&self, s: &Stmt, post: &Post, at: &str) -> Result<BExpr, QhlError> {
+        let mut callees = Vec::new();
+        collect_calls(s, &mut callees);
+        // External calls cost nothing and are permitted in Mono regions.
+        for c in &callees {
+            if self.program.function(c).is_some() {
+                return Err(QhlError {
+                    at: at.to_owned(),
+                    message: format!(
+                        "Mono rule applied to a statement calling `{c}`; use a Call node"
+                    ),
+                });
+            }
+        }
+        let exits = exits(s);
+        let mut pre = BExpr::zero();
+        let mut relevant_vars: Vec<String> = Vec::new();
+        for (flag, b) in [
+            (exits.normal, &post.normal),
+            (exits.brk, &post.brk),
+            (exits.cont, &post.cont),
+            (exits.ret, &post.ret),
+        ] {
+            if flag {
+                relevant_vars.extend(b.vars());
+                pre = BExpr::max(pre, b.clone());
+            }
+        }
+        let mut assigned = Vec::new();
+        collect_assigned(s, &mut assigned);
+        if let Some(x) = assigned.iter().find(|x| relevant_vars.contains(x)) {
+            return Err(QhlError {
+                at: at.to_owned(),
+                message: format!(
+                    "Mono rule: statement assigns `{x}`, which the postcondition mentions; \
+                     use Assign/Conseq nodes"
+                ),
+            });
+        }
+        Ok(pre)
+    }
+
+    /// Discharges `lhs ≤ rhs`.
+    fn require_le(
+        &self,
+        lhs: &BExpr,
+        rhs: &BExpr,
+        just: Option<&Justification>,
+        what: &str,
+    ) -> Result<(), QhlError> {
+        if lhs.le_syntactic(rhs) {
+            return Ok(());
+        }
+        match just {
+            None | Some(Justification::Syntactic) => Err(QhlError {
+                at: what.to_owned(),
+                message: format!("cannot establish {lhs} ≤ {rhs} syntactically"),
+            }),
+            Some(Justification::Numeric { ranges }) => {
+                check_numeric(lhs, rhs, ranges, &[]).map_err(|message| QhlError {
+                    at: what.to_owned(),
+                    message,
+                })
+            }
+            Some(Justification::NumericGuarded { ranges, guards }) => {
+                check_numeric(lhs, rhs, ranges, guards).map_err(|message| QhlError {
+                    at: what.to_owned(),
+                    message,
+                })
+            }
+        }
+    }
+}
+
+/// Which exits a statement can take.
+#[derive(Debug, Clone, Copy, Default)]
+struct Exits {
+    normal: bool,
+    brk: bool,
+    cont: bool,
+    ret: bool,
+}
+
+fn exits(s: &Stmt) -> Exits {
+    match s {
+        Stmt::Skip | Stmt::Assign(..) | Stmt::Call(..) => Exits {
+            normal: true,
+            ..Exits::default()
+        },
+        Stmt::Break => Exits {
+            brk: true,
+            ..Exits::default()
+        },
+        Stmt::Continue => Exits {
+            cont: true,
+            ..Exits::default()
+        },
+        Stmt::Return(_) => Exits {
+            ret: true,
+            ..Exits::default()
+        },
+        Stmt::Seq(a, b) => {
+            let ea = exits(a);
+            let eb = exits(b);
+            Exits {
+                normal: ea.normal && eb.normal,
+                brk: ea.brk || (ea.normal && eb.brk),
+                cont: ea.cont || (ea.normal && eb.cont),
+                ret: ea.ret || (ea.normal && eb.ret),
+            }
+        }
+        Stmt::If(_, t, e) => {
+            let et = exits(t);
+            let ee = exits(e);
+            Exits {
+                normal: et.normal || ee.normal,
+                brk: et.brk || ee.brk,
+                cont: et.cont || ee.cont,
+                ret: et.ret || ee.ret,
+            }
+        }
+        Stmt::Loop(b, i) => {
+            let eb = exits(b);
+            let ei = exits(i);
+            Exits {
+                normal: eb.brk || ei.brk,
+                brk: false,
+                cont: false,
+                ret: eb.ret || ei.ret,
+            }
+        }
+    }
+}
+
+fn collect_calls(s: &Stmt, out: &mut Vec<String>) {
+    s.visit(&mut |s| {
+        if let Stmt::Call(_, f, _) = s {
+            out.push(f.clone());
+        }
+    });
+}
+
+fn collect_assigned(s: &Stmt, out: &mut Vec<String>) {
+    s.visit(&mut |s| match s {
+        Stmt::Assign(Expr::Var(x), _) => out.push(x.clone()),
+        Stmt::Call(Some(d), _, _) => out.push(d.clone()),
+        _ => {}
+    });
+}
+
+/// Translates a Clight expression to an [`IExpr`], when expressible.
+///
+/// Only the linear fragment plus division by a positive constant is
+/// supported; comparisons, loads, and pointers are not (assertions never
+/// need them in the evaluated examples).
+pub fn translate_expr(e: &Expr) -> Option<IExpr> {
+    use mem::Binop::*;
+    Some(match e {
+        Expr::Const(n, ty) => {
+            if matches!(ty, clight::Ty::I32) {
+                IExpr::Const(i64::from(*n as i32))
+            } else {
+                IExpr::Const(i64::from(*n))
+            }
+        }
+        Expr::Var(x) => IExpr::Var(x.clone()),
+        Expr::Binop(op, a, b) => {
+            let ia = translate_expr(a)?;
+            let ib = translate_expr(b)?;
+            match op {
+                Add => IExpr::Add(Box::new(ia), Box::new(ib)),
+                Sub => IExpr::Sub(Box::new(ia), Box::new(ib)),
+                Mul => IExpr::Mul(Box::new(ia), Box::new(ib)),
+                Divu | Divs => match ib {
+                    IExpr::Const(k) if k > 0 => IExpr::Div(Box::new(ia), k),
+                    _ => return None,
+                },
+                _ => return None,
+            }
+        }
+        Expr::Cast(_, a) => translate_expr(a)?,
+        _ => return None,
+    })
+}
+
+/// Verifies `lhs ≤ rhs` on every point of the declared grid (bounded
+/// exhaustive verification; see module docs).
+fn check_numeric(
+    lhs: &BExpr,
+    rhs: &BExpr,
+    ranges: &[(String, i64, i64, i64)],
+    guards: &[IExpr],
+) -> Result<(), String> {
+    // Collect metric symbols and sample them over representative frame
+    // sizes (bounds are monotone in each M(f), so extremes matter most;
+    // the grid includes 0 and a large value).
+    let mut metrics: Vec<String> = Vec::new();
+    for e in [lhs, rhs] {
+        collect_metrics(e, &mut metrics);
+    }
+    const METRIC_SAMPLES: [u32; 4] = [0, 4, 48, 1024];
+    let mut metric_choices = vec![0usize; metrics.len()];
+    loop {
+        let metric: trace::Metric = metrics
+            .iter()
+            .zip(&metric_choices)
+            .map(|(f, c)| (f.clone(), METRIC_SAMPLES[*c]))
+            .collect();
+        check_grid(lhs, rhs, ranges, guards, &metric)?;
+        // Next metric combination.
+        let mut i = 0;
+        loop {
+            if i == metric_choices.len() {
+                return Ok(());
+            }
+            metric_choices[i] += 1;
+            if metric_choices[i] < METRIC_SAMPLES.len() {
+                break;
+            }
+            metric_choices[i] = 0;
+            i += 1;
+        }
+        if metrics.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+fn check_grid(
+    lhs: &BExpr,
+    rhs: &BExpr,
+    ranges: &[(String, i64, i64, i64)],
+    guards: &[IExpr],
+    metric: &trace::Metric,
+) -> Result<(), String> {
+    let mut point = vec![0i64; ranges.len()];
+    for (i, (_, lo, _, _)) in ranges.iter().enumerate() {
+        point[i] = *lo;
+    }
+    loop {
+        let mut env = Valuation::new();
+        for ((name, _, _, _), v) in ranges.iter().zip(&point) {
+            env.vars.insert(name.clone(), *v);
+            env.aux.insert(name.clone(), *v);
+        }
+        let mut in_domain = true;
+        for g in guards {
+            if g.eval(&env)? < 0 {
+                in_domain = false;
+                break;
+            }
+        }
+        let l = lhs.eval(metric, &env)?;
+        let r = rhs.eval(metric, &env)?;
+        if in_domain && !l.le(r) {
+            return Err(format!(
+                "numeric justification fails at {:?} with metric {}: {l} > {r}",
+                ranges
+                    .iter()
+                    .zip(&point)
+                    .map(|((n, ..), v)| format!("{n}={v}"))
+                    .collect::<Vec<_>>(),
+                metric,
+            ));
+        }
+        // Advance the grid point.
+        let mut i = 0;
+        loop {
+            if i == point.len() {
+                return Ok(());
+            }
+            let (_, lo, hi, step) = &ranges[i];
+            point[i] += step;
+            if point[i] <= *hi {
+                break;
+            }
+            point[i] = *lo;
+            i += 1;
+        }
+        if ranges.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+fn collect_metrics(e: &BExpr, out: &mut Vec<String>) {
+    match e {
+        BExpr::Metric(f)
+            if !out.contains(f) => {
+                out.push(f.clone());
+            }
+        BExpr::Add(a, b) | BExpr::Mul(a, b) | BExpr::Max(a, b) => {
+            collect_metrics(a, out);
+            collect_metrics(b, out);
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,57 @@
+//! The quantitative Hoare logic of *End-to-End Verification of
+//! Stack-Space Bounds for C Programs* (PLDI 2014), §4.
+//!
+//! Assertions generalize boolean Hoare assertions to maps into `ℕ ∪ {∞}`:
+//! the precondition of a triple `{P} S {Q}` bounds the stack space needed
+//! to execute `S`, and the postcondition describes the space available
+//! again afterwards — amortized-analysis style. Here assertions are
+//! symbolic [`BExpr`]s over program variables, auxiliary variables, and
+//! metric costs `M(f)`, so one derivation covers *every* metric; the
+//! compiler instantiates it with the concrete `M(f) = SF(f) + 4`.
+//!
+//! Derivations are explicit proof trees ([`Derivation`]) validated by
+//! [`Checker`]; the automatic stack analyzer (crate `analyzer`) emits
+//! them, and the recursive bounds of the paper's Table 2 are written by
+//! hand exactly like the paper's interactive Coq proofs.
+//!
+//! # Examples
+//!
+//! Verify `max(M(f), M(g))`-style composition from Figure 5: calling `f`
+//! and then `g` needs `max(M(f), M(g))` bytes when neither consumes stack
+//! of its own:
+//!
+//! ```
+//! use qhl::{BExpr, Checker, Context, Derivation, FunSpec};
+//!
+//! let program = clight::frontend("
+//!     void f() { return; }
+//!     void g() { return; }
+//!     void h() { f(); g(); }
+//! ", &[]).unwrap();
+//!
+//! let mut ctx = Context::new();
+//! ctx.insert("f", FunSpec::zero());
+//! ctx.insert("g", FunSpec::zero());
+//! ctx.insert("h", FunSpec::restoring(
+//!     BExpr::max(BExpr::metric("f"), BExpr::metric("g"))));
+//!
+//! // h's body is `f(); g();` — one Call node per call (Q:CALL + Q:FRAME
+//! // + Q:CONSEQ are handled by the checker's comparator).
+//! let deriv = Derivation::seq(Derivation::call(), Derivation::call());
+//! Checker::new(&program, &ctx).check_function("h", &deriv, None).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod bound;
+mod derive;
+mod logic;
+mod validate;
+
+pub use bound::{BExpr, Bound, IExpr, Valuation};
+pub use derive::{translate_expr, Checker, Derivation, Justification, QhlError};
+pub use logic::{Context, FunSpec, Post};
+pub use validate::{validate_spec, Validation};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,145 @@
+//! Triples, postconditions, function specifications, and contexts.
+
+use crate::bound::BExpr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A postcondition `Q = (Q_s, Q_b, Q_c, Q_r)`: one quantitative assertion
+/// per way of exiting a block — fall-through, `break`, `continue`, and
+/// `return`.
+///
+/// The paper's logic has the triple `(Q_s, Q_b, Q_r)`; the `continue`
+/// component is the natural extension needed because our `Sloop` carries an
+/// increment statement (as in full Clight). Unreachable components are
+/// [`BExpr::Inf`] (the quantitative `false`).
+///
+/// Return assertions here do not depend on the returned *value* — none of
+/// the paper's bounds do — which simplifies the machinery without losing
+/// any of the evaluated examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Post {
+    /// Assertion on fall-through.
+    pub normal: BExpr,
+    /// Assertion when exiting via `break`.
+    pub brk: BExpr,
+    /// Assertion when exiting via `continue`.
+    pub cont: BExpr,
+    /// Assertion when exiting via `return`.
+    pub ret: BExpr,
+}
+
+impl Post {
+    /// A postcondition where every exit carries the same bound.
+    pub fn uniform(b: BExpr) -> Post {
+        Post {
+            normal: b.clone(),
+            brk: b.clone(),
+            cont: b.clone(),
+            ret: b,
+        }
+    }
+
+    /// Fall-through and return carry `b`; `break`/`continue` are
+    /// unreachable (the shape of a function-body postcondition).
+    pub fn function_body(b: BExpr) -> Post {
+        Post {
+            normal: b.clone(),
+            brk: BExpr::Inf,
+            cont: BExpr::Inf,
+            ret: b,
+        }
+    }
+}
+
+impl fmt::Display for Post {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(s: {}, b: {}, c: {}, r: {})",
+            self.normal, self.brk, self.cont, self.ret
+        )
+    }
+}
+
+/// A function specification `Γ(f) = (P_f, Q_f)`: quantitative pre- and
+/// postconditions over the function's parameter names and auxiliary
+/// variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunSpec {
+    /// Precondition: bytes needed to run the function.
+    pub pre: BExpr,
+    /// Postcondition: bytes available again after it returns.
+    pub post: BExpr,
+}
+
+impl FunSpec {
+    /// The common case where the potential is fully restored
+    /// (`P_f = Q_f`), as in every bound of the paper's Tables 1 and 2.
+    pub fn restoring(bound: BExpr) -> FunSpec {
+        FunSpec {
+            pre: bound.clone(),
+            post: bound,
+        }
+    }
+
+    /// The zero spec used for external functions (`M(g(...)) = 0`).
+    pub fn zero() -> FunSpec {
+        FunSpec::restoring(BExpr::zero())
+    }
+}
+
+impl fmt::Display for FunSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}} · {{{}}}", self.pre, self.post)
+    }
+}
+
+/// The function context `Γ`, mapping function names to specifications.
+///
+/// When verifying a (possibly recursive) function, the context contains
+/// the function's own specification — the paper justifies this by
+/// step-indexing the soundness statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Context {
+    specs: HashMap<String, FunSpec>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Adds or replaces a specification.
+    pub fn insert(&mut self, fname: impl Into<String>, spec: FunSpec) {
+        self.specs.insert(fname.into(), spec);
+    }
+
+    /// Looks up a specification.
+    pub fn get(&self, fname: &str) -> Option<&FunSpec> {
+        self.specs.get(fname)
+    }
+
+    /// Iterates over `(name, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FunSpec)> {
+        self.specs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of specifications.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the context has no specifications.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, FunSpec)> for Context {
+    fn from_iter<I: IntoIterator<Item = (S, FunSpec)>>(iter: I) -> Self {
+        Context {
+            specs: iter.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+}

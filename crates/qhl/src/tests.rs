@@ -1,0 +1,575 @@
+use crate::{
+    validate_spec, BExpr, Bound, Checker, Context, Derivation, FunSpec, IExpr, Justification,
+    Valuation,
+};
+use proptest::prelude::*;
+use trace::Metric;
+
+const FUEL: u64 = 10_000_000;
+
+fn m(f: &str) -> BExpr {
+    BExpr::metric(f)
+}
+
+// ---- bound expressions --------------------------------------------------------
+
+#[test]
+fn bound_arithmetic() {
+    assert_eq!(Bound::Fin(2.0).add(Bound::Fin(3.0)), Bound::Fin(5.0));
+    assert_eq!(Bound::Fin(2.0).add(Bound::Inf), Bound::Inf);
+    assert_eq!(Bound::Fin(2.0).max(Bound::Fin(3.0)), Bound::Fin(3.0));
+    assert!(Bound::Fin(1e9).le(Bound::Inf));
+    assert!(!Bound::Inf.le(Bound::Fin(1e9)));
+}
+
+#[test]
+fn eval_resolves_metric_and_vars() {
+    let e = BExpr::add(m("f"), BExpr::mul(BExpr::Const(3.0), BExpr::OfInt(IExpr::var("n"))));
+    let metric = Metric::from_pairs([("f", 10)]);
+    let env = Valuation::of_vars([("n", 4)]);
+    assert_eq!(e.eval(&metric, &env).unwrap(), Bound::Fin(22.0));
+}
+
+#[test]
+fn log2_follows_paper_conventions() {
+    let e = BExpr::Log2(IExpr::var("d"));
+    let metric = Metric::new();
+    let at = |v: i64| e.eval(&metric, &Valuation::of_vars([("d", v)])).unwrap();
+    assert_eq!(at(-1), Bound::Inf); // log2 of negative: no guarantee
+    assert_eq!(at(0), Bound::Fin(0.0)); // log2(0) = 0 by convention
+    assert_eq!(at(8), Bound::Fin(3.0));
+}
+
+#[test]
+fn negative_quantities_mean_no_guarantee() {
+    let e = BExpr::OfInt(IExpr::sub(IExpr::var("hi"), IExpr::var("lo")));
+    let metric = Metric::new();
+    let env = Valuation::of_vars([("hi", 2), ("lo", 5)]);
+    assert_eq!(e.eval(&metric, &env).unwrap(), Bound::Inf);
+}
+
+#[test]
+fn unbound_variable_is_an_error() {
+    let e = BExpr::OfInt(IExpr::var("nope"));
+    assert!(e.eval(&Metric::new(), &Valuation::new()).is_err());
+}
+
+#[test]
+fn substitution_of_vars_and_aux() {
+    use std::collections::HashMap;
+    let e = BExpr::Log2(IExpr::sub(IExpr::var("h"), IExpr::var("l")));
+    let mut map = HashMap::new();
+    map.insert("h".to_owned(), IExpr::Div(Box::new(IExpr::add(IExpr::var("h"), IExpr::var("l"))), 2));
+    let e2 = e.subst_vars(&map);
+    // h := (h+l)/2 turns log2(h-l) into log2((h+l)/2 - l).
+    let metric = Metric::new();
+    let env = Valuation::of_vars([("h", 16), ("l", 0)]);
+    assert_eq!(e2.eval(&metric, &env).unwrap(), Bound::Fin(3.0));
+}
+
+// ---- the syntactic comparator ----------------------------------------------------
+
+#[test]
+fn comparator_accepts_max_introduction() {
+    assert!(m("f").le_syntactic(&BExpr::max(m("f"), m("g"))));
+    assert!(m("g").le_syntactic(&BExpr::max(m("f"), m("g"))));
+    assert!(!BExpr::max(m("f"), m("g")).le_syntactic(&m("f")));
+}
+
+#[test]
+fn comparator_accepts_additive_weakening() {
+    let a = BExpr::add(m("f"), BExpr::Const(8.0));
+    let b = BExpr::add(BExpr::add(m("f"), BExpr::Const(12.0)), m("g"));
+    assert!(a.le_syntactic(&b));
+    assert!(!b.le_syntactic(&a));
+}
+
+#[test]
+fn comparator_distributes_add_over_max() {
+    // max(f, g) + c <= max(f + c, g + c).
+    let lhs = BExpr::add(BExpr::max(m("f"), m("g")), BExpr::Const(4.0));
+    let rhs = BExpr::max(
+        BExpr::add(m("f"), BExpr::Const(4.0)),
+        BExpr::add(m("g"), BExpr::Const(4.0)),
+    );
+    assert!(lhs.le_syntactic(&rhs));
+    assert!(rhs.le_syntactic(&lhs));
+}
+
+#[test]
+fn comparator_everything_below_inf() {
+    let big = BExpr::mul(BExpr::Const(1e12), m("f"));
+    assert!(big.le_syntactic(&BExpr::Inf));
+    assert!(!BExpr::Inf.le_syntactic(&big));
+}
+
+#[test]
+fn comparator_handles_scaled_atoms() {
+    let n = BExpr::OfInt(IExpr::var("n"));
+    let lhs = BExpr::mul(BExpr::Const(24.0), n.clone());
+    let rhs = BExpr::add(BExpr::mul(BExpr::Const(24.0), n), BExpr::Const(40.0));
+    assert!(lhs.le_syntactic(&rhs));
+    assert!(!rhs.le_syntactic(&lhs));
+}
+
+// ---- checking derivations ---------------------------------------------------------
+
+#[test]
+fn figure5_max_composition() {
+    let program = clight::frontend(
+        "void f() { return; } void g() { return; } void h() { f(); g(); }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("f", FunSpec::zero());
+    ctx.insert("g", FunSpec::zero());
+    ctx.insert("h", FunSpec::restoring(BExpr::max(m("f"), m("g"))));
+    let deriv = Derivation::seq(Derivation::call(), Derivation::call());
+    Checker::new(&program, &ctx)
+        .check_function("h", &deriv, None)
+        .unwrap();
+}
+
+#[test]
+fn underspecified_bound_is_rejected() {
+    let program = clight::frontend(
+        "void f() { return; } void g() { return; } void h() { f(); g(); }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("f", FunSpec::zero());
+    ctx.insert("g", FunSpec::zero());
+    // Claiming only M(f) is not enough: the call to g needs M(g).
+    ctx.insert("h", FunSpec::restoring(m("f")));
+    let deriv = Derivation::seq(Derivation::call(), Derivation::call());
+    let err = Checker::new(&program, &ctx)
+        .check_function("h", &deriv, None)
+        .unwrap_err();
+    assert!(err.message.contains("cannot establish"), "{err}");
+}
+
+#[test]
+fn nested_call_bounds_compose() {
+    // h calls g calls f: bound(h) = M(g) + M(f).
+    let program = clight::frontend(
+        "void f() { return; }
+         void g() { f(); }
+         void h() { g(); }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("f", FunSpec::zero());
+    ctx.insert("g", FunSpec::restoring(m("f")));
+    ctx.insert("h", FunSpec::restoring(BExpr::add(m("g"), m("f"))));
+    let checker = Checker::new(&program, &ctx);
+    checker.check_function("g", &Derivation::call(), None).unwrap();
+    checker.check_function("h", &Derivation::call(), None).unwrap();
+}
+
+#[test]
+fn loops_with_invariants() {
+    let program = clight::frontend(
+        "void f() { return; }
+         void spin(u32 n) { u32 i; for (i = 0; i < n; i++) { f(); } return; }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("f", FunSpec::zero());
+    ctx.insert("spin", FunSpec::restoring(m("f")));
+    // Body of spin: i = 0; loop { if (i < n) skip else break; f(); } (i++)
+    let loop_deriv = Derivation::Loop {
+        invariant: m("f"),
+        just: None,
+        body: Box::new(Derivation::seq(
+            Derivation::Mono, // the guard if/break
+            Derivation::call(),
+        )),
+        incr: Box::new(Derivation::Mono),
+    };
+    // spin body: Seq(Seq(i = 0, loop), return) — the `for` lowering seqs
+    // the init statement with the loop.
+    let deriv = Derivation::seq(
+        Derivation::seq(Derivation::Mono, loop_deriv),
+        Derivation::Mono,
+    );
+    Checker::new(&program, &ctx)
+        .check_function("spin", &deriv, None)
+        .unwrap();
+}
+
+#[test]
+fn mono_rejects_statements_with_internal_calls() {
+    let program = clight::frontend("void f() { return; } void h() { f(); }", &[]).unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("f", FunSpec::zero());
+    ctx.insert("h", FunSpec::restoring(m("f")));
+    let err = Checker::new(&program, &ctx)
+        .check_function("h", &Derivation::Mono, None)
+        .unwrap_err();
+    assert!(err.message.contains("Call node"), "{err}");
+}
+
+#[test]
+fn external_calls_cost_nothing() {
+    let program = clight::frontend(
+        "extern u32 io(u32 x);
+         u32 h() { u32 r; r = io(3); return r; }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("h", FunSpec::restoring(BExpr::zero()));
+    Checker::new(&program, &ctx)
+        .check_function("h", &Derivation::seq(Derivation::call(), Derivation::Mono), None)
+        .unwrap();
+}
+
+/// The paper's recid: linear recursion of depth `a`, bound `M(recid)·a`.
+#[test]
+fn recid_linear_recursion() {
+    let program = clight::frontend(
+        "u32 recid(u32 a) { u32 r; if (a == 0) return 0; r = recid(a - 1); return r + 1; }",
+        &[],
+    )
+    .unwrap();
+    let bound = BExpr::mul(m("recid"), BExpr::OfInt(IExpr::var("a")));
+    let mut ctx = Context::new();
+    ctx.insert("recid", FunSpec::restoring(bound));
+    // Body: if (a == 0) return 0; (r = recid(a-1); return r+1)
+    // The recursive call instantiates the spec with a := a - 1:
+    //   pre = M·(a-1) + M  <=  M·a   (needs a >= 1 on the call path; we
+    //   declare the verification domain a in 1..=2^16).
+    let deriv = Derivation::seq(
+        Derivation::Mono, // the if/return
+        Derivation::seq(
+            Derivation::Conseq {
+                pre: BExpr::mul(m("recid"), BExpr::OfInt(IExpr::var("a"))),
+                just: Some(Justification::over("a", 1, 1 << 16)),
+                inner: Box::new(Derivation::call()),
+            },
+            Derivation::Mono, // return r + 1
+        ),
+    );
+    Checker::new(&program, &ctx)
+        .check_function("recid", &deriv, None)
+        .unwrap();
+
+    // Theorem 2, empirically: the bound covers the measured weight.
+    let metric = Metric::from_pairs([("recid", 8)]);
+    for a in [0i64, 1, 2, 7, 30] {
+        let spec = ctx.get("recid").unwrap();
+        let v = validate_spec(&program, "recid", spec, &[a], &metric, FUEL).unwrap();
+        assert!(v.sound(), "a = {a}: bound {} < weight {}", v.bound, v.weight);
+        // The linear bound is tight: weight = 8·a exactly... plus the
+        // outer activation of recid itself (8 more).
+        assert_eq!(v.weight, 8 * (a + 1));
+    }
+}
+
+/// The bound of recid is `M·a` for the *callees*; note the outer call
+/// itself costs `M(recid)` more, which is what `main`'s bound pays. This
+/// test pins the off-by-one convention.
+#[test]
+fn spec_bounds_body_not_outer_activation() {
+    let program = clight::frontend(
+        "u32 recid(u32 a) { u32 r; if (a == 0) return 0; r = recid(a - 1); return r + 1; }
+         int main() { u32 r; r = recid(10); return r; }",
+        &[],
+    )
+    .unwrap();
+    let recid_bound = BExpr::mul(m("recid"), BExpr::OfInt(IExpr::var("a")));
+    let mut ctx = Context::new();
+    ctx.insert("recid", FunSpec::restoring(recid_bound));
+    // main's bound: M(recid)·10 + M(recid) = M·11.
+    ctx.insert(
+        "main",
+        FunSpec::restoring(BExpr::mul(m("recid"), BExpr::Const(11.0))),
+    );
+    let deriv = Derivation::seq(Derivation::call(), Derivation::Mono);
+    Checker::new(&program, &ctx)
+        .check_function("main", &deriv, None)
+        .unwrap();
+}
+
+/// Binary search with the logarithmic bound of Figure 6 / Table 2:
+/// `L(h − l) = M(bsearch)·(2 + log2(h − l))`.
+#[test]
+fn bsearch_logarithmic_bound() {
+    let program = clight::frontend(
+        "u32 a[4096];
+         u32 bsearch(u32 x, u32 l, u32 h) {
+           u32 mid;
+           if (h - l <= 1) return l;
+           mid = (h + l) / 2;
+           if (a[mid] > x) h = mid; else l = mid;
+           return bsearch(x, l, h);
+         }",
+        &[],
+    )
+    .unwrap();
+    // Body bound M·⌈log2(h−l)⌉; the reported bound for a call is
+    // M·(1 + ⌈log2(h−l)⌉) — the integer-halving counterpart of the
+    // paper's 40·(1 + log2(hi−lo)).
+    let delta = IExpr::sub(IExpr::var("h"), IExpr::var("l"));
+    let bound = BExpr::mul(m("bsearch"), BExpr::Log2Ceil(delta));
+    let mut ctx = Context::new();
+    ctx.insert("bsearch", FunSpec::restoring(bound.clone()));
+
+    // Body: if(..)return; mid = (h+l)/2; if(..) h=mid else l=mid; tmp = bsearch(x,l,h); return tmp
+    // Strategy: after the assignments, the recursive call needs
+    // M·(2 + log2(h'-l')) + M where (h'-l') <= (h-l)/2 on both branches.
+    // One Conseq around the whole tail discharges the inequality
+    // numerically over the operating domain 2 <= h-l, l,h <= 4096.
+    let tail = Derivation::Conseq {
+        pre: bound.clone(),
+        just: Some(Justification::NumericGuarded {
+            ranges: vec![("l".into(), 0, 96, 1), ("h".into(), 0, 96, 1)],
+            // Path condition: the guard `h - l <= 1` returned already.
+            guards: vec![IExpr::sub(
+                IExpr::sub(IExpr::var("h"), IExpr::var("l")),
+                IExpr::Const(2),
+            )],
+        }),
+        inner: Box::new(Derivation::seq(
+            Derivation::Assign, // mid = (h + l) / 2
+            Derivation::seq(
+                Derivation::If(
+                    Box::new(Derivation::Assign), // h = mid
+                    Box::new(Derivation::Assign), // l = mid
+                ),
+                Derivation::seq(
+                    Derivation::call(), // tmp = bsearch(x, l, h)
+                    Derivation::Mono,   // return tmp
+                ),
+            ),
+        )),
+    };
+    let deriv = Derivation::seq(Derivation::Mono, tail);
+    Checker::new(&program, &ctx)
+        .check_function("bsearch", &deriv, None)
+        .unwrap();
+
+    // Theorem 2, empirically, across the whole sweep of Figure 7.
+    let metric = Metric::from_pairs([("bsearch", 36)]); // M = 36 -> 40 with +4
+    let spec = ctx.get("bsearch").unwrap();
+    for len in [2i64, 3, 4, 10, 100, 1000, 4096] {
+        let v = validate_spec(&program, "bsearch", spec, &[7, 0, len], &metric, FUEL).unwrap();
+        assert!(
+            v.sound(),
+            "len = {len}: bound {} < weight {}",
+            v.bound,
+            v.weight
+        );
+    }
+}
+
+#[test]
+fn wrong_recursive_bound_is_rejected() {
+    let program = clight::frontend(
+        "u32 recid(u32 a) { u32 r; if (a == 0) return 0; r = recid(a - 1); return r + 1; }",
+        &[],
+    )
+    .unwrap();
+    // Claim a constant bound for a linearly recursive function.
+    let mut ctx = Context::new();
+    ctx.insert("recid", FunSpec::restoring(m("recid")));
+    let deriv = Derivation::seq(
+        Derivation::Mono,
+        Derivation::seq(Derivation::call(), Derivation::Mono),
+    );
+    let err = Checker::new(&program, &ctx)
+        .check_function("recid", &deriv, None)
+        .unwrap_err();
+    assert!(err.message.contains("cannot establish"), "{err}");
+}
+
+#[test]
+fn numeric_justification_rejects_false_inequalities() {
+    let program = clight::frontend(
+        "u32 recid(u32 a) { u32 r; if (a == 0) return 0; r = recid(a - 1); return r + 1; }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    // M·a is NOT enough if the domain includes a = 0 at the call site
+    // (pre would be M·(a-1) + M = M·a, fine — so claim something smaller
+    // to force a failure: M·(a-1)).
+    ctx.insert(
+        "recid",
+        FunSpec::restoring(BExpr::mul(
+            m("recid"),
+            BExpr::OfInt(IExpr::sub(IExpr::var("a"), IExpr::Const(1))),
+        )),
+    );
+    let deriv = Derivation::seq(
+        Derivation::Mono,
+        Derivation::seq(
+            Derivation::Conseq {
+                pre: BExpr::mul(
+                    m("recid"),
+                    BExpr::OfInt(IExpr::sub(IExpr::var("a"), IExpr::Const(1))),
+                ),
+                just: Some(Justification::over("a", 1, 64)),
+                inner: Box::new(Derivation::call()),
+            },
+            Derivation::Mono,
+        ),
+    );
+    let err = Checker::new(&program, &ctx)
+        .check_function("recid", &deriv, None)
+        .unwrap_err();
+    assert!(
+        err.message.contains("numeric justification fails"),
+        "{err}"
+    );
+}
+
+#[test]
+fn mono_rejects_interfering_assignments() {
+    let program = clight::frontend("u32 f(u32 n) { n = 0; return n; }", &[]).unwrap();
+    let mut ctx = Context::new();
+    // The bound mentions n, and the body assigns n before returning.
+    ctx.insert(
+        "f",
+        FunSpec::restoring(BExpr::OfInt(IExpr::var("n"))),
+    );
+    let err = Checker::new(&program, &ctx)
+        .check_function("f", &Derivation::Mono, None)
+        .unwrap_err();
+    assert!(err.message.contains("assigns `n`"), "{err}");
+}
+
+#[test]
+fn assign_rule_substitutes() {
+    // The bound of the call to g mentions k; the Assign rule turns the
+    // obligation on k into one on n via wp-substitution k := n + 1.
+    let program = clight::frontend(
+        "void g(u32 k) { return; }
+         void f(u32 n) { u32 k; k = n + 1; g(k); return; }",
+        &[],
+    )
+    .unwrap();
+    let mut ctx = Context::new();
+    ctx.insert(
+        "g",
+        FunSpec::restoring(BExpr::mul(BExpr::Const(8.0), BExpr::OfInt(IExpr::var("k")))),
+    );
+    // g is called with k = n+1, so f needs 8·(n+1) + M(g).
+    ctx.insert(
+        "f",
+        FunSpec::restoring(BExpr::add(
+            BExpr::mul(
+                BExpr::Const(8.0),
+                BExpr::OfInt(IExpr::add(IExpr::var("n"), IExpr::Const(1))),
+            ),
+            m("g"),
+        )),
+    );
+    let deriv = Derivation::seq(
+        Derivation::Assign,
+        Derivation::seq(Derivation::call(), Derivation::Mono),
+    );
+    Checker::new(&program, &ctx)
+        .check_function("f", &deriv, None)
+        .unwrap();
+}
+
+// ---- property tests -----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_le_syntactic_implies_pointwise(
+        cf in 0u32..100, cg in 0u32..100, k in 0u32..64, n in 0i64..64,
+    ) {
+        // Random instances of the shapes the analyzer produces.
+        let lhs = BExpr::add(m("f"), BExpr::Const(f64::from(k)));
+        let rhs = BExpr::max(
+            BExpr::add(m("f"), BExpr::Const(f64::from(k) + 1.0)),
+            m("g"),
+        );
+        if lhs.le_syntactic(&rhs) {
+            let metric = Metric::from_pairs([("f", cf), ("g", cg)]);
+            let env = Valuation::of_vars([("n", n)]);
+            let l = lhs.eval(&metric, &env).unwrap();
+            let r = rhs.eval(&metric, &env).unwrap();
+            prop_assert!(l.le(r), "{l} > {r}");
+        }
+    }
+
+    #[test]
+    fn prop_checked_recid_bound_is_sound_on_all_inputs(a in 0i64..200, cost in 1u32..64) {
+        let program = clight::frontend(
+            "u32 recid(u32 a) { u32 r; if (a == 0) return 0; r = recid(a - 1); return r + 1; }",
+            &[],
+        ).unwrap();
+        let spec = FunSpec::restoring(BExpr::mul(m("recid"), BExpr::OfInt(IExpr::var("a"))));
+        let metric = Metric::from_pairs([("recid", cost * 4)]);
+        let v = validate_spec(&program, "recid", &spec, &[a], &metric, FUEL).unwrap();
+        // The spec bounds the *callees*; add one activation for the entry.
+        let total = v.bound.add(Bound::Fin(f64::from(cost * 4)));
+        prop_assert!(Bound::Fin(v.weight as f64).le(total));
+    }
+}
+
+
+#[test]
+fn derivations_render_as_proof_trees() {
+    let d = Derivation::seq(
+        Derivation::Mono,
+        Derivation::Conseq {
+            pre: m("f"),
+            just: Some(Justification::over("a", 1, 8)),
+            inner: Box::new(Derivation::call()),
+        },
+    );
+    let text = d.render();
+    assert!(text.contains("Q:SEQ"), "{text}");
+    assert!(text.contains("Q:MONO"), "{text}");
+    assert!(text.contains("Q:CONSEQ pre M(f)"), "{text}");
+    assert!(text.contains("numeric justification"), "{text}");
+    assert!(text.contains("Q:CALL"), "{text}");
+}
+
+
+#[test]
+fn conseq_post_strengthens_the_postcondition() {
+    // Inner derivation checked against a stronger (larger) post; the
+    // ambient post is weaker, so the consequence rule applies.
+    let program = clight::frontend("void f() { return; } void h() { f(); }", &[]).unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("f", FunSpec::zero());
+    // h restores only M(f)/2 per its spec -- the inner derivation proves
+    // the stronger "restores M(f)" and ConseqPost weakens it.
+    ctx.insert(
+        "h",
+        FunSpec {
+            pre: m("f"),
+            post: BExpr::mul(BExpr::Const(0.5), m("f")),
+        },
+    );
+    let deriv = Derivation::ConseqPost {
+        post: qhl_post(),
+        just: None,
+        inner: Box::new(Derivation::call()),
+    };
+    fn qhl_post() -> crate::Post {
+        crate::Post::function_body(BExpr::metric("f"))
+    }
+    Checker::new(&program, &ctx)
+        .check_function("h", &deriv, None)
+        .unwrap();
+}
+
+#[test]
+fn post_display_shows_all_components() {
+    let p = crate::Post::function_body(m("f"));
+    let text = p.to_string();
+    assert!(text.contains("s: M(f)"), "{text}");
+    assert!(text.contains("b: ∞"), "{text}");
+}

@@ -1,0 +1,81 @@
+//! Empirical soundness validation (the testable face of Theorem 2).
+//!
+//! Theorem 2 states that a derived triple bounds the weight of every
+//! execution: `P(σ, M) ≥ W_{(σ,M)}(S, Kstop)`. For a checked function
+//! specification, [`validate_spec`] runs the function on concrete
+//! arguments, computes the weight of the produced trace under a metric,
+//! and compares it with the evaluated precondition. The qhl test suite and
+//! the paper-reproduction benches run this over wide input sweeps.
+
+use crate::bound::{Bound, Valuation};
+use crate::logic::FunSpec;
+use clight::{Executor, Program};
+use mem::Value;
+use trace::Metric;
+
+/// Result of validating a specification on one input.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// The evaluated precondition (the claimed bound).
+    pub bound: Bound,
+    /// The measured trace weight.
+    pub weight: i64,
+    /// The behavior of the run.
+    pub behavior: trace::Behavior,
+}
+
+impl Validation {
+    /// True when the bound covers the measured weight.
+    pub fn sound(&self) -> bool {
+        Bound::Fin(self.weight as f64).le(self.bound)
+    }
+}
+
+/// Runs `fname(args)` and compares the spec's precondition with the
+/// measured trace weight under `metric`.
+///
+/// # Errors
+///
+/// Fails when the bound cannot be evaluated (unbound variables) — a run
+/// that goes wrong is reported in the [`Validation`], not as an error,
+/// because the logic promises nothing for wrong programs.
+pub fn validate_spec(
+    program: &Program,
+    fname: &str,
+    spec: &FunSpec,
+    args: &[i64],
+    metric: &Metric,
+    fuel: u64,
+) -> Result<Validation, String> {
+    let f = program
+        .function(fname)
+        .ok_or_else(|| format!("no function `{fname}`"))?;
+    if f.params.len() != args.len() {
+        return Err(format!(
+            "`{fname}` expects {} arguments, got {}",
+            f.params.len(),
+            args.len()
+        ));
+    }
+    let env = Valuation::of_vars(
+        f.params
+            .iter()
+            .map(|p| p.name.clone())
+            .zip(args.iter().copied()),
+    );
+    // The spec's precondition bounds the *body*; executing `f(args)` also
+    // pays M(f) for the activation itself (the Q:CALL rule), so the bound
+    // reported for the function — as in Table 2 — is `pre + M(f)`.
+    let bound = spec
+        .pre
+        .eval(metric, &env)?
+        .add(Bound::Fin(f64::from(metric.call_cost(fname))));
+    let vals: Vec<Value> = args.iter().map(|a| Value::Int(*a as u32)).collect();
+    let behavior = Executor::run_function(program, fname, vals, fuel);
+    let weight = behavior.weight(metric);
+    Ok(Validation {
+        bound,
+        weight,
+        behavior,
+    })
+}

@@ -1,0 +1,151 @@
+//! `sbound`: the command-line verified stack analyzer.
+//!
+//! The executable counterpart of the paper's "verified C compiler that …
+//! automatically derives a stack bound for each function in the program
+//! including main()" (§5).
+//!
+//! ```text
+//! USAGE:
+//!     sbound [OPTIONS] <file.c>
+//!
+//! OPTIONS:
+//!     -D <NAME=VALUE>   define a compile-time parameter (repeatable)
+//!     --run             also execute main() on the ASMsz machine with a
+//!                       stack of exactly the verified bound
+//!     --emit-asm        print the generated assembly listing
+//!     --metric          print the cost metric M(f) = SF(f) + 4
+//!     --symbolic        print the symbolic (metric-parametric) bounds
+//! ```
+
+use std::process::ExitCode;
+
+struct Options {
+    file: Option<String>,
+    params: Vec<(String, u32)>,
+    run: bool,
+    emit_asm: bool,
+    metric: bool,
+    symbolic: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sbound [-D NAME=VALUE]... [--run] [--emit-asm] [--metric] [--symbolic] <file.c>");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        file: None,
+        params: Vec::new(),
+        run: false,
+        emit_asm: false,
+        metric: false,
+        symbolic: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--run" => opts.run = true,
+            "--emit-asm" => opts.emit_asm = true,
+            "--metric" => opts.metric = true,
+            "--symbolic" => opts.symbolic = true,
+            "-D" => {
+                let Some(def) = args.next() else {
+                    return Err(usage());
+                };
+                let Some((name, value)) = def.split_once('=') else {
+                    eprintln!("sbound: bad definition `{def}` (expected NAME=VALUE)");
+                    return Err(usage());
+                };
+                let Ok(value) = value.parse::<u32>() else {
+                    eprintln!("sbound: `{value}` is not an unsigned integer");
+                    return Err(usage());
+                };
+                opts.params.push((name.to_owned(), value));
+            }
+            "-h" | "--help" => return Err(usage()),
+            _ if arg.starts_with('-') => {
+                eprintln!("sbound: unknown option `{arg}`");
+                return Err(usage());
+            }
+            _ if opts.file.is_none() => opts.file = Some(arg),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.file.is_none() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let file = opts.file.expect("checked in parse_args");
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sbound: cannot read `{file}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params: Vec<(&str, u32)> = opts
+        .params
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+
+    let report = match stackbound::verify_with_params(&source, &params) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sbound: {file}: {e}");
+            if matches!(
+                e,
+                stackbound::Error::Analyzer(analyzer::AnalyzerError::Recursion { .. })
+            ) {
+                eprintln!(
+                    "sbound: hint: recursive functions need an interactive derivation; \
+                     see the `interactive_proof` example"
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{file}: verified stack bounds");
+    for (name, bound) in report.bounds() {
+        if opts.symbolic {
+            let symbolic = report
+                .analysis
+                .bound(name)
+                .map(|b| b.to_string())
+                .unwrap_or_default();
+            println!("    {name:<24} {bound:>8} bytes    = M({name}) + {symbolic}");
+        } else {
+            println!("    {name:<24} {bound:>8} bytes");
+        }
+    }
+
+    if opts.metric {
+        println!("\ncost metric (Mach frame sizes + 4):");
+        for (f, c) in report.compiled.metric.iter() {
+            println!("    M({f}) = {c}");
+        }
+    }
+
+    if opts.run {
+        match (report.bound("main"), report.measured("main")) {
+            (Some(bound), Some(measured)) => {
+                println!("\nmain() ran on a {bound}-byte stack: peak usage {measured} bytes");
+            }
+            _ => println!("\nmain() was not executed (no main or it diverged)"),
+        }
+    }
+
+    if opts.emit_asm {
+        println!("\n{}", report.compiled.asm.listing());
+    }
+    ExitCode::SUCCESS
+}

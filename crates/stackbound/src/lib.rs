@@ -1,0 +1,183 @@
+//! # stackbound
+//!
+//! A from-scratch Rust reproduction of *End-to-End Verification of
+//! Stack-Space Bounds for C Programs* (Carbonneaux, Hoffmann,
+//! Ramananandro, Shao — PLDI 2014): a stack-aware, trace-preserving C
+//! compiler ("Quantitative CompCert"), a quantitative Hoare logic with
+//! machine-checked derivations, an automatic stack analyzer, and a
+//! finite-stack x86-style machine with a ptrace-style measurement harness.
+//!
+//! The pieces and the paper sections they reproduce:
+//!
+//! | crate | contents | paper |
+//! |---|---|---|
+//! | [`mem`] | block-based memory model | §4.2 |
+//! | [`trace`] | events, weights, quantitative refinement | §3.1 |
+//! | [`clight`] | C front end + small-step semantics with events | §4.1–4.2 |
+//! | [`qhl`] | quantitative Hoare logic, derivation checker | §4.3 |
+//! | [`analyzer`] | automatic stack analyzer emitting derivations | §5 |
+//! | [`compiler`] | Clight → Cminor → RTL → Mach → ASMsz pipeline | §3.2 |
+//! | [`asm`] | the `ASMsz` finite-stack machine + monitor | §3.2, §6 |
+//! | [`benchsuite`] | the evaluation programs of Tables 1 and 2 | §6 |
+//!
+//! # The end-to-end story in one function
+//!
+//! [`verify_program`] runs the complete loop of the paper's Figure 2:
+//! analyze at the source level, compile, instantiate the parametric bound
+//! with the compiler's cost metric `M(f) = SF(f) + 4`, and (optionally)
+//! confirm on the machine that the bound holds with 4 bytes to spare.
+//!
+//! ```
+//! let report = stackbound::verify_program("
+//!     u32 square(u32 x) { return x * x; }
+//!     u32 poly(u32 x) { u32 a; u32 b; a = square(x); b = square(x + 1); return a + b; }
+//!     int main() { u32 r; r = poly(6); return r % 256; }
+//! ").unwrap();
+//!
+//! let main_bound = report.bound("main").unwrap();
+//! assert_eq!(report.measured("main"), Some(main_bound - 4)); // exactly 4 bytes slack
+//! ```
+
+#![warn(missing_docs)]
+
+pub use analyzer;
+pub use asm;
+pub use benchsuite;
+pub use clight;
+pub use compiler;
+pub use mem;
+pub use qhl;
+pub use trace;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default interpreter/machine fuel used by [`verify_program`].
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// The outcome of the end-to-end verification pipeline for one program.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-function verified stack bounds in bytes (`B_f + M(f)` under the
+    /// compiler's metric).
+    bounds: BTreeMap<String, u32>,
+    /// Measured peak stack usage of `main` (and of any function measured
+    /// later), when the program was executed.
+    measured: BTreeMap<String, u32>,
+    /// The compiled program.
+    pub compiled: compiler::Compiled,
+    /// The analysis (context + derivations).
+    pub analysis: analyzer::Analysis,
+}
+
+impl Report {
+    /// The verified stack bound of a function, in bytes.
+    pub fn bound(&self, fname: &str) -> Option<u32> {
+        self.bounds.get(fname).copied()
+    }
+
+    /// The measured peak stack usage of a function, in bytes.
+    pub fn measured(&self, fname: &str) -> Option<u32> {
+        self.measured.get(fname).copied()
+    }
+
+    /// All `(function, verified bound)` pairs in name order.
+    pub fn bounds(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.bounds.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>12} {:>12}", "function", "bound", "measured")?;
+        for (name, bound) in &self.bounds {
+            match self.measured.get(name) {
+                Some(m) => writeln!(f, "{name:<24} {bound:>6} bytes {m:>6} bytes")?,
+                None => writeln!(f, "{name:<24} {bound:>6} bytes            -")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An error from the end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Parsing or type checking failed.
+    Frontend(String),
+    /// The automatic analyzer gave up (recursion — use the interactive
+    /// logic instead, as in Table 2).
+    Analyzer(analyzer::AnalyzerError),
+    /// A generated derivation failed to re-check (an analyzer bug).
+    Derivation(qhl::QhlError),
+    /// Compilation failed.
+    Compiler(compiler::CompileError),
+    /// The machine run failed (overflow would mean an unsound bound).
+    Machine(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frontend(m) => write!(f, "front end: {m}"),
+            Error::Analyzer(e) => write!(f, "analyzer: {e}"),
+            Error::Derivation(e) => write!(f, "derivation check: {e}"),
+            Error::Compiler(e) => write!(f, "compiler: {e}"),
+            Error::Machine(m) => write!(f, "machine: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Runs the complete verified tool of §5: parse, type-check, analyze
+/// (generating and re-checking derivations), compile, and derive a
+/// concrete verified stack bound for every function. If the program has a
+/// `main`, it is additionally executed on the `ASMsz` machine with a stack
+/// of exactly the verified bound, and the measured usage is recorded.
+///
+/// # Errors
+///
+/// Any stage can fail; see [`Error`]. Recursive programs are rejected by
+/// the analyzer — verify them interactively with [`qhl`] (the
+/// `interactive_proof` example shows how).
+pub fn verify_program(src: &str) -> Result<Report, Error> {
+    verify_with_params(src, &[])
+}
+
+/// [`verify_program`] with compile-time parameters (the paper's `ALEN`
+/// section hypotheses).
+///
+/// # Errors
+///
+/// See [`verify_program`].
+pub fn verify_with_params(src: &str, params: &[(&str, u32)]) -> Result<Report, Error> {
+    let program = clight::frontend(src, params).map_err(Error::Frontend)?;
+    let analysis = analyzer::analyze(&program).map_err(Error::Analyzer)?;
+    analysis.check(&program).map_err(Error::Derivation)?;
+    let compiled = compiler::compile(&program).map_err(Error::Compiler)?;
+
+    let mut bounds = BTreeMap::new();
+    for name in program.function_names() {
+        if let Some(b) = analysis.concrete_bound(name, &compiled.metric) {
+            bounds.insert(name.to_owned(), b as u32);
+        }
+    }
+    let mut measured = BTreeMap::new();
+    if let Some(main_bound) = bounds.get("main").copied() {
+        let m = asm::measure_main(&compiled.asm, main_bound, DEFAULT_FUEL)
+            .map_err(|e| Error::Machine(e.to_string()))?;
+        if let Some(err) = m.error {
+            return Err(Error::Machine(err.to_string()));
+        }
+        if m.behavior.converges() {
+            measured.insert("main".to_owned(), m.stack_usage);
+        }
+    }
+    Ok(Report {
+        bounds,
+        measured,
+        compiled,
+        analysis,
+    })
+}

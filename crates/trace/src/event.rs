@@ -1,0 +1,313 @@
+//! Events, finite traces, and program behaviors.
+
+use crate::Metric;
+use std::fmt;
+use std::sync::Arc;
+
+/// An observable I/O event: an external function call `f(v⃗ ↦ v)`.
+///
+/// I/O events must be preserved *exactly* by compilation; they are what
+/// CompCert's classic refinement compares.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IoEvent {
+    /// Name of the external function.
+    pub name: Arc<str>,
+    /// Argument values (32-bit integers; our subset has no float I/O).
+    pub args: Vec<u32>,
+    /// Result value.
+    pub result: u32,
+}
+
+impl fmt::Display for IoEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " -> {})", self.result)
+    }
+}
+
+/// A single trace event: either an I/O event or a *memory event*
+/// (`call(f)` / `ret(f)`) recording an internal function call or return.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// External call, preserved by compilation.
+    Io(IoEvent),
+    /// Internal function call; costs `M(call f)` under a metric.
+    Call(Arc<str>),
+    /// Internal function return; costs `M(ret f) = −M(call f)`.
+    Ret(Arc<str>),
+}
+
+impl Event {
+    /// A `call(f)` memory event.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use trace::Event;
+    /// assert!(Event::call("f").is_memory());
+    /// ```
+    pub fn call(f: impl Into<Arc<str>>) -> Self {
+        Event::Call(f.into())
+    }
+
+    /// A `ret(f)` memory event.
+    pub fn ret(f: impl Into<Arc<str>>) -> Self {
+        Event::Ret(f.into())
+    }
+
+    /// An I/O event.
+    pub fn io(name: impl Into<Arc<str>>, args: Vec<u32>, result: u32) -> Self {
+        Event::Io(IoEvent {
+            name: name.into(),
+            args,
+            result,
+        })
+    }
+
+    /// True for memory events (`call`/`ret`), which pruning removes.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Event::Call(_) | Event::Ret(_))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Io(ev) => write!(f, "{ev}"),
+            Event::Call(name) => write!(f, "call({name})"),
+            Event::Ret(name) => write!(f, "ret({name})"),
+        }
+    }
+}
+
+/// A finite event trace `t`.
+///
+/// Infinite traces of diverging executions are represented by the finite
+/// prefix observed before the interpreter's fuel ran out (see
+/// [`Behavior::Diverges`]); weights computed on such prefixes are lower
+/// bounds of the true weight, which is all the differential refinement
+/// tests need.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// The empty trace `ε`.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The *pruned* trace `t̄`: all memory events deleted. This is what
+    /// CompCert's classic (non-quantitative) refinement compares.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use trace::{Event, Trace};
+    /// let t: Trace = [Event::call("f"), Event::io("print", vec![1], 0),
+    ///                 Event::ret("f")].into_iter().collect();
+    /// assert_eq!(t.pruned().len(), 1);
+    /// ```
+    pub fn pruned(&self) -> Trace {
+        self.events
+            .iter()
+            .filter(|e| !e.is_memory())
+            .cloned()
+            .collect()
+    }
+
+    /// The valuation `V_M(t)`: the sum of the metric over all events.
+    pub fn valuation(&self, m: &Metric) -> i64 {
+        self.events.iter().map(|e| m.cost(e)).sum()
+    }
+
+    /// The weight `W_M(t) = sup { V_M(t′) | t′ prefix of t }`: the maximum
+    /// running valuation, i.e. the peak stack usage of the execution.
+    ///
+    /// Always non-negative because the empty prefix has valuation 0.
+    pub fn weight(&self, m: &Metric) -> i64 {
+        let mut running = 0i64;
+        let mut max = 0i64;
+        for e in &self.events {
+            running += m.cost(e);
+            max = max.max(running);
+        }
+        max
+    }
+
+    /// Checks the stack discipline of memory events: every `ret(f)` must
+    /// close the most recent open `call(f)`. Returns the call stack depth
+    /// remaining at the end (0 for a completed `main`), or `None` when the
+    /// discipline is violated.
+    ///
+    /// All of our interpreters produce well-bracketed traces; this is used
+    /// as a sanity property in tests.
+    pub fn check_bracketing(&self) -> Option<usize> {
+        let mut stack: Vec<&Arc<str>> = Vec::new();
+        for e in &self.events {
+            match e {
+                Event::Call(f) => stack.push(f),
+                Event::Ret(f) => {
+                    let open = stack.pop()?;
+                    if open != f {
+                        return None;
+                    }
+                }
+                Event::Io(_) => {}
+            }
+        }
+        Some(stack.len())
+    }
+
+    /// All function names that occur in memory events, deduplicated.
+    pub fn functions(&self) -> Vec<Arc<str>> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if let Event::Call(f) | Event::Ret(f) = e {
+                if !seen.contains(f) {
+                    seen.push(f.clone());
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Event> for Trace {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A program behavior `B`: the paper's
+/// `conv(t, n) | div(T) | fail(t)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Behavior {
+    /// Converging computation with trace `t` and return code `n`.
+    Converges(Trace, u32),
+    /// Diverging computation; the field holds the finite prefix of the
+    /// (possibly infinite) trace observed before fuel exhaustion.
+    Diverges(Trace),
+    /// A computation that goes wrong after producing `t`, with a diagnostic.
+    Fails(Trace, String),
+}
+
+impl Behavior {
+    /// The trace (or observed prefix) of the behavior.
+    pub fn trace(&self) -> &Trace {
+        match self {
+            Behavior::Converges(t, _) | Behavior::Diverges(t) | Behavior::Fails(t, _) => t,
+        }
+    }
+
+    /// The weight `W_M(B)`: supremum of prefix valuations of the trace.
+    pub fn weight(&self, m: &Metric) -> i64 {
+        self.trace().weight(m)
+    }
+
+    /// The pruned behavior `B̄` with all memory events deleted.
+    pub fn pruned(&self) -> Behavior {
+        match self {
+            Behavior::Converges(t, n) => Behavior::Converges(t.pruned(), *n),
+            Behavior::Diverges(t) => Behavior::Diverges(t.pruned()),
+            Behavior::Fails(t, why) => Behavior::Fails(t.pruned(), why.clone()),
+        }
+    }
+
+    /// True for `conv`.
+    pub fn converges(&self) -> bool {
+        matches!(self, Behavior::Converges(..))
+    }
+
+    /// True for `fail`.
+    pub fn goes_wrong(&self) -> bool {
+        matches!(self, Behavior::Fails(..))
+    }
+
+    /// The return code, for converging behaviors.
+    pub fn return_code(&self) -> Option<u32> {
+        match self {
+            Behavior::Converges(_, n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behavior::Converges(t, n) => write!(f, "conv({t}, {n})"),
+            Behavior::Diverges(t) => write!(f, "div({t}…)"),
+            Behavior::Fails(t, why) => write!(f, "fail({t}: {why})"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Event traces, resource metrics, trace weights, and quantitative
+//! refinement — the methodology of §3.1 of *End-to-End Verification of
+//! Stack-Space Bounds for C Programs* (PLDI 2014).
+//!
+//! Every language in the compiler pipeline (Clight, Cminor, RTL, Linear,
+//! Mach, ASMsz) produces traces of *events* during execution:
+//!
+//! * **I/O events** `f(v⃗ ↦ v)` — external function calls, which must be
+//!   preserved exactly by compilation (CompCert's classic refinement), and
+//! * **memory events** `call(f)` / `ret(f)` — internal function calls and
+//!   returns, which may be reordered or deleted during compilation as long
+//!   as trace *weights* do not increase.
+//!
+//! The weight of a trace under a [`Metric`] `M : E → ℤ` is the supremum of
+//! the valuations of its prefixes; with a *stack metric*
+//! (`M(call f) = −M(ret f) ≥ 0`) it is exactly the maximum stack space held
+//! at any point of the execution.
+//!
+//! [`refinement`] implements the checkable core of the paper's quantitative
+//! refinement `s′ ≼Q s`: pruned-trace equality plus weight inequality, which
+//! the compiler's differential tests apply to every pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use trace::{Event, Trace, Metric};
+//!
+//! let t: Trace = [Event::call("main"), Event::call("f"), Event::ret("f"),
+//!                 Event::ret("main")].into_iter().collect();
+//! let mut m = Metric::new();
+//! m.set("main", 16);
+//! m.set("f", 8);
+//! assert_eq!(t.weight(&m), 24); // main and f simultaneously live
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod metric;
+pub mod refinement;
+
+pub use event::{Behavior, Event, IoEvent, Trace};
+pub use metric::Metric;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,132 @@
+//! Resource metrics `M : E → ℤ`.
+
+use crate::Event;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A *stack metric*: assigns every internal function `f` a non-negative cost
+/// `M(call f)` with `M(ret f) = −M(call f)`, and cost 0 to I/O events.
+///
+/// The compiler produces the concrete metric `M(f) = SF(f) + 4` from the
+/// Mach stack-frame sizes (`SF`), so that instantiating a source-level bound
+/// with this metric yields a bound on the stack usage of the compiled
+/// `ASMsz` code (Theorem 1 of the paper).
+///
+/// Functions absent from the metric have cost 0; [`Metric::is_total_for`]
+/// can be used to insist on totality.
+///
+/// # Examples
+///
+/// ```
+/// use trace::{Event, Metric};
+///
+/// let mut m = Metric::new();
+/// m.set("f", 24);
+/// assert_eq!(m.cost(&Event::call("f")), 24);
+/// assert_eq!(m.cost(&Event::ret("f")), -24);
+/// assert_eq!(m.cost(&Event::io("print", vec![], 0)), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metric {
+    costs: BTreeMap<Arc<str>, u32>,
+}
+
+impl Metric {
+    /// An empty metric (every function costs 0).
+    pub fn new() -> Self {
+        Metric::default()
+    }
+
+    /// Builds a metric from `(function, cost)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, u32)>,
+        S: Into<Arc<str>>,
+    {
+        Metric {
+            costs: pairs.into_iter().map(|(f, c)| (f.into(), c)).collect(),
+        }
+    }
+
+    /// Sets the cost of calling `f` to `bytes`.
+    pub fn set(&mut self, f: impl Into<Arc<str>>, bytes: u32) {
+        self.costs.insert(f.into(), bytes);
+    }
+
+    /// The cost `M(call f)` of calling `f`, 0 when unknown.
+    pub fn call_cost(&self, f: &str) -> u32 {
+        self.costs.get(f).copied().unwrap_or(0)
+    }
+
+    /// The signed cost of an arbitrary event.
+    pub fn cost(&self, e: &Event) -> i64 {
+        match e {
+            Event::Io(_) => 0,
+            Event::Call(f) => i64::from(self.call_cost(f)),
+            Event::Ret(f) => -i64::from(self.call_cost(f)),
+        }
+    }
+
+    /// True when every function in `functions` has an explicit cost.
+    pub fn is_total_for<'a>(&self, functions: impl IntoIterator<Item = &'a str>) -> bool {
+        functions.into_iter().all(|f| self.costs.contains_key(f))
+    }
+
+    /// Iterates over `(function, cost)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.costs.iter().map(|(f, c)| (f.as_ref(), *c))
+    }
+
+    /// Number of functions with explicit costs.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True when no function has an explicit cost.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// The *unit* metric over the given functions: every call costs 1, so
+    /// trace weights equal the maximum call depth. Used by the refinement
+    /// test battery.
+    pub fn unit<'a>(functions: impl IntoIterator<Item = &'a str>) -> Self {
+        Metric::from_pairs(functions.into_iter().map(|f| (f.to_owned(), 1)))
+    }
+
+    /// The *indicator* metric of a single function: calling `f` costs 1 and
+    /// everything else costs 0, so trace weights equal the maximum number of
+    /// simultaneously open activations of `f`. Used by the refinement test
+    /// battery.
+    pub fn indicator(f: &str) -> Self {
+        Metric::from_pairs([(f.to_owned(), 1)])
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, c)) in self.costs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<Arc<str>>> FromIterator<(S, u32)> for Metric {
+    fn from_iter<I: IntoIterator<Item = (S, u32)>>(iter: I) -> Self {
+        Metric::from_pairs(iter)
+    }
+}
+
+impl<S: Into<Arc<str>>> Extend<(S, u32)> for Metric {
+    fn extend<I: IntoIterator<Item = (S, u32)>>(&mut self, iter: I) {
+        for (f, c) in iter {
+            self.costs.insert(f.into(), c);
+        }
+    }
+}

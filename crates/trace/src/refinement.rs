@@ -1,0 +1,239 @@
+//! Checkable quantitative refinement (§3.1).
+//!
+//! The paper *proves in Coq*, once and for all, that each compiler pass `C`
+//! satisfies `C(s) ≼Q s`: for every behavior `B′` of the target there is a
+//! behavior `B` of the source with `B̄ = B̄′` (pruned traces agree) and
+//! `W_M(B′) ≤ W_M(B)` for **all** stack metrics `M`.
+//!
+//! This crate replaces the proof with a *checker per execution pair*: given
+//! the behavior the source produced and the behavior the target produced on
+//! the same input, [`check_quantitative`] verifies both conditions. The
+//! quantification over all stack metrics is discharged by open-call-profile
+//! domination (see [`weight_le_all_metrics`]), a finite condition that
+//! implies the weight inequality for every metric at once; concrete metrics
+//! of interest can be supplied as well for better diagnostics.
+
+use crate::{Behavior, Event, Metric, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a refinement check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefinementError {
+    /// The pruned traces (I/O events) differ at the given index.
+    IoMismatch {
+        /// Position of the first difference in the pruned traces.
+        index: usize,
+        /// Source event at that position, if any.
+        source: Option<Event>,
+        /// Target event at that position, if any.
+        target: Option<Event>,
+    },
+    /// The behaviors have different outcomes (converge/diverge/fail).
+    OutcomeMismatch {
+        /// Display of the source outcome.
+        source: String,
+        /// Display of the target outcome.
+        target: String,
+    },
+    /// The target weight exceeds the source weight under some metric.
+    WeightExceeded {
+        /// Metric under which the violation occurred.
+        metric: String,
+        /// Source weight.
+        source_weight: i64,
+        /// Target weight.
+        target_weight: i64,
+    },
+}
+
+impl fmt::Display for RefinementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefinementError::IoMismatch {
+                index,
+                source,
+                target,
+            } => write!(
+                f,
+                "pruned traces differ at {index}: source {source:?}, target {target:?}"
+            ),
+            RefinementError::OutcomeMismatch { source, target } => {
+                write!(f, "behavior outcomes differ: source {source}, target {target}")
+            }
+            RefinementError::WeightExceeded {
+                metric,
+                source_weight,
+                target_weight,
+            } => write!(
+                f,
+                "target weight {target_weight} exceeds source weight {source_weight} under metric {metric}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefinementError {}
+
+/// Checks CompCert's *classic* refinement on one behavior pair: pruned
+/// traces and outcomes agree, or the source goes wrong.
+///
+/// # Errors
+///
+/// Returns the first discrepancy found.
+pub fn check_classic(source: &Behavior, target: &Behavior) -> Result<(), RefinementError> {
+    // If the source goes wrong, anything refines it.
+    if source.goes_wrong() {
+        return Ok(());
+    }
+    let ps = source.pruned();
+    let pt = target.pruned();
+    let (st, tt) = (ps.trace(), pt.trace());
+    if st != tt {
+        let index = st
+            .events()
+            .iter()
+            .zip(tt.events())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| st.len().min(tt.len()));
+        return Err(RefinementError::IoMismatch {
+            index,
+            source: st.events().get(index).cloned(),
+            target: tt.events().get(index).cloned(),
+        });
+    }
+    let same_outcome = match (source, target) {
+        (Behavior::Converges(_, a), Behavior::Converges(_, b)) => a == b,
+        (Behavior::Diverges(_), Behavior::Diverges(_)) => true,
+        // A diverging source matched against a target still running is fine;
+        // other mixtures are not.
+        _ => false,
+    };
+    if !same_outcome {
+        return Err(RefinementError::OutcomeMismatch {
+            source: outcome_name(source).to_owned(),
+            target: outcome_name(target).to_owned(),
+        });
+    }
+    Ok(())
+}
+
+fn outcome_name(b: &Behavior) -> &'static str {
+    match b {
+        Behavior::Converges(..) => "converges",
+        Behavior::Diverges(_) => "diverges",
+        Behavior::Fails(..) => "fails",
+    }
+}
+
+/// The per-function *open-call profile* of a trace: for each function `f`,
+/// the maximum number of simultaneously open `call(f)` activations weighted
+/// at the global peak. Precisely, for each prefix `t′` we have the open-call
+/// vector `o(t′) : F → ℕ`; the weight under metric `M` is
+/// `max_{t′} Σ_f o(t′)(f)·M(f)`.
+///
+/// If for every prefix of the target there is a prefix of the source whose
+/// open-call vector dominates it pointwise, then
+/// `W_M(target) ≤ W_M(source)` holds for **all** stack metrics.
+/// [`weight_le_all_metrics`] checks that domination (a finite check because
+/// both traces are finite). The check is *sound but conservative*: a
+/// max-combination of source vectors could dominate a target vector without
+/// any single source vector doing so. All of our compiler passes preserve
+/// the call structure event-for-event, so the conservative check suffices
+/// and failures pinpoint real weight regressions.
+pub fn open_call_profile(t: &Trace) -> Vec<BTreeMap<Arc<str>, u32>> {
+    let mut cur: BTreeMap<Arc<str>, u32> = BTreeMap::new();
+    let mut profile = vec![cur.clone()];
+    for e in t {
+        match e {
+            Event::Call(f) => {
+                *cur.entry(f.clone()).or_insert(0) += 1;
+            }
+            Event::Ret(f) => {
+                if let Some(n) = cur.get_mut(f) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        cur.remove(f);
+                    }
+                }
+            }
+            Event::Io(_) => {}
+        }
+        profile.push(cur.clone());
+    }
+    // Keep only maximal vectors: a vector dominated by another in the same
+    // profile is redundant for the ∀∃ check.
+    let mut maximal: Vec<BTreeMap<Arc<str>, u32>> = Vec::new();
+    for v in profile {
+        if maximal.iter().any(|w| dominates(w, &v)) {
+            continue;
+        }
+        maximal.retain(|w| !dominates(&v, w));
+        maximal.push(v);
+    }
+    maximal
+}
+
+fn dominates(a: &BTreeMap<Arc<str>, u32>, b: &BTreeMap<Arc<str>, u32>) -> bool {
+    b.iter().all(|(f, nb)| a.get(f).copied().unwrap_or(0) >= *nb)
+}
+
+/// Checks a condition sufficient for `W_M(target) ≤ W_M(source)` under
+/// **every** stack metric `M`: open-call-profile domination, described at
+/// [`open_call_profile`].
+pub fn weight_le_all_metrics(target: &Trace, source: &Trace) -> bool {
+    let pt = open_call_profile(target);
+    let ps = open_call_profile(source);
+    pt.iter().all(|v| ps.iter().any(|w| dominates(w, v)))
+}
+
+/// Checks the paper's full quantitative refinement on one behavior pair:
+/// classic refinement plus `W_M(B′) ≤ W_M(B)` for all stack metrics.
+///
+/// `extra_metrics` are additionally checked and reported by name on
+/// failure, giving much better error messages in compiler tests.
+///
+/// # Errors
+///
+/// Returns the first discrepancy found.
+pub fn check_quantitative(
+    source: &Behavior,
+    target: &Behavior,
+    extra_metrics: &[(&str, &Metric)],
+) -> Result<(), RefinementError> {
+    if source.goes_wrong() {
+        return Ok(());
+    }
+    check_classic(source, target)?;
+    for (name, m) in extra_metrics {
+        let (ws, wt) = (source.weight(m), target.weight(m));
+        if wt > ws {
+            return Err(RefinementError::WeightExceeded {
+                metric: (*name).to_owned(),
+                source_weight: ws,
+                target_weight: wt,
+            });
+        }
+    }
+    if !weight_le_all_metrics(target.trace(), source.trace()) {
+        // Find a witness indicator metric for the report.
+        for f in target.trace().functions() {
+            let m = Metric::indicator(&f);
+            let (ws, wt) = (source.weight(&m), target.weight(&m));
+            if wt > ws {
+                return Err(RefinementError::WeightExceeded {
+                    metric: format!("indicator({f})"),
+                    source_weight: ws,
+                    target_weight: wt,
+                });
+            }
+        }
+        return Err(RefinementError::WeightExceeded {
+            metric: "open-call profile domination".to_owned(),
+            source_weight: 0,
+            target_weight: 0,
+        });
+    }
+    Ok(())
+}

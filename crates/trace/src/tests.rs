@@ -1,0 +1,368 @@
+use crate::refinement::{
+    check_classic, check_quantitative, open_call_profile, weight_le_all_metrics, RefinementError,
+};
+use crate::{Behavior, Event, Metric, Trace};
+use proptest::prelude::*;
+
+fn t(events: &[Event]) -> Trace {
+    events.iter().cloned().collect()
+}
+
+fn nested(depth: usize, f: &str) -> Trace {
+    let mut tr = Trace::new();
+    for _ in 0..depth {
+        tr.push(Event::call(f));
+    }
+    for _ in 0..depth {
+        tr.push(Event::ret(f));
+    }
+    tr
+}
+
+#[test]
+fn empty_trace_weight_is_zero() {
+    let m = Metric::from_pairs([("f", 100)]);
+    assert_eq!(Trace::new().weight(&m), 0);
+}
+
+#[test]
+fn valuation_of_balanced_trace_is_zero() {
+    let m = Metric::from_pairs([("f", 8), ("g", 24)]);
+    let tr = t(&[
+        Event::call("f"),
+        Event::call("g"),
+        Event::ret("g"),
+        Event::ret("f"),
+    ]);
+    assert_eq!(tr.valuation(&m), 0);
+    assert_eq!(tr.weight(&m), 32);
+}
+
+#[test]
+fn weight_is_peak_not_sum_of_calls() {
+    let m = Metric::from_pairs([("f", 10), ("g", 20)]);
+    // f and g called sequentially: peak is max, not sum.
+    let tr = t(&[
+        Event::call("main"),
+        Event::call("f"),
+        Event::ret("f"),
+        Event::call("g"),
+        Event::ret("g"),
+        Event::ret("main"),
+    ]);
+    assert_eq!(tr.weight(&m), 20);
+}
+
+#[test]
+fn paper_example_trace_weight() {
+    // The §2 example trace: call(main) call(init) call(random) ret(random)
+    // ret(init) call(search) call(search) ret ret ret(main).
+    let m = Metric::from_pairs([("main", 5), ("init", 7), ("random", 11), ("search", 13)]);
+    let tr = t(&[
+        Event::call("main"),
+        Event::call("init"),
+        Event::call("random"),
+        Event::ret("random"),
+        Event::ret("init"),
+        Event::call("search"),
+        Event::call("search"),
+        Event::ret("search"),
+        Event::ret("search"),
+        Event::ret("main"),
+    ]);
+    // M(main) + max(M(init)+M(random), 2*M(search))
+    assert_eq!(tr.weight(&m), 5 + 2 * 13);
+}
+
+#[test]
+fn recursion_weight_scales_with_depth() {
+    let m = Metric::from_pairs([("fib", 24)]);
+    assert_eq!(nested(10, "fib").weight(&m), 240);
+}
+
+#[test]
+fn io_events_cost_nothing() {
+    let m = Metric::from_pairs([("f", 8)]);
+    let tr = t(&[
+        Event::call("f"),
+        Event::io("getchar", vec![], 65),
+        Event::ret("f"),
+    ]);
+    assert_eq!(tr.weight(&m), 8);
+}
+
+#[test]
+fn unknown_functions_cost_zero() {
+    let m = Metric::new();
+    assert_eq!(nested(3, "mystery").weight(&m), 0);
+    assert_eq!(m.call_cost("mystery"), 0);
+    assert!(!m.is_total_for(["mystery"]));
+}
+
+#[test]
+fn pruning_removes_exactly_memory_events() {
+    let tr = t(&[
+        Event::call("f"),
+        Event::io("put", vec![1], 0),
+        Event::ret("f"),
+        Event::io("put", vec![2], 0),
+    ]);
+    let p = tr.pruned();
+    assert_eq!(p.len(), 2);
+    assert!(p.iter().all(|e| !e.is_memory()));
+}
+
+#[test]
+fn bracketing_detects_mismatched_ret() {
+    assert_eq!(t(&[Event::call("f"), Event::ret("g")]).check_bracketing(), None);
+    assert_eq!(t(&[Event::ret("f")]).check_bracketing(), None);
+    assert_eq!(t(&[Event::call("f")]).check_bracketing(), Some(1));
+    assert_eq!(nested(4, "f").check_bracketing(), Some(0));
+}
+
+#[test]
+fn functions_lists_unique_names_in_order() {
+    let tr = t(&[
+        Event::call("b"),
+        Event::call("a"),
+        Event::ret("a"),
+        Event::call("a"),
+    ]);
+    let fs = tr.functions();
+    assert_eq!(fs.len(), 2);
+    assert_eq!(fs[0].as_ref(), "b");
+    assert_eq!(fs[1].as_ref(), "a");
+}
+
+#[test]
+fn behavior_weight_includes_failure_prefix() {
+    let m = Metric::from_pairs([("f", 4)]);
+    let b = Behavior::Fails(nested(2, "f"), "boom".into());
+    assert_eq!(b.weight(&m), 8);
+    assert!(b.goes_wrong());
+    assert_eq!(b.return_code(), None);
+}
+
+#[test]
+fn classic_refinement_accepts_identical_io() {
+    let src = Behavior::Converges(
+        t(&[Event::call("f"), Event::io("put", vec![1], 0), Event::ret("f")]),
+        0,
+    );
+    let tgt = Behavior::Converges(t(&[Event::io("put", vec![1], 0)]), 0);
+    check_classic(&src, &tgt).unwrap();
+}
+
+#[test]
+fn classic_refinement_rejects_io_mismatch() {
+    let src = Behavior::Converges(t(&[Event::io("put", vec![1], 0)]), 0);
+    let tgt = Behavior::Converges(t(&[Event::io("put", vec![2], 0)]), 0);
+    assert!(matches!(
+        check_classic(&src, &tgt),
+        Err(RefinementError::IoMismatch { index: 0, .. })
+    ));
+}
+
+#[test]
+fn classic_refinement_rejects_return_code_change() {
+    let src = Behavior::Converges(Trace::new(), 0);
+    let tgt = Behavior::Converges(Trace::new(), 1);
+    assert!(matches!(
+        check_classic(&src, &tgt),
+        Err(RefinementError::OutcomeMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_source_is_refined_by_anything() {
+    let src = Behavior::Fails(Trace::new(), "ub".into());
+    let tgt = Behavior::Converges(nested(100, "f"), 42);
+    check_classic(&src, &tgt).unwrap();
+    check_quantitative(&src, &tgt, &[]).unwrap();
+}
+
+#[test]
+fn quantitative_refinement_accepts_weight_decrease() {
+    // Target performs fewer nested calls (e.g. a pass removed a call).
+    let src = Behavior::Converges(nested(3, "f"), 0);
+    let tgt = Behavior::Converges(nested(2, "f"), 0);
+    check_quantitative(&src, &tgt, &[]).unwrap();
+}
+
+#[test]
+fn quantitative_refinement_rejects_weight_increase() {
+    let src = Behavior::Converges(nested(2, "f"), 0);
+    let tgt = Behavior::Converges(nested(3, "f"), 0);
+    let err = check_quantitative(&src, &tgt, &[]).unwrap_err();
+    assert!(matches!(err, RefinementError::WeightExceeded { .. }));
+}
+
+#[test]
+fn quantitative_refinement_rejects_new_function() {
+    let src = Behavior::Converges(nested(1, "f"), 0);
+    let tgt = Behavior::Converges(
+        t(&[Event::call("f"), Event::call("g"), Event::ret("g"), Event::ret("f")]),
+        0,
+    );
+    assert!(check_quantitative(&src, &tgt, &[]).is_err());
+}
+
+#[test]
+fn quantitative_refinement_reports_named_metric() {
+    let m = Metric::from_pairs([("f", 8)]);
+    let src = Behavior::Converges(nested(1, "f"), 0);
+    let tgt = Behavior::Converges(nested(2, "f"), 0);
+    match check_quantitative(&src, &tgt, &[("mach", &m)]) {
+        Err(RefinementError::WeightExceeded { metric, source_weight, target_weight }) => {
+            assert_eq!(metric, "mach");
+            assert_eq!(source_weight, 8);
+            assert_eq!(target_weight, 16);
+        }
+        other => panic!("expected weight error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reordered_calls_with_smaller_profile_accepted() {
+    // Source calls f and g nested; target calls them sequentially: the
+    // sequential profile is dominated by the nested one.
+    let src = Behavior::Converges(
+        t(&[Event::call("f"), Event::call("g"), Event::ret("g"), Event::ret("f")]),
+        0,
+    );
+    let tgt = Behavior::Converges(
+        t(&[Event::call("f"), Event::ret("f"), Event::call("g"), Event::ret("g")]),
+        0,
+    );
+    check_quantitative(&src, &tgt, &[]).unwrap();
+}
+
+#[test]
+fn open_call_profile_keeps_only_maximal_vectors() {
+    let tr = nested(3, "f");
+    let profile = open_call_profile(&tr);
+    assert_eq!(profile.len(), 1);
+    assert_eq!(profile[0].get("f" as &str).copied(), Some(3));
+}
+
+#[test]
+fn unit_and_indicator_metrics() {
+    let tr = t(&[
+        Event::call("main"),
+        Event::call("f"),
+        Event::ret("f"),
+        Event::ret("main"),
+    ]);
+    assert_eq!(tr.weight(&Metric::unit(["main", "f"])), 2);
+    assert_eq!(tr.weight(&Metric::indicator("f")), 1);
+    assert_eq!(tr.weight(&Metric::indicator("g")), 0);
+}
+
+#[test]
+fn metric_display_and_iter() {
+    let m = Metric::from_pairs([("b", 2), ("a", 1)]);
+    assert_eq!(m.to_string(), "{a: 1, b: 2}");
+    assert_eq!(m.iter().count(), 2);
+    assert_eq!(m.len(), 2);
+    assert!(!m.is_empty());
+}
+
+#[test]
+fn trace_display_roundtrips_event_kinds() {
+    let tr = t(&[Event::call("f"), Event::io("put", vec![3, 4], 5), Event::ret("f")]);
+    assert_eq!(tr.to_string(), "[call(f), put(3,4 -> 5), ret(f)]");
+}
+
+// ---- property tests -------------------------------------------------------
+
+/// Strategy for well-bracketed traces over a small function alphabet.
+fn wellbracketed(depth: u32) -> impl Strategy<Value = Vec<Event>> {
+    let leaf = prop_oneof![
+        Just(Vec::new()),
+        (0u32..3).prop_map(|n| vec![Event::io("io", vec![n], 0)]),
+    ];
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        prop_oneof![
+            // Sequence of two trace fragments.
+            (inner.clone(), inner.clone()).prop_map(|(mut a, b)| {
+                a.extend(b);
+                a
+            }),
+            // A call around a fragment.
+            ("[a-d]", inner).prop_map(|(f, body)| {
+                let mut v = vec![Event::call(f.clone())];
+                v.extend(body);
+                v.push(Event::ret(f));
+                v
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn prop_wellbracketed_traces_are_balanced(events in wellbracketed(4)) {
+        let tr: Trace = events.into_iter().collect();
+        prop_assert_eq!(tr.check_bracketing(), Some(0));
+        let m = Metric::from_pairs([("a", 3), ("b", 5), ("c", 7), ("d", 11)]);
+        prop_assert_eq!(tr.valuation(&m), 0);
+        prop_assert!(tr.weight(&m) >= 0);
+    }
+
+    #[test]
+    fn prop_weight_monotone_in_metric(events in wellbracketed(4), bump in 0u32..10) {
+        let tr: Trace = events.into_iter().collect();
+        let m1 = Metric::from_pairs([("a", 3), ("b", 5), ("c", 7), ("d", 11)]);
+        let m2 = Metric::from_pairs([("a", 3 + bump), ("b", 5 + bump), ("c", 7 + bump), ("d", 11 + bump)]);
+        prop_assert!(tr.weight(&m2) >= tr.weight(&m1));
+    }
+
+    #[test]
+    fn prop_every_trace_refines_itself(events in wellbracketed(4)) {
+        let tr: Trace = events.into_iter().collect();
+        let b = Behavior::Converges(tr, 0);
+        prop_assert!(check_quantitative(&b, &b, &[]).is_ok());
+    }
+
+    #[test]
+    fn prop_dropping_suffix_of_calls_refines(events in wellbracketed(4)) {
+        // Removing one innermost call pair can only decrease weights.
+        let tr: Trace = events.iter().cloned().collect();
+        let mut reduced: Vec<Event> = Vec::new();
+        let mut removed = false;
+        let mut i = 0;
+        while i < events.len() {
+            if !removed && i + 1 < events.len() {
+                if let (Event::Call(f), Event::Ret(g)) = (&events[i], &events[i + 1]) {
+                    if f == g {
+                        removed = true;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            reduced.push(events[i].clone());
+            i += 1;
+        }
+        let rt: Trace = reduced.into_iter().collect();
+        let src = Behavior::Converges(tr, 0);
+        let tgt = Behavior::Converges(rt, 0);
+        prop_assert!(weight_le_all_metrics(tgt.trace(), src.trace()));
+    }
+
+    #[test]
+    fn prop_weight_le_all_metrics_implies_unit_and_indicators(
+        a in wellbracketed(3),
+        b in wellbracketed(3),
+    ) {
+        let ta: Trace = a.into_iter().collect();
+        let tb: Trace = b.into_iter().collect();
+        if weight_le_all_metrics(&ta, &tb) {
+            for f in ["a", "b", "c", "d"] {
+                prop_assert!(ta.weight(&Metric::indicator(f)) <= tb.weight(&Metric::indicator(f)));
+            }
+            prop_assert!(ta.weight(&Metric::unit(["a", "b", "c", "d"]))
+                      <= tb.weight(&Metric::unit(["a", "b", "c", "d"])));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's §2 walkthrough, end to end: the random-array binary-search
+//! program of Figure 1, with the interactive bound for the recursive
+//! `search` and automatic bounds for everything else.
+//!
+//! ```sh
+//! cargo run --example paper_example
+//! ```
+//!
+//! Steps, exactly as in the paper:
+//! 1. elaborate the program for a chosen `ALEN`/`SEED` (the section
+//!    hypotheses instantiated "when ALEN is chosen by the user before
+//!    compiling");
+//! 2. derive `{L(end − beg)} search {L(end − beg)}` interactively and
+//!    constant bounds for `init`/`random`/`main` automatically;
+//! 3. compile with the stack-aware compiler, producing the metric `M`;
+//! 4. instantiate the bounds with `M` and confirm on the machine.
+
+use qhl::{BExpr, Checker, Context, Derivation, FunSpec, IExpr, Justification};
+
+const FIGURE1: &str = r#"
+    u32 a[ALEN];
+    u32 seed = SEED;
+
+    u32 search(u32 elem, u32 beg, u32 end) {
+        u32 mid;
+        mid = beg + (end - beg) / 2;
+        if (end - beg <= 1) return beg;
+        if (a[mid] > elem) end = mid; else beg = mid;
+        return search(elem, beg, end);
+    }
+
+    u32 random() {
+        seed = (seed * 1664525) + 1013904223;
+        return seed;
+    }
+
+    void init() {
+        u32 i; u32 rnd; u32 prev;
+        prev = 0;
+        for (i = 0; i < ALEN; i++) {
+            rnd = random();
+            a[i] = prev + rnd % 17;
+            prev = a[i];
+        }
+    }
+
+    int main() {
+        u32 idx; u32 elem;
+        init();
+        elem = random();
+        elem = elem % (17 * ALEN);
+        idx = search(elem, 0, ALEN);
+        return a[idx] == elem;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alen = 1024u32;
+    println!("§2 example with ALEN = {alen}, SEED = 42\n");
+    let program = clight::frontend(FIGURE1, &[("ALEN", alen), ("SEED", 42)]).map_err(err)?;
+
+    // -- interactive part: the logarithmic bound for `search` ------------
+    let delta = IExpr::sub(IExpr::var("end"), IExpr::var("beg"));
+    let l_bound = BExpr::mul(BExpr::metric("search"), BExpr::Log2Ceil(delta.clone()));
+    let mut ctx = Context::new();
+    ctx.insert("search", FunSpec::restoring(l_bound.clone()));
+    let search_deriv = Derivation::seq(
+        Derivation::Assign, // mid = beg + (end - beg) / 2;
+        Derivation::seq(
+            Derivation::Mono, // if (end - beg <= 1) return beg;
+            Derivation::Conseq {
+                pre: l_bound.clone(),
+                just: Some(Justification::NumericGuarded {
+                    ranges: vec![
+                        ("beg".into(), 0, 96, 1),
+                        ("end".into(), 0, 96, 1),
+                        ("mid".into(), 0, 96, 1),
+                    ],
+                    guards: vec![
+                        IExpr::sub(delta.clone(), IExpr::Const(2)),
+                        // mid = beg + (end - beg) / 2, as two inequalities.
+                        IExpr::sub(IExpr::var("mid"), mid_expr()),
+                        IExpr::sub(mid_expr(), IExpr::var("mid")),
+                    ],
+                }),
+                inner: Box::new(Derivation::seq(
+                    Derivation::If(
+                        Box::new(Derivation::Assign), // end = mid;
+                        Box::new(Derivation::Assign), // beg = mid;
+                    ),
+                    Derivation::seq(Derivation::call(), Derivation::Mono),
+                )),
+            },
+        ),
+    );
+    Checker::new(&program, &ctx)
+        .check_function("search", &search_deriv, None)
+        .map_err(err)?;
+    println!("interactive: {{L(Δ)}} search {{L(Δ)}} checked, L(Δ) = M(search)·⌈log2 Δ⌉");
+
+    // -- automatic part: init, random (non-recursive) ---------------------
+    // The §2 triple {M(init) + M(random)} init() {M(init) + M(random)}:
+    ctx.insert("random", FunSpec::zero());
+    ctx.insert("init", FunSpec::restoring(BExpr::metric("random")));
+    let checker = Checker::new(&program, &ctx);
+    checker.check_function("random", &Derivation::Mono, None).map_err(err)?;
+    let init_deriv = Derivation::seq(
+        Derivation::Mono, // prev = 0;
+        Derivation::seq(
+            Derivation::Mono, // i = 0;  (the for-loop's init statement)
+            Derivation::Loop {
+                invariant: BExpr::metric("random"),
+                just: None,
+                body: Box::new(Derivation::seq(
+                    Derivation::Mono, // loop guard
+                    Derivation::seq(
+                        Derivation::call(), // rnd = random();
+                        Derivation::Mono,   // array updates
+                    ),
+                )),
+                incr: Box::new(Derivation::Mono),
+            },
+        ),
+    );
+    checker.check_function("init", &init_deriv, None).map_err(err)?;
+    println!("automatic:   {{M(init) + M(random)}} init() {{M(init) + M(random)}} checked");
+
+    // -- main: N = max(M(init) + M(random), L(ALEN) + M(search)) ---------
+    let n_bound = BExpr::max(
+        BExpr::add(BExpr::metric("init"), BExpr::metric("random")),
+        BExpr::mul(
+            BExpr::metric("search"),
+            BExpr::add(
+                BExpr::Const(1.0),
+                BExpr::Log2Ceil(IExpr::Const(i64::from(alen))),
+            ),
+        ),
+    );
+    ctx.insert("main", FunSpec::restoring(n_bound.clone()));
+    let main_deriv = Derivation::seq(
+        Derivation::call(), // init();
+        Derivation::seq(
+            Derivation::call(), // elem = random();
+            Derivation::seq(
+                Derivation::Mono, // elem %= 17 * ALEN;
+                Derivation::seq(
+                    Derivation::Conseq {
+                        pre: n_bound.clone(),
+                        just: Some(Justification::Numeric { ranges: vec![] }),
+                        inner: Box::new(Derivation::call()), // idx = search(...)
+                    },
+                    Derivation::Mono, // return a[idx] == elem;
+                ),
+            ),
+        ),
+    );
+    Checker::new(&program, &ctx)
+        .check_function("main", &main_deriv, None)
+        .map_err(err)?;
+    println!("combined:    {{M(main) + N}} main() {{M(main) + N}} checked, N = max(M(init)+M(random), L(ALEN))");
+
+    // -- compile and instantiate (the paper's "third and final step") ----
+    let compiled = compiler::compile(&program).map_err(err)?;
+    println!("\ncompiler metric M:");
+    for (f, c) in compiled.metric.iter() {
+        println!("    M({f}) = {c}");
+    }
+    let m = |f: &str| compiled.metric.call_cost(f);
+    let bound_init = m("init") + m("random");
+    let bound_main =
+        m("main") + bound_init.max(m("search") * (1 + u32::BITS - (alen - 1).leading_zeros()));
+    println!("\ninstantiated bounds (the paper's final numbers, for our frames):");
+    println!("    init(): {} bytes   (paper: 32 with CompCert 1.13 frames)", bound_init + m("init"));
+    println!("    main(): {bound_main} bytes   (paper: 112 + 40·log2(ALEN))");
+
+    // -- confirm on the machine ------------------------------------------
+    let run = asm::measure_main(&compiled.asm, bound_main, 500_000_000)?;
+    assert!(run.behavior.converges(), "{}", run.behavior);
+    assert_eq!(run.result(), Some(1), "the searched element is found");
+    println!(
+        "\nmachine run on a {bound_main}-byte stack: found the element, peak usage {} bytes",
+        run.stack_usage
+    );
+    println!("bound - measured = {} bytes", bound_main - run.stack_usage);
+    Ok(())
+}
+
+fn mid_expr() -> IExpr {
+    IExpr::add(
+        IExpr::var("beg"),
+        IExpr::Div(
+            Box::new(IExpr::sub(IExpr::var("end"), IExpr::var("beg"))),
+            2,
+        ),
+    )
+}
+
+fn err(e: impl std::fmt::Display) -> Box<dyn std::error::Error> {
+    e.to_string().into()
+}

@@ -1,0 +1,52 @@
+//! Quickstart: verify a stack bound for a small C program end-to-end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! This walks the complete pipeline of the paper in a few lines: parse and
+//! type-check the C source, run the automatic stack analyzer (which emits
+//! a derivation in the quantitative Hoare logic and re-checks it), compile
+//! with the stack-aware compiler, instantiate the parametric bound with
+//! the produced cost metric `M(f) = SF(f) + 4`, and finally run the
+//! machine code with a stack of *exactly* the verified bound.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        // A little pipeline of helper calls with a loop.
+        u32 scale(u32 x)  { return x * 3; }
+        u32 offset(u32 x) { u32 s; s = scale(x); return s + 7; }
+
+        int main() {
+            u32 i;
+            u32 acc;
+            acc = 0;
+            for (i = 0; i < 10; i++) {
+                u32 v;
+                v = offset(i);
+                acc = acc + v;
+            }
+            return acc % 256;
+        }
+    "#;
+
+    let report = stackbound::verify_program(source)?;
+
+    println!("verified stack bounds (Quantitative CompCert metric):\n");
+    println!("{report}");
+
+    let bound = report.bound("main").expect("main is bounded");
+    let measured = report.measured("main").expect("main was executed");
+    println!("main ran on a {bound}-byte stack without overflow.");
+    println!("bound - measured = {} bytes (the paper's §6 observation: exactly 4).",
+             bound - measured);
+
+    // The bound is parametric: print it symbolically too.
+    let symbolic = report.analysis.bound("main").expect("symbolic bound");
+    println!("\nsymbolic bound of main's body: {symbolic}");
+    println!("frame sizes chosen by the compiler:");
+    for f in &report.compiled.mach.functions {
+        println!("    SF({}) = {} bytes  =>  M = {}", f.name, f.frame_size, f.frame_size + 4);
+    }
+    Ok(())
+}

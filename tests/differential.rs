@@ -1,0 +1,109 @@
+//! Differential integration tests: quantitative refinement across the
+//! whole pipeline on the full benchmark suite, plus randomized programs —
+//! the empirical counterpart of the paper's per-pass Coq theorems at
+//! system scale.
+
+use compiler::{cminor, mach, rtl};
+use proptest::prelude::*;
+use trace::refinement::{check_classic, check_quantitative};
+
+const FUEL: u64 = 100_000_000;
+
+fn check_all_stages(program: &clight::Program, what: &str) {
+    let compiled = compiler::compile(program).unwrap();
+    let b_clight = clight::Executor::run_main(program, FUEL);
+    let b_cminor = cminor::run_main(&compiled.cminor, FUEL);
+    let b_rtl = rtl::run_main(&compiled.rtl, FUEL);
+    let b_opt = rtl::run_main(&compiled.rtl_opt, FUEL);
+    let b_mach = mach::run_main(&compiled.mach, FUEL);
+    let metric = [("mach", &compiled.metric)];
+    for (name, src, tgt) in [
+        ("clight->cminor", &b_clight, &b_cminor),
+        ("cminor->rtl", &b_cminor, &b_rtl),
+        ("rtl->opt", &b_rtl, &b_opt),
+        ("opt->mach", &b_opt, &b_mach),
+    ] {
+        check_quantitative(src, tgt, &metric)
+            .unwrap_or_else(|e| panic!("{what}: {name}: {e}"));
+    }
+    if !b_clight.goes_wrong() {
+        let weight = u32::try_from(b_mach.weight(&compiled.metric)).unwrap();
+        let m = asm::measure_main(&compiled.asm, weight, FUEL).unwrap();
+        check_classic(&b_mach, &m.behavior).unwrap_or_else(|e| panic!("{what}: mach->asm: {e}"));
+    }
+}
+
+#[test]
+fn refinement_holds_on_every_table1_benchmark() {
+    for b in benchsuite::table1_benchmarks() {
+        let p = b.program().unwrap();
+        check_all_stages(&p, b.file);
+    }
+}
+
+#[test]
+fn refinement_holds_on_table2_drivers() {
+    // Wrap each recursive function in a main() so the whole-program
+    // pipeline is exercised (run_function covers the direct case).
+    for case in benchsuite::recursive_cases() {
+        let n = case.sweep.0.max(4);
+        let args: Vec<String> = (case.args_for)(n).iter().map(|a| a.to_string()).collect();
+        let ret = if case.name == "qsort" { "" } else { "u32 r; r = " };
+        let use_r = if case.name == "qsort" { "0" } else { "r & 0xff" };
+        let main = format!(
+            "int main() {{ {ret}{}({}); return {use_r}; }}",
+            case.name,
+            args.join(", ")
+        );
+        let src = format!("{}\n{}", case.source, main);
+        let p = clight::frontend(&src, &[]).unwrap_or_else(|e| panic!("{}: {e}", case.file));
+        check_all_stages(&p, case.file);
+    }
+}
+
+#[test]
+fn optimization_ablation_preserves_behavior_on_benchmarks() {
+    for b in benchsuite::table1_benchmarks() {
+        let p = b.program().unwrap();
+        let with_opt = compiler::compile_with(&p, compiler::Options::default()).unwrap();
+        let no_opt = compiler::compile_with(&p, compiler::Options::no_opt()).unwrap();
+        let r1 = asm::measure_main(&with_opt.asm, 1 << 20, FUEL).unwrap();
+        let r2 = asm::measure_main(&no_opt.asm, 1 << 20, FUEL).unwrap();
+        assert_eq!(r1.result(), r2.result(), "{}", b.file);
+        // Optimized code never uses more stack.
+        assert!(r1.stack_usage <= r2.stack_usage, "{}", b.file);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_pipeline_refinement_on_random_programs(
+        stmts in proptest::collection::vec(
+            prop_oneof![
+                (0u32..3, 0u32..50).prop_map(|(v, k)| format!("x{v} = x{v} * 3 + {k};")),
+                (0u32..3, 0u32..3).prop_map(|(a, b)| {
+                    format!("if (x{a} % 5 < x{b} % 7) {{ x{a} = helper(x{b}); }}")
+                }),
+                (0u32..3, 1u32..5).prop_map(|(v, k)| {
+                    format!("for (i = 0; i < {k}; i++) {{ x{v} = helper(x{v}); }}")
+                }),
+                (0u32..3).prop_map(|v| format!("g[x{v} % 8] = x{v};")),
+            ],
+            1..7,
+        ),
+    ) {
+        let src = format!(
+            "u32 g[8];
+             u32 helper(u32 n) {{ u32 t[2]; t[0] = n; return t[0] % 997 + 5; }}
+             int main() {{ u32 x0; u32 x1; u32 x2; u32 i;
+               x0 = 3; x1 = 5; x2 = 7;
+               {}
+               return (x0 ^ x1 ^ x2) & 0xff; }}",
+            stmts.join("\n")
+        );
+        let p = clight::frontend(&src, &[]).unwrap();
+        check_all_stages(&p, "random");
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests spanning every crate: the full Figure 2 pipeline on
+//! realistic programs, via the `stackbound` facade.
+
+use stackbound::{verify_program, verify_with_params, Error};
+
+#[test]
+fn report_contains_every_function() {
+    let report = verify_program(
+        "u32 a() { return 1; }
+         u32 b() { u32 r; r = a(); return r; }
+         int main() { u32 r; r = b(); return r; }",
+    )
+    .unwrap();
+    let names: Vec<&str> = report.bounds().map(|(n, _)| n).collect();
+    assert_eq!(names, vec!["a", "b", "main"]);
+    // Bounds are monotone along the call chain.
+    assert!(report.bound("a").unwrap() < report.bound("b").unwrap());
+    assert!(report.bound("b").unwrap() < report.bound("main").unwrap());
+}
+
+#[test]
+fn four_byte_slack_is_universal() {
+    let srcs = [
+        "int main() { return 0; }",
+        "u32 f() { return 1; } int main() { u32 r; r = f(); return r; }",
+        "u32 g(u32 x) { u32 b[16]; b[0] = x; return b[0]; }
+         int main() { u32 r; r = g(3); return r; }",
+        "void h() { return; }
+         int main() { u32 i; for (i = 0; i < 100; i++) h(); return 0; }",
+    ];
+    for src in srcs {
+        let report = verify_program(src).unwrap();
+        let bound = report.bound("main").unwrap();
+        let measured = report.measured("main").unwrap();
+        assert_eq!(bound, measured + 4, "source: {src}");
+    }
+}
+
+#[test]
+fn recursion_is_rejected_with_a_cycle_report() {
+    let err = verify_program(
+        "u32 f(u32 n) { u32 r; if (n == 0) return 0; r = f(n - 1); return r; }
+         int main() { u32 r; r = f(5); return r; }",
+    )
+    .unwrap_err();
+    match err {
+        Error::Analyzer(analyzer::AnalyzerError::Recursion { cycle }) => {
+            assert!(cycle.contains(&"f".to_owned()));
+        }
+        other => panic!("expected recursion error, got {other}"),
+    }
+}
+
+#[test]
+fn frontend_errors_are_reported() {
+    assert!(matches!(
+        verify_program("int main() { return undefined_var; }"),
+        Err(Error::Frontend(_))
+    ));
+    assert!(matches!(
+        verify_program("not C at all"),
+        Err(Error::Frontend(_))
+    ));
+}
+
+#[test]
+fn parameters_reinstantiate_the_program() {
+    let src = "u32 buf[SIZE];
+               u32 fill() { u32 i; for (i = 0; i < SIZE; i++) buf[i] = i; return buf[SIZE - 1]; }
+               int main() { u32 r; r = fill(); return r % 256; }";
+    let small = verify_with_params(src, &[("SIZE", 8)]).unwrap();
+    let large = verify_with_params(src, &[("SIZE", 200)]).unwrap();
+    assert_eq!(small.measured("main").map(|m| m + 4), small.bound("main"));
+    assert_eq!(large.measured("main").map(|m| m + 4), large.bound("main"));
+    // Globals do not live on the stack: the bound is SIZE-independent.
+    assert_eq!(small.bound("main"), large.bound("main"));
+}
+
+#[test]
+fn deep_call_chains_accumulate_linearly() {
+    // f0 -> f1 -> ... -> f19, each with one local.
+    let mut src = String::from("u32 f19(u32 x) { u32 y; y = x + 1; return y; }\n");
+    for i in (0..19).rev() {
+        src.push_str(&format!(
+            "u32 f{i}(u32 x) {{ u32 r; r = f{}(x); return r + 1; }}\n",
+            i + 1
+        ));
+    }
+    src.push_str("int main() { u32 r; r = f0(0); return r; }");
+    let report = verify_program(&src).unwrap();
+    assert_eq!(report.measured("main"), Some(report.bound("main").unwrap() - 4));
+    // Every fi's bound is strictly larger than fi+1's.
+    for i in 0..19 {
+        assert!(
+            report.bound(&format!("f{i}")).unwrap() > report.bound(&format!("f{}", i + 1)).unwrap()
+        );
+    }
+}
+
+#[test]
+fn report_display_is_readable() {
+    let report = verify_program("int main() { return 0; }").unwrap();
+    let text = report.to_string();
+    assert!(text.contains("main"));
+    assert!(text.contains("bytes"));
+}
+
+#[test]
+fn externals_cost_no_events_only_frame_space() {
+    // An external call contributes no call/ret events (M(g(...)) = 0), so
+    // the symbolic body bound stays zero; only the frame grows by the
+    // outgoing-argument slot the calling convention reserves.
+    let report = verify_program(
+        "extern u32 sensor(u32 c);
+         int main() { u32 a; a = sensor(0); return a & 1; }",
+    )
+    .unwrap();
+    let body = report.analysis.bound("main").unwrap();
+    assert_eq!(
+        body.eval(&report.compiled.metric, &qhl::Valuation::new())
+            .unwrap(),
+        qhl::Bound::Fin(0.0)
+    );
+    // And the bound still matches the measurement exactly.
+    assert_eq!(report.bound("main"), report.measured("main").map(|m| m + 4));
+}

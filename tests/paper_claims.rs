@@ -1,0 +1,193 @@
+//! Integration tests pinning the paper's headline claims (the ones the
+//! benches regenerate as tables and figures).
+
+use qhl::validate_spec;
+
+const FUEL: u64 = 100_000_000;
+
+/// §2: the illustrative random-array binary-search program, parametric in
+/// `ALEN` and `SEED` exactly as in Figure 1.
+const FIGURE1: &str = r#"
+    u32 a[ALEN];
+    u32 seed = SEED;
+
+    u32 search(u32 elem, u32 beg, u32 end) {
+        u32 mid;
+        mid = beg + (end - beg) / 2;
+        if (end - beg <= 1) return beg;
+        if (a[mid] > elem) end = mid; else beg = mid;
+        return search(elem, beg, end);
+    }
+
+    u32 random() {
+        seed = (seed * 1664525) + 1013904223;
+        return seed;
+    }
+
+    void init() {
+        u32 i; u32 rnd; u32 prev;
+        prev = 0;
+        for (i = 0; i < ALEN; i++) {
+            rnd = random();
+            a[i] = prev + rnd % 17;
+            prev = a[i];
+        }
+    }
+
+    int main() {
+        u32 idx; u32 elem;
+        init();
+        elem = random();
+        elem = elem % (17 * ALEN);
+        idx = search(elem, 0, ALEN);
+        return a[idx] == elem;
+    }
+"#;
+
+#[test]
+fn figure1_produces_the_papers_example_trace_shape() {
+    let program = clight::frontend(FIGURE1, &[("ALEN", 8), ("SEED", 42)]).unwrap();
+    let b = clight::Executor::run_main(&program, FUEL);
+    assert!(b.converges(), "{b}");
+    let events: Vec<String> = b.trace().events().iter().map(|e| e.to_string()).collect();
+    // The §2 trace shape: main calls init (which calls random ALEN times),
+    // one more random, then a nest of search calls.
+    assert_eq!(events.first().unwrap(), "call(main)");
+    assert_eq!(events.get(1).unwrap(), "call(init)");
+    assert_eq!(events.get(2).unwrap(), "call(random)");
+    assert_eq!(events.last().unwrap(), "ret(main)");
+    assert_eq!(b.trace().check_bracketing(), Some(0));
+}
+
+#[test]
+fn figure1_weight_formula_holds() {
+    // W = M(main) + max(M(init) + M(random), depth(search)·M(search)).
+    let program = clight::frontend(FIGURE1, &[("ALEN", 64), ("SEED", 7)]).unwrap();
+    let metric =
+        trace::Metric::from_pairs([("main", 5u32), ("init", 7), ("random", 11), ("search", 13)]);
+    let b = clight::Executor::run_main(&program, FUEL);
+    let depth = b.trace().weight(&trace::Metric::indicator("search"));
+    let weight = b.weight(&metric);
+    assert_eq!(weight, 5 + i64::max(7 + 11, depth * 13));
+}
+
+#[test]
+fn figure1_compiles_and_respects_its_bound_for_several_alen() {
+    for alen in [4u32, 16, 64, 256] {
+        let program = clight::frontend(FIGURE1, &[("ALEN", alen), ("SEED", 99)]).unwrap();
+        let compiled = compiler::compile(&program).unwrap();
+        let src = clight::Executor::run_main(&program, FUEL);
+        assert!(src.converges());
+        let weight = u32::try_from(src.weight(&compiled.metric)).unwrap();
+        let m = asm::measure_main(&compiled.asm, weight, FUEL).unwrap();
+        assert_eq!(m.result(), src.return_code(), "ALEN = {alen}");
+        assert_eq!(m.stack_usage + 4, weight, "ALEN = {alen}");
+    }
+}
+
+#[test]
+fn theorem1_boundary_for_every_table1_benchmark() {
+    for b in benchsuite::table1_benchmarks() {
+        let p = b.program().unwrap();
+        let analysis = analyzer::analyze(&p).unwrap();
+        let compiled = compiler::compile(&p).unwrap();
+        let bound = analysis.concrete_bound("main", &compiled.metric).unwrap() as u32;
+        // Exactly at the measured usage: fine. Below: overflow.
+        let ok = asm::measure_main(&compiled.asm, bound - 4, FUEL).unwrap();
+        assert!(ok.behavior.converges(), "{}: {}", b.file, ok.behavior);
+        let bad = asm::measure_main(&compiled.asm, bound - 8, FUEL).unwrap();
+        assert!(bad.overflowed(), "{}: no overflow below the bound", b.file);
+    }
+}
+
+#[test]
+fn table2_bounds_cover_full_sweeps_at_fine_granularity() {
+    // Denser than the benchsuite unit tests: catch off-by-ones at
+    // power-of-two boundaries of the logarithmic bounds.
+    let case = benchsuite::recursive_case("bsearch").unwrap();
+    let p = clight::frontend(case.source, &[]).unwrap();
+    let compiled = compiler::compile(&p).unwrap();
+    let spec = case.spec();
+    for n in (2..=130).chain([255, 256, 257, 511, 512, 513, 1023, 1024, 1025]) {
+        let v = validate_spec(&p, "bsearch", spec, &[n / 2, 0, n], &compiled.metric, FUEL).unwrap();
+        assert!(v.sound(), "n = {n}: bound {} < weight {}", v.bound, v.weight);
+        // Tight on the worst-case path: equality.
+        assert_eq!(v.bound.finite().unwrap(), v.weight as f64, "n = {n}");
+    }
+}
+
+#[test]
+fn fib_exponential_time_linear_stack() {
+    // The paper's point with fib: time is exponential but the verified
+    // stack bound is linear, and it is met exactly.
+    let case = benchsuite::recursive_case("fib").unwrap();
+    let p = clight::frontend(case.source, &[]).unwrap();
+    let compiled = compiler::compile(&p).unwrap();
+    let m = compiled.metric.call_cost("fib");
+    for n in [1u32, 5, 10, 18] {
+        let run =
+            asm::measure_function(&compiled.asm, "fib", &[n], 1 << 20, FUEL).unwrap();
+        assert!(run.behavior.converges());
+        assert_eq!(run.stack_usage + 4, m * n, "n = {n}");
+    }
+}
+
+#[test]
+fn interactive_and_automatic_bounds_interoperate() {
+    // §5: auto-derived bounds compose with interactively derived ones in
+    // one context. A non-recursive wrapper around recursive bsearch:
+    let src = r#"
+        u32 table[8192];
+        u32 bsearch(u32 x, u32 l, u32 h) {
+            u32 mid;
+            if (h - l <= 1) return l;
+            mid = (h + l) / 2;
+            if (table[mid] > x) h = mid; else l = mid;
+            return bsearch(x, l, h);
+        }
+        u32 lookup_two(u32 a, u32 b) {
+            u32 i; u32 j;
+            i = bsearch(a, 0, 1024);
+            j = bsearch(b, 0, 1024);
+            return i + j;
+        }
+    "#;
+    let p = clight::frontend(src, &[]).unwrap();
+    // Interactive part: bsearch's proof from the benchsuite.
+    let case = benchsuite::recursive_case("bsearch").unwrap();
+    let bs = case.proofs.into_iter().find(|pr| pr.name == "bsearch").unwrap();
+    let mut ctx = qhl::Context::new();
+    ctx.insert("bsearch", bs.spec.clone());
+    qhl::Checker::new(&p, &ctx)
+        .check_function("bsearch", &bs.derivation, None)
+        .unwrap();
+    // Manual composition for the wrapper: its body bound is the cost of a
+    // bsearch(_, 0, 1024) call = M·⌈log2 1024⌉ + M = 11·M.
+    ctx.insert(
+        "lookup_two",
+        qhl::FunSpec::restoring(qhl::BExpr::mul(
+            qhl::BExpr::Const(11.0),
+            qhl::BExpr::metric("bsearch"),
+        )),
+    );
+    let deriv = qhl::Derivation::seq(
+        qhl::Derivation::call(),
+        qhl::Derivation::seq(qhl::Derivation::call(), qhl::Derivation::Mono),
+    );
+    qhl::Checker::new(&p, &ctx)
+        .check_function(
+            "lookup_two",
+            &deriv,
+            Some(&qhl::Justification::Numeric { ranges: vec![] }),
+        )
+        .unwrap();
+
+    // And the composed bound holds on the machine.
+    let compiled = compiler::compile(&p).unwrap();
+    let mbs = compiled.metric.call_cost("bsearch");
+    let mlk = compiled.metric.call_cost("lookup_two");
+    let bound = 11 * mbs + mlk;
+    let run = asm::measure_function(&compiled.asm, "lookup_two", &[3, 900], bound, FUEL).unwrap();
+    assert!(run.behavior.converges(), "{}", run.behavior);
+    assert!(run.stack_usage + 4 <= bound);
+}
