@@ -122,6 +122,7 @@ impl Analysis {
     /// bug in the analyzer, exactly the class of bug the paper's
     /// derivation-generating architecture is designed to catch.
     pub fn check(&self, program: &Program) -> Result<(), QhlError> {
+        let _span = obs::span("analyzer/check");
         let checker = Checker::new(program, &self.context);
         for fname in &self.order {
             checker.check_function(fname, &self.derivations[fname], None)?;
@@ -147,21 +148,40 @@ impl Analysis {
 /// assert!(matches!(err, analyzer::AnalyzerError::Recursion { .. }));
 /// ```
 pub fn analyze(program: &Program) -> Result<Analysis, AnalyzerError> {
+    let _span = obs::span("analyzer/analyze");
     let order = topological_order(program)?;
     let mut context = Context::new();
     let mut derivations = HashMap::new();
     for fname in &order {
+        let _fn_span = obs::span_dyn(|| format!("analyzer/fn/{fname}"));
         let f = program.function(fname).expect("ordered names are defined");
         let bound = bound_of(&f.body, program, &context, fname)?;
         let deriv = derivation_of(&f.body, &bound);
+        obs::counter("analyzer/derivation_nodes", derivation_nodes(&deriv));
         context.insert(fname.clone(), FunSpec::restoring(bound));
         derivations.insert(fname.clone(), deriv);
     }
+    obs::counter("analyzer/functions", order.len() as u64);
     Ok(Analysis {
         context,
         derivations,
         order,
     })
+}
+
+/// Size of a derivation tree (every rule application it will cost the
+/// checker to validate).
+fn derivation_nodes(d: &Derivation) -> u64 {
+    match d {
+        Derivation::Seq(a, b) | Derivation::If(a, b) => {
+            1 + derivation_nodes(a) + derivation_nodes(b)
+        }
+        Derivation::Loop { body, incr, .. } => 1 + derivation_nodes(body) + derivation_nodes(incr),
+        Derivation::Conseq { inner, .. } | Derivation::ConseqPost { inner, .. } => {
+            1 + derivation_nodes(inner)
+        }
+        _ => 1,
+    }
 }
 
 /// Computes a topological order of the call graph (callees first).
@@ -176,10 +196,8 @@ pub fn topological_order(program: &Program) -> Result<Vec<String>, AnalyzerError
         Grey,
         Black,
     }
-    let mut marks: HashMap<&str, Mark> = program
-        .function_names()
-        .map(|n| (n, Mark::White))
-        .collect();
+    let mut marks: HashMap<&str, Mark> =
+        program.function_names().map(|n| (n, Mark::White)).collect();
     let mut order = Vec::new();
 
     fn visit<'a>(
@@ -238,11 +256,9 @@ fn bound_of(
     caller: &str,
 ) -> Result<BExpr, AnalyzerError> {
     Ok(match s {
-        Stmt::Skip
-        | Stmt::Assign(..)
-        | Stmt::Break
-        | Stmt::Continue
-        | Stmt::Return(_) => BExpr::zero(),
+        Stmt::Skip | Stmt::Assign(..) | Stmt::Break | Stmt::Continue | Stmt::Return(_) => {
+            BExpr::zero()
+        }
         Stmt::Call(_, g, _) => {
             if let Some(spec) = ctx.get(g) {
                 BExpr::add(spec.pre.clone(), BExpr::metric(g))
@@ -279,9 +295,7 @@ fn bound_of(
 /// comparator discharges.
 fn derivation_of(body: &Stmt, fn_bound: &BExpr) -> Derivation {
     match body {
-        Stmt::Seq(a, b) => {
-            Derivation::seq(derivation_of(a, fn_bound), derivation_of(b, fn_bound))
-        }
+        Stmt::Seq(a, b) => Derivation::seq(derivation_of(a, fn_bound), derivation_of(b, fn_bound)),
         Stmt::If(_, t, e) => Derivation::If(
             Box::new(derivation_of(t, fn_bound)),
             Box::new(derivation_of(e, fn_bound)),

@@ -153,7 +153,10 @@ fn diverging_loops_are_fine() {
     let p = front("int main() { while (1) { } return 0; }");
     let a = analyze(&p).unwrap();
     a.check(&p).unwrap();
-    assert_eq!(a.concrete_bound("main", &Metric::from_pairs([("main", 4)])), Some(4.0));
+    assert_eq!(
+        a.concrete_bound("main", &Metric::from_pairs([("main", 4)])),
+        Some(4.0)
+    );
 }
 
 #[test]
@@ -257,7 +260,9 @@ fn spec_pre_is_closed_for_auto_bounds() {
     let spec = a.context().get("main").unwrap();
     assert!(spec.pre.vars().is_empty());
     assert_eq!(
-        spec.pre.eval(&Metric::from_pairs([("f", 12)]), &Valuation::new()).unwrap(),
+        spec.pre
+            .eval(&Metric::from_pairs([("f", 12)]), &Valuation::new())
+            .unwrap(),
         qhl::Bound::Fin(12.0)
     );
 }

@@ -49,9 +49,11 @@
 
 mod machine;
 pub mod monitor;
+pub mod profile;
 
 pub use machine::{Machine, MachineError};
 pub use monitor::{measure_function, measure_main, Measurement};
+pub use profile::StackProfile;
 
 use mem::{Binop, Unop};
 use std::fmt;

@@ -1,6 +1,7 @@
 //! The `ASMsz` abstract machine: a register machine with one finite,
 //! preallocated stack block.
 
+use crate::profile::StackProfile;
 use crate::{AsmProgram, Instr, Operand, Reg};
 use mem::{BlockId, Memory, Value};
 use std::collections::HashMap;
@@ -37,7 +38,10 @@ impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MachineError::StackOverflow { offset, size } => {
-                write!(f, "stack overflow: esp moved to offset {offset} of a {size}-byte stack")
+                write!(
+                    f,
+                    "stack overflow: esp moved to offset {offset} of a {size}-byte stack"
+                )
             }
             MachineError::BadStackPointer(m) => write!(f, "bad stack pointer: {m}"),
             MachineError::Memory(m) => write!(f, "memory error: {m}"),
@@ -76,6 +80,32 @@ pub struct Machine {
     low_water: u32,
     halted: Option<u32>,
     last_error: Option<MachineError>,
+    op_counts: [u64; 5],
+    profile: Option<StackProfile>,
+}
+
+/// Counter names for the retired-instruction classes, indexed like
+/// `Machine::op_counts` (see [`op_class`]).
+const OP_CLASS_NAMES: [&str; 5] = [
+    "asm/instrs/alu",
+    "asm/instrs/mem",
+    "asm/instrs/branch",
+    "asm/instrs/call",
+    "asm/instrs/ret",
+];
+
+/// The opcode class of an instruction, as an index into
+/// [`OP_CLASS_NAMES`].
+fn op_class(i: &Instr) -> usize {
+    match i {
+        Instr::Mov(..) | Instr::LeaGlobal(..) | Instr::Alu(..) | Instr::Un(..) | Instr::Cmp(..) => {
+            0
+        }
+        Instr::Load(..) | Instr::Store(..) => 1,
+        Instr::Label(_) | Instr::Jcc(..) | Instr::Jmp(_) => 2,
+        Instr::Call(_) | Instr::CallExt(_) => 3,
+        Instr::Ret => 4,
+    }
 }
 
 impl fmt::Debug for Machine {
@@ -102,8 +132,11 @@ impl Machine {
         let main = program
             .function_index("main")
             .ok_or_else(|| MachineError::BadProgram("no `main` function".into()))?;
-        let mut m = Machine::bare(program, sz.checked_add(4).ok_or(
-            MachineError::BadProgram("stack size overflow".into()))?)?;
+        let mut m = Machine::bare(
+            program,
+            sz.checked_add(4)
+                .ok_or(MachineError::BadProgram("stack size overflow".into()))?,
+        )?;
         m.startup_call(main, &[])?;
         Ok(m)
     }
@@ -193,6 +226,8 @@ impl Machine {
             low_water: stack_size,
             halted: None,
             last_error: None,
+            op_counts: [0; 5],
+            profile: None,
         })
     }
 
@@ -252,10 +287,40 @@ impl Machine {
         self.last_error.as_ref()
     }
 
+    /// Starts recording a [`StackProfile`]: every subsequent `ESP` write
+    /// adds a (decimated) `(step, depth)` sample. Call before [`Machine::run`]
+    /// so the profile's peak matches [`Machine::stack_usage`].
+    pub fn enable_profiling(&mut self) {
+        let mut p = StackProfile::new();
+        p.record(self.steps, self.stack_usage());
+        self.profile = Some(p);
+    }
+
+    /// The waterline recorded so far, when profiling is enabled.
+    pub fn profile(&self) -> Option<&StackProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Takes the waterline out of the machine, finalized so that its peak
+    /// equals [`Machine::stack_usage`].
+    pub fn take_profile(&mut self) -> Option<StackProfile> {
+        let (steps, usage) = (self.steps, self.stack_usage());
+        self.profile.take().map(|mut p| {
+            p.finalize(steps, usage);
+            p
+        })
+    }
+
     /// Runs until halt, error, or fuel exhaustion, returning the behavior.
     /// `run_main` is a clearer alias used when the machine was built with
     /// [`Machine::new`].
     pub fn run(&mut self, fuel: u64) -> Behavior {
+        let behavior = self.run_inner(fuel);
+        self.flush_counters();
+        behavior
+    }
+
+    fn run_inner(&mut self, fuel: u64) -> Behavior {
         while self.steps < fuel {
             match self.step() {
                 Ok(None) => {}
@@ -267,6 +332,21 @@ impl Machine {
             }
         }
         Behavior::Diverges(self.trace.clone())
+    }
+
+    /// Publishes the per-class retired-instruction counts to the global
+    /// recorder and resets them (so repeated `run` calls never
+    /// double-count). The hot loop only touches a local array; the
+    /// recorder is consulted once per run.
+    fn flush_counters(&mut self) {
+        if obs::is_enabled() {
+            for (name, n) in OP_CLASS_NAMES.iter().zip(self.op_counts) {
+                if n > 0 {
+                    obs::counter(name, n);
+                }
+            }
+        }
+        self.op_counts = [0; 5];
     }
 
     /// Runs `main` (see [`Machine::run`]).
@@ -297,11 +377,12 @@ impl Machine {
                         });
                     }
                     self.low_water = self.low_water.min(off);
+                    if let Some(p) = &mut self.profile {
+                        p.record(self.steps, self.baseline.saturating_sub(off));
+                    }
                 }
                 other => {
-                    return Err(MachineError::BadStackPointer(format!(
-                        "esp set to {other}"
-                    )));
+                    return Err(MachineError::BadStackPointer(format!("esp set to {other}")));
                 }
             }
         }
@@ -339,6 +420,7 @@ impl Machine {
             )));
         };
         self.pc.1 += 1;
+        self.op_counts[op_class(&instr)] += 1;
         match instr {
             Instr::Label(_) => {}
             Instr::Mov(r, o) => {
@@ -346,9 +428,10 @@ impl Machine {
                 self.set_reg(r, v)?;
             }
             Instr::LeaGlobal(r, g, off) => {
-                let b = *self.global_blocks.get(g as usize).ok_or_else(|| {
-                    MachineError::BadProgram(format!("bad global index {g}"))
-                })?;
+                let b = *self
+                    .global_blocks
+                    .get(g as usize)
+                    .ok_or_else(|| MachineError::BadProgram(format!("bad global index {g}")))?;
                 self.set_reg(r, Value::Ptr(b, off))?;
             }
             Instr::Alu(op, r, o) => {

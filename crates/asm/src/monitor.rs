@@ -7,6 +7,7 @@
 //! consumption together with the result. The experiments of Figure 7 sweep
 //! this over input sizes and compare against verified bounds.
 
+use crate::profile::StackProfile;
 use crate::{AsmProgram, Machine, MachineError};
 use trace::Behavior;
 
@@ -22,6 +23,9 @@ pub struct Measurement {
     pub steps: u64,
     /// The structured machine error, when the run went wrong.
     pub error: Option<MachineError>,
+    /// The stack waterline over the run. Never empty, and its
+    /// [`peak`](StackProfile::peak) always equals `stack_usage`.
+    pub profile: StackProfile,
 }
 
 impl Measurement {
@@ -71,11 +75,13 @@ pub fn measure_function(
     fuel: u64,
 ) -> Result<Measurement, MachineError> {
     let mut machine = Machine::for_function(program, fname, args, sz)?;
+    machine.enable_profiling();
     let behavior = machine.run(fuel);
     Ok(Measurement {
         stack_usage: machine.stack_usage(),
         steps: machine.steps(),
         error: machine.last_error().cloned(),
+        profile: machine.take_profile().unwrap_or_default(),
         behavior,
     })
 }
@@ -85,10 +91,6 @@ pub fn measure_function(
 /// # Errors
 ///
 /// Fails when the program has no `main`.
-pub fn measure_main(
-    program: &AsmProgram,
-    sz: u32,
-    fuel: u64,
-) -> Result<Measurement, MachineError> {
+pub fn measure_main(program: &AsmProgram, sz: u32, fuel: u64) -> Result<Measurement, MachineError> {
     measure_function(program, "main", &[], sz, fuel)
 }

@@ -1,0 +1,155 @@
+//! Stack-waterline profiling: a sampled timeline of stack depth over the
+//! instructions of a run.
+//!
+//! This is the observability analogue of the paper's §6 ptrace experiment:
+//! the external monitor single-steps the program "while keeping track of
+//! its stack consumption". Where [`crate::Machine::stack_usage`] reports
+//! only the final low-water mark, a [`StackProfile`] remembers *when* the
+//! stack grew, so Figure-7-style plots can show usage over time rather
+//! than just its peak.
+//!
+//! The profile is bounded: it retains at most [`CAP`] samples. When full,
+//! it drops every other retained sample and doubles its sampling stride,
+//! so a run of any length costs `O(CAP)` memory while keeping a roughly
+//! uniform timeline. Samples that set a new high-water mark are always
+//! recorded, so the profile's [`peak`](StackProfile::peak) is exact.
+
+/// Cap on retained samples; reaching it halves the timeline and doubles
+/// the stride.
+const CAP: usize = 4096;
+
+/// A bounded, sampled `(step, depth)` timeline of stack consumption.
+///
+/// Depth is in bytes below the measurement baseline (`ESP` at entry of the
+/// measured function), the same quantity whose maximum is
+/// [`crate::Measurement::stack_usage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackProfile {
+    samples: Vec<(u64, u32)>,
+    stride: u64,
+    last_step: u64,
+    peak: u32,
+    peak_step: u64,
+}
+
+impl Default for StackProfile {
+    fn default() -> StackProfile {
+        StackProfile::new()
+    }
+}
+
+impl StackProfile {
+    pub(crate) fn new() -> StackProfile {
+        StackProfile {
+            samples: Vec::new(),
+            stride: 1,
+            last_step: 0,
+            peak: 0,
+            peak_step: 0,
+        }
+    }
+
+    /// Records the depth at `step`. New high-water samples are always
+    /// kept; others are thinned to one per `stride` steps.
+    pub(crate) fn record(&mut self, step: u64, depth: u32) {
+        if depth > self.peak {
+            self.peak = depth;
+            self.peak_step = step;
+        } else if !self.samples.is_empty() && step.saturating_sub(self.last_step) < self.stride {
+            return;
+        }
+        self.samples.push((step, depth));
+        self.last_step = step;
+        if self.samples.len() >= CAP {
+            let peak = self.peak;
+            let mut i = 0usize;
+            self.samples.retain(|&(_, d)| {
+                i += 1;
+                i % 2 == 1 || d == peak
+            });
+            self.stride = self.stride.saturating_mul(2);
+        }
+    }
+
+    /// Guarantees `peak() == usage` (the monitor's measured usage) by
+    /// appending a final sample if the peak write predated profiling.
+    pub(crate) fn finalize(&mut self, step: u64, usage: u32) {
+        if self.peak < usage {
+            self.peak = usage;
+            self.peak_step = step;
+            self.samples.push((step, usage));
+            self.last_step = step;
+        }
+    }
+
+    /// The retained `(step, depth)` samples, in execution order.
+    pub fn samples(&self) -> &[(u64, u32)] {
+        &self.samples
+    }
+
+    /// Peak depth over the run; equal to the monitor's
+    /// [`stack_usage`](crate::Measurement::stack_usage).
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// The step at which the peak was first reached.
+    pub fn peak_step(&self) -> u64 {
+        self.peak_step
+    }
+
+    /// Renders the waterline as a step/depth table with bars, for CLI
+    /// output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>12}  {:>10}", "step", "depth");
+        let peak = u64::from(self.peak.max(1));
+        for &(step, depth) in &self.samples {
+            let width = (u64::from(depth) * 40 / peak) as usize;
+            let _ = writeln!(out, "{step:>12}  {depth:>10}  {}", "#".repeat(width));
+        }
+        let _ = writeln!(
+            out,
+            "peak {} bytes at step {} ({} samples)",
+            self.peak,
+            self.peak_step,
+            self.samples.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_peaks_and_stays_bounded() {
+        let mut p = StackProfile::new();
+        for step in 0..100_000u64 {
+            // A sawtooth with a single spike at step 60_000.
+            let depth = if step == 60_000 {
+                9999
+            } else {
+                (step % 64) as u32
+            };
+            p.record(step, depth);
+        }
+        assert!(p.samples().len() <= CAP);
+        assert_eq!(p.peak(), 9999);
+        assert_eq!(p.peak_step(), 60_000);
+        assert!(p.samples().iter().any(|&(s, d)| s == 60_000 && d == 9999));
+        // Samples are in execution order.
+        assert!(p.samples().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn finalize_appends_missing_peak() {
+        let mut p = StackProfile::new();
+        p.record(0, 0);
+        p.finalize(10, 128);
+        assert_eq!(p.peak(), 128);
+        assert_eq!(p.samples().last(), Some(&(10, 128)));
+    }
+}

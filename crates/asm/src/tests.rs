@@ -1,6 +1,9 @@
-use proptest::prelude::*;
-use crate::{measure_function, AsmExternal, AsmFunction, AsmProgram, Instr, Machine, MachineError, Operand, Reg};
+use crate::{
+    measure_function, AsmExternal, AsmFunction, AsmProgram, Instr, Machine, MachineError, Operand,
+    Reg,
+};
 use mem::{Binop, Unop};
+use proptest::prelude::*;
 use Instr::*;
 use Operand::{Imm, Reg as R};
 
@@ -153,11 +156,7 @@ fn stack_usage_matches_weight_minus_four() {
 #[test]
 fn stack_overflow_is_detected_and_typed() {
     // Infinite recursion must overflow, not run forever.
-    let f = AsmFunction::new(
-        "main",
-        8,
-        vec![Alu(Binop::Sub, Reg::Esp, Imm(8)), Call(0)],
-    );
+    let f = AsmFunction::new("main", 8, vec![Alu(Binop::Sub, Reg::Esp, Imm(8)), Call(0)]);
     let p = prog(vec![f]);
     let mut m = Machine::new(&p, 256).unwrap();
     let b = m.run_main(1_000_000);
@@ -199,7 +198,10 @@ fn measure_function_with_arguments() {
     let double = func(
         "double",
         8,
-        vec![Load(Reg::Eax, Reg::Esp, 12), Alu(Binop::Mul, Reg::Eax, Imm(2))],
+        vec![
+            Load(Reg::Eax, Reg::Esp, 12),
+            Alu(Binop::Mul, Reg::Eax, Imm(2)),
+        ],
     );
     let p = prog(vec![double]);
     let m = measure_function(&p, "double", &[21], 64, 1000).unwrap();
@@ -374,7 +376,6 @@ fn signed_comparisons_in_jcc() {
     assert_eq!(m.run_main(1000).return_code(), Some(1));
 }
 
-
 // ---- robustness fuzzing --------------------------------------------------------
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -443,4 +444,68 @@ proptest! {
         let _ = m.run_main(5_000); // must not panic
         prop_assert!(m.steps() <= 5_000);
     }
+}
+
+// --- monitor edge cases -----------------------------------------------
+
+#[test]
+fn monitor_fuel_exhaustion_reports_divergence() {
+    let p = prog(vec![AsmFunction::new("main", 0, vec![Label(0), Jmp(0)])]);
+    let m = measure_function(&p, "main", &[], 64, 1000).unwrap();
+    assert!(matches!(m.behavior, trace::Behavior::Diverges(_)));
+    assert_eq!(m.steps, 1000);
+    assert!(m.error.is_none());
+    assert!(!m.overflowed());
+    assert!(!m.profile.samples().is_empty());
+    assert_eq!(m.profile.peak(), m.stack_usage);
+}
+
+#[test]
+fn monitor_stack_overflow_is_structured() {
+    // Unbounded recursion: each activation costs 8 (frame) + 4 (push).
+    let f = AsmFunction::new(
+        "rec",
+        8,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(8)),
+            Call(0),
+            Alu(Binop::Add, Reg::Esp, Imm(8)),
+            Ret,
+        ],
+    );
+    let m = measure_function(&prog(vec![f]), "rec", &[], 64, 100_000).unwrap();
+    assert!(m.overflowed());
+    assert!(matches!(m.error, Some(MachineError::StackOverflow { .. })));
+    assert!(!m.behavior.converges());
+    // Coherence: the peak stays within the granted stack, several
+    // activations fit before the failing push, and the run stopped on the
+    // error rather than on fuel.
+    assert!(m.stack_usage <= 64, "usage {} above stack", m.stack_usage);
+    assert!(
+        m.stack_usage >= 48,
+        "overflowed too early: {}",
+        m.stack_usage
+    );
+    assert!(m.steps > 0 && m.steps < 100_000);
+    assert_eq!(m.profile.peak(), m.stack_usage);
+}
+
+#[test]
+fn monitor_rejects_arguments_that_do_not_fit() {
+    let f = AsmFunction::new("f", 0, vec![Ret]);
+    // sz + 4 + 4·3 overflows u32: the arguments cannot be materialized.
+    let r = measure_function(&prog(vec![f]), "f", &[1, 2, 3], u32::MAX - 4, 10);
+    assert!(r.is_err());
+}
+
+#[test]
+fn monitor_waterline_is_ordered_and_peaks_at_usage() {
+    let leaf = func("leaf", 8, vec![Mov(Reg::Eax, Imm(1))]);
+    let main = func("main", 16, vec![Call(0)]);
+    let m = measure_function(&prog(vec![leaf, main]), "main", &[], 256, 10_000).unwrap();
+    assert!(m.behavior.converges());
+    assert_eq!(m.stack_usage, 16 + 4 + 8);
+    assert_eq!(m.profile.peak(), m.stack_usage);
+    assert!(m.profile.samples().windows(2).all(|w| w[0].0 <= w[1].0));
+    assert!(m.profile.samples().iter().any(|&(_, d)| d == m.stack_usage));
 }

@@ -15,8 +15,7 @@ fn machine(c: &mut Criterion) {
 
     c.bench_function("interp/clight/fib17", |b| {
         b.iter(|| {
-            let behavior =
-                stackbound::clight::Executor::run_main(black_box(&program), 100_000_000);
+            let behavior = stackbound::clight::Executor::run_main(black_box(&program), 100_000_000);
             assert!(behavior.converges());
             behavior
         })

@@ -1,0 +1,55 @@
+//! Measures the cost of the observability instrumentation on the hottest
+//! loop in the workspace: the `ASMsz` machine interpreting `fib(17)`.
+//!
+//! Two configurations of the *same* instrumented code run back to back:
+//! with no recorder installed (the shipping default — counters are local
+//! array bumps and the waterline decimates to a handful of comparisons
+//! per `ESP` write), and with the global recorder installed. The first
+//! must stay within a few percent of the pre-instrumentation machine
+//! loop; the printed ratio makes regressions visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const FIB: &str = "
+    u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n;
+        a = fib(n - 1); b = fib(n - 2); return a + b; }
+    int main() { u32 r; r = fib(17); return r & 0xff; }";
+
+fn obs_overhead(c: &mut Criterion) {
+    let program = stackbound::clight::frontend(FIB, &[]).unwrap();
+    let compiled = stackbound::compiler::compile(&program).unwrap();
+
+    c.bench_function("obs/machine/fib17/disabled", |b| {
+        assert!(!obs::is_enabled());
+        b.iter(|| {
+            let m = stackbound::asm::measure_main(black_box(&compiled.asm), 1 << 16, 100_000_000)
+                .unwrap();
+            assert!(m.behavior.converges());
+            m.stack_usage
+        })
+    });
+    c.bench_function("obs/machine/fib17/recording", |b| {
+        let _session = obs::install();
+        b.iter(|| {
+            let m = stackbound::asm::measure_main(black_box(&compiled.asm), 1 << 16, 100_000_000)
+                .unwrap();
+            assert!(m.behavior.converges());
+            m.stack_usage
+        })
+    });
+
+    let results = c.results();
+    if let (Some(off), Some(on)) = (
+        results.iter().find(|r| r.name.ends_with("/disabled")),
+        results.iter().find(|r| r.name.ends_with("/recording")),
+    ) {
+        println!(
+            "obs overhead: recording/disabled = {:.3}x",
+            on.median_ns / off.median_ns.max(1.0)
+        );
+    }
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

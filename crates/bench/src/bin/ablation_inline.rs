@@ -38,7 +38,11 @@ fn main() {
         let m0 = asm::measure_main(&base.asm, 1 << 22, FUEL).expect("setup");
         let m1 = asm::measure_main(&inlined.asm, 1 << 22, FUEL).expect("setup");
         assert_eq!(m0.result(), m1.result(), "{}", b.file);
-        assert!(bound1 >= m1.stack_usage, "{}: inlining broke soundness!", b.file);
+        assert!(
+            bound1 >= m1.stack_usage,
+            "{}: inlining broke soundness!",
+            b.file
+        );
         println!(
             "{:<28} {bound0:>6} B {:>18} B {:>18} B",
             b.file,

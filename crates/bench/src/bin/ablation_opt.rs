@@ -28,7 +28,11 @@ fn main() {
         let run_opt = asm::measure_main(&opt.asm, 1 << 22, FUEL).expect("setup");
         let run_raw = asm::measure_main(&raw.asm, 1 << 22, FUEL).expect("setup");
         assert_eq!(run_opt.result(), run_raw.result(), "{}", b.file);
-        assert!(bound_opt <= bound_raw, "{}: optimization grew the bound", b.file);
+        assert!(
+            bound_opt <= bound_raw,
+            "{}: optimization grew the bound",
+            b.file
+        );
         assert!(
             run_opt.stack_usage <= run_raw.stack_usage,
             "{}: optimization grew stack usage",

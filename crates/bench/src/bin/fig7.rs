@@ -12,6 +12,7 @@ use bench::measure;
 use stackbound::{benchsuite, clight, compiler, qhl};
 
 fn main() {
+    let _metrics = bench::metrics_from_args();
     sweep("bsearch", &sample_points(2, 4000, 48));
     sweep("fact_sq", &(1..=100).collect::<Vec<i64>>());
 }
@@ -24,7 +25,10 @@ fn sweep(name: &str, points: &[i64]) {
     let spec = case.spec();
     let f = program.function(name).expect("function");
 
-    println!("# Figure 7 ({name}): verified bound = {}", case.bound_display);
+    println!(
+        "# Figure 7 ({name}): verified bound = {}",
+        case.bound_display
+    );
     println!("# with M({name}) = {}", compiled.metric.call_cost(name));
     println!("{:>8} {:>14} {:>14}", "x", "measured", "bound");
 

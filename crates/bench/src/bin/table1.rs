@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 fn main() {
+    let _metrics = bench::metrics_from_args();
     println!("Table 1: automatically verified stack bounds");
     println!("(bounds instantiate the analyzer's symbolic result with the");
     println!(" compiler's cost metric M(f) = SF(f) + 4)\n");

@@ -9,6 +9,7 @@
 use stackbound::{benchsuite, clight, compiler};
 
 fn main() {
+    let _metrics = bench::metrics_from_args();
     let show_proofs = std::env::args().any(|a| a == "--proofs");
     println!("Table 2: manually verified stack bounds for recursive functions\n");
     println!(
@@ -17,8 +18,8 @@ fn main() {
     );
     println!("{}", "-".repeat(120));
     for case in benchsuite::recursive_cases() {
-        let program = clight::frontend(case.source, &[])
-            .unwrap_or_else(|e| panic!("{}: {e}", case.file));
+        let program =
+            clight::frontend(case.source, &[]).unwrap_or_else(|e| panic!("{}: {e}", case.file));
         case.check(&program)
             .unwrap_or_else(|e| panic!("{}: derivation rejected: {e}", case.file));
         let compiled = compiler::compile(&program).expect("compiles");

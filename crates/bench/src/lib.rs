@@ -48,13 +48,13 @@ pub fn prepare_table1() -> Vec<Prepared> {
             let program = b
                 .program()
                 .unwrap_or_else(|e| panic!("{}: front end: {e}", b.file));
-            let analysis = analyzer::analyze(&program)
-                .unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
+            let analysis =
+                analyzer::analyze(&program).unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
             analysis
                 .check(&program)
                 .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
-            let compiled = compiler::compile(&program)
-                .unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
+            let compiled =
+                compiler::compile(&program).unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
             Prepared {
                 file: b.file,
                 loc: b.loc(),
@@ -75,4 +75,55 @@ pub fn measure_main(compiled: &compiler::Compiled) -> asm::Measurement {
 /// Measures `fname(args)` with a generous stack.
 pub fn measure(compiled: &compiler::Compiled, fname: &str, args: &[u32]) -> asm::Measurement {
     asm::measure_function(&compiled.asm, fname, args, 1 << 22, FUEL).expect("machine setup")
+}
+
+/// Handles the harness binaries' shared observability flags:
+///
+/// * `--metrics` — print the recorded span tree and counters on exit;
+/// * `--metrics-json <path>` — write the machine-readable JSON-lines
+///   report to `path` on exit.
+///
+/// When either flag is present the global recorder is installed for the
+/// binary's lifetime; keep the returned guard alive until the end of
+/// `main` (it emits the report when dropped).
+pub fn metrics_from_args() -> MetricsGuard {
+    let mut print = false;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics" => print = true,
+            "--metrics-json" => json = args.next(),
+            _ => {}
+        }
+    }
+    MetricsGuard {
+        session: (print || json.is_some()).then(obs::install),
+        print,
+        json,
+    }
+}
+
+/// Guard returned by [`metrics_from_args`]; reports on drop.
+pub struct MetricsGuard {
+    session: Option<obs::Session>,
+    print: bool,
+    json: Option<String>,
+}
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        if self.session.is_none() {
+            return;
+        }
+        let report = obs::report().unwrap_or_default();
+        if let Some(path) = &self.json {
+            if let Err(e) = std::fs::write(path, report.to_json_lines()) {
+                eprintln!("cannot write metrics to `{path}`: {e}");
+            }
+        }
+        if self.print {
+            println!("\n{}", report.render_tree());
+        }
+    }
 }

@@ -48,6 +48,7 @@ impl Benchmark {
     /// Returns the front-end error message (never happens for the shipped
     /// sources; the test suite pins this).
     pub fn program(&self) -> Result<clight::Program, String> {
+        let _span = obs::span_dyn(|| format!("benchsuite/program/{}", self.file));
         clight::frontend(self.source, &[])
     }
 
@@ -128,7 +129,13 @@ pub fn table1_benchmarks() -> Vec<Benchmark> {
         Benchmark {
             file: "compcert/nbody.c",
             source: sources::NBODY,
-            table1_functions: &["advance", "energy", "offset_momentum", "setup_bodies", "main"],
+            table1_functions: &[
+                "advance",
+                "energy",
+                "offset_momentum",
+                "setup_bodies",
+                "main",
+            ],
         },
     ]
 }

@@ -289,10 +289,7 @@ void qsort(u32 lo, u32 hi) {
 }
 "#;
     // Body bound M·max(0, hi−lo−1): worst-case recursion depth is hi−lo.
-    let bound = BExpr::mul(
-        m("qsort"),
-        size(IExpr::sub(v("hi"), v("lo")), k(1)),
-    );
+    let bound = BExpr::mul(m("qsort"), size(IExpr::sub(v("hi"), v("lo")), k(1)));
     let guards = vec![
         IExpr::sub(IExpr::sub(v("hi"), v("lo")), k(2)), // hi − lo >= 2
         IExpr::sub(v("p"), v("lo")),                    // p >= lo
@@ -333,10 +330,7 @@ void qsort(u32 lo, u32 hi) {
                                 Derivation::Mono, // arr[hi-1] = t;
                                 Derivation::Conseq {
                                     pre: bound.clone(),
-                                    just: Some(Justification::NumericGuarded {
-                                        ranges,
-                                        guards,
-                                    }),
+                                    just: Some(Justification::NumericGuarded { ranges, guards }),
                                     inner: Box::new(Derivation::seq(
                                         Derivation::call(), // qsort(lo, p);
                                         Derivation::seq(
@@ -393,10 +387,7 @@ u32 filter_pos(u32 lo, u32 hi) {
     return c;
 }
 "#;
-    let bound = BExpr::mul(
-        m("filter_pos"),
-        size(IExpr::sub(v("hi"), v("lo")), k(1)),
-    );
+    let bound = BExpr::mul(m("filter_pos"), size(IExpr::sub(v("hi"), v("lo")), k(1)));
     let deriv = Derivation::seq(
         Derivation::Mono, // the base-case if
         Derivation::Conseq {

@@ -24,11 +24,7 @@ fn all_table1_benchmarks_run_to_completion() {
     for b in table1_benchmarks() {
         let p = b.program().unwrap();
         let behavior = clight::Executor::run_main(&p, FUEL);
-        assert!(
-            behavior.converges(),
-            "{}: {behavior}",
-            b.file
-        );
+        assert!(behavior.converges(), "{}: {behavior}", b.file);
         assert_eq!(behavior.trace().check_bracketing(), Some(0), "{}", b.file);
     }
 }
@@ -37,8 +33,8 @@ fn all_table1_benchmarks_run_to_completion() {
 fn all_table1_benchmarks_are_analyzable() {
     for b in table1_benchmarks() {
         let p = b.program().unwrap();
-        let analysis = analyzer::analyze(&p)
-            .unwrap_or_else(|e| panic!("{}: analyzer failed: {e}", b.file));
+        let analysis =
+            analyzer::analyze(&p).unwrap_or_else(|e| panic!("{}: analyzer failed: {e}", b.file));
         analysis
             .check(&p)
             .unwrap_or_else(|e| panic!("{}: derivation check failed: {e}", b.file));
@@ -50,8 +46,8 @@ fn table1_benchmarks_compile_and_respect_bounds() {
     for b in table1_benchmarks() {
         let p = b.program().unwrap();
         let analysis = analyzer::analyze(&p).unwrap();
-        let compiled = compiler::compile(&p)
-            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.file));
+        let compiled =
+            compiler::compile(&p).unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.file));
         let bound = analysis
             .concrete_bound("main", &compiled.metric)
             .unwrap_or_else(|| panic!("{}: no main bound", b.file));
@@ -106,8 +102,7 @@ fn benchmark_registry_lookup() {
 #[test]
 fn all_recursive_derivations_check() {
     for case in recursive_cases() {
-        let p = clight::frontend(case.source, &[])
-            .unwrap_or_else(|e| panic!("{}: {e}", case.file));
+        let p = clight::frontend(case.source, &[]).unwrap_or_else(|e| panic!("{}: {e}", case.file));
         case.check(&p)
             .unwrap_or_else(|e| panic!("{}: derivation rejected: {e}", case.file));
     }
@@ -158,7 +153,10 @@ fn recursive_bounds_are_exactly_measured_plus_4() {
         let m = asm::measure_function(&compiled.asm, case.name, &uargs, 1 << 22, FUEL)
             .unwrap_or_else(|e| panic!("{}: {e}", case.file));
         assert!(m.behavior.converges(), "{}: {}", case.file, m.behavior);
-        let bound = v.bound.finite().unwrap_or_else(|| panic!("{}: infinite bound", case.file));
+        let bound = v
+            .bound
+            .finite()
+            .unwrap_or_else(|| panic!("{}: infinite bound", case.file));
         assert_eq!(
             bound,
             f64::from(m.stack_usage + 4),
@@ -196,11 +194,7 @@ fn wrong_bounds_for_recursive_cases_are_rejected() {
         ));
         ctx.insert(case.name, halved);
         let checker = qhl::Checker::new(&p, &ctx);
-        let proof = case
-            .proofs
-            .iter()
-            .find(|pr| pr.name == case.name)
-            .unwrap();
+        let proof = case.proofs.iter().find(|pr| pr.name == case.name).unwrap();
         assert!(
             checker
                 .check_function(case.name, &proof.derivation, proof.final_just.as_ref())
@@ -211,15 +205,14 @@ fn wrong_bounds_for_recursive_cases_are_rejected() {
     }
 }
 
-
 // ---- extra benchmarks (beyond Table 1) --------------------------------------------
 
 #[test]
 fn extra_benchmarks_run_the_full_pipeline() {
     for b in extra_benchmarks() {
         let p = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.file));
-        let analysis = analyzer::analyze(&p)
-            .unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
+        let analysis =
+            analyzer::analyze(&p).unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
         analysis
             .check(&p)
             .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
@@ -240,8 +233,8 @@ fn every_benchmark_roundtrips_through_the_pretty_printer() {
     for b in table1_benchmarks().into_iter().chain(extra_benchmarks()) {
         let p1 = b.program().unwrap();
         let printed = clight::pretty::print_program(&p1);
-        let p2 = clight::frontend(&printed, &[])
-            .unwrap_or_else(|e| panic!("{}: reparse: {e}", b.file));
+        let p2 =
+            clight::frontend(&printed, &[]).unwrap_or_else(|e| panic!("{}: reparse: {e}", b.file));
         let b1 = clight::Executor::run_main(&p1, FUEL);
         let b2 = clight::Executor::run_main(&p2, FUEL);
         assert_eq!(b1.return_code(), b2.return_code(), "{}", b.file);

@@ -70,6 +70,17 @@ impl Expr {
         matches!(self, Expr::Var(_) | Expr::Index(..) | Expr::Deref(_))
     }
 
+    /// Number of AST nodes in the expression (itself included).
+    pub fn node_count(&self) -> u64 {
+        1 + match self {
+            Expr::Const(..) | Expr::Var(_) => 0,
+            Expr::Unop(_, e) | Expr::Deref(e) | Expr::Addr(e) | Expr::Cast(_, e) => e.node_count(),
+            Expr::Binop(_, a, b) | Expr::Index(a, b) => a.node_count() + b.node_count(),
+            Expr::Cond(c, t, e) => c.node_count() + t.node_count() + e.node_count(),
+            Expr::Call0(_, args) => args.iter().map(Expr::node_count).sum(),
+        }
+    }
+
     /// Collects the names of all variables read by the expression.
     pub fn variables(&self, out: &mut HashSet<String>) {
         match self {
@@ -186,6 +197,18 @@ impl Stmt {
                 b.visit(f);
             }
             _ => {}
+        }
+    }
+
+    /// Number of AST nodes in the statement, expressions included.
+    pub fn node_count(&self) -> u64 {
+        match self {
+            Stmt::Skip | Stmt::Break | Stmt::Continue => 1,
+            Stmt::Assign(lv, e) => 1 + lv.node_count() + e.node_count(),
+            Stmt::Call(_, _, args) => 1 + args.iter().map(Expr::node_count).sum::<u64>(),
+            Stmt::Seq(a, b) | Stmt::Loop(a, b) => 1 + a.node_count() + b.node_count(),
+            Stmt::If(c, t, e) => 1 + c.node_count() + t.node_count() + e.node_count(),
+            Stmt::Return(e) => 1 + e.as_ref().map_or(0, Expr::node_count),
         }
     }
 
@@ -338,5 +361,11 @@ impl Program {
     /// Names of all internal functions, in definition order.
     pub fn function_names(&self) -> impl Iterator<Item = &str> {
         self.functions.iter().map(|f| f.name.as_str())
+    }
+
+    /// Total number of AST nodes across all function bodies (one node per
+    /// function on top of its body).
+    pub fn node_count(&self) -> u64 {
+        self.functions.iter().map(|f| 1 + f.body.node_count()).sum()
     }
 }

@@ -55,8 +55,8 @@ impl std::error::Error for LexError {}
 /// Multi-character punctuation, longest first so maximal munch works.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|",
-    "^", "~", "?", ":", ";", ",", "(", ")", "{", "}", "[", "]",
+    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "~", "?", ":", ";", ",", "(", ")", "{", "}", "[", "]",
 ];
 
 /// Tokenizes `src`, skipping whitespace, `//` line comments, `/* */` block
@@ -134,9 +134,7 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>, LexError> {
             }
             let mut text = &src[digits_start..i];
             // Allow C suffixes u/U/l/L.
-            while let Some(stripped) = text
-                .strip_suffix(['u', 'U', 'l', 'L'])
-            {
+            while let Some(stripped) = text.strip_suffix(['u', 'U', 'l', 'L']) {
                 text = stripped;
             }
             let value = u32::from_str_radix(text, radix).map_err(|_| LexError {
@@ -192,7 +190,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub use types::Ty;
 /// assert_eq!(program.functions.len(), 1);
 /// ```
 pub fn frontend(src: &str, params: &[(&str, u32)]) -> Result<Program, String> {
+    let _span = obs::span("clight/frontend");
     let mut p = parse_with_params(src, params).map_err(|e| e.to_string())?;
+    obs::counter("clight/ast_nodes", p.node_count());
+    obs::counter("clight/functions", p.functions.len() as u64);
     typecheck(&mut p).map_err(|e| e.to_string())?;
     Ok(p)
 }

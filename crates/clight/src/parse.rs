@@ -76,7 +76,9 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
 /// assert_eq!(p.globals[0].ty.size(), 64);
 /// ```
 pub fn parse_with_params(src: &str, params: &[(&str, u32)]) -> Result<Program, ParseError> {
+    let _span = obs::span("clight/parse");
     let tokens = tokenize(src)?;
+    obs::counter("clight/tokens", tokens.len() as u64);
     // `u32` is predeclared (every benchmark starts from the paper's
     // `typedef unsigned int u32;`, which is also accepted explicitly).
     let mut typedefs = HashMap::new();
@@ -85,10 +87,7 @@ pub fn parse_with_params(src: &str, params: &[(&str, u32)]) -> Result<Program, P
         tokens,
         pos: 0,
         typedefs,
-        consts: params
-            .iter()
-            .map(|(k, v)| ((*k).to_owned(), *v))
-            .collect(),
+        consts: params.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
         program: Program::default(),
         temp_counter: 0,
     };
@@ -223,12 +222,10 @@ impl Parser {
     fn translation_unit(&mut self) -> Result<(), ParseError> {
         while !matches!(self.peek(), Token::Eof) {
             if self.eat_kw("typedef") {
-                let ty = self
-                    .parse_type()?
-                    .ok_or_else(|| ParseError {
-                        message: "typedef of void".into(),
-                        line: self.line(),
-                    })?;
+                let ty = self.parse_type()?.ok_or_else(|| ParseError {
+                    message: "typedef of void".into(),
+                    line: self.line(),
+                })?;
                 let name = self.expect_ident()?;
                 self.expect_punct(";")?;
                 self.typedefs.insert(name, ty);
@@ -298,7 +295,12 @@ impl Parser {
 
     /// Parses one global declarator; a trailing comma continues with the
     /// next declarator of the same base type.
-    fn global_def(&mut self, ty: Option<Ty>, name: String, is_const: bool) -> Result<(), ParseError> {
+    fn global_def(
+        &mut self,
+        ty: Option<Ty>,
+        name: String,
+        is_const: bool,
+    ) -> Result<(), ParseError> {
         let ty = match ty {
             Some(t) => t,
             None => return self.err("global of type void"),
@@ -337,7 +339,11 @@ impl Parser {
                 init.push(v);
             }
         }
-        self.program.globals.push(GlobalVar { name, ty: gty, init });
+        self.program.globals.push(GlobalVar {
+            name,
+            ty: gty,
+            init,
+        });
         if self.eat_punct(",") {
             let next = self.expect_ident()?;
             return self.global_def(Some(ty), next, is_const);
@@ -353,12 +359,10 @@ impl Parser {
                 if self.eat_kw("void") && matches!(self.peek(), Token::Punct(")")) {
                     // `f(void)`
                 } else {
-                    let ty = self
-                        .parse_type()?
-                        .ok_or_else(|| ParseError {
-                            message: "void parameter".into(),
-                            line: self.line(),
-                        })?;
+                    let ty = self.parse_type()?.ok_or_else(|| ParseError {
+                        message: "void parameter".into(),
+                        line: self.line(),
+                    })?;
                     let pname = self.expect_ident()?;
                     // `u32 a[]` parameter decays to pointer.
                     let ty = if self.eat_punct("[") {
@@ -605,9 +609,7 @@ impl Parser {
                     self.next();
                     self.expect_punct(":")?;
                     if !labels.is_empty() {
-                        return self.err(
-                            "case labels grouped with `default` are not supported",
-                        );
+                        return self.err("case labels grouped with `default` are not supported");
                     }
                     in_default = true;
                 }
@@ -624,11 +626,7 @@ impl Parser {
                 let test = Expr::binop(Binop::Eq, Expr::Var(tmp.clone()), Expr::uint(l));
                 cond = Some(match cond {
                     None => test,
-                    Some(c) => Expr::Cond(
-                        Box::new(c),
-                        Box::new(Expr::uint(1)),
-                        Box::new(test),
-                    ),
+                    Some(c) => Expr::Cond(Box::new(c), Box::new(Expr::uint(1)), Box::new(test)),
                 });
             }
             let cond = cond.ok_or_else(|| ParseError {
@@ -641,12 +639,10 @@ impl Parser {
     }
 
     fn declaration(&mut self, ctx: &mut FnCtx) -> Result<Stmt, ParseError> {
-        let base = self
-            .parse_type()?
-            .ok_or_else(|| ParseError {
-                message: "declaration of void variable".into(),
-                line: self.line(),
-            })?;
+        let base = self.parse_type()?.ok_or_else(|| ParseError {
+            message: "declaration of void variable".into(),
+            line: self.line(),
+        })?;
         let mut stmts = Vec::new();
         loop {
             let mut ty = base.clone();
@@ -687,10 +683,7 @@ impl Parser {
             if matches!(self.peek(), Token::Punct(q) if *q == p) {
                 self.next();
                 let lv = self.unary(Some(ctx))?;
-                return Ok(Stmt::Assign(
-                    lv.clone(),
-                    Expr::binop(op, lv, Expr::uint(1)),
-                ));
+                return Ok(Stmt::Assign(lv.clone(), Expr::binop(op, lv, Expr::uint(1))));
             }
         }
         let lhs = self.unary(Some(ctx))?;
@@ -724,10 +717,7 @@ impl Parser {
             if matches!(self.peek(), Token::Punct(q) if *q == p) {
                 self.next();
                 let rhs = self.expression(Some(ctx))?;
-                return Ok(Stmt::Assign(
-                    lhs.clone(),
-                    Expr::binop(op, lhs, rhs),
-                ));
+                return Ok(Stmt::Assign(lhs.clone(), Expr::binop(op, lhs, rhs)));
             }
         }
         if self.eat_punct("=") {

@@ -262,9 +262,7 @@ mod tests {
 
     #[test]
     fn roundtrips_ternary_and_shortcircuit() {
-        roundtrip(
-            "int main() { u32 x; x = 5; return (x > 2 && x < 9) ? (x ? 1 : 2) : 3; }",
-        );
+        roundtrip("int main() { u32 x; x = 5; return (x > 2 && x < 9) ? (x ? 1 : 2) : 3; }");
     }
 
     #[test]

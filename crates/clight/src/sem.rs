@@ -407,7 +407,9 @@ impl Executor {
             self.state = MachState::Stmt(Rc::new(Stmt::Skip), k);
             return Ok(());
         }
-        Err(RuntimeError(format!("call to undefined function `{fname}`")))
+        Err(RuntimeError(format!(
+            "call to undefined function `{fname}`"
+        )))
     }
 
     /// Frees the addressable blocks of the current activation and emits the

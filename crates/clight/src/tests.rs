@@ -58,8 +58,11 @@ fn const_globals_become_parameters() {
 
 #[test]
 fn injected_params_act_as_constants() {
-    let p = parse_with_params("u32 a[ALEN]; int main() { return ALEN * 2; }", &[("ALEN", 21)])
-        .unwrap();
+    let p = parse_with_params(
+        "u32 a[ALEN]; int main() { return ALEN * 2; }",
+        &[("ALEN", 21)],
+    )
+    .unwrap();
     assert_eq!(p.globals[0].ty.size(), 84);
     let mut p = p;
     typecheck(&mut p).unwrap();
@@ -69,7 +72,10 @@ fn injected_params_act_as_constants() {
 #[test]
 fn rejects_nested_calls_in_expressions() {
     let err = parse("u32 f(void) { return 1; } int main() { return f() + 1; }").unwrap_err();
-    assert!(err.message.contains("nested") || err.message.contains("call"), "{err}");
+    assert!(
+        err.message.contains("nested") || err.message.contains("call"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -100,16 +106,15 @@ fn rejects_undefined_function() {
 
 #[test]
 fn rejects_arity_mismatch() {
-    let mut p = parse("u32 f(u32 a) { return a; } int main() { u32 x; x = f(1, 2); return x; }")
-        .unwrap();
+    let mut p =
+        parse("u32 f(u32 a) { return a; } int main() { u32 x; x = f(1, 2); return x; }").unwrap();
     let err = typecheck(&mut p).unwrap_err();
     assert!(err.message.contains("expects 1 arguments"), "{err}");
 }
 
 #[test]
 fn rejects_void_result_use() {
-    let mut p =
-        parse("void f(void) { return; } int main() { u32 x; x = f(); return x; }").unwrap();
+    let mut p = parse("void f(void) { return; } int main() { u32 x; x = f(); return x; }").unwrap();
     assert!(typecheck(&mut p).is_err());
 }
 
@@ -121,8 +126,8 @@ fn rejects_break_outside_loop() {
 
 #[test]
 fn rejects_address_of_parameter() {
-    let mut p = parse("u32 f(u32 x) { u32 *p; p = &x; return *p; } int main() { return 0; }")
-        .unwrap();
+    let mut p =
+        parse("u32 f(u32 x) { u32 *p; p = &x; return *p; } int main() { return 0; }").unwrap();
     let err = typecheck(&mut p).unwrap_err();
     assert!(err.message.contains("parameter"), "{err}");
 }
@@ -142,7 +147,10 @@ fn marks_addressable_locals() {
 #[test]
 fn signedness_resolution_division() {
     // -2 / 2: signed division gives -1; unsigned gives a huge value.
-    assert_eq!(ret("int main() { int a; a = -2; return (a / 2) == -1; }"), 1);
+    assert_eq!(
+        ret("int main() { int a; a = -2; return (a / 2) == -1; }"),
+        1
+    );
     assert_eq!(
         ret("int main() { u32 a; a = -2; return (a / 2) == 0x7FFFFFFF; }"),
         1
@@ -157,7 +165,10 @@ fn signedness_resolution_comparison() {
 
 #[test]
 fn right_shift_follows_left_operand() {
-    assert_eq!(ret("int main() { int a; a = -4; return (a >> 1) == -2; }"), 1);
+    assert_eq!(
+        ret("int main() { int a; a = -4; return (a >> 1) == -2; }"),
+        1
+    );
     assert_eq!(
         ret("int main() { u32 a; a = 0x80000000; return (a >> 31) == 1; }"),
         1
@@ -169,7 +180,10 @@ fn right_shift_follows_left_operand() {
 #[test]
 fn arithmetic_and_control_flow() {
     assert_eq!(ret("int main() { return 2 + 3 * 4; }"), 14);
-    assert_eq!(ret("int main() { if (1 < 2) return 10; else return 20; }"), 10);
+    assert_eq!(
+        ret("int main() { if (1 < 2) return 10; else return 20; }"),
+        10
+    );
     assert_eq!(
         ret("int main() { u32 s; u32 i; s = 0; for (i = 0; i < 10; i++) s += i; return s; }"),
         45
@@ -320,7 +334,12 @@ fn external_calls_emit_io_events() {
     ";
     let b = run(src);
     assert_eq!(b.return_code(), Some(1)); // deterministic externals
-    let ios: Vec<&Event> = b.trace().events().iter().filter(|e| !e.is_memory()).collect();
+    let ios: Vec<&Event> = b
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| !e.is_memory())
+        .collect();
     assert_eq!(ios.len(), 2);
 }
 
@@ -390,14 +409,19 @@ fn run_function_directly() {
 
 #[test]
 fn ternary_expression() {
-    assert_eq!(ret("int main() { u32 x; x = 5; return x > 3 ? 10 : 20; }"), 10);
+    assert_eq!(
+        ret("int main() { u32 x; x = 5; return x > 3 ? 10 : 20; }"),
+        10
+    );
 }
 
 #[test]
 fn compound_assignment_operators() {
     assert_eq!(
-        ret("int main() { u32 x; x = 8; x += 2; x *= 3; x -= 5; x /= 5; x <<= 2; x |= 1; \
-             return x; }"),
+        ret(
+            "int main() { u32 x; x = 8; x += 2; x *= 3; x -= 5; x /= 5; x <<= 2; x |= 1; \
+             return x; }"
+        ),
         21
     );
 }
@@ -497,7 +521,6 @@ fn program_accessors() {
     assert!(p.global("g").is_some());
     assert_eq!(p.function_names().collect::<Vec<_>>(), vec!["f", "main"]);
 }
-
 
 // ---- switch statements --------------------------------------------------------
 

@@ -53,6 +53,7 @@ impl std::error::Error for TypeError {}
 /// clight::typecheck(&mut p).unwrap();
 /// ```
 pub fn typecheck(program: &mut Program) -> Result<(), TypeError> {
+    let _span = obs::span("clight/typecheck");
     // Global name uniqueness.
     let mut seen = HashSet::new();
     for g in &program.globals {
@@ -113,12 +114,12 @@ pub fn typecheck(program: &mut Program) -> Result<(), TypeError> {
                 ),
             )
         })
-        .chain(program.externals.iter().map(|e| {
-            (
-                e.name.clone(),
-                (e.ret.clone(), vec![None; e.arity]),
-            )
-        }))
+        .chain(
+            program
+                .externals
+                .iter()
+                .map(|e| (e.name.clone(), (e.ret.clone(), vec![None; e.arity]))),
+        )
         .collect();
     let global_tys: HashMap<String, Ty> = program
         .globals
@@ -174,7 +175,10 @@ fn check_function(
         }
         if let Ty::Array(elem, n) = &l.ty {
             if !elem.is_scalar() || *n == 0 {
-                return Err(format!("local array `{}` must be a nonempty array of scalars", l.name));
+                return Err(format!(
+                    "local array `{}` must be a nonempty array of scalars",
+                    l.name
+                ));
             }
         }
     }
@@ -261,9 +265,8 @@ impl FnChecker<'_> {
                     if !dt.is_scalar() {
                         return Err(format!("call destination `{d}` is not scalar"));
                     }
-                    let rt = ret.ok_or_else(|| {
-                        format!("void function `{fname}` used as a value")
-                    })?;
+                    let rt =
+                        ret.ok_or_else(|| format!("void function `{fname}` used as a value"))?;
                     if !compatible(dt, &rt) {
                         return Err(format!(
                             "cannot store `{fname}` result of type `{rt}` into `{d}`"

@@ -34,9 +34,7 @@ pub fn translate(program: &MachProgram) -> Result<AsmProgram, CompileError> {
                 MInstr::Binop(op, d, s) => code.push(Instr::Alu(*op, *d, Operand::Reg(*s))),
                 MInstr::StackAddr(off, r) => {
                     if *r == Reg::Esp {
-                        return Err(CompileError::Internal(
-                            "asmgen: stackaddr into esp".into(),
-                        ));
+                        return Err(CompileError::Internal("asmgen: stackaddr into esp".into()));
                     }
                     code.push(Instr::Mov(*r, Operand::Reg(Reg::Esp)));
                     if *off > 0 {
@@ -47,9 +45,7 @@ pub fn translate(program: &MachProgram) -> Result<AsmProgram, CompileError> {
                 MInstr::Load(a, d) => code.push(Instr::Load(*d, *a, 0)),
                 MInstr::Store(a, s) => code.push(Instr::Store(*a, 0, *s)),
                 MInstr::LoadStack(off, r) => code.push(Instr::Load(*r, Reg::Esp, *off as i32)),
-                MInstr::StoreStack(off, r) => {
-                    code.push(Instr::Store(Reg::Esp, *off as i32, *r))
-                }
+                MInstr::StoreStack(off, r) => code.push(Instr::Store(Reg::Esp, *off as i32, *r)),
                 MInstr::GetParam(i, r) => {
                     // The incoming argument area sits just above this frame
                     // and the return address its caller pushed.

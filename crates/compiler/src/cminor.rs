@@ -183,7 +183,9 @@ impl<'p> CmExecutor<'p> {
             let b = memory.alloc(*size);
             for i in 0..(*size / 4) {
                 let v = init.get(i as usize).copied().unwrap_or(0);
-                memory.store(b, i * 4, Value::Int(v)).map_err(|e| e.to_string())?;
+                memory
+                    .store(b, i * 4, Value::Int(v))
+                    .map_err(|e| e.to_string())?;
             }
             globals.insert(name.clone(), b);
         }
@@ -216,7 +218,10 @@ impl<'p> CmExecutor<'p> {
 
     fn step(&mut self) -> Result<Option<u32>, String> {
         self.steps += 1;
-        let state = std::mem::replace(&mut self.state, State::Return(Value::Undef, Rc::new(Cont::Stop)));
+        let state = std::mem::replace(
+            &mut self.state,
+            State::Return(Value::Undef, Rc::new(Cont::Stop)),
+        );
         match state {
             State::Stmt(s, k) => {
                 self.step_stmt(&s, k)?;
@@ -251,7 +256,10 @@ impl<'p> CmExecutor<'p> {
                 Ok(())
             }
             CmStmt::Call(dest, fname, args) => {
-                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_, _>>()?;
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_, _>>()?;
                 self.state = State::Call(fname.clone(), vals, dest.clone(), k);
                 Ok(())
             }
@@ -266,7 +274,10 @@ impl<'p> CmExecutor<'p> {
                 Ok(())
             }
             CmStmt::Loop(body, incr) => {
-                self.state = State::Stmt(body.clone(), Rc::new(Cont::Loop1(body.clone(), incr.clone(), k)));
+                self.state = State::Stmt(
+                    body.clone(),
+                    Rc::new(Cont::Loop1(body.clone(), incr.clone(), k)),
+                );
                 Ok(())
             }
             CmStmt::Break => self.unwind_break(k),
@@ -295,11 +306,17 @@ impl<'p> CmExecutor<'p> {
                 Ok(())
             }
             Cont::Loop1(b, i, k2) => {
-                self.state = State::Stmt(i.clone(), Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())));
+                self.state = State::Stmt(
+                    i.clone(),
+                    Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())),
+                );
                 Ok(())
             }
             Cont::Loop2(b, i, k2) => {
-                self.state = State::Stmt(b.clone(), Rc::new(Cont::Loop1(b.clone(), i.clone(), k2.clone())));
+                self.state = State::Stmt(
+                    b.clone(),
+                    Rc::new(Cont::Loop1(b.clone(), i.clone(), k2.clone())),
+                );
                 Ok(())
             }
         }
@@ -320,7 +337,10 @@ impl<'p> CmExecutor<'p> {
         match k.as_ref() {
             Cont::Seq(_, k2) => self.unwind_continue(k2.clone()),
             Cont::Loop1(b, i, k2) => {
-                self.state = State::Stmt(i.clone(), Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())));
+                self.state = State::Stmt(
+                    i.clone(),
+                    Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())),
+                );
                 Ok(())
             }
             _ => Err("continue outside of a loop body".into()),
@@ -340,8 +360,7 @@ impl<'p> CmExecutor<'p> {
             if f.params.len() != args.len() {
                 return Err(format!("arity mismatch calling `{fname}`"));
             }
-            let mut temps: HashMap<String, Value> =
-                f.params.iter().cloned().zip(args).collect();
+            let mut temps: HashMap<String, Value> = f.params.iter().cloned().zip(args).collect();
             for t in &f.temps {
                 temps.entry(t.clone()).or_insert(Value::Undef);
             }
@@ -350,7 +369,10 @@ impl<'p> CmExecutor<'p> {
                 temps,
                 stack_block: Some(self.memory.alloc(f.stacksize)),
             };
-            self.state = State::Stmt(f.body.clone(), Rc::new(Cont::Call(dest, Box::new(caller), k)));
+            self.state = State::Stmt(
+                f.body.clone(),
+                Rc::new(Cont::Call(dest, Box::new(caller), k)),
+            );
             return Ok(());
         }
         if let Some((name, arity, has_ret)) = self

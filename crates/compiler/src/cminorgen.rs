@@ -41,10 +41,7 @@ struct FnCtx<'a> {
     offsets: HashMap<String, u32>,
 }
 
-fn translate_function(
-    f: &clight::Function,
-    program: &Program,
-) -> Result<CmFunction, CompileError> {
+fn translate_function(f: &clight::Function, program: &Program) -> Result<CmFunction, CompileError> {
     // Lay out addressable locals in declaration order, word-aligned.
     let mut offsets = HashMap::new();
     let mut size = 0u32;
@@ -100,7 +97,9 @@ impl FnCtx<'_> {
             Stmt::Call(dest, fname, args) => CmStmt::Call(
                 dest.clone(),
                 fname.clone(),
-                args.iter().map(|a| self.rvalue(a)).collect::<Result<_, _>>()?,
+                args.iter()
+                    .map(|a| self.rvalue(a))
+                    .collect::<Result<_, _>>()?,
             ),
             Stmt::Seq(a, b) => CmStmt::seq(self.stmt(a)?, self.stmt(b)?),
             Stmt::If(c, t, e) => CmStmt::If(
@@ -120,8 +119,7 @@ impl FnCtx<'_> {
 
     /// True when `x` is a scalar local or parameter held in a temporary.
     fn is_temp(&self, x: &str) -> bool {
-        (self.func.is_param(x) || self.func.var_ty(x).is_some())
-            && !self.offsets.contains_key(x)
+        (self.func.is_param(x) || self.func.var_ty(x).is_some()) && !self.offsets.contains_key(x)
     }
 
     /// The address of an lvalue expression.

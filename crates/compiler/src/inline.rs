@@ -116,7 +116,12 @@ fn remap(
         RtlInstr::Store(a, s, m) => RtlInstr::Store(r(a), r(s), n(m)),
         RtlInstr::Call(g, args, d, m) => {
             // Leaves have no calls; kept for robustness.
-            RtlInstr::Call(g.clone(), args.iter().map(r).collect(), d.map(|d| d + reg_base), n(m))
+            RtlInstr::Call(
+                g.clone(),
+                args.iter().map(r).collect(),
+                d.map(|d| d + reg_base),
+                n(m),
+            )
         }
         RtlInstr::Cond(op, a, b, t, e) => RtlInstr::Cond(*op, r(a), r(b), n(t), n(e)),
         RtlInstr::Nop(m) => RtlInstr::Nop(n(m)),
@@ -195,7 +200,11 @@ mod tests {
         assert_eq!(m1.result(), Some(42));
         // Sound but no longer tight: the source-level bound still pays
         // M(leaf) for a call the machine never makes.
-        assert!(bound1 > m1.stack_usage + 4, "{bound1} vs {}", m1.stack_usage);
+        assert!(
+            bound1 > m1.stack_usage + 4,
+            "{bound1} vs {}",
+            m1.stack_usage
+        );
     }
 
     #[test]

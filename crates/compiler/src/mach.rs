@@ -109,7 +109,9 @@ pub struct MachProgram {
 impl MachProgram {
     /// The stack-frame sizes `SF` produced by the stacking pass.
     pub fn frame_sizes(&self) -> impl Iterator<Item = (&str, u32)> {
-        self.functions.iter().map(|f| (f.name.as_str(), f.frame_size))
+        self.functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.frame_size))
     }
 
     /// The cost metric `M(f) = SF(f) + 4` of Theorem 1.
@@ -133,7 +135,11 @@ impl MachProgram {
         use std::fmt::Write;
         let mut out = String::new();
         for f in &self.functions {
-            let _ = writeln!(out, "{}: # SF = {} bytes, {} params", f.name, f.frame_size, f.nparams);
+            let _ = writeln!(
+                out,
+                "{}: # SF = {} bytes, {} params",
+                f.name, f.frame_size, f.nparams
+            );
             for i in &f.code {
                 let _ = writeln!(out, "{i}");
             }
@@ -186,185 +192,186 @@ fn run_function_impl(
     let mut memory = Memory::new();
     let memory = &mut memory;
     let behavior = (|| -> Behavior {
-    let mut trace = Trace::new();
-    let mut global_blocks = Vec::new();
-    for (_, size, init) in &program.globals {
-        let b = memory.alloc(*size);
-        for i in 0..(*size / 4) {
-            let v = init.get(i as usize).copied().unwrap_or(0);
-            if memory.store(b, i * 4, Value::Int(v)).is_err() {
-                return Behavior::Fails(trace, "bad global initializer".into());
-            }
-        }
-        global_blocks.push(b);
-    }
-    let Some(fidx) = program.functions.iter().position(|f| f.name == fname) else {
-        return Behavior::Fails(trace, format!("no function `{fname}`"));
-    };
-    // Per-function label tables.
-    let labels: Vec<HashMap<u32, usize>> = program
-        .functions
-        .iter()
-        .map(|f| {
-            f.code
-                .iter()
-                .enumerate()
-                .filter_map(|(i, ins)| match ins {
-                    MInstr::Label(l) => Some((*l, i)),
-                    _ => None,
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut regs: [Value; 8] = [Value::Undef; 8];
-    let mut stack: Vec<MFrame> = Vec::new();
-    trace.push(Event::call(fname));
-    stack.push(MFrame {
-        func: fidx,
-        pc: 0,
-        block: memory.alloc(program.functions[fidx].frame_size),
-        params: args,
-    });
-
-    let mut steps = 0u64;
-    macro_rules! frame {
-        () => {
-            stack.last_mut().expect("nonempty call stack")
-        };
-    }
-    while steps < fuel {
-        steps += 1;
-        let fr_func = frame!().func;
-        let fr_pc = frame!().pc;
-        let func = &program.functions[fr_func];
-        let Some(instr) = func.code.get(fr_pc) else {
-            return Behavior::Fails(trace, format!("fell off the end of `{}`", func.name));
-        };
-        frame!().pc += 1;
-        macro_rules! fail {
-            ($e:expr) => {
-                return Behavior::Fails(trace, $e.to_string())
-            };
-        }
-        macro_rules! try_or_fail {
-            ($e:expr) => {
-                match $e {
-                    Ok(v) => v,
-                    Err(e) => fail!(e),
-                }
-            };
-        }
-        match instr {
-            MInstr::Label(_) => {}
-            MInstr::Const(k, r) => regs[r.index()] = Value::Int(*k),
-            MInstr::Move(d, s) => regs[d.index()] = regs[s.index()],
-            MInstr::Unop(op, r) => {
-                regs[r.index()] = try_or_fail!(mem::eval_unop(*op, regs[r.index()]));
-            }
-            MInstr::Binop(op, d, s) => {
-                regs[d.index()] =
-                    try_or_fail!(mem::eval_binop(*op, regs[d.index()], regs[s.index()]));
-            }
-            MInstr::StackAddr(off, r) => {
-                let b = frame!().block;
-                regs[r.index()] = Value::Ptr(b, *off);
-            }
-            MInstr::GlobalAddr(g, off, r) => match global_blocks.get(*g as usize) {
-                Some(b) => regs[r.index()] = Value::Ptr(*b, *off),
-                None => fail!(format!("bad global index {g}")),
-            },
-            MInstr::Load(a, d) => {
-                let (b, off) = try_or_fail!(regs[a.index()].as_ptr());
-                regs[d.index()] = try_or_fail!(memory.load(b, off));
-            }
-            MInstr::Store(a, s) => {
-                let (b, off) = try_or_fail!(regs[a.index()].as_ptr());
-                try_or_fail!(memory.store(b, off, regs[s.index()]));
-            }
-            MInstr::LoadStack(off, r) => {
-                let b = frame!().block;
-                regs[r.index()] = try_or_fail!(memory.load(b, *off));
-            }
-            MInstr::StoreStack(off, r) => {
-                let b = frame!().block;
-                let v = regs[r.index()];
-                try_or_fail!(memory.store(b, *off, v));
-            }
-            MInstr::GetParam(i, r) => {
-                let fr = frame!();
-                match fr.params.get(*i as usize) {
-                    Some(v) => regs[r.index()] = *v,
-                    None => fail!(format!("parameter {i} out of range")),
+        let mut trace = Trace::new();
+        let mut global_blocks = Vec::new();
+        for (_, size, init) in &program.globals {
+            let b = memory.alloc(*size);
+            for i in 0..(*size / 4) {
+                let v = init.get(i as usize).copied().unwrap_or(0);
+                if memory.store(b, i * 4, Value::Int(v)).is_err() {
+                    return Behavior::Fails(trace, "bad global initializer".into());
                 }
             }
-            MInstr::Cond(op, a, b, l) => {
-                let v = try_or_fail!(mem::eval_binop(*op, regs[a.index()], regs[b.index()]));
-                if v != Value::Int(0) {
-                    match labels[fr_func].get(l) {
-                        Some(t) => frame!().pc = *t,
-                        None => fail!(format!("missing label {l} in `{}`", func.name)),
+            global_blocks.push(b);
+        }
+        let Some(fidx) = program.functions.iter().position(|f| f.name == fname) else {
+            return Behavior::Fails(trace, format!("no function `{fname}`"));
+        };
+        // Per-function label tables.
+        let labels: Vec<HashMap<u32, usize>> = program
+            .functions
+            .iter()
+            .map(|f| {
+                f.code
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, ins)| match ins {
+                        MInstr::Label(l) => Some((*l, i)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut regs: [Value; 8] = [Value::Undef; 8];
+        let mut stack: Vec<MFrame> = Vec::new();
+        trace.push(Event::call(fname));
+        stack.push(MFrame {
+            func: fidx,
+            pc: 0,
+            block: memory.alloc(program.functions[fidx].frame_size),
+            params: args,
+        });
+
+        let mut steps = 0u64;
+        macro_rules! frame {
+            () => {
+                stack.last_mut().expect("nonempty call stack")
+            };
+        }
+        while steps < fuel {
+            steps += 1;
+            let fr_func = frame!().func;
+            let fr_pc = frame!().pc;
+            let func = &program.functions[fr_func];
+            let Some(instr) = func.code.get(fr_pc) else {
+                return Behavior::Fails(trace, format!("fell off the end of `{}`", func.name));
+            };
+            frame!().pc += 1;
+            macro_rules! fail {
+                ($e:expr) => {
+                    return Behavior::Fails(trace, $e.to_string())
+                };
+            }
+            macro_rules! try_or_fail {
+                ($e:expr) => {
+                    match $e {
+                        Ok(v) => v,
+                        Err(e) => fail!(e),
+                    }
+                };
+            }
+            match instr {
+                MInstr::Label(_) => {}
+                MInstr::Const(k, r) => regs[r.index()] = Value::Int(*k),
+                MInstr::Move(d, s) => regs[d.index()] = regs[s.index()],
+                MInstr::Unop(op, r) => {
+                    regs[r.index()] = try_or_fail!(mem::eval_unop(*op, regs[r.index()]));
+                }
+                MInstr::Binop(op, d, s) => {
+                    regs[d.index()] =
+                        try_or_fail!(mem::eval_binop(*op, regs[d.index()], regs[s.index()]));
+                }
+                MInstr::StackAddr(off, r) => {
+                    let b = frame!().block;
+                    regs[r.index()] = Value::Ptr(b, *off);
+                }
+                MInstr::GlobalAddr(g, off, r) => match global_blocks.get(*g as usize) {
+                    Some(b) => regs[r.index()] = Value::Ptr(*b, *off),
+                    None => fail!(format!("bad global index {g}")),
+                },
+                MInstr::Load(a, d) => {
+                    let (b, off) = try_or_fail!(regs[a.index()].as_ptr());
+                    regs[d.index()] = try_or_fail!(memory.load(b, off));
+                }
+                MInstr::Store(a, s) => {
+                    let (b, off) = try_or_fail!(regs[a.index()].as_ptr());
+                    try_or_fail!(memory.store(b, off, regs[s.index()]));
+                }
+                MInstr::LoadStack(off, r) => {
+                    let b = frame!().block;
+                    regs[r.index()] = try_or_fail!(memory.load(b, *off));
+                }
+                MInstr::StoreStack(off, r) => {
+                    let b = frame!().block;
+                    let v = regs[r.index()];
+                    try_or_fail!(memory.store(b, *off, v));
+                }
+                MInstr::GetParam(i, r) => {
+                    let fr = frame!();
+                    match fr.params.get(*i as usize) {
+                        Some(v) => regs[r.index()] = *v,
+                        None => fail!(format!("parameter {i} out of range")),
+                    }
+                }
+                MInstr::Cond(op, a, b, l) => {
+                    let v = try_or_fail!(mem::eval_binop(*op, regs[a.index()], regs[b.index()]));
+                    if v != Value::Int(0) {
+                        match labels[fr_func].get(l) {
+                            Some(t) => frame!().pc = *t,
+                            None => fail!(format!("missing label {l} in `{}`", func.name)),
+                        }
+                    }
+                }
+                MInstr::Jmp(l) => match labels[fr_func].get(l) {
+                    Some(t) => frame!().pc = *t,
+                    None => fail!(format!("missing label {l} in `{}`", func.name)),
+                },
+                MInstr::Call(ci) => {
+                    let Some(callee) = program.functions.get(*ci as usize) else {
+                        fail!(format!("bad function index {ci}"));
+                    };
+                    // Read arguments from the caller's outgoing slots.
+                    let b = frame!().block;
+                    let mut args = Vec::with_capacity(callee.nparams);
+                    for i in 0..callee.nparams {
+                        args.push(try_or_fail!(memory.load(b, 4 * i as u32)));
+                    }
+                    trace.push(Event::call(callee.name.as_str()));
+                    let block = memory.alloc(callee.frame_size);
+                    stack.push(MFrame {
+                        func: *ci as usize,
+                        pc: 0,
+                        block,
+                        params: args,
+                    });
+                }
+                MInstr::CallExt(ei) => {
+                    let Some((name, arity, _)) = program.externals.get(*ei as usize).cloned()
+                    else {
+                        fail!(format!("bad external index {ei}"));
+                    };
+                    let b = frame!().block;
+                    let mut args = Vec::with_capacity(arity);
+                    for i in 0..arity {
+                        let v = try_or_fail!(memory.load(b, 4 * i as u32));
+                        args.push(try_or_fail!(v.as_int()));
+                    }
+                    let result = clight::io_result(&name, &args);
+                    trace.push(Event::io(name.as_str(), args, result));
+                    regs[Reg::Eax.index()] = Value::Int(result);
+                }
+                MInstr::Return => {
+                    let popped = stack.pop().expect("nonempty call stack");
+                    if memory.free(popped.block).is_err() {
+                        fail!("frame block already freed");
+                    }
+                    trace.push(Event::ret(func.name.as_str()));
+                    if stack.is_empty() {
+                        // A void entry function leaves eax undefined; report
+                        // exit code 0 like a C runtime would.
+                        return match regs[Reg::Eax.index()] {
+                            Value::Int(code) => Behavior::Converges(trace, code),
+                            Value::Undef => Behavior::Converges(trace, 0),
+                            other => Behavior::Fails(
+                                trace,
+                                format!("program finished with non-integer value {other}"),
+                            ),
+                        };
                     }
                 }
             }
-            MInstr::Jmp(l) => match labels[fr_func].get(l) {
-                Some(t) => frame!().pc = *t,
-                None => fail!(format!("missing label {l} in `{}`", func.name)),
-            },
-            MInstr::Call(ci) => {
-                let Some(callee) = program.functions.get(*ci as usize) else {
-                    fail!(format!("bad function index {ci}"));
-                };
-                // Read arguments from the caller's outgoing slots.
-                let b = frame!().block;
-                let mut args = Vec::with_capacity(callee.nparams);
-                for i in 0..callee.nparams {
-                    args.push(try_or_fail!(memory.load(b, 4 * i as u32)));
-                }
-                trace.push(Event::call(callee.name.as_str()));
-                let block = memory.alloc(callee.frame_size);
-                stack.push(MFrame {
-                    func: *ci as usize,
-                    pc: 0,
-                    block,
-                    params: args,
-                });
-            }
-            MInstr::CallExt(ei) => {
-                let Some((name, arity, _)) = program.externals.get(*ei as usize).cloned() else {
-                    fail!(format!("bad external index {ei}"));
-                };
-                let b = frame!().block;
-                let mut args = Vec::with_capacity(arity);
-                for i in 0..arity {
-                    let v = try_or_fail!(memory.load(b, 4 * i as u32));
-                    args.push(try_or_fail!(v.as_int()));
-                }
-                let result = clight::io_result(&name, &args);
-                trace.push(Event::io(name.as_str(), args, result));
-                regs[Reg::Eax.index()] = Value::Int(result);
-            }
-            MInstr::Return => {
-                let popped = stack.pop().expect("nonempty call stack");
-                if memory.free(popped.block).is_err() {
-                    fail!("frame block already freed");
-                }
-                trace.push(Event::ret(func.name.as_str()));
-                if stack.is_empty() {
-                    // A void entry function leaves eax undefined; report
-                    // exit code 0 like a C runtime would.
-                    return match regs[Reg::Eax.index()] {
-                        Value::Int(code) => Behavior::Converges(trace, code),
-                        Value::Undef => Behavior::Converges(trace, 0),
-                        other => Behavior::Fails(
-                            trace,
-                            format!("program finished with non-integer value {other}"),
-                        ),
-                    };
-                }
-            }
         }
-    }
         Behavior::Diverges(trace)
     })();
     if let Some(p) = peak_slot {

@@ -151,11 +151,7 @@ fn translate_function(
     };
 
     // Values live across a call are caller-save casualties: spill them.
-    let crosses_call = |iv: &Interval| {
-        call_positions
-            .iter()
-            .any(|p| iv.start <= *p && iv.end > *p)
-    };
+    let crosses_call = |iv: &Interval| call_positions.iter().any(|p| iv.start <= *p && iv.end > *p);
     let mut to_scan: Vec<(VReg, Interval)> = Vec::new();
     for (v, iv) in &intervals {
         if crosses_call(iv) {

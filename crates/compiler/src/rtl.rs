@@ -329,9 +329,7 @@ pub fn run_function(program: &RtlProgram, fname: &str, args: Vec<Value>, fuel: u
                     None => {
                         return match value {
                             Value::Int(code) => Behavior::Converges(trace, code),
-                            Value::Undef if !func.returns_value => {
-                                Behavior::Converges(trace, 0)
-                            }
+                            Value::Undef if !func.returns_value => Behavior::Converges(trace, 0),
                             other => Behavior::Fails(
                                 trace,
                                 format!("program finished with non-integer value {other}"),

@@ -199,8 +199,7 @@ impl Builder {
             CmExpr::Binop(op, a, b) => {
                 let ra = self.fresh();
                 let rb = self.fresh();
-                let op_node =
-                    self.add(RtlInstr::Op(RtlOp::Binop(*op), vec![ra, rb], dst, next));
+                let op_node = self.add(RtlInstr::Op(RtlOp::Binop(*op), vec![ra, rb], dst, next));
                 let eb = self.expr(b, rb, op_node)?;
                 self.expr(a, ra, eb)?
             }

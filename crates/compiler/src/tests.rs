@@ -19,8 +19,9 @@ fn check_pipeline(src: &str) -> Behavior {
     let b_mach = mach::run_main(&compiled.mach, FUEL);
 
     let metric = [("mach", &compiled.metric)];
-    check_quantitative(&b_clight, &b_cminor, &metric)
-        .unwrap_or_else(|e| panic!("clight -> cminor: {e}\nsource: {b_clight}\ntarget: {b_cminor}"));
+    check_quantitative(&b_clight, &b_cminor, &metric).unwrap_or_else(|e| {
+        panic!("clight -> cminor: {e}\nsource: {b_clight}\ntarget: {b_cminor}")
+    });
     check_quantitative(&b_cminor, &b_rtl, &metric)
         .unwrap_or_else(|e| panic!("cminor -> rtl: {e}\nsource: {b_cminor}\ntarget: {b_rtl}"));
     check_quantitative(&b_rtl, &b_rtl_opt, &metric)
@@ -36,8 +37,9 @@ fn check_pipeline(src: &str) -> Behavior {
         assert!(weight >= 0);
         let sz = u32::try_from(weight).unwrap().div_ceil(4) * 4;
         let m = asm::measure_main(&compiled.asm, sz, FUEL).unwrap();
-        check_classic(&b_mach, &m.behavior)
-            .unwrap_or_else(|e| panic!("mach -> asm: {e}\nsource: {b_mach}\ntarget: {}", m.behavior));
+        check_classic(&b_mach, &m.behavior).unwrap_or_else(|e| {
+            panic!("mach -> asm: {e}\nsource: {b_mach}\ntarget: {}", m.behavior)
+        });
         assert!(!m.overflowed(), "overflow with sz = weight = {sz}");
         if m.behavior.converges() {
             assert_eq!(
@@ -66,7 +68,10 @@ fn constants_and_arithmetic() {
 
 #[test]
 fn locals_and_assignments() {
-    returns("int main() { u32 a; u32 b; a = 6; b = a * a; return b + a; }", 42);
+    returns(
+        "int main() { u32 a; u32 b; a = 6; b = a * a; return b + a; }",
+        42,
+    );
 }
 
 #[test]
@@ -245,8 +250,11 @@ fn void_functions_and_global_state() {
 #[test]
 fn empty_frames_are_legal() {
     // A leaf with no locals has frame size 0 but metric 4.
-    let c = compile_c("u32 four() { return 4; } int main() { u32 r; r = four(); return r; }", &[])
-        .unwrap();
+    let c = compile_c(
+        "u32 four() { return 4; } int main() { u32 r; r = four(); return r; }",
+        &[],
+    )
+    .unwrap();
     assert_eq!(c.frame_size("four"), Some(0));
     assert_eq!(c.metric.call_cost("four"), 4);
     returns(
@@ -309,11 +317,7 @@ fn constprop_does_not_fold_trapping_division() {
 
 #[test]
 fn dce_removes_dead_code() {
-    let with_dead = compile_c(
-        "int main() { u32 dead; dead = 1000; return 42; }",
-        &[],
-    )
-    .unwrap();
+    let with_dead = compile_c("int main() { u32 dead; dead = 1000; return 42; }", &[]).unwrap();
     let live_ops = with_dead
         .rtl_opt
         .function("main")
@@ -431,9 +435,7 @@ fn random_program() -> impl Strategy<Value = String> {
         (0u32..3, 0u32..3, 0u32..20).prop_map(|(a, b, k)| {
             format!("if (x{a} < x{b} + {k}) {{ x{a} = x{a} + 1; }} else {{ x{b} = x{b} + 2; }}")
         }),
-        (0u32..3, 1u32..6).prop_map(|(v, k)| {
-            format!("for (i = 0; i < {k}; i++) x{v} += i;")
-        }),
+        (0u32..3, 1u32..6).prop_map(|(v, k)| { format!("for (i = 0; i < {k}; i++) x{v} += i;") }),
         (0u32..3).prop_map(|v| format!("x{v} = helper(x{v});")),
     ];
     proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
@@ -469,7 +471,6 @@ proptest! {
         prop_assert_eq!(i64::from(m.stack_usage), weight - 4);
     }
 }
-
 
 #[test]
 fn listings_render_every_ir() {
@@ -521,7 +522,6 @@ fn arguments_beyond_registers_roundtrip() {
         55,
     );
 }
-
 
 #[test]
 fn switch_statements_compile_through_the_pipeline() {

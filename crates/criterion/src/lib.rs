@@ -1,0 +1,215 @@
+//! A vendored, std-only stand-in for the [`criterion`] benchmark crate.
+//!
+//! The workspace builds offline, so the real `criterion` cannot be
+//! fetched. This shim supports the subset its benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-samples timer and
+//! plain-text reporting.
+//!
+//! Timing model: after a short calibration, each benchmark runs
+//! [`Criterion::samples`] batches sized to roughly
+//! [`Criterion::target_batch`] and reports the median, minimum, and
+//! maximum per-iteration time. Set `CRITERION_SHIM_FAST=1` to cut both
+//! for quick smoke runs.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Number of timed batches per benchmark.
+    pub samples: usize,
+    /// Wall-clock target per batch.
+    pub target_batch: Duration,
+    results: Vec<BenchResult>,
+}
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` when inside a group).
+    pub name: String,
+    /// Median ns/iter across batches.
+    pub median_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let fast = std::env::var("CRITERION_SHIM_FAST").is_ok_and(|v| v != "0");
+        Criterion {
+            samples: if fast { 3 } else { 7 },
+            target_batch: Duration::from_millis(if fast { 20 } else { 120 }),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the batch until it costs ~1/10 of the target.
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed * 10 >= self.target_batch || bencher.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if bencher.elapsed.is_zero() {
+                16
+            } else {
+                let need = self.target_batch.as_nanos() / 10 / bencher.elapsed.as_nanos().max(1);
+                (need as u64).clamp(2, 16)
+            };
+            bencher.iters = bencher.iters.saturating_mul(grow);
+        }
+        let per_batch = (self.target_batch.as_nanos() / bencher.elapsed.as_nanos().max(1)) as u64;
+        bencher.iters = bencher.iters.saturating_mul(per_batch.clamp(1, 1 << 20));
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                bencher.elapsed = Duration::ZERO;
+                f(&mut bencher);
+                bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let result = BenchResult {
+            name: name.clone(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "{:<44} time: [{} {} {}]  ({} iters/sample)",
+            result.name,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.max_ns),
+            bencher.iters,
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// All results recorded so far (used by comparison benches).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(id, f);
+        self
+    }
+
+    /// Ends the group (a no-op, for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the inner loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`, keeping each result alive via
+    /// [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        std::env::set_var("CRITERION_SHIM_FAST", "1");
+        let mut c = Criterion {
+            samples: 3,
+            target_batch: Duration::from_micros(200),
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns >= 0.0);
+    }
+}

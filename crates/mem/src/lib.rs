@@ -227,6 +227,8 @@ impl Memory {
         });
         self.live_bytes += (cells * 4) as u64;
         self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        obs::counter("mem/alloc_blocks", 1);
+        obs::counter("mem/alloc_bytes", (cells * 4) as u64);
         id
     }
 
@@ -697,17 +699,26 @@ mod tests {
     fn division_by_zero_goes_wrong() {
         assert!(eval_binop(Binop::Divu, Value::Int(1), Value::Int(0)).is_err());
         assert!(eval_binop(Binop::Mods, Value::Int(1), Value::Int(0)).is_err());
-        assert!(
-            eval_binop(Binop::Divs, Value::Int(i32::MIN as u32), Value::Int(-1i32 as u32)).is_err()
-        );
+        assert!(eval_binop(
+            Binop::Divs,
+            Value::Int(i32::MIN as u32),
+            Value::Int(-1i32 as u32)
+        )
+        .is_err());
     }
 
     #[test]
     fn signed_vs_unsigned_comparisons() {
         let minus_one = Value::Int(-1i32 as u32);
         let one = Value::Int(1);
-        assert_eq!(eval_binop(Binop::Lts, minus_one, one).unwrap(), Value::Int(1));
-        assert_eq!(eval_binop(Binop::Ltu, minus_one, one).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_binop(Binop::Lts, minus_one, one).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_binop(Binop::Ltu, minus_one, one).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -724,10 +735,22 @@ mod tests {
 
     #[test]
     fn unops() {
-        assert_eq!(eval_unop(Unop::Neg, Value::Int(1)).unwrap(), Value::Int(u32::MAX));
-        assert_eq!(eval_unop(Unop::Not, Value::Int(0)).unwrap(), Value::Int(u32::MAX));
-        assert_eq!(eval_unop(Unop::BoolNot, Value::Int(0)).unwrap(), Value::Int(1));
-        assert_eq!(eval_unop(Unop::BoolNot, Value::Int(7)).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_unop(Unop::Neg, Value::Int(1)).unwrap(),
+            Value::Int(u32::MAX)
+        );
+        assert_eq!(
+            eval_unop(Unop::Not, Value::Int(0)).unwrap(),
+            Value::Int(u32::MAX)
+        );
+        assert_eq!(
+            eval_unop(Unop::BoolNot, Value::Int(0)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_unop(Unop::BoolNot, Value::Int(7)).unwrap(),
+            Value::Int(0)
+        );
         assert!(eval_unop(Unop::Neg, Value::Undef).is_err());
     }
 

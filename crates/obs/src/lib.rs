@@ -1,0 +1,48 @@
+//! Zero-dependency observability for the `stackbound` pipeline.
+//!
+//! The paper's evaluation (§6) is all about *measuring* the system:
+//! per-pass compiler behavior, analyzer effort, and a ptrace harness
+//! watching the stack pointer step by step. This crate is the measuring
+//! substrate: structured **spans** (nested, wall-clock timed),
+//! **counters**, and **histograms**, recorded through a global recorder
+//! that is a no-op until [`install`]ed — the disabled fast path is a
+//! single relaxed atomic load, so instrumentation can stay in hot code.
+//!
+//! Two exporters ship with the crate:
+//!
+//! * [`Report::render_tree`] — a human-readable summary tree
+//!   (`sbound --metrics`);
+//! * [`Report::to_json_lines`] — machine-readable JSON-lines
+//!   (`sbound --trace-json`, and the bench harnesses' `--metrics-json`),
+//!   with a minimal validating parser in [`json`] so tests can assert the
+//!   output is well-formed without external dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! let _session = obs::install();
+//! {
+//!     let _span = obs::span("frontend");
+//!     obs::counter("frontend/tokens", 42);
+//! }
+//! obs::observe("stack_depth", 16);
+//! let report = obs::report().unwrap();
+//! assert!(report.render_tree().contains("frontend"));
+//! for line in report.to_json_lines().lines() {
+//!     obs::json::parse(line).unwrap();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod record;
+mod summary;
+
+pub use record::{
+    counter, counter_dyn, install, is_enabled, observe, report, span, span_dyn, uninstall,
+    Histogram, Report, Session, Span, SpanNode,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,292 @@
+//! The global recorder: spans, counters, histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Whether a recorder is installed. Checked first by every recording
+/// function; `Relaxed` is enough because the state behind it is guarded
+/// by the mutex.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+
+fn state() -> MutexGuard<'static, State> {
+    STATE
+        .get_or_init(|| Mutex::new(State::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct SpanData {
+    name: String,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    start: Instant,
+    /// `None` while the span is still open.
+    duration_ns: Option<u64>,
+    counters: BTreeMap<String, u64>,
+}
+
+struct State {
+    epoch: Instant,
+    spans: Vec<SpanData>,
+    /// Indices of currently open spans, innermost last.
+    open: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl State {
+    fn new() -> State {
+        State {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+}
+
+/// A handle returned by [`install`]; dropping it uninstalls the recorder
+/// (so a test cannot leak a recorder into its neighbors).
+#[must_use = "dropping the session uninstalls the recorder"]
+pub struct Session(());
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+/// Installs a fresh global recorder and returns the session handle.
+/// Recording functions are no-ops until this is called. Re-installing
+/// resets all recorded data.
+pub fn install() -> Session {
+    let mut st = state();
+    *st = State::new();
+    ENABLED.store(true, Ordering::Relaxed);
+    Session(())
+}
+
+/// Uninstalls the recorder; subsequent recording calls are no-ops again.
+/// Recorded data is retained until the next [`install`], so a final
+/// [`report`] is still possible.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// True when a recorder is installed. Use to guard instrumentation whose
+/// *argument construction* is itself costly; plain calls already check.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An RAII guard for one span; the span closes when the guard drops.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span(Option<usize>);
+
+/// Opens a nested, wall-clock-timed span. No-op unless installed.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span(None);
+    }
+    open_span(name.to_owned())
+}
+
+/// [`span`] with a lazily built name, for dynamic labels like
+/// `analyzer/fn/<name>`; the closure only runs when a recorder is
+/// installed.
+#[inline]
+pub fn span_dyn(make_name: impl FnOnce() -> String) -> Span {
+    if !is_enabled() {
+        return Span(None);
+    }
+    open_span(make_name())
+}
+
+fn open_span(name: String) -> Span {
+    let mut st = state();
+    let parent = st.open.last().copied();
+    let id = st.spans.len();
+    st.spans.push(SpanData {
+        name,
+        parent,
+        children: Vec::new(),
+        start: Instant::now(),
+        duration_ns: None,
+        counters: BTreeMap::new(),
+    });
+    if let Some(p) = parent {
+        st.spans[p].children.push(id);
+    }
+    st.open.push(id);
+    Span(Some(id))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(id) = self.0 else { return };
+        let mut st = state();
+        if st.spans.is_empty() {
+            return; // recorder was re-installed while the span was open
+        }
+        let now = Instant::now();
+        if let Some(pos) = st.open.iter().rposition(|&s| s == id) {
+            st.open.truncate(pos);
+        }
+        if let Some(s) = st.spans.get_mut(id) {
+            s.duration_ns = Some(now.duration_since(s.start).as_nanos() as u64);
+        }
+    }
+}
+
+/// Adds `delta` to the named counter. The count is recorded both globally
+/// and on the innermost open span, so the summary tree can attribute work
+/// to pipeline stages. No-op unless installed.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    add_counter(name, delta);
+}
+
+/// [`counter`] with an owned name, for dynamic labels.
+#[inline]
+pub fn counter_dyn(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    add_counter(name, delta);
+}
+
+fn add_counter(name: &str, delta: u64) {
+    let mut st = state();
+    *st.counters.entry(name.to_owned()).or_insert(0) += delta;
+    if let Some(&open) = st.open.last() {
+        *st.spans[open].counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+}
+
+/// Records one observation into the named histogram (log2 buckets plus
+/// count/sum/min/max). No-op unless installed.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state();
+    st.histograms
+        .entry(name.to_owned())
+        .or_insert_with(Histogram::new)
+        .record(value);
+}
+
+/// A histogram with power-of-two buckets: bucket `i` counts values whose
+/// bit length is `i` (bucket 0 counts zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// `buckets[i]` counts observations with `bit_length(value) == i`.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observed value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One span in a [`Report`]: name, timing, attributed counters, children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name, e.g. `compiler/rtlgen`.
+    pub name: String,
+    /// Start offset from recorder installation, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (0 if the span never closed).
+    pub duration_ns: u64,
+    /// Counters incremented while this span was innermost.
+    pub counters: BTreeMap<String, u64>,
+    /// Child spans in open order.
+    pub children: Vec<SpanNode>,
+}
+
+/// An immutable snapshot of everything recorded since [`install`].
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Top-level spans (those opened with no parent), in open order.
+    pub roots: Vec<SpanNode>,
+    /// Global counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Snapshots the recorded data, or `None` if nothing was ever recorded.
+/// Open spans appear with a duration of 0.
+pub fn report() -> Option<Report> {
+    let st = state();
+    if st.spans.is_empty() && st.counters.is_empty() && st.histograms.is_empty() {
+        return None;
+    }
+    fn build(st: &State, id: usize) -> SpanNode {
+        let s = &st.spans[id];
+        SpanNode {
+            name: s.name.clone(),
+            start_ns: s.start.duration_since(st.epoch).as_nanos() as u64,
+            duration_ns: s.duration_ns.unwrap_or(0),
+            counters: s.counters.clone(),
+            children: s.children.iter().map(|&c| build(st, c)).collect(),
+        }
+    }
+    let roots = (0..st.spans.len())
+        .filter(|&i| st.spans[i].parent.is_none())
+        .map(|i| build(&st, i))
+        .collect();
+    Some(Report {
+        roots,
+        counters: st.counters.clone(),
+        histograms: st.histograms.clone(),
+    })
+}

@@ -1,0 +1,73 @@
+//! The human-readable summary exporter (`sbound --metrics`).
+
+use crate::record::{Report, SpanNode};
+use std::fmt::Write;
+
+impl Report {
+    /// Renders the span tree with durations and per-span counters,
+    /// followed by global counters and histograms.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "spans:");
+        for root in &self.roots {
+            render_span(&mut out, root, 1);
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} min={} mean={:.1} max={}",
+                    h.count,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.mean(),
+                    h.max,
+                );
+                if h.count > 0 {
+                    let peak = h.buckets.iter().copied().max().unwrap_or(1).max(1);
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        let bar = "#".repeat((n * 24).div_ceil(peak) as usize);
+                        let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                        let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                        let _ = writeln!(out, "    [{lo:>10} .. {hi:>10}] {n:>8} {bar}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_span(out: &mut String, node: &SpanNode, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}{} ({})", node.name, fmt_ns(node.duration_ns));
+    for (name, value) in &node.counters {
+        let _ = writeln!(out, "{pad}  · {name} = {value}");
+    }
+    for child in &node.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}

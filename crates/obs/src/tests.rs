@@ -1,0 +1,150 @@
+use crate::json::{parse, Value};
+use std::sync::Mutex;
+
+/// The recorder is process-global; serialize the tests that install it.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _g = lock();
+    crate::uninstall();
+    {
+        let _span = crate::span("should-not-appear");
+        crate::counter("nope", 1);
+        crate::observe("nope", 1);
+    }
+    let _session = crate::install();
+    assert!(crate::report().is_none());
+}
+
+#[test]
+fn spans_nest_and_counters_attribute_to_the_innermost() {
+    let _g = lock();
+    let _session = crate::install();
+    {
+        let _outer = crate::span("outer");
+        crate::counter("outer_work", 2);
+        {
+            let _inner = crate::span_dyn(|| "inner/dynamic".to_owned());
+            crate::counter("inner_work", 3);
+            crate::counter("inner_work", 4);
+        }
+    }
+    crate::counter_dyn("global_only", 5);
+    crate::observe("sizes", 0);
+    crate::observe("sizes", 9);
+
+    let report = crate::report().unwrap();
+    assert_eq!(report.roots.len(), 1);
+    let outer = &report.roots[0];
+    assert_eq!(outer.name, "outer");
+    assert!(outer.duration_ns > 0);
+    assert_eq!(outer.counters.get("outer_work"), Some(&2));
+    assert_eq!(outer.children.len(), 1);
+    let inner = &outer.children[0];
+    assert_eq!(inner.name, "inner/dynamic");
+    assert_eq!(inner.counters.get("inner_work"), Some(&7));
+    assert!(inner.duration_ns <= outer.duration_ns);
+
+    // Globals aggregate across spans.
+    assert_eq!(report.counters.get("inner_work"), Some(&7));
+    assert_eq!(report.counters.get("global_only"), Some(&5));
+    let h = &report.histograms["sizes"];
+    assert_eq!((h.count, h.min, h.max, h.sum), (2, 0, 9, 9));
+
+    let tree = report.render_tree();
+    assert!(tree.contains("outer"), "{tree}");
+    assert!(tree.contains("inner/dynamic"), "{tree}");
+    assert!(tree.contains("inner_work = 7"), "{tree}");
+    assert!(tree.contains("sizes: n=2"), "{tree}");
+}
+
+#[test]
+fn json_lines_are_parseable_and_reconstruct_the_tree() {
+    let _g = lock();
+    let _session = crate::install();
+    {
+        let _a = crate::span("a \"quoted\" name");
+        let _b = crate::span("a/b");
+        crate::counter("edge\ncount", 1);
+    }
+    crate::observe("depths", 5);
+    let report = crate::report().unwrap();
+    let lines: Vec<Value> = report
+        .to_json_lines()
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+        .collect();
+    assert_eq!(lines.len(), 4); // 2 spans, 1 counter, 1 histogram
+
+    let spans: Vec<&Value> = lines
+        .iter()
+        .filter(|v| v.get("k").and_then(Value::as_str) == Some("span"))
+        .collect();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(
+        spans[0].get("name").and_then(Value::as_str),
+        Some("a \"quoted\" name")
+    );
+    assert_eq!(spans[0].get("parent"), Some(&Value::Null));
+    assert_eq!(spans[1].get("parent").and_then(Value::as_f64), Some(0.0));
+
+    let hist = lines
+        .iter()
+        .find(|v| v.get("k").and_then(Value::as_str) == Some("hist"))
+        .unwrap();
+    assert_eq!(hist.get("max").and_then(Value::as_f64), Some(5.0));
+}
+
+#[test]
+fn reinstall_resets_state() {
+    let _g = lock();
+    let _s1 = crate::install();
+    crate::counter("old", 1);
+    let _s2 = crate::install();
+    crate::counter("new", 1);
+    let report = crate::report().unwrap();
+    assert!(!report.counters.contains_key("old"));
+    assert!(report.counters.contains_key("new"));
+}
+
+#[test]
+fn session_drop_uninstalls() {
+    let _g = lock();
+    {
+        let _session = crate::install();
+        assert!(crate::is_enabled());
+    }
+    assert!(!crate::is_enabled());
+}
+
+#[test]
+fn json_parser_handles_rfc_shapes_and_rejects_garbage() {
+    assert_eq!(parse("null").unwrap(), Value::Null);
+    assert_eq!(
+        parse(" [1, -2.5e1, \"x\"] ").unwrap(),
+        Value::Array(vec![
+            Value::Number(1.0),
+            Value::Number(-25.0),
+            Value::String("x".into()),
+        ])
+    );
+    assert_eq!(
+        parse("{\"a\": {\"b\": [true, false]}}")
+            .unwrap()
+            .get("a")
+            .and_then(|a| a.get("b")),
+        Some(&Value::Array(vec![Value::Bool(true), Value::Bool(false)]))
+    );
+    assert_eq!(
+        parse("\"\\u0041\\n\"").unwrap(),
+        Value::String("A\n".into())
+    );
+    for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+        assert!(parse(bad).is_err(), "accepted {bad:?}");
+    }
+}

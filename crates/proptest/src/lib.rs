@@ -1,0 +1,166 @@
+//! A vendored, std-only stand-in for the [`proptest`] crate.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! `proptest` cannot be fetched from crates.io. This shim implements the
+//! subset of its API that the `stackbound` test suites use — strategies
+//! over integer ranges, tuples, `Just`, simple `[a-z]` character-class
+//! string patterns, `prop_map`, `prop_recursive`, `boxed`,
+//! `prop_oneof!`, `proptest::collection::vec`, and the `proptest!` test
+//! macro — with deterministic pseudo-random generation and **no
+//! shrinking**.
+//!
+//! Determinism: each test case is seeded from the test's module path and
+//! case index, so failures are reproducible across runs and machines. Set
+//! `PROPTEST_SHIM_SEED` to an integer to perturb all seeds at once.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Generates `#[test]` functions that run a body over generated inputs.
+///
+/// Supports the two source shapes used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when an assumption does not hold. The shim
+/// simply returns from the case body (no retry), which keeps the
+/// semantics sound for filtering.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..200 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-4i32..5).generate(&mut rng);
+            assert!((-4..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn char_class_patterns_generate_members() {
+        let mut rng = crate::test_runner::TestRng::for_case("t", 1);
+        for _ in 0..50 {
+            let s = "[a-d]".generate(&mut rng);
+            assert!(["a", "b", "c", "d"].contains(&s.as_str()), "{s}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = prop_oneof![Just(0usize), (1usize..3).prop_map(|n| n)];
+        let tree = leaf.prop_recursive(4, 64, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b + 1)
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("t", 2);
+        for _ in 0..100 {
+            // Depth 4 with fan-out 2 bounds the value.
+            assert!(tree.generate(&mut rng) < 1 << 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_binds_patterns((a, b) in (0u32..5, 0u32..5), n in 0u8..3) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert_eq!(u32::from(n) + a, a + u32::from(n));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Strategies: composable generators of test values.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// "smaller" cases and returns the composite one. `depth` bounds the
+    /// nesting; `_desired_size` and `_expected_branch_size` are accepted
+    /// for API compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            // Mix the base back in so expected size stays bounded.
+            let next = recurse(cur).boxed();
+            cur = Union::new(vec![base.clone(), next.clone(), next]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among strategies of a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union of the given alternatives (must be non-empty).
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs an alternative");
+        Union(alternatives)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range_i128(0, self.0.len() as i128) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range_i128(i128::from(self.start), i128::from(self.end)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, i8, i16, i32, i64);
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range_i128(self.start as i128, self.end as i128) as usize
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.gen_range_i128(i128::from(self.start), i128::from(self.end)) as u64
+    }
+}
+
+/// String patterns: a `&str` is a strategy producing strings. Only the
+/// single character-class form `"[x-y]"` is interpreted (the one shape
+/// the workspace uses); any other pattern generates itself literally.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let bytes = self.as_bytes();
+        if bytes.len() == 5 && bytes[0] == b'[' && bytes[2] == b'-' && bytes[4] == b']' {
+            let (lo, hi) = (bytes[1], bytes[3]);
+            if lo <= hi {
+                let c = rng.gen_range_i128(i128::from(lo), i128::from(hi) + 1) as u8;
+                return (c as char).to_string();
+            }
+        }
+        (*self).to_owned()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// The full-range strategy for a type, mirroring `proptest::arbitrary`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The full-domain strategy behind [`any`].
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> FullRange<$t> {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+    fn arbitrary() -> FullRange<bool> {
+        FullRange(std::marker::PhantomData)
+    }
+}

@@ -1,0 +1,65 @@
+//! Test configuration and the deterministic random-number generator.
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// A small deterministic generator (xorshift64*), seeded per test case
+/// from the test name so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// The generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            h ^= extra.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        let mut rng = TestRng(h ^ (u64::from(case).wrapping_mul(0xa076_1d64_78bd_642f) | 1));
+        // Warm up past the low-entropy seed.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value in `[lo, hi)` (widened arithmetic, so any integer range
+    /// expressible as `i128` works).
+    pub fn gen_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}

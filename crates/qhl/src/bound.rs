@@ -153,18 +153,15 @@ impl IExpr {
         match self {
             IExpr::Const(_) | IExpr::Aux(_) => self.clone(),
             IExpr::Var(x) => map.get(x).cloned().unwrap_or_else(|| self.clone()),
-            IExpr::Add(a, b) => IExpr::Add(
-                Box::new(a.subst_vars(map)),
-                Box::new(b.subst_vars(map)),
-            ),
-            IExpr::Sub(a, b) => IExpr::Sub(
-                Box::new(a.subst_vars(map)),
-                Box::new(b.subst_vars(map)),
-            ),
-            IExpr::Mul(a, b) => IExpr::Mul(
-                Box::new(a.subst_vars(map)),
-                Box::new(b.subst_vars(map)),
-            ),
+            IExpr::Add(a, b) => {
+                IExpr::Add(Box::new(a.subst_vars(map)), Box::new(b.subst_vars(map)))
+            }
+            IExpr::Sub(a, b) => {
+                IExpr::Sub(Box::new(a.subst_vars(map)), Box::new(b.subst_vars(map)))
+            }
+            IExpr::Mul(a, b) => {
+                IExpr::Mul(Box::new(a.subst_vars(map)), Box::new(b.subst_vars(map)))
+            }
             IExpr::Div(a, k) => IExpr::Div(Box::new(a.subst_vars(map)), *k),
         }
     }
@@ -174,15 +171,9 @@ impl IExpr {
         match self {
             IExpr::Const(_) | IExpr::Var(_) => self.clone(),
             IExpr::Aux(z) => map.get(z).cloned().unwrap_or_else(|| self.clone()),
-            IExpr::Add(a, b) => {
-                IExpr::Add(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map)))
-            }
-            IExpr::Sub(a, b) => {
-                IExpr::Sub(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map)))
-            }
-            IExpr::Mul(a, b) => {
-                IExpr::Mul(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map)))
-            }
+            IExpr::Add(a, b) => IExpr::Add(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map))),
+            IExpr::Sub(a, b) => IExpr::Sub(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map))),
+            IExpr::Mul(a, b) => IExpr::Mul(Box::new(a.subst_aux(map)), Box::new(b.subst_aux(map))),
             IExpr::Div(a, k) => IExpr::Div(Box::new(a.subst_aux(map)), *k),
         }
     }
@@ -389,15 +380,9 @@ impl BExpr {
             BExpr::OfIntClamp(e) => BExpr::OfIntClamp(f(e)),
             BExpr::Log2(e) => BExpr::Log2(f(e)),
             BExpr::Log2Ceil(e) => BExpr::Log2Ceil(f(e)),
-            BExpr::Add(a, b) => {
-                BExpr::Add(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f)))
-            }
-            BExpr::Mul(a, b) => {
-                BExpr::Mul(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f)))
-            }
-            BExpr::Max(a, b) => {
-                BExpr::Max(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f)))
-            }
+            BExpr::Add(a, b) => BExpr::Add(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f))),
+            BExpr::Mul(a, b) => BExpr::Mul(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f))),
+            BExpr::Max(a, b) => BExpr::Max(Box::new(a.map_iexprs(f)), Box::new(b.map_iexprs(f))),
         }
     }
 
@@ -411,10 +396,9 @@ impl BExpr {
     fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
             BExpr::Const(_) | BExpr::Metric(_) | BExpr::Inf => {}
-            BExpr::OfInt(e)
-            | BExpr::OfIntClamp(e)
-            | BExpr::Log2(e)
-            | BExpr::Log2Ceil(e) => e.vars(out),
+            BExpr::OfInt(e) | BExpr::OfIntClamp(e) | BExpr::Log2(e) | BExpr::Log2Ceil(e) => {
+                e.vars(out)
+            }
             BExpr::Add(a, b) | BExpr::Mul(a, b) | BExpr::Max(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
@@ -429,8 +413,7 @@ impl BExpr {
     pub fn le_syntactic(&self, other: &BExpr) -> bool {
         let lhs = normalize(self);
         let rhs = normalize(other);
-        lhs.iter()
-            .all(|ls| rhs.iter().any(|rs| sum_le(ls, rs)))
+        lhs.iter().all(|ls| rhs.iter().any(|rs| sum_le(ls, rs)))
     }
 }
 

@@ -178,13 +178,12 @@ impl Derivation {
                 e.render_into(out, depth + 1);
             }
             Derivation::Loop {
-                invariant, body, incr, just,
+                invariant,
+                body,
+                incr,
+                just,
             } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}Q:LOOP invariant {invariant}{}",
-                    just_tag(just)
-                );
+                let _ = writeln!(out, "{pad}Q:LOOP invariant {invariant}{}", just_tag(just));
                 body.render_into(out, depth + 1);
                 incr.render_into(out, depth + 1);
             }
@@ -229,6 +228,21 @@ impl Derivation {
     }
 }
 
+/// The observability counter name for one rule application, matching the
+/// rule names of the paper's Figure 4 as printed by [`Derivation::render`].
+fn rule_counter(d: &Derivation) -> &'static str {
+    match d {
+        Derivation::Mono => "qhl/rule/Q:MONO",
+        Derivation::Assign => "qhl/rule/Q:ASSIGN",
+        Derivation::Seq(..) => "qhl/rule/Q:SEQ",
+        Derivation::If(..) => "qhl/rule/Q:IF",
+        Derivation::Loop { .. } => "qhl/rule/Q:LOOP",
+        Derivation::Call { .. } => "qhl/rule/Q:CALL",
+        Derivation::Conseq { .. } => "qhl/rule/Q:CONSEQ",
+        Derivation::ConseqPost { .. } => "qhl/rule/Q:CONSEQ-POST",
+    }
+}
+
 fn just_tag(just: &Option<Justification>) -> &'static str {
     match just {
         None | Some(Justification::Syntactic) => "",
@@ -262,6 +276,8 @@ impl<'p> Checker<'p> {
         deriv: &Derivation,
         just: Option<&Justification>,
     ) -> Result<(), QhlError> {
+        let _span = obs::span_dyn(|| format!("qhl/check/{fname}"));
+        obs::counter("qhl/functions_checked", 1);
         let f = self.program.function(fname).ok_or_else(|| QhlError {
             at: fname.to_owned(),
             message: "no such function".into(),
@@ -272,7 +288,12 @@ impl<'p> Checker<'p> {
         })?;
         let post = Post::function_body(spec.post.clone());
         let pre = self.check_stmt(&f.body, deriv, &post, &format!("{fname}/body"))?;
-        self.require_le(&pre, &spec.pre, just, &format!("{fname}: pre(body) ≤ spec.pre"))
+        self.require_le(
+            &pre,
+            &spec.pre,
+            just,
+            &format!("{fname}: pre(body) ≤ spec.pre"),
+        )
     }
 
     /// Checks a derivation for a statement, returning the precondition it
@@ -288,6 +309,12 @@ impl<'p> Checker<'p> {
         post: &Post,
         at: &str,
     ) -> Result<BExpr, QhlError> {
+        obs::counter(rule_counter(d), 1);
+        if let Derivation::Call { frame, .. } = d {
+            if *frame != BExpr::zero() {
+                obs::counter("qhl/rule/Q:FRAME", 1);
+            }
+        }
         match d {
             Derivation::Mono => self.check_mono(s, post, at),
             Derivation::Assign => match s {
@@ -371,9 +398,16 @@ impl<'p> Checker<'p> {
                 }),
             },
             Derivation::Call { aux, frame, just } => match s {
-                Stmt::Call(dest, fname, args) => {
-                    self.check_call(dest.as_deref(), fname, args, aux, frame, just.as_ref(), post, at)
-                }
+                Stmt::Call(dest, fname, args) => self.check_call(
+                    dest.as_deref(),
+                    fname,
+                    args,
+                    aux,
+                    frame,
+                    just.as_ref(),
+                    post,
+                    at,
+                ),
                 other => Err(QhlError {
                     at: at.to_owned(),
                     message: format!("Call rule applied to `{other}`"),
@@ -384,7 +418,11 @@ impl<'p> Checker<'p> {
                 self.require_le(&p, pre, just.as_ref(), &format!("{at}: conseq pre"))?;
                 Ok(pre.clone())
             }
-            Derivation::ConseqPost { post: stronger, just, inner } => {
+            Derivation::ConseqPost {
+                post: stronger,
+                just,
+                inner,
+            } => {
                 for (name, strong, ambient) in [
                     ("normal", &stronger.normal, &post.normal),
                     ("break", &stronger.brk, &post.brk),
@@ -459,7 +497,10 @@ impl<'p> Checker<'p> {
             BExpr::zero()
         };
         let pre_f = BExpr::add(
-            BExpr::add(spec.pre.subst_vars(&map).subst_aux(aux), metric_cost.clone()),
+            BExpr::add(
+                spec.pre.subst_vars(&map).subst_aux(aux),
+                metric_cost.clone(),
+            ),
             frame.clone(),
         );
         let post_f = BExpr::add(
@@ -558,12 +599,11 @@ impl<'p> Checker<'p> {
                 at: what.to_owned(),
                 message: format!("cannot establish {lhs} ≤ {rhs} syntactically"),
             }),
-            Some(Justification::Numeric { ranges }) => {
-                check_numeric(lhs, rhs, ranges, &[]).map_err(|message| QhlError {
+            Some(Justification::Numeric { ranges }) => check_numeric(lhs, rhs, ranges, &[])
+                .map_err(|message| QhlError {
                     at: what.to_owned(),
                     message,
-                })
-            }
+                }),
             Some(Justification::NumericGuarded { ranges, guards }) => {
                 check_numeric(lhs, rhs, ranges, guards).map_err(|message| QhlError {
                     at: what.to_owned(),
@@ -787,10 +827,9 @@ fn check_grid(
 
 fn collect_metrics(e: &BExpr, out: &mut Vec<String>) {
     match e {
-        BExpr::Metric(f)
-            if !out.contains(f) => {
-                out.push(f.clone());
-            }
+        BExpr::Metric(f) if !out.contains(f) => {
+            out.push(f.clone());
+        }
         BExpr::Add(a, b) | BExpr::Mul(a, b) | BExpr::Max(a, b) => {
             collect_metrics(a, out);
             collect_metrics(b, out);

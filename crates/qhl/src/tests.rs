@@ -24,7 +24,10 @@ fn bound_arithmetic() {
 
 #[test]
 fn eval_resolves_metric_and_vars() {
-    let e = BExpr::add(m("f"), BExpr::mul(BExpr::Const(3.0), BExpr::OfInt(IExpr::var("n"))));
+    let e = BExpr::add(
+        m("f"),
+        BExpr::mul(BExpr::Const(3.0), BExpr::OfInt(IExpr::var("n"))),
+    );
     let metric = Metric::from_pairs([("f", 10)]);
     let env = Valuation::of_vars([("n", 4)]);
     assert_eq!(e.eval(&metric, &env).unwrap(), Bound::Fin(22.0));
@@ -59,7 +62,10 @@ fn substitution_of_vars_and_aux() {
     use std::collections::HashMap;
     let e = BExpr::Log2(IExpr::sub(IExpr::var("h"), IExpr::var("l")));
     let mut map = HashMap::new();
-    map.insert("h".to_owned(), IExpr::Div(Box::new(IExpr::add(IExpr::var("h"), IExpr::var("l"))), 2));
+    map.insert(
+        "h".to_owned(),
+        IExpr::Div(Box::new(IExpr::add(IExpr::var("h"), IExpr::var("l"))), 2),
+    );
     let e2 = e.subst_vars(&map);
     // h := (h+l)/2 turns log2(h-l) into log2((h+l)/2 - l).
     let metric = Metric::new();
@@ -165,8 +171,12 @@ fn nested_call_bounds_compose() {
     ctx.insert("g", FunSpec::restoring(m("f")));
     ctx.insert("h", FunSpec::restoring(BExpr::add(m("g"), m("f"))));
     let checker = Checker::new(&program, &ctx);
-    checker.check_function("g", &Derivation::call(), None).unwrap();
-    checker.check_function("h", &Derivation::call(), None).unwrap();
+    checker
+        .check_function("g", &Derivation::call(), None)
+        .unwrap();
+    checker
+        .check_function("h", &Derivation::call(), None)
+        .unwrap();
 }
 
 #[test]
@@ -224,7 +234,11 @@ fn external_calls_cost_nothing() {
     let mut ctx = Context::new();
     ctx.insert("h", FunSpec::restoring(BExpr::zero()));
     Checker::new(&program, &ctx)
-        .check_function("h", &Derivation::seq(Derivation::call(), Derivation::Mono), None)
+        .check_function(
+            "h",
+            &Derivation::seq(Derivation::call(), Derivation::Mono),
+            None,
+        )
         .unwrap();
 }
 
@@ -263,7 +277,12 @@ fn recid_linear_recursion() {
     for a in [0i64, 1, 2, 7, 30] {
         let spec = ctx.get("recid").unwrap();
         let v = validate_spec(&program, "recid", spec, &[a], &metric, FUEL).unwrap();
-        assert!(v.sound(), "a = {a}: bound {} < weight {}", v.bound, v.weight);
+        assert!(
+            v.sound(),
+            "a = {a}: bound {} < weight {}",
+            v.bound,
+            v.weight
+        );
         // The linear bound is tight: weight = 8·a exactly... plus the
         // outer activation of recid itself (8 more).
         assert_eq!(v.weight, 8 * (a + 1));
@@ -422,10 +441,7 @@ fn numeric_justification_rejects_false_inequalities() {
     let err = Checker::new(&program, &ctx)
         .check_function("recid", &deriv, None)
         .unwrap_err();
-    assert!(
-        err.message.contains("numeric justification fails"),
-        "{err}"
-    );
+    assert!(err.message.contains("numeric justification fails"), "{err}");
 }
 
 #[test]
@@ -433,10 +449,7 @@ fn mono_rejects_interfering_assignments() {
     let program = clight::frontend("u32 f(u32 n) { n = 0; return n; }", &[]).unwrap();
     let mut ctx = Context::new();
     // The bound mentions n, and the body assigns n before returning.
-    ctx.insert(
-        "f",
-        FunSpec::restoring(BExpr::OfInt(IExpr::var("n"))),
-    );
+    ctx.insert("f", FunSpec::restoring(BExpr::OfInt(IExpr::var("n"))));
     let err = Checker::new(&program, &ctx)
         .check_function("f", &Derivation::Mono, None)
         .unwrap_err();
@@ -517,7 +530,6 @@ proptest! {
     }
 }
 
-
 #[test]
 fn derivations_render_as_proof_trees() {
     let d = Derivation::seq(
@@ -535,7 +547,6 @@ fn derivations_render_as_proof_trees() {
     assert!(text.contains("numeric justification"), "{text}");
     assert!(text.contains("Q:CALL"), "{text}");
 }
-
 
 #[test]
 fn conseq_post_strengthens_the_postcondition() {

@@ -15,6 +15,9 @@
 //!     --emit-asm        print the generated assembly listing
 //!     --metric          print the cost metric M(f) = SF(f) + 4
 //!     --symbolic        print the symbolic (metric-parametric) bounds
+//!     --metrics         print the span tree and counters of the run
+//!     --trace-json <F>  write the spans/counters/histograms as JSON lines
+//!     --profile-stack   print the stack waterline of the main() run
 //! ```
 
 use std::process::ExitCode;
@@ -26,10 +29,16 @@ struct Options {
     emit_asm: bool,
     metric: bool,
     symbolic: bool,
+    metrics: bool,
+    trace_json: Option<String>,
+    profile_stack: bool,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sbound [-D NAME=VALUE]... [--run] [--emit-asm] [--metric] [--symbolic] <file.c>");
+    eprintln!(
+        "usage: sbound [-D NAME=VALUE]... [--run] [--emit-asm] [--metric] [--symbolic] \
+         [--metrics] [--trace-json FILE] [--profile-stack] <file.c>"
+    );
     ExitCode::from(2)
 }
 
@@ -41,6 +50,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         emit_asm: false,
         metric: false,
         symbolic: false,
+        metrics: false,
+        trace_json: None,
+        profile_stack: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +61,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--emit-asm" => opts.emit_asm = true,
             "--metric" => opts.metric = true,
             "--symbolic" => opts.symbolic = true,
+            "--metrics" => opts.metrics = true,
+            "--profile-stack" => opts.profile_stack = true,
+            "--trace-json" => {
+                let Some(path) = args.next() else {
+                    return Err(usage());
+                };
+                opts.trace_json = Some(path);
+            }
             "-D" => {
                 let Some(def) = args.next() else {
                     return Err(usage());
@@ -91,11 +111,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let params: Vec<(&str, u32)> = opts
-        .params
-        .iter()
-        .map(|(n, v)| (n.as_str(), *v))
-        .collect();
+    let params: Vec<(&str, u32)> = opts.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+
+    let session = if opts.metrics || opts.trace_json.is_some() {
+        Some(obs::install())
+    } else {
+        None
+    };
 
     let report = match stackbound::verify_with_params(&source, &params) {
         Ok(r) => r,
@@ -146,6 +168,30 @@ fn main() -> ExitCode {
 
     if opts.emit_asm {
         println!("\n{}", report.compiled.asm.listing());
+    }
+
+    if opts.profile_stack {
+        match &report.measurement {
+            Some(m) => {
+                println!("\nstack waterline of main() ({} steps):", m.steps);
+                print!("{}", m.profile.render());
+            }
+            None => println!("\nno stack waterline: main() was not executed"),
+        }
+    }
+
+    if let Some(session) = session {
+        let obs_report = obs::report().unwrap_or_default();
+        drop(session);
+        if let Some(path) = &opts.trace_json {
+            if let Err(e) = std::fs::write(path, obs_report.to_json_lines()) {
+                eprintln!("sbound: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if opts.metrics {
+            println!("\n{}", obs_report.render_tree());
+        }
     }
     ExitCode::SUCCESS
 }

@@ -68,6 +68,9 @@ pub struct Report {
     pub compiled: compiler::Compiled,
     /// The analysis (context + derivations).
     pub analysis: analyzer::Analysis,
+    /// The monitored run of `main` (waterline profile included), when the
+    /// program has a `main` that was executed.
+    pub measurement: Option<asm::Measurement>,
 }
 
 impl Report {
@@ -91,10 +94,15 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<24} {:>12} {:>12}", "function", "bound", "measured")?;
         for (name, bound) in &self.bounds {
-            match self.measured.get(name) {
-                Some(m) => writeln!(f, "{name:<24} {bound:>6} bytes {m:>6} bytes")?,
-                None => writeln!(f, "{name:<24} {bound:>6} bytes            -")?,
-            }
+            let measured = match self.measured.get(name) {
+                Some(m) => format!("{m} bytes"),
+                None => "-".to_owned(),
+            };
+            writeln!(
+                f,
+                "{name:<24} {:>12} {measured:>12}",
+                format!("{bound} bytes")
+            )?;
         }
         Ok(())
     }
@@ -152,19 +160,26 @@ pub fn verify_program(src: &str) -> Result<Report, Error> {
 ///
 /// See [`verify_program`].
 pub fn verify_with_params(src: &str, params: &[(&str, u32)]) -> Result<Report, Error> {
+    let _span = obs::span("verify/program");
     let program = clight::frontend(src, params).map_err(Error::Frontend)?;
     let analysis = analyzer::analyze(&program).map_err(Error::Analyzer)?;
     analysis.check(&program).map_err(Error::Derivation)?;
     let compiled = compiler::compile(&program).map_err(Error::Compiler)?;
 
     let mut bounds = BTreeMap::new();
-    for name in program.function_names() {
-        if let Some(b) = analysis.concrete_bound(name, &compiled.metric) {
-            bounds.insert(name.to_owned(), b as u32);
+    {
+        let _s = obs::span("verify/bounds");
+        for name in program.function_names() {
+            if let Some(b) = analysis.concrete_bound(name, &compiled.metric) {
+                bounds.insert(name.to_owned(), b as u32);
+            }
         }
+        obs::counter("verify/bounded_functions", bounds.len() as u64);
     }
     let mut measured = BTreeMap::new();
+    let mut measurement = None;
     if let Some(main_bound) = bounds.get("main").copied() {
+        let _s = obs::span("verify/measure");
         let m = asm::measure_main(&compiled.asm, main_bound, DEFAULT_FUEL)
             .map_err(|e| Error::Machine(e.to_string()))?;
         if let Some(err) = m.error {
@@ -173,11 +188,53 @@ pub fn verify_with_params(src: &str, params: &[(&str, u32)]) -> Result<Report, E
         if m.behavior.converges() {
             measured.insert("main".to_owned(), m.stack_usage);
         }
+        measurement = Some(m);
     }
     Ok(Report {
         bounds,
         measured,
         compiled,
         analysis,
+        measurement,
     })
+}
+
+#[cfg(test)]
+mod report_display_tests {
+    #[test]
+    fn report_table_columns_align() {
+        let report = crate::verify_program(
+            "u32 leaf(u32 x) { return x + 1; }
+             int main() { u32 r; r = leaf(1); return r; }",
+        )
+        .unwrap();
+        let text = report.to_string();
+
+        // Golden shape: three right-aligned 12-wide columns after the name,
+        // with `-` sitting in the same column as the measured cells.
+        let leaf = report.bound("leaf").unwrap();
+        let main = report.bound("main").unwrap();
+        let meas = report.measured("main").unwrap();
+        let expected = format!(
+            "{:<24} {:>12} {:>12}\n{:<24} {:>12} {:>12}\n{:<24} {:>12} {:>12}\n",
+            "function",
+            "bound",
+            "measured",
+            "leaf",
+            format!("{leaf} bytes"),
+            "-",
+            "main",
+            format!("{main} bytes"),
+            format!("{meas} bytes"),
+        );
+        assert_eq!(text, expected);
+
+        // Every line (header included) has the same width.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3);
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "misaligned report:\n{text}"
+        );
+    }
 }

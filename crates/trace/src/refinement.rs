@@ -176,7 +176,8 @@ pub fn open_call_profile(t: &Trace) -> Vec<BTreeMap<Arc<str>, u32>> {
 }
 
 fn dominates(a: &BTreeMap<Arc<str>, u32>, b: &BTreeMap<Arc<str>, u32>) -> bool {
-    b.iter().all(|(f, nb)| a.get(f).copied().unwrap_or(0) >= *nb)
+    b.iter()
+        .all(|(f, nb)| a.get(f).copied().unwrap_or(0) >= *nb)
 }
 
 /// Checks a condition sufficient for `W_M(target) ≤ W_M(source)` under
@@ -202,6 +203,9 @@ pub fn check_quantitative(
     target: &Behavior,
     extra_metrics: &[(&str, &Metric)],
 ) -> Result<(), RefinementError> {
+    let _span = obs::span("trace/check_quantitative");
+    obs::counter("trace/refinement_checks", 1);
+    obs::counter("trace/refinement_events", target.trace().len() as u64);
     if source.goes_wrong() {
         return Ok(());
     }

@@ -114,7 +114,10 @@ fn pruning_removes_exactly_memory_events() {
 
 #[test]
 fn bracketing_detects_mismatched_ret() {
-    assert_eq!(t(&[Event::call("f"), Event::ret("g")]).check_bracketing(), None);
+    assert_eq!(
+        t(&[Event::call("f"), Event::ret("g")]).check_bracketing(),
+        None
+    );
     assert_eq!(t(&[Event::ret("f")]).check_bracketing(), None);
     assert_eq!(t(&[Event::call("f")]).check_bracketing(), Some(1));
     assert_eq!(nested(4, "f").check_bracketing(), Some(0));
@@ -146,7 +149,11 @@ fn behavior_weight_includes_failure_prefix() {
 #[test]
 fn classic_refinement_accepts_identical_io() {
     let src = Behavior::Converges(
-        t(&[Event::call("f"), Event::io("put", vec![1], 0), Event::ret("f")]),
+        t(&[
+            Event::call("f"),
+            Event::io("put", vec![1], 0),
+            Event::ret("f"),
+        ]),
         0,
     );
     let tgt = Behavior::Converges(t(&[Event::io("put", vec![1], 0)]), 0);
@@ -201,7 +208,12 @@ fn quantitative_refinement_rejects_weight_increase() {
 fn quantitative_refinement_rejects_new_function() {
     let src = Behavior::Converges(nested(1, "f"), 0);
     let tgt = Behavior::Converges(
-        t(&[Event::call("f"), Event::call("g"), Event::ret("g"), Event::ret("f")]),
+        t(&[
+            Event::call("f"),
+            Event::call("g"),
+            Event::ret("g"),
+            Event::ret("f"),
+        ]),
         0,
     );
     assert!(check_quantitative(&src, &tgt, &[]).is_err());
@@ -213,7 +225,11 @@ fn quantitative_refinement_reports_named_metric() {
     let src = Behavior::Converges(nested(1, "f"), 0);
     let tgt = Behavior::Converges(nested(2, "f"), 0);
     match check_quantitative(&src, &tgt, &[("mach", &m)]) {
-        Err(RefinementError::WeightExceeded { metric, source_weight, target_weight }) => {
+        Err(RefinementError::WeightExceeded {
+            metric,
+            source_weight,
+            target_weight,
+        }) => {
             assert_eq!(metric, "mach");
             assert_eq!(source_weight, 8);
             assert_eq!(target_weight, 16);
@@ -227,11 +243,21 @@ fn reordered_calls_with_smaller_profile_accepted() {
     // Source calls f and g nested; target calls them sequentially: the
     // sequential profile is dominated by the nested one.
     let src = Behavior::Converges(
-        t(&[Event::call("f"), Event::call("g"), Event::ret("g"), Event::ret("f")]),
+        t(&[
+            Event::call("f"),
+            Event::call("g"),
+            Event::ret("g"),
+            Event::ret("f"),
+        ]),
         0,
     );
     let tgt = Behavior::Converges(
-        t(&[Event::call("f"), Event::ret("f"), Event::call("g"), Event::ret("g")]),
+        t(&[
+            Event::call("f"),
+            Event::ret("f"),
+            Event::call("g"),
+            Event::ret("g"),
+        ]),
         0,
     );
     check_quantitative(&src, &tgt, &[]).unwrap();
@@ -269,7 +295,11 @@ fn metric_display_and_iter() {
 
 #[test]
 fn trace_display_roundtrips_event_kinds() {
-    let tr = t(&[Event::call("f"), Event::io("put", vec![3, 4], 5), Event::ret("f")]);
+    let tr = t(&[
+        Event::call("f"),
+        Event::io("put", vec![3, 4], 5),
+        Event::ret("f"),
+    ]);
     assert_eq!(tr.to_string(), "[call(f), put(3,4 -> 5), ret(f)]");
 }
 

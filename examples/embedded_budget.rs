@@ -58,12 +58,13 @@ const FIRMWARE: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>8} {:>12} {:>14} {:>10}", "WINDOW", "bound", "stack budget", "confirmed");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "WINDOW", "bound", "stack budget", "confirmed"
+    );
     for window in [4u32, 16, 64] {
-        let report = stackbound::verify_with_params(
-            FIRMWARE,
-            &[("WINDOW", window), ("THRESHOLD", 900)],
-        )?;
+        let report =
+            stackbound::verify_with_params(FIRMWARE, &[("WINDOW", window), ("THRESHOLD", 900)])?;
         let bound = report.bound("main").expect("bounded");
 
         // The integrator reserves exactly `bound` bytes...

@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Checker::new(&program, &ctx)
         .check_function("bsearch", &derivation, None)
         .map_err(stringify)?;
-    println!("derivation checked: {{{b}}} bsearch(x, l, h) {{{b}}}", b = body_bound);
+    println!(
+        "derivation checked: {{{b}}} bsearch(x, l, h) {{{b}}}",
+        b = body_bound
+    );
 
     // Compile and instantiate: the bound for *calling* bsearch adds M.
     let compiled = compiler::compile(&program).map_err(stringify)?;
@@ -76,7 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>8} {:>14} {:>14}", "h - l", "bound", "measured");
     for len in [2u32, 7, 16, 100, 1000, 4096] {
         let bound = m * (1 + u32::BITS - (len - 1).leading_zeros());
-        let run = asm::measure_function(&compiled.asm, "bsearch", &[len / 2, 0, len], 1 << 20, 10_000_000)?;
+        let run = asm::measure_function(
+            &compiled.asm,
+            "bsearch",
+            &[len / 2, 0, len],
+            1 << 20,
+            10_000_000,
+        )?;
         assert!(run.behavior.converges());
         assert!(run.stack_usage + 4 <= bound);
         println!("{len:>8} {bound:>8} bytes {:>8} bytes", run.stack_usage);

@@ -103,7 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctx.insert("random", FunSpec::zero());
     ctx.insert("init", FunSpec::restoring(BExpr::metric("random")));
     let checker = Checker::new(&program, &ctx);
-    checker.check_function("random", &Derivation::Mono, None).map_err(err)?;
+    checker
+        .check_function("random", &Derivation::Mono, None)
+        .map_err(err)?;
     let init_deriv = Derivation::seq(
         Derivation::Mono, // prev = 0;
         Derivation::seq(
@@ -122,7 +124,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ),
     );
-    checker.check_function("init", &init_deriv, None).map_err(err)?;
+    checker
+        .check_function("init", &init_deriv, None)
+        .map_err(err)?;
     println!("automatic:   {{M(init) + M(random)}} init() {{M(init) + M(random)}} checked");
 
     // -- main: N = max(M(init) + M(random), L(ALEN) + M(search)) ---------
@@ -170,7 +174,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bound_main =
         m("main") + bound_init.max(m("search") * (1 + u32::BITS - (alen - 1).leading_zeros()));
     println!("\ninstantiated bounds (the paper's final numbers, for our frames):");
-    println!("    init(): {} bytes   (paper: 32 with CompCert 1.13 frames)", bound_init + m("init"));
+    println!(
+        "    init(): {} bytes   (paper: 32 with CompCert 1.13 frames)",
+        bound_init + m("init")
+    );
     println!("    main(): {bound_main} bytes   (paper: 112 + 40·log2(ALEN))");
 
     // -- confirm on the machine ------------------------------------------

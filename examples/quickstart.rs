@@ -38,15 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bound = report.bound("main").expect("main is bounded");
     let measured = report.measured("main").expect("main was executed");
     println!("main ran on a {bound}-byte stack without overflow.");
-    println!("bound - measured = {} bytes (the paper's §6 observation: exactly 4).",
-             bound - measured);
+    println!(
+        "bound - measured = {} bytes (the paper's §6 observation: exactly 4).",
+        bound - measured
+    );
 
     // The bound is parametric: print it symbolically too.
     let symbolic = report.analysis.bound("main").expect("symbolic bound");
     println!("\nsymbolic bound of main's body: {symbolic}");
     println!("frame sizes chosen by the compiler:");
     for f in &report.compiled.mach.functions {
-        println!("    SF({}) = {} bytes  =>  M = {}", f.name, f.frame_size, f.frame_size + 4);
+        println!(
+            "    SF({}) = {} bytes  =>  M = {}",
+            f.name,
+            f.frame_size,
+            f.frame_size + 4
+        );
     }
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inline-2dbc7aa799ace33d.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/debug/deps/ablation_inline-2dbc7aa799ace33d: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

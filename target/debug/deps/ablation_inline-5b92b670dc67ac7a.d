@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inline-5b92b670dc67ac7a.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/debug/deps/ablation_inline-5b92b670dc67ac7a: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

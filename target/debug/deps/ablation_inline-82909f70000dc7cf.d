@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inline-82909f70000dc7cf.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/debug/deps/ablation_inline-82909f70000dc7cf: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_inline-9e9b44579f270765.d: crates/bench/src/bin/ablation_inline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_inline-9e9b44579f270765.rmeta: crates/bench/src/bin/ablation_inline.rs Cargo.toml
+
+crates/bench/src/bin/ablation_inline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inline-a8ac00990dd48cd1.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/debug/deps/ablation_inline-a8ac00990dd48cd1: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

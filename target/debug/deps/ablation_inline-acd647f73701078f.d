@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inline-acd647f73701078f.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/debug/deps/ablation_inline-acd647f73701078f: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inline-b9105a7d4bf498bf.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/debug/deps/ablation_inline-b9105a7d4bf498bf: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-2bfb16f64a8f41a9.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-2bfb16f64a8f41a9: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

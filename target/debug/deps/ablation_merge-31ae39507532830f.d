@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-31ae39507532830f.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-31ae39507532830f: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-89d8f691d23c3122.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-89d8f691d23c3122: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

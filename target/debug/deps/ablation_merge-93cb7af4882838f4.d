@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-93cb7af4882838f4.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-93cb7af4882838f4: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_merge-b4557e65d595f747.d: crates/bench/src/bin/ablation_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_merge-b4557e65d595f747.rmeta: crates/bench/src/bin/ablation_merge.rs Cargo.toml
+
+crates/bench/src/bin/ablation_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-dc449b49b55aed99.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-dc449b49b55aed99: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-ec9503318c71e975.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-ec9503318c71e975: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_metric-36ac7d5e23bb56e0.d: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_metric-36ac7d5e23bb56e0.rmeta: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+crates/bench/src/bin/ablation_metric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-419a6d0820bfab3b.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-419a6d0820bfab3b: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-61fc20f906012ddd.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-61fc20f906012ddd: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

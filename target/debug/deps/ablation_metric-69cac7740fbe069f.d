@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-69cac7740fbe069f.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-69cac7740fbe069f: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

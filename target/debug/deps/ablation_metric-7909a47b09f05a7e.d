@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_metric-7909a47b09f05a7e.d: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_metric-7909a47b09f05a7e.rmeta: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+crates/bench/src/bin/ablation_metric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-818ef65513d92bcd.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-818ef65513d92bcd: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-8688587a3f414846.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-8688587a3f414846: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

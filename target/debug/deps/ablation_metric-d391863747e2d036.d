@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-d391863747e2d036.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-d391863747e2d036: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

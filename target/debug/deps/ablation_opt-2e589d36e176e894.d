@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-2e589d36e176e894.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-2e589d36e176e894: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_opt-453d93aee49b99fe.d: crates/bench/src/bin/ablation_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_opt-453d93aee49b99fe.rmeta: crates/bench/src/bin/ablation_opt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

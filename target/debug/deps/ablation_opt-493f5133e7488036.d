@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-493f5133e7488036.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-493f5133e7488036: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-6019b2b23ed2d005.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-6019b2b23ed2d005: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-88b734a397b6ff97.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-88b734a397b6ff97: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

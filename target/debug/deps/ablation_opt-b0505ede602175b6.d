@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-b0505ede602175b6.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-b0505ede602175b6: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_opt-da698455945d96f4.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/debug/deps/ablation_opt-da698455945d96f4: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-35403242d85f9107.d: crates/bench/src/bin/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-35403242d85f9107.rmeta: crates/bench/src/bin/accuracy.rs Cargo.toml
+
+crates/bench/src/bin/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

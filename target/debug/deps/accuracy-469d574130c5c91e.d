@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-469d574130c5c91e.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-469d574130c5c91e: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-4f29349b384950e9.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-4f29349b384950e9: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

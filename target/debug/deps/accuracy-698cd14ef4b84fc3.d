@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-698cd14ef4b84fc3.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-698cd14ef4b84fc3: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

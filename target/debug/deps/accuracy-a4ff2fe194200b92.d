@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-a4ff2fe194200b92.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-a4ff2fe194200b92: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-de427fbf429b96c7.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-de427fbf429b96c7: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-fc33177cc168f68d.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-fc33177cc168f68d: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

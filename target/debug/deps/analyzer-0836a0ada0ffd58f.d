@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analyzer-0836a0ada0ffd58f.d: crates/analyzer/src/lib.rs
+
+/root/repo/target/debug/deps/libanalyzer-0836a0ada0ffd58f.rlib: crates/analyzer/src/lib.rs
+
+/root/repo/target/debug/deps/libanalyzer-0836a0ada0ffd58f.rmeta: crates/analyzer/src/lib.rs
+
+crates/analyzer/src/lib.rs:

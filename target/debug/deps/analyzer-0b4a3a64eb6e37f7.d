@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyzer-0b4a3a64eb6e37f7.d: crates/analyzer/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyzer-0b4a3a64eb6e37f7.rmeta: crates/analyzer/src/lib.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/analyzer-1047426c08d37fae.d: crates/analyzer/src/lib.rs crates/analyzer/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyzer-1047426c08d37fae.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/tests.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analyzer-2dbb930d768b95d1.d: crates/analyzer/src/lib.rs
+
+/root/repo/target/debug/deps/libanalyzer-2dbb930d768b95d1.rlib: crates/analyzer/src/lib.rs
+
+/root/repo/target/debug/deps/libanalyzer-2dbb930d768b95d1.rmeta: crates/analyzer/src/lib.rs
+
+crates/analyzer/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/analyzer-485c8ebb8af7bc4f.d: crates/analyzer/src/lib.rs crates/analyzer/src/tests.rs
+
+/root/repo/target/debug/deps/analyzer-485c8ebb8af7bc4f: crates/analyzer/src/lib.rs crates/analyzer/src/tests.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/tests.rs:

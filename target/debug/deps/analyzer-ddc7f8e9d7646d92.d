@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/analyzer-ddc7f8e9d7646d92.d: crates/analyzer/src/lib.rs crates/analyzer/src/tests.rs
+
+/root/repo/target/debug/deps/analyzer-ddc7f8e9d7646d92: crates/analyzer/src/lib.rs crates/analyzer/src/tests.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/tests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analyzer-eabf0ef8769e99d5.d: crates/analyzer/src/lib.rs
+
+/root/repo/target/debug/deps/libanalyzer-eabf0ef8769e99d5.rlib: crates/analyzer/src/lib.rs
+
+/root/repo/target/debug/deps/libanalyzer-eabf0ef8769e99d5.rmeta: crates/analyzer/src/lib.rs
+
+crates/analyzer/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyzer_speed-626c40dc4fe6f702.d: crates/bench/benches/analyzer_speed.rs
+
+/root/repo/target/debug/deps/analyzer_speed-626c40dc4fe6f702: crates/bench/benches/analyzer_speed.rs
+
+crates/bench/benches/analyzer_speed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyzer_speed-c64719cb0afef583.d: crates/bench/benches/analyzer_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyzer_speed-c64719cb0afef583.rmeta: crates/bench/benches/analyzer_speed.rs Cargo.toml
+
+crates/bench/benches/analyzer_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

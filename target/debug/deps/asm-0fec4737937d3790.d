@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm-0fec4737937d3790.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs
+
+/root/repo/target/debug/deps/libasm-0fec4737937d3790.rlib: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs
+
+/root/repo/target/debug/deps/libasm-0fec4737937d3790.rmeta: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/asm-30a84ef29dbb6495.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs crates/asm/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm-30a84ef29dbb6495.rmeta: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs crates/asm/src/tests.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/profile.rs:
+crates/asm/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

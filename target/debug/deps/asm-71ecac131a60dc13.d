@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/asm-71ecac131a60dc13.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm-71ecac131a60dc13.rmeta: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

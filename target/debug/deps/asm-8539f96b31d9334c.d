@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/asm-8539f96b31d9334c.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+/root/repo/target/debug/deps/libasm-8539f96b31d9334c.rlib: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+/root/repo/target/debug/deps/libasm-8539f96b31d9334c.rmeta: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/profile.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/asm-97861d38000339a5.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/tests.rs
+
+/root/repo/target/debug/deps/asm-97861d38000339a5: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/tests.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/tests.rs:

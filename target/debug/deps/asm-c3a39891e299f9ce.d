@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm-c3a39891e299f9ce.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs crates/asm/src/tests.rs
+
+/root/repo/target/debug/deps/asm-c3a39891e299f9ce: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs crates/asm/src/tests.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/profile.rs:
+crates/asm/src/tests.rs:

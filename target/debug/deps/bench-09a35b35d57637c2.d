@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-09a35b35d57637c2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-09a35b35d57637c2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-09a35b35d57637c2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-36cef539d9133202.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-36cef539d9133202: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

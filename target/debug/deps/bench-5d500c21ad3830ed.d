@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-5d500c21ad3830ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-5d500c21ad3830ed: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-ab3ea1999261128c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-ab3ea1999261128c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-ab3ea1999261128c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

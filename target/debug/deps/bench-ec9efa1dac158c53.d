@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-ec9efa1dac158c53.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-ec9efa1dac158c53.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-ec9efa1dac158c53.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

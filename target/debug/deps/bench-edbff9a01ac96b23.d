@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-edbff9a01ac96b23.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-edbff9a01ac96b23.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-edbff9a01ac96b23.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

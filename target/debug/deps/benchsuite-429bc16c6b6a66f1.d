@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/benchsuite-429bc16c6b6a66f1.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+/root/repo/target/debug/deps/libbenchsuite-429bc16c6b6a66f1.rlib: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+/root/repo/target/debug/deps/libbenchsuite-429bc16c6b6a66f1.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/extras.rs:
+crates/benchsuite/src/recursive.rs:
+crates/benchsuite/src/sources.rs:

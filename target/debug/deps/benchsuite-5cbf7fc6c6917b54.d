@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/benchsuite-5cbf7fc6c6917b54.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+/root/repo/target/debug/deps/libbenchsuite-5cbf7fc6c6917b54.rlib: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+/root/repo/target/debug/deps/libbenchsuite-5cbf7fc6c6917b54.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/extras.rs:
+crates/benchsuite/src/recursive.rs:
+crates/benchsuite/src/sources.rs:

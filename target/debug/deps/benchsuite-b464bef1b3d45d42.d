@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/benchsuite-b464bef1b3d45d42.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs crates/benchsuite/src/tests.rs
+
+/root/repo/target/debug/deps/benchsuite-b464bef1b3d45d42: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs crates/benchsuite/src/tests.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/extras.rs:
+crates/benchsuite/src/recursive.rs:
+crates/benchsuite/src/sources.rs:
+crates/benchsuite/src/tests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/benchsuite-bf79fd9542edfc3f.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbenchsuite-bf79fd9542edfc3f.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs Cargo.toml
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/extras.rs:
+crates/benchsuite/src/recursive.rs:
+crates/benchsuite/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

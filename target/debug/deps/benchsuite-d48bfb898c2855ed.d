@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/benchsuite-d48bfb898c2855ed.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs crates/benchsuite/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbenchsuite-d48bfb898c2855ed.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs crates/benchsuite/src/tests.rs Cargo.toml
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/extras.rs:
+crates/benchsuite/src/recursive.rs:
+crates/benchsuite/src/sources.rs:
+crates/benchsuite/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

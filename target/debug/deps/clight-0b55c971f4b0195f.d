@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/clight-0b55c971f4b0195f.d: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs crates/clight/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclight-0b55c971f4b0195f.rmeta: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs crates/clight/src/tests.rs Cargo.toml
+
+crates/clight/src/lib.rs:
+crates/clight/src/ast.rs:
+crates/clight/src/lex.rs:
+crates/clight/src/parse.rs:
+crates/clight/src/pretty.rs:
+crates/clight/src/sem.rs:
+crates/clight/src/typecheck.rs:
+crates/clight/src/types.rs:
+crates/clight/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

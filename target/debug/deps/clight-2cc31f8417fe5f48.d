@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/clight-2cc31f8417fe5f48.d: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs crates/clight/src/tests.rs
+
+/root/repo/target/debug/deps/clight-2cc31f8417fe5f48: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs crates/clight/src/tests.rs
+
+crates/clight/src/lib.rs:
+crates/clight/src/ast.rs:
+crates/clight/src/lex.rs:
+crates/clight/src/parse.rs:
+crates/clight/src/pretty.rs:
+crates/clight/src/sem.rs:
+crates/clight/src/typecheck.rs:
+crates/clight/src/types.rs:
+crates/clight/src/tests.rs:

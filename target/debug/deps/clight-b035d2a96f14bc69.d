@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/clight-b035d2a96f14bc69.d: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+/root/repo/target/debug/deps/libclight-b035d2a96f14bc69.rlib: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+/root/repo/target/debug/deps/libclight-b035d2a96f14bc69.rmeta: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+crates/clight/src/lib.rs:
+crates/clight/src/ast.rs:
+crates/clight/src/lex.rs:
+crates/clight/src/parse.rs:
+crates/clight/src/pretty.rs:
+crates/clight/src/sem.rs:
+crates/clight/src/typecheck.rs:
+crates/clight/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/clight-f5436f2210c3da62.d: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+/root/repo/target/debug/deps/libclight-f5436f2210c3da62.rlib: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+/root/repo/target/debug/deps/libclight-f5436f2210c3da62.rmeta: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+crates/clight/src/lib.rs:
+crates/clight/src/ast.rs:
+crates/clight/src/lex.rs:
+crates/clight/src/parse.rs:
+crates/clight/src/pretty.rs:
+crates/clight/src/sem.rs:
+crates/clight/src/typecheck.rs:
+crates/clight/src/types.rs:

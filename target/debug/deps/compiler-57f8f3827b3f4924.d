@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/compiler-57f8f3827b3f4924.d: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs crates/compiler/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler-57f8f3827b3f4924.rmeta: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs crates/compiler/src/tests.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/cminor.rs:
+crates/compiler/src/cminorgen.rs:
+crates/compiler/src/inline.rs:
+crates/compiler/src/mach.rs:
+crates/compiler/src/machgen.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/rtl.rs:
+crates/compiler/src/rtlgen.rs:
+crates/compiler/src/asmgen.rs:
+crates/compiler/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

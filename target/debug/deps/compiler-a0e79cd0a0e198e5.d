@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/compiler-a0e79cd0a0e198e5.d: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+/root/repo/target/debug/deps/libcompiler-a0e79cd0a0e198e5.rlib: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+/root/repo/target/debug/deps/libcompiler-a0e79cd0a0e198e5.rmeta: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/cminor.rs:
+crates/compiler/src/cminorgen.rs:
+crates/compiler/src/inline.rs:
+crates/compiler/src/mach.rs:
+crates/compiler/src/machgen.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/rtl.rs:
+crates/compiler/src/rtlgen.rs:
+crates/compiler/src/asmgen.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/compiler-a9303b2f3c86987b.d: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs crates/compiler/src/tests.rs
+
+/root/repo/target/debug/deps/compiler-a9303b2f3c86987b: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs crates/compiler/src/tests.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/cminor.rs:
+crates/compiler/src/cminorgen.rs:
+crates/compiler/src/inline.rs:
+crates/compiler/src/mach.rs:
+crates/compiler/src/machgen.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/rtl.rs:
+crates/compiler/src/rtlgen.rs:
+crates/compiler/src/asmgen.rs:
+crates/compiler/src/tests.rs:

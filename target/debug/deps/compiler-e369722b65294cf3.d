@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/compiler-e369722b65294cf3.d: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+/root/repo/target/debug/deps/libcompiler-e369722b65294cf3.rlib: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+/root/repo/target/debug/deps/libcompiler-e369722b65294cf3.rmeta: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/cminor.rs:
+crates/compiler/src/cminorgen.rs:
+crates/compiler/src/inline.rs:
+crates/compiler/src/mach.rs:
+crates/compiler/src/machgen.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/rtl.rs:
+crates/compiler/src/rtlgen.rs:
+crates/compiler/src/asmgen.rs:

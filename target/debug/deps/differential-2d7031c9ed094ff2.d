@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-2d7031c9ed094ff2.d: crates/stackbound/../../tests/differential.rs
+
+/root/repo/target/debug/deps/differential-2d7031c9ed094ff2: crates/stackbound/../../tests/differential.rs
+
+crates/stackbound/../../tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-5527de21a326f464.d: crates/stackbound/../../tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-5527de21a326f464.rmeta: crates/stackbound/../../tests/differential.rs Cargo.toml
+
+crates/stackbound/../../tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

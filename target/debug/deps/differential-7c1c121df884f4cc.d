@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-7c1c121df884f4cc.d: crates/stackbound/../../tests/differential.rs
+
+/root/repo/target/debug/deps/differential-7c1c121df884f4cc: crates/stackbound/../../tests/differential.rs
+
+crates/stackbound/../../tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-30871a2755061342.d: crates/stackbound/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-30871a2755061342: crates/stackbound/../../tests/end_to_end.rs
+
+crates/stackbound/../../tests/end_to_end.rs:

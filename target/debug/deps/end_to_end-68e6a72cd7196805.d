@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-68e6a72cd7196805.d: crates/stackbound/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-68e6a72cd7196805: crates/stackbound/../../tests/end_to_end.rs
+
+crates/stackbound/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0eb653856bba7d45.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0eb653856bba7d45: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0ef6904b8f199abd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0ef6904b8f199abd: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-11a1e7f68ac4f37f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-11a1e7f68ac4f37f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

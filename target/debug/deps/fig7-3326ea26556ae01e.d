@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3326ea26556ae01e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3326ea26556ae01e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

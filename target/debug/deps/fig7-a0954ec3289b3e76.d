@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a0954ec3289b3e76.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-a0954ec3289b3e76: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-bc3a506a0fe8d905.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-bc3a506a0fe8d905: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

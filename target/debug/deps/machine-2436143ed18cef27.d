@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine-2436143ed18cef27.d: crates/bench/benches/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-2436143ed18cef27.rmeta: crates/bench/benches/machine.rs Cargo.toml
+
+crates/bench/benches/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-def7dce5f594977e.d: crates/bench/benches/machine.rs
+
+/root/repo/target/debug/deps/machine-def7dce5f594977e: crates/bench/benches/machine.rs
+
+crates/bench/benches/machine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mem-399c708f149d0cad.d: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/libmem-399c708f149d0cad.rlib: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/libmem-399c708f149d0cad.rmeta: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mem-50c49fa748e27074.d: crates/mem/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem-50c49fa748e27074.rmeta: crates/mem/src/lib.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

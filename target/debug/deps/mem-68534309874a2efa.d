@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem-68534309874a2efa.d: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/mem-68534309874a2efa: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mem-7b86e0e7120c2fe8.d: crates/mem/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem-7b86e0e7120c2fe8.rmeta: crates/mem/src/lib.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem-b5be08fab8681fd7.d: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/mem-b5be08fab8681fd7: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/obs-0e57ab01b7fa7ef0.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+/root/repo/target/debug/deps/libobs-0e57ab01b7fa7ef0.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+/root/repo/target/debug/deps/libobs-0e57ab01b7fa7ef0.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/summary.rs:

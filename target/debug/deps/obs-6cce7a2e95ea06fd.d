@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/obs-6cce7a2e95ea06fd.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs crates/obs/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs-6cce7a2e95ea06fd.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs crates/obs/src/tests.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs-e95b1bf5f32106a1.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs crates/obs/src/tests.rs
+
+/root/repo/target/debug/deps/obs-e95b1bf5f32106a1: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs crates/obs/src/tests.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/summary.rs:
+crates/obs/src/tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-7ca042fe9f61bfa4.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/debug/deps/obs_overhead-7ca042fe9f61bfa4: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_pipeline-15bd5b663554f085.d: crates/stackbound/../../tests/obs_pipeline.rs
+
+/root/repo/target/debug/deps/obs_pipeline-15bd5b663554f085: crates/stackbound/../../tests/obs_pipeline.rs
+
+crates/stackbound/../../tests/obs_pipeline.rs:

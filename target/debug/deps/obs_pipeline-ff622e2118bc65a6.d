@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_pipeline-ff622e2118bc65a6.d: crates/stackbound/../../tests/obs_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_pipeline-ff622e2118bc65a6.rmeta: crates/stackbound/../../tests/obs_pipeline.rs Cargo.toml
+
+crates/stackbound/../../tests/obs_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

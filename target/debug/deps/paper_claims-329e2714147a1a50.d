@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-329e2714147a1a50.d: crates/stackbound/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-329e2714147a1a50.rmeta: crates/stackbound/../../tests/paper_claims.rs Cargo.toml
+
+crates/stackbound/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7d098a2e82e098f9.d: crates/stackbound/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-7d098a2e82e098f9: crates/stackbound/../../tests/paper_claims.rs
+
+crates/stackbound/../../tests/paper_claims.rs:

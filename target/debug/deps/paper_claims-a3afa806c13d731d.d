@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-a3afa806c13d731d.d: crates/stackbound/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-a3afa806c13d731d: crates/stackbound/../../tests/paper_claims.rs
+
+crates/stackbound/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-b151921d1f35506e.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-b151921d1f35506e: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

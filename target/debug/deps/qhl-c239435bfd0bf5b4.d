@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qhl-c239435bfd0bf5b4.d: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs crates/qhl/src/tests.rs
+
+/root/repo/target/debug/deps/qhl-c239435bfd0bf5b4: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs crates/qhl/src/tests.rs
+
+crates/qhl/src/lib.rs:
+crates/qhl/src/bound.rs:
+crates/qhl/src/derive.rs:
+crates/qhl/src/logic.rs:
+crates/qhl/src/validate.rs:
+crates/qhl/src/tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qhl-c57aa5eb01a3078f.d: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs crates/qhl/src/tests.rs
+
+/root/repo/target/debug/deps/qhl-c57aa5eb01a3078f: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs crates/qhl/src/tests.rs
+
+crates/qhl/src/lib.rs:
+crates/qhl/src/bound.rs:
+crates/qhl/src/derive.rs:
+crates/qhl/src/logic.rs:
+crates/qhl/src/validate.rs:
+crates/qhl/src/tests.rs:

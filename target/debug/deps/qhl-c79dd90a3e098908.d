@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qhl-c79dd90a3e098908.d: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs crates/qhl/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqhl-c79dd90a3e098908.rmeta: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs crates/qhl/src/tests.rs Cargo.toml
+
+crates/qhl/src/lib.rs:
+crates/qhl/src/bound.rs:
+crates/qhl/src/derive.rs:
+crates/qhl/src/logic.rs:
+crates/qhl/src/validate.rs:
+crates/qhl/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

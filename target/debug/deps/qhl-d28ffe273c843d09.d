@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qhl-d28ffe273c843d09.d: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqhl-d28ffe273c843d09.rmeta: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs Cargo.toml
+
+crates/qhl/src/lib.rs:
+crates/qhl/src/bound.rs:
+crates/qhl/src/derive.rs:
+crates/qhl/src/logic.rs:
+crates/qhl/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbound-009c6e851d437e68.d: crates/stackbound/src/bin/sbound.rs
+
+/root/repo/target/debug/deps/sbound-009c6e851d437e68: crates/stackbound/src/bin/sbound.rs
+
+crates/stackbound/src/bin/sbound.rs:

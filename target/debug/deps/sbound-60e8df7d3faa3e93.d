@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbound-60e8df7d3faa3e93.d: crates/stackbound/src/bin/sbound.rs
+
+/root/repo/target/debug/deps/sbound-60e8df7d3faa3e93: crates/stackbound/src/bin/sbound.rs
+
+crates/stackbound/src/bin/sbound.rs:

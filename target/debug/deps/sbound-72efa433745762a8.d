@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbound-72efa433745762a8.d: crates/stackbound/src/bin/sbound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbound-72efa433745762a8.rmeta: crates/stackbound/src/bin/sbound.rs Cargo.toml
+
+crates/stackbound/src/bin/sbound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbound-883b077ef714e532.d: crates/stackbound/src/bin/sbound.rs
+
+/root/repo/target/debug/deps/sbound-883b077ef714e532: crates/stackbound/src/bin/sbound.rs
+
+crates/stackbound/src/bin/sbound.rs:

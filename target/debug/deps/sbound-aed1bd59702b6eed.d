@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbound-aed1bd59702b6eed.d: crates/stackbound/src/bin/sbound.rs
+
+/root/repo/target/debug/deps/sbound-aed1bd59702b6eed: crates/stackbound/src/bin/sbound.rs
+
+crates/stackbound/src/bin/sbound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbound-d91158ce4be8e671.d: crates/stackbound/src/bin/sbound.rs
+
+/root/repo/target/debug/deps/sbound-d91158ce4be8e671: crates/stackbound/src/bin/sbound.rs
+
+crates/stackbound/src/bin/sbound.rs:

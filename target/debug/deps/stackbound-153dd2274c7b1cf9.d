@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stackbound-153dd2274c7b1cf9.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/stackbound-153dd2274c7b1cf9: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stackbound-1cf9a0e97e2b604c.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/stackbound-1cf9a0e97e2b604c: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stackbound-414f27f18e4d22ae.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/libstackbound-414f27f18e4d22ae.rlib: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/libstackbound-414f27f18e4d22ae.rmeta: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stackbound-43f30b46c580921e.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/libstackbound-43f30b46c580921e.rlib: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/libstackbound-43f30b46c580921e.rmeta: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

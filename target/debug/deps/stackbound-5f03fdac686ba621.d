@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stackbound-5f03fdac686ba621.d: crates/stackbound/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstackbound-5f03fdac686ba621.rmeta: crates/stackbound/src/lib.rs Cargo.toml
+
+crates/stackbound/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

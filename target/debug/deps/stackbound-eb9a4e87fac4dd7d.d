@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stackbound-eb9a4e87fac4dd7d.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/libstackbound-eb9a4e87fac4dd7d.rlib: crates/stackbound/src/lib.rs
+
+/root/repo/target/debug/deps/libstackbound-eb9a4e87fac4dd7d.rmeta: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stackbound-f5e71ac30ba09bed.d: crates/stackbound/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstackbound-f5e71ac30ba09bed.rmeta: crates/stackbound/src/lib.rs Cargo.toml
+
+crates/stackbound/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3e364514c68cabbe.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3e364514c68cabbe: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-67af895ead5f88b7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-67af895ead5f88b7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e5e3d85c69882c9a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e5e3d85c69882c9a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f143c6f6ef0fea13.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f143c6f6ef0fea13: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f7b0b682aa01cfcb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f7b0b682aa01cfcb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

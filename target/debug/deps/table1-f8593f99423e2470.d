@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f8593f99423e2470.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f8593f99423e2470: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-069712338529981c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-069712338529981c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

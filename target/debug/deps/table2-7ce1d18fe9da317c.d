@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7ce1d18fe9da317c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7ce1d18fe9da317c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-810289a480a8ba17.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-810289a480a8ba17: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

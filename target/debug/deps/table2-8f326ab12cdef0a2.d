@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8f326ab12cdef0a2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8f326ab12cdef0a2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

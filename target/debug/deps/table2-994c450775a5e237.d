@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-994c450775a5e237.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-994c450775a5e237: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

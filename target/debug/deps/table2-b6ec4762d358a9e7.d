@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b6ec4762d358a9e7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b6ec4762d358a9e7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

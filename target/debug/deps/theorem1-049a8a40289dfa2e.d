@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-049a8a40289dfa2e.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-049a8a40289dfa2e: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

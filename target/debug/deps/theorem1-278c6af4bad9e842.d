@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-278c6af4bad9e842.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-278c6af4bad9e842: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

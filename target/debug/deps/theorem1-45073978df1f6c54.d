@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-45073978df1f6c54.d: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-45073978df1f6c54.rmeta: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+crates/bench/src/bin/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

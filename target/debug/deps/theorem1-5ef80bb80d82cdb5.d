@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-5ef80bb80d82cdb5.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-5ef80bb80d82cdb5: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

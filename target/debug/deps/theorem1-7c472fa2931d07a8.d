@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-7c472fa2931d07a8.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-7c472fa2931d07a8: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-802afa241aa8f95c.d: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-802afa241aa8f95c.rmeta: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+crates/bench/src/bin/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-89ee7740f989fdcb.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-89ee7740f989fdcb: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-ace24112ed461124.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-ace24112ed461124: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

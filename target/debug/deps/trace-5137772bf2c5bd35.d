@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/trace-5137772bf2c5bd35.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+/root/repo/target/debug/deps/libtrace-5137772bf2c5bd35.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+/root/repo/target/debug/deps/libtrace-5137772bf2c5bd35.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metric.rs:
+crates/trace/src/refinement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-662aedec5457803d.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs crates/trace/src/tests.rs
+
+/root/repo/target/debug/deps/trace-662aedec5457803d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs crates/trace/src/tests.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metric.rs:
+crates/trace/src/refinement.rs:
+crates/trace/src/tests.rs:

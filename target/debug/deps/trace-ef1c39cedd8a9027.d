@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-ef1c39cedd8a9027.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs crates/trace/src/tests.rs
+
+/root/repo/target/debug/deps/trace-ef1c39cedd8a9027: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs crates/trace/src/tests.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metric.rs:
+crates/trace/src/refinement.rs:
+crates/trace/src/tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/trace-f9185ff025218c9d.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+/root/repo/target/debug/deps/libtrace-f9185ff025218c9d.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+/root/repo/target/debug/deps/libtrace-f9185ff025218c9d.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metric.rs:
+crates/trace/src/refinement.rs:

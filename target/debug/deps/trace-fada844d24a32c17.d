@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/trace-fada844d24a32c17.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-fada844d24a32c17.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metric.rs:
+crates/trace/src/refinement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/certikos_audit-220b8f3f993ad214.d: crates/stackbound/../../examples/certikos_audit.rs
+
+/root/repo/target/debug/examples/certikos_audit-220b8f3f993ad214: crates/stackbound/../../examples/certikos_audit.rs
+
+crates/stackbound/../../examples/certikos_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/certikos_audit-2fe893d9ccb672a2.d: crates/stackbound/../../examples/certikos_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcertikos_audit-2fe893d9ccb672a2.rmeta: crates/stackbound/../../examples/certikos_audit.rs Cargo.toml
+
+crates/stackbound/../../examples/certikos_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

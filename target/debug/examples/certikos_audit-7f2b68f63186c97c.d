@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/certikos_audit-7f2b68f63186c97c.d: crates/stackbound/../../examples/certikos_audit.rs
+
+/root/repo/target/debug/examples/certikos_audit-7f2b68f63186c97c: crates/stackbound/../../examples/certikos_audit.rs
+
+crates/stackbound/../../examples/certikos_audit.rs:

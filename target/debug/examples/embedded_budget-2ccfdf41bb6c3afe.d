@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_budget-2ccfdf41bb6c3afe.d: crates/stackbound/../../examples/embedded_budget.rs
+
+/root/repo/target/debug/examples/embedded_budget-2ccfdf41bb6c3afe: crates/stackbound/../../examples/embedded_budget.rs
+
+crates/stackbound/../../examples/embedded_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/embedded_budget-94d34c388af801c1.d: crates/stackbound/../../examples/embedded_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libembedded_budget-94d34c388af801c1.rmeta: crates/stackbound/../../examples/embedded_budget.rs Cargo.toml
+
+crates/stackbound/../../examples/embedded_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

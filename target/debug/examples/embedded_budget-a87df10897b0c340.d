@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_budget-a87df10897b0c340.d: crates/stackbound/../../examples/embedded_budget.rs
+
+/root/repo/target/debug/examples/embedded_budget-a87df10897b0c340: crates/stackbound/../../examples/embedded_budget.rs
+
+crates/stackbound/../../examples/embedded_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interactive_proof-19b6693dc339d542.d: crates/stackbound/../../examples/interactive_proof.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteractive_proof-19b6693dc339d542.rmeta: crates/stackbound/../../examples/interactive_proof.rs Cargo.toml
+
+crates/stackbound/../../examples/interactive_proof.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_proof-31302daac9ef522a.d: crates/stackbound/../../examples/interactive_proof.rs
+
+/root/repo/target/debug/examples/interactive_proof-31302daac9ef522a: crates/stackbound/../../examples/interactive_proof.rs
+
+crates/stackbound/../../examples/interactive_proof.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_proof-f988865378c8034d.d: crates/stackbound/../../examples/interactive_proof.rs
+
+/root/repo/target/debug/examples/interactive_proof-f988865378c8034d: crates/stackbound/../../examples/interactive_proof.rs
+
+crates/stackbound/../../examples/interactive_proof.rs:

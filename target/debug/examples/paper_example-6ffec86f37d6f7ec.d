@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_example-6ffec86f37d6f7ec.d: crates/stackbound/../../examples/paper_example.rs
+
+/root/repo/target/debug/examples/paper_example-6ffec86f37d6f7ec: crates/stackbound/../../examples/paper_example.rs
+
+crates/stackbound/../../examples/paper_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_example-887b57f02175e9df.d: crates/stackbound/../../examples/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_example-887b57f02175e9df.rmeta: crates/stackbound/../../examples/paper_example.rs Cargo.toml
+
+crates/stackbound/../../examples/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_example-c979f685b20dc9d3.d: crates/stackbound/../../examples/paper_example.rs
+
+/root/repo/target/debug/examples/paper_example-c979f685b20dc9d3: crates/stackbound/../../examples/paper_example.rs
+
+crates/stackbound/../../examples/paper_example.rs:

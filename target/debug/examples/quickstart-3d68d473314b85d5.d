@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3d68d473314b85d5.d: crates/stackbound/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3d68d473314b85d5: crates/stackbound/../../examples/quickstart.rs
+
+crates/stackbound/../../examples/quickstart.rs:

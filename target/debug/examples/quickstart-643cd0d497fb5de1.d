@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-643cd0d497fb5de1.d: crates/stackbound/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-643cd0d497fb5de1: crates/stackbound/../../examples/quickstart.rs
+
+crates/stackbound/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-94e7d30dfbaa8dd6.d: crates/stackbound/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-94e7d30dfbaa8dd6.rmeta: crates/stackbound/../../examples/quickstart.rs Cargo.toml
+
+crates/stackbound/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

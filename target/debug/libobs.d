@@ -1,0 +1,1 @@
+/root/repo/target/debug/libobs.rlib: /root/repo/crates/obs/src/json.rs /root/repo/crates/obs/src/lib.rs /root/repo/crates/obs/src/record.rs /root/repo/crates/obs/src/summary.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_inline-2842e0e2827c10bf.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/release/deps/ablation_inline-2842e0e2827c10bf: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_inline-bf4a8f3e8a68f67d.d: crates/bench/src/bin/ablation_inline.rs
+
+/root/repo/target/release/deps/ablation_inline-bf4a8f3e8a68f67d: crates/bench/src/bin/ablation_inline.rs
+
+crates/bench/src/bin/ablation_inline.rs:

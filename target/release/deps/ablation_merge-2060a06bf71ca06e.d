@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_merge-2060a06bf71ca06e.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/release/deps/ablation_merge-2060a06bf71ca06e: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

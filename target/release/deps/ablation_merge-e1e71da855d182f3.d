@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_merge-e1e71da855d182f3.d: crates/bench/src/bin/ablation_merge.rs
+
+/root/repo/target/release/deps/ablation_merge-e1e71da855d182f3: crates/bench/src/bin/ablation_merge.rs
+
+crates/bench/src/bin/ablation_merge.rs:

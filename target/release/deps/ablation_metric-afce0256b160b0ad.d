@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_metric-afce0256b160b0ad.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/release/deps/ablation_metric-afce0256b160b0ad: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_metric-bc11afd72b8ff699.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/release/deps/ablation_metric-bc11afd72b8ff699: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

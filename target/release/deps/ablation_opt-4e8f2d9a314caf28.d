@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_opt-4e8f2d9a314caf28.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/release/deps/ablation_opt-4e8f2d9a314caf28: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_opt-cd311e89042f606c.d: crates/bench/src/bin/ablation_opt.rs
+
+/root/repo/target/release/deps/ablation_opt-cd311e89042f606c: crates/bench/src/bin/ablation_opt.rs
+
+crates/bench/src/bin/ablation_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy-06de8ce044820268.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/release/deps/accuracy-06de8ce044820268: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

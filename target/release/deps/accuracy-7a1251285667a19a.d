@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy-7a1251285667a19a.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/release/deps/accuracy-7a1251285667a19a: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/analyzer-24ea08416ddfa6f3.d: crates/analyzer/src/lib.rs
+
+/root/repo/target/release/deps/libanalyzer-24ea08416ddfa6f3.rlib: crates/analyzer/src/lib.rs
+
+/root/repo/target/release/deps/libanalyzer-24ea08416ddfa6f3.rmeta: crates/analyzer/src/lib.rs
+
+crates/analyzer/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/analyzer-332ae8d9cf06a79a.d: crates/analyzer/src/lib.rs
+
+/root/repo/target/release/deps/libanalyzer-332ae8d9cf06a79a.rlib: crates/analyzer/src/lib.rs
+
+/root/repo/target/release/deps/libanalyzer-332ae8d9cf06a79a.rmeta: crates/analyzer/src/lib.rs
+
+crates/analyzer/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/asm-0c646a7e92f67a43.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+/root/repo/target/release/deps/libasm-0c646a7e92f67a43.rlib: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+/root/repo/target/release/deps/libasm-0c646a7e92f67a43.rmeta: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/profile.rs:

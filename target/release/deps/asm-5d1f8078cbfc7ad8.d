@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/asm-5d1f8078cbfc7ad8.d: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+/root/repo/target/release/deps/libasm-5d1f8078cbfc7ad8.rlib: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+/root/repo/target/release/deps/libasm-5d1f8078cbfc7ad8.rmeta: crates/asm/src/lib.rs crates/asm/src/machine.rs crates/asm/src/monitor.rs crates/asm/src/profile.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/machine.rs:
+crates/asm/src/monitor.rs:
+crates/asm/src/profile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-f21e4e91869a5589.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-f21e4e91869a5589.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-f21e4e91869a5589.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-fc53c3538c7c9d3e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-fc53c3538c7c9d3e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-fc53c3538c7c9d3e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/benchsuite-8fcfe4eb086d96c0.d: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+/root/repo/target/release/deps/libbenchsuite-8fcfe4eb086d96c0.rlib: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+/root/repo/target/release/deps/libbenchsuite-8fcfe4eb086d96c0.rmeta: crates/benchsuite/src/lib.rs crates/benchsuite/src/extras.rs crates/benchsuite/src/recursive.rs crates/benchsuite/src/sources.rs
+
+crates/benchsuite/src/lib.rs:
+crates/benchsuite/src/extras.rs:
+crates/benchsuite/src/recursive.rs:
+crates/benchsuite/src/sources.rs:

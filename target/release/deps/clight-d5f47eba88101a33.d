@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/clight-d5f47eba88101a33.d: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+/root/repo/target/release/deps/libclight-d5f47eba88101a33.rlib: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+/root/repo/target/release/deps/libclight-d5f47eba88101a33.rmeta: crates/clight/src/lib.rs crates/clight/src/ast.rs crates/clight/src/lex.rs crates/clight/src/parse.rs crates/clight/src/pretty.rs crates/clight/src/sem.rs crates/clight/src/typecheck.rs crates/clight/src/types.rs
+
+crates/clight/src/lib.rs:
+crates/clight/src/ast.rs:
+crates/clight/src/lex.rs:
+crates/clight/src/parse.rs:
+crates/clight/src/pretty.rs:
+crates/clight/src/sem.rs:
+crates/clight/src/typecheck.rs:
+crates/clight/src/types.rs:

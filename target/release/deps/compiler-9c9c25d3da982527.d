@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/compiler-9c9c25d3da982527.d: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+/root/repo/target/release/deps/libcompiler-9c9c25d3da982527.rlib: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+/root/repo/target/release/deps/libcompiler-9c9c25d3da982527.rmeta: crates/compiler/src/lib.rs crates/compiler/src/cminor.rs crates/compiler/src/cminorgen.rs crates/compiler/src/inline.rs crates/compiler/src/mach.rs crates/compiler/src/machgen.rs crates/compiler/src/opt.rs crates/compiler/src/rtl.rs crates/compiler/src/rtlgen.rs crates/compiler/src/asmgen.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/cminor.rs:
+crates/compiler/src/cminorgen.rs:
+crates/compiler/src/inline.rs:
+crates/compiler/src/mach.rs:
+crates/compiler/src/machgen.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/rtl.rs:
+crates/compiler/src/rtlgen.rs:
+crates/compiler/src/asmgen.rs:

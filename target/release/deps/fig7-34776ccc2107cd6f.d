@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-34776ccc2107cd6f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-34776ccc2107cd6f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mem-1cf2648c50d23697.d: crates/mem/src/lib.rs
+
+/root/repo/target/release/deps/libmem-1cf2648c50d23697.rlib: crates/mem/src/lib.rs
+
+/root/repo/target/release/deps/libmem-1cf2648c50d23697.rmeta: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mem-c6f9eb3a53e5f834.d: crates/mem/src/lib.rs
+
+/root/repo/target/release/deps/libmem-c6f9eb3a53e5f834.rlib: crates/mem/src/lib.rs
+
+/root/repo/target/release/deps/libmem-c6f9eb3a53e5f834.rmeta: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

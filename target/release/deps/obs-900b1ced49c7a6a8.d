@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/obs-900b1ced49c7a6a8.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+/root/repo/target/release/deps/libobs-900b1ced49c7a6a8.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+/root/repo/target/release/deps/libobs-900b1ced49c7a6a8.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/summary.rs:

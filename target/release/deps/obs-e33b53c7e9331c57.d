@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/obs-e33b53c7e9331c57.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+/root/repo/target/release/deps/libobs-e33b53c7e9331c57.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+/root/repo/target/release/deps/libobs-e33b53c7e9331c57.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/summary.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-318b446b7a9feef5.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-318b446b7a9feef5: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

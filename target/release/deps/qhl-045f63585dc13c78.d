@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qhl-045f63585dc13c78.d: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs
+
+/root/repo/target/release/deps/libqhl-045f63585dc13c78.rlib: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs
+
+/root/repo/target/release/deps/libqhl-045f63585dc13c78.rmeta: crates/qhl/src/lib.rs crates/qhl/src/bound.rs crates/qhl/src/derive.rs crates/qhl/src/logic.rs crates/qhl/src/validate.rs
+
+crates/qhl/src/lib.rs:
+crates/qhl/src/bound.rs:
+crates/qhl/src/derive.rs:
+crates/qhl/src/logic.rs:
+crates/qhl/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sbound-f105387c22c25d98.d: crates/stackbound/src/bin/sbound.rs
+
+/root/repo/target/release/deps/sbound-f105387c22c25d98: crates/stackbound/src/bin/sbound.rs
+
+crates/stackbound/src/bin/sbound.rs:

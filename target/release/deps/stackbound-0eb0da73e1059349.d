@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stackbound-0eb0da73e1059349.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/release/deps/libstackbound-0eb0da73e1059349.rlib: crates/stackbound/src/lib.rs
+
+/root/repo/target/release/deps/libstackbound-0eb0da73e1059349.rmeta: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stackbound-b444dd9e93adf7d5.d: crates/stackbound/src/lib.rs
+
+/root/repo/target/release/deps/libstackbound-b444dd9e93adf7d5.rlib: crates/stackbound/src/lib.rs
+
+/root/repo/target/release/deps/libstackbound-b444dd9e93adf7d5.rmeta: crates/stackbound/src/lib.rs
+
+crates/stackbound/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9420d1bc9fb3dbed.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9420d1bc9fb3dbed: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

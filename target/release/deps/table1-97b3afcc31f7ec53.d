@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-97b3afcc31f7ec53.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-97b3afcc31f7ec53: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-07d5264adae40748.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-07d5264adae40748: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-2c9e08dd8099ec71.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-2c9e08dd8099ec71: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

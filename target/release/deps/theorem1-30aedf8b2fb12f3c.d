@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem1-30aedf8b2fb12f3c.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/release/deps/theorem1-30aedf8b2fb12f3c: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

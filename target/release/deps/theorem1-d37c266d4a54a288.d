@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem1-d37c266d4a54a288.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/release/deps/theorem1-d37c266d4a54a288: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

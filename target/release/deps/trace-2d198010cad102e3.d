@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/trace-2d198010cad102e3.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+/root/repo/target/release/deps/libtrace-2d198010cad102e3.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+/root/repo/target/release/deps/libtrace-2d198010cad102e3.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metric.rs crates/trace/src/refinement.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metric.rs:
+crates/trace/src/refinement.rs:

@@ -23,8 +23,7 @@ fn check_all_stages(program: &clight::Program, what: &str) {
         ("rtl->opt", &b_rtl, &b_opt),
         ("opt->mach", &b_opt, &b_mach),
     ] {
-        check_quantitative(src, tgt, &metric)
-            .unwrap_or_else(|e| panic!("{what}: {name}: {e}"));
+        check_quantitative(src, tgt, &metric).unwrap_or_else(|e| panic!("{what}: {name}: {e}"));
     }
     if !b_clight.goes_wrong() {
         let weight = u32::try_from(b_mach.weight(&compiled.metric)).unwrap();
@@ -48,8 +47,16 @@ fn refinement_holds_on_table2_drivers() {
     for case in benchsuite::recursive_cases() {
         let n = case.sweep.0.max(4);
         let args: Vec<String> = (case.args_for)(n).iter().map(|a| a.to_string()).collect();
-        let ret = if case.name == "qsort" { "" } else { "u32 r; r = " };
-        let use_r = if case.name == "qsort" { "0" } else { "r & 0xff" };
+        let ret = if case.name == "qsort" {
+            ""
+        } else {
+            "u32 r; r = "
+        };
+        let use_r = if case.name == "qsort" {
+            "0"
+        } else {
+            "r & 0xff"
+        };
         let main = format!(
             "int main() {{ {ret}{}({}); return {use_r}; }}",
             case.name,

@@ -88,7 +88,10 @@ fn deep_call_chains_accumulate_linearly() {
     }
     src.push_str("int main() { u32 r; r = f0(0); return r; }");
     let report = verify_program(&src).unwrap();
-    assert_eq!(report.measured("main"), Some(report.bound("main").unwrap() - 4));
+    assert_eq!(
+        report.measured("main"),
+        Some(report.bound("main").unwrap() - 4)
+    );
     // Every fi's bound is strictly larger than fi+1's.
     for i in 0..19 {
         assert!(

@@ -1,0 +1,125 @@
+//! End-to-end observability: one verified run must produce a span tree
+//! covering every pipeline layer, machine-readable JSON lines, and a
+//! stack waterline whose peak is the measured usage.
+
+use std::sync::{Mutex, OnceLock};
+
+const SRC: &str = "
+    u32 square(u32 x) { return x * x; }
+    u32 poly(u32 x) { u32 a; u32 b; a = square(x); b = square(x + 1); return a + b; }
+    int main() { u32 r; r = poly(6); return r % 256; }";
+
+/// The obs recorder is process-global; serialize the tests that install it.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static GLOBAL: OnceLock<Mutex<()>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn names(node: &obs::SpanNode, out: &mut Vec<String>) {
+    out.push(node.name.clone());
+    for c in &node.children {
+        names(c, out);
+    }
+}
+
+#[test]
+fn span_tree_covers_every_layer() {
+    let _guard = lock();
+    let session = obs::install();
+    stackbound::verify_program(SRC).unwrap();
+    let report = obs::report().expect("recorder installed");
+    drop(session);
+
+    let mut spans = Vec::new();
+    for root in &report.roots {
+        names(root, &mut spans);
+    }
+    for expected in [
+        "verify/program",
+        "clight/frontend",
+        "clight/parse",
+        "clight/typecheck",
+        "analyzer/analyze",
+        "analyzer/check",
+        "compiler/compile",
+        "compiler/cminorgen",
+        "compiler/rtlgen",
+        "compiler/constprop",
+        "compiler/dce",
+        "compiler/tunnel",
+        "compiler/machgen",
+        "compiler/asmgen",
+        "verify/bounds",
+        "verify/measure",
+    ] {
+        assert!(
+            spans.iter().any(|s| s == expected),
+            "span `{expected}` missing from {spans:?}"
+        );
+    }
+    // Rule applications and machine opcode classes were counted.
+    assert!(report.counters.get("qhl/rule/Q:CALL").copied().unwrap_or(0) > 0);
+    assert!(report.counters.get("asm/instrs/call").copied().unwrap_or(0) > 0);
+    assert!(report.counters.get("clight/tokens").copied().unwrap_or(0) > 0);
+}
+
+#[test]
+fn json_lines_parse_and_reference_valid_parents() {
+    let _guard = lock();
+    let session = obs::install();
+    stackbound::verify_program(SRC).unwrap();
+    let report = obs::report().expect("recorder installed");
+    drop(session);
+
+    let text = report.to_json_lines();
+    assert!(!text.is_empty());
+    let mut span_ids = Vec::new();
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        let v = obs::json::parse(line).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"));
+        let k = v
+            .get("k")
+            .and_then(|k| k.as_str())
+            .expect("k field")
+            .to_owned();
+        match k.as_str() {
+            "span" => {
+                let id = v.get("id").and_then(|i| i.as_f64()).expect("id") as i64;
+                if let Some(p) = v.get("parent").and_then(|p| p.as_f64()) {
+                    assert!(
+                        span_ids.contains(&(p as i64)),
+                        "parent {p} appears after child in {line}"
+                    );
+                }
+                assert!(v.get("name").and_then(|n| n.as_str()).is_some());
+                assert!(v.get("dur_ns").and_then(|d| d.as_f64()).is_some());
+                span_ids.push(id);
+            }
+            "counter" => {
+                assert!(v.get("value").and_then(|n| n.as_f64()).is_some());
+            }
+            "hist" => {
+                assert!(v.get("count").and_then(|n| n.as_f64()).is_some());
+            }
+            other => panic!("unknown record kind `{other}`"),
+        }
+        kinds.push(k);
+    }
+    assert!(kinds.iter().any(|k| k == "span"));
+    assert!(kinds.iter().any(|k| k == "counter"));
+}
+
+#[test]
+fn measurement_waterline_peaks_at_stack_usage() {
+    // No recorder here on purpose: profiling is independent of obs.
+    let report = stackbound::verify_program(SRC).unwrap();
+    let m = report.measurement.as_ref().expect("main was measured");
+    assert!(!m.profile.samples().is_empty());
+    assert_eq!(m.profile.peak(), m.stack_usage);
+    assert_eq!(Some(m.stack_usage), report.measured("main"));
+    // The verified bound exceeds the waterline peak by exactly 4 bytes.
+    assert_eq!(report.bound("main"), Some(m.profile.peak() + 4));
+}

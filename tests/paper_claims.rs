@@ -110,7 +110,12 @@ fn table2_bounds_cover_full_sweeps_at_fine_granularity() {
     let spec = case.spec();
     for n in (2..=130).chain([255, 256, 257, 511, 512, 513, 1023, 1024, 1025]) {
         let v = validate_spec(&p, "bsearch", spec, &[n / 2, 0, n], &compiled.metric, FUEL).unwrap();
-        assert!(v.sound(), "n = {n}: bound {} < weight {}", v.bound, v.weight);
+        assert!(
+            v.sound(),
+            "n = {n}: bound {} < weight {}",
+            v.bound,
+            v.weight
+        );
         // Tight on the worst-case path: equality.
         assert_eq!(v.bound.finite().unwrap(), v.weight as f64, "n = {n}");
     }
@@ -125,8 +130,7 @@ fn fib_exponential_time_linear_stack() {
     let compiled = compiler::compile(&p).unwrap();
     let m = compiled.metric.call_cost("fib");
     for n in [1u32, 5, 10, 18] {
-        let run =
-            asm::measure_function(&compiled.asm, "fib", &[n], 1 << 20, FUEL).unwrap();
+        let run = asm::measure_function(&compiled.asm, "fib", &[n], 1 << 20, FUEL).unwrap();
         assert!(run.behavior.converges());
         assert_eq!(run.stack_usage + 4, m * n, "n = {n}");
     }
@@ -155,7 +159,11 @@ fn interactive_and_automatic_bounds_interoperate() {
     let p = clight::frontend(src, &[]).unwrap();
     // Interactive part: bsearch's proof from the benchsuite.
     let case = benchsuite::recursive_case("bsearch").unwrap();
-    let bs = case.proofs.into_iter().find(|pr| pr.name == "bsearch").unwrap();
+    let bs = case
+        .proofs
+        .into_iter()
+        .find(|pr| pr.name == "bsearch")
+        .unwrap();
     let mut ctx = qhl::Context::new();
     ctx.insert("bsearch", bs.spec.clone());
     qhl::Checker::new(&p, &ctx)
