@@ -8,7 +8,7 @@
 //! stack grew, so Figure-7-style plots can show usage over time rather
 //! than just its peak.
 //!
-//! The profile is bounded: it retains at most [`CAP`] samples. When full,
+//! The profile is bounded: it retains at most `CAP` samples. When full,
 //! it drops every other retained sample and doubles its sampling stride,
 //! so a run of any length costs `O(CAP)` memory while keeping a roughly
 //! uniform timeline. Samples that set a new high-water mark are always

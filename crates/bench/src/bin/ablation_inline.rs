@@ -24,14 +24,13 @@ fn main() {
         let program = b.program().expect("front end");
         let analysis = analyzer::analyze(&program).expect("analyzable");
         let base = compiler::compile(&program).expect("compiles");
-        let inlined = compiler::compile_with(
-            &program,
-            compiler::Options {
+        let inlined =
+            compiler::Pipeline::new(compiler::PipelineConfig::with_options(compiler::Options {
                 inline: true,
                 ..compiler::Options::default()
-            },
-        )
-        .expect("compiles");
+            }))
+            .run(&program)
+            .expect("compiles");
 
         let bound0 = analysis.concrete_bound("main", &base.metric).unwrap() as u32;
         let bound1 = analysis.concrete_bound("main", &inlined.metric).unwrap() as u32;

@@ -20,8 +20,14 @@ fn main() {
     for b in stackbound::benchsuite::table1_benchmarks() {
         let program = b.program().expect("front end");
         let analysis = analyzer::analyze(&program).expect("analyzable");
-        let opt = compiler::compile_with(&program, compiler::Options::default()).expect("compiles");
-        let raw = compiler::compile_with(&program, compiler::Options::no_opt()).expect("compiles");
+        let opt = compiler::Pipeline::new(compiler::PipelineConfig::default())
+            .run(&program)
+            .expect("compiles");
+        let raw = compiler::Pipeline::new(compiler::PipelineConfig::with_options(
+            compiler::Options::no_opt(),
+        ))
+        .run(&program)
+        .expect("compiles");
 
         let bound_opt = analysis.concrete_bound("main", &opt.metric).unwrap();
         let bound_raw = analysis.concrete_bound("main", &raw.metric).unwrap();

@@ -1,0 +1,73 @@
+//! CI gate: compiles the whole Table 1 suite through the [`Pass`-manager
+//! pipeline](compiler::Pipeline) with the checked-in per-pass wall-clock
+//! budgets (`ci/pass_budgets.txt`) and fails if any pass regresses past
+//! its budget on any program.
+//!
+//! ```sh
+//! cargo run -p bench --bin budget_gate                # default budget file
+//! cargo run -p bench --bin budget_gate -- my_budgets.txt
+//! ```
+
+use stackbound::compiler;
+use std::process::ExitCode;
+
+const DEFAULT_BUDGETS: &str = "ci/pass_budgets.txt";
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_BUDGETS.to_owned());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("budget_gate: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budgets = match compiler::Budgets::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("budget_gate: `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if budgets.is_empty() {
+        eprintln!("budget_gate: `{path}` declares no budgets");
+        return ExitCode::FAILURE;
+    }
+    println!("budget_gate: enforcing {path}");
+    for (pass, limit) in budgets.iter() {
+        println!("  {pass:<12} {:.0} ms", limit.as_secs_f64() * 1e3);
+    }
+    println!();
+
+    let pipeline = compiler::Pipeline::new(compiler::PipelineConfig {
+        budgets,
+        ..compiler::PipelineConfig::default()
+    });
+    let mut failed = false;
+    for b in stackbound::benchsuite::table1_benchmarks() {
+        let program = match b.program() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: front end: {e}", b.file);
+                failed = true;
+                continue;
+            }
+        };
+        match pipeline.run(&program) {
+            Ok(_) => println!("{:<28} within budget", b.file),
+            Err(e) => {
+                eprintln!("{:<28} FAILED: {e}", b.file);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("\nbudget_gate: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbudget_gate: all Table 1 programs within per-pass budgets");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,117 @@
+//! `obs-diff`: the metrics-diff tool. Ingests two JSON-lines reports
+//! (written by `sbound --trace-json` or any harness binary's
+//! `--metrics-json`) and prints per-span duration and per-counter deltas,
+//! so a perf regression in the pipeline is a reviewable artifact:
+//!
+//! ```sh
+//! cargo run -p bench --bin table1 -- --metrics-json before.jsonl
+//! # ... make a change ...
+//! cargo run -p bench --bin table1 -- --metrics-json after.jsonl
+//! cargo run -p bench --bin obs-diff -- before.jsonl after.jsonl
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Aggregated view of one report: per-span-name total duration and open
+/// count, plus the global counters.
+#[derive(Default)]
+struct Aggregate {
+    /// span name → (total duration over all spans with that name, count).
+    spans: BTreeMap<String, (u64, u64)>,
+    /// counter name → value.
+    counters: BTreeMap<String, u64>,
+}
+
+fn load(path: &str) -> Result<Aggregate, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut agg = Aggregate::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v =
+            obs::json::parse(line).map_err(|e| format!("{path}:{}: bad JSON: {e}", lineno + 1))?;
+        let kind = v.get("k").and_then(|k| k.as_str()).unwrap_or_default();
+        let name = v.get("name").and_then(|n| n.as_str()).unwrap_or_default();
+        match kind {
+            "span" => {
+                let dur = v.get("dur_ns").and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
+                let entry = agg.spans.entry(name.to_owned()).or_insert((0, 0));
+                entry.0 += dur;
+                entry.1 += 1;
+            }
+            "counter" => {
+                let value = v.get("value").and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
+                *agg.counters.entry(name.to_owned()).or_insert(0) += value;
+            }
+            _ => {} // histograms are not diffed
+        }
+    }
+    Ok(agg)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Keys of both maps, in order, without duplicates.
+fn union_keys<'a, V>(a: &'a BTreeMap<String, V>, b: &'a BTreeMap<String, V>) -> Vec<&'a str> {
+    let mut keys: Vec<&str> = a.keys().chain(b.keys()).map(String::as_str).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [before_path, after_path] = args.as_slice() else {
+        eprintln!("usage: obs-diff <before.jsonl> <after.jsonl>");
+        return ExitCode::from(2);
+    };
+    let (before, after) = match (load(before_path), load(after_path)) {
+        (Ok(b), Ok(a)) => (b, a),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("obs-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("obs-diff: {before_path} -> {after_path}\n");
+    println!(
+        "{:<36} {:>12} {:>12} {:>12} {:>8}",
+        "span (total duration)", "before ms", "after ms", "delta ms", "delta"
+    );
+    println!("{}", "-".repeat(84));
+    for name in union_keys(&before.spans, &after.spans) {
+        let (b, _) = before.spans.get(name).copied().unwrap_or((0, 0));
+        let (a, _) = after.spans.get(name).copied().unwrap_or((0, 0));
+        let delta = ms(a) - ms(b);
+        let pct = if b > 0 {
+            format!("{:+.1}%", delta / ms(b) * 100.0)
+        } else {
+            "new".to_owned()
+        };
+        println!(
+            "{name:<36} {:>12.3} {:>12.3} {delta:>+12.3} {pct:>8}",
+            ms(b),
+            ms(a)
+        );
+    }
+
+    println!();
+    println!(
+        "{:<36} {:>12} {:>12} {:>12}",
+        "counter", "before", "after", "delta"
+    );
+    println!("{}", "-".repeat(76));
+    for name in union_keys(&before.counters, &after.counters) {
+        let b = before.counters.get(name).copied().unwrap_or(0);
+        let a = after.counters.get(name).copied().unwrap_or(0);
+        println!(
+            "{name:<36} {b:>12} {a:>12} {:>+12}",
+            i128::from(a) - i128::from(b)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -38,10 +38,17 @@ pub struct Prepared {
     pub compiled: compiler::Compiled,
 }
 
-/// Analyzes and compiles every Table 1 benchmark, panicking with a clear
-/// message on any failure (the test suite guards these paths; the harness
-/// just reports).
+/// Analyzes and compiles every Table 1 benchmark with the default
+/// pipeline configuration, panicking with a clear message on any failure
+/// (the test suite guards these paths; the harness just reports).
 pub fn prepare_table1() -> Vec<Prepared> {
+    prepare_table1_with(&compiler::PipelineConfig::default())
+}
+
+/// [`prepare_table1`] through an explicit [`compiler::PipelineConfig`]
+/// (parallel backend, refinement checkpoints, per-pass budgets, …).
+pub fn prepare_table1_with(config: &compiler::PipelineConfig) -> Vec<Prepared> {
+    let pipeline = compiler::Pipeline::new(config.clone());
     stackbound::benchsuite::table1_benchmarks()
         .into_iter()
         .map(|b| {
@@ -53,8 +60,9 @@ pub fn prepare_table1() -> Vec<Prepared> {
             analysis
                 .check(&program)
                 .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
-            let compiled =
-                compiler::compile(&program).unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
+            let compiled = pipeline
+                .run(&program)
+                .unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
             Prepared {
                 file: b.file,
                 loc: b.loc(),
@@ -65,6 +73,22 @@ pub fn prepare_table1() -> Vec<Prepared> {
             }
         })
         .collect()
+}
+
+/// Handles the harness binaries' shared pipeline flags:
+///
+/// * `--parallel` — fan per-function compiler passes across threads;
+/// * `--check-refinement` — run every pass's refinement checkpoint.
+pub fn pipeline_config_from_args() -> compiler::PipelineConfig {
+    let mut config = compiler::PipelineConfig::default();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--parallel" => config.parallel = true,
+            "--check-refinement" => config.check_refinement = true,
+            _ => {}
+        }
+    }
+    config
 }
 
 /// Measures the peak stack usage of `main` with a generous stack.

@@ -7,77 +7,57 @@
 //! `[esp + SF(f) + 4 + 4·i]` from the caller's outgoing area, with no
 //! back-link indirection.
 
-use crate::mach::{MInstr, MachProgram};
+use crate::mach::{MInstr, MachFunction};
 use crate::CompileError;
-use asm::{AsmExternal, AsmFunction, AsmProgram, Instr, Operand, Reg};
+use asm::{AsmFunction, Instr, Operand, Reg};
 use mem::Binop;
 
-/// Translates a Mach program to `ASMsz`.
-///
-/// # Errors
-///
-/// Returns a [`CompileError`] on internal invariant violations.
-pub fn translate(program: &MachProgram) -> Result<AsmProgram, CompileError> {
-    let mut functions = Vec::new();
-    for f in &program.functions {
-        let sf = f.frame_size;
-        let mut code = Vec::with_capacity(f.code.len() + 2);
-        if sf > 0 {
-            code.push(Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(sf)));
-        }
-        for i in &f.code {
-            match i {
-                MInstr::Label(l) => code.push(Instr::Label(*l)),
-                MInstr::Const(k, r) => code.push(Instr::Mov(*r, Operand::Imm(*k))),
-                MInstr::Move(d, s) => code.push(Instr::Mov(*d, Operand::Reg(*s))),
-                MInstr::Unop(op, r) => code.push(Instr::Un(*op, *r)),
-                MInstr::Binop(op, d, s) => code.push(Instr::Alu(*op, *d, Operand::Reg(*s))),
-                MInstr::StackAddr(off, r) => {
-                    if *r == Reg::Esp {
-                        return Err(CompileError::Internal("asmgen: stackaddr into esp".into()));
-                    }
-                    code.push(Instr::Mov(*r, Operand::Reg(Reg::Esp)));
-                    if *off > 0 {
-                        code.push(Instr::Alu(Binop::Add, *r, Operand::Imm(*off)));
-                    }
+pub(crate) fn translate_function(f: &MachFunction) -> Result<AsmFunction, CompileError> {
+    let sf = f.frame_size;
+    let mut code = Vec::with_capacity(f.code.len() + 2);
+    if sf > 0 {
+        code.push(Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(sf)));
+    }
+    for i in &f.code {
+        match i {
+            MInstr::Label(l) => code.push(Instr::Label(*l)),
+            MInstr::Const(k, r) => code.push(Instr::Mov(*r, Operand::Imm(*k))),
+            MInstr::Move(d, s) => code.push(Instr::Mov(*d, Operand::Reg(*s))),
+            MInstr::Unop(op, r) => code.push(Instr::Un(*op, *r)),
+            MInstr::Binop(op, d, s) => code.push(Instr::Alu(*op, *d, Operand::Reg(*s))),
+            MInstr::StackAddr(off, r) => {
+                if *r == Reg::Esp {
+                    return Err(CompileError::Internal("asmgen: stackaddr into esp".into()));
                 }
-                MInstr::GlobalAddr(g, off, r) => code.push(Instr::LeaGlobal(*r, *g, *off)),
-                MInstr::Load(a, d) => code.push(Instr::Load(*d, *a, 0)),
-                MInstr::Store(a, s) => code.push(Instr::Store(*a, 0, *s)),
-                MInstr::LoadStack(off, r) => code.push(Instr::Load(*r, Reg::Esp, *off as i32)),
-                MInstr::StoreStack(off, r) => code.push(Instr::Store(Reg::Esp, *off as i32, *r)),
-                MInstr::GetParam(i, r) => {
-                    // The incoming argument area sits just above this frame
-                    // and the return address its caller pushed.
-                    code.push(Instr::Load(*r, Reg::Esp, (sf + 4 + 4 * i) as i32));
-                }
-                MInstr::Cond(op, a, b, l) => {
-                    code.push(Instr::Cmp(*a, Operand::Reg(*b)));
-                    code.push(Instr::Jcc(*op, *l));
-                }
-                MInstr::Jmp(l) => code.push(Instr::Jmp(*l)),
-                MInstr::Call(i) => code.push(Instr::Call(*i)),
-                MInstr::CallExt(i) => code.push(Instr::CallExt(*i)),
-                MInstr::Return => {
-                    if sf > 0 {
-                        code.push(Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(sf)));
-                    }
-                    code.push(Instr::Ret);
+                code.push(Instr::Mov(*r, Operand::Reg(Reg::Esp)));
+                if *off > 0 {
+                    code.push(Instr::Alu(Binop::Add, *r, Operand::Imm(*off)));
                 }
             }
+            MInstr::GlobalAddr(g, off, r) => code.push(Instr::LeaGlobal(*r, *g, *off)),
+            MInstr::Load(a, d) => code.push(Instr::Load(*d, *a, 0)),
+            MInstr::Store(a, s) => code.push(Instr::Store(*a, 0, *s)),
+            MInstr::LoadStack(off, r) => code.push(Instr::Load(*r, Reg::Esp, *off as i32)),
+            MInstr::StoreStack(off, r) => code.push(Instr::Store(Reg::Esp, *off as i32, *r)),
+            MInstr::GetParam(i, r) => {
+                // The incoming argument area sits just above this frame
+                // and the return address its caller pushed.
+                code.push(Instr::Load(*r, Reg::Esp, (sf + 4 + 4 * i) as i32));
+            }
+            MInstr::Cond(op, a, b, l) => {
+                code.push(Instr::Cmp(*a, Operand::Reg(*b)));
+                code.push(Instr::Jcc(*op, *l));
+            }
+            MInstr::Jmp(l) => code.push(Instr::Jmp(*l)),
+            MInstr::Call(i) => code.push(Instr::Call(*i)),
+            MInstr::CallExt(i) => code.push(Instr::CallExt(*i)),
+            MInstr::Return => {
+                if sf > 0 {
+                    code.push(Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(sf)));
+                }
+                code.push(Instr::Ret);
+            }
         }
-        functions.push(AsmFunction::new(f.name.clone(), sf, code));
     }
-    Ok(AsmProgram {
-        globals: program.globals.clone(),
-        externals: program
-            .externals
-            .iter()
-            .map(|(n, a, _)| AsmExternal {
-                name: n.clone(),
-                arity: *a,
-            })
-            .collect(),
-        functions,
-    })
+    Ok(AsmFunction::new(f.name.clone(), sf, code))
 }

@@ -13,7 +13,7 @@
 use mem::{Binop, BlockId, Memory, Unop, Value};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use trace::{Behavior, Event, Trace};
 
 /// A Cminor expression (word-valued, side-effect free).
@@ -65,11 +65,11 @@ pub enum CmStmt {
     /// `temp? = f(args)`.
     Call(Option<String>, String, Vec<CmExpr>),
     /// Sequence.
-    Seq(Rc<CmStmt>, Rc<CmStmt>),
+    Seq(Arc<CmStmt>, Arc<CmStmt>),
     /// Conditional.
-    If(CmExpr, Rc<CmStmt>, Rc<CmStmt>),
+    If(CmExpr, Arc<CmStmt>, Arc<CmStmt>),
     /// Infinite loop with increment part (same shape as Clight).
-    Loop(Rc<CmStmt>, Rc<CmStmt>),
+    Loop(Arc<CmStmt>, Arc<CmStmt>),
     /// Exit the innermost loop.
     Break,
     /// Skip to the increment of the innermost loop.
@@ -84,7 +84,7 @@ impl CmStmt {
         match (&s1, &s2) {
             (CmStmt::Skip, _) => s2,
             (_, CmStmt::Skip) => s1,
-            _ => CmStmt::Seq(Rc::new(s1), Rc::new(s2)),
+            _ => CmStmt::Seq(Arc::new(s1), Arc::new(s2)),
         }
     }
 }
@@ -102,7 +102,7 @@ pub struct CmFunction {
     /// addressable locals).
     pub stacksize: u32,
     /// Body.
-    pub body: Rc<CmStmt>,
+    pub body: Arc<CmStmt>,
     /// Whether the function returns a value.
     pub returns_value: bool,
 }
@@ -129,7 +129,7 @@ impl CmProgram {
 
 #[derive(Debug, Clone, Default)]
 struct Frame {
-    fname: Rc<str>,
+    fname: Arc<str>,
     temps: HashMap<String, Value>,
     stack_block: Option<BlockId>,
 }
@@ -137,17 +137,17 @@ struct Frame {
 #[derive(Debug, Clone)]
 enum Cont {
     Stop,
-    Seq(Rc<CmStmt>, Rc<Cont>),
-    Loop1(Rc<CmStmt>, Rc<CmStmt>, Rc<Cont>),
-    Loop2(Rc<CmStmt>, Rc<CmStmt>, Rc<Cont>),
-    Call(Option<String>, Box<Frame>, Rc<Cont>),
+    Seq(Arc<CmStmt>, Arc<Cont>),
+    Loop1(Arc<CmStmt>, Arc<CmStmt>, Arc<Cont>),
+    Loop2(Arc<CmStmt>, Arc<CmStmt>, Arc<Cont>),
+    Call(Option<String>, Box<Frame>, Arc<Cont>),
 }
 
 #[derive(Debug)]
 enum State {
-    Stmt(Rc<CmStmt>, Rc<Cont>),
-    Call(String, Vec<Value>, Option<String>, Rc<Cont>),
-    Return(Value, Rc<Cont>),
+    Stmt(Arc<CmStmt>, Arc<Cont>),
+    Call(String, Vec<Value>, Option<String>, Arc<Cont>),
+    Return(Value, Arc<Cont>),
 }
 
 /// Runs `main()` of a Cminor program for at most `fuel` steps.
@@ -198,7 +198,7 @@ impl<'p> CmExecutor<'p> {
             globals,
             memory,
             frame: Frame::default(),
-            state: State::Call(fname.to_owned(), args, None, Rc::new(Cont::Stop)),
+            state: State::Call(fname.to_owned(), args, None, Arc::new(Cont::Stop)),
             trace: Trace::new(),
             steps: 0,
             entry_returns,
@@ -220,7 +220,7 @@ impl<'p> CmExecutor<'p> {
         self.steps += 1;
         let state = std::mem::replace(
             &mut self.state,
-            State::Return(Value::Undef, Rc::new(Cont::Stop)),
+            State::Return(Value::Undef, Arc::new(Cont::Stop)),
         );
         match state {
             State::Stmt(s, k) => {
@@ -235,7 +235,7 @@ impl<'p> CmExecutor<'p> {
         }
     }
 
-    fn step_stmt(&mut self, s: &CmStmt, k: Rc<Cont>) -> Result<(), String> {
+    fn step_stmt(&mut self, s: &CmStmt, k: Arc<Cont>) -> Result<(), String> {
         match s {
             CmStmt::Skip => self.unwind_skip(k),
             CmStmt::Assign(x, e) => {
@@ -244,7 +244,7 @@ impl<'p> CmExecutor<'p> {
                     Some(slot) => *slot = v,
                     None => return Err(format!("unknown temp `{x}`")),
                 }
-                self.state = State::Stmt(Rc::new(CmStmt::Skip), k);
+                self.state = State::Stmt(Arc::new(CmStmt::Skip), k);
                 Ok(())
             }
             CmStmt::Store(addr, value) => {
@@ -252,7 +252,7 @@ impl<'p> CmExecutor<'p> {
                 let v = self.eval(value)?;
                 let (b, off) = a.as_ptr().map_err(|e| e.to_string())?;
                 self.memory.store(b, off, v).map_err(|e| e.to_string())?;
-                self.state = State::Stmt(Rc::new(CmStmt::Skip), k);
+                self.state = State::Stmt(Arc::new(CmStmt::Skip), k);
                 Ok(())
             }
             CmStmt::Call(dest, fname, args) => {
@@ -264,7 +264,7 @@ impl<'p> CmExecutor<'p> {
                 Ok(())
             }
             CmStmt::Seq(a, b) => {
-                self.state = State::Stmt(a.clone(), Rc::new(Cont::Seq(b.clone(), k)));
+                self.state = State::Stmt(a.clone(), Arc::new(Cont::Seq(b.clone(), k)));
                 Ok(())
             }
             CmStmt::If(c, t, e) => {
@@ -276,7 +276,7 @@ impl<'p> CmExecutor<'p> {
             CmStmt::Loop(body, incr) => {
                 self.state = State::Stmt(
                     body.clone(),
-                    Rc::new(Cont::Loop1(body.clone(), incr.clone(), k)),
+                    Arc::new(Cont::Loop1(body.clone(), incr.clone(), k)),
                 );
                 Ok(())
             }
@@ -294,7 +294,7 @@ impl<'p> CmExecutor<'p> {
         }
     }
 
-    fn unwind_skip(&mut self, k: Rc<Cont>) -> Result<(), String> {
+    fn unwind_skip(&mut self, k: Arc<Cont>) -> Result<(), String> {
         match k.as_ref() {
             Cont::Stop | Cont::Call(..) => {
                 self.leave()?;
@@ -308,38 +308,38 @@ impl<'p> CmExecutor<'p> {
             Cont::Loop1(b, i, k2) => {
                 self.state = State::Stmt(
                     i.clone(),
-                    Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())),
+                    Arc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())),
                 );
                 Ok(())
             }
             Cont::Loop2(b, i, k2) => {
                 self.state = State::Stmt(
                     b.clone(),
-                    Rc::new(Cont::Loop1(b.clone(), i.clone(), k2.clone())),
+                    Arc::new(Cont::Loop1(b.clone(), i.clone(), k2.clone())),
                 );
                 Ok(())
             }
         }
     }
 
-    fn unwind_break(&mut self, k: Rc<Cont>) -> Result<(), String> {
+    fn unwind_break(&mut self, k: Arc<Cont>) -> Result<(), String> {
         match k.as_ref() {
             Cont::Seq(_, k2) => self.unwind_break(k2.clone()),
             Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {
-                self.state = State::Stmt(Rc::new(CmStmt::Skip), k2.clone());
+                self.state = State::Stmt(Arc::new(CmStmt::Skip), k2.clone());
                 Ok(())
             }
             _ => Err("break outside of a loop".into()),
         }
     }
 
-    fn unwind_continue(&mut self, k: Rc<Cont>) -> Result<(), String> {
+    fn unwind_continue(&mut self, k: Arc<Cont>) -> Result<(), String> {
         match k.as_ref() {
             Cont::Seq(_, k2) => self.unwind_continue(k2.clone()),
             Cont::Loop1(b, i, k2) => {
                 self.state = State::Stmt(
                     i.clone(),
-                    Rc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())),
+                    Arc::new(Cont::Loop2(b.clone(), i.clone(), k2.clone())),
                 );
                 Ok(())
             }
@@ -352,7 +352,7 @@ impl<'p> CmExecutor<'p> {
         fname: &str,
         args: Vec<Value>,
         dest: Option<String>,
-        k: Rc<Cont>,
+        k: Arc<Cont>,
     ) -> Result<(), String> {
         if let Some(f) = self.program.function(fname) {
             self.trace.push(Event::call(fname));
@@ -365,13 +365,13 @@ impl<'p> CmExecutor<'p> {
                 temps.entry(t.clone()).or_insert(Value::Undef);
             }
             self.frame = Frame {
-                fname: Rc::from(fname),
+                fname: Arc::from(fname),
                 temps,
                 stack_block: Some(self.memory.alloc(f.stacksize)),
             };
             self.state = State::Stmt(
                 f.body.clone(),
-                Rc::new(Cont::Call(dest, Box::new(caller), k)),
+                Arc::new(Cont::Call(dest, Box::new(caller), k)),
             );
             return Ok(());
         }
@@ -400,7 +400,7 @@ impl<'p> CmExecutor<'p> {
                     None => return Err(format!("unknown temp `{d}`")),
                 }
             }
-            self.state = State::Stmt(Rc::new(CmStmt::Skip), k);
+            self.state = State::Stmt(Arc::new(CmStmt::Skip), k);
             return Ok(());
         }
         Err(format!("call to undefined function `{fname}`"))
@@ -414,7 +414,7 @@ impl<'p> CmExecutor<'p> {
         Ok(())
     }
 
-    fn step_return(&mut self, v: Value, k: Rc<Cont>) -> Result<Option<u32>, String> {
+    fn step_return(&mut self, v: Value, k: Arc<Cont>) -> Result<Option<u32>, String> {
         match k.as_ref() {
             Cont::Stop => match v {
                 Value::Int(n) => Ok(Some(n)),
@@ -432,7 +432,7 @@ impl<'p> CmExecutor<'p> {
                         None => return Err(format!("unknown temp `{d}`")),
                     }
                 }
-                self.state = State::Stmt(Rc::new(CmStmt::Skip), k2.clone());
+                self.state = State::Stmt(Arc::new(CmStmt::Skip), k2.clone());
                 Ok(None)
             }
             Cont::Seq(_, k2) | Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {

@@ -6,7 +6,7 @@ use crate::cminor::{CmExpr, CmFunction, CmProgram, CmStmt};
 use crate::CompileError;
 use clight::{Expr, Program, Stmt, Ty};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Translates a type-checked Clight program to Cminor.
 ///
@@ -67,7 +67,7 @@ fn translate_function(f: &clight::Function, program: &Program) -> Result<CmFunct
             .map(|l| l.name.clone())
             .collect(),
         stacksize: size,
-        body: Rc::new(body),
+        body: Arc::new(body),
         returns_value: f.ret.is_some(),
     })
 }
@@ -104,10 +104,10 @@ impl FnCtx<'_> {
             Stmt::Seq(a, b) => CmStmt::seq(self.stmt(a)?, self.stmt(b)?),
             Stmt::If(c, t, e) => CmStmt::If(
                 self.rvalue(c)?,
-                Rc::new(self.stmt(t)?),
-                Rc::new(self.stmt(e)?),
+                Arc::new(self.stmt(t)?),
+                Arc::new(self.stmt(e)?),
             ),
-            Stmt::Loop(b, i) => CmStmt::Loop(Rc::new(self.stmt(b)?), Rc::new(self.stmt(i)?)),
+            Stmt::Loop(b, i) => CmStmt::Loop(Arc::new(self.stmt(b)?), Arc::new(self.stmt(i)?)),
             Stmt::Break => CmStmt::Break,
             Stmt::Continue => CmStmt::Continue,
             Stmt::Return(e) => CmStmt::Return(match e {

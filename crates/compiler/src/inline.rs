@@ -25,16 +25,21 @@ const MAX_INLINE_SIZE: usize = 48;
 
 /// Runs the inlining pass over every function.
 pub fn inline(program: &mut RtlProgram) {
-    // Snapshot candidate bodies first (self-referential mutation otherwise).
-    let candidates: HashMap<String, RtlFunction> = program
+    let candidates = candidates(program);
+    for f in &mut program.functions {
+        inline_function(f, &candidates);
+    }
+}
+
+/// Snapshots the candidate bodies first (the per-function transform would
+/// otherwise mutate functions it still needs to read).
+pub(crate) fn candidates(program: &RtlProgram) -> HashMap<String, RtlFunction> {
+    program
         .functions
         .iter()
         .filter(|f| is_leaf(f) && f.code.len() <= MAX_INLINE_SIZE)
         .map(|f| (f.name.clone(), f.clone()))
-        .collect();
-    for f in &mut program.functions {
-        inline_function(f, &candidates);
-    }
+        .collect()
 }
 
 /// True when the function performs no internal or external calls.
@@ -42,7 +47,7 @@ fn is_leaf(f: &RtlFunction) -> bool {
     !f.code.iter().any(|i| matches!(i, RtlInstr::Call(..)))
 }
 
-fn inline_function(f: &mut RtlFunction, candidates: &HashMap<String, RtlFunction>) {
+pub(crate) fn inline_function(f: &mut RtlFunction, candidates: &HashMap<String, RtlFunction>) {
     // Collect call sites to candidates (skip self-inlining).
     let sites: Vec<Node> = f
         .code

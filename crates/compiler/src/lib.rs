@@ -47,10 +47,13 @@ pub mod inline;
 pub mod mach;
 mod machgen;
 pub mod opt;
+pub mod pipeline;
 pub mod rtl;
 mod rtlgen;
 
 mod asmgen;
+
+pub use pipeline::{Budgets, Pipeline, PipelineConfig, PipelineError};
 
 use std::fmt;
 
@@ -151,74 +154,22 @@ pub fn compile(program: &clight::Program) -> Result<Compiled, CompileError> {
 
 /// Compiles with explicit [`Options`].
 ///
+/// This is a thin wrapper over the [`pipeline`] pass manager with the
+/// default [`PipelineConfig`] (serial, no budgets, no refinement
+/// checkpoints); build a [`Pipeline`] directly for those features.
+///
 /// # Errors
 ///
 /// See [`compile`].
 pub fn compile_with(program: &clight::Program, options: Options) -> Result<Compiled, CompileError> {
-    let _span = obs::span("compiler/compile");
-    let cm = {
-        let _s = obs::span("compiler/cminorgen");
-        let cm = cminorgen::translate(program)?;
-        obs::counter("instrs_out", cm.functions.len() as u64);
-        cm
-    };
-    let rtl0 = {
-        let _s = obs::span("compiler/rtlgen");
-        let rtl0 = rtlgen::translate(&cm)?;
-        obs::counter("instrs_out", rtl_instrs(&rtl0));
-        rtl0
-    };
-    let mut rtl_opt = rtl0.clone();
-    let mut rtl_pass = |name: &'static str, pass: &dyn Fn(&mut rtl::RtlProgram)| {
-        let _s = obs::span(name);
-        obs::counter("instrs_in", rtl_instrs(&rtl_opt));
-        pass(&mut rtl_opt);
-        obs::counter("instrs_out", rtl_instrs(&rtl_opt));
-    };
-    if options.inline {
-        rtl_pass("compiler/inline", &inline::inline);
-    }
-    if options.constprop {
-        rtl_pass("compiler/constprop", &|p| opt::constprop(p));
-    }
-    if options.dce {
-        rtl_pass("compiler/dce", &|p| opt::dce(p));
-    }
-    rtl_pass("compiler/tunnel", &|p| opt::tunnel(p));
-    let mach = {
-        let _s = obs::span("compiler/machgen");
-        obs::counter("instrs_in", rtl_instrs(&rtl_opt));
-        let mach = machgen::translate(&rtl_opt)?;
-        obs::counter(
-            "instrs_out",
-            mach.functions.iter().map(|f| f.code.len() as u64).sum(),
-        );
-        mach
-    };
-    let asm_prog = {
-        let _s = obs::span("compiler/asmgen");
-        let asm_prog = asmgen::translate(&mach)?;
-        obs::counter(
-            "instrs_out",
-            asm_prog.functions.iter().map(|f| f.code.len() as u64).sum(),
-        );
-        asm_prog
-    };
-    let metric = mach.metric();
-    Ok(Compiled {
-        cminor: cm,
-        rtl: rtl0,
-        rtl_opt,
-        mach,
-        asm: asm_prog,
-        metric,
-    })
-}
-
-/// Total RTL instruction count, the size measure the optimization spans
-/// report before and after each pass.
-fn rtl_instrs(p: &rtl::RtlProgram) -> u64 {
-    p.functions.iter().map(|f| f.code.len() as u64).sum()
+    Pipeline::new(PipelineConfig::with_options(options))
+        .run(program)
+        .map_err(|e| match e {
+            PipelineError::Compile(e) => e,
+            // Unreachable with the default config: budgets and refinement
+            // checkpoints are off.
+            other => CompileError::Internal(other.to_string()),
+        })
 }
 
 /// Convenience: parse, type-check, and compile C source in one call.

@@ -13,63 +13,56 @@
 //! stack-data area with the function's merged addressable locals. The
 //! total is the `SF(f)` of the cost metric.
 
-use crate::mach::{MInstr, MachFunction, MachProgram};
+use crate::mach::{MInstr, MachFunction};
 use crate::rtl::{Node, RtlFunction, RtlInstr, RtlOp, RtlProgram, VReg};
 use crate::CompileError;
 use asm::Reg;
 use std::collections::{HashMap, HashSet};
 
-/// Translates an RTL program to Mach.
-///
-/// # Errors
-///
-/// Returns a [`CompileError`] on internal invariant violations (e.g. a
-/// call to an unknown function, which the front end rules out).
-pub fn translate(program: &RtlProgram) -> Result<MachProgram, CompileError> {
-    let global_index: HashMap<&str, u32> = program
-        .globals
-        .iter()
-        .enumerate()
-        .map(|(i, (n, _, _))| (n.as_str(), i as u32))
-        .collect();
-    let fn_index: HashMap<&str, u32> = program
-        .functions
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.name.as_str(), i as u32))
-        .collect();
-    let ext_index: HashMap<&str, u32> = program
-        .externals
-        .iter()
-        .enumerate()
-        .map(|(i, (n, _, _))| (n.as_str(), i as u32))
-        .collect();
-    let arity = |name: &str| -> Option<usize> {
-        fn_index
-            .get(name)
-            .map(|i| program.functions[*i as usize].params.len())
-            .or_else(|| {
-                ext_index
-                    .get(name)
-                    .map(|i| program.externals[*i as usize].1)
-            })
-    };
+/// Program-level context shared (immutably, so also across worker threads)
+/// by every per-function translation.
+pub(crate) struct Env<'a> {
+    program: &'a RtlProgram,
+    global_index: HashMap<&'a str, u32>,
+    fn_index: HashMap<&'a str, u32>,
+    ext_index: HashMap<&'a str, u32>,
+}
 
-    let mut functions = Vec::new();
-    for f in &program.functions {
-        functions.push(translate_function(
-            f,
-            &global_index,
-            &fn_index,
-            &ext_index,
-            &arity,
-        )?);
+impl<'a> Env<'a> {
+    pub(crate) fn new(program: &'a RtlProgram) -> Env<'a> {
+        Env {
+            program,
+            global_index: program
+                .globals
+                .iter()
+                .enumerate()
+                .map(|(i, (n, _, _))| (n.as_str(), i as u32))
+                .collect(),
+            fn_index: program
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.as_str(), i as u32))
+                .collect(),
+            ext_index: program
+                .externals
+                .iter()
+                .enumerate()
+                .map(|(i, (n, _, _))| (n.as_str(), i as u32))
+                .collect(),
+        }
     }
-    Ok(MachProgram {
-        globals: program.globals.clone(),
-        externals: program.externals.clone(),
-        functions,
-    })
+
+    fn arity(&self, name: &str) -> Option<usize> {
+        self.fn_index
+            .get(name)
+            .map(|i| self.program.functions[*i as usize].params.len())
+            .or_else(|| {
+                self.ext_index
+                    .get(name)
+                    .map(|i| self.program.externals[*i as usize].1)
+            })
+    }
 }
 
 /// Location assigned to a virtual register.
@@ -87,12 +80,9 @@ const ALLOCATABLE: [Reg; 4] = [Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi];
 const SCRATCH_A: Reg = Reg::Edi;
 const SCRATCH_B: Reg = Reg::Ebp;
 
-fn translate_function(
+pub(crate) fn translate_function(
     f: &RtlFunction,
-    global_index: &HashMap<&str, u32>,
-    fn_index: &HashMap<&str, u32>,
-    ext_index: &HashMap<&str, u32>,
-    arity: &dyn Fn(&str) -> Option<usize>,
+    env: &Env<'_>,
 ) -> Result<MachFunction, CompileError> {
     let ice = |msg: String| CompileError::Internal(format!("machgen `{}`: {msg}", f.name));
 
@@ -151,13 +141,18 @@ fn translate_function(
     };
 
     // Values live across a call are caller-save casualties: spill them.
+    // Iterate in register order, not HashMap order: slot assignment must be
+    // deterministic so repeated compilations (and the parallel backend) emit
+    // byte-identical code.
     let crosses_call = |iv: &Interval| call_positions.iter().any(|p| iv.start <= *p && iv.end > *p);
+    let mut by_reg: Vec<(VReg, Interval)> = intervals.iter().map(|(v, iv)| (*v, *iv)).collect();
+    by_reg.sort_by_key(|(v, _)| *v);
     let mut to_scan: Vec<(VReg, Interval)> = Vec::new();
-    for (v, iv) in &intervals {
-        if crosses_call(iv) {
-            slot(&mut loc, &mut next_slot, *v);
+    for (v, iv) in by_reg {
+        if crosses_call(&iv) {
+            slot(&mut loc, &mut next_slot, v);
         } else {
-            to_scan.push((*v, *iv));
+            to_scan.push((v, iv));
         }
     }
     // Linear scan over the rest.
@@ -200,7 +195,9 @@ fn translate_function(
     let mut outgoing = 0u32;
     for n in &order {
         if let RtlInstr::Call(g, _, _, _) = &f.code[*n as usize] {
-            let a = arity(g).ok_or_else(|| ice(format!("unknown callee `{g}`")))? as u32;
+            let a = env
+                .arity(g)
+                .ok_or_else(|| ice(format!("unknown callee `{g}`")))? as u32;
             outgoing = outgoing.max(4 * a);
         }
     }
@@ -329,7 +326,8 @@ fn translate_function(
                         write(&mut code, d, SCRATCH_A);
                     }
                     RtlOp::GlobalAddr(g, off) => {
-                        let gi = *global_index
+                        let gi = *env
+                            .global_index
                             .get(g.as_str())
                             .ok_or_else(|| ice(format!("unknown global `{g}`")))?;
                         code.push(MInstr::GlobalAddr(gi, *off, SCRATCH_A));
@@ -367,9 +365,9 @@ fn translate_function(
                     let r = fetch(&mut code, real(lookup(*a, &loc)), SCRATCH_A);
                     code.push(MInstr::StoreStack(4 * i as u32, r));
                 }
-                if let Some(fi) = fn_index.get(g.as_str()) {
+                if let Some(fi) = env.fn_index.get(g.as_str()) {
                     code.push(MInstr::Call(*fi));
-                } else if let Some(ei) = ext_index.get(g.as_str()) {
+                } else if let Some(ei) = env.ext_index.get(g.as_str()) {
                     code.push(MInstr::CallExt(*ei));
                 } else {
                     return Err(ice(format!("unknown callee `{g}`")));

@@ -46,7 +46,7 @@ fn def_counts(f: &RtlFunction) -> HashMap<VReg, u32> {
 /// Folding is careful never to fold an operation that would *fail* at run
 /// time (e.g. division by zero): removing a failure would not refine the
 /// source program.
-fn constprop_function(f: &mut RtlFunction) {
+pub(crate) fn constprop_function(f: &mut RtlFunction) {
     // Iterate to propagate chains (const -> move -> use).
     for _ in 0..4 {
         let defs = def_counts(f);
@@ -115,7 +115,7 @@ fn constprop_function(f: &mut RtlFunction) {
 /// Removing a dead *load* may remove a potential failure (an
 /// out-of-bounds read whose result is unused); that is still a correct
 /// refinement because a failing source is refined by anything.
-fn dce_function(f: &mut RtlFunction) {
+pub(crate) fn dce_function(f: &mut RtlFunction) {
     loop {
         let mut used: HashMap<VReg, u32> = HashMap::new();
         for i in &f.code {
@@ -151,32 +151,36 @@ fn dce_function(f: &mut RtlFunction) {
 /// executed or emitted).
 pub fn tunnel(program: &mut RtlProgram) {
     for f in &mut program.functions {
-        let resolve = |mut n: u32, code: &Vec<RtlInstr>| {
-            let mut hops = 0;
-            while let RtlInstr::Nop(next) = &code[n as usize] {
-                n = *next;
-                hops += 1;
-                if hops > code.len() {
-                    break; // Nop cycle: an empty infinite loop; keep it.
-                }
+        tunnel_function(f);
+    }
+}
+
+pub(crate) fn tunnel_function(f: &mut RtlFunction) {
+    let resolve = |mut n: u32, code: &Vec<RtlInstr>| {
+        let mut hops = 0;
+        while let RtlInstr::Nop(next) = &code[n as usize] {
+            n = *next;
+            hops += 1;
+            if hops > code.len() {
+                break; // Nop cycle: an empty infinite loop; keep it.
             }
-            n
-        };
-        let code_snapshot = f.code.clone();
-        f.entry = resolve(f.entry, &code_snapshot);
-        for i in f.code.iter_mut() {
-            match i {
-                RtlInstr::Op(_, _, _, n)
-                | RtlInstr::Load(_, _, n)
-                | RtlInstr::Store(_, _, n)
-                | RtlInstr::Call(_, _, _, n)
-                | RtlInstr::Nop(n) => *n = resolve(*n, &code_snapshot),
-                RtlInstr::Cond(_, _, _, t, e) => {
-                    *t = resolve(*t, &code_snapshot);
-                    *e = resolve(*e, &code_snapshot);
-                }
-                RtlInstr::Return(_) => {}
+        }
+        n
+    };
+    let code_snapshot = f.code.clone();
+    f.entry = resolve(f.entry, &code_snapshot);
+    for i in f.code.iter_mut() {
+        match i {
+            RtlInstr::Op(_, _, _, n)
+            | RtlInstr::Load(_, _, n)
+            | RtlInstr::Store(_, _, n)
+            | RtlInstr::Call(_, _, _, n)
+            | RtlInstr::Nop(n) => *n = resolve(*n, &code_snapshot),
+            RtlInstr::Cond(_, _, _, t, e) => {
+                *t = resolve(*t, &code_snapshot);
+                *e = resolve(*e, &code_snapshot);
             }
+            RtlInstr::Return(_) => {}
         }
     }
 }

@@ -6,27 +6,10 @@
 //! directly. Loop back-edges target a reserved `Nop` node that is patched
 //! to the loop body once it is generated.
 
-use crate::cminor::{CmExpr, CmFunction, CmProgram, CmStmt};
-use crate::rtl::{Node, RtlFunction, RtlInstr, RtlOp, RtlProgram, VReg};
+use crate::cminor::{CmExpr, CmFunction, CmStmt};
+use crate::rtl::{Node, RtlFunction, RtlInstr, RtlOp, VReg};
 use crate::CompileError;
 use std::collections::HashMap;
-
-/// Translates a Cminor program to RTL.
-///
-/// # Errors
-///
-/// Returns a [`CompileError`] on internal invariant violations.
-pub fn translate(program: &CmProgram) -> Result<RtlProgram, CompileError> {
-    Ok(RtlProgram {
-        globals: program.globals.clone(),
-        externals: program.externals.clone(),
-        functions: program
-            .functions
-            .iter()
-            .map(translate_function)
-            .collect::<Result<_, _>>()?,
-    })
-}
 
 struct Builder {
     code: Vec<RtlInstr>,
@@ -41,7 +24,7 @@ struct LoopCtx {
     cont: Node,
 }
 
-fn translate_function(f: &CmFunction) -> Result<RtlFunction, CompileError> {
+pub(crate) fn translate_function(f: &CmFunction) -> Result<RtlFunction, CompileError> {
     let mut b = Builder {
         code: Vec::new(),
         temps: HashMap::new(),

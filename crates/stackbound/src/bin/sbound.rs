@@ -12,6 +12,9 @@
 //!     -D <NAME=VALUE>   define a compile-time parameter (repeatable)
 //!     --run             also execute main() on the ASMsz machine with a
 //!                       stack of exactly the verified bound
+//!     --no-measure      skip the measurement stage (bound-only batch mode)
+//!     --check-refinement run every compiler pass's refinement checkpoint
+//!     --parallel        fan per-function compiler passes across threads
 //!     --emit-asm        print the generated assembly listing
 //!     --metric          print the cost metric M(f) = SF(f) + 4
 //!     --symbolic        print the symbolic (metric-parametric) bounds
@@ -26,6 +29,9 @@ struct Options {
     file: Option<String>,
     params: Vec<(String, u32)>,
     run: bool,
+    no_measure: bool,
+    check_refinement: bool,
+    parallel: bool,
     emit_asm: bool,
     metric: bool,
     symbolic: bool,
@@ -36,7 +42,8 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sbound [-D NAME=VALUE]... [--run] [--emit-asm] [--metric] [--symbolic] \
+        "usage: sbound [-D NAME=VALUE]... [--run] [--no-measure] [--check-refinement] \
+         [--parallel] [--emit-asm] [--metric] [--symbolic] \
          [--metrics] [--trace-json FILE] [--profile-stack] <file.c>"
     );
     ExitCode::from(2)
@@ -47,6 +54,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         file: None,
         params: Vec::new(),
         run: false,
+        no_measure: false,
+        check_refinement: false,
+        parallel: false,
         emit_asm: false,
         metric: false,
         symbolic: false,
@@ -58,6 +68,9 @@ fn parse_args() -> Result<Options, ExitCode> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--run" => opts.run = true,
+            "--no-measure" => opts.no_measure = true,
+            "--check-refinement" => opts.check_refinement = true,
+            "--parallel" => opts.parallel = true,
             "--emit-asm" => opts.emit_asm = true,
             "--metric" => opts.metric = true,
             "--symbolic" => opts.symbolic = true,
@@ -119,7 +132,16 @@ fn main() -> ExitCode {
         None
     };
 
-    let report = match stackbound::verify_with_params(&source, &params) {
+    let pipeline = stackbound::compiler::PipelineConfig {
+        check_refinement: opts.check_refinement,
+        parallel: opts.parallel,
+        ..stackbound::compiler::PipelineConfig::default()
+    };
+    let verifier = stackbound::Verifier::new()
+        .params(&params)
+        .measure(!opts.no_measure)
+        .pipeline(pipeline);
+    let report = match verifier.verify(&source) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sbound: {file}: {e}");

@@ -120,6 +120,10 @@ pub enum Error {
     Derivation(qhl::QhlError),
     /// Compilation failed.
     Compiler(compiler::CompileError),
+    /// The compiler pipeline rejected the run: a pass exceeded its
+    /// wall-clock budget or failed its refinement checkpoint (only
+    /// possible with a custom [`Verifier::pipeline`] configuration).
+    Pipeline(compiler::PipelineError),
     /// The machine run failed (overflow would mean an unsound bound).
     Machine(String),
 }
@@ -131,6 +135,7 @@ impl fmt::Display for Error {
             Error::Analyzer(e) => write!(f, "analyzer: {e}"),
             Error::Derivation(e) => write!(f, "derivation check: {e}"),
             Error::Compiler(e) => write!(f, "compiler: {e}"),
+            Error::Pipeline(e) => write!(f, "compiler pipeline: {e}"),
             Error::Machine(m) => write!(f, "machine: {m}"),
         }
     }
@@ -138,11 +143,272 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// One stage of the end-to-end verification pipeline (the paper's
+/// Figure 2 loop): the [`Verifier`] runs these in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Parse and type-check the C source.
+    Frontend,
+    /// Run the automatic stack analyzer, producing derivations.
+    Analyze,
+    /// Re-check the generated derivations with the [`qhl`] validator.
+    CheckDerivations,
+    /// Compile through the quantitative pipeline.
+    Compile,
+    /// Instantiate the symbolic bounds with the compiler's cost metric.
+    Bound,
+    /// Execute `main` on the `ASMsz` machine with a stack of exactly the
+    /// verified bound and record the measured usage.
+    Measure,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Frontend,
+        Stage::Analyze,
+        Stage::CheckDerivations,
+        Stage::Compile,
+        Stage::Bound,
+        Stage::Measure,
+    ];
+
+    /// The stage's name as it appears in obs spans and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::Analyze => "analyze",
+            Stage::CheckDerivations => "check-derivations",
+            Stage::Compile => "compile",
+            Stage::Bound => "bound",
+            Stage::Measure => "measure",
+        }
+    }
+
+    /// Whether the stage may be skipped. The mandatory stages produce the
+    /// data every [`Report`] carries; only the re-validation and the
+    /// machine run are optional.
+    pub fn optional(self) -> bool {
+        matches!(self, Stage::CheckDerivations | Stage::Measure)
+    }
+}
+
+/// A configurable builder for the end-to-end verification pipeline.
+///
+/// [`verify_program`] is the all-defaults instance of this builder; use
+/// the builder directly to skip or configure stages — a no-measure batch
+/// mode, a custom interpreter fuel, a refinement-checked or parallel
+/// compile:
+///
+/// ```
+/// use stackbound::{Stage, Verifier};
+///
+/// let report = Verifier::new()
+///     .skip(Stage::Measure)             // bound-only batch mode
+///     .check_refinement(true)           // per-pass refinement checkpoints
+///     .verify("u32 id(u32 x) { return x; }
+///              int main() { u32 r; r = id(7); return r; }")
+///     .unwrap();
+/// assert!(report.bound("main").is_some());
+/// assert_eq!(report.measured("main"), None); // measurement was skipped
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    fuel: u64,
+    params: Vec<(String, u32)>,
+    skipped: std::collections::BTreeSet<Stage>,
+    pipeline: compiler::PipelineConfig,
+}
+
+impl Default for Verifier {
+    fn default() -> Verifier {
+        Verifier::new()
+    }
+}
+
+impl Verifier {
+    /// A verifier with the defaults of [`verify_program`]: every stage,
+    /// [`DEFAULT_FUEL`], the default compiler pipeline.
+    pub fn new() -> Verifier {
+        Verifier {
+            fuel: DEFAULT_FUEL,
+            params: Vec::new(),
+            skipped: std::collections::BTreeSet::new(),
+            pipeline: compiler::PipelineConfig::default(),
+        }
+    }
+
+    /// Sets the interpreter/machine fuel for the measurement stage.
+    #[must_use]
+    pub fn fuel(mut self, fuel: u64) -> Verifier {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Adds one compile-time parameter (the paper's section hypotheses,
+    /// e.g. `ALEN`).
+    #[must_use]
+    pub fn param(mut self, name: &str, value: u32) -> Verifier {
+        self.params.push((name.to_owned(), value));
+        self
+    }
+
+    /// Adds compile-time parameters.
+    #[must_use]
+    pub fn params(mut self, params: &[(&str, u32)]) -> Verifier {
+        self.params
+            .extend(params.iter().map(|(n, v)| ((*n).to_owned(), *v)));
+        self
+    }
+
+    /// Skips an [optional](Stage::optional) stage. Skipping a mandatory
+    /// stage is ignored: every later stage depends on its output.
+    #[must_use]
+    pub fn skip(mut self, stage: Stage) -> Verifier {
+        if stage.optional() {
+            self.skipped.insert(stage);
+        }
+        self
+    }
+
+    /// Convenience for skipping/unskipping [`Stage::Measure`].
+    #[must_use]
+    pub fn measure(mut self, on: bool) -> Verifier {
+        if on {
+            self.skipped.remove(&Stage::Measure);
+        } else {
+            self.skipped.insert(Stage::Measure);
+        }
+        self
+    }
+
+    /// Convenience for skipping/unskipping [`Stage::CheckDerivations`].
+    #[must_use]
+    pub fn check_derivations(mut self, on: bool) -> Verifier {
+        if on {
+            self.skipped.remove(&Stage::CheckDerivations);
+        } else {
+            self.skipped.insert(Stage::CheckDerivations);
+        }
+        self
+    }
+
+    /// Runs the compile stage with per-pass refinement checkpoints
+    /// ([`compiler::PipelineConfig::check_refinement`]).
+    #[must_use]
+    pub fn check_refinement(mut self, on: bool) -> Verifier {
+        self.pipeline.check_refinement = on;
+        self
+    }
+
+    /// Replaces the whole compiler pipeline configuration (budgets,
+    /// parallelism, optimization selection, …).
+    #[must_use]
+    pub fn pipeline(mut self, config: compiler::PipelineConfig) -> Verifier {
+        self.pipeline = config;
+        self
+    }
+
+    /// The stages this verifier will run, in order.
+    pub fn stages(&self) -> Vec<Stage> {
+        Stage::ALL
+            .into_iter()
+            .filter(|s| !self.skipped.contains(s))
+            .collect()
+    }
+
+    /// Runs the configured stages on `src` and assembles the [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// Any stage can fail; see [`Error`]. Recursive programs are rejected
+    /// by the analyzer — verify them interactively with [`qhl`] (the
+    /// `interactive_proof` example shows how).
+    pub fn verify(&self, src: &str) -> Result<Report, Error> {
+        let _span = obs::span("verify/program");
+        let mut program = None;
+        let mut analysis = None;
+        let mut compiled: Option<compiler::Compiled> = None;
+        let mut bounds = BTreeMap::new();
+        let mut measured = BTreeMap::new();
+        let mut measurement = None;
+        for stage in self.stages() {
+            match stage {
+                Stage::Frontend => {
+                    let params: Vec<(&str, u32)> =
+                        self.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                    program = Some(clight::frontend(src, &params).map_err(Error::Frontend)?);
+                }
+                Stage::Analyze => {
+                    let program = program.as_ref().expect("frontend is mandatory");
+                    analysis = Some(analyzer::analyze(program).map_err(Error::Analyzer)?);
+                }
+                Stage::CheckDerivations => {
+                    analysis
+                        .as_ref()
+                        .expect("analyze is mandatory")
+                        .check(program.as_ref().expect("frontend is mandatory"))
+                        .map_err(Error::Derivation)?;
+                }
+                Stage::Compile => {
+                    let program = program.as_ref().expect("frontend is mandatory");
+                    compiled = Some(
+                        compiler::Pipeline::new(self.pipeline.clone())
+                            .run(program)
+                            .map_err(|e| match e {
+                                compiler::PipelineError::Compile(e) => Error::Compiler(e),
+                                other => Error::Pipeline(other),
+                            })?,
+                    );
+                }
+                Stage::Bound => {
+                    let _s = obs::span("verify/bounds");
+                    let program = program.as_ref().expect("frontend is mandatory");
+                    let analysis = analysis.as_ref().expect("analyze is mandatory");
+                    let compiled = compiled.as_ref().expect("compile is mandatory");
+                    for name in program.function_names() {
+                        if let Some(b) = analysis.concrete_bound(name, &compiled.metric) {
+                            bounds.insert(name.to_owned(), b as u32);
+                        }
+                    }
+                    obs::counter("verify/bounded_functions", bounds.len() as u64);
+                }
+                Stage::Measure => {
+                    let Some(main_bound) = bounds.get("main").copied() else {
+                        continue;
+                    };
+                    let _s = obs::span("verify/measure");
+                    let compiled = compiled.as_ref().expect("compile is mandatory");
+                    let m = asm::measure_main(&compiled.asm, main_bound, self.fuel)
+                        .map_err(|e| Error::Machine(e.to_string()))?;
+                    if let Some(err) = m.error {
+                        return Err(Error::Machine(err.to_string()));
+                    }
+                    if m.behavior.converges() {
+                        measured.insert("main".to_owned(), m.stack_usage);
+                    }
+                    measurement = Some(m);
+                }
+            }
+        }
+        Ok(Report {
+            bounds,
+            measured,
+            compiled: compiled.expect("compile is mandatory"),
+            analysis: analysis.expect("analyze is mandatory"),
+            measurement,
+        })
+    }
+}
+
 /// Runs the complete verified tool of §5: parse, type-check, analyze
 /// (generating and re-checking derivations), compile, and derive a
 /// concrete verified stack bound for every function. If the program has a
 /// `main`, it is additionally executed on the `ASMsz` machine with a stack
 /// of exactly the verified bound, and the measured usage is recorded.
+///
+/// This is the all-defaults instance of [`Verifier`]; use the builder to
+/// skip or configure stages.
 ///
 /// # Errors
 ///
@@ -150,7 +416,7 @@ impl std::error::Error for Error {}
 /// the analyzer — verify them interactively with [`qhl`] (the
 /// `interactive_proof` example shows how).
 pub fn verify_program(src: &str) -> Result<Report, Error> {
-    verify_with_params(src, &[])
+    Verifier::new().verify(src)
 }
 
 /// [`verify_program`] with compile-time parameters (the paper's `ALEN`
@@ -160,43 +426,7 @@ pub fn verify_program(src: &str) -> Result<Report, Error> {
 ///
 /// See [`verify_program`].
 pub fn verify_with_params(src: &str, params: &[(&str, u32)]) -> Result<Report, Error> {
-    let _span = obs::span("verify/program");
-    let program = clight::frontend(src, params).map_err(Error::Frontend)?;
-    let analysis = analyzer::analyze(&program).map_err(Error::Analyzer)?;
-    analysis.check(&program).map_err(Error::Derivation)?;
-    let compiled = compiler::compile(&program).map_err(Error::Compiler)?;
-
-    let mut bounds = BTreeMap::new();
-    {
-        let _s = obs::span("verify/bounds");
-        for name in program.function_names() {
-            if let Some(b) = analysis.concrete_bound(name, &compiled.metric) {
-                bounds.insert(name.to_owned(), b as u32);
-            }
-        }
-        obs::counter("verify/bounded_functions", bounds.len() as u64);
-    }
-    let mut measured = BTreeMap::new();
-    let mut measurement = None;
-    if let Some(main_bound) = bounds.get("main").copied() {
-        let _s = obs::span("verify/measure");
-        let m = asm::measure_main(&compiled.asm, main_bound, DEFAULT_FUEL)
-            .map_err(|e| Error::Machine(e.to_string()))?;
-        if let Some(err) = m.error {
-            return Err(Error::Machine(err.to_string()));
-        }
-        if m.behavior.converges() {
-            measured.insert("main".to_owned(), m.stack_usage);
-        }
-        measurement = Some(m);
-    }
-    Ok(Report {
-        bounds,
-        measured,
-        compiled,
-        analysis,
-        measurement,
-    })
+    Verifier::new().params(params).verify(src)
 }
 
 #[cfg(test)]
