@@ -1,0 +1,177 @@
+//! Content-addressed, in-memory measurement cache.
+//!
+//! The bench harnesses and tier-2 gates measure the *same* compiled
+//! programs repeatedly — once per rep of `interp_bench`, once per budget
+//! check, once per refinement sweep. A [`Measurement`] is a pure function
+//! of `(program, entry function, arguments, stack size, fuel)`, so it can
+//! be memoized under a content-addressed key:
+//!
+//! ```text
+//! key = FNV-1a-128(program ‖ fname ‖ args ‖ sz ‖ fuel)
+//! ```
+//!
+//! computed as two independent 64-bit FNV-1a streams over the `Hash`
+//! encoding of the inputs (different offset bases, so a collision must
+//! defeat both streams at once). The cache is `Sync` — a `Mutex` around a
+//! plain `HashMap` — and the lock is never held across a machine run, so
+//! `--parallel-measure` workers can share one cache. Hits and misses are
+//! published as the `obs` counters `asm/cache_hit` / `asm/cache_miss` and
+//! mirrored in [`MeasureCache::stats`] for harnesses that run without a
+//! recorder installed.
+
+use crate::{measure_function, AsmProgram, MachineError, Measurement};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A 64-bit FNV-1a stream with a caller-chosen offset basis, used as a
+/// [`Hasher`] so the cache key can be fed through `#[derive(Hash)]`.
+struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn with_basis(basis: u64) -> Fnv64 {
+        Fnv64 { state: basis }
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(Fnv64::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The 128-bit composite content key of one measurement request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key(u64, u64);
+
+fn key(program: &AsmProgram, fname: &str, args: &[u32], sz: u32, fuel: u64) -> Key {
+    // Standard FNV-1a offset basis, and a second stream whose basis is the
+    // basis hashed by itself — any fixed distinct value works; the two
+    // streams see the same bytes but never agree on state.
+    let mut h1 = Fnv64::with_basis(0xcbf2_9ce4_8422_2325);
+    let mut h2 = Fnv64::with_basis(0x6c62_272e_07bb_0142);
+    for h in [&mut h1, &mut h2] {
+        program.hash(h);
+        fname.hash(h);
+        args.hash(h);
+        sz.hash(h);
+        fuel.hash(h);
+    }
+    Key(h1.finish(), h2.finish())
+}
+
+/// A thread-safe memo table for [`measure_function`] results.
+///
+/// # Examples
+///
+/// ```
+/// use asm::{AsmFunction, AsmProgram, Instr, MeasureCache, Operand, Reg};
+///
+/// let f = AsmFunction::new("f", 0, vec![
+///     Instr::Mov(Reg::Eax, Operand::Imm(3)),
+///     Instr::Ret,
+/// ]);
+/// let prog = AsmProgram { globals: vec![], externals: vec![], functions: vec![f] };
+/// let cache = MeasureCache::new();
+/// let a = cache.measure_function(&prog, "f", &[], 64, 1000).unwrap();
+/// let b = cache.measure_function(&prog, "f", &[], 64, 1000).unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(cache.stats(), (1, 1)); // one hit, one miss
+/// ```
+#[derive(Default)]
+pub struct MeasureCache {
+    map: Mutex<HashMap<Key, Measurement>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MeasureCache {
+    /// Creates an empty cache.
+    pub fn new() -> MeasureCache {
+        MeasureCache::default()
+    }
+
+    /// Number of distinct measurements stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since the cache was created.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// [`measure_function`] through the cache. Setup errors (unknown
+    /// function, stack too small for the arguments) are never cached: they
+    /// are cheap to recompute and carry no measurement.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`measure_function`].
+    pub fn measure_function(
+        &self,
+        program: &AsmProgram,
+        fname: &str,
+        args: &[u32],
+        sz: u32,
+        fuel: u64,
+    ) -> Result<Measurement, MachineError> {
+        let k = key(program, fname, args, sz, fuel);
+        if let Some(m) = self.map.lock().unwrap().get(&k) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("asm/cache_hit", 1);
+            return Ok(m.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter("asm/cache_miss", 1);
+        let m = measure_function(program, fname, args, sz, fuel)?;
+        // Two workers racing on the same key insert the same value; last
+        // write wins and both results are identical by construction.
+        self.map.lock().unwrap().insert(k, m.clone());
+        Ok(m)
+    }
+
+    /// [`crate::measure_main`] through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`crate::measure_main`].
+    pub fn measure_main(
+        &self,
+        program: &AsmProgram,
+        sz: u32,
+        fuel: u64,
+    ) -> Result<Measurement, MachineError> {
+        self.measure_function(program, "main", &[], sz, fuel)
+    }
+}
+
+impl std::fmt::Debug for MeasureCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("MeasureCache")
+            .field("entries", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}

@@ -1,0 +1,919 @@
+//! Pre-decoded `ASMsz` code: the representation the fast execution core
+//! dispatches on.
+//!
+//! At [`Machine`](crate::Machine) load time every function's
+//! [`Instr`](crate::Instr) sequence is lowered into a flat array of
+//! [`DInstr`]: operands are pre-unpacked (no `Operand` matching per step),
+//! jump targets are resolved to absolute decoded indices (no per-branch
+//! `HashMap` lookup), writes to `ESP` get dedicated opcodes so the stack
+//! monitor lives only on that path, and `Label` pseudo-instructions are
+//! elided from the instruction stream.
+//!
+//! Elision must not change observable behaviour: in the reference
+//! semantics a label *executes* — it consumes one fuel step and retires
+//! one branch-class instruction. A run of consecutive labels therefore
+//! becomes a single [`DInstr::Pad`] carrying the run length, and every
+//! control transfer carries the number of labels sitting at its landing
+//! site so the core can retire them in O(1) without touching the decoded
+//! stream. Two side tables keep the original coordinates recoverable:
+//!
+//! * `origin[d]` — the original index of decoded entry `d` (for a `Pad`,
+//!   the index of the first label of the run); `origin[code.len()]` is the
+//!   original code length. Used to reconstruct the reference program
+//!   counter in error messages and at fuel exhaustion.
+//! * `resume[i]` — for every original index `i` (including one past the
+//!   end), the decoded index of the next real instruction at or after `i`
+//!   together with the number of labels the reference interpreter would
+//!   execute on the way there. Jumps, calls, returns, and machine entry
+//!   all land through this table.
+
+use crate::{AsmFunction, Instr, Operand, Reg};
+use mem::{Binop, Unop};
+use std::collections::HashMap;
+
+/// Register-file index of `ESP` (see [`Reg::index`]).
+pub(crate) const ESP: u8 = 7;
+
+/// Sentinel decoded jump target meaning "the label does not exist".
+///
+/// The reference semantics raises `missing label` only when the jump is
+/// *taken*, so unresolved labels must survive decoding and fail at
+/// execution time, keeping the label id for the error message.
+pub(crate) const MISSING: u32 = u32::MAX;
+
+/// A pre-unpacked operand: the decoded counterpart of [`Operand`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Src {
+    /// A 32-bit immediate.
+    Imm(u32),
+    /// A register-file index.
+    Reg(u8),
+}
+
+impl Src {
+    fn of(o: Operand) -> Src {
+        match o {
+            Operand::Imm(n) => Src::Imm(n),
+            Operand::Reg(r) => Src::Reg(r.index() as u8),
+        }
+    }
+}
+
+/// A decoded instruction. `Copy` and small (16 bytes) so the dispatch loop
+/// reads it out of the flat array by value.
+///
+/// Destinations that are statically `ESP` use dedicated opcodes
+/// (`MovEsp`, …) so the bounds-check + low-water + waterline monitor runs
+/// only where it can matter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DInstr {
+    /// A run of `count` elided labels: retires `count` branch-class steps.
+    Pad {
+        /// Number of consecutive labels in the run.
+        count: u32,
+    },
+    /// `regs[dst] <- imm` (dst is not `ESP`).
+    MovImm { dst: u8, imm: u32 },
+    /// `regs[dst] <- regs[rs]` (dst is not `ESP`).
+    MovReg { dst: u8, rs: u8 },
+    /// `esp <- src`, monitored.
+    MovEsp { src: Src },
+    /// `regs[dst] <- &global + off`.
+    LeaGlobal { dst: u8, global: u32, off: u32 },
+    /// `esp <- &global + off` — always a `BadStackPointer`, kept for
+    /// behaviour identity.
+    LeaGlobalEsp { global: u32, off: u32 },
+    /// `regs[dst] <- regs[dst] + imm` (dst is not `ESP`): loop counters
+    /// and address arithmetic, worth dedicated opcodes because `+`/`-` on
+    /// `Int` and `Ptr` never fault.
+    AddImm { dst: u8, imm: u32 },
+    /// `regs[dst] <- regs[dst] - imm` (dst is not `ESP`).
+    SubImm { dst: u8, imm: u32 },
+    /// `regs[dst] <- regs[dst] op imm` (dst is not `ESP`).
+    AluImm { op: Binop, dst: u8, imm: u32 },
+    /// `regs[dst] <- regs[dst] op regs[rs]` (dst is not `ESP`).
+    AluReg { op: Binop, dst: u8, rs: u8 },
+    /// `esp <- esp - imm`: the frame-allocation idiom, fast-pathed with
+    /// the monitor inlined.
+    SubEspImm { imm: u32 },
+    /// `esp <- esp + imm`: the frame-deallocation idiom.
+    AddEspImm { imm: u32 },
+    /// `esp <- esp op src`, monitored (rare non-idiomatic `ESP` math).
+    AluEsp { op: Binop, src: Src },
+    /// `regs[dst] <- op regs[dst]` (dst is not `ESP`).
+    Un { op: Unop, dst: u8 },
+    /// `esp <- op esp`, monitored.
+    UnEsp { op: Unop },
+    /// `regs[dst] <- [regs[base] + disp]` (dst is not `ESP`).
+    Load { dst: u8, base: u8, disp: i32 },
+    /// `esp <- [regs[base] + disp]`, monitored.
+    LoadEsp { base: u8, disp: i32 },
+    /// `[regs[base] + disp] <- regs[src]`.
+    Store { base: u8, disp: i32, src: u8 },
+    /// Remember `(regs[reg], imm)` for a following `Jcc`.
+    CmpImm { reg: u8, imm: u32 },
+    /// Remember `(regs[reg], regs[rs])` for a following `Jcc`.
+    CmpReg { reg: u8, rs: u8 },
+    /// Fused `Cmp reg, imm` + immediately-following `Jcc op` (a decode-time
+    /// peephole over adjacent pairs). The standalone [`DInstr::Jcc`] is
+    /// still emitted in the next slot — resumed runs land on it through the
+    /// resume table, and it carries the label id for error messages — and
+    /// the fused arm steps over it on fallthrough.
+    CmpJccImm {
+        op: Binop,
+        reg: u8,
+        imm: u32,
+        target: u32,
+        pad: u32,
+    },
+    /// Fused `Cmp reg, regs[rs]` + `Jcc op`; see [`DInstr::CmpJccImm`].
+    CmpJccReg {
+        op: Binop,
+        reg: u8,
+        rs: u8,
+        target: u32,
+        pad: u32,
+    },
+    /// Fused `Load` + `MovReg` (the hottest dynamic pair in the benchmark
+    /// suite); same standalone-second-slot scheme as [`DInstr::CmpJccImm`].
+    LoadMovReg {
+        ldst: u8,
+        base: u8,
+        disp: i32,
+        mdst: u8,
+        mrs: u8,
+    },
+    /// Fused `MovReg` + `Load`.
+    MovRegLoad {
+        mdst: u8,
+        mrs: u8,
+        ldst: u8,
+        base: u8,
+        disp: i32,
+    },
+    /// Fused `MovReg` + `MovImm`.
+    MovRegMovImm {
+        mdst: u8,
+        mrs: u8,
+        idst: u8,
+        imm: u32,
+    },
+    /// Fused `MovImm` + `MovReg`.
+    MovImmMovReg {
+        idst: u8,
+        imm: u32,
+        mdst: u8,
+        mrs: u8,
+    },
+    /// Fused `MovReg` + `MovReg`.
+    MovRegMovReg { d1: u8, s1: u8, d2: u8, s2: u8 },
+    /// Fused `MovReg` + `AluReg`.
+    MovRegAluReg {
+        mdst: u8,
+        mrs: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+    },
+    /// Fused `AluReg` + `MovReg`.
+    AluRegMovReg {
+        op: Binop,
+        adst: u8,
+        ars: u8,
+        mdst: u8,
+        mrs: u8,
+    },
+    /// Fused `AluReg` + `Store`.
+    AluRegStore {
+        op: Binop,
+        adst: u8,
+        ars: u8,
+        base: u8,
+        disp: i32,
+        src: u8,
+    },
+    /// Fused `Store` + `Load`.
+    StoreLoad {
+        sbase: u8,
+        sdisp: i32,
+        ssrc: u8,
+        ldst: u8,
+        lbase: u8,
+        ldisp: i32,
+    },
+    /// Fused `Store` + `Jmp`; like [`DInstr::CmpJccImm`], the error path
+    /// for an unresolved target reads the label id off the standalone
+    /// `Jmp` in the next slot.
+    StoreJmp {
+        base: u8,
+        disp: i32,
+        src: u8,
+        target: u32,
+        pad: u32,
+    },
+    /// Fused `MovImm` + `CmpReg`.
+    MovImmCmpReg {
+        idst: u8,
+        imm: u32,
+        creg: u8,
+        crs: u8,
+    },
+    /// Fused `LeaGlobal` + `MovReg`.
+    LeaGlobalMovReg {
+        dst: u8,
+        global: u32,
+        off: u32,
+        mdst: u8,
+        mrs: u8,
+    },
+    /// Fused `Load` + `MovReg` + `MovImm` triple (the hottest dynamic
+    /// triple in the benchmark suite). Triples extend the
+    /// standalone-suffix scheme: slots `d + 1` and `d + 2` keep their
+    /// (possibly pair-fused) forms so resumed runs land mid-sequence.
+    LoadMovRegMovImm {
+        ldst: u8,
+        base: u8,
+        disp: i32,
+        mdst: u8,
+        mrs: u8,
+        idst: u8,
+        imm: u32,
+    },
+    /// Fused `MovReg` + `MovImm` + `MovReg` triple.
+    MovRegMovImmMovReg {
+        d1: u8,
+        s1: u8,
+        idst: u8,
+        imm: u32,
+        d2: u8,
+        s2: u8,
+    },
+    /// Fused `MovReg` + `Load` + `MovReg` triple.
+    MovRegLoadMovReg {
+        d1: u8,
+        s1: u8,
+        ldst: u8,
+        base: u8,
+        disp: i32,
+        d2: u8,
+        s2: u8,
+    },
+    /// Fused `MovImm` + `MovReg` + `AluReg` triple.
+    MovImmMovRegAluReg {
+        idst: u8,
+        imm: u32,
+        mdst: u8,
+        mrs: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+    },
+    /// Fused `MovReg` + `AluReg` + `MovReg` triple.
+    MovRegAluRegMovReg {
+        d1: u8,
+        s1: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+        d2: u8,
+        s2: u8,
+    },
+    /// Fused `MovReg` + `MovReg` + `AluReg` triple.
+    MovRegMovRegAluReg {
+        d1: u8,
+        s1: u8,
+        d2: u8,
+        s2: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+    },
+    /// Fused `MovReg` + `AluReg` + `Store` triple.
+    MovRegAluRegStore {
+        d1: u8,
+        s1: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+        base: u8,
+        disp: i32,
+        src: u8,
+    },
+    /// Fused `Load` + `MovReg` + `MovImm` + `MovReg` quad (the hottest
+    /// dynamic 4-sequence: spill-slot reload, shuffle, then materialise
+    /// the next operand). Same standalone-suffix scheme as triples.
+    LoadMovRegMovImmMovReg {
+        ldst: u8,
+        base: u8,
+        disp: i32,
+        mdst: u8,
+        mrs: u8,
+        idst: u8,
+        imm: u32,
+        d2: u8,
+        s2: u8,
+    },
+    /// Fused `MovReg` + `MovImm` + `MovReg` + `AluReg` quad.
+    MovRegMovImmMovRegAluReg {
+        d1: u8,
+        s1: u8,
+        idst: u8,
+        imm: u32,
+        d2: u8,
+        s2: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+    },
+    /// Fused `MovImm` + `MovReg` + `AluReg` + `MovReg` quad.
+    MovImmMovRegAluRegMovReg {
+        idst: u8,
+        imm: u32,
+        mdst: u8,
+        mrs: u8,
+        op: Binop,
+        adst: u8,
+        ars: u8,
+        d2: u8,
+        s2: u8,
+    },
+    /// Fused `MovReg` + `Load` + `MovReg` + `MovImm` quad.
+    MovRegLoadMovRegMovImm {
+        d1: u8,
+        s1: u8,
+        ldst: u8,
+        base: u8,
+        disp: i32,
+        d2: u8,
+        s2: u8,
+        idst: u8,
+        imm: u32,
+    },
+    /// Conditional jump: `target` is the decoded landing index, `pad` the
+    /// labels retired on the way (or `target == MISSING`).
+    Jcc {
+        op: Binop,
+        label: u32,
+        target: u32,
+        pad: u32,
+    },
+    /// Unconditional jump; same encoding as `Jcc`.
+    Jmp { label: u32, target: u32, pad: u32 },
+    /// Call the internal function `target`.
+    Call { target: u32 },
+    /// Call the external stub `target`.
+    CallExt { target: u32 },
+    /// Return through `[esp]`.
+    Ret,
+}
+
+/// One function lowered for the fast core. See the module docs for the
+/// `origin`/`resume` invariants.
+pub(crate) struct DecodedFunction {
+    /// Label-free instruction stream.
+    pub code: Vec<DInstr>,
+    /// Decoded index → original index (one extra entry = original length).
+    pub origin: Vec<u32>,
+    /// Original index (0..=len) → (decoded index of the next real
+    /// instruction, labels retired on the way).
+    pub resume: Vec<(u32, u32)>,
+}
+
+impl DecodedFunction {
+    /// Original index of decoded entry `d` (`code.len()` maps to the
+    /// original code length).
+    #[inline]
+    pub fn orig(&self, d: usize) -> usize {
+        self.origin[d] as usize
+    }
+}
+
+/// Lowers one function. Pure; called once per function at machine load.
+pub(crate) fn decode_function(f: &AsmFunction) -> DecodedFunction {
+    let n = f.code.len();
+    let mut labels: HashMap<u32, u32> = HashMap::new();
+    for (i, ins) in f.code.iter().enumerate() {
+        if let Instr::Label(l) = ins {
+            labels.insert(*l, i as u32);
+        }
+    }
+
+    // Pass 1: emit the label-free stream, collapsing label runs into pads.
+    let mut code = Vec::with_capacity(n);
+    let mut origin = Vec::with_capacity(n + 1);
+    let mut didx_of = vec![0u32; n]; // meaningful for real instructions only
+    let mut i = 0;
+    while i < n {
+        if matches!(f.code[i], Instr::Label(_)) {
+            let start = i;
+            while i < n && matches!(f.code[i], Instr::Label(_)) {
+                i += 1;
+            }
+            origin.push(start as u32);
+            code.push(DInstr::Pad {
+                count: (i - start) as u32,
+            });
+        } else {
+            didx_of[i] = code.len() as u32;
+            origin.push(i as u32);
+            code.push(lower(&f.code[i]));
+            i += 1;
+        }
+    }
+    origin.push(n as u32);
+
+    // Pass 2 (backward): the resume table.
+    let mut resume = vec![(0u32, 0u32); n + 1];
+    resume[n] = (code.len() as u32, 0);
+    for i in (0..n).rev() {
+        resume[i] = match f.code[i] {
+            Instr::Label(_) => {
+                let (d, k) = resume[i + 1];
+                (d, k + 1)
+            }
+            _ => (didx_of[i], 0),
+        };
+    }
+
+    // Pass 3: resolve jump targets through the resume table.
+    for d in &mut code {
+        let (label, target, pad) = match d {
+            DInstr::Jmp { label, target, pad } => (label, target, pad),
+            DInstr::Jcc {
+                label, target, pad, ..
+            } => (label, target, pad),
+            _ => continue,
+        };
+        if let Some(&li) = labels.get(label) {
+            let (t, k) = resume[li as usize];
+            *target = t;
+            *pad = k;
+        }
+    }
+
+    // Pass 4: fuse hot adjacent triples and pairs (jump targets are
+    // resolved by now, so fused branches can carry them). Any label
+    // between two instructions would have produced an intervening `Pad`,
+    // so adjacency in the decoded stream implies adjacency in the
+    // original program.
+    //
+    // The slots holding the later members are left in their unfused (or,
+    // once this loop passes them, pair-fused) forms: the fused arm falls
+    // through past them, and only resumed runs (fuel exhausted
+    // mid-sequence) and jumps through the resume table land on them.
+    // Because iteration is ascending and each iteration only rewrites
+    // slot `d` after reading slots `d..d + 2` — which hold original,
+    // unfused content until their own iteration — fusions may overlap:
+    // in `mov; mov; mov` both the first and second slot become fused,
+    // and whichever slot execution enters at runs the full remaining
+    // sequence in one dispatch.
+    for d in 0..code.len().saturating_sub(1) {
+        if d + 3 < code.len() {
+            let fused = match (code[d], code[d + 1], code[d + 2], code[d + 3]) {
+                (
+                    DInstr::Load { dst, base, disp },
+                    DInstr::MovReg { dst: mdst, rs: mrs },
+                    DInstr::MovImm { dst: idst, imm },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                ) => Some(DInstr::LoadMovRegMovImmMovReg {
+                    ldst: dst,
+                    base,
+                    disp,
+                    mdst,
+                    mrs,
+                    idst,
+                    imm,
+                    d2,
+                    s2,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::MovImm { dst: idst, imm },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                    DInstr::AluReg {
+                        op,
+                        dst: adst,
+                        rs: ars,
+                    },
+                ) => Some(DInstr::MovRegMovImmMovRegAluReg {
+                    d1,
+                    s1,
+                    idst,
+                    imm,
+                    d2,
+                    s2,
+                    op,
+                    adst,
+                    ars,
+                }),
+                (
+                    DInstr::MovImm { dst: idst, imm },
+                    DInstr::MovReg { dst: mdst, rs: mrs },
+                    DInstr::AluReg {
+                        op,
+                        dst: adst,
+                        rs: ars,
+                    },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                ) => Some(DInstr::MovImmMovRegAluRegMovReg {
+                    idst,
+                    imm,
+                    mdst,
+                    mrs,
+                    op,
+                    adst,
+                    ars,
+                    d2,
+                    s2,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::Load {
+                        dst: ldst,
+                        base,
+                        disp,
+                    },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                    DInstr::MovImm { dst: idst, imm },
+                ) => Some(DInstr::MovRegLoadMovRegMovImm {
+                    d1,
+                    s1,
+                    ldst,
+                    base,
+                    disp,
+                    d2,
+                    s2,
+                    idst,
+                    imm,
+                }),
+                _ => None,
+            };
+            if let Some(fused) = fused {
+                code[d] = fused;
+                continue;
+            }
+        }
+        if d + 2 < code.len() {
+            let fused = match (code[d], code[d + 1], code[d + 2]) {
+                (
+                    DInstr::Load { dst, base, disp },
+                    DInstr::MovReg { dst: mdst, rs: mrs },
+                    DInstr::MovImm { dst: idst, imm },
+                ) => Some(DInstr::LoadMovRegMovImm {
+                    ldst: dst,
+                    base,
+                    disp,
+                    mdst,
+                    mrs,
+                    idst,
+                    imm,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::MovImm { dst: idst, imm },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                ) => Some(DInstr::MovRegMovImmMovReg {
+                    d1,
+                    s1,
+                    idst,
+                    imm,
+                    d2,
+                    s2,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::Load {
+                        dst: ldst,
+                        base,
+                        disp,
+                    },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                ) => Some(DInstr::MovRegLoadMovReg {
+                    d1,
+                    s1,
+                    ldst,
+                    base,
+                    disp,
+                    d2,
+                    s2,
+                }),
+                (
+                    DInstr::MovImm { dst: idst, imm },
+                    DInstr::MovReg { dst: mdst, rs: mrs },
+                    DInstr::AluReg {
+                        op,
+                        dst: adst,
+                        rs: ars,
+                    },
+                ) => Some(DInstr::MovImmMovRegAluReg {
+                    idst,
+                    imm,
+                    mdst,
+                    mrs,
+                    op,
+                    adst,
+                    ars,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::AluReg {
+                        op,
+                        dst: adst,
+                        rs: ars,
+                    },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                ) => Some(DInstr::MovRegAluRegMovReg {
+                    d1,
+                    s1,
+                    op,
+                    adst,
+                    ars,
+                    d2,
+                    s2,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::MovReg { dst: d2, rs: s2 },
+                    DInstr::AluReg {
+                        op,
+                        dst: adst,
+                        rs: ars,
+                    },
+                ) => Some(DInstr::MovRegMovRegAluReg {
+                    d1,
+                    s1,
+                    d2,
+                    s2,
+                    op,
+                    adst,
+                    ars,
+                }),
+                (
+                    DInstr::MovReg { dst: d1, rs: s1 },
+                    DInstr::AluReg {
+                        op,
+                        dst: adst,
+                        rs: ars,
+                    },
+                    DInstr::Store { base, disp, src },
+                ) => Some(DInstr::MovRegAluRegStore {
+                    d1,
+                    s1,
+                    op,
+                    adst,
+                    ars,
+                    base,
+                    disp,
+                    src,
+                }),
+                _ => None,
+            };
+            if let Some(fused) = fused {
+                code[d] = fused;
+                continue;
+            }
+        }
+        code[d] = match (code[d], code[d + 1]) {
+            (
+                DInstr::CmpImm { reg, imm },
+                DInstr::Jcc {
+                    op, target, pad, ..
+                },
+            ) => DInstr::CmpJccImm {
+                op,
+                reg,
+                imm,
+                target,
+                pad,
+            },
+            (
+                DInstr::CmpReg { reg, rs },
+                DInstr::Jcc {
+                    op, target, pad, ..
+                },
+            ) => DInstr::CmpJccReg {
+                op,
+                reg,
+                rs,
+                target,
+                pad,
+            },
+            (DInstr::Load { dst, base, disp }, DInstr::MovReg { dst: mdst, rs }) => {
+                DInstr::LoadMovReg {
+                    ldst: dst,
+                    base,
+                    disp,
+                    mdst,
+                    mrs: rs,
+                }
+            }
+            (
+                DInstr::MovReg { dst, rs },
+                DInstr::Load {
+                    dst: ldst,
+                    base,
+                    disp,
+                },
+            ) => DInstr::MovRegLoad {
+                mdst: dst,
+                mrs: rs,
+                ldst,
+                base,
+                disp,
+            },
+            (DInstr::MovReg { dst, rs }, DInstr::MovImm { dst: idst, imm }) => {
+                DInstr::MovRegMovImm {
+                    mdst: dst,
+                    mrs: rs,
+                    idst,
+                    imm,
+                }
+            }
+            (DInstr::MovImm { dst, imm }, DInstr::MovReg { dst: mdst, rs }) => {
+                DInstr::MovImmMovReg {
+                    idst: dst,
+                    imm,
+                    mdst,
+                    mrs: rs,
+                }
+            }
+            (DInstr::MovReg { dst: d1, rs: s1 }, DInstr::MovReg { dst: d2, rs: s2 }) => {
+                DInstr::MovRegMovReg { d1, s1, d2, s2 }
+            }
+            (
+                DInstr::MovReg { dst, rs },
+                DInstr::AluReg {
+                    op,
+                    dst: adst,
+                    rs: ars,
+                },
+            ) => DInstr::MovRegAluReg {
+                mdst: dst,
+                mrs: rs,
+                op,
+                adst,
+                ars,
+            },
+            (DInstr::AluReg { op, dst, rs }, DInstr::MovReg { dst: mdst, rs: mrs }) => {
+                DInstr::AluRegMovReg {
+                    op,
+                    adst: dst,
+                    ars: rs,
+                    mdst,
+                    mrs,
+                }
+            }
+            (DInstr::AluReg { op, dst, rs }, DInstr::Store { base, disp, src }) => {
+                DInstr::AluRegStore {
+                    op,
+                    adst: dst,
+                    ars: rs,
+                    base,
+                    disp,
+                    src,
+                }
+            }
+            (
+                DInstr::Store { base, disp, src },
+                DInstr::Load {
+                    dst: ldst,
+                    base: lbase,
+                    disp: ldisp,
+                },
+            ) => DInstr::StoreLoad {
+                sbase: base,
+                sdisp: disp,
+                ssrc: src,
+                ldst,
+                lbase,
+                ldisp,
+            },
+            (DInstr::Store { base, disp, src }, DInstr::Jmp { target, pad, .. }) => {
+                DInstr::StoreJmp {
+                    base,
+                    disp,
+                    src,
+                    target,
+                    pad,
+                }
+            }
+            (DInstr::MovImm { dst, imm }, DInstr::CmpReg { reg, rs }) => DInstr::MovImmCmpReg {
+                idst: dst,
+                imm,
+                creg: reg,
+                crs: rs,
+            },
+            (DInstr::LeaGlobal { dst, global, off }, DInstr::MovReg { dst: mdst, rs }) => {
+                DInstr::LeaGlobalMovReg {
+                    dst,
+                    global,
+                    off,
+                    mdst,
+                    mrs: rs,
+                }
+            }
+            (keep, _) => keep,
+        };
+    }
+
+    DecodedFunction {
+        code,
+        origin,
+        resume,
+    }
+}
+
+fn lower(ins: &Instr) -> DInstr {
+    let r8 = |r: Reg| r.index() as u8;
+    match *ins {
+        Instr::Label(_) => unreachable!("labels are collapsed into pads"),
+        Instr::Mov(r, o) => match (r, o) {
+            (Reg::Esp, o) => DInstr::MovEsp { src: Src::of(o) },
+            (r, Operand::Imm(n)) => DInstr::MovImm { dst: r8(r), imm: n },
+            (r, Operand::Reg(s)) => DInstr::MovReg {
+                dst: r8(r),
+                rs: r8(s),
+            },
+        },
+        Instr::LeaGlobal(r, g, off) => {
+            if r == Reg::Esp {
+                DInstr::LeaGlobalEsp { global: g, off }
+            } else {
+                DInstr::LeaGlobal {
+                    dst: r8(r),
+                    global: g,
+                    off,
+                }
+            }
+        }
+        Instr::Alu(op, r, o) => match (r, o) {
+            // The compiler's frame alloc/dealloc idiom gets dedicated
+            // opcodes whose arms inline the stack monitor.
+            (Reg::Esp, Operand::Imm(n)) if op == Binop::Sub => DInstr::SubEspImm { imm: n },
+            (Reg::Esp, Operand::Imm(n)) if op == Binop::Add => DInstr::AddEspImm { imm: n },
+            (Reg::Esp, o) => DInstr::AluEsp {
+                op,
+                src: Src::of(o),
+            },
+            (r, Operand::Imm(n)) if op == Binop::Add => DInstr::AddImm { dst: r8(r), imm: n },
+            (r, Operand::Imm(n)) if op == Binop::Sub => DInstr::SubImm { dst: r8(r), imm: n },
+            (r, Operand::Imm(n)) => DInstr::AluImm {
+                op,
+                dst: r8(r),
+                imm: n,
+            },
+            (r, Operand::Reg(s)) => DInstr::AluReg {
+                op,
+                dst: r8(r),
+                rs: r8(s),
+            },
+        },
+        Instr::Un(op, r) => {
+            if r == Reg::Esp {
+                DInstr::UnEsp { op }
+            } else {
+                DInstr::Un { op, dst: r8(r) }
+            }
+        }
+        Instr::Load(r, b, d) => {
+            if r == Reg::Esp {
+                DInstr::LoadEsp {
+                    base: r8(b),
+                    disp: d,
+                }
+            } else {
+                DInstr::Load {
+                    dst: r8(r),
+                    base: r8(b),
+                    disp: d,
+                }
+            }
+        }
+        Instr::Store(b, d, s) => DInstr::Store {
+            base: r8(b),
+            disp: d,
+            src: r8(s),
+        },
+        Instr::Cmp(r, o) => match o {
+            Operand::Imm(n) => DInstr::CmpImm { reg: r8(r), imm: n },
+            Operand::Reg(s) => DInstr::CmpReg {
+                reg: r8(r),
+                rs: r8(s),
+            },
+        },
+        Instr::Jcc(op, l) => DInstr::Jcc {
+            op,
+            label: l,
+            target: MISSING,
+            pad: 0,
+        },
+        Instr::Jmp(l) => DInstr::Jmp {
+            label: l,
+            target: MISSING,
+            pad: 0,
+        },
+        Instr::Call(t) => DInstr::Call { target: t },
+        Instr::CallExt(t) => DInstr::CallExt { target: t },
+        Instr::Ret => DInstr::Ret,
+    }
+}

@@ -47,12 +47,17 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+mod decode;
 mod machine;
 pub mod monitor;
 pub mod profile;
 
+pub use cache::MeasureCache;
 pub use machine::{Machine, MachineError};
-pub use monitor::{measure_function, measure_main, Measurement};
+pub use monitor::{
+    measure_function, measure_function_reference, measure_main, measure_main_reference, Measurement,
+};
 pub use profile::StackProfile;
 
 use mem::{Binop, Unop};
@@ -118,7 +123,7 @@ impl fmt::Display for Reg {
 }
 
 /// An instruction operand: immediate or register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// A 32-bit immediate.
     Imm(u32),
@@ -141,7 +146,7 @@ impl fmt::Display for Operand {
 /// [`Machine`] is created. `Call` targets internal functions by index into
 /// [`AsmProgram::functions`]; `CallExt` targets externals by index into
 /// [`AsmProgram::externals`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// A jump target; executes as a no-op.
     Label(u32),
@@ -238,7 +243,7 @@ fn cc_name(op: Binop) -> &'static str {
 
 /// A compiled `ASMsz` function: its name, declared frame size `SF(f)` in
 /// bytes (prologue/epilogue must match it), and code.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AsmFunction {
     /// Function name (for events and diagnostics).
     pub name: String,
@@ -261,7 +266,7 @@ impl AsmFunction {
 
 /// An external function stub: name and arity. Results are computed with
 /// the same deterministic hash used by every other interpreter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AsmExternal {
     /// Function name.
     pub name: String,
@@ -270,7 +275,7 @@ pub struct AsmExternal {
 }
 
 /// A complete `ASMsz` program.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct AsmProgram {
     /// Global variables: name, size in bytes, initial words (rest zero).
     pub globals: Vec<(String, u32, Vec<u32>)>,

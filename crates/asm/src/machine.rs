@@ -1,11 +1,27 @@
 //! The `ASMsz` abstract machine: a register machine with one finite,
 //! preallocated stack block.
+//!
+//! Two execution cores share the machine state:
+//!
+//! * the **decoded core** ([`Machine::run`]) dispatches on the flat,
+//!   label-free [`crate::decode::DInstr`] stream built at load time —
+//!   zero per-step allocation, jump targets pre-resolved, and the stack
+//!   monitor folded into the `ESP`-write fast path;
+//! * the **reference core** ([`Machine::run_reference`], [`Machine::step`])
+//!   interprets the original [`Instr`] stream one instruction at a time.
+//!
+//! Both produce bit-identical observable behaviour (halt codes, step
+//! counts, per-class retired-instruction counts, traces, peak stack, and
+//! waterline profiles); `tests/interp_equiv.rs` checks this differentially
+//! on randomized programs and the full benchmark suite.
 
+use crate::decode::{DInstr, DecodedFunction, Src, ESP, MISSING};
 use crate::profile::StackProfile;
 use crate::{AsmProgram, Instr, Operand, Reg};
 use mem::{BlockId, Memory, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use trace::{Behavior, Event, Trace};
 
 /// Sentinel "function index" stored in the return address pushed by the
@@ -54,7 +70,7 @@ impl fmt::Display for MachineError {
 impl std::error::Error for MachineError {}
 
 struct ResolvedFunction {
-    name: std::sync::Arc<str>,
+    name: Arc<str>,
     code: Vec<Instr>,
     labels: HashMap<u32, usize>,
 }
@@ -66,7 +82,9 @@ struct ResolvedFunction {
 /// [`Machine::stack_usage`].
 pub struct Machine {
     functions: Vec<ResolvedFunction>,
+    decoded: Vec<DecodedFunction>,
     externals: Vec<crate::AsmExternal>,
+    ext_names: Vec<Arc<str>>,
     memory: Memory,
     stack: BlockId,
     stack_size: u32,
@@ -80,7 +98,11 @@ pub struct Machine {
     low_water: u32,
     halted: Option<u32>,
     last_error: Option<MachineError>,
+    /// Cumulative per-class retired-instruction counts (see
+    /// [`Machine::op_counts`]). `flushed_counts` remembers what was already
+    /// published to `obs` so repeated runs never double-count.
     op_counts: [u64; 5],
+    flushed_counts: [u64; 5],
     profile: Option<StackProfile>,
 }
 
@@ -193,7 +215,7 @@ impl Machine {
         }
         let stack_size = total;
         let stack = memory.alloc(stack_size);
-        let functions = program
+        let functions: Vec<ResolvedFunction> = program
             .functions
             .iter()
             .map(|f| {
@@ -204,15 +226,31 @@ impl Machine {
                     }
                 }
                 ResolvedFunction {
-                    name: std::sync::Arc::from(f.name.as_str()),
+                    name: Arc::from(f.name.as_str()),
                     code: f.code.clone(),
                     labels,
                 }
             })
             .collect();
+        let decoded: Vec<DecodedFunction> = {
+            let _span = obs::span("asm/decode");
+            let d: Vec<DecodedFunction> = program
+                .functions
+                .iter()
+                .map(crate::decode::decode_function)
+                .collect();
+            obs::counter("asm/decode", d.iter().map(|f| f.code.len() as u64).sum());
+            d
+        };
         Ok(Machine {
             functions,
+            decoded,
             externals: program.externals.clone(),
+            ext_names: program
+                .externals
+                .iter()
+                .map(|e| Arc::from(e.name.as_str()))
+                .collect(),
             memory,
             stack,
             stack_size,
@@ -227,6 +265,7 @@ impl Machine {
             halted: None,
             last_error: None,
             op_counts: [0; 5],
+            flushed_counts: [0; 5],
             profile: None,
         })
     }
@@ -275,9 +314,24 @@ impl Machine {
         &self.trace
     }
 
+    /// The program counter as `(function index, instruction index)` in the
+    /// original (reference) coordinates. Both cores maintain it; the
+    /// decoded core materializes it on every exit.
+    pub fn pc(&self) -> (u32, usize) {
+        self.pc
+    }
+
     /// Instructions executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Cumulative retired-instruction counts by class, in the order
+    /// `[alu, mem, branch, call, ret]` (elided labels count as branches,
+    /// exactly as in the reference core). Differential tests compare these
+    /// across the two cores.
+    pub fn op_counts(&self) -> [u64; 5] {
+        self.op_counts
     }
 
     /// The structured error that stopped the machine, if any. Use this to
@@ -312,9 +366,29 @@ impl Machine {
     }
 
     /// Runs until halt, error, or fuel exhaustion, returning the behavior.
-    /// `run_main` is a clearer alias used when the machine was built with
-    /// [`Machine::new`].
+    /// Dispatches on the pre-decoded stream; `run_main` is a clearer alias
+    /// used when the machine was built with [`Machine::new`].
     pub fn run(&mut self, fuel: u64) -> Behavior {
+        let timed = obs::is_enabled();
+        let start_steps = self.steps;
+        let t0 = timed.then(std::time::Instant::now);
+        let behavior = self.run_decoded(fuel);
+        if let Some(t0) = t0 {
+            let executed = self.steps - start_steps;
+            let secs = t0.elapsed().as_secs_f64();
+            if executed > 0 && secs > 0.0 {
+                obs::observe("machine/steps_per_sec", (executed as f64 / secs) as u64);
+            }
+        }
+        self.flush_counters();
+        behavior
+    }
+
+    /// Runs the original one-[`Instr`]-at-a-time interpreter: the
+    /// executable-semantics oracle that differential tests compare the
+    /// decoded core against. Observable behaviour is identical to
+    /// [`Machine::run`]; only the dispatch mechanism differs.
+    pub fn run_reference(&mut self, fuel: u64) -> Behavior {
         let behavior = self.run_inner(fuel);
         self.flush_counters();
         behavior
@@ -334,19 +408,22 @@ impl Machine {
         Behavior::Diverges(self.trace.clone())
     }
 
-    /// Publishes the per-class retired-instruction counts to the global
-    /// recorder and resets them (so repeated `run` calls never
-    /// double-count). The hot loop only touches a local array; the
-    /// recorder is consulted once per run.
+    /// Publishes the per-class retired-instruction counts accumulated since
+    /// the last flush to the global recorder. The hot loop only touches a
+    /// local array; the recorder is consulted once per run.
     fn flush_counters(&mut self) {
         if obs::is_enabled() {
-            for (name, n) in OP_CLASS_NAMES.iter().zip(self.op_counts) {
-                if n > 0 {
-                    obs::counter(name, n);
+            for ((name, total), flushed) in OP_CLASS_NAMES
+                .iter()
+                .zip(self.op_counts)
+                .zip(self.flushed_counts)
+            {
+                if total > flushed {
+                    obs::counter(name, total - flushed);
                 }
             }
         }
-        self.op_counts = [0; 5];
+        self.flushed_counts = self.op_counts;
     }
 
     /// Runs `main` (see [`Machine::run`]).
@@ -365,29 +442,43 @@ impl Machine {
         }
     }
 
+    /// The monitored `ESP` write: bounds check, low-water update, and
+    /// waterline sample, fused into one branch on the fast path.
+    #[inline(always)]
+    fn set_esp(&mut self, v: Value, steps: u64) -> Result<(), MachineError> {
+        match v {
+            Value::Ptr(b, off) if b == self.stack => self.set_esp_stack(off, steps),
+            other => Err(MachineError::BadStackPointer(format!("esp set to {other}"))),
+        }
+    }
+
+    /// [`Machine::set_esp`] with the "pointer into the stack block" check
+    /// already done by the caller: just the bounds check, low-water update,
+    /// and waterline sample.
+    #[inline(always)]
+    fn set_esp_stack(&mut self, off: u32, steps: u64) -> Result<(), MachineError> {
+        if off > self.stack_size {
+            return Err(MachineError::StackOverflow {
+                offset: off,
+                size: self.stack_size,
+            });
+        }
+        self.low_water = self.low_water.min(off);
+        if let Some(p) = &mut self.profile {
+            p.record(steps, self.baseline.saturating_sub(off));
+        }
+        self.regs[ESP as usize] = Value::Ptr(self.stack, off);
+        Ok(())
+    }
+
     /// Writes a register; `ESP` writes are bounds-checked and tracked.
     fn set_reg(&mut self, r: Reg, v: Value) -> Result<(), MachineError> {
         if r == Reg::Esp {
-            match v {
-                Value::Ptr(b, off) if b == self.stack => {
-                    if off > self.stack_size {
-                        return Err(MachineError::StackOverflow {
-                            offset: off,
-                            size: self.stack_size,
-                        });
-                    }
-                    self.low_water = self.low_water.min(off);
-                    if let Some(p) = &mut self.profile {
-                        p.record(self.steps, self.baseline.saturating_sub(off));
-                    }
-                }
-                other => {
-                    return Err(MachineError::BadStackPointer(format!("esp set to {other}")));
-                }
-            }
+            self.set_esp(v, self.steps)
+        } else {
+            self.regs[r.index()] = v;
+            Ok(())
         }
-        self.regs[r.index()] = v;
-        Ok(())
     }
 
     fn addr(&self, base: Reg, disp: i32) -> Result<(BlockId, u32), MachineError> {
@@ -398,7 +489,8 @@ impl Machine {
         Ok((b, off.wrapping_add(disp as u32)))
     }
 
-    /// Executes one instruction. Returns `Some(code)` on halt.
+    /// Executes one instruction of the reference core. Returns `Some(code)`
+    /// on halt.
     ///
     /// # Errors
     ///
@@ -413,15 +505,18 @@ impl Machine {
             .functions
             .get(fi as usize)
             .ok_or_else(|| MachineError::BadProgram(format!("bad function index {fi}")))?;
-        let Some(instr) = fun.code.get(ii).cloned() else {
+        let Some(instr) = fun.code.get(ii) else {
             return Err(MachineError::BadProgram(format!(
                 "fell off the end of `{}`",
                 fun.name
             )));
         };
         self.pc.1 += 1;
-        self.op_counts[op_class(&instr)] += 1;
-        match instr {
+        self.op_counts[op_class(instr)] += 1;
+        // All instruction payloads are `Copy`; matching through the
+        // reference copies them out, so no arm still borrows `fun` when it
+        // takes `&mut self` — the per-step `.cloned()` is gone.
+        match *instr {
             Instr::Label(_) => {}
             Instr::Mov(r, o) => {
                 let v = self.operand(o);
@@ -495,10 +590,10 @@ impl Machine {
                 self.pc = (target, 0);
             }
             Instr::CallExt(target) => {
-                let ext = self
+                let arity = self
                     .externals
                     .get(target as usize)
-                    .cloned()
+                    .map(|e| e.arity)
                     .ok_or_else(|| {
                         MachineError::BadProgram(format!("bad external index {target}"))
                     })?;
@@ -506,8 +601,8 @@ impl Machine {
                     .reg(Reg::Esp)
                     .as_ptr()
                     .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
-                let mut args = Vec::with_capacity(ext.arity);
-                for i in 0..ext.arity {
+                let mut args = Vec::with_capacity(arity);
+                for i in 0..arity {
                     let v = self
                         .memory
                         .load(b, off + 4 * i as u32)
@@ -517,8 +612,9 @@ impl Machine {
                             .map_err(|e| MachineError::Arithmetic(e.to_string()))?,
                     );
                 }
-                let result = clight_io_result(&ext.name, &args);
-                self.trace.push(Event::io(ext.name.as_str(), args, result));
+                let name = Arc::clone(&self.ext_names[target as usize]);
+                let result = clight_io_result(&name, &args);
+                self.trace.push(Event::io(name, args, result));
                 self.regs[Reg::Eax.index()] = Value::Int(result);
             }
             Instr::Ret => {
@@ -560,6 +656,1080 @@ impl Machine {
         })?;
         self.pc.1 = *target;
         Ok(())
+    }
+
+    /// Retires `k` elided labels: each consumes one fuel step and one
+    /// branch-class retirement, exactly as if the reference core had
+    /// executed them. Operates on the decoded loop's local counters (kept
+    /// out of `self` so they live in registers). Returns `Err(consumed)`
+    /// when fuel ran out first.
+    #[inline]
+    fn retire_labels(steps: &mut u64, counts: &mut [u64; 5], k: u32, fuel: u64) -> Result<(), u32> {
+        if k == 0 {
+            return Ok(());
+        }
+        let take = u64::from(k).min(fuel - *steps);
+        *steps += take;
+        counts[2] += take;
+        if take < u64::from(k) {
+            Err(take as u32)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn run_decoded(&mut self, fuel: u64) -> Behavior {
+        // The loop needs `&DecodedFunction` and `&mut self` at once; the
+        // decoded stream is immutable during a run, so lend it out.
+        let decoded = std::mem::take(&mut self.decoded);
+        let result = self.decoded_loop(&decoded, fuel);
+        self.decoded = decoded;
+        match result {
+            Ok(Some(code)) => Behavior::Converges(self.trace.clone(), code),
+            Ok(None) => Behavior::Diverges(self.trace.clone()),
+            Err(e) => {
+                self.last_error = Some(e.clone());
+                Behavior::Fails(self.trace.clone(), e.to_string())
+            }
+        }
+    }
+
+    /// The decoded-core dispatch loop. Program-counter bookkeeping is kept
+    /// in locals (`fi`, `di`) and materialized into `self.pc` — in the
+    /// reference core's original coordinates — only on exit.
+    fn decoded_loop(
+        &mut self,
+        decoded: &[DecodedFunction],
+        fuel: u64,
+    ) -> Result<Option<u32>, MachineError> {
+        if self.steps >= fuel {
+            return Ok(None);
+        }
+        if let Some(code) = self.halted {
+            return Ok(Some(code));
+        }
+
+        let mut fi = self.pc.0;
+        let Some(mut fun) = decoded.get(fi as usize) else {
+            self.steps += 1;
+            return Err(MachineError::BadProgram(format!("bad function index {fi}")));
+        };
+        // Fuel and retired-instruction accounting lives in locals for the
+        // whole loop — the single hottest state — and is written back to
+        // `self` exactly once per exit path (`sync!`).
+        let mut steps = self.steps;
+        let mut counts = self.op_counts;
+        let mut flags = self.flags;
+        macro_rules! sync {
+            () => {{
+                self.steps = steps;
+                self.op_counts = counts;
+                self.flags = flags;
+            }};
+        }
+
+        // Enter at the reference pc, retiring any labels sitting there.
+        let ii = self.pc.1;
+        let entry = fun
+            .resume
+            .get(ii)
+            .copied()
+            .unwrap_or((fun.code.len() as u32, 0));
+        if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, entry.1, fuel) {
+            sync!();
+            self.pc = (fi, ii + consumed as usize);
+            return Ok(None);
+        }
+        let mut di = entry.0 as usize;
+
+        // Expands to a pc-synced error return: the reference core raises
+        // errors after incrementing pc past the executing instruction,
+        // whose decoded index is `di - 1` at every use site below (the
+        // control-flow arms only redirect `di` after their last fallible
+        // operation).
+        macro_rules! bail {
+            ($e:expr) => {{
+                sync!();
+                self.pc = (fi, fun.orig(di - 1) + 1);
+                return Err($e);
+            }};
+        }
+
+        // Per-arm retirement with a constant op-class index: with no
+        // dynamic indexing left, the counter array is split into
+        // registers for the whole loop (no per-step memory traffic).
+        macro_rules! retire {
+            ($class:expr) => {{
+                di += 1;
+                steps += 1;
+                counts[$class] += 1;
+            }};
+        }
+
+        // The mid-sequence fuel check shared by all fused arms: when fuel
+        // runs out between the members, the resume table lands the next
+        // run on the suffix kept in the current slot (`di` has already
+        // stepped past the fused members that retired).
+        macro_rules! pair_break {
+            () => {{
+                if steps >= fuel {
+                    sync!();
+                    self.pc = (fi, fun.orig(di));
+                    return Ok(None);
+                }
+            }};
+        }
+
+        // Single-instruction bodies shared between the plain arms and the
+        // fused-pair/-triple arms below.
+        macro_rules! do_load {
+            ($dst:expr, $base:expr, $disp:expr) => {{
+                match self.load_from($base, $disp) {
+                    Ok(v) => self.regs[$dst as usize] = v,
+                    Err(e) => bail!(e),
+                }
+            }};
+        }
+        macro_rules! do_store {
+            ($base:expr, $disp:expr, $src:expr) => {{
+                let v = self.regs[$src as usize];
+                if let Err(e) = self.store_to($base, $disp, v) {
+                    bail!(e);
+                }
+            }};
+        }
+        // Register-register ALU with the suite's hottest integer ops
+        // (`Add`/`Mul`/`Shrs`) tested by direct compares. The macro
+        // expands per dispatch arm, so each fused sequence gets its own
+        // branch-prediction sites instead of all ALU steps sharing
+        // `eval_binop`'s one jump table.
+        macro_rules! do_alu_rr {
+            ($op:expr, $dst:expr, $rs:expr) => {{
+                let op = $op;
+                let a = self.regs[$dst as usize];
+                let b = self.regs[$rs as usize];
+                match (a, b) {
+                    (Value::Int(x), Value::Int(y)) if op == mem::Binop::Add => {
+                        self.regs[$dst as usize] = Value::Int(x.wrapping_add(y));
+                    }
+                    (Value::Int(x), Value::Int(y)) if op == mem::Binop::Sub => {
+                        self.regs[$dst as usize] = Value::Int(x.wrapping_sub(y));
+                    }
+                    (Value::Int(x), Value::Int(y)) if op == mem::Binop::Mul => {
+                        self.regs[$dst as usize] = Value::Int(x.wrapping_mul(y));
+                    }
+                    (Value::Int(x), Value::Int(y)) if op == mem::Binop::Shrs => {
+                        self.regs[$dst as usize] =
+                            Value::Int(((x as i32).wrapping_shr(y & 31)) as u32);
+                    }
+                    _ => match mem::eval_binop(op, a, b) {
+                        Ok(v) => self.regs[$dst as usize] = v,
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    },
+                }
+            }};
+        }
+
+        // The fused compare-and-branch arm: retires the `Cmp` half (still
+        // publishing flags — a later standalone `Jcc` may read them),
+        // re-checks fuel between the halves (resume then lands on the
+        // standalone `Jcc` kept in the next slot), and retires the `Jcc`
+        // half, stepping `di` over that standalone copy on fallthrough.
+        macro_rules! cmp_jcc {
+            ($op:expr, $a:expr, $b:expr, $target:expr, $pad:expr) => {{
+                if fuel - steps < 2 {
+                    // Not enough fuel for both halves: run only the `Cmp`;
+                    // the loop re-dispatches (or exits) on the standalone
+                    // `Jcc` kept in the next slot.
+                    retire!(0);
+                    flags = Some(($a, $b));
+                } else {
+                    steps += 2;
+                    di += 2;
+                    counts[0] += 1;
+                    counts[2] += 1;
+                    let a = $a;
+                    let b = $b;
+                    flags = Some((a, b));
+                    // Hot comparisons on integers avoid `eval_binop`'s
+                    // jump table; each call site gets its own compare
+                    // chain the branch predictor can track.
+                    let taken = if let (Value::Int(x), Value::Int(y)) = (a, b) {
+                        let op = $op;
+                        if op == mem::Binop::Ne {
+                            Ok(x != y)
+                        } else if op == mem::Binop::Eq {
+                            Ok(x == y)
+                        } else if op == mem::Binop::Lts {
+                            Ok((x as i32) < (y as i32))
+                        } else if op == mem::Binop::Les {
+                            Ok((x as i32) <= (y as i32))
+                        } else if op == mem::Binop::Gts {
+                            Ok((x as i32) > (y as i32))
+                        } else if op == mem::Binop::Ges {
+                            Ok((x as i32) >= (y as i32))
+                        } else {
+                            mem::eval_binop(op, a, b).map(|v| v != Value::Int(0))
+                        }
+                    } else {
+                        mem::eval_binop($op, a, b).map(|v| v != Value::Int(0))
+                    };
+                    match taken {
+                        Ok(taken) => {
+                            if taken {
+                                if $target == MISSING {
+                                    let DInstr::Jcc { label, .. } = fun.code[di - 1] else {
+                                        unreachable!("fused pair is followed by its Jcc");
+                                    };
+                                    bail!(MachineError::BadProgram(format!(
+                                        "missing label {label} in `{}`",
+                                        self.functions[fi as usize].name
+                                    )));
+                                }
+                                if let Err(consumed) =
+                                    Self::retire_labels(&mut steps, &mut counts, $pad, fuel)
+                                {
+                                    sync!();
+                                    self.pc = (
+                                        fi,
+                                        fun.orig($target as usize) - $pad as usize
+                                            + consumed as usize,
+                                    );
+                                    return Ok(None);
+                                }
+                                di = $target as usize;
+                            }
+                        }
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    }
+                }
+            }};
+        }
+
+        loop {
+            if steps >= fuel {
+                sync!();
+                self.pc = (fi, fun.orig(di));
+                return Ok(None);
+            }
+            let Some(&instr) = fun.code.get(di) else {
+                steps += 1;
+                sync!();
+                self.pc = (fi, fun.orig(di));
+                return Err(MachineError::BadProgram(format!(
+                    "fell off the end of `{}`",
+                    self.functions[fi as usize].name
+                )));
+            };
+            match instr {
+                DInstr::Pad { count } => {
+                    match Self::retire_labels(&mut steps, &mut counts, count, fuel) {
+                        Ok(()) => {
+                            di += 1;
+                            continue;
+                        }
+                        Err(consumed) => {
+                            sync!();
+                            self.pc = (fi, fun.orig(di) + consumed as usize);
+                            return Ok(None);
+                        }
+                    }
+                }
+                DInstr::MovImm { dst, imm } => {
+                    retire!(0);
+                    self.regs[dst as usize] = Value::Int(imm);
+                }
+                DInstr::MovReg { dst, rs } => {
+                    retire!(0);
+                    self.regs[dst as usize] = self.regs[rs as usize];
+                }
+                DInstr::MovEsp { src } => {
+                    retire!(0);
+                    let v = self.read_src(src);
+                    if let Err(e) = self.set_esp(v, steps) {
+                        bail!(e);
+                    }
+                }
+                DInstr::LeaGlobal { dst, global, off } => {
+                    retire!(0);
+                    let Some(&b) = self.global_blocks.get(global as usize) else {
+                        bail!(MachineError::BadProgram(format!(
+                            "bad global index {global}"
+                        )));
+                    };
+                    self.regs[dst as usize] = Value::Ptr(b, off);
+                }
+                DInstr::LeaGlobalEsp { global, off } => {
+                    retire!(0);
+                    let Some(&b) = self.global_blocks.get(global as usize) else {
+                        bail!(MachineError::BadProgram(format!(
+                            "bad global index {global}"
+                        )));
+                    };
+                    if let Err(e) = self.set_esp(Value::Ptr(b, off), steps) {
+                        bail!(e);
+                    }
+                }
+                DInstr::AddImm { dst, imm } => {
+                    retire!(0);
+                    // `+`/`-` on `Int` and `Ptr` can't fault (`eval_binop`
+                    // wraps); only `Undef`/`RetAddr` take the generic path.
+                    match self.regs[dst as usize] {
+                        Value::Int(x) => {
+                            self.regs[dst as usize] = Value::Int(x.wrapping_add(imm));
+                        }
+                        Value::Ptr(b, off) => {
+                            self.regs[dst as usize] = Value::Ptr(b, off.wrapping_add(imm));
+                        }
+                        a => match mem::eval_binop(mem::Binop::Add, a, Value::Int(imm)) {
+                            Ok(v) => self.regs[dst as usize] = v,
+                            Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                        },
+                    }
+                }
+                DInstr::SubImm { dst, imm } => {
+                    retire!(0);
+                    match self.regs[dst as usize] {
+                        Value::Int(x) => {
+                            self.regs[dst as usize] = Value::Int(x.wrapping_sub(imm));
+                        }
+                        Value::Ptr(b, off) => {
+                            self.regs[dst as usize] = Value::Ptr(b, off.wrapping_sub(imm));
+                        }
+                        a => match mem::eval_binop(mem::Binop::Sub, a, Value::Int(imm)) {
+                            Ok(v) => self.regs[dst as usize] = v,
+                            Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                        },
+                    }
+                }
+                DInstr::AluImm { op, dst, imm } => {
+                    retire!(0);
+                    let a = self.regs[dst as usize];
+                    match mem::eval_binop(op, a, Value::Int(imm)) {
+                        Ok(v) => self.regs[dst as usize] = v,
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    }
+                }
+                DInstr::AluReg { op, dst, rs } => {
+                    retire!(0);
+                    do_alu_rr!(op, dst, rs);
+                }
+                DInstr::SubEspImm { imm } => {
+                    retire!(0);
+                    // Fast path: `esp` points into the stack block, so the
+                    // result is `Ptr(stack, off - imm)` (the reference core's
+                    // `eval_binop` wraps) and the monitor applies directly.
+                    match self.regs[ESP as usize] {
+                        Value::Ptr(b, off) if b == self.stack => {
+                            if let Err(e) = self.set_esp_stack(off.wrapping_sub(imm), steps) {
+                                bail!(e);
+                            }
+                        }
+                        a => match mem::eval_binop(mem::Binop::Sub, a, Value::Int(imm)) {
+                            Ok(v) => {
+                                if let Err(e) = self.set_esp(v, steps) {
+                                    bail!(e);
+                                }
+                            }
+                            Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                        },
+                    }
+                }
+                DInstr::AddEspImm { imm } => {
+                    retire!(0);
+                    match self.regs[ESP as usize] {
+                        Value::Ptr(b, off) if b == self.stack => {
+                            if let Err(e) = self.set_esp_stack(off.wrapping_add(imm), steps) {
+                                bail!(e);
+                            }
+                        }
+                        a => match mem::eval_binop(mem::Binop::Add, a, Value::Int(imm)) {
+                            Ok(v) => {
+                                if let Err(e) = self.set_esp(v, steps) {
+                                    bail!(e);
+                                }
+                            }
+                            Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                        },
+                    }
+                }
+                DInstr::AluEsp { op, src } => {
+                    retire!(0);
+                    let a = self.regs[ESP as usize];
+                    let b = self.read_src(src);
+                    match mem::eval_binop(op, a, b) {
+                        Ok(v) => {
+                            if let Err(e) = self.set_esp(v, steps) {
+                                bail!(e);
+                            }
+                        }
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    }
+                }
+                DInstr::Un { op, dst } => {
+                    retire!(0);
+                    let a = self.regs[dst as usize];
+                    match mem::eval_unop(op, a) {
+                        Ok(v) => self.regs[dst as usize] = v,
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    }
+                }
+                DInstr::UnEsp { op } => {
+                    retire!(0);
+                    let a = self.regs[ESP as usize];
+                    match mem::eval_unop(op, a) {
+                        Ok(v) => {
+                            if let Err(e) = self.set_esp(v, steps) {
+                                bail!(e);
+                            }
+                        }
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    }
+                }
+                DInstr::Load { dst, base, disp } => {
+                    retire!(1);
+                    match self.load_from(base, disp) {
+                        Ok(v) => self.regs[dst as usize] = v,
+                        Err(e) => bail!(e),
+                    }
+                }
+                DInstr::LoadEsp { base, disp } => {
+                    retire!(1);
+                    match self.load_from(base, disp) {
+                        Ok(v) => {
+                            if let Err(e) = self.set_esp(v, steps) {
+                                bail!(e);
+                            }
+                        }
+                        Err(e) => bail!(e),
+                    }
+                }
+                DInstr::Store { base, disp, src } => {
+                    retire!(1);
+                    let v = self.regs[src as usize];
+                    if let Err(e) = self.store_to(base, disp, v) {
+                        bail!(e);
+                    }
+                }
+                DInstr::CmpImm { reg, imm } => {
+                    retire!(0);
+                    flags = Some((self.regs[reg as usize], Value::Int(imm)));
+                }
+                DInstr::CmpReg { reg, rs } => {
+                    retire!(0);
+                    flags = Some((self.regs[reg as usize], self.regs[rs as usize]));
+                }
+                DInstr::CmpJccImm {
+                    op,
+                    reg,
+                    imm,
+                    target,
+                    pad,
+                } => {
+                    cmp_jcc!(op, self.regs[reg as usize], Value::Int(imm), target, pad);
+                }
+                DInstr::CmpJccReg {
+                    op,
+                    reg,
+                    rs,
+                    target,
+                    pad,
+                } => {
+                    cmp_jcc!(
+                        op,
+                        self.regs[reg as usize],
+                        self.regs[rs as usize],
+                        target,
+                        pad
+                    );
+                }
+                DInstr::LoadMovReg {
+                    ldst,
+                    base,
+                    disp,
+                    mdst,
+                    mrs,
+                } => {
+                    retire!(1);
+                    do_load!(ldst, base, disp);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                }
+                DInstr::MovRegLoad {
+                    mdst,
+                    mrs,
+                    ldst,
+                    base,
+                    disp,
+                } => {
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(1);
+                    do_load!(ldst, base, disp);
+                }
+                DInstr::MovRegMovImm {
+                    mdst,
+                    mrs,
+                    idst,
+                    imm,
+                } => {
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                }
+                DInstr::MovImmMovReg {
+                    idst,
+                    imm,
+                    mdst,
+                    mrs,
+                } => {
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                }
+                DInstr::MovRegMovReg { d1, s1, d2, s2 } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                }
+                DInstr::MovRegAluReg {
+                    mdst,
+                    mrs,
+                    op,
+                    adst,
+                    ars,
+                } => {
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                }
+                DInstr::AluRegMovReg {
+                    op,
+                    adst,
+                    ars,
+                    mdst,
+                    mrs,
+                } => {
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                }
+                DInstr::AluRegStore {
+                    op,
+                    adst,
+                    ars,
+                    base,
+                    disp,
+                    src,
+                } => {
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                    pair_break!();
+                    retire!(1);
+                    do_store!(base, disp, src);
+                }
+                DInstr::StoreLoad {
+                    sbase,
+                    sdisp,
+                    ssrc,
+                    ldst,
+                    lbase,
+                    ldisp,
+                } => {
+                    retire!(1);
+                    do_store!(sbase, sdisp, ssrc);
+                    pair_break!();
+                    retire!(1);
+                    do_load!(ldst, lbase, ldisp);
+                }
+                DInstr::StoreJmp {
+                    base,
+                    disp,
+                    src,
+                    target,
+                    pad,
+                } => {
+                    retire!(1);
+                    do_store!(base, disp, src);
+                    pair_break!();
+                    retire!(2);
+                    if target == MISSING {
+                        let DInstr::Jmp { label, .. } = fun.code[di - 1] else {
+                            unreachable!("fused pair is followed by its Jmp");
+                        };
+                        bail!(MachineError::BadProgram(format!(
+                            "missing label {label} in `{}`",
+                            self.functions[fi as usize].name
+                        )));
+                    }
+                    if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, pad, fuel) {
+                        sync!();
+                        self.pc = (
+                            fi,
+                            fun.orig(target as usize) - pad as usize + consumed as usize,
+                        );
+                        return Ok(None);
+                    }
+                    di = target as usize;
+                }
+                DInstr::MovImmCmpReg {
+                    idst,
+                    imm,
+                    creg,
+                    crs,
+                } => {
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    flags = Some((self.regs[creg as usize], self.regs[crs as usize]));
+                }
+                DInstr::LeaGlobalMovReg {
+                    dst,
+                    global,
+                    off,
+                    mdst,
+                    mrs,
+                } => {
+                    retire!(0);
+                    let Some(&b) = self.global_blocks.get(global as usize) else {
+                        bail!(MachineError::BadProgram(format!(
+                            "bad global index {global}"
+                        )));
+                    };
+                    self.regs[dst as usize] = Value::Ptr(b, off);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                }
+                DInstr::LoadMovRegMovImm {
+                    ldst,
+                    base,
+                    disp,
+                    mdst,
+                    mrs,
+                    idst,
+                    imm,
+                } => {
+                    retire!(1);
+                    do_load!(ldst, base, disp);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                }
+                DInstr::MovRegMovImmMovReg {
+                    d1,
+                    s1,
+                    idst,
+                    imm,
+                    d2,
+                    s2,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                }
+                DInstr::MovRegLoadMovReg {
+                    d1,
+                    s1,
+                    ldst,
+                    base,
+                    disp,
+                    d2,
+                    s2,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(1);
+                    do_load!(ldst, base, disp);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                }
+                DInstr::MovImmMovRegAluReg {
+                    idst,
+                    imm,
+                    mdst,
+                    mrs,
+                    op,
+                    adst,
+                    ars,
+                } => {
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                }
+                DInstr::MovRegAluRegMovReg {
+                    d1,
+                    s1,
+                    op,
+                    adst,
+                    ars,
+                    d2,
+                    s2,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                }
+                DInstr::MovRegMovRegAluReg {
+                    d1,
+                    s1,
+                    d2,
+                    s2,
+                    op,
+                    adst,
+                    ars,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                }
+                DInstr::MovRegAluRegStore {
+                    d1,
+                    s1,
+                    op,
+                    adst,
+                    ars,
+                    base,
+                    disp,
+                    src,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                    pair_break!();
+                    retire!(1);
+                    do_store!(base, disp, src);
+                }
+                DInstr::LoadMovRegMovImmMovReg {
+                    ldst,
+                    base,
+                    disp,
+                    mdst,
+                    mrs,
+                    idst,
+                    imm,
+                    d2,
+                    s2,
+                } => {
+                    retire!(1);
+                    do_load!(ldst, base, disp);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                }
+                DInstr::MovRegMovImmMovRegAluReg {
+                    d1,
+                    s1,
+                    idst,
+                    imm,
+                    d2,
+                    s2,
+                    op,
+                    adst,
+                    ars,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                }
+                DInstr::MovImmMovRegAluRegMovReg {
+                    idst,
+                    imm,
+                    mdst,
+                    mrs,
+                    op,
+                    adst,
+                    ars,
+                    d2,
+                    s2,
+                } => {
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[mdst as usize] = self.regs[mrs as usize];
+                    pair_break!();
+                    retire!(0);
+                    do_alu_rr!(op, adst, ars);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                }
+                DInstr::MovRegLoadMovRegMovImm {
+                    d1,
+                    s1,
+                    ldst,
+                    base,
+                    disp,
+                    d2,
+                    s2,
+                    idst,
+                    imm,
+                } => {
+                    retire!(0);
+                    self.regs[d1 as usize] = self.regs[s1 as usize];
+                    pair_break!();
+                    retire!(1);
+                    do_load!(ldst, base, disp);
+                    pair_break!();
+                    retire!(0);
+                    self.regs[d2 as usize] = self.regs[s2 as usize];
+                    pair_break!();
+                    retire!(0);
+                    self.regs[idst as usize] = Value::Int(imm);
+                }
+                DInstr::Jcc {
+                    op,
+                    label,
+                    target,
+                    pad,
+                } => {
+                    retire!(2);
+                    let Some((a, b)) = flags else {
+                        bail!(MachineError::BadProgram("jcc without cmp".into()));
+                    };
+                    match mem::eval_binop(op, a, b) {
+                        Ok(v) => {
+                            if v != Value::Int(0) {
+                                if target == MISSING {
+                                    bail!(MachineError::BadProgram(format!(
+                                        "missing label {label} in `{}`",
+                                        self.functions[fi as usize].name
+                                    )));
+                                }
+                                if let Err(consumed) =
+                                    Self::retire_labels(&mut steps, &mut counts, pad, fuel)
+                                {
+                                    sync!();
+                                    self.pc = (
+                                        fi,
+                                        fun.orig(target as usize) - pad as usize
+                                            + consumed as usize,
+                                    );
+                                    return Ok(None);
+                                }
+                                di = target as usize;
+                            }
+                        }
+                        Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                    }
+                }
+                DInstr::Jmp { label, target, pad } => {
+                    retire!(2);
+                    if target == MISSING {
+                        bail!(MachineError::BadProgram(format!(
+                            "missing label {label} in `{}`",
+                            self.functions[fi as usize].name
+                        )));
+                    }
+                    if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, pad, fuel) {
+                        sync!();
+                        self.pc = (
+                            fi,
+                            fun.orig(target as usize) - pad as usize + consumed as usize,
+                        );
+                        return Ok(None);
+                    }
+                    di = target as usize;
+                }
+                DInstr::Call { target } => {
+                    retire!(3);
+                    let Some(callee) = decoded.get(target as usize) else {
+                        bail!(MachineError::BadProgram(format!(
+                            "call to bad function index {target}"
+                        )));
+                    };
+                    // Push the return address: esp -= 4; [esp] = ra.
+                    let (b, off) = match self.regs[ESP as usize].as_ptr() {
+                        Ok(p) => p,
+                        Err(e) => bail!(MachineError::BadStackPointer(e.to_string())),
+                    };
+                    let new_off = off.wrapping_sub(4);
+                    if let Err(e) = self.set_esp(Value::Ptr(b, new_off), steps) {
+                        bail!(e);
+                    }
+                    let ra = Value::RetAddr(fi, fun.origin[di]);
+                    if let Err(e) = self.memory.store(b, new_off, ra) {
+                        bail!(MachineError::Memory(e.to_string()));
+                    }
+                    fi = target;
+                    fun = callee;
+                    let (d, k) = fun.resume[0];
+                    if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, k, fuel) {
+                        sync!();
+                        self.pc = (fi, consumed as usize);
+                        return Ok(None);
+                    }
+                    di = d as usize;
+                }
+                DInstr::CallExt { target } => {
+                    retire!(3);
+                    let Some(arity) = self.externals.get(target as usize).map(|e| e.arity) else {
+                        bail!(MachineError::BadProgram(format!(
+                            "bad external index {target}"
+                        )));
+                    };
+                    let (b, off) = match self.regs[ESP as usize].as_ptr() {
+                        Ok(p) => p,
+                        Err(e) => bail!(MachineError::BadStackPointer(e.to_string())),
+                    };
+                    let mut args = Vec::with_capacity(arity);
+                    for i in 0..arity {
+                        match self.memory.load(b, off + 4 * i as u32) {
+                            Ok(v) => match v.as_int() {
+                                Ok(n) => args.push(n),
+                                Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                            },
+                            Err(e) => bail!(MachineError::Memory(e.to_string())),
+                        }
+                    }
+                    let name = Arc::clone(&self.ext_names[target as usize]);
+                    let result = clight_io_result(&name, &args);
+                    self.trace.push(Event::io(name, args, result));
+                    self.regs[Reg::Eax.index()] = Value::Int(result);
+                }
+                DInstr::Ret => {
+                    retire!(4);
+                    let (b, off) = match self.regs[ESP as usize].as_ptr() {
+                        Ok(p) => p,
+                        Err(e) => bail!(MachineError::BadStackPointer(e.to_string())),
+                    };
+                    let ra = match self.memory.load(b, off) {
+                        Ok(v) => v,
+                        Err(e) => bail!(MachineError::Memory(e.to_string())),
+                    };
+                    let Value::RetAddr(rf, ri) = ra else {
+                        bail!(MachineError::BadProgram(format!(
+                            "ret popped a non-return-address value {ra}"
+                        )));
+                    };
+                    if let Err(e) = self.set_esp(Value::Ptr(b, off + 4), steps) {
+                        bail!(e);
+                    }
+                    if rf == HALT {
+                        // Void entry functions leave eax undefined: exit 0.
+                        let code = match self.regs[Reg::Eax.index()] {
+                            Value::Undef => 0,
+                            v => match v.as_int() {
+                                Ok(n) => n,
+                                Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                            },
+                        };
+                        self.halted = Some(code);
+                        sync!();
+                        self.pc = (fi, fun.orig(di - 1) + 1);
+                        return Ok(Some(code));
+                    }
+                    let Some(caller) = decoded.get(rf as usize) else {
+                        // One more fetch fails, exactly like the reference
+                        // loop would on its next iteration.
+                        self.pc = (rf, ri as usize);
+                        if steps >= fuel {
+                            sync!();
+                            return Ok(None);
+                        }
+                        steps += 1;
+                        sync!();
+                        return Err(MachineError::BadProgram(format!("bad function index {rf}")));
+                    };
+                    fi = rf;
+                    fun = caller;
+                    let (d, k) = fun
+                        .resume
+                        .get(ri as usize)
+                        .copied()
+                        .unwrap_or((fun.code.len() as u32, 0));
+                    if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, k, fuel) {
+                        sync!();
+                        self.pc = (fi, ri as usize + consumed as usize);
+                        return Ok(None);
+                    }
+                    di = d as usize;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn read_src(&self, src: Src) -> Value {
+        match src {
+            Src::Imm(n) => Value::Int(n),
+            Src::Reg(r) => self.regs[r as usize],
+        }
+    }
+
+    #[inline(always)]
+    fn load_from(&self, base: u8, disp: i32) -> Result<Value, MachineError> {
+        let (b, off) = self.regs[base as usize]
+            .as_ptr()
+            .map_err(|e| MachineError::Memory(e.to_string()))?;
+        self.memory
+            .load(b, off.wrapping_add(disp as u32))
+            .map_err(|e| MachineError::Memory(e.to_string()))
+    }
+
+    #[inline(always)]
+    fn store_to(&mut self, base: u8, disp: i32, v: Value) -> Result<(), MachineError> {
+        let (b, off) = self.regs[base as usize]
+            .as_ptr()
+            .map_err(|e| MachineError::Memory(e.to_string()))?;
+        self.memory
+            .store(b, off.wrapping_add(disp as u32), v)
+            .map_err(|e| MachineError::Memory(e.to_string()))
     }
 }
 

@@ -94,3 +94,47 @@ pub fn measure_function(
 pub fn measure_main(program: &AsmProgram, sz: u32, fuel: u64) -> Result<Measurement, MachineError> {
     measure_function(program, "main", &[], sz, fuel)
 }
+
+/// [`measure_function`] on the reference one-instruction-at-a-time core
+/// ([`Machine::run_reference`]) instead of the pre-decoded fast core.
+///
+/// Exists for differential testing and for `interp_bench`'s before/after
+/// comparison; the returned [`Measurement`] is identical to
+/// [`measure_function`]'s by construction (and `tests/interp_equiv.rs`
+/// holds us to it).
+///
+/// # Errors
+///
+/// Exactly those of [`measure_function`].
+pub fn measure_function_reference(
+    program: &AsmProgram,
+    fname: &str,
+    args: &[u32],
+    sz: u32,
+    fuel: u64,
+) -> Result<Measurement, MachineError> {
+    let mut machine = Machine::for_function(program, fname, args, sz)?;
+    machine.enable_profiling();
+    let behavior = machine.run_reference(fuel);
+    Ok(Measurement {
+        stack_usage: machine.stack_usage(),
+        steps: machine.steps(),
+        error: machine.last_error().cloned(),
+        profile: machine.take_profile().unwrap_or_default(),
+        behavior,
+    })
+}
+
+/// [`measure_main`] on the reference core (see
+/// [`measure_function_reference`]).
+///
+/// # Errors
+///
+/// Fails when the program has no `main`.
+pub fn measure_main_reference(
+    program: &AsmProgram,
+    sz: u32,
+    fuel: u64,
+) -> Result<Measurement, MachineError> {
+    measure_function_reference(program, "main", &[], sz, fuel)
+}

@@ -443,6 +443,12 @@ proptest! {
         let mut m = Machine::new(&p, 256).unwrap();
         let _ = m.run_main(5_000); // must not panic
         prop_assert!(m.steps() <= 5_000);
+
+        // Differential: the decoded core agrees with the reference core on
+        // this same arbitrary (usually ill-formed) program, including under
+        // a tight fuel that can run out mid-label-run.
+        assert_cores_agree(&p, "main", &[], 256, 5_000);
+        assert_cores_agree(&p, "main", &[], 256, 7);
     }
 }
 
@@ -496,6 +502,218 @@ fn monitor_rejects_arguments_that_do_not_fit() {
     // sz + 4 + 4·3 overflows u32: the arguments cannot be materialized.
     let r = measure_function(&prog(vec![f]), "f", &[1, 2, 3], u32::MAX - 4, 10);
     assert!(r.is_err());
+}
+
+// --- decoded core vs reference core -----------------------------------
+
+/// Runs `fname(args)` on both cores and asserts every observable agrees:
+/// behavior (incl. trace), step count, per-class retirements, peak stack,
+/// waterline, structured error, and final reference-coordinate pc.
+fn assert_cores_agree(p: &AsmProgram, fname: &str, args: &[u32], sz: u32, fuel: u64) {
+    let mut fast = Machine::for_function(p, fname, args, sz).unwrap();
+    let mut slow = Machine::for_function(p, fname, args, sz).unwrap();
+    fast.enable_profiling();
+    slow.enable_profiling();
+    let bf = fast.run(fuel);
+    let bs = slow.run_reference(fuel);
+    assert_eq!(bf, bs, "behavior diverged (fuel {fuel})");
+    assert_eq!(fast.steps(), slow.steps(), "steps diverged (fuel {fuel})");
+    assert_eq!(
+        fast.op_counts(),
+        slow.op_counts(),
+        "op_counts diverged (fuel {fuel})"
+    );
+    assert_eq!(fast.stack_usage(), slow.stack_usage());
+    assert_eq!(fast.last_error(), slow.last_error());
+    assert_eq!(fast.take_profile(), slow.take_profile());
+    assert_eq!(format!("{fast:?}"), format!("{slow:?}"), "pc diverged");
+}
+
+/// A label-torture program: leading labels, runs of labels, jumps into the
+/// middle of a run, a call whose callee starts with labels, and trailing
+/// labels to fall off of.
+fn label_torture() -> AsmProgram {
+    let callee = AsmFunction::new(
+        "callee",
+        0,
+        vec![Label(0), Label(1), Label(2), Mov(Reg::Eax, Imm(9)), Ret],
+    );
+    let main = AsmFunction::new(
+        "main",
+        8,
+        vec![
+            Label(7),
+            Label(8),
+            Alu(Binop::Sub, Reg::Esp, Imm(8)),
+            Mov(Reg::Ebx, Imm(0)),
+            Label(0),
+            Label(1),
+            Label(2),
+            Alu(Binop::Add, Reg::Ebx, Imm(1)),
+            Cmp(Reg::Ebx, Imm(3)),
+            Jcc(Binop::Ltu, 1), // lands mid-run of labels 0/1/2
+            Call(0),
+            Alu(Binop::Add, Reg::Esp, Imm(8)),
+            Ret,
+            Label(3),
+            Label(4),
+        ],
+    );
+    prog(vec![callee, main])
+}
+
+#[test]
+fn cores_agree_on_label_torture_at_every_fuel() {
+    let p = label_torture();
+    // Sweep fuel through every prefix of the run, so exhaustion lands on
+    // pads, mid-run labels, calls, and rets alike.
+    let full = {
+        let mut m = Machine::for_function(&p, "main", &[], 256).unwrap();
+        m.run(10_000);
+        m.steps()
+    };
+    for fuel in 0..=full + 2 {
+        assert_cores_agree(&p, "main", &[], 256, fuel);
+    }
+}
+
+#[test]
+fn cores_agree_on_jump_to_trailing_labels() {
+    // Jumping to a trailing label run must fall off the end after
+    // retiring the labels, in both cores, with identical step counts.
+    let main = AsmFunction::new("main", 0, vec![Jmp(3), Ret, Label(3), Label(4)]);
+    let p = prog(vec![main]);
+    for fuel in 0..6 {
+        assert_cores_agree(&p, "main", &[], 64, fuel);
+    }
+}
+
+#[test]
+fn cores_agree_on_missing_label() {
+    let main = AsmFunction::new(
+        "main",
+        0,
+        vec![Cmp(Reg::Eax, Imm(0)), Jcc(Binop::Eq, 42), Ret],
+    );
+    let p = prog(vec![AsmFunction::new("f", 0, vec![Ret]), main]);
+    // The missing label must only fail when the jump is taken; eax is
+    // Undef so Cmp stores Undef and Jcc's eval errors first — still
+    // identical across cores.
+    assert_cores_agree(&p, "main", &[], 64, 100);
+    let taken = AsmFunction::new("main", 0, vec![Jmp(42), Ret]);
+    assert_cores_agree(&prog(vec![taken]), "main", &[], 64, 100);
+}
+
+#[test]
+fn cores_agree_on_esp_destinations() {
+    // Every Esp-destination opcode: Mov, Alu, Un, Load, LeaGlobal.
+    let cases: Vec<Vec<Instr>> = vec![
+        vec![Mov(Reg::Esp, Imm(0))],
+        vec![Un(Unop::Neg, Reg::Esp), Ret],
+        vec![Load(Reg::Esp, Reg::Esp, 0), Ret], // loads the RetAddr: bad esp
+        vec![LeaGlobal(Reg::Esp, 0, 0), Ret],
+        vec![Alu(Binop::Sub, Reg::Esp, Imm(1 << 20))], // overflow
+        vec![Mov(Reg::Esp, R(Reg::Esp)), Ret],         // legal esp round-trip
+    ];
+    for body in cases {
+        let mut p = prog(vec![AsmFunction::new("main", 0, body)]);
+        p.globals.push(("g".into(), 8, vec![]));
+        assert_cores_agree(&p, "main", &[], 64, 100);
+    }
+}
+
+#[test]
+fn cores_agree_on_fell_off_end_and_bad_indices() {
+    for body in [
+        vec![Mov(Reg::Eax, Imm(1))],       // no ret: falls off the end
+        vec![Call(7)],                     // bad function index
+        vec![CallExt(0)],                  // bad external index
+        vec![LeaGlobal(Reg::Eax, 5, 0)],   // bad global index
+        vec![Jcc(Binop::Eq, 0), Label(0)], // jcc without cmp
+    ] {
+        let p = prog(vec![AsmFunction::new("main", 0, body)]);
+        for fuel in 0..4 {
+            assert_cores_agree(&p, "main", &[], 64, fuel);
+        }
+    }
+}
+
+#[test]
+fn cores_agree_on_recursion_and_externals() {
+    let count = AsmFunction::new(
+        "count",
+        16,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(16)),
+            Load(Reg::Eax, Reg::Esp, 20),
+            Cmp(Reg::Eax, Imm(0)),
+            Jcc(Binop::Eq, 0),
+            Alu(Binop::Sub, Reg::Eax, Imm(1)),
+            Store(Reg::Esp, 0, Reg::Eax),
+            Call(0),
+            Label(0),
+            Alu(Binop::Add, Reg::Esp, Imm(16)),
+            Ret,
+        ],
+    );
+    let p = prog(vec![count]);
+    assert_cores_agree(&p, "count", &[6], 4096, 100_000);
+
+    let ext = AsmExternal {
+        name: "sensor".into(),
+        arity: 1,
+    };
+    let main = func(
+        "main",
+        12,
+        vec![
+            Mov(Reg::Ebx, Imm(5)),
+            Store(Reg::Esp, 0, Reg::Ebx),
+            CallExt(0),
+        ],
+    );
+    let p = AsmProgram {
+        globals: vec![],
+        externals: vec![ext],
+        functions: vec![main],
+    };
+    assert_cores_agree(&p, "main", &[], 64, 100);
+}
+
+#[test]
+fn measure_reference_equals_measure() {
+    let p = label_torture();
+    let fast = measure_function(&p, "main", &[], 256, 10_000).unwrap();
+    let slow = crate::measure_function_reference(&p, "main", &[], 256, 10_000).unwrap();
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn measure_cache_round_trips_and_counts() {
+    let p = label_torture();
+    let cache = crate::MeasureCache::new();
+    let a = cache
+        .measure_function(&p, "main", &[], 256, 10_000)
+        .unwrap();
+    let b = cache
+        .measure_function(&p, "main", &[], 256, 10_000)
+        .unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a, measure_function(&p, "main", &[], 256, 10_000).unwrap());
+    assert_eq!(cache.stats(), (1, 1));
+    assert_eq!(cache.len(), 1);
+    // Different fuel, stack size, args, or entry are different keys.
+    cache.measure_function(&p, "main", &[], 256, 9_999).unwrap();
+    cache
+        .measure_function(&p, "main", &[], 260, 10_000)
+        .unwrap();
+    cache
+        .measure_function(&p, "callee", &[], 256, 10_000)
+        .unwrap();
+    assert_eq!(cache.len(), 4);
+    // Setup errors are not cached.
+    assert!(cache.measure_function(&p, "nope", &[], 256, 10).is_err());
+    assert_eq!(cache.len(), 4);
 }
 
 #[test]

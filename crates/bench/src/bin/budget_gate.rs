@@ -3,15 +3,25 @@
 //! budgets (`ci/pass_budgets.txt`) and fails if any pass regresses past
 //! its budget on any program.
 //!
+//! The budget file may also declare an `interp` line, which is a
+//! *throughput floor* in steps/second rather than a wall-clock ceiling:
+//! the gate runs every compiled `main` on the decoded execution core and
+//! fails if the aggregate steps/second falls below the floor.
+//!
 //! ```sh
 //! cargo run -p bench --bin budget_gate                # default budget file
 //! cargo run -p bench --bin budget_gate -- my_budgets.txt
 //! ```
 
-use stackbound::compiler;
+use stackbound::{asm, compiler};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const DEFAULT_BUDGETS: &str = "ci/pass_budgets.txt";
+
+/// Repetitions for the interpreter-floor measurement; best-of-2 is enough
+/// because the floor sits an order of magnitude under the expected rate.
+const INTERP_REPS: u32 = 2;
 
 fn main() -> ExitCode {
     let path = std::env::args()
@@ -24,20 +34,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let budgets = match compiler::Budgets::parse(&text) {
+    let (interp_floor, pass_text) = match split_interp_floor(&text) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("budget_gate: `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budgets = match compiler::Budgets::parse(&pass_text) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("budget_gate: `{path}`: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if budgets.is_empty() {
+    if budgets.is_empty() && interp_floor.is_none() {
         eprintln!("budget_gate: `{path}` declares no budgets");
         return ExitCode::FAILURE;
     }
     println!("budget_gate: enforcing {path}");
     for (pass, limit) in budgets.iter() {
         println!("  {pass:<12} {:.0} ms", limit.as_secs_f64() * 1e3);
+    }
+    if let Some(floor) = interp_floor {
+        println!("  {:<12} {floor} steps/s (floor)", "interp");
     }
     println!();
 
@@ -46,6 +66,7 @@ fn main() -> ExitCode {
         ..compiler::PipelineConfig::default()
     });
     let mut failed = false;
+    let mut compiled = Vec::new();
     for b in stackbound::benchsuite::table1_benchmarks() {
         let program = match b.program() {
             Ok(p) => p,
@@ -56,18 +77,109 @@ fn main() -> ExitCode {
             }
         };
         match pipeline.run(&program) {
-            Ok(_) => println!("{:<28} within budget", b.file),
+            Ok(c) => {
+                println!("{:<28} within budget", b.file);
+                compiled.push(c);
+            }
             Err(e) => {
                 eprintln!("{:<28} FAILED: {e}", b.file);
                 failed = true;
             }
         }
     }
+
+    if let Some(floor) = interp_floor {
+        if failed {
+            eprintln!("\ninterp floor skipped: compilation already failed");
+        } else {
+            let rate = suite_steps_per_sec(&compiled);
+            if rate >= floor as f64 {
+                println!("\ninterp: {rate:.0} steps/s >= floor {floor}");
+            } else {
+                eprintln!("\ninterp: FAILED: {rate:.0} steps/s < floor {floor}");
+                failed = true;
+            }
+        }
+    }
+
     if failed {
         eprintln!("\nbudget_gate: FAILED");
         ExitCode::FAILURE
     } else {
         println!("\nbudget_gate: all Table 1 programs within per-pass budgets");
         ExitCode::SUCCESS
+    }
+}
+
+/// Splits an optional `interp <steps-per-second>` line out of the budget
+/// file, returning the floor (if declared) and the remaining text for
+/// [`compiler::Budgets::parse`] (which knows only wall-clock budgets).
+fn split_interp_floor(text: &str) -> Result<(Option<u64>, String), String> {
+    let mut floor = None;
+    let mut rest = String::new();
+    for line in text.lines() {
+        let mut fields = line.split_whitespace();
+        if fields.next() == Some("interp") {
+            let value = fields
+                .next()
+                .ok_or("`interp` needs a steps/second floor")?
+                .parse::<u64>()
+                .map_err(|e| format!("bad `interp` floor: {e}"))?;
+            if floor.replace(value).is_some() {
+                return Err("duplicate `interp` line".into());
+            }
+            continue;
+        }
+        rest.push_str(line);
+        rest.push('\n');
+    }
+    Ok((floor, rest))
+}
+
+/// Aggregate decoded-core throughput over every compiled `main`, timing
+/// only the runs (machine setup and pre-decoding are not interpreter
+/// throughput), best-of-[`INTERP_REPS`] per program.
+fn suite_steps_per_sec(compiled: &[compiler::Compiled]) -> f64 {
+    let (mut steps, mut secs) = (0u64, 0f64);
+    for c in compiled {
+        let mut best = f64::INFINITY;
+        let mut ran = 0;
+        for _ in 0..INTERP_REPS {
+            let mut m =
+                asm::Machine::for_function(&c.asm, "main", &[], 1 << 22).expect("machine setup");
+            let started = Instant::now();
+            m.run(bench::FUEL);
+            best = best.min(started.elapsed().as_secs_f64());
+            ran = m.steps();
+        }
+        steps += ran;
+        secs += best;
+    }
+    steps as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_interp_floor;
+
+    #[test]
+    fn splits_floor_from_pass_budgets() {
+        let (floor, rest) = split_interp_floor("# c\ninterp 123\nasmgen 5\n").unwrap();
+        assert_eq!(floor, Some(123));
+        assert_eq!(rest, "# c\nasmgen 5\n");
+    }
+
+    #[test]
+    fn no_floor_is_fine() {
+        let (floor, rest) = split_interp_floor("asmgen 5\n").unwrap();
+        assert_eq!(floor, None);
+        assert_eq!(rest, "asmgen 5\n");
+    }
+
+    #[test]
+    fn rejects_bad_floors() {
+        assert!(split_interp_floor("interp\n").is_err());
+        assert!(split_interp_floor("interp ten\n").is_err());
+        assert!(split_interp_floor("interp 1\ninterp 2\n").is_err());
     }
 }

@@ -8,16 +8,17 @@
 //! cargo run -p bench --bin fig7
 //! ```
 
-use bench::measure;
+use bench::SuiteOptions;
 use stackbound::{benchsuite, clight, compiler, qhl};
 
 fn main() {
     let _metrics = bench::metrics_from_args();
-    sweep("bsearch", &sample_points(2, 4000, 48));
-    sweep("fact_sq", &(1..=100).collect::<Vec<i64>>());
+    let opts = bench::suite_options_from_args();
+    sweep("bsearch", &sample_points(2, 4000, 48), &opts);
+    sweep("fact_sq", &(1..=100).collect::<Vec<i64>>(), &opts);
 }
 
-fn sweep(name: &str, points: &[i64]) {
+fn sweep(name: &str, points: &[i64], opts: &SuiteOptions) {
     let case = benchsuite::recursive_case(name).expect("case exists");
     let program = clight::frontend(case.source, &[]).expect("front end");
     case.check(&program).expect("derivation checks");
@@ -32,8 +33,17 @@ fn sweep(name: &str, points: &[i64]) {
     println!("# with M({name}) = {}", compiled.metric.call_cost(name));
     println!("{:>8} {:>14} {:>14}", "x", "measured", "bound");
 
+    // Measure every point up front — under `--parallel-measure` the runs
+    // fan across threads; the asserts and printing below stay serial and
+    // in point order, so the output is byte-identical either way.
+    let argsets: Vec<Vec<u32>> = points
+        .iter()
+        .map(|&x| (case.args_for)(x).iter().map(|a| *a as u32).collect())
+        .collect();
+    let measurements = bench::measure_sweep(&compiled, name, &argsets, opts);
+
     let mut series = Vec::new();
-    for &x in points {
+    for (&x, m) in points.iter().zip(&measurements) {
         let args = (case.args_for)(x);
         let env = qhl::Valuation::of_vars(
             f.params
@@ -48,8 +58,6 @@ fn sweep(name: &str, points: &[i64]) {
             .finite()
             .expect("finite bound")
             + f64::from(compiled.metric.call_cost(name));
-        let uargs: Vec<u32> = args.iter().map(|a| *a as u32).collect();
-        let m = measure(&compiled, name, &uargs);
         assert!(m.behavior.converges(), "x = {x}: {}", m.behavior);
         assert!(
             f64::from(m.stack_usage) <= bound,

@@ -1,0 +1,255 @@
+//! `interp_bench`: throughput benchmark of the pre-decoded `ASMsz`
+//! execution core against the reference one-instruction-at-a-time core,
+//! over the full Table 1 suite.
+//!
+//! For every benchmark `main` the harness runs both cores (best-of
+//! `--reps` repetitions each), asserts the two [`asm::Measurement`]s are
+//! identical, and reports steps/second plus the speedup ratio. It then
+//! re-measures the suite serially and with `--parallel-measure`-style
+//! fan-out and asserts byte-identity, and drives every measurement
+//! through an [`asm::MeasureCache`] twice to exercise the hit path.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin interp_bench            # 3 reps
+//! cargo run --release -p bench --bin interp_bench -- --smoke # 1 rep, CI
+//! ```
+//!
+//! Flags: `--smoke` (single rep), `--reps N`, `--out FILE` (default
+//! `BENCH_interp.json`), plus the shared `--parallel-measure`.
+
+use stackbound::asm;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-program throughput record.
+struct Row {
+    file: &'static str,
+    steps: u64,
+    decoded_sps: f64,
+    reference_sps: f64,
+}
+
+fn main() {
+    let _metrics = bench::metrics_from_args();
+    let config = bench::pipeline_config_from_args();
+    let opts = bench::suite_options_from_args();
+    let (reps, out_path) = cli_args();
+
+    println!("interp_bench: decoded vs reference core, Table 1 suite ({reps} rep(s))\n");
+    let preps = bench::prepare_table1_with_opts(&config, &opts);
+
+    println!(
+        "{:<28} {:>12} {:>14} {:>14} {:>8}",
+        "File Name", "steps", "decoded st/s", "reference st/s", "speedup"
+    );
+    println!("{}", "-".repeat(82));
+    let mut rows = Vec::new();
+    let (mut total_steps, mut dec_secs, mut ref_secs) = (0u64, 0f64, 0f64);
+    for prep in &preps {
+        let a = &prep.compiled.asm;
+        let (m_dec, dec_best) = best_of(reps, a, |m| m.run(bench::FUEL));
+        let (m_ref, ref_best) = best_of(reps, a, |m| m.run_reference(bench::FUEL));
+        assert_eq!(m_dec, m_ref, "{}: cores disagree", prep.file);
+        let row = Row {
+            file: prep.file,
+            steps: m_dec.steps,
+            decoded_sps: m_dec.steps as f64 / dec_best,
+            reference_sps: m_ref.steps as f64 / ref_best,
+        };
+        println!(
+            "{:<28} {:>12} {:>14.0} {:>14.0} {:>7.2}x",
+            row.file,
+            row.steps,
+            row.decoded_sps,
+            row.reference_sps,
+            row.decoded_sps / row.reference_sps
+        );
+        total_steps += row.steps;
+        dec_secs += row.steps as f64 / row.decoded_sps;
+        ref_secs += row.steps as f64 / row.reference_sps;
+        rows.push(row);
+    }
+    let decoded_sps = total_steps as f64 / dec_secs;
+    let reference_sps = total_steps as f64 / ref_secs;
+    let speedup = decoded_sps / reference_sps;
+    println!("{}", "-".repeat(82));
+    println!(
+        "{:<28} {:>12} {:>14.0} {:>14.0} {:>7.2}x\n",
+        "total", total_steps, decoded_sps, reference_sps, speedup
+    );
+
+    // Serial vs parallel measurement must be byte-identical.
+    let serial = bench::measure_mains(
+        &preps,
+        &bench::SuiteOptions {
+            parallel_measure: false,
+        },
+    );
+    let parallel = bench::measure_mains(
+        &preps,
+        &bench::SuiteOptions {
+            parallel_measure: true,
+        },
+    );
+    assert_eq!(serial, parallel, "parallel measurement diverged");
+    println!("serial and parallel suite measurements are identical");
+
+    // Two passes through a shared cache: second pass is all hits, and
+    // every cached result equals the directly measured one.
+    let cache = asm::MeasureCache::new();
+    for _ in 0..2 {
+        for (prep, direct) in preps.iter().zip(&serial) {
+            let m = cache
+                .measure_main(&prep.compiled.asm, 1 << 22, bench::FUEL)
+                .expect("machine setup");
+            assert_eq!(&m, direct, "{}: cache diverged", prep.file);
+        }
+    }
+    let (cache_hits, cache_misses) = cache.stats();
+    assert_eq!(cache_hits, preps.len() as u64);
+    assert_eq!(cache_misses, preps.len() as u64);
+    println!("measurement cache: {cache_hits} hits, {cache_misses} misses");
+
+    let json = render_json(
+        reps,
+        &rows,
+        total_steps,
+        decoded_sps,
+        reference_sps,
+        (cache_hits, cache_misses),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("interp_bench: cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
+/// Handles `--smoke`, `--reps N` and `--out FILE`.
+fn cli_args() -> (u32, String) {
+    let mut reps = 3;
+    let mut out = "BENCH_interp.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => reps = 1,
+            "--reps" => {
+                reps = args.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("interp_bench: --reps needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("interp_bench: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            _ => {}
+        }
+    }
+    (reps.max(1), out)
+}
+
+/// Runs `main` on a fresh profiled machine `reps` times, timing only the
+/// run itself (machine setup — stack allocation and pre-decoding — is not
+/// interpreter throughput). Returns the (identical) [`asm::Measurement`]
+/// and the fastest wall-clock time in seconds.
+fn best_of(
+    reps: u32,
+    program: &asm::AsmProgram,
+    run: impl Fn(&mut asm::Machine) -> stackbound::trace::Behavior,
+) -> (asm::Measurement, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let mut machine =
+            asm::Machine::for_function(program, "main", &[], 1 << 22).expect("machine setup");
+        machine.enable_profiling();
+        let started = Instant::now();
+        let behavior = run(&mut machine);
+        best = best.min(started.elapsed().as_secs_f64());
+        result = Some(asm::Measurement {
+            stack_usage: machine.stack_usage(),
+            steps: machine.steps(),
+            error: machine.last_error().cloned(),
+            profile: machine.take_profile().unwrap_or_default(),
+            behavior,
+        });
+    }
+    (result.expect("reps >= 1"), best)
+}
+
+/// Renders the machine-readable report consumed by CI (uploaded as the
+/// `BENCH_interp.json` artifact and checked in as `ci/BENCH_interp.json`).
+fn render_json(
+    reps: u32,
+    rows: &[Row],
+    total_steps: u64,
+    decoded_sps: f64,
+    reference_sps: f64,
+    (cache_hits, cache_misses): (u64, u64),
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"table1\",");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"programs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"file\": \"{}\", \"steps\": {}, \"decoded_steps_per_sec\": {:.0}, \
+             \"reference_steps_per_sec\": {:.0}, \"speedup\": {:.2}}}{comma}",
+            r.file,
+            r.steps,
+            r.decoded_sps,
+            r.reference_sps,
+            r.decoded_sps / r.reference_sps
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"total_steps\": {total_steps},");
+    let _ = writeln!(s, "  \"decoded_steps_per_sec\": {decoded_sps:.0},");
+    let _ = writeln!(s, "  \"reference_steps_per_sec\": {reference_sps:.0},");
+    let _ = writeln!(s, "  \"speedup\": {:.2},", decoded_sps / reference_sps);
+    let _ = writeln!(s, "  \"parallel_identical\": true,");
+    let _ = writeln!(s, "  \"cache_hits\": {cache_hits},");
+    let _ = writeln!(s, "  \"cache_misses\": {cache_misses}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{render_json, Row};
+
+    #[test]
+    fn report_is_valid_json() {
+        let rows = [
+            Row {
+                file: "a.c",
+                steps: 10,
+                decoded_sps: 100.0,
+                reference_sps: 25.0,
+            },
+            Row {
+                file: "b.c",
+                steps: 20,
+                decoded_sps: 200.0,
+                reference_sps: 50.0,
+            },
+        ];
+        let text = render_json(3, &rows, 30, 150.0, 37.5, (2, 2));
+        let v = obs::json::parse(&text).expect("parses");
+        assert_eq!(v.get("suite").and_then(|s| s.as_str()), Some("table1"));
+        assert_eq!(v.get("speedup").and_then(|s| s.as_f64()), Some(4.0));
+        assert_eq!(v.get("cache_hits").and_then(|s| s.as_f64()), Some(2.0));
+        let programs = v.get("programs").and_then(|p| p.as_array()).expect("array");
+        assert_eq!(programs.len(), 2);
+        assert_eq!(
+            programs[0].get("file").and_then(|f| f.as_str()),
+            Some("a.c")
+        );
+    }
+}

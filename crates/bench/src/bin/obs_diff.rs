@@ -63,6 +63,58 @@ fn union_keys<'a, V>(a: &'a BTreeMap<String, V>, b: &'a BTreeMap<String, V>) -> 
     keys
 }
 
+/// Renders the number column for a side a span/counter may be absent
+/// from: absence prints as `-`, which is distinct from a measured zero.
+fn side<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "-".to_owned(), |v| v.to_string())
+}
+
+/// One span table row. Presence is tracked per side: a span that exists
+/// in only one report is marked `added`/`removed` instead of being
+/// compared against a fabricated zero duration.
+fn span_row(name: &str, before: Option<(u64, u64)>, after: Option<(u64, u64)>) -> String {
+    let b = before.map(|(dur, _)| format!("{:.3}", ms(dur)));
+    let a = after.map(|(dur, _)| format!("{:.3}", ms(dur)));
+    let (delta, note) = match (before, after) {
+        (None, None) => ("-".to_owned(), String::new()),
+        (None, Some(_)) => ("-".to_owned(), "added".to_owned()),
+        (Some(_), None) => ("-".to_owned(), "removed".to_owned()),
+        (Some((b, _)), Some((a, _))) => {
+            let delta = ms(a) - ms(b);
+            let pct = if b > 0 {
+                format!("{:+.1}%", delta / ms(b) * 100.0)
+            } else {
+                String::new()
+            };
+            (format!("{delta:+.3}"), pct)
+        }
+    };
+    format!(
+        "{name:<36} {:>12} {:>12} {delta:>12} {note:>8}",
+        side(b),
+        side(a)
+    )
+}
+
+/// One counter table row, with the same `added`/`removed` marking as
+/// [`span_row`].
+fn counter_row(name: &str, before: Option<u64>, after: Option<u64>) -> String {
+    let (delta, note) = match (before, after) {
+        (None, None) => ("-".to_owned(), String::new()),
+        (None, Some(_)) => ("-".to_owned(), "added".to_owned()),
+        (Some(_), None) => ("-".to_owned(), "removed".to_owned()),
+        (Some(b), Some(a)) => (
+            format!("{:+}", i128::from(a) - i128::from(b)),
+            String::new(),
+        ),
+    };
+    format!(
+        "{name:<36} {:>12} {:>12} {delta:>12} {note:>8}",
+        side(before),
+        side(after)
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [before_path, after_path] = args.as_slice() else {
@@ -84,34 +136,63 @@ fn main() -> ExitCode {
     );
     println!("{}", "-".repeat(84));
     for name in union_keys(&before.spans, &after.spans) {
-        let (b, _) = before.spans.get(name).copied().unwrap_or((0, 0));
-        let (a, _) = after.spans.get(name).copied().unwrap_or((0, 0));
-        let delta = ms(a) - ms(b);
-        let pct = if b > 0 {
-            format!("{:+.1}%", delta / ms(b) * 100.0)
-        } else {
-            "new".to_owned()
-        };
-        println!(
-            "{name:<36} {:>12.3} {:>12.3} {delta:>+12.3} {pct:>8}",
-            ms(b),
-            ms(a)
-        );
+        let b = before.spans.get(name).copied();
+        let a = after.spans.get(name).copied();
+        println!("{}", span_row(name, b, a));
     }
 
     println!();
     println!(
-        "{:<36} {:>12} {:>12} {:>12}",
-        "counter", "before", "after", "delta"
+        "{:<36} {:>12} {:>12} {:>12} {:>8}",
+        "counter", "before", "after", "delta", ""
     );
-    println!("{}", "-".repeat(76));
+    println!("{}", "-".repeat(84));
     for name in union_keys(&before.counters, &after.counters) {
-        let b = before.counters.get(name).copied().unwrap_or(0);
-        let a = after.counters.get(name).copied().unwrap_or(0);
-        println!(
-            "{name:<36} {b:>12} {a:>12} {:>+12}",
-            i128::from(a) - i128::from(b)
-        );
+        let b = before.counters.get(name).copied();
+        let a = after.counters.get(name).copied();
+        println!("{}", counter_row(name, b, a));
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{counter_row, span_row};
+
+    #[test]
+    fn span_present_in_both_reports_delta_and_percent() {
+        let row = span_row("compile", Some((2_000_000, 1)), Some((3_000_000, 1)));
+        assert!(row.contains("2.000"), "{row}");
+        assert!(row.contains("3.000"), "{row}");
+        assert!(row.contains("+1.000"), "{row}");
+        assert!(row.contains("+50.0%"), "{row}");
+    }
+
+    #[test]
+    fn span_only_in_after_is_added() {
+        let row = span_row("verify", None, Some((1_000_000, 1)));
+        assert!(row.ends_with("added"), "{row}");
+        assert!(row.contains(" - "), "{row}");
+        assert!(!row.contains("0.000"), "{row}");
+    }
+
+    #[test]
+    fn span_only_in_before_is_removed() {
+        let row = span_row("legacy_pass", Some((1_000_000, 1)), None);
+        assert!(row.ends_with("removed"), "{row}");
+    }
+
+    #[test]
+    fn counter_only_in_one_report_is_marked() {
+        assert!(counter_row("cache.hits", None, Some(9)).ends_with("added"));
+        assert!(counter_row("old.metric", Some(4), None).ends_with("removed"));
+    }
+
+    #[test]
+    fn counter_in_both_reports_signed_delta() {
+        let row = counter_row("steps", Some(10), Some(7));
+        assert!(row.contains("-3"), "{row}");
+        let row = counter_row("steps", Some(7), Some(10));
+        assert!(row.contains("+3"), "{row}");
+    }
 }

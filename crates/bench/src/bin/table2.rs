@@ -10,6 +10,7 @@ use stackbound::{benchsuite, clight, compiler};
 
 fn main() {
     let _metrics = bench::metrics_from_args();
+    let opts = bench::suite_options_from_args();
     let show_proofs = std::env::args().any(|a| a == "--proofs");
     println!("Table 2: manually verified stack bounds for recursive functions\n");
     println!(
@@ -17,20 +18,28 @@ fn main() {
         "Function Name", "Symbolic Bound"
     );
     println!("{}", "-".repeat(120));
-    for case in benchsuite::recursive_cases() {
+    let cases = benchsuite::recursive_cases();
+    let prepare = |case: &benchsuite::RecursiveCase| {
         let program =
             clight::frontend(case.source, &[]).unwrap_or_else(|e| panic!("{}: {e}", case.file));
         case.check(&program)
             .unwrap_or_else(|e| panic!("{}: derivation rejected: {e}", case.file));
         let compiled = compiler::compile(&program).expect("compiles");
-
+        (program, compiled)
+    };
+    let prepared = if opts.parallel_measure {
+        stackbound::par_map(&cases, prepare)
+    } else {
+        cases.iter().map(prepare).collect()
+    };
+    for (case, (program, compiled)) in cases.iter().zip(&prepared) {
         // Render the instantiated bound by substituting metric values into
         // the display string.
         let mut inst = case.bound_display.to_owned();
         for f in &compiled.mach.functions {
             inst = inst.replace(&format!("M({})", f.name), &(f.frame_size + 4).to_string());
         }
-        let signature = signature(&program, case.name);
+        let signature = signature(program, case.name);
         println!("{signature:<36} {:<46} {inst} bytes", case.bound_display);
         if show_proofs {
             for proof in &case.proofs {

@@ -12,8 +12,11 @@
 //! | `ablation_merge` | stack merging on/off |
 //! | `ablation_opt` | optimizations on/off |
 //! | `ablation_metric` | `M = SF + 4` vs. the naive `M = SF` |
+//! | `interp_bench` | decoded vs. reference interpreter throughput |
 //!
-//! Run them with `cargo run -p bench --bin <name>`.
+//! Run them with `cargo run -p bench --bin <name>`. The suite-level
+//! binaries accept `--parallel-measure` to fan preparation and machine
+//! executions across threads with byte-identical output.
 
 #![warn(missing_docs)]
 
@@ -38,6 +41,27 @@ pub struct Prepared {
     pub compiled: compiler::Compiled,
 }
 
+/// Suite-level measurement options shared by the harness binaries.
+///
+/// Parallel mode is deterministic: work is fanned out with
+/// [`stackbound::par_map`], which preserves input order, so every harness
+/// prints byte-identical output with and without `--parallel-measure`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuiteOptions {
+    /// Fan suite preparation and machine executions across threads.
+    pub parallel_measure: bool,
+}
+
+/// Handles the harness binaries' shared suite flags:
+///
+/// * `--parallel-measure` — fan suite preparation and machine executions
+///   across threads (output stays byte-identical).
+pub fn suite_options_from_args() -> SuiteOptions {
+    SuiteOptions {
+        parallel_measure: std::env::args().skip(1).any(|a| a == "--parallel-measure"),
+    }
+}
+
 /// Analyzes and compiles every Table 1 benchmark with the default
 /// pipeline configuration, panicking with a clear message on any failure
 /// (the test suite guards these paths; the harness just reports).
@@ -48,31 +72,74 @@ pub fn prepare_table1() -> Vec<Prepared> {
 /// [`prepare_table1`] through an explicit [`compiler::PipelineConfig`]
 /// (parallel backend, refinement checkpoints, per-pass budgets, …).
 pub fn prepare_table1_with(config: &compiler::PipelineConfig) -> Vec<Prepared> {
-    let pipeline = compiler::Pipeline::new(config.clone());
-    stackbound::benchsuite::table1_benchmarks()
-        .into_iter()
-        .map(|b| {
-            let program = b
-                .program()
-                .unwrap_or_else(|e| panic!("{}: front end: {e}", b.file));
-            let analysis =
-                analyzer::analyze(&program).unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
-            analysis
-                .check(&program)
-                .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
-            let compiled = pipeline
-                .run(&program)
-                .unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
-            Prepared {
-                file: b.file,
-                loc: b.loc(),
-                functions: b.table1_functions,
-                program,
-                analysis,
-                compiled,
-            }
-        })
-        .collect()
+    prepare_table1_with_opts(config, &SuiteOptions::default())
+}
+
+/// [`prepare_table1_with`], optionally fanning the per-benchmark
+/// front-end + analysis + compilation across threads
+/// ([`SuiteOptions::parallel_measure`]). The returned vector is identical
+/// either way — [`stackbound::par_map`] preserves benchmark order.
+pub fn prepare_table1_with_opts(
+    config: &compiler::PipelineConfig,
+    opts: &SuiteOptions,
+) -> Vec<Prepared> {
+    let benchmarks = stackbound::benchsuite::table1_benchmarks();
+    let prepare = |b: &stackbound::benchsuite::Benchmark| {
+        let pipeline = compiler::Pipeline::new(config.clone());
+        let program = b
+            .program()
+            .unwrap_or_else(|e| panic!("{}: front end: {e}", b.file));
+        let analysis =
+            analyzer::analyze(&program).unwrap_or_else(|e| panic!("{}: analyzer: {e}", b.file));
+        analysis
+            .check(&program)
+            .unwrap_or_else(|e| panic!("{}: derivation: {e}", b.file));
+        let compiled = pipeline
+            .run(&program)
+            .unwrap_or_else(|e| panic!("{}: compiler: {e}", b.file));
+        Prepared {
+            file: b.file,
+            loc: b.loc(),
+            functions: b.table1_functions,
+            program,
+            analysis,
+            compiled,
+        }
+    };
+    if opts.parallel_measure {
+        stackbound::par_map(&benchmarks, prepare)
+    } else {
+        benchmarks.iter().map(prepare).collect()
+    }
+}
+
+/// Measures the peak stack usage of every benchmark's `main`, in suite
+/// order, optionally fanning the machine runs across threads. Results are
+/// identical either way.
+pub fn measure_mains(preps: &[Prepared], opts: &SuiteOptions) -> Vec<asm::Measurement> {
+    let run = |p: &Prepared| measure_main(&p.compiled);
+    if opts.parallel_measure {
+        stackbound::par_map(preps, run)
+    } else {
+        preps.iter().map(run).collect()
+    }
+}
+
+/// Measures `fname` on each argument vector in turn (a Figure 7 sweep),
+/// optionally fanning the runs across threads. Results are in input
+/// order and identical either way.
+pub fn measure_sweep(
+    compiled: &compiler::Compiled,
+    fname: &str,
+    argsets: &[Vec<u32>],
+    opts: &SuiteOptions,
+) -> Vec<asm::Measurement> {
+    let run = |args: &Vec<u32>| measure(compiled, fname, args);
+    if opts.parallel_measure {
+        stackbound::par_map(argsets, run)
+    } else {
+        argsets.iter().map(run).collect()
+    }
 }
 
 /// Handles the harness binaries' shared pipeline flags:

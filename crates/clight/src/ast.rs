@@ -10,7 +10,7 @@ use crate::Ty;
 use mem::{Binop, Unop};
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A side-effect-free Clight expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,7 +139,10 @@ impl fmt::Display for Expr {
 /// A Clight statement.
 ///
 /// Sub-statements are reference-counted so the small-step interpreter can
-/// keep cheap handles to program fragments inside continuations.
+/// keep cheap handles to program fragments inside continuations. The
+/// count is atomic ([`Arc`], not `Rc`) so a type-checked [`Program`] can
+/// be shared across the suite harnesses' `--parallel-measure` worker
+/// threads.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stmt {
     /// `skip;` — does nothing.
@@ -150,13 +153,13 @@ pub enum Stmt {
     /// present, must be a local scalar variable (Clight restriction).
     Call(Option<String>, String, Vec<Expr>),
     /// Sequential composition.
-    Seq(Rc<Stmt>, Rc<Stmt>),
+    Seq(Arc<Stmt>, Arc<Stmt>),
     /// `if (e) s1 else s2`.
-    If(Expr, Rc<Stmt>, Rc<Stmt>),
+    If(Expr, Arc<Stmt>, Arc<Stmt>),
     /// Clight `Sloop(body, incr)`: runs `body` then `incr` forever.
     /// `break` exits the loop, `continue` skips to `incr`. C `while` and
     /// `for` loops are lowered to this form.
-    Loop(Rc<Stmt>, Rc<Stmt>),
+    Loop(Arc<Stmt>, Arc<Stmt>),
     /// Exits the innermost loop.
     Break,
     /// Skips to the increment statement of the innermost loop.
@@ -171,7 +174,7 @@ impl Stmt {
         match (&s1, &s2) {
             (Stmt::Skip, _) => s2,
             (_, Stmt::Skip) => s1,
-            _ => Stmt::Seq(Rc::new(s1), Rc::new(s2)),
+            _ => Stmt::Seq(Arc::new(s1), Arc::new(s2)),
         }
     }
 
@@ -283,7 +286,7 @@ pub struct Function {
     /// Local variables.
     pub locals: Vec<LocalVar>,
     /// Function body.
-    pub body: Rc<Stmt>,
+    pub body: Arc<Stmt>,
     /// Names of locals that must live in memory: arrays, and scalars whose
     /// address is taken. Filled in by the type checker.
     pub addressable: HashSet<String>,

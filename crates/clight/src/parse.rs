@@ -18,7 +18,7 @@ use crate::{Expr, Ty};
 use mem::{Binop, Unop};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A parse error with its source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -389,7 +389,7 @@ impl Parser {
             ret,
             params,
             locals: ctx.locals,
-            body: Rc::new(body),
+            body: Arc::new(body),
             addressable: HashSet::new(),
         });
         Ok(())
@@ -442,7 +442,7 @@ impl Parser {
                 } else {
                     Stmt::Skip
                 };
-                Ok(Stmt::If(cond, Rc::new(then), Rc::new(els)))
+                Ok(Stmt::If(cond, Arc::new(then), Arc::new(els)))
             }
             Token::Ident(kw) if kw == "while" => {
                 self.next();
@@ -451,10 +451,10 @@ impl Parser {
                 self.expect_punct(")")?;
                 let body = self.statement(ctx)?;
                 let guarded = Stmt::seq(
-                    Stmt::If(cond, Rc::new(Stmt::Skip), Rc::new(Stmt::Break)),
+                    Stmt::If(cond, Arc::new(Stmt::Skip), Arc::new(Stmt::Break)),
                     body,
                 );
-                Ok(Stmt::Loop(Rc::new(guarded), Rc::new(Stmt::Skip)))
+                Ok(Stmt::Loop(Arc::new(guarded), Arc::new(Stmt::Skip)))
             }
             Token::Ident(kw) if kw == "do" => {
                 self.next();
@@ -468,9 +468,9 @@ impl Parser {
                 self.expect_punct(";")?;
                 let guarded = Stmt::seq(
                     body,
-                    Stmt::If(cond, Rc::new(Stmt::Skip), Rc::new(Stmt::Break)),
+                    Stmt::If(cond, Arc::new(Stmt::Skip), Arc::new(Stmt::Break)),
                 );
-                Ok(Stmt::Loop(Rc::new(guarded), Rc::new(Stmt::Skip)))
+                Ok(Stmt::Loop(Arc::new(guarded), Arc::new(Stmt::Skip)))
             }
             Token::Ident(kw) if kw == "for" => {
                 self.next();
@@ -499,10 +499,13 @@ impl Parser {
                 self.expect_punct(")")?;
                 let body = self.statement(ctx)?;
                 let guarded = Stmt::seq(
-                    Stmt::If(cond, Rc::new(Stmt::Skip), Rc::new(Stmt::Break)),
+                    Stmt::If(cond, Arc::new(Stmt::Skip), Arc::new(Stmt::Break)),
                     body,
                 );
-                Ok(Stmt::seq(init, Stmt::Loop(Rc::new(guarded), Rc::new(step))))
+                Ok(Stmt::seq(
+                    init,
+                    Stmt::Loop(Arc::new(guarded), Arc::new(step)),
+                ))
             }
             Token::Ident(kw) if kw == "switch" => {
                 self.next();
@@ -633,7 +636,7 @@ impl Parser {
                 message: "case body with no labels in switch".into(),
                 line: self.line(),
             })?;
-            chain = Stmt::If(cond, Rc::new(Stmt::block(body)), Rc::new(chain));
+            chain = Stmt::If(cond, Arc::new(Stmt::block(body)), Arc::new(chain));
         }
         Ok(Stmt::seq(Stmt::Assign(Expr::Var(tmp), scrutinee), chain))
     }

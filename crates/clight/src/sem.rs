@@ -14,6 +14,7 @@ use crate::Ty;
 use mem::{BlockId, Memory, Value};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use trace::{Behavior, Event, Trace};
 
 /// Deterministic result of an external (I/O) function: a small hash of the
@@ -91,12 +92,12 @@ struct LocalEnv {
 #[derive(Debug, Clone)]
 enum Cont {
     Stop,
-    Seq(Rc<Stmt>, Rc<Cont>),
+    Seq(Arc<Stmt>, Rc<Cont>),
     /// Executing the loop body; fall-through or `continue` proceeds to the
     /// increment statement.
-    Loop1(Rc<Stmt>, Rc<Stmt>, Rc<Cont>),
+    Loop1(Arc<Stmt>, Arc<Stmt>, Rc<Cont>),
     /// Executing the loop increment; fall-through restarts the body.
-    Loop2(Rc<Stmt>, Rc<Stmt>, Rc<Cont>),
+    Loop2(Arc<Stmt>, Arc<Stmt>, Rc<Cont>),
     /// A stack frame: destination variable, saved caller environment.
     Call(Option<String>, Box<LocalEnv>, Rc<Cont>),
 }
@@ -104,7 +105,7 @@ enum Cont {
 #[derive(Debug)]
 enum MachState {
     /// `(S, K, σ)`.
-    Stmt(Rc<Stmt>, Rc<Cont>),
+    Stmt(Arc<Stmt>, Rc<Cont>),
     /// About to enter `fname` with evaluated arguments.
     Call(String, Vec<Value>, Option<String>, Rc<Cont>),
     /// Returning `value` through `K`.
@@ -256,7 +257,7 @@ impl Executor {
             Stmt::Assign(lv, e) => {
                 let v = self.eval(e)?;
                 self.assign(lv, v)?;
-                self.state = MachState::Stmt(Rc::new(Stmt::Skip), k);
+                self.state = MachState::Stmt(Arc::new(Stmt::Skip), k);
                 Ok(())
             }
             Stmt::Call(dest, fname, args) => {
@@ -334,7 +335,7 @@ impl Executor {
         match k.as_ref() {
             Cont::Seq(_, k2) => self.unwind_break(k2.clone()),
             Cont::Loop1(_, _, k2) | Cont::Loop2(_, _, k2) => {
-                self.state = MachState::Stmt(Rc::new(Stmt::Skip), k2.clone());
+                self.state = MachState::Stmt(Arc::new(Stmt::Skip), k2.clone());
                 Ok(())
             }
             _ => Err(RuntimeError("break outside of a loop".into())),
@@ -404,7 +405,7 @@ impl Executor {
                 }
                 self.assign(&Expr::Var(d), Value::Int(result))?;
             }
-            self.state = MachState::Stmt(Rc::new(Stmt::Skip), k);
+            self.state = MachState::Stmt(Arc::new(Stmt::Skip), k);
             return Ok(());
         }
         Err(RuntimeError(format!(
@@ -452,7 +453,7 @@ impl Executor {
                 if let Some(d) = dest {
                     self.assign(&Expr::Var(d.clone()), v)?;
                 }
-                self.state = MachState::Stmt(Rc::new(Stmt::Skip), k2.clone());
+                self.state = MachState::Stmt(Arc::new(Stmt::Skip), k2.clone());
                 Ok(None)
             }
             // Return unwinds local control flow without extra steps.

@@ -18,7 +18,7 @@ use crate::Ty;
 use mem::Binop;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A type error, with the function it occurred in where applicable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,7 +202,7 @@ fn check_function(
         signatures,
         globals,
     };
-    let body = Rc::make_mut(&mut f.body);
+    let body = Arc::make_mut(&mut f.body);
     ck.check_stmt(body, false)?;
     f.addressable = ck.addressable;
     Ok(())
@@ -276,20 +276,20 @@ impl FnChecker<'_> {
                 Ok(())
             }
             Stmt::Seq(a, b) => {
-                self.check_stmt(Rc::make_mut(a), in_loop)?;
-                self.check_stmt(Rc::make_mut(b), in_loop)
+                self.check_stmt(Arc::make_mut(a), in_loop)?;
+                self.check_stmt(Arc::make_mut(b), in_loop)
             }
             Stmt::If(c, t, e) => {
                 let ct = self.check_expr(c)?;
                 if !ct.is_scalar() {
                     return Err(format!("condition `{c}` is not scalar"));
                 }
-                self.check_stmt(Rc::make_mut(t), in_loop)?;
-                self.check_stmt(Rc::make_mut(e), in_loop)
+                self.check_stmt(Arc::make_mut(t), in_loop)?;
+                self.check_stmt(Arc::make_mut(e), in_loop)
             }
             Stmt::Loop(b, i) => {
-                self.check_stmt(Rc::make_mut(b), true)?;
-                self.check_stmt(Rc::make_mut(i), true)
+                self.check_stmt(Arc::make_mut(b), true)?;
+                self.check_stmt(Arc::make_mut(i), true)
             }
             Stmt::Break | Stmt::Continue => in_loop
                 .then_some(())

@@ -67,6 +67,7 @@ impl Value {
     ///
     /// Fails when the value is not an `Int` (using a pointer or `Undef` as a
     /// number is a dynamic type error, i.e. the program "goes wrong").
+    #[inline]
     pub fn as_int(self) -> Result<u32, MemError> {
         match self {
             Value::Int(n) => Ok(n),
@@ -82,6 +83,7 @@ impl Value {
     /// # Errors
     ///
     /// Fails when the value is not a `Ptr`.
+    #[inline]
     pub fn as_ptr(self) -> Result<(BlockId, u32), MemError> {
         match self {
             Value::Ptr(b, o) => Ok((b, o)),
@@ -250,23 +252,27 @@ impl Memory {
         Ok(())
     }
 
-    fn cell_index(&self, b: BlockId, offset: u32) -> Result<(usize, usize), MemError> {
-        let block = self.blocks.get(b.0 as usize).ok_or(MemError::BadBlock(b))?;
+    /// The checks shared by [`Memory::load`] and [`Memory::store`],
+    /// separated from the cell access so each entry point validates and
+    /// indexes in a single pass (no re-checked bounds on the hot path).
+    #[inline]
+    fn check_access(block: &Block, b: BlockId, offset: u32) -> Result<usize, MemError> {
         if !block.live {
             return Err(MemError::UseAfterFree(b));
         }
-        if !offset.is_multiple_of(4) {
+        if offset & 3 != 0 {
             return Err(MemError::Unaligned { block: b, offset });
         }
-        let idx = (offset / 4) as usize;
-        if idx >= block.cells.len() {
-            return Err(MemError::OutOfBounds {
-                block: b,
-                offset,
-                size: (block.cells.len() * 4) as u32,
-            });
+        Ok((offset / 4) as usize)
+    }
+
+    #[cold]
+    fn out_of_bounds(block: &Block, b: BlockId, offset: u32) -> MemError {
+        MemError::OutOfBounds {
+            block: b,
+            offset,
+            size: (block.cells.len() * 4) as u32,
         }
-        Ok((b.0 as usize, idx))
     }
 
     /// Loads the 4-byte cell at `offset` in block `b`.
@@ -274,9 +280,15 @@ impl Memory {
     /// # Errors
     ///
     /// Fails on dead/unknown blocks, unaligned or out-of-bounds offsets.
+    #[inline]
     pub fn load(&self, b: BlockId, offset: u32) -> Result<Value, MemError> {
-        let (bi, ci) = self.cell_index(b, offset)?;
-        Ok(self.blocks[bi].cells[ci])
+        let block = self.blocks.get(b.0 as usize).ok_or(MemError::BadBlock(b))?;
+        let idx = Memory::check_access(block, b, offset)?;
+        block
+            .cells
+            .get(idx)
+            .copied()
+            .ok_or_else(|| Memory::out_of_bounds(block, b, offset))
     }
 
     /// Stores `v` into the 4-byte cell at `offset` in block `b`.
@@ -284,10 +296,20 @@ impl Memory {
     /// # Errors
     ///
     /// Fails on dead/unknown blocks, unaligned or out-of-bounds offsets.
+    #[inline]
     pub fn store(&mut self, b: BlockId, offset: u32, v: Value) -> Result<(), MemError> {
-        let (bi, ci) = self.cell_index(b, offset)?;
-        self.blocks[bi].cells[ci] = v;
-        Ok(())
+        let block = self
+            .blocks
+            .get_mut(b.0 as usize)
+            .ok_or(MemError::BadBlock(b))?;
+        let idx = Memory::check_access(block, b, offset)?;
+        match block.cells.get_mut(idx) {
+            Some(cell) => {
+                *cell = v;
+                Ok(())
+            }
+            None => Err(Memory::out_of_bounds(block, b, offset)),
+        }
     }
 
     /// Size in bytes of a block (live or dead).
@@ -337,9 +359,15 @@ impl Memory {
 ///
 /// Division or modulo by zero and ill-typed operands make the program go
 /// wrong.
+#[inline]
 pub fn eval_binop(op: Binop, a: Value, b: Value) -> Result<Value, MemError> {
     use Binop::*;
-    // Pointer arithmetic first.
+    // Int/Int is the dominant case and no pointer-arithmetic rule below
+    // matches it, so dispatch straight to the integer table.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return eval_binop_int(op, x, y, b);
+    }
+    // Pointer arithmetic.
     match (op, a, b) {
         (Add, Value::Ptr(blk, off), Value::Int(n)) | (Add, Value::Int(n), Value::Ptr(blk, off)) => {
             return Ok(Value::Ptr(blk, off.wrapping_add(n)));
@@ -380,6 +408,14 @@ pub fn eval_binop(op: Binop, a: Value, b: Value) -> Result<Value, MemError> {
     }
     let x = a.as_int()?;
     let y = b.as_int()?;
+    eval_binop_int(op, x, y, b)
+}
+
+/// The integer table of [`eval_binop`]; `b` is kept only for error
+/// payloads.
+#[inline(always)]
+fn eval_binop_int(op: Binop, x: u32, y: u32, b: Value) -> Result<Value, MemError> {
+    use Binop::*;
     let r = match op {
         Add => x.wrapping_add(y),
         Sub => x.wrapping_sub(y),
@@ -447,6 +483,7 @@ pub fn eval_binop(op: Binop, a: Value, b: Value) -> Result<Value, MemError> {
 /// # Errors
 ///
 /// Fails on ill-typed operands.
+#[inline]
 pub fn eval_unop(op: Unop, a: Value) -> Result<Value, MemError> {
     let x = a.as_int()?;
     let r = match op {

@@ -144,6 +144,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one complete JSON document (e.g. one exporter line).

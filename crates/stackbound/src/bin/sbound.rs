@@ -15,6 +15,10 @@
 //!     --no-measure      skip the measurement stage (bound-only batch mode)
 //!     --check-refinement run every compiler pass's refinement checkpoint
 //!     --parallel        fan per-function compiler passes across threads
+//!     --measure-all     also measure every zero-argument function on its
+//!                       own verified bound
+//!     --parallel-measure fan the machine runs across threads (implies
+//!                       --measure-all; results are byte-identical)
 //!     --emit-asm        print the generated assembly listing
 //!     --metric          print the cost metric M(f) = SF(f) + 4
 //!     --symbolic        print the symbolic (metric-parametric) bounds
@@ -32,6 +36,8 @@ struct Options {
     no_measure: bool,
     check_refinement: bool,
     parallel: bool,
+    measure_all: bool,
+    parallel_measure: bool,
     emit_asm: bool,
     metric: bool,
     symbolic: bool,
@@ -43,7 +49,8 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sbound [-D NAME=VALUE]... [--run] [--no-measure] [--check-refinement] \
-         [--parallel] [--emit-asm] [--metric] [--symbolic] \
+         [--parallel] [--measure-all] [--parallel-measure] \
+         [--emit-asm] [--metric] [--symbolic] \
          [--metrics] [--trace-json FILE] [--profile-stack] <file.c>"
     );
     ExitCode::from(2)
@@ -57,6 +64,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         no_measure: false,
         check_refinement: false,
         parallel: false,
+        measure_all: false,
+        parallel_measure: false,
         emit_asm: false,
         metric: false,
         symbolic: false,
@@ -71,6 +80,11 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--no-measure" => opts.no_measure = true,
             "--check-refinement" => opts.check_refinement = true,
             "--parallel" => opts.parallel = true,
+            "--measure-all" => opts.measure_all = true,
+            "--parallel-measure" => {
+                opts.measure_all = true;
+                opts.parallel_measure = true;
+            }
             "--emit-asm" => opts.emit_asm = true,
             "--metric" => opts.metric = true,
             "--symbolic" => opts.symbolic = true,
@@ -140,6 +154,8 @@ fn main() -> ExitCode {
     let verifier = stackbound::Verifier::new()
         .params(&params)
         .measure(!opts.no_measure)
+        .measure_all_functions(opts.measure_all)
+        .parallel_measure(opts.parallel_measure)
         .pipeline(pipeline);
     let report = match verifier.verify(&source) {
         Ok(r) => r,
@@ -185,6 +201,13 @@ fn main() -> ExitCode {
                 println!("\nmain() ran on a {bound}-byte stack: peak usage {measured} bytes");
             }
             _ => println!("\nmain() was not executed (no main or it diverged)"),
+        }
+    }
+
+    if opts.measure_all {
+        println!("\nmeasured peak usage (each function on its own bound):");
+        for (name, usage) in report.measured_usages() {
+            println!("    {name:<24} {usage:>8} bytes");
         }
     }
 

@@ -88,6 +88,55 @@ impl Report {
     pub fn bounds(&self) -> impl Iterator<Item = (&str, u32)> {
         self.bounds.iter().map(|(k, v)| (k.as_str(), *v))
     }
+
+    /// All `(function, measured peak usage)` pairs in name order. Contains
+    /// `main` after a default measured run, and every converging
+    /// zero-parameter bounded function under
+    /// [`Verifier::measure_all_functions`].
+    pub fn measured_usages(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.measured.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Deterministic, order-preserving parallel map over a work list: results
+/// land in index order, so serial and parallel callers produce
+/// byte-identical output. Mirrors the compiler backend's chunked
+/// [`std::thread::scope`] fan (`compiler::pipeline`); worker count is the
+/// machine's available parallelism capped at the item count, and the
+/// closure runs inline when that leaves a single worker.
+///
+/// Shared by the [`Verifier`]'s `--parallel-measure` mode and the bench
+/// harnesses.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<U>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (out, inp) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in out.iter_mut().zip(inp) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled by exactly one worker"))
+        .collect()
 }
 
 impl fmt::Display for Report {
@@ -218,6 +267,9 @@ pub struct Verifier {
     params: Vec<(String, u32)>,
     skipped: std::collections::BTreeSet<Stage>,
     pipeline: compiler::PipelineConfig,
+    measure_all: bool,
+    parallel_measure: bool,
+    measure_cache: Option<std::sync::Arc<asm::MeasureCache>>,
 }
 
 impl Default for Verifier {
@@ -235,6 +287,9 @@ impl Verifier {
             params: Vec::new(),
             skipped: std::collections::BTreeSet::new(),
             pipeline: compiler::PipelineConfig::default(),
+            measure_all: false,
+            parallel_measure: false,
+            measure_cache: None,
         }
     }
 
@@ -309,6 +364,39 @@ impl Verifier {
         self
     }
 
+    /// In the measurement stage, additionally runs every other bounded
+    /// zero-parameter function on its own verified bound (each on a fresh
+    /// machine). `main` keeps its historical strict semantics — a machine
+    /// failure is a verification [`Error::Machine`] — while the extra
+    /// functions record a measurement only when they converge cleanly
+    /// (e.g. a helper that divides by an uninitialized global is silently
+    /// skipped rather than failing the run). Off by default.
+    #[must_use]
+    pub fn measure_all_functions(mut self, on: bool) -> Verifier {
+        self.measure_all = on;
+        self
+    }
+
+    /// Fans the measurement stage's machine runs across threads with
+    /// [`par_map`]. Results are byte-identical to a serial run and land in
+    /// the same deterministic name order; only wall clock changes. Pair
+    /// with [`Verifier::measure_all_functions`] — with `main` alone there
+    /// is nothing to fan.
+    #[must_use]
+    pub fn parallel_measure(mut self, on: bool) -> Verifier {
+        self.parallel_measure = on;
+        self
+    }
+
+    /// Routes the measurement stage through a shared content-addressed
+    /// [`asm::MeasureCache`], so repeated verifications of identical
+    /// compiled programs (sweeps, reps, gates) skip the machine runs.
+    #[must_use]
+    pub fn measure_cache(mut self, cache: std::sync::Arc<asm::MeasureCache>) -> Verifier {
+        self.measure_cache = Some(cache);
+        self
+    }
+
     /// The stages this verifier will run, in order.
     pub fn stages(&self) -> Vec<Stage> {
         Stage::ALL
@@ -379,8 +467,33 @@ impl Verifier {
                     };
                     let _s = obs::span("verify/measure");
                     let compiled = compiled.as_ref().expect("compile is mandatory");
-                    let m = asm::measure_main(&compiled.asm, main_bound, self.fuel)
-                        .map_err(|e| Error::Machine(e.to_string()))?;
+                    // `main` first, then (under `measure_all`) every other
+                    // bounded zero-parameter function in name order —
+                    // `bounds` is a BTreeMap, so the order is deterministic
+                    // no matter how the measurements are scheduled.
+                    let mut targets: Vec<(&str, u32)> = vec![("main", main_bound)];
+                    if self.measure_all {
+                        let program = program.as_ref().expect("frontend is mandatory");
+                        for (name, b) in &bounds {
+                            if name != "main"
+                                && program.function(name).is_some_and(|f| f.params.is_empty())
+                            {
+                                targets.push((name.as_str(), *b));
+                            }
+                        }
+                    }
+                    let measure_one = |&(name, bound): &(&str, u32)| match &self.measure_cache {
+                        Some(c) => c.measure_function(&compiled.asm, name, &[], bound, self.fuel),
+                        None => asm::measure_function(&compiled.asm, name, &[], bound, self.fuel),
+                    };
+                    let results = if self.parallel_measure && targets.len() > 1 {
+                        par_map(&targets, measure_one)
+                    } else {
+                        targets.iter().map(measure_one).collect()
+                    };
+                    let mut pairs = targets.iter().zip(results);
+                    let (_, main_result) = pairs.next().expect("main is always first");
+                    let m = main_result.map_err(|e| Error::Machine(e.to_string()))?;
                     if let Some(err) = m.error {
                         return Err(Error::Machine(err.to_string()));
                     }
@@ -388,6 +501,16 @@ impl Verifier {
                         measured.insert("main".to_owned(), m.stack_usage);
                     }
                     measurement = Some(m);
+                    for (&(name, _), r) in pairs {
+                        // Helpers may legitimately fail cold (e.g. reading
+                        // globals main initializes); record converging runs
+                        // only instead of failing the verification.
+                        if let Ok(m) = r {
+                            if m.error.is_none() && m.behavior.converges() {
+                                measured.insert(name.to_owned(), m.stack_usage);
+                            }
+                        }
+                    }
                 }
             }
         }
