@@ -83,6 +83,27 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Reassembles an [`Analysis`] from its parts: the function context,
+    /// the per-function derivations, and the topological order they were
+    /// derived in. This is the entry point for *incremental* drivers
+    /// (crate `vcache`) that mix freshly derived artifacts with cached
+    /// ones; the parts must satisfy the same invariants [`analyze`]
+    /// establishes (every ordered name has a spec and a derivation).
+    pub fn from_parts(
+        context: Context,
+        derivations: HashMap<String, Derivation>,
+        order: Vec<String>,
+    ) -> Analysis {
+        debug_assert!(order
+            .iter()
+            .all(|f| context.get(f).is_some() && derivations.contains_key(f)));
+        Analysis {
+            context,
+            derivations,
+            order,
+        }
+    }
+
     /// The function context with the derived specifications
     /// (`Γ(f) = {B_f} f {B_f}` where `B_f` bounds the calls `f` performs).
     pub fn context(&self) -> &Context {
@@ -153,11 +174,7 @@ pub fn analyze(program: &Program) -> Result<Analysis, AnalyzerError> {
     let mut context = Context::new();
     let mut derivations = HashMap::new();
     for fname in &order {
-        let _fn_span = obs::span_dyn(|| format!("analyzer/fn/{fname}"));
-        let f = program.function(fname).expect("ordered names are defined");
-        let bound = bound_of(&f.body, program, &context, fname)?;
-        let deriv = derivation_of(&f.body, &bound);
-        obs::counter("analyzer/derivation_nodes", derivation_nodes(&deriv));
+        let (bound, deriv) = analyze_function(program, &context, fname)?;
         context.insert(fname.clone(), FunSpec::restoring(bound));
         derivations.insert(fname.clone(), deriv);
     }
@@ -167,6 +184,55 @@ pub fn analyze(program: &Program) -> Result<Analysis, AnalyzerError> {
         derivations,
         order,
     })
+}
+
+/// Analyzes a *single* function under a context that already holds the
+/// specifications of every function it calls, returning its body bound
+/// `B_f` and the generated derivation. This is [`analyze`]'s per-function
+/// step, exposed so incremental drivers (crate `vcache`) can re-derive
+/// only the functions whose cache key missed; feeding the results back
+/// through [`qhl::FunSpec::restoring`] and [`Analysis::from_parts`]
+/// reproduces exactly what a full [`analyze`] run computes.
+///
+/// # Errors
+///
+/// Fails when the function calls something undefined, or calls a defined
+/// function whose spec is not yet in `ctx` (reported as recursion, which
+/// a correct topological processing order rules out).
+pub fn analyze_function(
+    program: &Program,
+    ctx: &Context,
+    fname: &str,
+) -> Result<(BExpr, Derivation), AnalyzerError> {
+    let _fn_span = obs::span_dyn(|| format!("analyzer/fn/{fname}"));
+    let f = program.function(fname).expect("ordered names are defined");
+    let bound = bound_of(&f.body, program, ctx, fname)?;
+    let deriv = derivation_of(&f.body, &bound);
+    obs::counter("analyzer/derivation_nodes", derivation_nodes(&deriv));
+    Ok((bound, deriv))
+}
+
+/// The call graph of a program over its *defined* functions: every
+/// function name (in definition order) mapped to the defined functions it
+/// calls directly, in first-call order. Calls to externals carry no stack
+/// frames and are omitted; undefined callees are kept out too (the
+/// analyzer reports them separately). This is the graph
+/// [`topological_order`] walks, exposed for consumers that need its shape
+/// (SCC condensation, dependency-closure hashing in crate `vcache`).
+pub fn call_graph(program: &Program) -> Vec<(String, Vec<String>)> {
+    program
+        .functions
+        .iter()
+        .map(|f| {
+            let callees = f
+                .body
+                .callees()
+                .into_iter()
+                .filter(|g| program.function(g).is_some())
+                .collect();
+            (f.name.clone(), callees)
+        })
+        .collect()
 }
 
 /// Size of a derivation tree (every rule application it will cost the

@@ -120,6 +120,13 @@ impl MeasureCache {
         )
     }
 
+    /// The fraction of lookups that hit, or `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let (hits, misses) = self.stats();
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
     /// [`measure_function`] through the cache. Setup errors (unknown
     /// function, stack too small for the arguments) are never cached: they
     /// are cheap to recompute and carry no measurement.
@@ -173,5 +180,75 @@ impl std::fmt::Debug for MeasureCache {
             .field("hits", &hits)
             .field("misses", &misses)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsmFunction, Instr, Operand, Reg};
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let f = AsmFunction::new(
+            "f",
+            0,
+            vec![Instr::Mov(Reg::Eax, Operand::Imm(3)), Instr::Ret],
+        );
+        let prog = AsmProgram {
+            globals: vec![],
+            externals: vec![],
+            functions: vec![f],
+        };
+        let cache = MeasureCache::new();
+        assert_eq!(cache.hit_rate(), None);
+        cache.measure_function(&prog, "f", &[], 64, 1000).unwrap();
+        assert_eq!(cache.hit_rate(), Some(0.0));
+        cache.measure_function(&prog, "f", &[], 64, 1000).unwrap();
+        assert_eq!(cache.hit_rate(), Some(0.5));
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// 10k randomized, pairwise-distinct programs under equal fuel must
+    /// produce 10k distinct dual-FNV keys: the 128-bit construction makes
+    /// accidental collisions (which would silently return another
+    /// program's measurement) astronomically unlikely, and this sweep
+    /// would catch a structural mistake in the key derivation — e.g.
+    /// dropping the program from the hash or correlating the streams.
+    #[test]
+    fn ten_thousand_distinct_programs_never_collide() {
+        // Deterministic xorshift so the sweep is reproducible.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        let mut keys = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            // Distinct by construction: instruction payloads mix the index
+            // `i` with random bits, and frame sizes / arg vectors vary.
+            let r = next();
+            let f = AsmFunction::new(
+                "f",
+                ((r >> 32) as u32 % 64) * 4,
+                vec![
+                    Instr::Mov(Reg::Eax, Operand::Imm(i)),
+                    Instr::Mov(Reg::Ebx, Operand::Imm(r as u32)),
+                    Instr::Ret,
+                ],
+            );
+            let prog = AsmProgram {
+                globals: vec![(format!("g{}", r % 7), 4, vec![i])],
+                externals: vec![],
+                functions: vec![f],
+            };
+            let args: Vec<u32> = (0..(r % 4)).map(|j| (r >> j) as u32).collect();
+            let k = key(&prog, "f", &args, 1024, 1_000_000);
+            assert!(keys.insert(k), "dual-FNV key collision at program {i}");
+        }
+        assert_eq!(keys.len(), 10_000);
     }
 }

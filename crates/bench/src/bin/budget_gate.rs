@@ -3,18 +3,25 @@
 //! budgets (`ci/pass_budgets.txt`) and fails if any pass regresses past
 //! its budget on any program.
 //!
-//! The budget file may also declare an `interp` line, which is a
-//! *throughput floor* in steps/second rather than a wall-clock ceiling:
-//! the gate runs every compiled `main` on the decoded execution core and
-//! fails if the aggregate steps/second falls below the floor.
+//! The budget file may also declare *floor* lines, which are lower
+//! bounds rather than wall-clock ceilings:
+//!
+//! * `interp <steps/s>` — the gate runs every compiled `main` on the
+//!   decoded execution core and fails if the aggregate steps/second
+//!   falls below the floor;
+//! * `vcache <speedup>` — the gate verifies the whole corpus (Table 1 +
+//!   extras + Table 2) twice through one shared [`stackbound::vcache`]
+//!   cache and fails if the warm pass is not at least `speedup`× faster
+//!   than the cold pass, or if any report line diverges between passes.
 //!
 //! ```sh
 //! cargo run -p bench --bin budget_gate                # default budget file
 //! cargo run -p bench --bin budget_gate -- my_budgets.txt
 //! ```
 
-use stackbound::{asm, compiler};
+use stackbound::{asm, compiler, vcache};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 const DEFAULT_BUDGETS: &str = "ci/pass_budgets.txt";
@@ -34,7 +41,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (interp_floor, pass_text) = match split_interp_floor(&text) {
+    let (floors, pass_text) = match split_floors(&text) {
         Ok(split) => split,
         Err(e) => {
             eprintln!("budget_gate: `{path}`: {e}");
@@ -48,7 +55,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if budgets.is_empty() && interp_floor.is_none() {
+    if budgets.is_empty() && floors.interp.is_none() && floors.vcache.is_none() {
         eprintln!("budget_gate: `{path}` declares no budgets");
         return ExitCode::FAILURE;
     }
@@ -56,8 +63,11 @@ fn main() -> ExitCode {
     for (pass, limit) in budgets.iter() {
         println!("  {pass:<12} {:.0} ms", limit.as_secs_f64() * 1e3);
     }
-    if let Some(floor) = interp_floor {
+    if let Some(floor) = floors.interp {
         println!("  {:<12} {floor} steps/s (floor)", "interp");
+    }
+    if let Some(floor) = floors.vcache {
+        println!("  {:<12} {floor}x warm speedup (floor)", "vcache");
     }
     println!();
 
@@ -88,7 +98,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(floor) = interp_floor {
+    if let Some(floor) = floors.interp {
         if failed {
             eprintln!("\ninterp floor skipped: compilation already failed");
         } else {
@@ -102,6 +112,14 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(floor) = floors.vcache {
+        if failed {
+            eprintln!("\nvcache floor skipped: earlier checks already failed");
+        } else if !vcache_speedup_meets(floor) {
+            failed = true;
+        }
+    }
+
     if failed {
         eprintln!("\nbudget_gate: FAILED");
         ExitCode::FAILURE
@@ -111,29 +129,85 @@ fn main() -> ExitCode {
     }
 }
 
-/// Splits an optional `interp <steps-per-second>` line out of the budget
-/// file, returning the floor (if declared) and the remaining text for
+/// The optional floor lines of the budget file.
+#[derive(Debug, Default, PartialEq)]
+struct Floors {
+    /// `interp <steps/s>` — decoded-core throughput floor.
+    interp: Option<u64>,
+    /// `vcache <speedup>` — warm-over-cold verification speedup floor.
+    vcache: Option<u64>,
+}
+
+/// Splits the optional `interp` / `vcache` floor lines out of the budget
+/// file, returning the declared floors and the remaining text for
 /// [`compiler::Budgets::parse`] (which knows only wall-clock budgets).
-fn split_interp_floor(text: &str) -> Result<(Option<u64>, String), String> {
-    let mut floor = None;
+fn split_floors(text: &str) -> Result<(Floors, String), String> {
+    let mut floors = Floors::default();
     let mut rest = String::new();
     for line in text.lines() {
         let mut fields = line.split_whitespace();
-        if fields.next() == Some("interp") {
-            let value = fields
-                .next()
-                .ok_or("`interp` needs a steps/second floor")?
-                .parse::<u64>()
-                .map_err(|e| format!("bad `interp` floor: {e}"))?;
-            if floor.replace(value).is_some() {
-                return Err("duplicate `interp` line".into());
+        let head = fields.next();
+        let slot = match head {
+            Some("interp") => &mut floors.interp,
+            Some("vcache") => &mut floors.vcache,
+            _ => {
+                rest.push_str(line);
+                rest.push('\n');
+                continue;
             }
-            continue;
+        };
+        let name = head.unwrap();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("`{name}` needs a floor value"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad `{name}` floor: {e}"))?;
+        if slot.replace(value).is_some() {
+            return Err(format!("duplicate `{name}` line"));
         }
-        rest.push_str(line);
-        rest.push('\n');
     }
-    Ok((floor, rest))
+    Ok((floors, rest))
+}
+
+/// Runs the whole corpus cold then warm through one shared cache pair and
+/// checks the warm speedup against `floor`, printing the verdict. Also
+/// fails if any warm report line diverges from its cold counterpart —
+/// cache reuse must be invisible in the output.
+fn vcache_speedup_meets(floor: u64) -> bool {
+    let benchmarks: Vec<_> = stackbound::benchsuite::table1_benchmarks()
+        .into_iter()
+        .chain(stackbound::benchsuite::extra_benchmarks())
+        .collect();
+    let recursive = stackbound::benchsuite::recursive_cases();
+    let cache = Arc::new(vcache::VCache::new());
+    let measure_cache = Arc::new(asm::MeasureCache::new());
+
+    let (mut cold, mut cold_secs) = bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
+    let (r, t) = bench::verify_recursive_cached(&recursive, &cache);
+    cold.extend(r);
+    cold_secs += t;
+    let (mut warm, mut warm_secs) = bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
+    let (r, t) = bench::verify_recursive_cached(&recursive, &cache);
+    warm.extend(r);
+    warm_secs += t;
+
+    if cold != warm {
+        eprintln!("\nvcache: FAILED: warm reports diverged from cold reports");
+        return false;
+    }
+    let speedup = cold_secs / warm_secs;
+    if speedup >= floor as f64 {
+        println!(
+            "\nvcache: {speedup:.1}x warm speedup >= floor {floor}x \
+             (cold {:.1} ms, warm {:.1} ms)",
+            cold_secs * 1e3,
+            warm_secs * 1e3
+        );
+        true
+    } else {
+        eprintln!("\nvcache: FAILED: {speedup:.1}x warm speedup < floor {floor}x");
+        false
+    }
 }
 
 /// Aggregate decoded-core throughput over every compiled `main`, timing
@@ -160,26 +234,31 @@ fn suite_steps_per_sec(compiled: &[compiler::Compiled]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use super::split_interp_floor;
+    use super::split_floors;
 
     #[test]
-    fn splits_floor_from_pass_budgets() {
-        let (floor, rest) = split_interp_floor("# c\ninterp 123\nasmgen 5\n").unwrap();
-        assert_eq!(floor, Some(123));
+    fn splits_floors_from_pass_budgets() {
+        let (floors, rest) = split_floors("# c\ninterp 123\nvcache 5\nasmgen 5\n").unwrap();
+        assert_eq!(floors.interp, Some(123));
+        assert_eq!(floors.vcache, Some(5));
         assert_eq!(rest, "# c\nasmgen 5\n");
     }
 
     #[test]
     fn no_floor_is_fine() {
-        let (floor, rest) = split_interp_floor("asmgen 5\n").unwrap();
-        assert_eq!(floor, None);
+        let (floors, rest) = split_floors("asmgen 5\n").unwrap();
+        assert_eq!(floors.interp, None);
+        assert_eq!(floors.vcache, None);
         assert_eq!(rest, "asmgen 5\n");
     }
 
     #[test]
     fn rejects_bad_floors() {
-        assert!(split_interp_floor("interp\n").is_err());
-        assert!(split_interp_floor("interp ten\n").is_err());
-        assert!(split_interp_floor("interp 1\ninterp 2\n").is_err());
+        assert!(split_floors("interp\n").is_err());
+        assert!(split_floors("interp ten\n").is_err());
+        assert!(split_floors("interp 1\ninterp 2\n").is_err());
+        assert!(split_floors("vcache\n").is_err());
+        assert!(split_floors("vcache five\n").is_err());
+        assert!(split_floors("vcache 5\nvcache 6\n").is_err());
     }
 }

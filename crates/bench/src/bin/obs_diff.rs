@@ -9,6 +9,12 @@
 //! cargo run -p bench --bin table1 -- --metrics-json after.jsonl
 //! cargo run -p bench --bin obs-diff -- before.jsonl after.jsonl
 //! ```
+//!
+//! Counters that come in `<name>_hit` / `<name>_miss` pairs (the
+//! `vcache/*` stage caches, `asm/cache_*`) additionally get a *hit rate*
+//! table: the percentage on each side plus the delta in percentage
+//! points, so a cache that silently stopped hitting shows up as a
+//! headline row rather than two raw counters the reader must divide.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -115,6 +121,49 @@ fn counter_row(name: &str, before: Option<u64>, after: Option<u64>) -> String {
     )
 }
 
+/// Pairs every `<base>_hit` counter with its `<base>_miss` sibling and
+/// computes the hit percentage. Pairs with zero lookups are omitted — no
+/// rate is distinct from a measured 0%.
+fn hit_rates(counters: &BTreeMap<String, u64>) -> BTreeMap<String, f64> {
+    let mut rates = BTreeMap::new();
+    // Either counter of the pair may be absent (a recorder only emits
+    // counters that were bumped, so an all-miss run has no `_hit` key).
+    for name in counters.keys() {
+        let Some(base) = name
+            .strip_suffix("_hit")
+            .or_else(|| name.strip_suffix("_miss"))
+        else {
+            continue;
+        };
+        let hits = counters.get(&format!("{base}_hit")).copied().unwrap_or(0);
+        let misses = counters.get(&format!("{base}_miss")).copied().unwrap_or(0);
+        let total = hits + misses;
+        if total > 0 {
+            rates.insert(base.to_owned(), hits as f64 / total as f64 * 100.0);
+        }
+    }
+    rates
+}
+
+/// One hit-rate table row: percentages on both sides, delta in
+/// percentage points, with the same `added`/`removed` marking as
+/// [`span_row`].
+fn hit_rate_row(name: &str, before: Option<f64>, after: Option<f64>) -> String {
+    let b = before.map(|r| format!("{r:.1}%"));
+    let a = after.map(|r| format!("{r:.1}%"));
+    let (delta, note) = match (before, after) {
+        (None, None) => ("-".to_owned(), String::new()),
+        (None, Some(_)) => ("-".to_owned(), "added".to_owned()),
+        (Some(_), None) => ("-".to_owned(), "removed".to_owned()),
+        (Some(b), Some(a)) => (format!("{:+.1}", a - b), String::new()),
+    };
+    format!(
+        "{name:<36} {:>12} {:>12} {delta:>12} {note:>8}",
+        side(b),
+        side(a)
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [before_path, after_path] = args.as_slice() else {
@@ -152,12 +201,28 @@ fn main() -> ExitCode {
         let a = after.counters.get(name).copied();
         println!("{}", counter_row(name, b, a));
     }
+
+    let (before_rates, after_rates) = (hit_rates(&before.counters), hit_rates(&after.counters));
+    if !(before_rates.is_empty() && after_rates.is_empty()) {
+        println!();
+        println!(
+            "{:<36} {:>12} {:>12} {:>12} {:>8}",
+            "cache hit rate", "before", "after", "delta pp", ""
+        );
+        println!("{}", "-".repeat(84));
+        for name in union_keys(&before_rates, &after_rates) {
+            let b = before_rates.get(name).copied();
+            let a = after_rates.get(name).copied();
+            println!("{}", hit_rate_row(name, b, a));
+        }
+    }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{counter_row, span_row};
+    use super::{counter_row, hit_rate_row, hit_rates, span_row};
+    use std::collections::BTreeMap;
 
     #[test]
     fn span_present_in_both_reports_delta_and_percent() {
@@ -194,5 +259,36 @@ mod tests {
         assert!(row.contains("-3"), "{row}");
         let row = counter_row("steps", Some(7), Some(10));
         assert!(row.contains("+3"), "{row}");
+    }
+
+    #[test]
+    fn hit_rates_pair_hit_and_miss_counters() {
+        let counters: BTreeMap<String, u64> = [
+            ("vcache/analyze_hit".to_owned(), 3),
+            ("vcache/analyze_miss".to_owned(), 1),
+            ("asm/cache_miss".to_owned(), 5), // all-miss run: no `_hit` key
+            ("vcache/check_hit".to_owned(), 7), // all-hit run: no `_miss` key
+            ("vcache/bound_hit".to_owned(), 0), // zero lookups: no rate
+            ("vcache/bound_miss".to_owned(), 0),
+            ("unrelated".to_owned(), 9),
+        ]
+        .into_iter()
+        .collect();
+        let rates = hit_rates(&counters);
+        assert_eq!(rates.get("vcache/analyze"), Some(&75.0));
+        assert_eq!(rates.get("asm/cache"), Some(&0.0));
+        assert_eq!(rates.get("vcache/check"), Some(&100.0));
+        assert_eq!(rates.get("vcache/bound"), None);
+        assert_eq!(rates.len(), 3);
+    }
+
+    #[test]
+    fn hit_rate_row_reports_percentage_point_delta() {
+        let row = hit_rate_row("vcache/compile", Some(50.0), Some(98.5));
+        assert!(row.contains("50.0%"), "{row}");
+        assert!(row.contains("98.5%"), "{row}");
+        assert!(row.contains("+48.5"), "{row}");
+        assert!(hit_rate_row("vcache/check", None, Some(100.0)).ends_with("added"));
+        assert!(hit_rate_row("legacy", Some(1.0), None).ends_with("removed"));
     }
 }

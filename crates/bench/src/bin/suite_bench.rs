@@ -1,0 +1,212 @@
+//! `suite_bench`: cold-vs-warm benchmark of the content-addressed
+//! verification cache ([`stackbound::vcache`]) over the whole corpus —
+//! the Table 1 suite, the extra benchmarks, and the Table 2 recursive
+//! cases.
+//!
+//! The harness verifies every program end to end (analyze, re-check
+//! derivations, compile, bound, measure) twice through one shared
+//! [`vcache::VCache`] + [`asm::MeasureCache`] pair: the first pass is all
+//! misses, the second all hits. It asserts the two passes produce
+//! byte-identical reports, reports per-stage hit/miss counters, and
+//! writes the machine-readable `BENCH_vcache.json` consumed by CI
+//! (`ci/BENCH_vcache.json` is the checked-in baseline; `budget_gate`
+//! enforces the warm-speedup floor declared in `ci/pass_budgets.txt`).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin suite_bench
+//! cargo run --release -p bench --bin suite_bench -- --out my.json
+//! ```
+
+use stackbound::{asm, vcache};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One stage row of the report: hit/miss counters for the cold and warm
+/// passes.
+struct StageRow {
+    stage: &'static str,
+    cold: (u64, u64),
+    warm: (u64, u64),
+}
+
+fn main() {
+    let out_path = cli_args();
+    let benchmarks: Vec<_> = stackbound::benchsuite::table1_benchmarks()
+        .into_iter()
+        .chain(stackbound::benchsuite::extra_benchmarks())
+        .collect();
+    let recursive = stackbound::benchsuite::recursive_cases();
+    println!(
+        "suite_bench: cold vs warm verification, {} programs + {} recursive cases\n",
+        benchmarks.len(),
+        recursive.len()
+    );
+
+    let cache = Arc::new(vcache::VCache::new());
+    let measure_cache = Arc::new(asm::MeasureCache::new());
+
+    // Cold pass: every artifact is derived from scratch and stored.
+    let (mut cold_reports, mut cold_secs) =
+        bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
+    let (r, t) = bench::verify_recursive_cached(&recursive, &cache);
+    cold_reports.extend(r);
+    cold_secs += t;
+    let cold_stats: Vec<(u64, u64)> = vcache::CacheStage::ALL
+        .iter()
+        .map(|&s| cache.stats(s))
+        .collect();
+    let cold_measure = measure_cache.stats();
+
+    // Warm pass: identical inputs, so every stage resolves from cache.
+    let (mut warm_reports, mut warm_secs) =
+        bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
+    let (r, t) = bench::verify_recursive_cached(&recursive, &cache);
+    warm_reports.extend(r);
+    warm_secs += t;
+
+    assert_eq!(
+        cold_reports, warm_reports,
+        "warm reports diverged from cold reports"
+    );
+    println!("cold and warm reports are byte-identical\n");
+
+    let rows: Vec<StageRow> = vcache::CacheStage::ALL
+        .iter()
+        .zip(&cold_stats)
+        .map(|(&s, &(ch, cm))| {
+            let (h, m) = cache.stats(s);
+            StageRow {
+                stage: s.name(),
+                cold: (ch, cm),
+                warm: (h - ch, m - cm),
+            }
+        })
+        .chain(std::iter::once({
+            let (h, m) = measure_cache.stats();
+            StageRow {
+                stage: "measure",
+                cold: cold_measure,
+                warm: (h - cold_measure.0, m - cold_measure.1),
+            }
+        }))
+        .collect();
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12}",
+        "stage", "cold hits", "cold misses", "warm hits", "warm misses"
+    );
+    println!("{}", "-".repeat(58));
+    for r in &rows {
+        println!(
+            "{:<10} {:>10} {:>12} {:>10} {:>12}",
+            r.stage, r.cold.0, r.cold.1, r.warm.0, r.warm.1
+        );
+        assert_eq!(
+            r.warm.1, 0,
+            "{}: warm pass missed the cache on unchanged inputs",
+            r.stage
+        );
+    }
+
+    let speedup = cold_secs / warm_secs;
+    println!(
+        "\ncold {:.1} ms, warm {:.1} ms, speedup {speedup:.2}x",
+        cold_secs * 1e3,
+        warm_secs * 1e3
+    );
+
+    let json = render_json(
+        benchmarks.len() + recursive.len(),
+        cold_secs * 1e3,
+        warm_secs * 1e3,
+        speedup,
+        &rows,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("suite_bench: cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
+/// Handles `--out FILE` (default `BENCH_vcache.json`).
+fn cli_args() -> String {
+    let mut out = "BENCH_vcache.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().unwrap_or_else(|| {
+                eprintln!("suite_bench: --out needs a path");
+                std::process::exit(2);
+            });
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report consumed by CI (uploaded as the
+/// `BENCH_vcache.json` artifact and checked in as `ci/BENCH_vcache.json`).
+fn render_json(
+    programs: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    rows: &[StageRow],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"table1+extras+table2\",");
+    let _ = writeln!(s, "  \"programs\": {programs},");
+    let _ = writeln!(s, "  \"cold_ms\": {cold_ms:.1},");
+    let _ = writeln!(s, "  \"warm_ms\": {warm_ms:.1},");
+    let _ = writeln!(s, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(s, "  \"identical\": true,");
+    let _ = writeln!(s, "  \"stages\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"stage\": \"{}\", \"cold_hits\": {}, \"cold_misses\": {}, \
+             \"warm_hits\": {}, \"warm_misses\": {}}}{comma}",
+            r.stage, r.cold.0, r.cold.1, r.warm.0, r.warm.1
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{render_json, StageRow};
+
+    #[test]
+    fn report_is_valid_json() {
+        let rows = [
+            StageRow {
+                stage: "analyze",
+                cold: (0, 10),
+                warm: (10, 0),
+            },
+            StageRow {
+                stage: "measure",
+                cold: (0, 9),
+                warm: (9, 0),
+            },
+        ];
+        let text = render_json(12, 1234.5, 67.8, 18.21, &rows);
+        let v = obs::json::parse(&text).expect("parses");
+        assert_eq!(v.get("programs").and_then(|p| p.as_f64()), Some(12.0));
+        assert_eq!(v.get("speedup").and_then(|p| p.as_f64()), Some(18.21));
+        let stages = v.get("stages").and_then(|p| p.as_array()).expect("array");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(
+            stages[0].get("stage").and_then(|p| p.as_str()),
+            Some("analyze")
+        );
+        assert_eq!(
+            stages[1].get("warm_hits").and_then(|p| p.as_f64()),
+            Some(9.0)
+        );
+    }
+}

@@ -20,7 +20,9 @@
 
 #![warn(missing_docs)]
 
-use stackbound::{analyzer, asm, clight, compiler};
+use stackbound::{analyzer, asm, clight, compiler, vcache};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Fuel for all harness executions.
 pub const FUEL: u64 = 400_000_000;
@@ -156,6 +158,80 @@ pub fn pipeline_config_from_args() -> compiler::PipelineConfig {
         }
     }
     config
+}
+
+/// Runs the full end-to-end [`stackbound::Verifier`] (analysis,
+/// derivation re-check, compilation, bounds, measurement) over every
+/// benchmark, routing all stages through the shared content-addressed
+/// caches. Returns the rendered per-program reports in suite order plus
+/// the elapsed wall-clock seconds.
+///
+/// Calling this twice with the same caches gives a cold and a warm pass;
+/// the rendered reports must be byte-identical (`suite_bench` and the
+/// `vcache` budget-gate floor both assert this).
+pub fn verify_suite_cached(
+    benchmarks: &[stackbound::benchsuite::Benchmark],
+    cache: &Arc<vcache::VCache>,
+    measure_cache: &Arc<asm::MeasureCache>,
+) -> (Vec<String>, f64) {
+    let verifier = stackbound::Verifier::new()
+        .fuel(FUEL)
+        .vcache(cache.clone())
+        .measure_cache(measure_cache.clone());
+    let started = Instant::now();
+    let reports = benchmarks
+        .iter()
+        .map(|b| {
+            let report = verifier
+                .verify(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.file));
+            format!("{}\n{report}", b.file)
+        })
+        .collect();
+    (reports, started.elapsed().as_secs_f64())
+}
+
+/// Verifies the Table 2 recursive cases through the cache. The automatic
+/// analyzer rejects recursion, so each case runs its hand-written
+/// derivations through `qhl::Checker` — by far the most expensive step of
+/// the corpus — with the verdict memoized under a key that covers both
+/// the program content and the proof text, and the compile stage routed
+/// through [`vcache::compile`]. Returns the rendered per-case report
+/// lines in suite order plus the elapsed wall-clock seconds.
+pub fn verify_recursive_cached(
+    cases: &[stackbound::benchsuite::RecursiveCase],
+    cache: &Arc<vcache::VCache>,
+) -> (Vec<String>, f64) {
+    let config = compiler::PipelineConfig::default();
+    let started = Instant::now();
+    let reports = cases
+        .iter()
+        .map(|case| {
+            let program = clight::frontend(case.source, &[])
+                .unwrap_or_else(|e| panic!("{}: front end: {e}", case.file));
+            let keys = vcache::keys(&program, &config.options);
+            // One digest covers the whole proof bundle: each verdict
+            // depends on every spec in the case's context, so editing any
+            // proof must invalidate the case. The `Debug` rendering of the
+            // `Vec` is deterministic (ordered fields, ordered elements),
+            // unlike hashing the `Context`'s `HashMap` directly.
+            let proofs = vcache::digest_str("table2-proofs-v1", &format!("{:?}", case.proofs));
+            let verdict = vcache::combine("table2-check-v1", &[keys[case.name], proofs]);
+            vcache::check_cached(cache, verdict, || case.check(&program))
+                .unwrap_or_else(|e| panic!("{}: derivation: {e}", case.file));
+            let compiled = vcache::compile(cache, &program, &config, &keys)
+                .unwrap_or_else(|e| panic!("{}: compiler: {e}", case.file));
+            format!(
+                "{}: {} proofs checked, bound {}, M({}) = {}",
+                case.file,
+                case.proofs.len(),
+                case.bound_display,
+                case.name,
+                compiled.metric.call_cost(case.name),
+            )
+        })
+        .collect();
+    (reports, started.elapsed().as_secs_f64())
 }
 
 /// Measures the peak stack usage of `main` with a generous stack.

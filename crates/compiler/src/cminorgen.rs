@@ -41,7 +41,10 @@ struct FnCtx<'a> {
     offsets: HashMap<String, u32>,
 }
 
-fn translate_function(f: &clight::Function, program: &Program) -> Result<CmFunction, CompileError> {
+pub(crate) fn translate_function(
+    f: &clight::Function,
+    program: &Program,
+) -> Result<CmFunction, CompileError> {
     // Lay out addressable locals in declaration order, word-aligned.
     let mut offsets = HashMap::new();
     let mut size = 0u32;

@@ -43,6 +43,7 @@
 
 pub mod cminor;
 mod cminorgen;
+pub mod incremental;
 pub mod inline;
 pub mod mach;
 mod machgen;
@@ -53,6 +54,7 @@ mod rtlgen;
 
 mod asmgen;
 
+pub use incremental::{compile_incremental, FnArtifacts};
 pub use pipeline::{Budgets, Pipeline, PipelineConfig, PipelineError};
 
 use std::fmt;

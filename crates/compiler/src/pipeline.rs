@@ -182,7 +182,7 @@ pub trait Pass: Send + Sync {
 /// `workers` threads. With `workers <= 1` (or one item) this is a plain
 /// serial map, and parallel chunks are re-assembled by index, so the
 /// result is identical either way.
-fn par_map<T, U>(
+pub(crate) fn par_map<T, U>(
     items: &[T],
     workers: usize,
     f: impl Fn(&T) -> Result<U, CompileError> + Sync,

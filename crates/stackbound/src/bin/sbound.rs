@@ -19,6 +19,8 @@
 //!                       own verified bound
 //!     --parallel-measure fan the machine runs across threads (implies
 //!                       --measure-all; results are byte-identical)
+//!     --cache-dir <D>   load/save a content-addressed verification cache
+//!                       (function-granular; incremental re-verification)
 //!     --emit-asm        print the generated assembly listing
 //!     --metric          print the cost metric M(f) = SF(f) + 4
 //!     --symbolic        print the symbolic (metric-parametric) bounds
@@ -38,6 +40,7 @@ struct Options {
     parallel: bool,
     measure_all: bool,
     parallel_measure: bool,
+    cache_dir: Option<String>,
     emit_asm: bool,
     metric: bool,
     symbolic: bool,
@@ -50,7 +53,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sbound [-D NAME=VALUE]... [--run] [--no-measure] [--check-refinement] \
          [--parallel] [--measure-all] [--parallel-measure] \
-         [--emit-asm] [--metric] [--symbolic] \
+         [--cache-dir DIR] [--emit-asm] [--metric] [--symbolic] \
          [--metrics] [--trace-json FILE] [--profile-stack] <file.c>"
     );
     ExitCode::from(2)
@@ -66,6 +69,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         parallel: false,
         measure_all: false,
         parallel_measure: false,
+        cache_dir: None,
         emit_asm: false,
         metric: false,
         symbolic: false,
@@ -95,6 +99,12 @@ fn parse_args() -> Result<Options, ExitCode> {
                     return Err(usage());
                 };
                 opts.trace_json = Some(path);
+            }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    return Err(usage());
+                };
+                opts.cache_dir = Some(dir);
             }
             "-D" => {
                 let Some(def) = args.next() else {
@@ -151,12 +161,32 @@ fn main() -> ExitCode {
         parallel: opts.parallel,
         ..stackbound::compiler::PipelineConfig::default()
     };
-    let verifier = stackbound::Verifier::new()
+    // With `--cache-dir`, route the verification and measurement stages
+    // through shared content-addressed caches, warmed from disk.
+    let vcache = opts.cache_dir.as_ref().map(|dir| {
+        let cache = std::sync::Arc::new(stackbound::vcache::VCache::new());
+        if let Err(e) = cache.load_dir(std::path::Path::new(dir)) {
+            eprintln!("sbound: cannot load cache from `{dir}`: {e}");
+        }
+        cache
+    });
+    let measure_cache = opts
+        .cache_dir
+        .is_some()
+        .then(|| std::sync::Arc::new(stackbound::asm::MeasureCache::new()));
+
+    let mut verifier = stackbound::Verifier::new()
         .params(&params)
         .measure(!opts.no_measure)
         .measure_all_functions(opts.measure_all)
         .parallel_measure(opts.parallel_measure)
         .pipeline(pipeline);
+    if let Some(cache) = &vcache {
+        verifier = verifier.vcache(cache.clone());
+    }
+    if let Some(cache) = &measure_cache {
+        verifier = verifier.measure_cache(cache.clone());
+    }
     let report = match verifier.verify(&source) {
         Ok(r) => r,
         Err(e) => {
@@ -225,6 +255,12 @@ fn main() -> ExitCode {
         }
     }
 
+    if let (Some(cache), Some(dir)) = (&vcache, &opts.cache_dir) {
+        if let Err(e) = cache.save_dir(std::path::Path::new(dir)) {
+            eprintln!("sbound: cannot save cache to `{dir}`: {e}");
+        }
+    }
+
     if let Some(session) = session {
         let obs_report = obs::report().unwrap_or_default();
         drop(session);
@@ -236,6 +272,31 @@ fn main() -> ExitCode {
         }
         if opts.metrics {
             println!("\n{}", obs_report.render_tree());
+            if let Some(cache) = &vcache {
+                println!("verification cache ({} entries):", cache.len());
+                for stage in stackbound::vcache::CacheStage::ALL {
+                    let (hits, misses) = cache.stats(stage);
+                    let rate = cache
+                        .hit_rate(stage)
+                        .map(|r| format!("{:.1}%", r * 100.0))
+                        .unwrap_or_else(|| "-".to_owned());
+                    println!(
+                        "    {:<10} {hits:>6} hits {misses:>6} misses  hit rate {rate:>6}",
+                        stage.name()
+                    );
+                }
+            }
+            if let Some(cache) = &measure_cache {
+                let (hits, misses) = cache.stats();
+                let rate = cache
+                    .hit_rate()
+                    .map(|r| format!("{:.1}%", r * 100.0))
+                    .unwrap_or_else(|| "-".to_owned());
+                println!(
+                    "measure cache: {} entries, {hits} hits {misses} misses  hit rate {rate:>6}",
+                    cache.len()
+                );
+            }
         }
     }
     ExitCode::SUCCESS

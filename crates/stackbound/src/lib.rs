@@ -48,6 +48,7 @@ pub use compiler;
 pub use mem;
 pub use qhl;
 pub use trace;
+pub use vcache;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -270,6 +271,7 @@ pub struct Verifier {
     measure_all: bool,
     parallel_measure: bool,
     measure_cache: Option<std::sync::Arc<asm::MeasureCache>>,
+    vcache: Option<std::sync::Arc<vcache::VCache>>,
 }
 
 impl Default for Verifier {
@@ -290,6 +292,7 @@ impl Verifier {
             measure_all: false,
             parallel_measure: false,
             measure_cache: None,
+            vcache: None,
         }
     }
 
@@ -397,6 +400,24 @@ impl Verifier {
         self
     }
 
+    /// Routes the analyze, derivation-check, compile, and bound stages
+    /// through a shared content-addressed [`vcache::VCache`], so repeated
+    /// verifications reuse every per-function artifact whose inputs are
+    /// unchanged (and incremental edits recompute only the edited
+    /// function plus its transitive callers). Stage output is
+    /// byte-identical to an uncached run.
+    ///
+    /// The cached compile driver does not support per-pass refinement
+    /// checkpoints or wall-clock budgets (both whole-program concepts);
+    /// when either is configured on [`Verifier::pipeline`], the compile
+    /// stage transparently falls back to the regular pass manager while
+    /// the other stages keep caching.
+    #[must_use]
+    pub fn vcache(mut self, cache: std::sync::Arc<vcache::VCache>) -> Verifier {
+        self.vcache = Some(cache);
+        self
+    }
+
     /// The stages this verifier will run, in order.
     pub fn stages(&self) -> Vec<Stage> {
         Stage::ALL
@@ -415,6 +436,9 @@ impl Verifier {
     pub fn verify(&self, src: &str) -> Result<Report, Error> {
         let _span = obs::span("verify/program");
         let mut program = None;
+        // Content keys per function, computed once after the front end
+        // when a `vcache` is attached.
+        let mut keys: Option<BTreeMap<String, vcache::Key>> = None;
         let mut analysis = None;
         let mut compiled: Option<compiler::Compiled> = None;
         let mut bounds = BTreeMap::new();
@@ -425,29 +449,51 @@ impl Verifier {
                 Stage::Frontend => {
                     let params: Vec<(&str, u32)> =
                         self.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-                    program = Some(clight::frontend(src, &params).map_err(Error::Frontend)?);
+                    let p = clight::frontend(src, &params).map_err(Error::Frontend)?;
+                    if self.vcache.is_some() {
+                        keys = Some(vcache::keys(&p, &self.pipeline.options));
+                    }
+                    program = Some(p);
                 }
                 Stage::Analyze => {
                     let program = program.as_ref().expect("frontend is mandatory");
-                    analysis = Some(analyzer::analyze(program).map_err(Error::Analyzer)?);
+                    analysis = Some(match (&self.vcache, &keys) {
+                        (Some(cache), Some(keys)) => {
+                            vcache::analyze(cache, program, keys).map_err(Error::Analyzer)?
+                        }
+                        _ => analyzer::analyze(program).map_err(Error::Analyzer)?,
+                    });
                 }
                 Stage::CheckDerivations => {
-                    analysis
-                        .as_ref()
-                        .expect("analyze is mandatory")
-                        .check(program.as_ref().expect("frontend is mandatory"))
-                        .map_err(Error::Derivation)?;
+                    let program = program.as_ref().expect("frontend is mandatory");
+                    let analysis = analysis.as_ref().expect("analyze is mandatory");
+                    match (&self.vcache, &keys) {
+                        (Some(cache), Some(keys)) => {
+                            vcache::check(cache, program, analysis, keys)
+                                .map_err(Error::Derivation)?;
+                        }
+                        _ => analysis.check(program).map_err(Error::Derivation)?,
+                    }
                 }
                 Stage::Compile => {
                     let program = program.as_ref().expect("frontend is mandatory");
-                    compiled = Some(
-                        compiler::Pipeline::new(self.pipeline.clone())
+                    // Refinement checkpoints and budgets are per-pass,
+                    // whole-program features of the pass manager; the
+                    // incremental driver has no equivalent, so fall back.
+                    let incremental =
+                        !self.pipeline.check_refinement && self.pipeline.budgets.is_empty();
+                    compiled = Some(match (&self.vcache, &keys) {
+                        (Some(cache), Some(keys)) if incremental => {
+                            vcache::compile(cache, program, &self.pipeline, keys)
+                                .map_err(Error::Compiler)?
+                        }
+                        _ => compiler::Pipeline::new(self.pipeline.clone())
                             .run(program)
                             .map_err(|e| match e {
                                 compiler::PipelineError::Compile(e) => Error::Compiler(e),
                                 other => Error::Pipeline(other),
                             })?,
-                    );
+                    });
                 }
                 Stage::Bound => {
                     let _s = obs::span("verify/bounds");
@@ -455,7 +501,17 @@ impl Verifier {
                     let analysis = analysis.as_ref().expect("analyze is mandatory");
                     let compiled = compiled.as_ref().expect("compile is mandatory");
                     for name in program.function_names() {
-                        if let Some(b) = analysis.concrete_bound(name, &compiled.metric) {
+                        let bound = match (&self.vcache, &keys) {
+                            (Some(cache), Some(keys)) => vcache::concrete_bound(
+                                cache,
+                                analysis,
+                                &compiled.metric,
+                                name,
+                                keys,
+                            ),
+                            _ => analysis.concrete_bound(name, &compiled.metric),
+                        };
+                        if let Some(b) = bound {
                             bounds.insert(name.to_owned(), b as u32);
                         }
                     }
@@ -550,6 +606,36 @@ pub fn verify_program(src: &str) -> Result<Report, Error> {
 /// See [`verify_program`].
 pub fn verify_with_params(src: &str, params: &[(&str, u32)]) -> Result<Report, Error> {
     Verifier::new().params(params).verify(src)
+}
+
+#[cfg(test)]
+mod par_map_tests {
+    use super::par_map;
+
+    #[test]
+    fn empty_slice_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline_and_preserves_value() {
+        // One item caps the pool at one worker, so the closure runs on
+        // the calling thread.
+        let caller = std::thread::current().id();
+        let out = par_map(&[41u32], |&x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn results_land_in_index_order() {
+        let items: Vec<u32> = (0..101).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
 }
 
 #[cfg(test)]
