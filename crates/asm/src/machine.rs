@@ -376,6 +376,7 @@ impl Machine {
         if let Some(t0) = t0 {
             let executed = self.steps - start_steps;
             let secs = t0.elapsed().as_secs_f64();
+            obs::counter("machine/steps", executed);
             if executed > 0 && secs > 0.0 {
                 obs::observe("machine/steps_per_sec", (executed as f64 / secs) as u64);
             }

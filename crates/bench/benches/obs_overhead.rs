@@ -1,15 +1,23 @@
 //! Measures the cost of the observability instrumentation on the hottest
 //! loop in the workspace: the `ASMsz` machine interpreting `fib(17)`.
 //!
-//! Two configurations of the *same* instrumented code run back to back:
-//! with no recorder installed (the shipping default — counters are local
-//! array bumps and the waterline decimates to a handful of comparisons
-//! per `ESP` write), and with the global recorder installed. The first
-//! must stay within a few percent of the pre-instrumentation machine
-//! loop; the printed ratio makes regressions visible.
+//! Three configurations of the *same* instrumented code run back to
+//! back: with no recorder installed (the shipping default — counters are
+//! local array bumps and the waterline decimates to a handful of
+//! comparisons per `ESP` write), with the global recorder installed, and
+//! with the recorder installed *plus* an open timeline span around every
+//! run (the `--trace-chrome` shape: a registered worker thread with a
+//! `measure/fn/*` span on its timeline). The full-timeline configuration
+//! must stay within [`MAX_TIMELINE_RATIO`] of the disabled fast path —
+//! the bench asserts it, so a hot-loop instrumentation regression fails
+//! `cargo bench` before it ships.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// Recording with live timeline spans may cost at most this much relative
+/// to the disabled fast path on the fib(17) machine loop.
+const MAX_TIMELINE_RATIO: f64 = 1.2;
 
 const FIB: &str = "
     u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n;
@@ -38,15 +46,36 @@ fn obs_overhead(c: &mut Criterion) {
             m.stack_usage
         })
     });
+    c.bench_function("obs/machine/fib17/timeline", |b| {
+        let _session = obs::install();
+        obs::register_thread("bench");
+        b.iter(|| {
+            let _span = obs::span("measure/fn/fib17");
+            let m = stackbound::asm::measure_main(black_box(&compiled.asm), 1 << 16, 100_000_000)
+                .unwrap();
+            assert!(m.behavior.converges());
+            m.stack_usage
+        })
+    });
 
     let results = c.results();
-    if let (Some(off), Some(on)) = (
-        results.iter().find(|r| r.name.ends_with("/disabled")),
-        results.iter().find(|r| r.name.ends_with("/recording")),
+    let median = |suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.name.ends_with(suffix))
+            .map(|r| r.median_ns.max(1.0))
+    };
+    if let (Some(off), Some(on), Some(timeline)) = (
+        median("/disabled"),
+        median("/recording"),
+        median("/timeline"),
     ) {
-        println!(
-            "obs overhead: recording/disabled = {:.3}x",
-            on.median_ns / off.median_ns.max(1.0)
+        println!("obs overhead: recording/disabled = {:.3}x", on / off);
+        let ratio = timeline / off;
+        println!("obs overhead: timeline/disabled  = {ratio:.3}x");
+        assert!(
+            ratio <= MAX_TIMELINE_RATIO,
+            "timeline recording costs {ratio:.3}x over the disabled fast path              (budget {MAX_TIMELINE_RATIO}x)"
         );
     }
 }

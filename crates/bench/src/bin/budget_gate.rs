@@ -12,7 +12,12 @@
 //! * `vcache <speedup>` — the gate verifies the whole corpus (Table 1 +
 //!   extras + Table 2) twice through one shared [`stackbound::vcache`]
 //!   cache and fails if the warm pass is not at least `speedup`× faster
-//!   than the cold pass, or if any report line diverges between passes.
+//!   than the cold pass, or if any report line diverges between passes;
+//! * `obs_overhead <ratio>` — the gate runs the `fib(17)` machine loop
+//!   with the recorder off and again with the recorder on plus a live
+//!   timeline span, and fails if recording costs more than `ratio`×
+//!   the disabled fast path (a ceiling despite living among the floors:
+//!   instrumentation must stay cheap enough to leave on).
 //!
 //! ```sh
 //! cargo run -p bench --bin budget_gate                # default budget file
@@ -29,6 +34,10 @@ const DEFAULT_BUDGETS: &str = "ci/pass_budgets.txt";
 /// Repetitions for the interpreter-floor measurement; best-of-2 is enough
 /// because the floor sits an order of magnitude under the expected rate.
 const INTERP_REPS: u32 = 2;
+
+/// Repetitions per configuration for the `obs_overhead` ratio
+/// (best-of-N on both sides cancels scheduler noise).
+const OVERHEAD_REPS: u32 = 5;
 
 fn main() -> ExitCode {
     let path = std::env::args()
@@ -55,7 +64,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if budgets.is_empty() && floors.interp.is_none() && floors.vcache.is_none() {
+    if budgets.is_empty()
+        && floors.interp.is_none()
+        && floors.vcache.is_none()
+        && floors.obs_overhead.is_none()
+    {
         eprintln!("budget_gate: `{path}` declares no budgets");
         return ExitCode::FAILURE;
     }
@@ -68,6 +81,12 @@ fn main() -> ExitCode {
     }
     if let Some(floor) = floors.vcache {
         println!("  {:<12} {floor}x warm speedup (floor)", "vcache");
+    }
+    if let Some(ratio) = floors.obs_overhead {
+        println!(
+            "  {:<12} {ratio}x recording overhead (ceiling)",
+            "obs_overhead"
+        );
     }
     println!();
 
@@ -120,6 +139,14 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(ceiling) = floors.obs_overhead {
+        if failed {
+            eprintln!("\nobs_overhead ceiling skipped: earlier checks already failed");
+        } else if !obs_overhead_meets(ceiling) {
+            failed = true;
+        }
+    }
+
     if failed {
         eprintln!("\nbudget_gate: FAILED");
         ExitCode::FAILURE
@@ -136,17 +163,33 @@ struct Floors {
     interp: Option<u64>,
     /// `vcache <speedup>` — warm-over-cold verification speedup floor.
     vcache: Option<u64>,
+    /// `obs_overhead <ratio>` — recording-over-disabled cost ceiling.
+    obs_overhead: Option<f64>,
 }
 
-/// Splits the optional `interp` / `vcache` floor lines out of the budget
-/// file, returning the declared floors and the remaining text for
-/// [`compiler::Budgets::parse`] (which knows only wall-clock budgets).
+/// Splits the optional `interp` / `vcache` / `obs_overhead` floor lines
+/// out of the budget file, returning the declared floors and the
+/// remaining text for [`compiler::Budgets::parse`] (which knows only
+/// wall-clock budgets).
 fn split_floors(text: &str) -> Result<(Floors, String), String> {
     let mut floors = Floors::default();
     let mut rest = String::new();
     for line in text.lines() {
         let mut fields = line.split_whitespace();
         let head = fields.next();
+        if head == Some("obs_overhead") {
+            let value = fields
+                .next()
+                .ok_or("`obs_overhead` needs a ratio value")?
+                .parse::<f64>()
+                .ok()
+                .filter(|r| r.is_finite() && *r >= 1.0)
+                .ok_or("bad `obs_overhead` ratio (need a finite number >= 1)")?;
+            if floors.obs_overhead.replace(value).is_some() {
+                return Err("duplicate `obs_overhead` line".to_owned());
+            }
+            continue;
+        }
         let slot = match head {
             Some("interp") => &mut floors.interp,
             Some("vcache") => &mut floors.vcache,
@@ -167,6 +210,55 @@ fn split_floors(text: &str) -> Result<(Floors, String), String> {
         }
     }
     Ok((floors, rest))
+}
+
+/// Measures the `fib(17)` machine loop with the recorder disabled, then
+/// with the recorder installed and a live timeline span per run (the
+/// shape `--trace-chrome` produces), and checks the cost ratio against
+/// `ceiling`, printing the verdict. Best-of-[`OVERHEAD_REPS`] per side.
+fn obs_overhead_meets(ceiling: f64) -> bool {
+    const FIB: &str = "
+        u32 fib(u32 n) { u32 a; u32 b; if (n < 2) return n;
+            a = fib(n - 1); b = fib(n - 2); return a + b; }
+        int main() { u32 r; r = fib(17); return r & 0xff; }";
+    let program = stackbound::clight::frontend(FIB, &[]).expect("fib front end");
+    let compiled = compiler::compile(&program).expect("fib compiles");
+
+    let run_once = || {
+        let started = Instant::now();
+        let m = asm::measure_main(&compiled.asm, 1 << 16, bench::FUEL).expect("machine setup");
+        assert!(m.behavior.converges());
+        started.elapsed().as_secs_f64()
+    };
+    let best_of = |one_rep: &mut dyn FnMut() -> f64| {
+        (0..OVERHEAD_REPS)
+            .map(|_| one_rep())
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    assert!(!obs::is_enabled(), "budget_gate never installs a recorder");
+    let disabled = best_of(&mut || run_once());
+    let recording = {
+        let _session = obs::install();
+        obs::register_thread("gate");
+        best_of(&mut || {
+            let _span = obs::span("measure/fn/fib17");
+            run_once()
+        })
+    };
+
+    let ratio = recording / disabled.max(f64::EPSILON);
+    if ratio <= ceiling {
+        println!(
+            "\nobs_overhead: {ratio:.3}x recording cost <= ceiling {ceiling}x (disabled {:.2} ms, recording {:.2} ms)",
+            disabled * 1e3,
+            recording * 1e3
+        );
+        true
+    } else {
+        eprintln!("\nobs_overhead: FAILED: {ratio:.3}x recording cost > ceiling {ceiling}x");
+        false
+    }
 }
 
 /// Runs the whole corpus cold then warm through one shared cache pair and
@@ -238,9 +330,11 @@ mod tests {
 
     #[test]
     fn splits_floors_from_pass_budgets() {
-        let (floors, rest) = split_floors("# c\ninterp 123\nvcache 5\nasmgen 5\n").unwrap();
+        let (floors, rest) =
+            split_floors("# c\ninterp 123\nvcache 5\nobs_overhead 1.5\nasmgen 5\n").unwrap();
         assert_eq!(floors.interp, Some(123));
         assert_eq!(floors.vcache, Some(5));
+        assert_eq!(floors.obs_overhead, Some(1.5));
         assert_eq!(rest, "# c\nasmgen 5\n");
     }
 
@@ -249,6 +343,7 @@ mod tests {
         let (floors, rest) = split_floors("asmgen 5\n").unwrap();
         assert_eq!(floors.interp, None);
         assert_eq!(floors.vcache, None);
+        assert_eq!(floors.obs_overhead, None);
         assert_eq!(rest, "asmgen 5\n");
     }
 
@@ -260,5 +355,10 @@ mod tests {
         assert!(split_floors("vcache\n").is_err());
         assert!(split_floors("vcache five\n").is_err());
         assert!(split_floors("vcache 5\nvcache 6\n").is_err());
+        assert!(split_floors("obs_overhead\n").is_err());
+        assert!(split_floors("obs_overhead fast\n").is_err());
+        assert!(split_floors("obs_overhead 0.5\n").is_err());
+        assert!(split_floors("obs_overhead inf\n").is_err());
+        assert!(split_floors("obs_overhead 2\nobs_overhead 3\n").is_err());
     }
 }

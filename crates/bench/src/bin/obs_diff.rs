@@ -15,18 +15,24 @@
 //! table: the percentage on each side plus the delta in percentage
 //! points, so a cache that silently stopped hitting shows up as a
 //! headline row rather than two raw counters the reader must divide.
+//!
+//! Histograms are reconstructed from their serialized log2 buckets and
+//! diffed by their p50/p95/p99 percentile estimates, so a latency
+//! distribution shifting its tail is visible even when the mean holds.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Aggregated view of one report: per-span-name total duration and open
-/// count, plus the global counters.
+/// count, plus the global counters and histograms.
 #[derive(Default)]
 struct Aggregate {
     /// span name → (total duration over all spans with that name, count).
     spans: BTreeMap<String, (u64, u64)>,
     /// counter name → value.
     counters: BTreeMap<String, u64>,
+    /// histogram name → distribution rebuilt from its log2 buckets.
+    hists: BTreeMap<String, obs::Histogram>,
 }
 
 fn load(path: &str) -> Result<Aggregate, String> {
@@ -36,25 +42,56 @@ fn load(path: &str) -> Result<Aggregate, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let v =
-            obs::json::parse(line).map_err(|e| format!("{path}:{}: bad JSON: {e}", lineno + 1))?;
-        let kind = v.get("k").and_then(|k| k.as_str()).unwrap_or_default();
-        let name = v.get("name").and_then(|n| n.as_str()).unwrap_or_default();
-        match kind {
-            "span" => {
-                let dur = v.get("dur_ns").and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
-                let entry = agg.spans.entry(name.to_owned()).or_insert((0, 0));
-                entry.0 += dur;
-                entry.1 += 1;
-            }
-            "counter" => {
-                let value = v.get("value").and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
-                *agg.counters.entry(name.to_owned()).or_insert(0) += value;
-            }
-            _ => {} // histograms are not diffed
-        }
+        ingest(&mut agg, line).map_err(|e| format!("{path}:{}: bad JSON: {e}", lineno + 1))?;
     }
     Ok(agg)
+}
+
+/// Folds one JSON-lines record into the aggregate.
+fn ingest(agg: &mut Aggregate, line: &str) -> Result<(), String> {
+    let v = obs::json::parse(line)?;
+    let kind = v.get("k").and_then(|k| k.as_str()).unwrap_or_default();
+    let name = v.get("name").and_then(|n| n.as_str()).unwrap_or_default();
+    match kind {
+        "span" => {
+            let dur = v.get("dur_ns").and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
+            let entry = agg.spans.entry(name.to_owned()).or_insert((0, 0));
+            entry.0 += dur;
+            entry.1 += 1;
+        }
+        "counter" => {
+            let value = v.get("value").and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
+            *agg.counters.entry(name.to_owned()).or_insert(0) += value;
+        }
+        "hist" => {
+            let num = |key: &str| v.get(key).and_then(|d| d.as_f64()).unwrap_or(0.0) as u64;
+            let mut buckets = vec![0u64; 65];
+            for pair in v
+                .get("buckets")
+                .and_then(|b| b.as_array())
+                .unwrap_or_default()
+            {
+                if let Some([i, n]) = pair.as_array().map(|p| [&p[0], &p[1]]) {
+                    let i = i.as_f64().unwrap_or(0.0) as usize;
+                    if let Some(slot) = buckets.get_mut(i) {
+                        *slot = n.as_f64().unwrap_or(0.0) as u64;
+                    }
+                }
+            }
+            agg.hists.insert(
+                name.to_owned(),
+                obs::Histogram::from_parts(
+                    num("count"),
+                    num("sum"),
+                    num("min"),
+                    num("max"),
+                    buckets,
+                ),
+            );
+        }
+        _ => {} // thread labels carry no diffable quantity
+    }
+    Ok(())
 }
 
 fn ms(ns: u64) -> f64 {
@@ -119,6 +156,37 @@ fn counter_row(name: &str, before: Option<u64>, after: Option<u64>) -> String {
         side(before),
         side(after)
     )
+}
+
+/// The p50/p95/p99 rows for one histogram, with the same
+/// `added`/`removed` marking as [`span_row`].
+fn hist_rows(
+    name: &str,
+    before: Option<&obs::Histogram>,
+    after: Option<&obs::Histogram>,
+) -> Vec<String> {
+    [50.0, 95.0, 99.0]
+        .iter()
+        .map(|&p| {
+            let b = before.map(|h| h.percentile(p));
+            let a = after.map(|h| h.percentile(p));
+            let (delta, note) = match (b, a) {
+                (None, None) => ("-".to_owned(), String::new()),
+                (None, Some(_)) => ("-".to_owned(), "added".to_owned()),
+                (Some(_), None) => ("-".to_owned(), "removed".to_owned()),
+                (Some(b), Some(a)) => (
+                    format!("{:+}", i128::from(a) - i128::from(b)),
+                    String::new(),
+                ),
+            };
+            format!(
+                "{:<36} {:>12} {:>12} {delta:>12} {note:>8}",
+                format!("{name} p{p:.0}"),
+                side(b),
+                side(a)
+            )
+        })
+        .collect()
 }
 
 /// Pairs every `<base>_hit` counter with its `<base>_miss` sibling and
@@ -202,6 +270,20 @@ fn main() -> ExitCode {
         println!("{}", counter_row(name, b, a));
     }
 
+    if !(before.hists.is_empty() && after.hists.is_empty()) {
+        println!();
+        println!(
+            "{:<36} {:>12} {:>12} {:>12} {:>8}",
+            "histogram percentile", "before", "after", "delta", ""
+        );
+        println!("{}", "-".repeat(84));
+        for name in union_keys(&before.hists, &after.hists) {
+            for row in hist_rows(name, before.hists.get(name), after.hists.get(name)) {
+                println!("{row}");
+            }
+        }
+    }
+
     let (before_rates, after_rates) = (hit_rates(&before.counters), hit_rates(&after.counters));
     if !(before_rates.is_empty() && after_rates.is_empty()) {
         println!();
@@ -221,7 +303,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{counter_row, hit_rate_row, hit_rates, span_row};
+    use super::{counter_row, hist_rows, hit_rate_row, hit_rates, ingest, span_row, Aggregate};
     use std::collections::BTreeMap;
 
     #[test]
@@ -280,6 +362,54 @@ mod tests {
         assert_eq!(rates.get("vcache/check"), Some(&100.0));
         assert_eq!(rates.get("vcache/bound"), None);
         assert_eq!(rates.len(), 3);
+    }
+
+    #[test]
+    fn hist_lines_round_trip_and_diff_by_percentile() {
+        let mut h = obs::Histogram::from_parts(0, 0, 0, 0, Vec::new());
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| format!("[{i},{n}]"))
+            .collect();
+        let line = format!(
+            "{{\"k\":\"hist\",\"name\":\"lat\",\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":[{}]}}",
+            h.count,
+            h.min,
+            h.max,
+            h.sum,
+            buckets.join(",")
+        );
+        let mut agg = Aggregate::default();
+        ingest(&mut agg, &line).unwrap();
+        let back = &agg.hists["lat"];
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+
+        let mut shifted = h.clone();
+        for _ in 0..40 {
+            shifted.record(100_000);
+        }
+        let rows = hist_rows("lat", Some(&h), Some(&shifted));
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].contains("lat p50"), "{rows:?}");
+        // The tail moved: p95/p99 show a large positive delta.
+        assert!(rows[1].contains('+'), "{rows:?}");
+        assert!(rows[2].contains('+'), "{rows:?}");
+
+        let added = hist_rows("new", None, Some(&h));
+        assert!(added.iter().all(|r| r.ends_with("added")), "{added:?}");
+        let removed = hist_rows("old", Some(&h), None);
+        assert!(
+            removed.iter().all(|r| r.ends_with("removed")),
+            "{removed:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,561 @@
+//! CI gate: the observability layer itself is load-bearing.
+//!
+//! `obs_regress` runs the full corpus (Table 1 + extras + the Table 2
+//! recursive cases) through the cached [`stackbound::Verifier`] under an
+//! installed [`obs`] recorder, reduces the recorded report to a flat list
+//! of metrics, and compares them against a checked-in baseline
+//! (`ci/obs_baselines/suite.txt`) with per-metric tolerance rules. A
+//! counter that drifts, a span that disappears, or a stage that blows
+//! through its wall-clock ceiling fails CI — instrumentation regressions
+//! are caught like any other regression.
+//!
+//! The workload is serial and starts from fresh caches, so every counter
+//! (machine steps, analyzer effort, qhl rule applications, cache
+//! hits/misses) and every span/histogram *count* is byte-deterministic;
+//! only wall-clock totals need tolerance, and those are snapshotted as
+//! generous ceilings.
+//!
+//! Baseline lines are `kind name value rule`:
+//!
+//! ```text
+//! counter   machine/steps            1188090  exact
+//! spancount measure/fn/main          14       exact
+//! spanns    verify/measure           250000000 ceiling
+//! histcount machine/steps_per_sec    14       exact
+//! ```
+//!
+//! Rules: `exact`, `ceiling` (current <= value), `floor`
+//! (current >= value), or `<N>%` (relative tolerance) — edit the rule in
+//! place to relax a metric that is legitimately machine-dependent.
+//!
+//! After the serial gate, a second *parallel* pass (`--parallel-measure`
+//! semantics) exports a Chrome trace of the suite, re-validates it with
+//! the in-crate [`obs::json`] parser, and asserts the timeline has at
+//! least two distinct thread tracks when the machine has more than one
+//! core — the end-to-end guarantee behind `sbound --trace-chrome`.
+//!
+//! ```sh
+//! cargo run -p bench --bin obs_regress                   # compare
+//! cargo run -p bench --bin obs_regress -- --snapshot     # (re)write baseline
+//! cargo run -p bench --bin obs_regress -- --trace-chrome trace.json
+//! ```
+
+use stackbound::{asm, vcache};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const DEFAULT_BASELINE: &str = "ci/obs_baselines/suite.txt";
+
+/// Wall-clock ceilings are snapshotted at `max(observed * 10, 250ms)` so
+/// a slow CI machine never trips them while a 10x stage regression does.
+const CEILING_MARGIN: u64 = 10;
+const CEILING_FLOOR_NS: u64 = 250_000_000;
+
+struct Options {
+    baseline: String,
+    snapshot: bool,
+    trace_chrome: Option<String>,
+    trace_folded: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obs_regress [--baseline FILE] [--snapshot] \
+         [--trace-chrome FILE] [--trace-folded FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        baseline: DEFAULT_BASELINE.to_owned(),
+        snapshot: false,
+        trace_chrome: None,
+        trace_folded: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--snapshot" => opts.snapshot = true,
+            "--baseline" => opts.baseline = args.next().ok_or_else(usage)?,
+            "--trace-chrome" => opts.trace_chrome = Some(args.next().ok_or_else(usage)?),
+            "--trace-folded" => opts.trace_folded = Some(args.next().ok_or_else(usage)?),
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    // ---- serial deterministic pass ------------------------------------
+    let report = {
+        let session = obs::install();
+        run_corpus();
+        let report = obs::report().expect("recorder is installed");
+        drop(session);
+        report
+    };
+    let current = extract_metrics(&report);
+    println!(
+        "obs_regress: serial corpus pass recorded {} metrics",
+        current.len()
+    );
+
+    if opts.snapshot {
+        let text = render_snapshot(&current);
+        if let Some(dir) = std::path::Path::new(&opts.baseline).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("obs_regress: cannot create `{}`: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&opts.baseline, text) {
+            eprintln!("obs_regress: cannot write `{}`: {e}", opts.baseline);
+            return ExitCode::FAILURE;
+        }
+        println!("obs_regress: wrote baseline `{}`", opts.baseline);
+    } else {
+        let text = match std::fs::read_to_string(&opts.baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "obs_regress: cannot read `{}`: {e} (run with --snapshot to create it)",
+                    opts.baseline
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("obs_regress: `{}`: {e}", opts.baseline);
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = compare(&baseline, &current);
+        for f in &failures {
+            eprintln!("obs_regress: FAILED: {f}");
+        }
+        let fresh: Vec<&Metric> = current
+            .keys()
+            .filter(|m| !baseline.iter().any(|e| e.metric == **m))
+            .collect();
+        if !fresh.is_empty() {
+            println!(
+                "obs_regress: note: {} metrics not in baseline (snapshot to adopt), e.g. {:?}",
+                fresh.len(),
+                fresh[0]
+            );
+        }
+        if !failures.is_empty() {
+            eprintln!(
+                "obs_regress: {} of {} baseline metrics failed",
+                failures.len(),
+                baseline.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "obs_regress: all {} baseline metrics within tolerance",
+            baseline.len()
+        );
+    }
+
+    // ---- parallel pass: the Chrome timeline is real -------------------
+    match parallel_trace_pass(opts.trace_chrome.as_deref(), opts.trace_folded.as_deref()) {
+        Ok(tracks) => {
+            println!("obs_regress: chrome trace valid with {tracks} thread track(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_regress: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The serial gate workload: the whole corpus through fresh shared
+/// caches, exactly once, on one thread of control.
+fn run_corpus() {
+    let benchmarks: Vec<_> = stackbound::benchsuite::table1_benchmarks()
+        .into_iter()
+        .chain(stackbound::benchsuite::extra_benchmarks())
+        .collect();
+    let recursive = stackbound::benchsuite::recursive_cases();
+    let cache = Arc::new(vcache::VCache::new());
+    let measure_cache = Arc::new(asm::MeasureCache::new());
+    bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
+    bench::verify_recursive_cached(&recursive, &cache);
+}
+
+/// One gated metric: the kind discriminates how the value was reduced
+/// from the report.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Metric {
+    /// A global counter's summed value.
+    Counter(String),
+    /// How many spans with this name were recorded.
+    SpanCount(String),
+    /// Total wall-clock over all spans with this name, nanoseconds.
+    SpanNs(String),
+    /// A histogram's sample count.
+    HistCount(String),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::SpanCount(_) => "spancount",
+            Metric::SpanNs(_) => "spanns",
+            Metric::HistCount(_) => "histcount",
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            Metric::Counter(n)
+            | Metric::SpanCount(n)
+            | Metric::SpanNs(n)
+            | Metric::HistCount(n) => n,
+        }
+    }
+
+    fn from_parts(kind: &str, name: &str) -> Option<Metric> {
+        match kind {
+            "counter" => Some(Metric::Counter(name.to_owned())),
+            "spancount" => Some(Metric::SpanCount(name.to_owned())),
+            "spanns" => Some(Metric::SpanNs(name.to_owned())),
+            "histcount" => Some(Metric::HistCount(name.to_owned())),
+            _ => None,
+        }
+    }
+}
+
+/// Per-metric comparison rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Rule {
+    /// current == value
+    Exact,
+    /// current <= value
+    Ceiling,
+    /// current >= value
+    Floor,
+    /// |current - value| <= value * pct / 100
+    Percent(f64),
+}
+
+impl Rule {
+    fn parse(s: &str) -> Result<Rule, String> {
+        match s {
+            "exact" => Ok(Rule::Exact),
+            "ceiling" => Ok(Rule::Ceiling),
+            "floor" => Ok(Rule::Floor),
+            _ => match s.strip_suffix('%') {
+                Some(pct) => pct
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| *p >= 0.0)
+                    .map(Rule::Percent)
+                    .ok_or_else(|| format!("bad tolerance `{s}`")),
+                None => Err(format!("unknown rule `{s}`")),
+            },
+        }
+    }
+
+    fn admits(&self, baseline: u64, current: u64) -> bool {
+        match self {
+            Rule::Exact => current == baseline,
+            Rule::Ceiling => current <= baseline,
+            Rule::Floor => current >= baseline,
+            Rule::Percent(pct) => {
+                (current as f64 - baseline as f64).abs() <= baseline as f64 * pct / 100.0
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Rule::Exact => "exact".to_owned(),
+            Rule::Ceiling => "ceiling".to_owned(),
+            Rule::Floor => "floor".to_owned(),
+            Rule::Percent(p) => format!("{p}%"),
+        }
+    }
+}
+
+/// One baseline line.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    metric: Metric,
+    value: u64,
+    rule: Rule,
+}
+
+/// Reduces a recorded report to the flat, ordered metric list the
+/// baseline gates: global counters, per-name span counts and wall-clock
+/// totals, histogram sample counts.
+fn extract_metrics(report: &obs::Report) -> BTreeMap<Metric, u64> {
+    fn visit(agg: &mut BTreeMap<String, (u64, u64)>, node: &obs::SpanNode) {
+        let slot = agg.entry(node.name.clone()).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += node.duration_ns;
+        for c in &node.children {
+            visit(agg, c);
+        }
+    }
+    let mut spans: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for root in &report.roots {
+        visit(&mut spans, root);
+    }
+    let mut out = BTreeMap::new();
+    for (name, value) in &report.counters {
+        out.insert(Metric::Counter(name.clone()), *value);
+    }
+    for (name, (count, total_ns)) in spans {
+        out.insert(Metric::SpanCount(name.clone()), count);
+        out.insert(Metric::SpanNs(name), total_ns);
+    }
+    for (name, h) in &report.histograms {
+        out.insert(Metric::HistCount(name.clone()), h.count);
+    }
+    out
+}
+
+/// Renders the current metrics as a fresh baseline: deterministic
+/// quantities get `exact`, wall-clock totals get a generous `ceiling`.
+fn render_snapshot(current: &BTreeMap<Metric, u64>) -> String {
+    let mut out = String::from(
+        "# obs_regress baseline: `kind name value rule` per line.\n\
+         # Regenerate with `cargo run --release -p bench --bin obs_regress -- --snapshot`.\n\
+         # Rules: exact | ceiling | floor | <pct>% — relax in place when a\n\
+         # metric is legitimately machine-dependent.\n",
+    );
+    let width = current
+        .keys()
+        .map(|m| m.name().len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+    for (metric, value) in current {
+        let (value, rule) = match metric {
+            Metric::SpanNs(_) => (
+                (value * CEILING_MARGIN).max(CEILING_FLOOR_NS),
+                Rule::Ceiling,
+            ),
+            _ => (*value, Rule::Exact),
+        };
+        out.push_str(&format!(
+            "{:<9} {:<width$} {value:>12} {}\n",
+            metric.kind(),
+            metric.name(),
+            rule.render(),
+        ));
+    }
+    out
+}
+
+/// Parses a baseline file (see [`render_snapshot`] for the format).
+fn parse_baseline(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [kind, name, value, rule] = fields[..] else {
+            return Err(format!("line {}: expected `kind name value rule`", i + 1));
+        };
+        let metric = Metric::from_parts(kind, name)
+            .ok_or_else(|| format!("line {}: unknown kind `{kind}`", i + 1))?;
+        let value = value
+            .parse::<u64>()
+            .map_err(|e| format!("line {}: bad value: {e}", i + 1))?;
+        let rule = Rule::parse(rule).map_err(|e| format!("line {}: {e}", i + 1))?;
+        entries.push(Entry {
+            metric,
+            value,
+            rule,
+        });
+    }
+    if entries.is_empty() {
+        return Err("baseline declares no metrics".to_owned());
+    }
+    Ok(entries)
+}
+
+/// Checks every baseline entry against the current metrics, returning one
+/// message per violation (a metric missing from the current run is a
+/// violation — the instrumentation that produced it is gone).
+fn compare(baseline: &[Entry], current: &BTreeMap<Metric, u64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    for e in baseline {
+        match current.get(&e.metric) {
+            None => failures.push(format!(
+                "{} {} missing from current run (baseline {})",
+                e.metric.kind(),
+                e.metric.name(),
+                e.value
+            )),
+            Some(&got) if !e.rule.admits(e.value, got) => failures.push(format!(
+                "{} {}: {got} violates {} {}",
+                e.metric.kind(),
+                e.metric.name(),
+                e.rule.render(),
+                e.value
+            )),
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+/// The parallel acceptance pass: prepares and measures the Table 1 suite
+/// with `--parallel-measure` semantics, exports the Chrome trace,
+/// re-parses it with [`obs::json::parse`], and asserts it carries at
+/// least two thread tracks on a multi-core machine. Returns the number of
+/// distinct thread tracks.
+fn parallel_trace_pass(
+    chrome_out: Option<&str>,
+    folded_out: Option<&str>,
+) -> Result<usize, String> {
+    let report = {
+        let session = obs::install();
+        let opts = bench::SuiteOptions {
+            parallel_measure: true,
+        };
+        let preps = bench::prepare_table1_with_opts(&Default::default(), &opts);
+        bench::measure_mains(&preps, &opts);
+        let report = obs::report().expect("recorder is installed");
+        drop(session);
+        report
+    };
+
+    let trace = report.to_chrome_trace();
+    let doc = obs::json::parse(&trace).map_err(|e| format!("chrome trace is invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(obs::json::Value::as_array)
+        .ok_or("chrome trace has no traceEvents array")?;
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(obs::json::Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("tid").and_then(obs::json::Value::as_f64))
+        .map(|t| t as u64)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 && tids.len() < 2 {
+        return Err(format!(
+            "expected >= 2 thread tracks on a {cores}-core machine, got {}",
+            tids.len()
+        ));
+    }
+
+    if let Some(path) = chrome_out {
+        std::fs::write(path, &trace).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("obs_regress: wrote chrome trace `{path}`");
+    }
+    if let Some(path) = folded_out {
+        std::fs::write(path, report.to_folded_stacks())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("obs_regress: wrote folded stacks `{path}`");
+    }
+    Ok(tids.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_parse_and_admit() {
+        assert!(Rule::parse("exact").unwrap().admits(5, 5));
+        assert!(!Rule::parse("exact").unwrap().admits(5, 6));
+        assert!(Rule::parse("ceiling").unwrap().admits(10, 10));
+        assert!(!Rule::parse("ceiling").unwrap().admits(10, 11));
+        assert!(Rule::parse("floor").unwrap().admits(10, 10));
+        assert!(!Rule::parse("floor").unwrap().admits(10, 9));
+        let pct = Rule::parse("10%").unwrap();
+        assert!(pct.admits(100, 110));
+        assert!(pct.admits(100, 90));
+        assert!(!pct.admits(100, 111));
+        assert!(Rule::parse("ten").is_err());
+        assert!(Rule::parse("-5%").is_err());
+        assert!(Rule::parse("x%").is_err());
+    }
+
+    #[test]
+    fn baseline_round_trips_through_snapshot() {
+        let mut current = BTreeMap::new();
+        current.insert(Metric::Counter("machine/steps".into()), 123);
+        current.insert(Metric::SpanCount("measure/fn/main".into()), 4);
+        current.insert(Metric::SpanNs("measure/fn/main".into()), 1_000);
+        current.insert(Metric::HistCount("machine/steps_per_sec".into()), 4);
+        let entries = parse_baseline(&render_snapshot(&current)).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(
+            entries[0],
+            Entry {
+                metric: Metric::Counter("machine/steps".into()),
+                value: 123,
+                rule: Rule::Exact,
+            }
+        );
+        // Wall-clock totals snapshot as generous ceilings, never exact.
+        let ns = entries
+            .iter()
+            .find(|e| matches!(e.metric, Metric::SpanNs(_)))
+            .unwrap();
+        assert_eq!(ns.rule, Rule::Ceiling);
+        assert_eq!(ns.value, CEILING_FLOOR_NS);
+        // An identical re-run passes its own snapshot.
+        assert!(compare(&entries, &current).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_drift_and_missing_metrics() {
+        let baseline = vec![
+            Entry {
+                metric: Metric::Counter("steps".into()),
+                value: 100,
+                rule: Rule::Exact,
+            },
+            Entry {
+                metric: Metric::SpanCount("gone".into()),
+                value: 1,
+                rule: Rule::Exact,
+            },
+        ];
+        let mut current = BTreeMap::new();
+        current.insert(Metric::Counter("steps".into()), 101);
+        let failures = compare(&baseline, &current);
+        assert_eq!(failures.len(), 2);
+        assert!(
+            failures[0].contains("101 violates exact 100"),
+            "{failures:?}"
+        );
+        assert!(failures[1].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn baseline_parser_rejects_malformed_lines() {
+        assert!(parse_baseline("").is_err());
+        assert!(parse_baseline("# only comments\n").is_err());
+        assert!(parse_baseline("counter a 1\n").is_err());
+        assert!(parse_baseline("widget a 1 exact\n").is_err());
+        assert!(parse_baseline("counter a one exact\n").is_err());
+        assert!(parse_baseline("counter a 1 sometimes\n").is_err());
+        let ok = parse_baseline("# c\n\ncounter a 1 exact\nspanns b 2 ceiling\n").unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+}

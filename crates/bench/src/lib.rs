@@ -119,7 +119,10 @@ pub fn prepare_table1_with_opts(
 /// order, optionally fanning the machine runs across threads. Results are
 /// identical either way.
 pub fn measure_mains(preps: &[Prepared], opts: &SuiteOptions) -> Vec<asm::Measurement> {
-    let run = |p: &Prepared| measure_main(&p.compiled);
+    let run = |p: &Prepared| {
+        let _s = obs::span_dyn(|| format!("measure/fn/{}:main", p.file));
+        measure_main(&p.compiled)
+    };
     if opts.parallel_measure {
         stackbound::par_map(preps, run)
     } else {
@@ -136,7 +139,10 @@ pub fn measure_sweep(
     argsets: &[Vec<u32>],
     opts: &SuiteOptions,
 ) -> Vec<asm::Measurement> {
-    let run = |args: &Vec<u32>| measure(compiled, fname, args);
+    let run = |args: &Vec<u32>| {
+        let _s = obs::span_dyn(|| format!("measure/fn/{fname}"));
+        measure(compiled, fname, args)
+    };
     if opts.parallel_measure {
         stackbound::par_map(argsets, run)
     } else {
@@ -246,28 +252,40 @@ pub fn measure(compiled: &compiler::Compiled, fname: &str, args: &[u32]) -> asm:
 
 /// Handles the harness binaries' shared observability flags:
 ///
-/// * `--metrics` — print the recorded span tree and counters on exit;
+/// * `--metrics` — print the recorded span tree, counters, and the
+///   per-function hotspots table on exit;
 /// * `--metrics-json <path>` — write the machine-readable JSON-lines
-///   report to `path` on exit.
+///   report to `path` on exit;
+/// * `--trace-chrome <path>` — write a Chrome trace-event JSON timeline
+///   (one track per thread) to `path` on exit;
+/// * `--trace-folded <path>` — write folded flamegraph stacks to `path`
+///   on exit.
 ///
-/// When either flag is present the global recorder is installed for the
+/// When any flag is present the global recorder is installed for the
 /// binary's lifetime; keep the returned guard alive until the end of
-/// `main` (it emits the report when dropped).
+/// `main` (it emits the reports when dropped).
 pub fn metrics_from_args() -> MetricsGuard {
     let mut print = false;
     let mut json = None;
+    let mut chrome = None;
+    let mut folded = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--metrics" => print = true,
             "--metrics-json" => json = args.next(),
+            "--trace-chrome" => chrome = args.next(),
+            "--trace-folded" => folded = args.next(),
             _ => {}
         }
     }
+    let enable = print || json.is_some() || chrome.is_some() || folded.is_some();
     MetricsGuard {
-        session: (print || json.is_some()).then(obs::install),
+        session: enable.then(obs::install),
         print,
         json,
+        chrome,
+        folded,
     }
 }
 
@@ -276,6 +294,8 @@ pub struct MetricsGuard {
     session: Option<obs::Session>,
     print: bool,
     json: Option<String>,
+    chrome: Option<String>,
+    folded: Option<String>,
 }
 
 impl Drop for MetricsGuard {
@@ -284,13 +304,27 @@ impl Drop for MetricsGuard {
             return;
         }
         let report = obs::report().unwrap_or_default();
-        if let Some(path) = &self.json {
-            if let Err(e) = std::fs::write(path, report.to_json_lines()) {
-                eprintln!("cannot write metrics to `{path}`: {e}");
+        let exports = [
+            (
+                &self.json,
+                obs::Report::to_json_lines as fn(&obs::Report) -> String,
+            ),
+            (&self.chrome, obs::Report::to_chrome_trace),
+            (&self.folded, obs::Report::to_folded_stacks),
+        ];
+        for (path, export) in exports {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, export(&report)) {
+                    eprintln!("cannot write metrics to `{path}`: {e}");
+                }
             }
         }
         if self.print {
             println!("\n{}", report.render_tree());
+            let hotspots = report.render_hotspots();
+            if !hotspots.is_empty() {
+                println!("{hotspots}");
+            }
         }
     }
 }

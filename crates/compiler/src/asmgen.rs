@@ -13,6 +13,7 @@ use asm::{AsmFunction, Instr, Operand, Reg};
 use mem::Binop;
 
 pub(crate) fn translate_function(f: &MachFunction) -> Result<AsmFunction, CompileError> {
+    let _s = obs::span_dyn(|| format!("compiler/asmgen/fn/{}", f.name));
     let sf = f.frame_size;
     let mut code = Vec::with_capacity(f.code.len() + 2);
     if sf > 0 {

@@ -104,6 +104,7 @@ pub fn compile_incremental(
     // Phase A: front half of the vertical (Clight → Cminor → RTL),
     // per-function, fanned out.
     let front: Vec<(cminor::CmFunction, rtl::RtlFunction)> = par_map(&misses, workers, |f| {
+        let _s = obs::span_dyn(|| format!("compiler/front/fn/{}", f.name));
         let cm = cminorgen::translate_function(f, program)?;
         let r = rtlgen::translate_function(&cm)?;
         Ok((cm, r))
@@ -127,6 +128,7 @@ pub fn compile_incremental(
 
     // Phase B: the RTL optimization chain, per-function, fanned out.
     let opted: Vec<rtl::RtlFunction> = par_map(&front, workers, |(_, r)| {
+        let _s = obs::span_dyn(|| format!("compiler/opt/fn/{}", r.name));
         let mut f = r.clone();
         if let Some(candidates) = &candidates {
             inline::inline_function(&mut f, candidates);

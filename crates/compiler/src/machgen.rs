@@ -84,6 +84,7 @@ pub(crate) fn translate_function(
     f: &RtlFunction,
     env: &Env<'_>,
 ) -> Result<MachFunction, CompileError> {
+    let _s = obs::span_dyn(|| format!("compiler/machgen/fn/{}", f.name));
     let ice = |msg: String| CompileError::Internal(format!("machgen `{}`: {msg}", f.name));
 
     // ---- reachability and linearization -----------------------------------

@@ -199,9 +199,10 @@ where
     slots.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for (out, inp) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+        for (w, (out, inp)) in slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                obs::register_thread(&format!("compile-{w}"));
                 for (slot, item) in out.iter_mut().zip(inp) {
                     *slot = Some(f(item));
                 }
@@ -227,9 +228,10 @@ fn par_for_each_mut<T: Send>(items: &mut [T], workers: usize, f: impl Fn(&mut T)
     }
     let chunk = items.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for part in items.chunks_mut(chunk) {
+        for (w, part) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                obs::register_thread(&format!("compile-{w}"));
                 for item in part {
                     f(item);
                 }

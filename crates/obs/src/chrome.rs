@@ -1,0 +1,88 @@
+//! The Chrome trace-event exporter (`sbound --trace-chrome`).
+//!
+//! Emits one JSON document in the [trace-event format] understood by
+//! Perfetto and `chrome://tracing`:
+//!
+//! * every timeline gets a `thread_name` metadata record (`ph:"M"`), so
+//!   worker tracks render with their registered labels;
+//! * every span becomes a complete duration event (`ph:"X"`) on its
+//!   thread's track, with its attributed counters as `args`;
+//! * every global counter becomes one counter event (`ph:"C"`) stamped
+//!   at the end of the trace.
+//!
+//! Timestamps are microseconds from recorder installation, with
+//! nanosecond precision kept in the fractional part. The whole document
+//! round-trips through [`crate::json::parse`], which the test suite uses
+//! to pin well-formedness without external dependencies.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::escape;
+use crate::record::{Report, SpanNode};
+use std::fmt::Write;
+
+/// Microseconds with the nanosecond remainder kept as three decimals.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl Report {
+    /// Serializes the whole report as one Chrome trace-event JSON
+    /// document (load it in Perfetto or `chrome://tracing`).
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        // Track labels for every timeline that recorded a span; sort_index
+        // keeps tracks in timeline order instead of name order.
+        for tid in self.thread_ids() {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                escape(&self.thread_label(tid))
+            ));
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            ));
+        }
+        let mut end_ns = 0u64;
+        for root in &self.roots {
+            write_span(&mut events, root, &mut end_ns);
+        }
+        for (name, value) in &self.counters {
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":{},\"ts\":{},\
+                 \"args\":{{\"value\":{value}}}}}",
+                escape(name),
+                us(end_ns)
+            ));
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+            events.join(",")
+        );
+        out
+    }
+}
+
+fn write_span(events: &mut Vec<String>, node: &SpanNode, end_ns: &mut u64) {
+    *end_ns = (*end_ns).max(node.end_ns());
+    let args: Vec<String> = node
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", escape(k)))
+        .collect();
+    events.push(format!(
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":{},\"cat\":\"span\",\
+         \"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+        node.tid,
+        escape(&node.name),
+        us(node.start_ns),
+        us(node.duration_ns),
+        args.join(","),
+    ));
+    for child in &node.children {
+        write_span(events, child, end_ns);
+    }
+}

@@ -1,0 +1,46 @@
+//! The folded-stacks exporter (`sbound --trace-folded`).
+//!
+//! One line per distinct span stack, in Brendan Gregg's folded format:
+//!
+//! ```text
+//! main;verify/program;compiler/compile;compiler/machgen 48210
+//! ```
+//!
+//! The leading frame is the thread label, so every worker timeline
+//! becomes its own flame tower. The trailing number is the stack's
+//! *self* time in nanoseconds — the span's duration minus its
+//! children's — which is exactly what `flamegraph.pl` / `inferno`
+//! expect as the sample weight.
+
+use crate::record::{Report, SpanNode};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+impl Report {
+    /// Serializes the span timelines as folded stacks, self time in
+    /// nanoseconds, one stack per line, lexicographically sorted (so the
+    /// output is deterministic and diff-friendly).
+    pub fn to_folded_stacks(&self) -> String {
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for root in &self.roots {
+            fold(&mut agg, &self.thread_label(root.tid), root);
+        }
+        let mut out = String::new();
+        for (stack, self_ns) in &agg {
+            let _ = writeln!(out, "{stack} {self_ns}");
+        }
+        out
+    }
+}
+
+fn fold(agg: &mut BTreeMap<String, u64>, prefix: &str, node: &SpanNode) {
+    let stack = format!("{prefix};{}", node.name);
+    let child_ns: u64 = node.children.iter().map(|c| c.duration_ns).sum();
+    let self_ns = node.duration_ns.saturating_sub(child_ns);
+    if self_ns > 0 {
+        *agg.entry(stack.clone()).or_insert(0) += self_ns;
+    }
+    for child in &node.children {
+        fold(agg, &stack, child);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-function cost attribution (the `hotspots` table).
+//!
+//! Instrumented layers attribute work to a corpus function by opening a
+//! span whose name follows the `<stage>/fn/<function>` convention —
+//! `analyzer/fn/filter`, `qhl/fn/main`, `compiler/machgen/fn/fib`,
+//! `measure/fn/main`. This module aggregates those spans across the
+//! whole report into one row per function: wall-clock per stage,
+//! decoded-core steps executed, and cache hits/misses, ranked by total
+//! attributed time.
+//!
+//! Attribution is *exclusive* with respect to nesting: when a
+//! `vcache/analyze/fn/f` span wraps the analyzer's own
+//! `analyzer/fn/f` span, each stage is charged only its own slice, so
+//! per-function totals never double-count wall clock. Counters bumped
+//! inside a function span (machine steps, cache hits) are charged to the
+//! innermost enclosing function span.
+
+use crate::record::{Report, SpanNode};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// The aggregated cost of one corpus function across every instrumented
+/// stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hotspot {
+    /// The function name (the `<function>` part of `<stage>/fn/<function>`).
+    pub function: String,
+    /// Total attributed wall-clock across all stages, nanoseconds
+    /// (exclusive — nested function spans are charged to themselves).
+    pub total_ns: u64,
+    /// Per-stage attributed wall-clock, nanoseconds, keyed by the
+    /// `<stage>` prefix of the span name.
+    pub stages: BTreeMap<String, u64>,
+    /// Counters recorded inside this function's spans (machine steps,
+    /// cache hits/misses, instruction counts, …), summed.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Hotspot {
+    /// Decoded-core steps executed while measuring this function.
+    pub fn steps(&self) -> u64 {
+        self.counters.get("machine/steps").copied().unwrap_or(0)
+    }
+
+    /// Summed cache lookups over every `*_hit` / `*_miss` counter pair
+    /// recorded in this function's spans, as `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let sum_suffix = |suffix: &str| {
+            self.counters
+                .iter()
+                .filter(|(k, _)| k.ends_with(suffix))
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        (sum_suffix("_hit"), sum_suffix("_miss"))
+    }
+}
+
+/// Splits a `<stage>/fn/<function>` span name; `None` for ordinary spans.
+fn split_fn(name: &str) -> Option<(&str, &str)> {
+    let i = name.find("/fn/")?;
+    let (stage, function) = (&name[..i], &name[i + 4..]);
+    (!stage.is_empty() && !function.is_empty()).then_some((stage, function))
+}
+
+/// Wall-clock of every function span nested anywhere below `node`
+/// (stopping at each one — a function span charges its own slice).
+fn nested_fn_ns(node: &SpanNode) -> u64 {
+    node.children
+        .iter()
+        .map(|c| {
+            if split_fn(&c.name).is_some() {
+                c.duration_ns
+            } else {
+                nested_fn_ns(c)
+            }
+        })
+        .sum()
+}
+
+/// Sums the counters of `node` and its non-function descendants into
+/// `into` (nested function spans keep their own counters).
+fn absorb_counters(into: &mut BTreeMap<String, u64>, node: &SpanNode) {
+    for (k, v) in &node.counters {
+        *into.entry(k.clone()).or_insert(0) += v;
+    }
+    for c in &node.children {
+        if split_fn(&c.name).is_none() {
+            absorb_counters(into, c);
+        }
+    }
+}
+
+impl Report {
+    /// Aggregates every `<stage>/fn/<function>` span into one [`Hotspot`]
+    /// per function, ranked by total attributed wall-clock (descending,
+    /// ties by name). Empty when nothing used the attribution convention.
+    pub fn hotspots(&self) -> Vec<Hotspot> {
+        fn visit(map: &mut BTreeMap<String, Hotspot>, node: &SpanNode) {
+            if let Some((stage, function)) = split_fn(&node.name) {
+                let own = node.duration_ns.saturating_sub(nested_fn_ns(node));
+                let h = map.entry(function.to_owned()).or_default();
+                h.function = function.to_owned();
+                h.total_ns += own;
+                *h.stages.entry(stage.to_owned()).or_insert(0) += own;
+                absorb_counters(&mut h.counters, node);
+            }
+            for c in &node.children {
+                visit(map, c);
+            }
+        }
+        let mut map = BTreeMap::new();
+        for root in &self.roots {
+            visit(&mut map, root);
+        }
+        let mut spots: Vec<Hotspot> = map.into_values().collect();
+        spots.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then(a.function.cmp(&b.function))
+        });
+        spots
+    }
+
+    /// Renders [`Report::hotspots`] as the `hotspots` table shown by
+    /// `sbound --metrics` and the harness binaries: one row per function,
+    /// ranked by total attributed time, with the canonical stage columns
+    /// (analyze / check / compile / measure), decoded-core steps, and
+    /// cache hits/misses. Empty string when there are no hotspots.
+    pub fn render_hotspots(&self) -> String {
+        render(&self.hotspots())
+    }
+}
+
+/// The canonical stage group of a raw `<stage>` prefix, for the fixed
+/// table columns. Attribution spans from any layer fold into the
+/// pipeline stage they serve: `analyzer` and `vcache/analyze` are both
+/// analysis, `qhl` and `vcache/check` are derivation checking, every
+/// `compiler/*` phase is compilation.
+fn stage_group(stage: &str) -> &'static str {
+    if stage.contains("analy") {
+        "analyze"
+    } else if stage.contains("check") || stage.starts_with("qhl") {
+        "check"
+    } else if stage.starts_with("compiler") {
+        "compile"
+    } else if stage.contains("measure") {
+        "measure"
+    } else {
+        "other"
+    }
+}
+
+const GROUPS: [&str; 5] = ["analyze", "check", "compile", "measure", "other"];
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders a hotspot list as a fixed-width table (see
+/// [`Report::render_hotspots`]).
+pub fn render(spots: &[Hotspot]) -> String {
+    if spots.is_empty() {
+        return String::new();
+    }
+    // Only show stage-group columns that have any attributed time, and
+    // `other` only when a non-canonical stage actually appeared.
+    let mut group_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in spots {
+        for (stage, ns) in &s.stages {
+            *group_ns.entry(stage_group(stage)).or_insert(0) += ns;
+        }
+    }
+    let groups: Vec<&str> = GROUPS
+        .iter()
+        .copied()
+        .filter(|g| group_ns.contains_key(g))
+        .collect();
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "hotspots (per-function, ms):\n  {:<24} {:>10}",
+        "function", "total"
+    );
+    for g in &groups {
+        let _ = write!(out, " {g:>10}");
+    }
+    let _ = writeln!(out, " {:>12} {:>8} {:>8}", "steps", "hit", "miss");
+    for s in spots {
+        let _ = write!(out, "  {:<24} {:>10}", s.function, ms(s.total_ns));
+        for g in &groups {
+            let ns: u64 = s
+                .stages
+                .iter()
+                .filter(|(stage, _)| stage_group(stage) == *g)
+                .map(|(_, v)| *v)
+                .sum();
+            let _ = write!(out, " {:>10}", ms(ns));
+        }
+        let (hit, miss) = s.cache_stats();
+        let _ = writeln!(out, " {:>12} {:>8} {:>8}", s.steps(), hit, miss);
+    }
+    out
+}

@@ -3,8 +3,9 @@
 //! One JSON object per line; the `k` field discriminates the record kind:
 //!
 //! ```text
-//! {"k":"span","id":0,"parent":null,"name":"verify","start_ns":12,"dur_ns":3456,
-//!  "counters":{"clight/tokens":42}}
+//! {"k":"thread","tid":0,"name":"main"}
+//! {"k":"span","id":0,"parent":null,"tid":0,"name":"verify","start_ns":12,
+//!  "dur_ns":3456,"counters":{"clight/tokens":42}}
 //! {"k":"counter","name":"qhl/rule/Q:SEQ","value":17}
 //! {"k":"hist","name":"asm/stack_depth","count":9,"min":0,"max":48,"sum":212,
 //!  "buckets":[[0,1],[6,8]]}
@@ -12,8 +13,10 @@
 //!
 //! Span `id`s are depth-first preorder indices; `parent` is the parent's
 //! `id` or `null` for roots, so consumers can rebuild the tree without
-//! relying on line order. Histogram buckets are `[bit_length, count]`
-//! pairs — bucket `b` covers values whose binary length is `b`.
+//! relying on line order. `tid` is the span's timeline (thread) id;
+//! `thread` records map registered timeline labels. Histogram buckets
+//! are `[bit_length, count]` pairs — bucket `b` covers values whose
+//! binary length is `b`.
 //!
 //! The [`parse`] function implements just enough of RFC 8259 to validate
 //! and inspect these lines in tests without external dependencies.
@@ -27,6 +30,13 @@ impl Report {
     /// counters, then histograms).
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
+        for (tid, name) in &self.threads {
+            let _ = writeln!(
+                out,
+                "{{\"k\":\"thread\",\"tid\":{tid},\"name\":{}}}",
+                escape(name)
+            );
+        }
         let mut next_id = 0usize;
         for root in &self.roots {
             write_span(&mut out, root, None, &mut next_id);
@@ -72,7 +82,8 @@ fn write_span(out: &mut String, node: &SpanNode, parent: Option<usize>, next_id:
     let parent_str = parent.map_or("null".to_owned(), |p| p.to_string());
     let _ = writeln!(
         out,
-        "{{\"k\":\"span\",\"id\":{id},\"parent\":{parent_str},\"name\":{},\"start_ns\":{},\"dur_ns\":{},\"counters\":{{{}}}}}",
+        "{{\"k\":\"span\",\"id\":{id},\"parent\":{parent_str},\"tid\":{},\"name\":{},\"start_ns\":{},\"dur_ns\":{},\"counters\":{{{}}}}}",
+        node.tid,
         escape(&node.name),
         node.start_ns,
         node.duration_ns,
@@ -83,7 +94,7 @@ fn write_span(out: &mut String, node: &SpanNode, parent: Option<usize>, next_id:
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

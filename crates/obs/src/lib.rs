@@ -3,19 +3,35 @@
 //! The paper's evaluation (§6) is all about *measuring* the system:
 //! per-pass compiler behavior, analyzer effort, and a ptrace harness
 //! watching the stack pointer step by step. This crate is the measuring
-//! substrate: structured **spans** (nested, wall-clock timed),
-//! **counters**, and **histograms**, recorded through a global recorder
-//! that is a no-op until [`install`]ed — the disabled fast path is a
-//! single relaxed atomic load, so instrumentation can stay in hot code.
+//! substrate: structured **spans** (nested, wall-clock timed, each on
+//! its thread's own timeline), **counters**, and **histograms**,
+//! recorded through a global recorder that is a no-op until
+//! [`install`]ed — the disabled fast path is a single relaxed atomic
+//! load, so instrumentation can stay in hot code.
 //!
-//! Two exporters ship with the crate:
+//! Spans record begin/end monotonic timestamps plus a stable numeric
+//! [`thread_id`]; worker pools label their timelines with
+//! [`register_thread`], and nesting is per thread, so concurrent
+//! recorders never corrupt each other's trees.
+//!
+//! Four exporters ship with the crate:
 //!
 //! * [`Report::render_tree`] — a human-readable summary tree
-//!   (`sbound --metrics`);
+//!   (`sbound --metrics`), histograms with p50/p95/p99 rows;
 //! * [`Report::to_json_lines`] — machine-readable JSON-lines
 //!   (`sbound --trace-json`, and the bench harnesses' `--metrics-json`),
 //!   with a minimal validating parser in [`json`] so tests can assert the
-//!   output is well-formed without external dependencies.
+//!   output is well-formed without external dependencies;
+//! * [`Report::to_chrome_trace`] — Chrome trace-event JSON
+//!   (`sbound --trace-chrome`), one track per thread, loadable in
+//!   Perfetto / `chrome://tracing`;
+//! * [`Report::to_folded_stacks`] — folded flamegraph text
+//!   (`sbound --trace-folded`), self time per stack.
+//!
+//! On top of the timelines, [`Report::hotspots`] aggregates every span
+//! following the `<stage>/fn/<function>` naming convention into a
+//! per-function cost table (stage wall-clock, decoded-core steps, cache
+//! hits/misses) — see [`hotspot`].
 //!
 //! # Examples
 //!
@@ -28,6 +44,7 @@
 //! obs::observe("stack_depth", 16);
 //! let report = obs::report().unwrap();
 //! assert!(report.render_tree().contains("frontend"));
+//! obs::json::parse(&report.to_chrome_trace()).unwrap();
 //! for line in report.to_json_lines().lines() {
 //!     obs::json::parse(line).unwrap();
 //! }
@@ -35,13 +52,17 @@
 
 #![warn(missing_docs)]
 
+mod chrome;
+mod folded;
+pub mod hotspot;
 pub mod json;
 mod record;
 mod summary;
 
+pub use hotspot::Hotspot;
 pub use record::{
-    counter, counter_dyn, install, is_enabled, observe, report, span, span_dyn, uninstall,
-    Histogram, Report, Session, Span, SpanNode,
+    counter, counter_dyn, install, is_enabled, observe, register_thread, report, span, span_dyn,
+    thread_id, uninstall, Histogram, Report, Session, Span, SpanNode,
 };
 
 #[cfg(test)]

@@ -5,12 +5,17 @@ use std::fmt::Write;
 
 impl Report {
     /// Renders the span tree with durations and per-span counters,
-    /// followed by global counters and histograms.
+    /// followed by global counters and histograms (count/min/mean/max
+    /// plus p50/p95/p99 percentile estimates). When spans were recorded
+    /// on more than one timeline, each root is annotated with its thread
+    /// label.
     pub fn render_tree(&self) -> String {
+        let multi_thread = self.thread_ids().len() > 1;
         let mut out = String::new();
         let _ = writeln!(out, "spans:");
         for root in &self.roots {
-            render_span(&mut out, root, 1);
+            let label = multi_thread.then(|| self.thread_label(root.tid));
+            render_span(&mut out, root, 1, label.as_deref());
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "counters:");
@@ -24,11 +29,14 @@ impl Report {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name}: n={} min={} mean={:.1} max={}",
+                    "  {name}: n={} min={} mean={:.1} max={} p50={} p95={} p99={}",
                     h.count,
                     if h.count == 0 { 0 } else { h.min },
                     h.mean(),
                     h.max,
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0),
                 );
                 if h.count > 0 {
                     let peak = h.buckets.iter().copied().max().unwrap_or(1).max(1);
@@ -48,14 +56,26 @@ impl Report {
     }
 }
 
-fn render_span(out: &mut String, node: &SpanNode, depth: usize) {
+fn render_span(out: &mut String, node: &SpanNode, depth: usize, thread: Option<&str>) {
     let pad = "  ".repeat(depth);
-    let _ = writeln!(out, "{pad}{} ({})", node.name, fmt_ns(node.duration_ns));
+    match thread {
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "{pad}{} ({}) [{t}]",
+                node.name,
+                fmt_ns(node.duration_ns)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{pad}{} ({})", node.name, fmt_ns(node.duration_ns));
+        }
+    }
     for (name, value) in &node.counters {
         let _ = writeln!(out, "{pad}  · {name} = {value}");
     }
     for child in &node.children {
-        render_span(out, child, depth + 1);
+        render_span(out, child, depth + 1, None);
     }
 }
 

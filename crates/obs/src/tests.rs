@@ -16,6 +16,7 @@ fn disabled_recorder_records_nothing() {
         let _span = crate::span("should-not-appear");
         crate::counter("nope", 1);
         crate::observe("nope", 1);
+        crate::register_thread("nope");
     }
     let _session = crate::install();
     assert!(crate::report().is_none());
@@ -49,6 +50,10 @@ fn spans_nest_and_counters_attribute_to_the_innermost() {
     assert_eq!(inner.name, "inner/dynamic");
     assert_eq!(inner.counters.get("inner_work"), Some(&7));
     assert!(inner.duration_ns <= outer.duration_ns);
+    // Single-threaded recording lives on one timeline, labeled `main`.
+    assert_eq!(inner.tid, outer.tid);
+    assert_eq!(report.thread_ids(), vec![outer.tid]);
+    assert_eq!(report.thread_label(outer.tid), "main");
 
     // Globals aggregate across spans.
     assert_eq!(report.counters.get("inner_work"), Some(&7));
@@ -79,7 +84,15 @@ fn json_lines_are_parseable_and_reconstruct_the_tree() {
         .lines()
         .map(|l| parse(l).unwrap_or_else(|e| panic!("{e}: {l}")))
         .collect();
-    assert_eq!(lines.len(), 4); // 2 spans, 1 counter, 1 histogram
+    // 1 thread label (main), 2 spans, 1 counter, 1 histogram.
+    assert_eq!(lines.len(), 5);
+
+    let threads: Vec<&Value> = lines
+        .iter()
+        .filter(|v| v.get("k").and_then(Value::as_str) == Some("thread"))
+        .collect();
+    assert_eq!(threads.len(), 1);
+    assert_eq!(threads[0].get("name").and_then(Value::as_str), Some("main"));
 
     let spans: Vec<&Value> = lines
         .iter()
@@ -92,6 +105,11 @@ fn json_lines_are_parseable_and_reconstruct_the_tree() {
     );
     assert_eq!(spans[0].get("parent"), Some(&Value::Null));
     assert_eq!(spans[1].get("parent").and_then(Value::as_f64), Some(0.0));
+    // Both spans carry the recording timeline's id.
+    assert_eq!(
+        spans[0].get("tid").and_then(Value::as_f64),
+        threads[0].get("tid").and_then(Value::as_f64)
+    );
 
     let hist = lines
         .iter()
@@ -110,6 +128,24 @@ fn reinstall_resets_state() {
     let report = crate::report().unwrap();
     assert!(!report.counters.contains_key("old"));
     assert!(report.counters.contains_key("new"));
+}
+
+#[test]
+fn span_guard_from_previous_session_is_inert() {
+    let _g = lock();
+    let _s1 = crate::install();
+    let stale = crate::span("from-session-one");
+    let _s2 = crate::install();
+    {
+        let _fresh = crate::span("fresh");
+        drop(stale); // must not close or corrupt `fresh`
+        crate::counter("inside_fresh", 1);
+    }
+    let report = crate::report().unwrap();
+    assert_eq!(report.roots.len(), 1);
+    assert_eq!(report.roots[0].name, "fresh");
+    assert_eq!(report.roots[0].counters.get("inside_fresh"), Some(&1));
+    assert!(report.roots[0].duration_ns > 0);
 }
 
 #[test]
@@ -147,4 +183,251 @@ fn json_parser_handles_rfc_shapes_and_rejects_garbage() {
     for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
         assert!(parse(bad).is_err(), "accepted {bad:?}");
     }
+}
+
+/// Satellite: concurrent recording. Spans opened by `thread::scope`
+/// workers must land on distinct timelines, nest correctly *per thread*,
+/// and survive the Chrome-trace round trip with no interleaving
+/// corruption.
+#[test]
+fn concurrent_spans_land_on_distinct_thread_timelines() {
+    use std::sync::Barrier;
+
+    const WORKERS: usize = 4;
+    let _g = lock();
+    let _session = crate::install();
+
+    // All workers hold their outer span open at the same time, so a
+    // single shared open-stack would interleave them; per-thread stacks
+    // must keep each worker's inner span under its own outer span.
+    let barrier = Barrier::new(WORKERS);
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                crate::register_thread(&format!("worker-{w}"));
+                let _outer = crate::span_dyn(|| format!("outer-{w}"));
+                barrier.wait();
+                {
+                    let _inner = crate::span_dyn(|| format!("inner-{w}"));
+                    crate::counter_dyn(&format!("work-{w}"), (w + 1) as u64);
+                }
+                barrier.wait();
+            });
+        }
+    });
+
+    let report = crate::report().unwrap();
+    assert_eq!(report.roots.len(), WORKERS, "one root per worker timeline");
+    let mut tids = Vec::new();
+    for root in &report.roots {
+        let w: usize = root.name.strip_prefix("outer-").unwrap().parse().unwrap();
+        tids.push(root.tid);
+        // Nesting is per thread: each outer span holds exactly its own
+        // worker's inner span, and the attributed counter sits on it.
+        assert_eq!(root.children.len(), 1, "outer-{w} children");
+        let inner = &root.children[0];
+        assert_eq!(inner.name, format!("inner-{w}"));
+        assert_eq!(inner.tid, root.tid);
+        assert_eq!(
+            inner.counters.get(&format!("work-{w}")),
+            Some(&((w + 1) as u64))
+        );
+        assert_eq!(report.thread_label(root.tid), format!("worker-{w}"));
+    }
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), WORKERS, "each worker has its own timeline");
+
+    // The Chrome export round-trips through the in-crate parser and
+    // reproduces every (tid, name) pair exactly once.
+    let trace = report.to_chrome_trace();
+    let doc = parse(&trace).unwrap_or_else(|e| panic!("invalid chrome trace: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let mut exported: Vec<(u64, String)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .map(|e| {
+            (
+                e.get("tid").and_then(Value::as_f64).unwrap() as u64,
+                e.get("name").and_then(Value::as_str).unwrap().to_owned(),
+            )
+        })
+        .collect();
+    let mut recorded: Vec<(u64, String)> = Vec::new();
+    for root in &report.roots {
+        recorded.push((root.tid, root.name.clone()));
+        for c in &root.children {
+            recorded.push((c.tid, c.name.clone()));
+        }
+    }
+    exported.sort();
+    recorded.sort();
+    assert_eq!(exported, recorded, "chrome export lost or invented spans");
+
+    // Every worker label made it out as a thread_name metadata record.
+    let labels: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("name").and_then(Value::as_str) == Some("thread_name")
+        })
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .unwrap()
+        })
+        .collect();
+    for w in 0..WORKERS {
+        let name = format!("worker-{w}");
+        assert!(labels.contains(&name.as_str()), "{name} not in {labels:?}");
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_counters_and_timestamps() {
+    let _g = lock();
+    let _session = crate::install();
+    {
+        let _a = crate::span("phase \"a\"");
+        crate::counter("steps", 41);
+        let _b = crate::span("phase/b");
+    }
+    crate::counter("steps", 1);
+    let report = crate::report().unwrap();
+    let doc = parse(&report.to_chrome_trace()).unwrap();
+    let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+    // 2 metadata (name + sort) + 2 spans + 1 counter event.
+    assert_eq!(events.len(), 5);
+    let span = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("phase \"a\""))
+        .unwrap();
+    assert!(span.get("ts").and_then(Value::as_f64).is_some());
+    assert!(span.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+    assert_eq!(
+        span.get("args")
+            .and_then(|a| a.get("steps"))
+            .and_then(Value::as_f64),
+        Some(41.0)
+    );
+    let counter = events
+        .iter()
+        .find(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+        .unwrap();
+    assert_eq!(
+        counter
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Value::as_f64),
+        Some(42.0)
+    );
+}
+
+#[test]
+fn folded_stacks_attribute_self_time_per_thread() {
+    let _g = lock();
+    let _session = crate::install();
+    {
+        let _outer = crate::span("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _inner = crate::span("inner");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let report = crate::report().unwrap();
+    let folded = report.to_folded_stacks();
+    let mut lines = folded.lines();
+    let (outer_line, inner_line) = (lines.next().unwrap(), lines.next().unwrap());
+    assert!(outer_line.starts_with("main;outer "), "{folded}");
+    assert!(inner_line.starts_with("main;outer;inner "), "{folded}");
+    let self_ns = |l: &str| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap();
+    let (outer_self, inner_self) = (self_ns(outer_line), self_ns(inner_line));
+    assert!(inner_self >= 1_000_000, "inner slept ≥1ms: {folded}");
+    // Self time excludes the child: outer's line covers only its own ~2ms.
+    let outer_total = report.roots[0].duration_ns;
+    assert_eq!(
+        outer_self,
+        outer_total - report.roots[0].children[0].duration_ns
+    );
+}
+
+#[test]
+fn hotspots_aggregate_fn_spans_exclusively() {
+    let _g = lock();
+    let _session = crate::install();
+    {
+        // vcache wrapper around the analyzer's own span for the same
+        // function: the analyzer slice must not be double counted.
+        let _w = crate::span_dyn(|| "vcache/analyze/fn/alpha".to_owned());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        {
+            let _a = crate::span_dyn(|| "analyzer/fn/alpha".to_owned());
+            crate::counter("analyzer/derivation_nodes", 7);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    {
+        let _m = crate::span_dyn(|| "measure/fn/alpha".to_owned());
+        crate::counter("machine/steps", 900);
+        crate::counter("asm/cache_hit", 2);
+        crate::counter("asm/cache_miss", 1);
+    }
+    {
+        let _b = crate::span_dyn(|| "measure/fn/beta".to_owned());
+        crate::counter("machine/steps", 10);
+    }
+    let report = crate::report().unwrap();
+    let spots = report.hotspots();
+    assert_eq!(spots.len(), 2);
+    // alpha slept ~2ms total, beta ~0: ranked first.
+    assert_eq!(spots[0].function, "alpha");
+    let alpha = &spots[0];
+    let wrapper = alpha.stages.get("vcache/analyze").copied().unwrap();
+    let analyzer = alpha.stages.get("analyzer").copied().unwrap();
+    let measure = alpha.stages.get("measure").copied().unwrap();
+    assert_eq!(alpha.total_ns, wrapper + analyzer + measure);
+    // Exclusive attribution: the wrapper's slice excludes the nested
+    // analyzer span, so the total is less than wall-of-wrapper + analyzer
+    // double counted.
+    assert!(analyzer >= 1_000_000);
+    assert!(wrapper >= 1_000_000);
+    assert_eq!(alpha.steps(), 900);
+    assert_eq!(alpha.cache_stats(), (2, 1));
+    assert_eq!(alpha.counters.get("analyzer/derivation_nodes"), Some(&7));
+
+    let rendered = report.render_hotspots();
+    assert!(rendered.contains("alpha"), "{rendered}");
+    assert!(rendered.contains("beta"), "{rendered}");
+    for col in ["analyze", "measure", "steps", "hit", "miss"] {
+        assert!(rendered.contains(col), "missing `{col}`:\n{rendered}");
+    }
+    // Only stage groups with attributed time get a column.
+    assert!(!rendered.contains("check"), "{rendered}");
+    assert!(!rendered.contains("compile"), "{rendered}");
+}
+
+#[test]
+fn histogram_percentiles_follow_log2_buckets() {
+    let mut h = crate::Histogram::from_parts(0, 0, 0, 0, Vec::new());
+    assert_eq!(h.percentile(50.0), 0);
+    for v in 1..=100u64 {
+        h.record(v);
+    }
+    assert_eq!(h.count, 100);
+    // p50 falls in the bucket of 50 (bit length 6 → values 32..=63).
+    assert_eq!(h.percentile(50.0), 63);
+    // p95 and p99 fall in the top bucket, clamped to the observed max.
+    assert_eq!(h.percentile(95.0), 100);
+    assert_eq!(h.percentile(99.0), 100);
+    assert_eq!(h.percentile(100.0), 100);
+    // p1 falls in the first bucket, clamped up to the observed min.
+    assert_eq!(h.percentile(1.0), 1);
+
+    let mut zeros = crate::Histogram::from_parts(0, 0, 0, 0, Vec::new());
+    zeros.record(0);
+    assert_eq!(zeros.percentile(99.0), 0);
 }

@@ -276,7 +276,7 @@ impl<'p> Checker<'p> {
         deriv: &Derivation,
         just: Option<&Justification>,
     ) -> Result<(), QhlError> {
-        let _span = obs::span_dyn(|| format!("qhl/check/{fname}"));
+        let _span = obs::span_dyn(|| format!("qhl/fn/{fname}"));
         obs::counter("qhl/functions_checked", 1);
         let f = self.program.function(fname).ok_or_else(|| QhlError {
             at: fname.to_owned(),

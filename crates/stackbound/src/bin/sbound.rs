@@ -24,8 +24,12 @@
 //!     --emit-asm        print the generated assembly listing
 //!     --metric          print the cost metric M(f) = SF(f) + 4
 //!     --symbolic        print the symbolic (metric-parametric) bounds
-//!     --metrics         print the span tree and counters of the run
+//!     --metrics         print the span tree, counters, and per-function
+//!                       hotspots table of the run
 //!     --trace-json <F>  write the spans/counters/histograms as JSON lines
+//!     --trace-chrome <F> write a Chrome trace-event JSON timeline (one
+//!                       track per thread; open in Perfetto/chrome://tracing)
+//!     --trace-folded <F> write folded flamegraph stacks (self time)
 //!     --profile-stack   print the stack waterline of the main() run
 //! ```
 
@@ -46,6 +50,8 @@ struct Options {
     symbolic: bool,
     metrics: bool,
     trace_json: Option<String>,
+    trace_chrome: Option<String>,
+    trace_folded: Option<String>,
     profile_stack: bool,
 }
 
@@ -54,7 +60,8 @@ fn usage() -> ExitCode {
         "usage: sbound [-D NAME=VALUE]... [--run] [--no-measure] [--check-refinement] \
          [--parallel] [--measure-all] [--parallel-measure] \
          [--cache-dir DIR] [--emit-asm] [--metric] [--symbolic] \
-         [--metrics] [--trace-json FILE] [--profile-stack] <file.c>"
+         [--metrics] [--trace-json FILE] [--trace-chrome FILE] \
+         [--trace-folded FILE] [--profile-stack] <file.c>"
     );
     ExitCode::from(2)
 }
@@ -75,6 +82,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         symbolic: false,
         metrics: false,
         trace_json: None,
+        trace_chrome: None,
+        trace_folded: None,
         profile_stack: false,
     };
     let mut args = std::env::args().skip(1);
@@ -99,6 +108,18 @@ fn parse_args() -> Result<Options, ExitCode> {
                     return Err(usage());
                 };
                 opts.trace_json = Some(path);
+            }
+            "--trace-chrome" => {
+                let Some(path) = args.next() else {
+                    return Err(usage());
+                };
+                opts.trace_chrome = Some(path);
+            }
+            "--trace-folded" => {
+                let Some(path) = args.next() else {
+                    return Err(usage());
+                };
+                opts.trace_folded = Some(path);
             }
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
@@ -150,11 +171,11 @@ fn main() -> ExitCode {
     };
     let params: Vec<(&str, u32)> = opts.params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
 
-    let session = if opts.metrics || opts.trace_json.is_some() {
-        Some(obs::install())
-    } else {
-        None
-    };
+    let tracing = opts.metrics
+        || opts.trace_json.is_some()
+        || opts.trace_chrome.is_some()
+        || opts.trace_folded.is_some();
+    let session = tracing.then(obs::install);
 
     let pipeline = stackbound::compiler::PipelineConfig {
         check_refinement: opts.check_refinement,
@@ -264,14 +285,28 @@ fn main() -> ExitCode {
     if let Some(session) = session {
         let obs_report = obs::report().unwrap_or_default();
         drop(session);
-        if let Some(path) = &opts.trace_json {
-            if let Err(e) = std::fs::write(path, obs_report.to_json_lines()) {
-                eprintln!("sbound: cannot write `{path}`: {e}");
-                return ExitCode::FAILURE;
+        let exports = [
+            (
+                &opts.trace_json,
+                obs::Report::to_json_lines as fn(&obs::Report) -> String,
+            ),
+            (&opts.trace_chrome, obs::Report::to_chrome_trace),
+            (&opts.trace_folded, obs::Report::to_folded_stacks),
+        ];
+        for (path, export) in exports {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, export(&obs_report)) {
+                    eprintln!("sbound: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         if opts.metrics {
             println!("\n{}", obs_report.render_tree());
+            let hotspots = obs_report.render_hotspots();
+            if !hotspots.is_empty() {
+                println!("{hotspots}");
+            }
             if let Some(cache) = &vcache {
                 println!("verification cache ({} entries):", cache.len());
                 for stage in stackbound::vcache::CacheStage::ALL {

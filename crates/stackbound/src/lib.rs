@@ -125,9 +125,10 @@ where
     slots.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for (out, inp) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+        for (w, (out, inp)) in slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                obs::register_thread(&format!("worker-{w}"));
                 for (slot, item) in out.iter_mut().zip(inp) {
                     *slot = Some(f(item));
                 }
@@ -538,9 +539,16 @@ impl Verifier {
                             }
                         }
                     }
-                    let measure_one = |&(name, bound): &(&str, u32)| match &self.measure_cache {
-                        Some(c) => c.measure_function(&compiled.asm, name, &[], bound, self.fuel),
-                        None => asm::measure_function(&compiled.asm, name, &[], bound, self.fuel),
+                    let measure_one = |&(name, bound): &(&str, u32)| {
+                        let _s = obs::span_dyn(|| format!("measure/fn/{name}"));
+                        match &self.measure_cache {
+                            Some(c) => {
+                                c.measure_function(&compiled.asm, name, &[], bound, self.fuel)
+                            }
+                            None => {
+                                asm::measure_function(&compiled.asm, name, &[], bound, self.fuel)
+                            }
+                        }
                     };
                     let results = if self.parallel_measure && targets.len() > 1 {
                         par_map(&targets, measure_one)

@@ -375,9 +375,10 @@ where
     slots.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for (out, inp) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+        for (w, (out, inp)) in slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                obs::register_thread(&format!("worker-{w}"));
                 for (slot, item) in out.iter_mut().zip(inp) {
                     *slot = Some(f(item));
                 }
@@ -441,6 +442,7 @@ pub fn analyze(
         // are independent given the context of earlier levels.
         let results: Vec<Result<(Arc<AnalyzeEntry>, bool), AnalyzerError>> =
             par_map(&level, |name| {
+                let _s = obs::span_dyn(|| format!("vcache/analyze/fn/{name}"));
                 match keys.get(name).and_then(|&k| cache.get_analyze(k)) {
                     Some(entry) => Ok((entry, false)),
                     None => {
@@ -484,6 +486,7 @@ pub fn check(
     let _span = obs::span("vcache/check");
     let checker = Checker::new(program, analysis.context());
     for name in analysis.order() {
+        let _s = obs::span_dyn(|| format!("vcache/check/fn/{name}"));
         let key = keys.get(name).copied();
         if let Some(key) = key {
             if cache.has_check(key) {

@@ -54,6 +54,14 @@ fn span_tree_covers_every_layer() {
         "compiler/asmgen",
         "verify/bounds",
         "verify/measure",
+        // Per-function attribution spans (`<stage>/fn/<function>`): the
+        // checker, the backend passes, and the measurement all name the
+        // corpus function they are working on.
+        "analyzer/fn/main",
+        "qhl/fn/main",
+        "compiler/machgen/fn/main",
+        "compiler/asmgen/fn/main",
+        "measure/fn/main",
     ] {
         assert!(
             spans.iter().any(|s| s == expected),
@@ -104,12 +112,88 @@ fn json_lines_parse_and_reference_valid_parents() {
             "hist" => {
                 assert!(v.get("count").and_then(|n| n.as_f64()).is_some());
             }
+            "thread" => {
+                assert!(v.get("tid").and_then(|t| t.as_f64()).is_some());
+                assert!(v.get("name").and_then(|n| n.as_str()).is_some());
+            }
             other => panic!("unknown record kind `{other}`"),
         }
         kinds.push(k);
     }
     assert!(kinds.iter().any(|k| k == "span"));
     assert!(kinds.iter().any(|k| k == "counter"));
+}
+
+/// Several zero-parameter functions so `--parallel-measure` has a real
+/// fan-out: every one is measured on its own verified bound.
+const SRC_PAR: &str = "
+    u32 leaf0() { return 3; }
+    u32 leaf1() { return 5; }
+    u32 leaf2() { u32 a; a = leaf0(); return a + 1; }
+    u32 leaf3() { u32 a; a = leaf1(); return a + 2; }
+    int main() { u32 a; u32 b; a = leaf2(); b = leaf3(); return (a + b) % 256; }";
+
+#[test]
+fn parallel_measure_attributes_hotspots_and_exports_chrome_timelines() {
+    let _guard = lock();
+    let session = obs::install();
+    stackbound::Verifier::new()
+        .measure_all_functions(true)
+        .parallel_measure(true)
+        .verify(SRC_PAR)
+        .unwrap();
+    let report = obs::report().expect("recorder installed");
+    drop(session);
+
+    // Every measured function got a hotspot row, with its machine steps
+    // attributed and measure-stage time recorded.
+    let hotspots = report.hotspots();
+    for f in ["main", "leaf0", "leaf1", "leaf2", "leaf3"] {
+        let spot = hotspots
+            .iter()
+            .find(|h| h.function == f)
+            .unwrap_or_else(|| panic!("no hotspot for `{f}`"));
+        assert!(spot.steps() > 0, "`{f}` executed no machine steps");
+        assert!(
+            spot.stages.keys().any(|s| s.contains("measure")),
+            "`{f}` has no measure stage: {:?}",
+            spot.stages
+        );
+    }
+    let rendered = report.render_hotspots();
+    assert!(rendered.contains("main"), "{rendered}");
+
+    // The Chrome export is valid JSON (per the in-crate parser) and, on a
+    // multi-core machine, carries the measurement fan-out as at least two
+    // distinct thread tracks.
+    let trace = report.to_chrome_trace();
+    let doc = obs::json::parse(&trace).unwrap_or_else(|e| panic!("invalid chrome trace: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(obs::json::Value::as_array)
+        .expect("traceEvents array");
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(obs::json::Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("tid").and_then(obs::json::Value::as_f64))
+        .map(|t| t as u64)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        assert!(
+            tids.len() >= 2,
+            "expected >= 2 thread tracks on a {cores}-core machine"
+        );
+    }
+
+    // The folded export names a thread in every stack line.
+    for line in report.to_folded_stacks().lines() {
+        let (stack, self_ns) = line.rsplit_once(' ').expect("`stack self_ns` shape");
+        assert!(stack.contains(';'), "no thread prefix in `{line}`");
+        self_ns.parse::<u64>().expect("numeric self time");
+    }
 }
 
 #[test]
