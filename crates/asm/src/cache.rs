@@ -82,7 +82,9 @@ fn key(program: &AsmProgram, fname: &str, args: &[u32], sz: u32, fuel: u64) -> K
 ///     Instr::Mov(Reg::Eax, Operand::Imm(3)),
 ///     Instr::Ret,
 /// ]);
-/// let prog = AsmProgram { globals: vec![], externals: vec![], functions: vec![f] };
+/// let prog = AsmProgram {
+///     target: asm::Target::Sz32, globals: vec![], externals: vec![], functions: vec![f],
+/// };
 /// let cache = MeasureCache::new();
 /// let a = cache.measure_function(&prog, "f", &[], 64, 1000).unwrap();
 /// let b = cache.measure_function(&prog, "f", &[], 64, 1000).unwrap();
@@ -186,6 +188,7 @@ impl std::fmt::Debug for MeasureCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Target;
     use crate::{AsmFunction, Instr, Operand, Reg};
 
     #[test]
@@ -196,6 +199,7 @@ mod tests {
             vec![Instr::Mov(Reg::Eax, Operand::Imm(3)), Instr::Ret],
         );
         let prog = AsmProgram {
+            target: Target::Sz32,
             globals: vec![],
             externals: vec![],
             functions: vec![f],
@@ -241,6 +245,7 @@ mod tests {
                 ],
             );
             let prog = AsmProgram {
+                target: Target::Sz32,
                 globals: vec![(format!("g{}", r % 7), 4, vec![i])],
                 externals: vec![],
                 functions: vec![f],

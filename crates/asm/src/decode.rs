@@ -27,12 +27,15 @@
 //!   execute on the way there. Jumps, calls, returns, and machine entry
 //!   all land through this table.
 
-use crate::{AsmFunction, Instr, Operand, Reg};
+use crate::{AsmFunction, Instr, Operand, Reg, Target};
 use mem::{Binop, Unop};
 use std::collections::HashMap;
 
 /// Register-file index of `ESP` (see [`Reg::index`]).
 pub(crate) const ESP: u8 = 7;
+
+/// Register-file index of the `RA` link register (see [`Reg::index`]).
+pub(crate) const RA: u8 = 8;
 
 /// Sentinel decoded jump target meaning "the label does not exist".
 ///
@@ -359,12 +362,18 @@ pub(crate) enum DInstr {
     },
     /// Unconditional jump; same encoding as `Jcc`.
     Jmp { label: u32, target: u32, pad: u32 },
-    /// Call the internal function `target`.
+    /// Call the internal function `target` ([`Target::Sz32`]): pushes the
+    /// return address at `[esp-4]`.
     Call { target: u32 },
+    /// Call the internal function `target` ([`Target::Rv`]): writes the
+    /// return address into the `ra` register, no stack movement.
+    CallRv { target: u32 },
     /// Call the external stub `target`.
     CallExt { target: u32 },
-    /// Return through `[esp]`.
+    /// Return through `[esp]` ([`Target::Sz32`]).
     Ret,
+    /// Return through the `ra` register ([`Target::Rv`]).
+    RetRv,
 }
 
 /// One function lowered for the fast core. See the module docs for the
@@ -388,8 +397,9 @@ impl DecodedFunction {
     }
 }
 
-/// Lowers one function. Pure; called once per function at machine load.
-pub(crate) fn decode_function(f: &AsmFunction) -> DecodedFunction {
+/// Lowers one function for `target` (which selects the call/return
+/// opcodes). Pure; called once per function at machine load.
+pub(crate) fn decode_function(f: &AsmFunction, target: Target) -> DecodedFunction {
     let n = f.code.len();
     let mut labels: HashMap<u32, u32> = HashMap::new();
     for (i, ins) in f.code.iter().enumerate() {
@@ -416,7 +426,7 @@ pub(crate) fn decode_function(f: &AsmFunction) -> DecodedFunction {
         } else {
             didx_of[i] = code.len() as u32;
             origin.push(i as u32);
-            code.push(lower(&f.code[i]));
+            code.push(lower(&f.code[i], target));
             i += 1;
         }
     }
@@ -823,8 +833,9 @@ pub(crate) fn decode_function(f: &AsmFunction) -> DecodedFunction {
     }
 }
 
-fn lower(ins: &Instr) -> DInstr {
+fn lower(ins: &Instr, target: Target) -> DInstr {
     let r8 = |r: Reg| r.index() as u8;
+    let link = target.uses_link_register();
     match *ins {
         Instr::Label(_) => unreachable!("labels are collapsed into pads"),
         Instr::Mov(r, o) => match (r, o) {
@@ -912,8 +923,10 @@ fn lower(ins: &Instr) -> DInstr {
             target: MISSING,
             pad: 0,
         },
+        Instr::Call(t) if link => DInstr::CallRv { target: t },
         Instr::Call(t) => DInstr::Call { target: t },
         Instr::CallExt(t) => DInstr::CallExt { target: t },
+        Instr::Ret if link => DInstr::RetRv,
         Instr::Ret => DInstr::Ret,
     }
 }

@@ -1,29 +1,38 @@
-//! `ASMsz`: the realistic x86-style assembly language with a finite,
-//! preallocated stack (§3.2 of *End-to-End Verification of Stack-Space
-//! Bounds for C Programs*, PLDI 2014).
+//! `ASMsz`: realistic assembly languages with a finite, preallocated
+//! stack (§3.2 of *End-to-End Verification of Stack-Space Bounds for C
+//! Programs*, PLDI 2014), in two [`Target`] flavors.
 //!
 //! Unlike CompCert's original x86 semantics, there are no `Pallocframe` /
-//! `Pfreeframe` pseudo-instructions and no per-frame memory blocks: a
-//! single block of `sz + 4` bytes is allocated at program start (the extra
-//! 4 bytes hold the return address of `main`'s caller, exactly as in
-//! Theorem 1), and every stack-pointer change is explicit pointer
-//! arithmetic on `ESP`. Stack overflow is therefore *possible*: moving
-//! `ESP` below the block makes the execution go wrong.
+//! `Pfreeframe` pseudo-instructions and no per-frame memory blocks: one
+//! finite block is allocated at program start, and every stack-pointer
+//! change is explicit pointer arithmetic on `ESP`. Stack overflow is
+//! therefore *possible*: moving `ESP` below the block makes the execution
+//! go wrong.
 //!
-//! The `call` instruction stores the return address at `[ESP-4]` and
-//! decrements `ESP` by 4; function prologues and epilogues adjust `ESP` by
-//! the frame size with ordinary arithmetic. A function that never calls
-//! never performs the 4-byte push — which is precisely why the paper's
-//! verified bounds (`M(f) = SF(f) + 4` per activation) over-approximate
-//! the measured usage by exactly 4 bytes: the deepest activation's push
-//! allowance is unused.
+//! The two machines differ in exactly the properties a retargetable
+//! backend must not bake in:
+//!
+//! * **`Target::Sz32`** — the paper's x86-style machine. `call` stores
+//!   the return address at `[ESP-4]` and decrements `ESP` by 4; the
+//!   startup block is `sz + 4` bytes (the extra word holds the return
+//!   address of `main`'s caller, as in Theorem 1). A function that never
+//!   calls never performs the 4-byte push — which is precisely why the
+//!   verified bounds (`M(f) = SF(f) + 4` per activation) over-approximate
+//!   the measured usage by exactly 4 bytes: the deepest activation's push
+//!   allowance is unused.
+//! * **`Target::Rv`** — an 8-byte-word link-register machine. `call`
+//!   writes the return address into the [`Reg::Ra`] register and moves
+//!   `ESP` not at all; non-leaf functions save `RA` into a slot of their
+//!   own frame (so the slot is part of `SF(f)`), and leaf calls consume
+//!   no return-address stack space. The metric is `M(f) = SF(f)` and a
+//!   bound is exact: the measured peak equals it.
 //!
 //! # Examples
 //!
 //! Hand-assemble `main() { return leaf(); }` where `leaf` returns 7:
 //!
 //! ```
-//! use asm::{AsmFunction, AsmProgram, Instr, Machine, Operand, Reg};
+//! use asm::{AsmFunction, AsmProgram, Instr, Machine, Operand, Reg, Target};
 //!
 //! let leaf = AsmFunction::new("leaf", 8, vec![
 //!     Instr::Alu(mem::Binop::Sub, Reg::Esp, Operand::Imm(8)), // prologue
@@ -37,7 +46,12 @@
 //!     Instr::Alu(mem::Binop::Add, Reg::Esp, Operand::Imm(8)),
 //!     Instr::Ret,
 //! ]);
-//! let prog = AsmProgram { globals: vec![], externals: vec![], functions: vec![leaf, main] };
+//! let prog = AsmProgram {
+//!     globals: vec![],
+//!     externals: vec![],
+//!     functions: vec![leaf, main],
+//!     target: Target::Sz32,
+//! };
 //! let mut machine = Machine::new(&prog, 64).unwrap();
 //! let behavior = machine.run_main(10_000);
 //! assert_eq!(behavior.return_code(), Some(7));
@@ -62,10 +76,92 @@ pub use profile::StackProfile;
 
 use mem::{Binop, Unop};
 use std::fmt;
+use std::str::FromStr;
 
-/// The eight x86 registers of `ASMsz`. `Esp` is the stack pointer; the
-/// others are general-purpose (our calling convention makes all of them
-/// caller-save and returns results in `Eax`).
+/// The machine flavor an [`AsmProgram`] is compiled for. Everything
+/// target-specific — word size, return-address convention, the startup
+/// sequence, and the per-activation stack metric — derives from this
+/// value; the instruction set itself is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Target {
+    /// The paper's x86-style machine: 4-byte words, `call` pushes the
+    /// return address (`[ESP-4]`, `ESP -= 4`), metric `M(f) = SF(f) + 4`.
+    #[default]
+    Sz32,
+    /// `ASMsz-RV`: 8-byte stack words, `call` writes the return address
+    /// into the [`Reg::Ra`] link register (no `ESP` movement). Non-leaf
+    /// functions save `RA` inside their own frame, so the metric is
+    /// `M(f) = SF(f)` — leaf calls consume no return-address slot.
+    Rv,
+}
+
+impl Target {
+    /// Both targets, in declaration order.
+    pub const ALL: [Target; 2] = [Target::Sz32, Target::Rv];
+
+    /// The target's name as used by `--target` and cache digests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Sz32 => "sz32",
+            Target::Rv => "rv",
+        }
+    }
+
+    /// Stack-slot width in bytes: spill slots, outgoing-argument slots,
+    /// and the return-address slot all use this stride.
+    pub fn word_size(self) -> u32 {
+        match self {
+            Target::Sz32 => 4,
+            Target::Rv => 8,
+        }
+    }
+
+    /// Whether `call` writes the return address into the [`Reg::Ra`]
+    /// link register instead of pushing it onto the stack.
+    pub fn uses_link_register(self) -> bool {
+        matches!(self, Target::Rv)
+    }
+
+    /// Stack bytes a `call` itself consumes (the push allowance added to
+    /// `SF(f)` by the metric): the word size on a pushing target, zero on
+    /// a link-register target.
+    pub fn call_allowance(self) -> u32 {
+        if self.uses_link_register() {
+            0
+        } else {
+            self.word_size()
+        }
+    }
+
+    /// The per-activation metric `M(f)` for a function with frame size
+    /// `SF(f)` — Theorem 1's cost, `SF(f)` plus the call allowance.
+    pub fn metric_of(self, frame_size: u32) -> u32 {
+        frame_size + self.call_allowance()
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Target {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Target, String> {
+        match s {
+            "sz32" => Ok(Target::Sz32),
+            "rv" => Ok(Target::Rv),
+            other => Err(format!("unknown target `{other}` (expected sz32 or rv)")),
+        }
+    }
+}
+
+/// The registers of `ASMsz`. `Esp` is the stack pointer; `Ra` is the
+/// link register (written by `call` on [`Target::Rv`], never used by
+/// `Sz32` code); the rest are general-purpose (our calling convention
+/// makes all of them caller-save and returns results in `Eax`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Reg {
@@ -77,10 +173,13 @@ pub enum Reg {
     Edi,
     Ebp,
     Esp,
+    Ra,
 }
 
 impl Reg {
     /// All general-purpose registers, in allocation preference order.
+    /// `Ra` is excluded: it is the link register, reserved for the
+    /// call/return sequence.
     pub const GENERAL: [Reg; 7] = [
         Reg::Eax,
         Reg::Ebx,
@@ -90,6 +189,9 @@ impl Reg {
         Reg::Edi,
         Reg::Ebp,
     ];
+
+    /// Size of the machine's register file.
+    pub const COUNT: usize = 9;
 
     /// Index of the register in the machine's register file.
     pub fn index(self) -> usize {
@@ -102,6 +204,7 @@ impl Reg {
             Reg::Edi => 5,
             Reg::Ebp => 6,
             Reg::Esp => 7,
+            Reg::Ra => 8,
         }
     }
 }
@@ -117,6 +220,7 @@ impl fmt::Display for Reg {
             Reg::Edi => "edi",
             Reg::Ebp => "ebp",
             Reg::Esp => "esp",
+            Reg::Ra => "ra",
         };
         f.write_str(s)
     }
@@ -172,15 +276,20 @@ pub enum Instr {
     Jcc(Binop, u32),
     /// Unconditional jump to label.
     Jmp(u32),
-    /// Call the internal function with the given index: stores the return
-    /// address at `[esp-4]`, decrements `esp` by 4, and jumps.
+    /// Call the internal function with the given index. On
+    /// [`Target::Sz32`] this stores the return address at `[esp-4]` and
+    /// decrements `esp` by 4; on [`Target::Rv`] it writes the return
+    /// address into the `ra` link register with no stack movement.
     Call(u32),
     /// Call the external function with the given index: reads its arguments
-    /// from the outgoing-argument slots `[esp], [esp+4], …`, emits an I/O
-    /// event, and puts the result in `eax`. No stack movement.
+    /// from the outgoing-argument slots `[esp], [esp+w], …` (one per
+    /// target word), emits an I/O event, and puts the result in `eax`.
+    /// No stack movement.
     CallExt(u32),
-    /// Return: loads the return address from `[esp]` and increments `esp`
-    /// by 4. The epilogue must have deallocated the frame already.
+    /// Return. On [`Target::Sz32`] this loads the return address from
+    /// `[esp]` and increments `esp` by 4; on [`Target::Rv`] it jumps
+    /// through the `ra` register. The epilogue must have deallocated the
+    /// frame (and, on `Rv`, restored a saved `ra`) already.
     Ret,
 }
 
@@ -283,6 +392,11 @@ pub struct AsmProgram {
     pub externals: Vec<AsmExternal>,
     /// Function bodies; `Call(i)` indexes into this list.
     pub functions: Vec<AsmFunction>,
+    /// The machine flavor the code was compiled for; the [`Machine`]'s
+    /// call/return semantics and startup sequence derive from it. Part of
+    /// the `Hash` derivation, so content-addressed caches keyed on the
+    /// program never alias programs across targets.
+    pub target: Target,
 }
 
 impl AsmProgram {
@@ -294,13 +408,14 @@ impl AsmProgram {
             .map(|i| i as u32)
     }
 
-    /// The metric `M(f) = SF(f) + 4` of Theorem 1, mapping each function to
-    /// the stack bytes one activation may consume (frame plus the 4-byte
-    /// push allowance for a further call).
+    /// The metric `M(f)` of Theorem 1, mapping each function to the stack
+    /// bytes one activation may consume: the frame plus the target's call
+    /// allowance — `SF(f) + 4` on [`Target::Sz32`], `SF(f)` on
+    /// [`Target::Rv`].
     pub fn metric(&self) -> trace::Metric {
         self.functions
             .iter()
-            .map(|f| (f.name.clone(), f.frame_size + 4))
+            .map(|f| (f.name.clone(), self.target.metric_of(f.frame_size)))
             .collect()
     }
 

@@ -15,9 +15,9 @@
 //! waterline profiles); `tests/interp_equiv.rs` checks this differentially
 //! on randomized programs and the full benchmark suite.
 
-use crate::decode::{DInstr, DecodedFunction, Src, ESP, MISSING};
+use crate::decode::{DInstr, DecodedFunction, Src, ESP, MISSING, RA};
 use crate::profile::StackProfile;
-use crate::{AsmProgram, Instr, Operand, Reg};
+use crate::{AsmProgram, Instr, Operand, Reg, Target};
 use mem::{BlockId, Memory, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -37,7 +37,8 @@ pub enum MachineError {
         /// (wrapped arithmetic; offsets above the block size mean the
         /// pointer went below the block).
         offset: u32,
-        /// Total stack block size (`sz + 4`).
+        /// Total stack block size (`sz + 4` on [`Target::Sz32`], `sz` on
+        /// [`Target::Rv`]).
         size: u32,
     },
     /// A non-pointer value was written to `ESP`.
@@ -85,11 +86,12 @@ pub struct Machine {
     decoded: Vec<DecodedFunction>,
     externals: Vec<crate::AsmExternal>,
     ext_names: Vec<Arc<str>>,
+    target: Target,
     memory: Memory,
     stack: BlockId,
     stack_size: u32,
     global_blocks: Vec<BlockId>,
-    regs: [Value; 8],
+    regs: [Value; Reg::COUNT],
     pc: (u32, usize),
     flags: Option<(Value, Value)>,
     trace: Trace,
@@ -141,22 +143,24 @@ impl fmt::Debug for Machine {
 }
 
 impl Machine {
-    /// Creates a machine for `program` with a stack of `sz + 4` bytes,
-    /// poised to call `main` (which must exist). `sz` is the usable stack
-    /// space in the sense of Theorem 1; the extra 4 bytes hold the return
-    /// address pushed by the startup code.
+    /// Creates a machine for `program` poised to call `main` (which must
+    /// exist). `sz` is the usable stack space in the sense of Theorem 1.
+    /// On [`Target::Sz32`] the block is `sz + 4` bytes — the extra 4 bytes
+    /// hold the return address pushed by the startup code. On
+    /// [`Target::Rv`] the startup return address lives in the `ra` link
+    /// register, so the block is exactly `sz` bytes.
     ///
     /// # Errors
     ///
-    /// Fails when the program has no `main` or `sz + 4` is not a multiple
-    /// of 4.
+    /// Fails when the program has no `main` or the block size is not a
+    /// multiple of 4.
     pub fn new(program: &AsmProgram, sz: u32) -> Result<Machine, MachineError> {
         let main = program
             .function_index("main")
             .ok_or_else(|| MachineError::BadProgram("no `main` function".into()))?;
         let mut m = Machine::bare(
             program,
-            sz.checked_add(4)
+            sz.checked_add(program.target.call_allowance())
                 .ok_or(MachineError::BadProgram("stack size overflow".into()))?,
         )?;
         m.startup_call(main, &[])?;
@@ -184,8 +188,9 @@ impl Machine {
         // The block additionally holds the synthetic caller's outgoing
         // argument area, so `sz` keeps the Theorem 1 meaning: usable bytes
         // below the measured function's entry ESP.
+        let word = program.target.word_size();
         let total = sz
-            .checked_add(4 + 4 * args.len() as u32)
+            .checked_add(program.target.call_allowance() + word * args.len() as u32)
             .ok_or(MachineError::BadProgram("stack size overflow".into()))?;
         let mut m = Machine::bare(program, total)?;
         m.startup_call(idx, args)?;
@@ -237,7 +242,7 @@ impl Machine {
             let d: Vec<DecodedFunction> = program
                 .functions
                 .iter()
-                .map(crate::decode::decode_function)
+                .map(|f| crate::decode::decode_function(f, program.target))
                 .collect();
             obs::counter("asm/decode", d.iter().map(|f| f.code.len() as u64).sum());
             d
@@ -251,11 +256,12 @@ impl Machine {
                 .iter()
                 .map(|e| Arc::from(e.name.as_str()))
                 .collect(),
+            target: program.target,
             memory,
             stack,
             stack_size,
             global_blocks,
-            regs: [Value::Undef; 8],
+            regs: [Value::Undef; Reg::COUNT],
             pc: (HALT, 0),
             flags: None,
             trace: Trace::new(),
@@ -271,10 +277,13 @@ impl Machine {
     }
 
     /// The startup sequence: reserve an outgoing-argument area, write the
-    /// arguments, push the halt return address, and jump to the function.
+    /// arguments, hand over the halt return address (pushed on
+    /// [`Target::Sz32`], placed in `ra` on [`Target::Rv`]), and jump to
+    /// the function.
     fn startup_call(&mut self, idx: u32, args: &[u32]) -> Result<(), MachineError> {
-        let args_bytes = 4 * args.len() as u32;
-        if self.stack_size < args_bytes + 4 {
+        let word = self.target.word_size();
+        let args_bytes = word * args.len() as u32;
+        if self.stack_size < args_bytes + self.target.call_allowance() {
             return Err(MachineError::StackOverflow {
                 offset: 0,
                 size: self.stack_size,
@@ -283,28 +292,38 @@ impl Machine {
         let args_base = self.stack_size - args_bytes;
         for (i, a) in args.iter().enumerate() {
             self.memory
-                .store(self.stack, args_base + 4 * i as u32, Value::Int(*a))
+                .store(self.stack, args_base + word * i as u32, Value::Int(*a))
                 .map_err(|e| MachineError::Memory(e.to_string()))?;
         }
-        // Push the halt return address.
-        let ra_off = args_base - 4;
-        self.memory
-            .store(self.stack, ra_off, Value::RetAddr(HALT, 0))
-            .map_err(|e| MachineError::Memory(e.to_string()))?;
-        self.regs[Reg::Esp.index()] = Value::Ptr(self.stack, ra_off);
+        let entry_esp = if self.target.uses_link_register() {
+            // The halt return address rides in the link register; the
+            // startup call consumes no stack.
+            self.regs[Reg::Ra.index()] = Value::RetAddr(HALT, 0);
+            args_base
+        } else {
+            // Push the halt return address.
+            let ra_off = args_base - 4;
+            self.memory
+                .store(self.stack, ra_off, Value::RetAddr(HALT, 0))
+                .map_err(|e| MachineError::Memory(e.to_string()))?;
+            ra_off
+        };
+        self.regs[Reg::Esp.index()] = Value::Ptr(self.stack, entry_esp);
         // Usage is measured from the moment the measured function starts
-        // executing (its caller's push included — it is part of M(f)).
-        self.baseline = ra_off;
-        self.low_water = ra_off;
+        // executing (on Sz32 its caller's push is included — it is part of
+        // M(f); on Rv the call itself touches no stack).
+        self.baseline = entry_esp;
+        self.low_water = entry_esp;
         self.pc = (idx, 0);
         Ok(())
     }
 
     /// Peak stack usage in bytes observed so far: the distance between
     /// `ESP` at entry of the started function and its low-water mark. This
-    /// is what the paper's ptrace tool reports, and the verified weight
-    /// bounds it with exactly 4 bytes of slack — the deepest activation's
-    /// unused push allowance.
+    /// is what the paper's ptrace tool reports. On [`Target::Sz32`] the
+    /// verified weight bounds it with exactly 4 bytes of slack — the
+    /// deepest activation's unused push allowance; on [`Target::Rv`]
+    /// calls touch no stack, so the bound is exact (zero slack).
     pub fn stack_usage(&self) -> u32 {
         self.baseline - self.low_water
     }
@@ -578,16 +597,21 @@ impl Machine {
                         "call to bad function index {target}"
                     )));
                 }
-                // Push the return address: esp -= 4; [esp] = ra.
-                let (b, off) = self
-                    .reg(Reg::Esp)
-                    .as_ptr()
-                    .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
-                let new_off = off.wrapping_sub(4);
-                self.set_reg(Reg::Esp, Value::Ptr(b, new_off))?;
-                self.memory
-                    .store(b, new_off, Value::RetAddr(self.pc.0, self.pc.1 as u32))
-                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+                if self.target.uses_link_register() {
+                    // The return address rides in `ra`; no stack movement.
+                    self.regs[Reg::Ra.index()] = Value::RetAddr(self.pc.0, self.pc.1 as u32);
+                } else {
+                    // Push the return address: esp -= 4; [esp] = ra.
+                    let (b, off) = self
+                        .reg(Reg::Esp)
+                        .as_ptr()
+                        .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
+                    let new_off = off.wrapping_sub(4);
+                    self.set_reg(Reg::Esp, Value::Ptr(b, new_off))?;
+                    self.memory
+                        .store(b, new_off, Value::RetAddr(self.pc.0, self.pc.1 as u32))
+                        .map_err(|e| MachineError::Memory(e.to_string()))?;
+                }
                 self.pc = (target, 0);
             }
             Instr::CallExt(target) => {
@@ -602,11 +626,12 @@ impl Machine {
                     .reg(Reg::Esp)
                     .as_ptr()
                     .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
+                let word = self.target.word_size();
                 let mut args = Vec::with_capacity(arity);
                 for i in 0..arity {
                     let v = self
                         .memory
-                        .load(b, off + 4 * i as u32)
+                        .load(b, off + word * i as u32)
                         .map_err(|e| MachineError::Memory(e.to_string()))?;
                     args.push(
                         v.as_int()
@@ -619,20 +644,28 @@ impl Machine {
                 self.regs[Reg::Eax.index()] = Value::Int(result);
             }
             Instr::Ret => {
-                let (b, off) = self
-                    .reg(Reg::Esp)
-                    .as_ptr()
-                    .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
-                let ra = self
-                    .memory
-                    .load(b, off)
-                    .map_err(|e| MachineError::Memory(e.to_string()))?;
+                let ra = if self.target.uses_link_register() {
+                    // Return through `ra`; no stack movement.
+                    self.reg(Reg::Ra)
+                } else {
+                    let (b, off) = self
+                        .reg(Reg::Esp)
+                        .as_ptr()
+                        .map_err(|e| MachineError::BadStackPointer(e.to_string()))?;
+                    let ra = self
+                        .memory
+                        .load(b, off)
+                        .map_err(|e| MachineError::Memory(e.to_string()))?;
+                    if matches!(ra, Value::RetAddr(..)) {
+                        self.set_reg(Reg::Esp, Value::Ptr(b, off + 4))?;
+                    }
+                    ra
+                };
                 let Value::RetAddr(rf, ri) = ra else {
                     return Err(MachineError::BadProgram(format!(
                         "ret popped a non-return-address value {ra}"
                     )));
                 };
-                self.set_reg(Reg::Esp, Value::Ptr(b, off + 4))?;
                 if rf == HALT {
                     // Void entry functions leave eax undefined: exit code 0.
                     let code = match self.reg(Reg::Eax) {
@@ -1617,6 +1650,25 @@ impl Machine {
                     }
                     di = d as usize;
                 }
+                DInstr::CallRv { target } => {
+                    retire!(3);
+                    let Some(callee) = decoded.get(target as usize) else {
+                        bail!(MachineError::BadProgram(format!(
+                            "call to bad function index {target}"
+                        )));
+                    };
+                    // The return address rides in `ra`; no stack movement.
+                    self.regs[RA as usize] = Value::RetAddr(fi, fun.origin[di]);
+                    fi = target;
+                    fun = callee;
+                    let (d, k) = fun.resume[0];
+                    if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, k, fuel) {
+                        sync!();
+                        self.pc = (fi, consumed as usize);
+                        return Ok(None);
+                    }
+                    di = d as usize;
+                }
                 DInstr::CallExt { target } => {
                     retire!(3);
                     let Some(arity) = self.externals.get(target as usize).map(|e| e.arity) else {
@@ -1628,9 +1680,10 @@ impl Machine {
                         Ok(p) => p,
                         Err(e) => bail!(MachineError::BadStackPointer(e.to_string())),
                     };
+                    let word = self.target.word_size();
                     let mut args = Vec::with_capacity(arity);
                     for i in 0..arity {
-                        match self.memory.load(b, off + 4 * i as u32) {
+                        match self.memory.load(b, off + word * i as u32) {
                             Ok(v) => match v.as_int() {
                                 Ok(n) => args.push(n),
                                 Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
@@ -1661,6 +1714,55 @@ impl Machine {
                     if let Err(e) = self.set_esp(Value::Ptr(b, off + 4), steps) {
                         bail!(e);
                     }
+                    if rf == HALT {
+                        // Void entry functions leave eax undefined: exit 0.
+                        let code = match self.regs[Reg::Eax.index()] {
+                            Value::Undef => 0,
+                            v => match v.as_int() {
+                                Ok(n) => n,
+                                Err(e) => bail!(MachineError::Arithmetic(e.to_string())),
+                            },
+                        };
+                        self.halted = Some(code);
+                        sync!();
+                        self.pc = (fi, fun.orig(di - 1) + 1);
+                        return Ok(Some(code));
+                    }
+                    let Some(caller) = decoded.get(rf as usize) else {
+                        // One more fetch fails, exactly like the reference
+                        // loop would on its next iteration.
+                        self.pc = (rf, ri as usize);
+                        if steps >= fuel {
+                            sync!();
+                            return Ok(None);
+                        }
+                        steps += 1;
+                        sync!();
+                        return Err(MachineError::BadProgram(format!("bad function index {rf}")));
+                    };
+                    fi = rf;
+                    fun = caller;
+                    let (d, k) = fun
+                        .resume
+                        .get(ri as usize)
+                        .copied()
+                        .unwrap_or((fun.code.len() as u32, 0));
+                    if let Err(consumed) = Self::retire_labels(&mut steps, &mut counts, k, fuel) {
+                        sync!();
+                        self.pc = (fi, ri as usize + consumed as usize);
+                        return Ok(None);
+                    }
+                    di = d as usize;
+                }
+                DInstr::RetRv => {
+                    retire!(4);
+                    // Return through `ra`; no stack movement.
+                    let ra = self.regs[RA as usize];
+                    let Value::RetAddr(rf, ri) = ra else {
+                        bail!(MachineError::BadProgram(format!(
+                            "ret popped a non-return-address value {ra}"
+                        )));
+                    };
                     if rf == HALT {
                         // Void entry functions leave eax undefined: exit 0.
                         let code = match self.regs[Reg::Eax.index()] {

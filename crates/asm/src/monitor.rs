@@ -62,7 +62,9 @@ impl Measurement {
 ///     Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(8)),
 ///     Instr::Ret,
 /// ]);
-/// let prog = AsmProgram { globals: vec![], externals: vec![], functions: vec![leaf] };
+/// let prog = AsmProgram {
+///     target: asm::Target::Sz32, globals: vec![], externals: vec![], functions: vec![leaf],
+/// };
 /// let m = asm::measure_function(&prog, "leaf", &[41], 64, 1000).unwrap();
 /// assert_eq!(m.result(), Some(42));
 /// assert_eq!(m.stack_usage, 8); // SF(leaf); the verified bound is SF + 4 = 12

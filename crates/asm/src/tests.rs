@@ -1,6 +1,6 @@
 use crate::{
     measure_function, AsmExternal, AsmFunction, AsmProgram, Instr, Machine, MachineError, Operand,
-    Reg,
+    Reg, Target,
 };
 use mem::{Binop, Unop};
 use proptest::prelude::*;
@@ -9,6 +9,7 @@ use Operand::{Imm, Reg as R};
 
 fn prog(functions: Vec<AsmFunction>) -> AsmProgram {
     AsmProgram {
+        target: Target::Sz32,
         globals: vec![],
         externals: vec![],
         functions,
@@ -258,6 +259,7 @@ fn external_calls_emit_io_and_return_deterministic_values() {
         ],
     );
     let p = AsmProgram {
+        target: Target::Sz32,
         globals: vec![],
         externals: vec![ext],
         functions: vec![main],
@@ -673,6 +675,7 @@ fn cores_agree_on_recursion_and_externals() {
         ],
     );
     let p = AsmProgram {
+        target: Target::Sz32,
         globals: vec![],
         externals: vec![ext],
         functions: vec![main],
@@ -726,4 +729,195 @@ fn monitor_waterline_is_ordered_and_peaks_at_usage() {
     assert_eq!(m.profile.peak(), m.stack_usage);
     assert!(m.profile.samples().windows(2).all(|w| w[0].0 <= w[1].0));
     assert!(m.profile.samples().iter().any(|&(_, d)| d == m.stack_usage));
+}
+
+// ---------------------------------------------------------------------------
+// ASMsz-RV: the link-register target. Calls write `ra` instead of pushing,
+// returns jump through `ra`, words are 8 bytes, and non-leaf frames save
+// the link register in a frame slot — so bounds are exact (zero slack).
+// ---------------------------------------------------------------------------
+
+fn rv_prog(functions: Vec<AsmFunction>) -> AsmProgram {
+    AsmProgram {
+        target: Target::Rv,
+        globals: vec![],
+        externals: vec![],
+        functions,
+    }
+}
+
+/// An RV leaf function: no `ra` spill — the link register is live across
+/// the whole body.
+fn rv_leaf(name: &str, frame: u32, body: Vec<Instr>) -> AsmFunction {
+    let mut code = vec![Alu(Binop::Sub, Reg::Esp, Imm(frame))];
+    code.extend(body);
+    code.push(Alu(Binop::Add, Reg::Esp, Imm(frame)));
+    code.push(Ret);
+    AsmFunction::new(name, frame, code)
+}
+
+/// An RV non-leaf function: saves `ra` at `[esp + ra_slot]` in the
+/// prologue and restores it before the epilogue.
+fn rv_nonleaf(name: &str, frame: u32, ra_slot: i32, body: Vec<Instr>) -> AsmFunction {
+    let mut code = vec![
+        Alu(Binop::Sub, Reg::Esp, Imm(frame)),
+        Store(Reg::Esp, ra_slot, Reg::Ra),
+    ];
+    code.extend(body);
+    code.push(Load(Reg::Ra, Reg::Esp, ra_slot));
+    code.push(Alu(Binop::Add, Reg::Esp, Imm(frame)));
+    code.push(Ret);
+    AsmFunction::new(name, frame, code)
+}
+
+#[test]
+fn rv_leaf_call_consumes_no_ra_slot() {
+    // main (SF 16, ra at [esp+8]) calls leaf (SF 8): peak = 16 + 8 = 24,
+    // with no +4 anywhere — the calls never touch the stack.
+    let leaf = rv_leaf("leaf", 8, vec![Mov(Reg::Eax, Imm(42))]);
+    let main = rv_nonleaf("main", 16, 8, vec![Call(0)]);
+    let p = rv_prog(vec![leaf, main]);
+    let mut m = Machine::new(&p, 24).unwrap();
+    assert_eq!(m.run_main(1000).return_code(), Some(42));
+    assert_eq!(m.stack_usage(), 24);
+    // The bound is exact: one word less and the leaf frame overflows.
+    let mut tight = Machine::new(&p, 16).unwrap();
+    assert!(!tight.run_main(1000).converges());
+    assert!(matches!(
+        tight.last_error(),
+        Some(MachineError::StackOverflow { .. })
+    ));
+}
+
+#[test]
+fn rv_params_read_at_eight_byte_stride() {
+    // leaf(x, y) = x + y; arguments at [esp + SF + 8i].
+    let leaf = rv_leaf(
+        "leaf",
+        8,
+        vec![
+            Load(Reg::Eax, Reg::Esp, 8),
+            Load(Reg::Ebx, Reg::Esp, 16),
+            Alu(Binop::Add, Reg::Eax, R(Reg::Ebx)),
+        ],
+    );
+    let p = rv_prog(vec![leaf]);
+    let m = measure_function(&p, "leaf", &[40, 2], 64, 1000).unwrap();
+    assert_eq!(m.result(), Some(42));
+    assert_eq!(m.stack_usage, 8);
+}
+
+#[test]
+fn rv_recursion_saves_and_restores_ra() {
+    // count(n): if n == 0 return 0 else return count(n - 1) + 1.
+    // SF 16: outgoing argument at [esp + 0], ra at [esp + 8].
+    let count = AsmFunction::new(
+        "count",
+        16,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(16)),
+            Store(Reg::Esp, 8, Reg::Ra),
+            Load(Reg::Eax, Reg::Esp, 16), // n at [esp + SF + 0]
+            Cmp(Reg::Eax, Imm(0)),
+            Jcc(Binop::Eq, 0),
+            Alu(Binop::Sub, Reg::Eax, Imm(1)),
+            Store(Reg::Esp, 0, Reg::Eax),
+            Call(0),
+            Alu(Binop::Add, Reg::Eax, Imm(1)),
+            Label(0),
+            Load(Reg::Ra, Reg::Esp, 8),
+            Alu(Binop::Add, Reg::Esp, Imm(16)),
+            Ret,
+        ],
+    );
+    let p = rv_prog(vec![count]);
+    let m = measure_function(&p, "count", &[5], 256, 100_000).unwrap();
+    assert_eq!(m.result(), Some(5));
+    // Six activations (n = 5..0), 16 bytes each, zero call overhead.
+    assert_eq!(m.stack_usage, 6 * 16);
+    assert_cores_agree(&p, "count", &[5], 256, 100_000);
+}
+
+#[test]
+fn rv_cores_agree_on_calls_and_externals() {
+    let ext = AsmExternal {
+        name: "probe".into(),
+        arity: 2,
+    };
+    // main writes two external arguments at the 8-byte stride, calls the
+    // external, then a helper, and returns the helper's value.
+    let helper = rv_leaf("helper", 8, vec![Mov(Reg::Eax, Imm(7))]);
+    let main = rv_nonleaf(
+        "main",
+        24,
+        16,
+        vec![
+            Mov(Reg::Eax, Imm(3)),
+            Store(Reg::Esp, 0, Reg::Eax),
+            Mov(Reg::Eax, Imm(4)),
+            Store(Reg::Esp, 8, Reg::Eax),
+            CallExt(0),
+            Call(0),
+        ],
+    );
+    let p = AsmProgram {
+        target: Target::Rv,
+        globals: vec![],
+        externals: vec![ext],
+        functions: vec![helper, main],
+    };
+    assert_cores_agree(&p, "main", &[], 64, 100_000);
+    let mut m = Machine::for_function(&p, "main", &[], 64).unwrap();
+    let b = m.run(100_000);
+    assert_eq!(b.return_code(), Some(7));
+    assert_eq!(m.stack_usage(), 24 + 8);
+}
+
+#[test]
+fn rv_cores_agree_under_chunked_fuel() {
+    // Re-run the recursion differentially at every fuel cutoff, so the
+    // CallRv/RetRv resume paths get exercised mid-flight.
+    let count = AsmFunction::new(
+        "count",
+        16,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(16)),
+            Store(Reg::Esp, 8, Reg::Ra),
+            Load(Reg::Eax, Reg::Esp, 16),
+            Cmp(Reg::Eax, Imm(0)),
+            Jcc(Binop::Eq, 0),
+            Alu(Binop::Sub, Reg::Eax, Imm(1)),
+            Store(Reg::Esp, 0, Reg::Eax),
+            Call(0),
+            Alu(Binop::Add, Reg::Eax, Imm(1)),
+            Label(0),
+            Load(Reg::Ra, Reg::Esp, 8),
+            Alu(Binop::Add, Reg::Esp, Imm(16)),
+            Ret,
+        ],
+    );
+    let p = rv_prog(vec![count]);
+    for fuel in 1..60 {
+        assert_cores_agree(&p, "count", &[3], 256, fuel);
+    }
+}
+
+#[test]
+fn rv_ret_with_clobbered_ra_fails_loudly() {
+    // Overwriting `ra` with an integer makes `ret` fail on both cores.
+    let main = AsmFunction::new(
+        "main",
+        8,
+        vec![
+            Alu(Binop::Sub, Reg::Esp, Imm(8)),
+            Mov(Reg::Ra, Imm(5)),
+            Alu(Binop::Add, Reg::Esp, Imm(8)),
+            Ret,
+        ],
+    );
+    let p = rv_prog(vec![main]);
+    assert_cores_agree(&p, "main", &[], 64, 1000);
+    let mut m = Machine::new(&p, 8).unwrap();
+    assert!(!m.run_main(1000).converges());
+    assert!(matches!(m.last_error(), Some(MachineError::BadProgram(_))));
 }

@@ -9,10 +9,15 @@
 //! * `interp <steps/s>` — the gate runs every compiled `main` on the
 //!   decoded execution core and fails if the aggregate steps/second
 //!   falls below the floor;
+//! * `interp_rv <steps/s>` — the same floor for the suite compiled to
+//!   the link-register `rv` target (its `CallRv`/`RetRv` opcodes take a
+//!   different decoded-core path);
 //! * `vcache <speedup>` — the gate verifies the whole corpus (Table 1 +
 //!   extras + Table 2) twice through one shared [`stackbound::vcache`]
 //!   cache and fails if the warm pass is not at least `speedup`× faster
 //!   than the cold pass, or if any report line diverges between passes;
+//! * `vcache_rv <speedup>` — the same warm-speedup floor with the corpus
+//!   verified for the `rv` target;
 //! * `obs_overhead <ratio>` — the gate runs the `fib(17)` machine loop
 //!   with the recorder off and again with the recorder on plus a live
 //!   timeline span, and fails if recording costs more than `ratio`×
@@ -66,7 +71,9 @@ fn main() -> ExitCode {
     };
     if budgets.is_empty()
         && floors.interp.is_none()
+        && floors.interp_rv.is_none()
         && floors.vcache.is_none()
+        && floors.vcache_rv.is_none()
         && floors.obs_overhead.is_none()
     {
         eprintln!("budget_gate: `{path}` declares no budgets");
@@ -79,8 +86,14 @@ fn main() -> ExitCode {
     if let Some(floor) = floors.interp {
         println!("  {:<12} {floor} steps/s (floor)", "interp");
     }
+    if let Some(floor) = floors.interp_rv {
+        println!("  {:<12} {floor} steps/s (floor)", "interp_rv");
+    }
     if let Some(floor) = floors.vcache {
         println!("  {:<12} {floor}x warm speedup (floor)", "vcache");
+    }
+    if let Some(floor) = floors.vcache_rv {
+        println!("  {:<12} {floor}x warm speedup (floor)", "vcache_rv");
     }
     if let Some(ratio) = floors.obs_overhead {
         println!(
@@ -131,10 +144,35 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(floor) = floors.interp_rv {
+        if failed {
+            eprintln!("\ninterp_rv floor skipped: earlier checks already failed");
+        } else {
+            let rv = compile_suite_rv(&mut failed);
+            if !failed {
+                let rate = suite_steps_per_sec(&rv);
+                if rate >= floor as f64 {
+                    println!("\ninterp_rv: {rate:.0} steps/s >= floor {floor}");
+                } else {
+                    eprintln!("\ninterp_rv: FAILED: {rate:.0} steps/s < floor {floor}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
     if let Some(floor) = floors.vcache {
         if failed {
             eprintln!("\nvcache floor skipped: earlier checks already failed");
-        } else if !vcache_speedup_meets(floor) {
+        } else if !vcache_speedup_meets(asm::Target::Sz32, floor) {
+            failed = true;
+        }
+    }
+
+    if let Some(floor) = floors.vcache_rv {
+        if failed {
+            eprintln!("\nvcache_rv floor skipped: earlier checks already failed");
+        } else if !vcache_speedup_meets(asm::Target::Rv, floor) {
             failed = true;
         }
     }
@@ -161,8 +199,13 @@ fn main() -> ExitCode {
 struct Floors {
     /// `interp <steps/s>` — decoded-core throughput floor.
     interp: Option<u64>,
+    /// `interp_rv <steps/s>` — the same floor on the rv-compiled suite.
+    interp_rv: Option<u64>,
     /// `vcache <speedup>` — warm-over-cold verification speedup floor.
     vcache: Option<u64>,
+    /// `vcache_rv <speedup>` — the same floor with the corpus verified
+    /// for the rv target.
+    vcache_rv: Option<u64>,
     /// `obs_overhead <ratio>` — recording-over-disabled cost ceiling.
     obs_overhead: Option<f64>,
 }
@@ -192,7 +235,9 @@ fn split_floors(text: &str) -> Result<(Floors, String), String> {
         }
         let slot = match head {
             Some("interp") => &mut floors.interp,
+            Some("interp_rv") => &mut floors.interp_rv,
             Some("vcache") => &mut floors.vcache,
+            Some("vcache_rv") => &mut floors.vcache_rv,
             _ => {
                 rest.push_str(line);
                 rest.push('\n');
@@ -261,11 +306,16 @@ fn obs_overhead_meets(ceiling: f64) -> bool {
     }
 }
 
-/// Runs the whole corpus cold then warm through one shared cache pair and
-/// checks the warm speedup against `floor`, printing the verdict. Also
-/// fails if any warm report line diverges from its cold counterpart —
-/// cache reuse must be invisible in the output.
-fn vcache_speedup_meets(floor: u64) -> bool {
+/// Runs the whole corpus (compiled for `target`) cold then warm through
+/// one shared cache pair and checks the warm speedup against `floor`,
+/// printing the verdict. Also fails if any warm report line diverges
+/// from its cold counterpart — cache reuse must be invisible in the
+/// output.
+fn vcache_speedup_meets(target: asm::Target, floor: u64) -> bool {
+    let what = match target {
+        asm::Target::Sz32 => "vcache",
+        asm::Target::Rv => "vcache_rv",
+    };
     let benchmarks: Vec<_> = stackbound::benchsuite::table1_benchmarks()
         .into_iter()
         .chain(stackbound::benchsuite::extra_benchmarks())
@@ -274,32 +324,58 @@ fn vcache_speedup_meets(floor: u64) -> bool {
     let cache = Arc::new(vcache::VCache::new());
     let measure_cache = Arc::new(asm::MeasureCache::new());
 
-    let (mut cold, mut cold_secs) = bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
-    let (r, t) = bench::verify_recursive_cached(&recursive, &cache);
+    let (mut cold, mut cold_secs) =
+        bench::verify_suite_cached_on(target, &benchmarks, &cache, &measure_cache);
+    let (r, t) = bench::verify_recursive_cached_on(target, &recursive, &cache);
     cold.extend(r);
     cold_secs += t;
-    let (mut warm, mut warm_secs) = bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
-    let (r, t) = bench::verify_recursive_cached(&recursive, &cache);
+    let (mut warm, mut warm_secs) =
+        bench::verify_suite_cached_on(target, &benchmarks, &cache, &measure_cache);
+    let (r, t) = bench::verify_recursive_cached_on(target, &recursive, &cache);
     warm.extend(r);
     warm_secs += t;
 
     if cold != warm {
-        eprintln!("\nvcache: FAILED: warm reports diverged from cold reports");
+        eprintln!("\n{what}: FAILED: warm reports diverged from cold reports");
         return false;
     }
     let speedup = cold_secs / warm_secs;
     if speedup >= floor as f64 {
         println!(
-            "\nvcache: {speedup:.1}x warm speedup >= floor {floor}x \
+            "\n{what}: {speedup:.1}x warm speedup >= floor {floor}x \
              (cold {:.1} ms, warm {:.1} ms)",
             cold_secs * 1e3,
             warm_secs * 1e3
         );
         true
     } else {
-        eprintln!("\nvcache: FAILED: {speedup:.1}x warm speedup < floor {floor}x");
+        eprintln!("\n{what}: FAILED: {speedup:.1}x warm speedup < floor {floor}x");
         false
     }
+}
+
+/// Compiles the Table 1 suite for the rv target (no budgets: the
+/// wall-clock ceilings are enforced once, on the sz32 pass above).
+fn compile_suite_rv(failed: &mut bool) -> Vec<compiler::Compiled> {
+    let mut out = Vec::new();
+    for b in stackbound::benchsuite::table1_benchmarks() {
+        let program = match b.program() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{} [rv]: front end: {e}", b.file);
+                *failed = true;
+                continue;
+            }
+        };
+        match compiler::compile_with(&program, compiler::Options::for_target(asm::Target::Rv)) {
+            Ok(c) => out.push(c),
+            Err(e) => {
+                eprintln!("{} [rv]: FAILED: {e}", b.file);
+                *failed = true;
+            }
+        }
+    }
+    out
 }
 
 /// Aggregate decoded-core throughput over every compiled `main`, timing
@@ -330,10 +406,14 @@ mod tests {
 
     #[test]
     fn splits_floors_from_pass_budgets() {
-        let (floors, rest) =
-            split_floors("# c\ninterp 123\nvcache 5\nobs_overhead 1.5\nasmgen 5\n").unwrap();
+        let (floors, rest) = split_floors(
+            "# c\ninterp 123\ninterp_rv 99\nvcache 5\nvcache_rv 4\nobs_overhead 1.5\nasmgen 5\n",
+        )
+        .unwrap();
         assert_eq!(floors.interp, Some(123));
+        assert_eq!(floors.interp_rv, Some(99));
         assert_eq!(floors.vcache, Some(5));
+        assert_eq!(floors.vcache_rv, Some(4));
         assert_eq!(floors.obs_overhead, Some(1.5));
         assert_eq!(rest, "# c\nasmgen 5\n");
     }
@@ -342,7 +422,9 @@ mod tests {
     fn no_floor_is_fine() {
         let (floors, rest) = split_floors("asmgen 5\n").unwrap();
         assert_eq!(floors.interp, None);
+        assert_eq!(floors.interp_rv, None);
         assert_eq!(floors.vcache, None);
+        assert_eq!(floors.vcache_rv, None);
         assert_eq!(floors.obs_overhead, None);
         assert_eq!(rest, "asmgen 5\n");
     }
@@ -355,6 +437,10 @@ mod tests {
         assert!(split_floors("vcache\n").is_err());
         assert!(split_floors("vcache five\n").is_err());
         assert!(split_floors("vcache 5\nvcache 6\n").is_err());
+        assert!(split_floors("interp_rv\n").is_err());
+        assert!(split_floors("interp_rv 1\ninterp_rv 2\n").is_err());
+        assert!(split_floors("vcache_rv ten\n").is_err());
+        assert!(split_floors("vcache_rv 4\nvcache_rv 4\n").is_err());
         assert!(split_floors("obs_overhead\n").is_err());
         assert!(split_floors("obs_overhead fast\n").is_err());
         assert!(split_floors("obs_overhead 0.5\n").is_err());

@@ -180,8 +180,21 @@ pub fn verify_suite_cached(
     cache: &Arc<vcache::VCache>,
     measure_cache: &Arc<asm::MeasureCache>,
 ) -> (Vec<String>, f64) {
+    verify_suite_cached_on(asm::Target::Sz32, benchmarks, cache, measure_cache)
+}
+
+/// [`verify_suite_cached`] against an explicit backend [`asm::Target`].
+/// The cache keys cover the target, so sz32 and rv passes through the
+/// same cache never reuse each other's artifacts.
+pub fn verify_suite_cached_on(
+    target: asm::Target,
+    benchmarks: &[stackbound::benchsuite::Benchmark],
+    cache: &Arc<vcache::VCache>,
+    measure_cache: &Arc<asm::MeasureCache>,
+) -> (Vec<String>, f64) {
     let verifier = stackbound::Verifier::new()
         .fuel(FUEL)
+        .target(target)
         .vcache(cache.clone())
         .measure_cache(measure_cache.clone());
     let started = Instant::now();
@@ -208,7 +221,19 @@ pub fn verify_recursive_cached(
     cases: &[stackbound::benchsuite::RecursiveCase],
     cache: &Arc<vcache::VCache>,
 ) -> (Vec<String>, f64) {
-    let config = compiler::PipelineConfig::default();
+    verify_recursive_cached_on(asm::Target::Sz32, cases, cache)
+}
+
+/// [`verify_recursive_cached`] against an explicit backend
+/// [`asm::Target`]. The proof *check* is metric-parametric (so its
+/// verdict key already distinguishes targets through the content keys),
+/// while the reported `M(f)` comes from the target's compiled metric.
+pub fn verify_recursive_cached_on(
+    target: asm::Target,
+    cases: &[stackbound::benchsuite::RecursiveCase],
+    cache: &Arc<vcache::VCache>,
+) -> (Vec<String>, f64) {
+    let config = compiler::PipelineConfig::with_options(compiler::Options::for_target(target));
     let started = Instant::now();
     let reports = cases
         .iter()

@@ -4,20 +4,31 @@
 //! single finite stack block: prologues subtract `SF(f)` from `ESP`,
 //! epilogues add it back, frame slots become `[esp + off]` accesses, and —
 //! the point the paper highlights — `GetParam(i)` becomes a direct load
-//! `[esp + SF(f) + 4 + 4·i]` from the caller's outgoing area, with no
-//! back-link indirection.
+//! from the caller's outgoing area, with no back-link indirection. The
+//! target decides the exact displacement: `[esp + SF(f) + 4 + 4·i]` on
+//! [`Target::Sz32`] (skipping the pushed return address),
+//! `[esp + SF(f) + 8·i]` on the link-register [`Target::Rv`] (calls touch
+//! no stack). On `Rv`, non-leaf functions save the `ra` register to their
+//! [`MachFunction::ra_slot`] in the prologue and restore it before `ret`.
 
 use crate::mach::{MInstr, MachFunction};
 use crate::CompileError;
-use asm::{AsmFunction, Instr, Operand, Reg};
+use asm::{AsmFunction, Instr, Operand, Reg, Target};
 use mem::Binop;
 
-pub(crate) fn translate_function(f: &MachFunction) -> Result<AsmFunction, CompileError> {
-    let _s = obs::span_dyn(|| format!("compiler/asmgen/fn/{}", f.name));
+pub(crate) fn translate_function(
+    f: &MachFunction,
+    target: Target,
+) -> Result<AsmFunction, CompileError> {
+    let _s = obs::span_dyn(|| format!("compiler/asmgen{{target={}}}/fn/{}", target.name(), f.name));
     let sf = f.frame_size;
+    let word = target.word_size();
     let mut code = Vec::with_capacity(f.code.len() + 2);
     if sf > 0 {
         code.push(Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(sf)));
+    }
+    if let Some(ra) = f.ra_slot {
+        code.push(Instr::Store(Reg::Esp, ra as i32, Reg::Ra));
     }
     for i in &f.code {
         match i {
@@ -42,8 +53,9 @@ pub(crate) fn translate_function(f: &MachFunction) -> Result<AsmFunction, Compil
             MInstr::StoreStack(off, r) => code.push(Instr::Store(Reg::Esp, *off as i32, *r)),
             MInstr::GetParam(i, r) => {
                 // The incoming argument area sits just above this frame
-                // and the return address its caller pushed.
-                code.push(Instr::Load(*r, Reg::Esp, (sf + 4 + 4 * i) as i32));
+                // (and, on Sz32, the return address its caller pushed).
+                let disp = sf + target.call_allowance() + word * i;
+                code.push(Instr::Load(*r, Reg::Esp, disp as i32));
             }
             MInstr::Cond(op, a, b, l) => {
                 code.push(Instr::Cmp(*a, Operand::Reg(*b)));
@@ -53,6 +65,9 @@ pub(crate) fn translate_function(f: &MachFunction) -> Result<AsmFunction, Compil
             MInstr::Call(i) => code.push(Instr::Call(*i)),
             MInstr::CallExt(i) => code.push(Instr::CallExt(*i)),
             MInstr::Return => {
+                if let Some(ra) = f.ra_slot {
+                    code.push(Instr::Load(Reg::Ra, Reg::Esp, ra as i32));
+                }
                 if sf > 0 {
                     code.push(Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(sf)));
                 }

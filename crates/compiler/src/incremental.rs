@@ -157,12 +157,12 @@ pub fn compile_incremental(
             Clone::clone,
         ),
     };
-    let env = machgen::Env::new(&rtl_opt_program);
+    let env = machgen::Env::new(&rtl_opt_program, options.target);
 
     // Phase C: back half of the vertical (RTL → Mach → ASMsz).
     let back: Vec<(mach::MachFunction, asm::AsmFunction)> = par_map(&opted, workers, |f| {
         let m = machgen::translate_function(f, &env)?;
-        let a = asmgen::translate_function(&m)?;
+        let a = asmgen::translate_function(&m, options.target)?;
         Ok((m, a))
     })?;
 
@@ -180,6 +180,7 @@ pub fn compile_incremental(
         ),
     };
     let mach_program = mach::MachProgram {
+        target: options.target,
         globals: globals.clone(),
         externals: externals.clone(),
         functions: assemble(
@@ -192,6 +193,7 @@ pub fn compile_incremental(
         ),
     };
     let asm_program = asm::AsmProgram {
+        target: options.target,
         globals,
         externals: externals
             .iter()

@@ -13,10 +13,12 @@
 //! Every language has an interpreter that emits `call`/`ret` events, so
 //! quantitative refinement (`trace::refinement`) is checkable across every
 //! pass on concrete executions — the testable counterpart of the paper's
-//! Coq proofs. The compiler also produces the cost metric
-//! `M(f) = SF(f) + 4` from the Mach frame sizes; instantiating a
-//! source-level bound with this metric bounds the stack usage of the
-//! produced `ASMsz` code (Theorem 1).
+//! Coq proofs. The compiler also produces the per-target cost metric from
+//! the Mach frame sizes (`M(f) = SF(f) + 4` on the default
+//! [`asm::Target::Sz32`], `M(f) = SF(f)` on the link-register
+//! [`asm::Target::Rv`]); instantiating a source-level bound with this
+//! metric bounds the stack usage of the produced `ASMsz` code
+//! (Theorem 1).
 //!
 //! # Examples
 //!
@@ -80,7 +82,8 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Compilation options; the defaults enable every optimization.
+/// Compilation options; the defaults enable every optimization and
+/// target the classic [`asm::Target::Sz32`] machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Options {
     /// Run constant propagation on RTL.
@@ -91,6 +94,12 @@ pub struct Options {
     /// Quantitative CompCert (§3.3): inlining keeps bounds sound but
     /// destroys the exact `measured + 4` identity — see [`inline`].
     pub inline: bool,
+    /// The machine the backend emits code for. The target decides the
+    /// word size, the frame layout, the call convention
+    /// (pushed-on-stack vs. link-register return addresses), and the
+    /// per-function cost metric `M(f)` — so certified bounds are
+    /// target-specific.
+    pub target: asm::Target,
 }
 
 impl Default for Options {
@@ -99,6 +108,7 @@ impl Default for Options {
             constprop: true,
             dce: true,
             inline: false,
+            target: asm::Target::Sz32,
         }
     }
 }
@@ -110,6 +120,15 @@ impl Options {
             constprop: false,
             dce: false,
             inline: false,
+            target: asm::Target::Sz32,
+        }
+    }
+
+    /// The default options retargeted to `target`.
+    pub fn for_target(target: asm::Target) -> Options {
+        Options {
+            target,
+            ..Options::default()
         }
     }
 }
@@ -129,7 +148,8 @@ pub struct Compiled {
     pub mach: mach::MachProgram,
     /// The final assembly program.
     pub asm: asm::AsmProgram,
-    /// The cost metric `M(f) = SF(f) + 4` from the Mach frame sizes.
+    /// The cost metric from the Mach frame sizes: `M(f) = SF(f) + 4` on
+    /// [`asm::Target::Sz32`], `M(f) = SF(f)` on [`asm::Target::Rv`].
     pub metric: trace::Metric,
 }
 

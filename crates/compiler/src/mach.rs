@@ -2,9 +2,11 @@
 //!
 //! A Mach function's stack frame is completely laid out: outgoing-argument
 //! slots at the bottom, then spill slots, then the stack-data area holding
-//! the merged addressable locals. Its total size `SF(f)` is the source of
-//! the cost metric `M(f) = SF(f) + 4` — "at the level of Mach, we already
-//! know the stack size necessary for a function call" (§3.2).
+//! the merged addressable locals (plus, on the link-register
+//! [`asm::Target::Rv`], a return-address save slot in non-leaf frames).
+//! Its total size `SF(f)` is the source of the per-target cost metric
+//! ([`asm::Target::metric_of`]) — "at the level of Mach, we already know
+//! the stack size necessary for a function call" (§3.2).
 //!
 //! The semantics still allocates one memory block per frame (stack merging
 //! into the single finite block happens in the next pass), reads incoming
@@ -90,6 +92,12 @@ pub struct MachFunction {
     pub frame_size: u32,
     /// Number of parameters.
     pub nparams: usize,
+    /// Frame offset of the return-address save slot, on targets whose
+    /// calls write a link register ([`asm::Target::Rv`]): assembly
+    /// generation saves `ra` there in non-leaf prologues and restores it
+    /// before `ret`. `None` on [`asm::Target::Sz32`] (the return address
+    /// is pushed by `call` itself) and in leaf frames.
+    pub ra_slot: Option<u32>,
     /// Code.
     pub code: Vec<MInstr>,
 }
@@ -98,6 +106,9 @@ pub struct MachFunction {
 /// names for events and diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MachProgram {
+    /// The machine this program's frames were laid out for; decides the
+    /// outgoing-slot stride and the metric.
+    pub target: asm::Target,
     /// Globals: name, byte size, initial words.
     pub globals: Vec<(String, u32, Vec<u32>)>,
     /// Externals: name, arity, returns-value flag.
@@ -114,11 +125,12 @@ impl MachProgram {
             .map(|f| (f.name.as_str(), f.frame_size))
     }
 
-    /// The cost metric `M(f) = SF(f) + 4` of Theorem 1.
+    /// The cost metric of Theorem 1: `M(f) = SF(f) + 4` on
+    /// [`asm::Target::Sz32`], `M(f) = SF(f)` on [`asm::Target::Rv`].
     pub fn metric(&self) -> trace::Metric {
         self.functions
             .iter()
-            .map(|f| (f.name.clone(), f.frame_size + 4))
+            .map(|f| (f.name.clone(), self.target.metric_of(f.frame_size)))
             .collect()
     }
 
@@ -135,9 +147,10 @@ impl MachProgram {
         use std::fmt::Write;
         let mut out = String::new();
         for f in &self.functions {
+            let ra = f.ra_slot.map(|o| format!(", ra@{o}")).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{}: # SF = {} bytes, {} params",
+                "{}: # SF = {} bytes, {} params{ra}",
                 f.name, f.frame_size, f.nparams
             );
             for i in &f.code {
@@ -223,7 +236,9 @@ fn run_function_impl(
             })
             .collect();
 
-        let mut regs: [Value; 8] = [Value::Undef; 8];
+        // Outgoing-argument slots are laid out at the target's word stride.
+        let word = program.target.word_size();
+        let mut regs: [Value; Reg::COUNT] = [Value::Undef; Reg::COUNT];
         let mut stack: Vec<MFrame> = Vec::new();
         trace.push(Event::call(fname));
         stack.push(MFrame {
@@ -325,7 +340,7 @@ fn run_function_impl(
                     let b = frame!().block;
                     let mut args = Vec::with_capacity(callee.nparams);
                     for i in 0..callee.nparams {
-                        args.push(try_or_fail!(memory.load(b, 4 * i as u32)));
+                        args.push(try_or_fail!(memory.load(b, word * i as u32)));
                     }
                     trace.push(Event::call(callee.name.as_str()));
                     let block = memory.alloc(callee.frame_size);
@@ -344,7 +359,7 @@ fn run_function_impl(
                     let b = frame!().block;
                     let mut args = Vec::with_capacity(arity);
                     for i in 0..arity {
-                        let v = try_or_fail!(memory.load(b, 4 * i as u32));
+                        let v = try_or_fail!(memory.load(b, word * i as u32));
                         args.push(try_or_fail!(v.as_int()));
                     }
                     let result = clight::io_result(&name, &args);

@@ -10,28 +10,33 @@
 //!
 //! Frame layout (offsets from the frame base, which is `ESP` after the
 //! prologue): outgoing-argument slots, then spill slots, then the
-//! stack-data area with the function's merged addressable locals. The
-//! total is the `SF(f)` of the cost metric.
+//! stack-data area with the function's merged addressable locals. Slots
+//! are one target word wide. On the link-register [`asm::Target::Rv`] a
+//! non-leaf frame additionally reserves a word-aligned return-address
+//! save slot at the top, and the total is rounded up to the word size.
+//! The total is the `SF(f)` of the cost metric.
 
 use crate::mach::{MInstr, MachFunction};
 use crate::rtl::{Node, RtlFunction, RtlInstr, RtlOp, RtlProgram, VReg};
 use crate::CompileError;
-use asm::Reg;
+use asm::{Reg, Target};
 use std::collections::{HashMap, HashSet};
 
 /// Program-level context shared (immutably, so also across worker threads)
 /// by every per-function translation.
 pub(crate) struct Env<'a> {
     program: &'a RtlProgram,
+    pub(crate) target: Target,
     global_index: HashMap<&'a str, u32>,
     fn_index: HashMap<&'a str, u32>,
     ext_index: HashMap<&'a str, u32>,
 }
 
 impl<'a> Env<'a> {
-    pub(crate) fn new(program: &'a RtlProgram) -> Env<'a> {
+    pub(crate) fn new(program: &'a RtlProgram, target: Target) -> Env<'a> {
         Env {
             program,
+            target,
             global_index: program
                 .globals
                 .iter()
@@ -84,8 +89,15 @@ pub(crate) fn translate_function(
     f: &RtlFunction,
     env: &Env<'_>,
 ) -> Result<MachFunction, CompileError> {
-    let _s = obs::span_dyn(|| format!("compiler/machgen/fn/{}", f.name));
+    let _s = obs::span_dyn(|| {
+        format!(
+            "compiler/machgen{{target={}}}/fn/{}",
+            env.target.name(),
+            f.name
+        )
+    });
     let ice = |msg: String| CompileError::Internal(format!("machgen `{}`: {msg}", f.name));
+    let word = env.target.word_size();
 
     // ---- reachability and linearization -----------------------------------
     let order = linearize(f);
@@ -137,7 +149,7 @@ pub(crate) fn translate_function(
     let mut next_slot = 0u32;
     let slot = |loc: &mut HashMap<VReg, Loc>, next_slot: &mut u32, v: VReg| {
         let s = Loc::S(*next_slot);
-        *next_slot += 4;
+        *next_slot += word;
         loc.insert(v, s);
     };
 
@@ -194,17 +206,34 @@ pub(crate) fn translate_function(
 
     // ---- frame layout -------------------------------------------------------
     let mut outgoing = 0u32;
+    let mut has_internal_call = false;
     for n in &order {
         if let RtlInstr::Call(g, _, _, _) = &f.code[*n as usize] {
             let a = env
                 .arity(g)
                 .ok_or_else(|| ice(format!("unknown callee `{g}`")))? as u32;
-            outgoing = outgoing.max(4 * a);
+            outgoing = outgoing.max(word * a);
+            // Only internal calls clobber the link register; external
+            // stubs are magic and leave `ra` alone.
+            has_internal_call |= env.fn_index.contains_key(g.as_str());
         }
     }
     let spill_base = outgoing;
     let stackdata_base = spill_base + next_slot;
-    let frame_size = stackdata_base + f.stacksize;
+    let data_end = stackdata_base + f.stacksize;
+    // On the link-register target, a non-leaf frame saves `ra` in a
+    // word-aligned slot above the stack data, and every frame is rounded
+    // up to the word size so calls keep `ESP` word-aligned.
+    let (frame_size, ra_slot) = if env.target.uses_link_register() {
+        let aligned = data_end.next_multiple_of(word);
+        if has_internal_call {
+            (aligned + word, Some(aligned))
+        } else {
+            (aligned, None)
+        }
+    } else {
+        (data_end, None)
+    };
     // Relocate spill slots above the outgoing area.
     let real = |l: Loc| match l {
         Loc::S(o) => Loc::S(o + spill_base),
@@ -364,7 +393,7 @@ pub(crate) fn translate_function(
             RtlInstr::Call(g, args, dst, next) => {
                 for (i, a) in args.iter().enumerate() {
                     let r = fetch(&mut code, real(lookup(*a, &loc)), SCRATCH_A);
-                    code.push(MInstr::StoreStack(4 * i as u32, r));
+                    code.push(MInstr::StoreStack(word * i as u32, r));
                 }
                 if let Some(fi) = env.fn_index.get(g.as_str()) {
                     code.push(MInstr::Call(*fi));
@@ -404,6 +433,7 @@ pub(crate) fn translate_function(
         name: f.name.clone(),
         frame_size,
         nparams: f.params.len(),
+        ra_slot,
         code,
     })
 }

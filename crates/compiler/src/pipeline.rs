@@ -126,6 +126,9 @@ pub struct PassContext {
     /// Number of worker threads a per-function pass may fan out to
     /// (`1` means serial).
     pub workers: usize,
+    /// The machine the backend passes emit code for (from
+    /// [`Options::target`]).
+    pub target: asm::Target,
 }
 
 /// One compiler pass: a named transformation between [`Ir`] stages with a
@@ -157,6 +160,14 @@ pub trait Pass: Send + Sync {
     /// Whether the driver reports the input size as an `instrs_in`
     /// counter (the transformation passes over already-flat IR do).
     fn reports_input_size(&self) -> bool {
+        false
+    }
+
+    /// Whether this pass's output depends on the backend target. The
+    /// driver suffixes the obs span of such passes with a `target=` label
+    /// so sz32 and rv runs never collide in `obs-diff` or the hotspots
+    /// table.
+    fn target_specific(&self) -> bool {
         false
     }
 
@@ -392,8 +403,9 @@ impl Pass for MachGen {
     fn run(&self, input: &Ir, ctx: &PassContext) -> Result<Ir, CompileError> {
         match input {
             Ir::Rtl(p) => {
-                let env = machgen::Env::new(p);
+                let env = machgen::Env::new(p, ctx.target);
                 Ok(Ir::Mach(mach::MachProgram {
+                    target: ctx.target,
                     globals: p.globals.clone(),
                     externals: p.externals.clone(),
                     functions: par_map(&p.functions, ctx.workers, |f| {
@@ -411,6 +423,10 @@ impl Pass for MachGen {
     fn reports_input_size(&self) -> bool {
         true
     }
+
+    fn target_specific(&self) -> bool {
+        true
+    }
 }
 
 /// Mach → `ASMsz` (stack merging); per-function, parallelizable.
@@ -425,6 +441,7 @@ impl Pass for AsmGen {
     fn run(&self, input: &Ir, ctx: &PassContext) -> Result<Ir, CompileError> {
         match input {
             Ir::Mach(p) => Ok(Ir::Asm(asm::AsmProgram {
+                target: p.target,
                 globals: p.globals.clone(),
                 externals: p
                     .externals
@@ -434,13 +451,19 @@ impl Pass for AsmGen {
                         arity: *a,
                     })
                     .collect(),
-                functions: par_map(&p.functions, ctx.workers, asmgen::translate_function)?,
+                functions: par_map(&p.functions, ctx.workers, |f| {
+                    asmgen::translate_function(f, p.target)
+                })?,
             })),
             other => Err(CompileError::Internal(format!(
                 "asmgen: expected mach input, got {}",
                 other.stage()
             ))),
         }
+    }
+
+    fn target_specific(&self) -> bool {
+        true
     }
 
     /// The machine has a *finite* stack, so the quantitative half of the
@@ -736,8 +759,9 @@ impl Pipeline {
     }
 
     /// Runs every pass in order on `program` and assembles the
-    /// [`Compiled`] artifact (all intermediate programs plus the cost
-    /// metric `M(f) = SF(f) + 4`).
+    /// [`Compiled`] artifact (all intermediate programs plus the
+    /// per-target cost metric — `M(f) = SF(f) + 4` on
+    /// [`asm::Target::Sz32`], `M(f) = SF(f)` on [`asm::Target::Rv`]).
     ///
     /// # Errors
     ///
@@ -746,11 +770,18 @@ impl Pipeline {
         let _span = obs::span("compiler/compile");
         let ctx = PassContext {
             workers: self.config.effective_workers(),
+            target: self.config.options.target,
         };
         let mut snapshots = Snapshots::default();
         let mut current = Ir::Clight(program.clone());
         for pass in &self.passes {
-            let _s = obs::span_dyn(|| format!("compiler/{}", pass.name()));
+            let _s = obs::span_dyn(|| {
+                if pass.target_specific() {
+                    format!("compiler/{}{{target={}}}", pass.name(), ctx.target.name())
+                } else {
+                    format!("compiler/{}", pass.name())
+                }
+            });
             if pass.reports_input_size() {
                 if let Some(n) = pass.size(&current) {
                     obs::counter("instrs_in", n);

@@ -10,6 +10,9 @@
 //!
 //! OPTIONS:
 //!     -D <NAME=VALUE>   define a compile-time parameter (repeatable)
+//!     --target <T>      backend target: sz32 (default, pushed return
+//!                       addresses, M(f) = SF(f) + 4) or rv (link
+//!                       register, 8-byte words, M(f) = SF(f))
 //!     --run             also execute main() on the ASMsz machine with a
 //!                       stack of exactly the verified bound
 //!     --no-measure      skip the measurement stage (bound-only batch mode)
@@ -22,7 +25,7 @@
 //!     --cache-dir <D>   load/save a content-addressed verification cache
 //!                       (function-granular; incremental re-verification)
 //!     --emit-asm        print the generated assembly listing
-//!     --metric          print the cost metric M(f) = SF(f) + 4
+//!     --metric          print the target's cost metric M(f)
 //!     --symbolic        print the symbolic (metric-parametric) bounds
 //!     --metrics         print the span tree, counters, and per-function
 //!                       hotspots table of the run
@@ -38,6 +41,7 @@ use std::process::ExitCode;
 struct Options {
     file: Option<String>,
     params: Vec<(String, u32)>,
+    target: stackbound::asm::Target,
     run: bool,
     no_measure: bool,
     check_refinement: bool,
@@ -57,7 +61,7 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sbound [-D NAME=VALUE]... [--run] [--no-measure] [--check-refinement] \
+        "usage: sbound [-D NAME=VALUE]... [--target sz32|rv] [--run] [--no-measure] [--check-refinement] \
          [--parallel] [--measure-all] [--parallel-measure] \
          [--cache-dir DIR] [--emit-asm] [--metric] [--symbolic] \
          [--metrics] [--trace-json FILE] [--trace-chrome FILE] \
@@ -70,6 +74,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         file: None,
         params: Vec::new(),
+        target: stackbound::asm::Target::default(),
         run: false,
         no_measure: false,
         check_refinement: false,
@@ -120,6 +125,18 @@ fn parse_args() -> Result<Options, ExitCode> {
                     return Err(usage());
                 };
                 opts.trace_folded = Some(path);
+            }
+            "--target" => {
+                let Some(t) = args.next() else {
+                    return Err(usage());
+                };
+                match t.parse() {
+                    Ok(t) => opts.target = t,
+                    Err(e) => {
+                        eprintln!("sbound: {e}");
+                        return Err(usage());
+                    }
+                }
             }
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
@@ -180,6 +197,7 @@ fn main() -> ExitCode {
     let pipeline = stackbound::compiler::PipelineConfig {
         check_refinement: opts.check_refinement,
         parallel: opts.parallel,
+        options: stackbound::compiler::Options::for_target(opts.target),
         ..stackbound::compiler::PipelineConfig::default()
     };
     // With `--cache-dir`, route the verification and measurement stages
@@ -225,7 +243,7 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("{file}: verified stack bounds");
+    println!("{file}: verified stack bounds [{}]", report.target());
     for (name, bound) in report.bounds() {
         if opts.symbolic {
             let symbolic = report
@@ -240,7 +258,14 @@ fn main() -> ExitCode {
     }
 
     if opts.metric {
-        println!("\ncost metric (Mach frame sizes + 4):");
+        let allowance = opts.target.call_allowance();
+        match allowance {
+            0 => println!("\ncost metric for {} (Mach frame sizes):", opts.target),
+            a => println!(
+                "\ncost metric for {} (Mach frame sizes + {a}):",
+                opts.target
+            ),
+        }
         for (f, c) in report.compiled.metric.iter() {
             println!("    M({f}) = {c}");
         }

@@ -24,8 +24,11 @@
 //!
 //! [`verify_program`] runs the complete loop of the paper's Figure 2:
 //! analyze at the source level, compile, instantiate the parametric bound
-//! with the compiler's cost metric `M(f) = SF(f) + 4`, and (optionally)
-//! confirm on the machine that the bound holds with 4 bytes to spare.
+//! with the target's cost metric (`M(f) = SF(f) + 4` on the default
+//! [`asm::Target::Sz32`]; `M(f) = SF(f)` on the link-register
+//! [`asm::Target::Rv`], selected with [`Verifier::target`]), and
+//! (optionally) confirm on the machine that the bound holds — with 4
+//! bytes to spare on `sz32`, exactly on `rv`.
 //!
 //! ```
 //! let report = stackbound::verify_program("
@@ -97,6 +100,11 @@ impl Report {
     pub fn measured_usages(&self) -> impl Iterator<Item = (&str, u32)> {
         self.measured.iter().map(|(k, v)| (k.as_str(), *v))
     }
+
+    /// The backend target the bounds were certified for.
+    pub fn target(&self) -> asm::Target {
+        self.compiled.asm.target
+    }
 }
 
 /// Deterministic, order-preserving parallel map over a work list: results
@@ -143,7 +151,11 @@ where
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<24} {:>12} {:>12}", "function", "bound", "measured")?;
+        // The bound column names the target it was certified for
+        // (`bound[sz32]`/`bound[rv]`), so two reports of the same program
+        // on different machines are never confused for each other.
+        let bound_col = format!("bound[{}]", self.target().name());
+        writeln!(f, "{:<24} {bound_col:>12} {:>12}", "function", "measured")?;
         for (name, bound) in &self.bounds {
             let measured = match self.measured.get(name) {
                 Some(m) => format!("{m} bytes"),
@@ -357,6 +369,17 @@ impl Verifier {
     #[must_use]
     pub fn check_refinement(mut self, on: bool) -> Verifier {
         self.pipeline.check_refinement = on;
+        self
+    }
+
+    /// Selects the backend target the program is compiled, bounded, and
+    /// measured for. The target decides the frame layout, the
+    /// return-address convention, and the cost metric the symbolic bounds
+    /// are instantiated with, so the certified bounds of the same program
+    /// genuinely differ between targets. Defaults to [`asm::Target::Sz32`].
+    #[must_use]
+    pub fn target(mut self, target: asm::Target) -> Verifier {
+        self.pipeline.options.target = target;
         self
     }
 
@@ -665,7 +688,7 @@ mod report_display_tests {
         let expected = format!(
             "{:<24} {:>12} {:>12}\n{:<24} {:>12} {:>12}\n{:<24} {:>12} {:>12}\n",
             "function",
-            "bound",
+            "bound[sz32]",
             "measured",
             "leaf",
             format!("{leaf} bytes"),
@@ -683,5 +706,26 @@ mod report_display_tests {
             lines.iter().all(|l| l.len() == lines[0].len()),
             "misaligned report:\n{text}"
         );
+    }
+
+    #[test]
+    fn report_header_names_the_target() {
+        let src = "u32 leaf(u32 x) { return x + 1; }
+                   int main() { u32 r; r = leaf(1); return r; }";
+        let rv = crate::Verifier::new()
+            .target(asm::Target::Rv)
+            .verify(src)
+            .unwrap();
+        assert_eq!(rv.target(), asm::Target::Rv);
+        let text = rv.to_string();
+        assert!(text.contains("bound[rv]"), "missing rv header:\n{text}");
+        // Alignment holds for the rv header width too.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "misaligned report:\n{text}"
+        );
+        // On the link-register machine the bound is exact: zero slack.
+        assert_eq!(rv.measured("main"), rv.bound("main"));
     }
 }

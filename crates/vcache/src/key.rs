@@ -337,12 +337,16 @@ fn env_digest(program: &Program) -> Key {
     e.finish()
 }
 
-/// Digest of the optimization selection.
+/// Digest of the optimization selection and the backend target. The
+/// target participates because every backend artifact — frame layouts,
+/// `GetParam` displacements, the stack metric — depends on it; omitting
+/// it would let an `sz32` verdict answer an `rv` query (cache poisoning).
 fn config_digest(options: &compiler::Options) -> Key {
     let mut e = Enc::new("compiler-options-v1");
     e.u8(options.constprop as u8);
     e.u8(options.dce as u8);
     e.u8(options.inline as u8);
+    e.str(options.target.name());
     e.finish()
 }
 
@@ -579,6 +583,19 @@ mod tests {
         );
         for name in ["leaf", "mid", "main"] {
             assert_ne!(default[name], with_global[name], "{name}");
+        }
+    }
+
+    #[test]
+    fn target_feeds_the_key() {
+        // The same program under the two backends must produce disjoint
+        // key sets: frame layouts and the stack metric differ, so a
+        // cached sz32 verdict must never answer an rv lookup.
+        let p = program(THREE_LEVEL);
+        let sz32 = keys(&p, &compiler::Options::default());
+        let rv = keys(&p, &compiler::Options::for_target(asm::Target::Rv));
+        for name in ["leaf", "mid", "main"] {
+            assert_ne!(sz32[name], rv[name], "{name}");
         }
     }
 

@@ -647,6 +647,47 @@ mod tests {
     }
 
     #[test]
+    fn targets_never_share_cache_entries() {
+        // One shared cache, same program, two targets: the rv run must
+        // miss everywhere (an sz32 verdict answering an rv query would
+        // certify the wrong machine) and produce a different bound.
+        let cache = VCache::new();
+        let program = program();
+        let sz32 = compiler::Options::default();
+        let rv = compiler::Options::for_target(asm::Target::Rv);
+        let keys_sz32 = keys(&program, &sz32);
+        let keys_rv = keys(&program, &rv);
+        for name in ["leaf", "mid", "main"] {
+            assert_ne!(keys_sz32[name], keys_rv[name], "{name}");
+        }
+
+        let analysis = analyze(&cache, &program, &keys_sz32).unwrap();
+        let compiled_sz32 = compile(
+            &cache,
+            &program,
+            &compiler::PipelineConfig::with_options(sz32),
+            &keys_sz32,
+        )
+        .unwrap();
+        assert_eq!(cache.stats(CacheStage::Compile), (0, 3));
+
+        // The rv compile reuses nothing from the sz32 run.
+        let compiled_rv = compile(
+            &cache,
+            &program,
+            &compiler::PipelineConfig::with_options(rv),
+            &keys_rv,
+        )
+        .unwrap();
+        assert_eq!(cache.stats(CacheStage::Compile), (0, 6));
+
+        let b_sz32 = concrete_bound(&cache, &analysis, &compiled_sz32.metric, "main", &keys_sz32);
+        let b_rv = concrete_bound(&cache, &analysis, &compiled_rv.metric, "main", &keys_rv);
+        assert_ne!(b_sz32, b_rv);
+        assert_eq!(cache.stats(CacheStage::Bound), (0, 2));
+    }
+
+    #[test]
     fn compile_reuses_verticals_and_stays_byte_identical() {
         let cache = VCache::new();
         let program = program();

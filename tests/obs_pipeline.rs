@@ -50,8 +50,10 @@ fn span_tree_covers_every_layer() {
         "compiler/constprop",
         "compiler/dce",
         "compiler/tunnel",
-        "compiler/machgen",
-        "compiler/asmgen",
+        // Target-specific backend stages carry a `target=` label so a
+        // sz32 and an rv run never collide in obs-diff or hotspots.
+        "compiler/machgen{target=sz32}",
+        "compiler/asmgen{target=sz32}",
         "verify/bounds",
         "verify/measure",
         // Per-function attribution spans (`<stage>/fn/<function>`): the
@@ -59,8 +61,8 @@ fn span_tree_covers_every_layer() {
         // corpus function they are working on.
         "analyzer/fn/main",
         "qhl/fn/main",
-        "compiler/machgen/fn/main",
-        "compiler/asmgen/fn/main",
+        "compiler/machgen{target=sz32}/fn/main",
+        "compiler/asmgen{target=sz32}/fn/main",
         "measure/fn/main",
     ] {
         assert!(
