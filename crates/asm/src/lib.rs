@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cfg;
 mod decode;
 mod machine;
 pub mod monitor;

@@ -22,7 +22,12 @@
 //!   with the recorder off and again with the recorder on plus a live
 //!   timeline span, and fails if recording costs more than `ratio`×
 //!   the disabled fast path (a ceiling despite living among the floors:
-//!   instrumentation must stay cheap enough to leave on).
+//!   instrumentation must stay cheap enough to leave on);
+//! * `stacklint <ms>` — the gate runs the binary-level stack analyzer
+//!   over the whole compiled corpus on both targets and fails if the
+//!   analyzer alone (compilation excluded) takes longer than `ms`
+//!   milliseconds, or if it draws any diagnostic on compiler-emitted
+//!   code (a wall-clock ceiling, like the per-pass budgets).
 //!
 //! ```sh
 //! cargo run -p bench --bin budget_gate                # default budget file
@@ -75,6 +80,7 @@ fn main() -> ExitCode {
         && floors.vcache.is_none()
         && floors.vcache_rv.is_none()
         && floors.obs_overhead.is_none()
+        && floors.stacklint.is_none()
     {
         eprintln!("budget_gate: `{path}` declares no budgets");
         return ExitCode::FAILURE;
@@ -100,6 +106,9 @@ fn main() -> ExitCode {
             "  {:<12} {ratio}x recording overhead (ceiling)",
             "obs_overhead"
         );
+    }
+    if let Some(ms) = floors.stacklint {
+        println!("  {:<12} {ms} ms corpus analysis (ceiling)", "stacklint");
     }
     println!();
 
@@ -185,6 +194,14 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(ceiling_ms) = floors.stacklint {
+        if failed {
+            eprintln!("\nstacklint ceiling skipped: earlier checks already failed");
+        } else if !stacklint_meets(ceiling_ms) {
+            failed = true;
+        }
+    }
+
     if failed {
         eprintln!("\nbudget_gate: FAILED");
         ExitCode::FAILURE
@@ -208,6 +225,8 @@ struct Floors {
     vcache_rv: Option<u64>,
     /// `obs_overhead <ratio>` — recording-over-disabled cost ceiling.
     obs_overhead: Option<f64>,
+    /// `stacklint <ms>` — binary-analyzer corpus wall-clock ceiling.
+    stacklint: Option<u64>,
 }
 
 /// Splits the optional `interp` / `vcache` / `obs_overhead` floor lines
@@ -238,6 +257,7 @@ fn split_floors(text: &str) -> Result<(Floors, String), String> {
             Some("interp_rv") => &mut floors.interp_rv,
             Some("vcache") => &mut floors.vcache,
             Some("vcache_rv") => &mut floors.vcache_rv,
+            Some("stacklint") => &mut floors.stacklint,
             _ => {
                 rest.push_str(line);
                 rest.push('\n');
@@ -354,6 +374,26 @@ fn vcache_speedup_meets(target: asm::Target, floor: u64) -> bool {
     }
 }
 
+/// Runs the binary-level stack analyzer over the whole compiled corpus
+/// on both targets ([`bench::lint_suite_on`] panics on any diagnostic —
+/// compiler-emitted code must be clean) and checks the analyzer's own
+/// wall clock against `ceiling_ms`, printing the verdict.
+fn stacklint_meets(ceiling_ms: u64) -> bool {
+    let (sz, sz_secs) = bench::lint_suite_on(asm::Target::Sz32);
+    let (rv, rv_secs) = bench::lint_suite_on(asm::Target::Rv);
+    let total_ms = (sz_secs + rv_secs) * 1e3;
+    let programs = sz.len() + rv.len();
+    if total_ms <= ceiling_ms as f64 {
+        println!(
+            "\nstacklint: {total_ms:.1} ms over {programs} program passes <= ceiling {ceiling_ms} ms"
+        );
+        true
+    } else {
+        eprintln!("\nstacklint: FAILED: {total_ms:.1} ms > ceiling {ceiling_ms} ms");
+        false
+    }
+}
+
 /// Compiles the Table 1 suite for the rv target (no budgets: the
 /// wall-clock ceilings are enforced once, on the sz32 pass above).
 fn compile_suite_rv(failed: &mut bool) -> Vec<compiler::Compiled> {
@@ -407,7 +447,8 @@ mod tests {
     #[test]
     fn splits_floors_from_pass_budgets() {
         let (floors, rest) = split_floors(
-            "# c\ninterp 123\ninterp_rv 99\nvcache 5\nvcache_rv 4\nobs_overhead 1.5\nasmgen 5\n",
+            "# c\ninterp 123\ninterp_rv 99\nvcache 5\nvcache_rv 4\nobs_overhead 1.5\n\
+             stacklint 2000\nasmgen 5\n",
         )
         .unwrap();
         assert_eq!(floors.interp, Some(123));
@@ -415,6 +456,7 @@ mod tests {
         assert_eq!(floors.vcache, Some(5));
         assert_eq!(floors.vcache_rv, Some(4));
         assert_eq!(floors.obs_overhead, Some(1.5));
+        assert_eq!(floors.stacklint, Some(2000));
         assert_eq!(rest, "# c\nasmgen 5\n");
     }
 
@@ -426,6 +468,7 @@ mod tests {
         assert_eq!(floors.vcache, None);
         assert_eq!(floors.vcache_rv, None);
         assert_eq!(floors.obs_overhead, None);
+        assert_eq!(floors.stacklint, None);
         assert_eq!(rest, "asmgen 5\n");
     }
 
@@ -446,5 +489,8 @@ mod tests {
         assert!(split_floors("obs_overhead 0.5\n").is_err());
         assert!(split_floors("obs_overhead inf\n").is_err());
         assert!(split_floors("obs_overhead 2\nobs_overhead 3\n").is_err());
+        assert!(split_floors("stacklint\n").is_err());
+        assert!(split_floors("stacklint fast\n").is_err());
+        assert!(split_floors("stacklint 1\nstacklint 2\n").is_err());
     }
 }

@@ -181,7 +181,9 @@ fn main() -> ExitCode {
 }
 
 /// The serial gate workload: the whole corpus through fresh shared
-/// caches, exactly once, on one thread of control.
+/// caches, exactly once, on one thread of control, plus one binary-level
+/// stack-analysis pass (whose `stacklint/*` spans and counters are
+/// deterministic and baselined like everything else).
 fn run_corpus() {
     let benchmarks: Vec<_> = stackbound::benchsuite::table1_benchmarks()
         .into_iter()
@@ -192,6 +194,7 @@ fn run_corpus() {
     let measure_cache = Arc::new(asm::MeasureCache::new());
     bench::verify_suite_cached(&benchmarks, &cache, &measure_cache);
     bench::verify_recursive_cached(&recursive, &cache);
+    bench::lint_suite_on(asm::Target::Sz32);
 }
 
 /// One gated metric: the kind discriminates how the value was reduced

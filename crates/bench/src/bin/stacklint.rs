@@ -1,0 +1,143 @@
+//! CI gate: the certified bounds survive a binary-level cross-check.
+//!
+//! For every corpus program (Table 1 + extras + the Table 2 recursive
+//! cases under their driver `main`s) on both backend targets, this
+//! harness re-derives a worst-case stack bound directly from the emitted
+//! assembly with the [`stacklint`] abstract interpreter and checks the
+//! differential sandwich
+//!
+//! ```text
+//! measured peak  <=  binary-level bound  <=  certified bound
+//! ```
+//!
+//! for every non-recursive program, prints the per-function
+//! measured/binary/certified/slack table, and requires the analyzer to
+//! report a genuine call-graph cycle through each Table 2 headline
+//! function. Any stack-discipline diagnostic on compiler-emitted code,
+//! any sandwich violation, or any missing cycle fails the gate.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin stacklint
+//! cargo run --release -p bench --bin stacklint -- --metrics
+//! ```
+
+use stackbound::{asm, compiler, stacklint};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let _metrics = bench::metrics_from_args();
+    let mut failed = false;
+    let mut programs = 0usize;
+    let mut functions = 0usize;
+    let mut cycles = 0usize;
+
+    for target in [asm::Target::Sz32, asm::Target::Rv] {
+        println!("stacklint: corpus on {target}");
+        for case in bench::lint_corpus() {
+            programs += 1;
+            match case.recursive {
+                None => {
+                    let report = stackbound::Verifier::new()
+                        .fuel(bench::FUEL)
+                        .target(target)
+                        .verify(&case.source)
+                        .unwrap_or_else(|e| panic!("{}: {e}", case.file));
+                    let lint = stacklint::analyze(&report.compiled.asm);
+                    failed |= !check_sandwich(case.file, &report, &lint);
+                    functions += lint.verdicts.len();
+                }
+                Some(name) => {
+                    let program = stackbound::clight::frontend(&case.source, &[])
+                        .unwrap_or_else(|e| panic!("{}: front end: {e}", case.file));
+                    let compiled =
+                        compiler::compile_with(&program, compiler::Options::for_target(target))
+                            .unwrap_or_else(|e| panic!("{}: compiler: {e}", case.file));
+                    let lint = stacklint::analyze(&compiled.asm);
+                    for d in &lint.diagnostics {
+                        eprintln!("{}: FAILED: {d}", case.file);
+                        failed = true;
+                    }
+                    match lint.cycle(name) {
+                        Some(cycle) => {
+                            cycles += 1;
+                            println!(
+                                "  {:<28} recursive: {} -> {}",
+                                case.file,
+                                cycle.join(" -> "),
+                                cycle[0]
+                            );
+                        }
+                        None => {
+                            eprintln!(
+                                "{}: FAILED: no recursion reported through `{name}`",
+                                case.file
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+        println!();
+    }
+
+    if failed {
+        eprintln!("stacklint: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "stacklint: sandwich held on {programs} program passes \
+             ({functions} function verdicts, {cycles} recursion verdicts)"
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints the per-function table for one verified program and checks the
+/// sandwich: zero diagnostics, `binary <= certified` for every bounded
+/// function, and `measured <= binary` wherever a measurement exists.
+fn check_sandwich(file: &str, report: &stackbound::Report, lint: &stacklint::LintReport) -> bool {
+    let mut ok = true;
+    for d in &lint.diagnostics {
+        eprintln!("{file}: FAILED: {d}");
+        ok = false;
+    }
+    println!("  {file}");
+    println!(
+        "    {:<20} {:>12} {:>12} {:>12} {:>12}",
+        "function", "measured", "binary", "certified", "slack"
+    );
+    for (name, verdict) in &lint.verdicts {
+        let stacklint::Verdict::Bounded(binary) = verdict else {
+            eprintln!("{file}: FAILED: unexpected verdict for `{name}`: {verdict}");
+            ok = false;
+            continue;
+        };
+        let certified = report.bound(name);
+        let measured = report.measured(name);
+        if let Some(c) = certified {
+            if *binary > c {
+                eprintln!("{file}: FAILED: `{name}` binary bound {binary} > certified {c}");
+                ok = false;
+            }
+        }
+        if let Some(m) = measured {
+            if m > *binary {
+                eprintln!("{file}: FAILED: `{name}` measured peak {m} > binary bound {binary}");
+                ok = false;
+            }
+        }
+        let cell = |v: Option<u32>| match v {
+            Some(b) => format!("{b} bytes"),
+            None => "-".to_owned(),
+        };
+        println!(
+            "    {name:<20} {:>12} {:>12} {:>12} {:>12}",
+            cell(measured),
+            format!("{binary} bytes"),
+            cell(certified),
+            cell(report.slack(name)),
+        );
+    }
+    ok
+}

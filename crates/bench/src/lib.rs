@@ -20,7 +20,7 @@
 
 #![warn(missing_docs)]
 
-use stackbound::{analyzer, asm, clight, compiler, vcache};
+use stackbound::{analyzer, asm, clight, compiler, stacklint, vcache};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -263,6 +263,91 @@ pub fn verify_recursive_cached_on(
         })
         .collect();
     (reports, started.elapsed().as_secs_f64())
+}
+
+/// One corpus program for the binary-level differential gate: a named C
+/// source plus, for the Table 2 cases, the headline recursive function
+/// the binary analyzer must report a call-graph cycle through.
+pub struct LintCase {
+    /// File name as in the paper.
+    pub file: &'static str,
+    /// Complete C source (recursive cases get the driver `main`
+    /// appended by [`recursive_driver`]).
+    pub source: String,
+    /// The headline recursive function, on Table 2 cases.
+    pub recursive: Option<&'static str>,
+}
+
+/// Wraps a Table 2 recursive case in the `int main()` driver the
+/// differential suite uses, so the whole-program pipeline (and the
+/// binary analyzer's call graph) sees the recursion from `main`.
+pub fn recursive_driver(case: &stackbound::benchsuite::RecursiveCase) -> String {
+    let n = case.sweep.0.max(4);
+    let args: Vec<String> = (case.args_for)(n).iter().map(|a| a.to_string()).collect();
+    let (ret, use_r) = if case.name == "qsort" {
+        ("", "0")
+    } else {
+        ("u32 r; r = ", "r & 0xff")
+    };
+    format!(
+        "{}\nint main() {{ {ret}{}({}); return {use_r}; }}",
+        case.source,
+        case.name,
+        args.join(", ")
+    )
+}
+
+/// The full corpus the binary-level differential gate runs on: every
+/// Table 1 benchmark, every extra, and every Table 2 recursive case
+/// wrapped in its driver `main`.
+pub fn lint_corpus() -> Vec<LintCase> {
+    let mut out: Vec<LintCase> = stackbound::benchsuite::table1_benchmarks()
+        .into_iter()
+        .chain(stackbound::benchsuite::extra_benchmarks())
+        .map(|b| LintCase {
+            file: b.file,
+            source: b.source.to_owned(),
+            recursive: None,
+        })
+        .collect();
+    out.extend(
+        stackbound::benchsuite::recursive_cases()
+            .iter()
+            .map(|case| LintCase {
+                file: case.file,
+                source: recursive_driver(case),
+                recursive: Some(case.name),
+            }),
+    );
+    out
+}
+
+/// Compiles every [`lint_corpus`] program for `target` and runs the
+/// binary-level [`stacklint`] analyzer over each, panicking on any
+/// stack-discipline diagnostic (compiler-emitted code must be clean).
+/// Returns the per-program lint reports in suite order plus the seconds
+/// spent inside the analyzer alone — compilation is excluded, so the
+/// `stacklint` budget ceiling gates the analyzer, not the compiler.
+pub fn lint_suite_on(target: asm::Target) -> (Vec<(&'static str, stacklint::LintReport)>, f64) {
+    let mut reports = Vec::new();
+    let mut secs = 0.0;
+    for case in lint_corpus() {
+        let program = clight::frontend(&case.source, &[])
+            .unwrap_or_else(|e| panic!("{}: front end: {e}", case.file));
+        let compiled = compiler::compile_with(&program, compiler::Options::for_target(target))
+            .unwrap_or_else(|e| panic!("{}: compiler: {e}", case.file));
+        let started = Instant::now();
+        let lint = stacklint::analyze(&compiled.asm);
+        secs += started.elapsed().as_secs_f64();
+        assert!(
+            lint.is_clean(),
+            "{} [{target}]: compiler-emitted code drew diagnostics: {:?}",
+            case.file,
+            lint.diagnostics
+        );
+        reports.push((case.file, lint));
+    }
+    (reports, secs)
 }
 
 /// Measures the peak stack usage of `main` with a generous stack.

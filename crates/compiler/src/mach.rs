@@ -83,6 +83,36 @@ impl fmt::Display for MInstr {
     }
 }
 
+/// The region breakdown of one function's frame, as decided by the
+/// stacking pass: outgoing-argument slots at the bottom, spill slots above
+/// them, then the merged addressable stack data, then (on the
+/// link-register target) alignment padding and the `ra` save slot.
+///
+/// Exported so binary-level tools — the `stacklint` analyzer in
+/// particular — can cross-check the layout the compiler *declared* against
+/// what the emitted assembly actually does with `ESP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameLayout {
+    /// Bytes of outgoing-argument slots at the bottom of the frame.
+    pub outgoing: u32,
+    /// Bytes of spill slots above the outgoing area.
+    pub spills: u32,
+    /// Bytes of merged addressable stack data above the spills.
+    pub stack_data: u32,
+    /// Alignment padding between the stack data and the frame top (or the
+    /// `ra` slot, when there is one). Only nonzero on targets that round
+    /// frames up to the word size.
+    pub padding: u32,
+}
+
+impl FrameLayout {
+    /// The frame size these regions require, given whether a word-sized
+    /// return-address save slot sits on top.
+    pub fn required_size(&self, ra_words: u32) -> u32 {
+        self.outgoing + self.spills + self.stack_data + self.padding + ra_words
+    }
+}
+
 /// A Mach function with its fully laid-out frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachFunction {
@@ -90,6 +120,8 @@ pub struct MachFunction {
     pub name: String,
     /// Total frame size `SF(f)` in bytes.
     pub frame_size: u32,
+    /// How `frame_size` decomposes into regions.
+    pub layout: FrameLayout,
     /// Number of parameters.
     pub nparams: usize,
     /// Frame offset of the return-address save slot, on targets whose
@@ -132,6 +164,18 @@ impl MachProgram {
             .iter()
             .map(|f| (f.name.clone(), self.target.metric_of(f.frame_size)))
             .collect()
+    }
+
+    /// Checks that every function's declared [`FrameLayout`] regions tile
+    /// its `frame_size` exactly. The stacking pass always produces
+    /// consistent layouts; the check exists so external analyses can
+    /// assert it.
+    pub fn layouts_are_consistent(&self) -> bool {
+        let word = self.target.word_size();
+        self.functions.iter().all(|f| {
+            let ra_words = if f.ra_slot.is_some() { word } else { 0 };
+            f.layout.required_size(ra_words) == f.frame_size
+        })
     }
 
     /// Looks up a function index by name.

@@ -16,7 +16,7 @@
 //! save slot at the top, and the total is rounded up to the word size.
 //! The total is the `SF(f)` of the cost metric.
 
-use crate::mach::{MInstr, MachFunction};
+use crate::mach::{FrameLayout, MInstr, MachFunction};
 use crate::rtl::{Node, RtlFunction, RtlInstr, RtlOp, RtlProgram, VReg};
 use crate::CompileError;
 use asm::{Reg, Target};
@@ -234,6 +234,12 @@ pub(crate) fn translate_function(
     } else {
         (data_end, None)
     };
+    let layout = FrameLayout {
+        outgoing,
+        spills: next_slot,
+        stack_data: f.stacksize,
+        padding: frame_size - data_end - if ra_slot.is_some() { word } else { 0 },
+    };
     // Relocate spill slots above the outgoing area.
     let real = |l: Loc| match l {
         Loc::S(o) => Loc::S(o + spill_base),
@@ -432,6 +438,7 @@ pub(crate) fn translate_function(
     Ok(MachFunction {
         name: f.name.clone(),
         frame_size,
+        layout,
         nparams: f.params.len(),
         ra_slot,
         code,

@@ -24,6 +24,10 @@
 //!                       --measure-all; results are byte-identical)
 //!     --cache-dir <D>   load/save a content-addressed verification cache
 //!                       (function-granular; incremental re-verification)
+//!     --lint            re-derive stack bounds from the emitted binary
+//!                       with the stacklint abstract interpreter and
+//!                       cross-check them against the certified bounds
+//!                       (exit 1 on any stack-discipline diagnostic)
 //!     --emit-asm        print the generated assembly listing
 //!     --metric          print the target's cost metric M(f)
 //!     --symbolic        print the symbolic (metric-parametric) bounds
@@ -49,6 +53,7 @@ struct Options {
     measure_all: bool,
     parallel_measure: bool,
     cache_dir: Option<String>,
+    lint: bool,
     emit_asm: bool,
     metric: bool,
     symbolic: bool,
@@ -63,7 +68,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sbound [-D NAME=VALUE]... [--target sz32|rv] [--run] [--no-measure] [--check-refinement] \
          [--parallel] [--measure-all] [--parallel-measure] \
-         [--cache-dir DIR] [--emit-asm] [--metric] [--symbolic] \
+         [--cache-dir DIR] [--lint] [--emit-asm] [--metric] [--symbolic] \
          [--metrics] [--trace-json FILE] [--trace-chrome FILE] \
          [--trace-folded FILE] [--profile-stack] <file.c>"
     );
@@ -82,6 +87,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         measure_all: false,
         parallel_measure: false,
         cache_dir: None,
+        lint: false,
         emit_asm: false,
         metric: false,
         symbolic: false,
@@ -103,6 +109,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 opts.measure_all = true;
                 opts.parallel_measure = true;
             }
+            "--lint" => opts.lint = true,
             "--emit-asm" => opts.emit_asm = true,
             "--metric" => opts.metric = true,
             "--symbolic" => opts.symbolic = true,
@@ -287,6 +294,42 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut lint_failed = false;
+    if opts.lint {
+        let lint = stackbound::stacklint::analyze(&report.compiled.asm);
+        if !lint.is_clean() {
+            lint_failed = true;
+            println!("\nstack-discipline diagnostics:");
+            for d in &lint.diagnostics {
+                println!("    {d}");
+            }
+        }
+        println!(
+            "\nbinary stack analysis [{}] (measured <= binary <= certified):",
+            report.target()
+        );
+        println!(
+            "    {:<24} {:>12} {:>12} {:>12} {:>12}",
+            "function", "measured", "binary", "certified", "slack"
+        );
+        for (name, verdict) in &lint.verdicts {
+            let cell = |v: Option<u32>| match v {
+                Some(b) => format!("{b} bytes"),
+                None => "-".to_owned(),
+            };
+            match verdict {
+                stackbound::stacklint::Verdict::Bounded(b) => println!(
+                    "    {name:<24} {:>12} {:>12} {:>12} {:>12}",
+                    cell(report.measured(name)),
+                    format!("{b} bytes"),
+                    cell(report.bound(name)),
+                    cell(report.slack(name)),
+                ),
+                recursive => println!("    {name:<24} {recursive}"),
+            }
+        }
+    }
+
     if opts.emit_asm {
         println!("\n{}", report.compiled.asm.listing());
     }
@@ -358,6 +401,9 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    if lint_failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

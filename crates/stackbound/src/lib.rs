@@ -50,6 +50,7 @@ pub use clight;
 pub use compiler;
 pub use mem;
 pub use qhl;
+pub use stacklint;
 pub use trace;
 pub use vcache;
 
@@ -105,6 +106,15 @@ impl Report {
     pub fn target(&self) -> asm::Target {
         self.compiled.asm.target
     }
+
+    /// The slack of a function — certified bound minus measured peak
+    /// usage, in bytes — when both are known. Theorem 1 guarantees it is
+    /// never negative; on the default [`asm::Target::Sz32`] a straight
+    /// call chain leaves 4 bytes (`main`'s own pushed return address), on
+    /// [`asm::Target::Rv`] the bound is exact and the slack is zero.
+    pub fn slack(&self, fname: &str) -> Option<u32> {
+        Some(self.bound(fname)? - self.measured(fname)?)
+    }
 }
 
 /// Deterministic, order-preserving parallel map over a work list: results
@@ -155,15 +165,20 @@ impl fmt::Display for Report {
         // (`bound[sz32]`/`bound[rv]`), so two reports of the same program
         // on different machines are never confused for each other.
         let bound_col = format!("bound[{}]", self.target().name());
-        writeln!(f, "{:<24} {bound_col:>12} {:>12}", "function", "measured")?;
+        let slack_col = format!("slack[{}]", self.target().name());
+        writeln!(
+            f,
+            "{:<24} {bound_col:>12} {:>12} {slack_col:>12}",
+            "function", "measured"
+        )?;
         for (name, bound) in &self.bounds {
-            let measured = match self.measured.get(name) {
-                Some(m) => format!("{m} bytes"),
-                None => "-".to_owned(),
+            let (measured, slack) = match self.measured.get(name) {
+                Some(m) => (format!("{m} bytes"), format!("{} bytes", bound - m)),
+                None => ("-".to_owned(), "-".to_owned()),
             };
             writeln!(
                 f,
-                "{name:<24} {:>12} {measured:>12}",
+                "{name:<24} {:>12} {measured:>12} {slack:>12}",
                 format!("{bound} bytes")
             )?;
         }
@@ -681,23 +696,30 @@ mod report_display_tests {
         let text = report.to_string();
 
         // Golden shape: three right-aligned 12-wide columns after the name,
-        // with `-` sitting in the same column as the measured cells.
+        // with `-` sitting in the same column as the measured cells, and a
+        // slack column (bound − measured) on the right.
         let leaf = report.bound("leaf").unwrap();
         let main = report.bound("main").unwrap();
         let meas = report.measured("main").unwrap();
+        let slack = report.slack("main").unwrap();
         let expected = format!(
-            "{:<24} {:>12} {:>12}\n{:<24} {:>12} {:>12}\n{:<24} {:>12} {:>12}\n",
+            "{:<24} {:>12} {:>12} {:>12}\n{:<24} {:>12} {:>12} {:>12}\n{:<24} {:>12} {:>12} {:>12}\n",
             "function",
             "bound[sz32]",
             "measured",
+            "slack[sz32]",
             "leaf",
             format!("{leaf} bytes"),
+            "-",
             "-",
             "main",
             format!("{main} bytes"),
             format!("{meas} bytes"),
+            format!("{slack} bytes"),
         );
         assert_eq!(text, expected);
+        // The call chain leaves exactly main's own pushed return address.
+        assert_eq!(slack, 4);
 
         // Every line (header included) has the same width.
         let lines: Vec<&str> = text.lines().collect();
@@ -719,6 +741,7 @@ mod report_display_tests {
         assert_eq!(rv.target(), asm::Target::Rv);
         let text = rv.to_string();
         assert!(text.contains("bound[rv]"), "missing rv header:\n{text}");
+        assert!(text.contains("slack[rv]"), "missing slack header:\n{text}");
         // Alignment holds for the rv header width too.
         let lines: Vec<&str> = text.lines().collect();
         assert!(
@@ -727,5 +750,6 @@ mod report_display_tests {
         );
         // On the link-register machine the bound is exact: zero slack.
         assert_eq!(rv.measured("main"), rv.bound("main"));
+        assert_eq!(rv.slack("main"), Some(0));
     }
 }

@@ -1,0 +1,393 @@
+//! Unit tests, including the ill-disciplined regression fixtures: one
+//! hand-assembled program per diagnostic class, each pinning exactly its
+//! intended `stacklint` verdict.
+
+use super::*;
+use asm::{AsmFunction, AsmProgram};
+use mem::Binop;
+
+fn program(target: Target, functions: Vec<AsmFunction>) -> AsmProgram {
+    AsmProgram {
+        globals: vec![],
+        externals: vec![],
+        functions,
+        target,
+    }
+}
+
+/// A balanced function: allocate `frame`, run `body`, deallocate, return.
+fn balanced(name: &str, frame: u32, body: Vec<Instr>) -> AsmFunction {
+    let mut code = vec![Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(frame))];
+    code.extend(body);
+    code.push(Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(frame)));
+    code.push(Instr::Ret);
+    AsmFunction::new(name, frame, code)
+}
+
+/// The one diagnostic of an expectedly-dirty report.
+fn only_diagnostic(report: &LintReport) -> &Diagnostic {
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "expected exactly one diagnostic, got {:?}",
+        report.diagnostics
+    );
+    &report.diagnostics[0]
+}
+
+// ---- clean programs & bounds -------------------------------------------
+
+#[test]
+fn doc_example_bounds_exactly_on_sz32() {
+    // The asm crate's doc example: main(frame 8) calls leaf(frame 8).
+    let p = program(
+        Target::Sz32,
+        vec![
+            balanced("leaf", 8, vec![Instr::Mov(Reg::Eax, Operand::Imm(7))]),
+            balanced("main", 8, vec![Instr::Call(0)]),
+        ],
+    );
+    let report = analyze(&p);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.bound("leaf"), Some(8));
+    // 8 (main) + 4 (push) + 8 (leaf): matches the measured 20 bytes.
+    assert_eq!(report.bound("main"), Some(20));
+}
+
+#[test]
+fn rv_nonleaf_saves_and_restores_ra_cleanly() {
+    let leaf = balanced("leaf", 8, vec![]);
+    let caller = AsmFunction::new(
+        "caller",
+        16,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(16)),
+            Instr::Store(Reg::Esp, 8, Reg::Ra),
+            Instr::Call(0),
+            Instr::Load(Reg::Ra, Reg::Esp, 8),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(16)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Rv, vec![leaf, caller]));
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    // Link-register calls push nothing: 16 + 0 + 8.
+    assert_eq!(report.bound("caller"), Some(24));
+    assert_eq!(report.bound("leaf"), Some(8));
+}
+
+#[test]
+fn rv_leaf_may_leave_ra_untouched() {
+    let report = analyze(&program(Target::Rv, vec![balanced("leaf", 8, vec![])]));
+    assert!(report.is_clean());
+    assert_eq!(report.bound("leaf"), Some(8));
+}
+
+#[test]
+fn branchy_but_balanced_function_is_clean() {
+    // if/else with both arms reconverging at the same delta.
+    let f = AsmFunction::new(
+        "f",
+        8,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(8)),
+            Instr::Cmp(Reg::Eax, Operand::Imm(0)),
+            Instr::Jcc(Binop::Eq, 0),
+            Instr::Mov(Reg::Ebx, Operand::Imm(1)),
+            Instr::Jmp(1),
+            Instr::Label(0),
+            Instr::Mov(Reg::Ebx, Operand::Imm(2)),
+            Instr::Label(1),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(8)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.bound("f"), Some(8));
+}
+
+#[test]
+fn loads_above_the_frame_are_the_parameter_idiom() {
+    // GetParam on sz32: [esp + SF + 4 + 4i] — above the frame, legal.
+    let f = balanced("f", 8, vec![Instr::Load(Reg::Eax, Reg::Esp, 12)]);
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn external_calls_cost_no_stack_and_keep_ra() {
+    let f = AsmFunction::new(
+        "f",
+        8,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(8)),
+            Instr::CallExt(0),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(8)),
+            Instr::Ret,
+        ],
+    );
+    let mut p = program(Target::Rv, vec![f]);
+    p.externals.push(asm::AsmExternal {
+        name: "ext".into(),
+        arity: 1,
+    });
+    let report = analyze(&p);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.bound("f"), Some(8));
+}
+
+// ---- recursion ----------------------------------------------------------
+
+#[test]
+fn self_recursion_is_detected_with_its_cycle() {
+    let f = balanced("f", 8, vec![Instr::Call(0)]);
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    assert!(report.is_clean());
+    assert_eq!(report.cycle("f"), Some(&["f".to_owned()][..]));
+    assert_eq!(report.bound("f"), None);
+}
+
+#[test]
+fn mutual_recursion_cycle_is_real_and_callers_inherit_it() {
+    let a = balanced("a", 8, vec![Instr::Call(1)]);
+    let b = balanced("b", 8, vec![Instr::Call(0)]);
+    let main = balanced("main", 8, vec![Instr::Call(0)]);
+    let report = analyze(&program(Target::Sz32, vec![a, b, main]));
+    assert!(report.is_clean());
+    let cycle = report.cycle("a").expect("a is recursive");
+    assert_eq!(cycle.len(), 2);
+    assert!(cycle.contains(&"a".to_owned()) && cycle.contains(&"b".to_owned()));
+    // main is not on the cycle but reaches it: same verdict, same cycle.
+    assert_eq!(report.cycle("main"), Some(cycle));
+}
+
+// ---- the four regression fixtures --------------------------------------
+
+/// Fixture 1 — unbalanced ESP (sz32): the epilogue frees less than the
+/// prologue allocated, so `ret` runs with frame bytes still allocated.
+#[test]
+fn fixture_unbalanced_esp() {
+    let f = AsmFunction::new(
+        "unbalanced",
+        8,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(8)),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(4)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.function, "unbalanced");
+    assert_eq!(d.at, 2);
+    assert_eq!(d.kind, DiagKind::UnbalancedEsp(EspFault::AtReturn(4)));
+    // No trustworthy verdict for the broken function.
+    assert_eq!(report.bound("unbalanced"), None);
+    assert!(report.cycle("unbalanced").is_none());
+}
+
+/// Fixture 2 — clobbered `ra` before save (rv): a non-leaf frame calls
+/// before saving the link register, then returns through the garbage.
+#[test]
+fn fixture_ra_clobbered_before_save() {
+    let leaf = balanced("leaf", 8, vec![]);
+    let broken = AsmFunction::new(
+        "broken",
+        16,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(16)),
+            Instr::Call(0),                     // clobbers ra; nothing was saved
+            Instr::Store(Reg::Esp, 8, Reg::Ra), // saves the *wrong* address
+            Instr::Load(Reg::Ra, Reg::Esp, 8),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(16)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Rv, vec![leaf, broken]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.function, "broken");
+    assert_eq!(d.at, 5);
+    assert_eq!(d.kind, DiagKind::RaClobbered { lost_at: Some(1) });
+    // The clean leaf still gets its verdict.
+    assert_eq!(report.bound("leaf"), Some(8));
+}
+
+/// Fixture 3 — read below ESP (sz32): a load from `[esp-4]`, space the
+/// function does not own.
+#[test]
+fn fixture_read_below_esp() {
+    let f = balanced("peek", 8, vec![Instr::Load(Reg::Eax, Reg::Esp, -4)]);
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.function, "peek");
+    assert_eq!(d.at, 1);
+    assert_eq!(d.kind, DiagKind::MemBelowEsp { disp: -4 });
+}
+
+/// Fixture 4 — frame-size mismatch (rv): the code allocates more than the
+/// declared `SF(f)`, so the certified metric would under-charge it.
+#[test]
+fn fixture_frame_size_mismatch() {
+    let f = AsmFunction::new(
+        "liar",
+        8,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(16)),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(16)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Rv, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.function, "liar");
+    assert_eq!(d.at, 0);
+    assert_eq!(
+        d.kind,
+        DiagKind::FrameMismatch {
+            declared: 8,
+            required: 16,
+        }
+    );
+}
+
+// ---- further discipline violations --------------------------------------
+
+#[test]
+fn join_with_differing_deltas_is_unbalanced() {
+    // One arm allocates 8 extra bytes, then both arms join.
+    let f = AsmFunction::new(
+        "skew",
+        8,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(8)),
+            Instr::Cmp(Reg::Eax, Operand::Imm(0)),
+            Instr::Jcc(Binop::Eq, 0),
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(8)),
+            Instr::Label(0),
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(8)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let d = only_diagnostic(&report);
+    assert!(
+        matches!(d.kind, DiagKind::UnbalancedEsp(EspFault::Join { .. })),
+        "{d}"
+    );
+}
+
+#[test]
+fn esp_from_a_register_is_not_statically_known() {
+    let f = AsmFunction::new(
+        "wild",
+        0,
+        vec![Instr::Mov(Reg::Esp, Operand::Reg(Reg::Eax)), Instr::Ret],
+    );
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.kind, DiagKind::UnbalancedEsp(EspFault::Unknown));
+}
+
+#[test]
+fn esp_above_entry_is_negative_delta() {
+    let f = AsmFunction::new(
+        "under",
+        0,
+        vec![
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(4)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.kind, DiagKind::UnbalancedEsp(EspFault::Negative(-4)));
+}
+
+#[test]
+fn store_below_esp_is_flagged_like_a_read() {
+    let f = balanced("poke", 8, vec![Instr::Store(Reg::Esp, -8, Reg::Eax)]);
+    let report = analyze(&program(Target::Rv, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.kind, DiagKind::MemBelowEsp { disp: -8 });
+}
+
+#[test]
+fn overwriting_the_saved_ra_slot_voids_the_save() {
+    let leaf = balanced("leaf", 8, vec![]);
+    let broken = AsmFunction::new(
+        "overwrite",
+        16,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(16)),
+            Instr::Store(Reg::Esp, 8, Reg::Ra),  // save
+            Instr::Store(Reg::Esp, 8, Reg::Eax), // ...then smash the slot
+            Instr::Call(0),
+            Instr::Load(Reg::Ra, Reg::Esp, 8), // reloads garbage
+            Instr::Alu(Binop::Add, Reg::Esp, Operand::Imm(16)),
+            Instr::Ret,
+        ],
+    );
+    let report = analyze(&program(Target::Rv, vec![leaf, broken]));
+    let d = only_diagnostic(&report);
+    assert_eq!(d.function, "overwrite");
+    assert!(matches!(d.kind, DiagKind::RaClobbered { .. }), "{d}");
+}
+
+#[test]
+fn unaligned_rv_frame_breaks_the_layout_rule() {
+    // 12 is fine on sz32 (word 4) but not on rv (word 8).
+    let f = balanced("odd", 12, vec![]);
+    assert!(analyze(&program(Target::Sz32, vec![f.clone()])).is_clean());
+    let report = analyze(&program(Target::Rv, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(
+        d.kind,
+        DiagKind::FrameMismatch {
+            declared: 12,
+            required: 16,
+        }
+    );
+}
+
+#[test]
+fn empty_function_with_a_declared_frame_mismatches() {
+    let f = AsmFunction::new("ghost", 8, vec![]);
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let d = only_diagnostic(&report);
+    assert_eq!(
+        d.kind,
+        DiagKind::FrameMismatch {
+            declared: 8,
+            required: 0,
+        }
+    );
+}
+
+#[test]
+fn tainted_callee_voids_the_caller_verdict_only() {
+    let bad = AsmFunction::new(
+        "bad",
+        8,
+        vec![
+            Instr::Alu(Binop::Sub, Reg::Esp, Operand::Imm(8)),
+            Instr::Ret,
+        ],
+    );
+    let caller = balanced("caller", 8, vec![Instr::Call(0)]);
+    let other = balanced("other", 8, vec![]);
+    let report = analyze(&program(Target::Sz32, vec![bad, caller, other]));
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.bound("bad"), None);
+    assert_eq!(report.bound("caller"), None);
+    assert_eq!(report.bound("other"), Some(8));
+}
+
+#[test]
+fn diagnostics_render_with_function_and_site() {
+    let f = balanced("peek", 8, vec![Instr::Load(Reg::Eax, Reg::Esp, -4)]);
+    let report = analyze(&program(Target::Sz32, vec![f]));
+    let text = report.diagnostics[0].to_string();
+    assert!(text.contains("peek[1]"), "{text}");
+    assert!(text.contains("below the stack pointer"), "{text}");
+}

@@ -1,0 +1,267 @@
+//! Differential cross-check of the certified bounds against the
+//! binary-level [`stacklint`] abstract interpreter: for every corpus
+//! program on both backend targets the sandwich
+//! `measured peak <= binary-level bound <= certified bound` must hold,
+//! compiler-emitted code must draw zero stack-discipline diagnostics,
+//! and every Table 2 recursive case must come back as a *genuine*
+//! call-graph cycle — each consecutive cycle pair is a real call edge in
+//! the emitted assembly. Randomized programs extend the gate past the
+//! corpus, recursive mutants included.
+
+use proptest::prelude::*;
+use stackbound::{asm, benchsuite, clight, compiler, stacklint, Verifier};
+
+const FUEL: u64 = 200_000_000;
+
+/// Every Table 1 + extras benchmark, the whole measured corpus.
+fn corpus() -> Vec<benchsuite::Benchmark> {
+    let mut v = benchsuite::table1_benchmarks();
+    v.extend(benchsuite::extra_benchmarks());
+    v
+}
+
+/// The driver `main` the differential suite wraps a Table 2 case in.
+fn recursive_driver(case: &benchsuite::RecursiveCase) -> String {
+    let n = case.sweep.0.max(4);
+    let args: Vec<String> = (case.args_for)(n).iter().map(|a| a.to_string()).collect();
+    let (ret, use_r) = if case.name == "qsort" {
+        ("", "0")
+    } else {
+        ("u32 r; r = ", "r & 0xff")
+    };
+    format!(
+        "{}\nint main() {{ {ret}{}({}); return {use_r}; }}",
+        case.source,
+        case.name,
+        args.join(", ")
+    )
+}
+
+/// Asserts the differential sandwich for one verified program: zero
+/// diagnostics, a binary-level verdict for every certified function,
+/// `binary <= certified` everywhere, and `measured <= binary` wherever a
+/// measurement exists.
+fn assert_sandwich(what: &str, report: &stackbound::Report, lint: &stacklint::LintReport) {
+    assert!(
+        lint.is_clean(),
+        "{what}: compiler-emitted code drew diagnostics: {:?}",
+        lint.diagnostics
+    );
+    for (name, certified) in report.bounds() {
+        let binary = lint
+            .bound(name)
+            .unwrap_or_else(|| panic!("{what}: no binary-level bound for `{name}`"));
+        assert!(
+            binary <= certified,
+            "{what}: `{name}` binary bound {binary} exceeds certified {certified}"
+        );
+        if let Some(measured) = report.measured(name) {
+            assert!(
+                measured <= binary,
+                "{what}: `{name}` measured peak {measured} exceeds binary bound {binary}"
+            );
+        }
+    }
+}
+
+/// Asserts every consecutive pair in `cycle` (wrapping) is a genuine
+/// call edge in the emitted assembly — a fabricated cycle would name
+/// functions that never call each other.
+fn assert_cycle_is_real(program: &asm::AsmProgram, cycle: &[String], what: &str) {
+    assert!(!cycle.is_empty(), "{what}: empty cycle");
+    for (i, caller) in cycle.iter().enumerate() {
+        let callee = &cycle[(i + 1) % cycle.len()];
+        let f = program
+            .functions
+            .iter()
+            .find(|f| &f.name == caller)
+            .unwrap_or_else(|| panic!("{what}: cycle names unknown function `{caller}`"));
+        let has_edge = f.code.iter().any(|ins| {
+            matches!(ins, asm::Instr::Call(j)
+                if program.functions.get(*j as usize).map(|g| &g.name) == Some(callee))
+        });
+        assert!(
+            has_edge,
+            "{what}: cycle edge {caller} -> {callee} is not a call in the binary"
+        );
+    }
+}
+
+#[test]
+fn corpus_sandwich_holds_on_both_targets() {
+    for b in corpus() {
+        for target in asm::Target::ALL {
+            let report = Verifier::new()
+                .fuel(FUEL)
+                .target(target)
+                .measure_all_functions(true)
+                .verify(b.source)
+                .unwrap_or_else(|e| panic!("{} [{target}]: {e}", b.file));
+            let lint = stacklint::analyze(&report.compiled.asm);
+            assert_eq!(lint.target, target, "{}", b.file);
+            assert_sandwich(&format!("{} [{target}]", b.file), &report, &lint);
+        }
+    }
+}
+
+#[test]
+fn recursive_corpus_reports_genuine_cycles_on_both_targets() {
+    for case in benchsuite::recursive_cases() {
+        let src = recursive_driver(&case);
+        let program = clight::frontend(&src, &[]).unwrap_or_else(|e| panic!("{}: {e}", case.file));
+        for target in asm::Target::ALL {
+            let compiled = compiler::compile_with(&program, compiler::Options::for_target(target))
+                .unwrap_or_else(|e| panic!("{} [{target}]: {e}", case.file));
+            let lint = stacklint::analyze(&compiled.asm);
+            let what = format!("{} [{target}]", case.file);
+            assert!(
+                lint.is_clean(),
+                "{what}: compiler-emitted code drew diagnostics: {:?}",
+                lint.diagnostics
+            );
+            // The headline function is recursive itself or reaches the
+            // recursion (fact_sq calls the recursive fact); either way
+            // its verdict must cite a genuine cycle, never a bound.
+            let cycle = lint
+                .cycle(case.name)
+                .unwrap_or_else(|| panic!("{what}: no recursion reported through `{}`", case.name));
+            assert_cycle_is_real(&compiled.asm, cycle, &what);
+            assert_eq!(
+                lint.bound(case.name),
+                None,
+                "{what}: bounded the recursive headline `{}`",
+                case.name
+            );
+            // The driver reaches the cycle, so it inherits the verdict.
+            assert!(
+                lint.cycle("main").is_some(),
+                "{what}: main reaches the recursion but got no cycle verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn frame_layout_metadata_is_consistent_across_the_corpus() {
+    // The compiler's exported per-function frame layouts must tile the
+    // declared frame exactly — the same invariant stacklint re-derives
+    // from the emitted code (a layout drift would surface as a
+    // FrameMismatch diagnostic in the tests above).
+    for b in corpus() {
+        let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.file));
+        for target in asm::Target::ALL {
+            let compiled = compiler::compile_with(&program, compiler::Options::for_target(target))
+                .unwrap_or_else(|e| panic!("{} [{target}]: {e}", b.file));
+            assert!(
+                compiled.mach.layouts_are_consistent(),
+                "{} [{target}]: frame layout regions do not tile the frame",
+                b.file
+            );
+            for (mf, af) in compiled.mach.functions.iter().zip(&compiled.asm.functions) {
+                assert_eq!(
+                    mf.frame_size, af.frame_size,
+                    "{} [{target}]: `{}` frame size diverges between Mach and ASMsz",
+                    b.file, mf.name
+                );
+                // On the link-register target a return-address slot
+                // exists exactly when the function makes internal calls.
+                if target == asm::Target::Rv {
+                    let calls = af.code.iter().any(|i| matches!(i, asm::Instr::Call(_)));
+                    assert_eq!(
+                        mf.ra_slot.is_some(),
+                        calls,
+                        "{} [{target}]: `{}` ra slot vs. internal calls",
+                        b.file,
+                        mf.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized non-recursive programs satisfy the sandwich on both
+    /// targets, exactly like the corpus.
+    #[test]
+    fn prop_sandwich_on_random_programs(
+        stmts in proptest::collection::vec(
+            prop_oneof![
+                (0u32..3, 0u32..50).prop_map(|(v, k)| format!("x{v} = x{v} * 3 + {k};")),
+                (0u32..3, 0u32..3).prop_map(|(a, b)| {
+                    format!("if (x{a} % 5 < x{b} % 7) {{ x{a} = helper(x{b}); }}")
+                }),
+                (0u32..3, 1u32..5).prop_map(|(v, k)| {
+                    format!("for (i = 0; i < {k}; i++) {{ x{v} = helper(x{v}); }}")
+                }),
+                (0u32..3).prop_map(|v| format!("g[x{v} % 8] = x{v};")),
+            ],
+            1..7,
+        ),
+    ) {
+        let src = format!(
+            "u32 g[8];
+             u32 helper(u32 n) {{ u32 t[2]; t[0] = n; return t[0] % 997 + 5; }}
+             int main() {{ u32 x0; u32 x1; u32 x2; u32 i;
+               x0 = 3; x1 = 5; x2 = 7;
+               {}
+               return (x0 ^ x1 ^ x2) & 0xff; }}",
+            stmts.join("\n")
+        );
+        for target in asm::Target::ALL {
+            let report = Verifier::new()
+                .fuel(FUEL)
+                .target(target)
+                .verify(&src)
+                .unwrap_or_else(|e| panic!("random [{target}]: {e}"));
+            let lint = stacklint::analyze(&report.compiled.asm);
+            assert_sandwich(&format!("random [{target}]"), &report, &lint);
+        }
+    }
+
+    /// The same random programs with `helper` made self-recursive: the
+    /// binary analyzer must flag the recursion with a real cycle instead
+    /// of inventing a bound.
+    #[test]
+    fn prop_recursive_mutants_are_flagged(
+        stmts in proptest::collection::vec(
+            prop_oneof![
+                (0u32..3, 0u32..3).prop_map(|(a, b)| {
+                    format!("if (x{a} % 5 < x{b} % 7) {{ x{a} = helper(x{b}); }}")
+                }),
+                (0u32..3, 1u32..5).prop_map(|(v, k)| {
+                    format!("for (i = 0; i < {k}; i++) {{ x{v} = helper(x{v}); }}")
+                }),
+            ],
+            1..5,
+        ),
+    ) {
+        let src = format!(
+            "u32 g[8];
+             u32 helper(u32 n) {{ u32 t[2];
+               if (n < 2) {{ return n; }}
+               t[0] = helper(n - 1); return t[0] % 997 + 5; }}
+             int main() {{ u32 x0; u32 x1; u32 x2; u32 i;
+               x0 = 3; x1 = 5; x2 = 7;
+               {}
+               return (x0 ^ x1 ^ x2) & 0xff; }}",
+            stmts.join("\n")
+        );
+        let program = clight::frontend(&src, &[]).unwrap();
+        for target in asm::Target::ALL {
+            let compiled =
+                compiler::compile_with(&program, compiler::Options::for_target(target))
+                    .unwrap_or_else(|e| panic!("mutant [{target}]: {e}"));
+            let lint = stacklint::analyze(&compiled.asm);
+            let what = format!("mutant [{target}]");
+            assert!(lint.is_clean(), "{what}: {:?}", lint.diagnostics);
+            let cycle = lint
+                .cycle("helper")
+                .unwrap_or_else(|| panic!("{what}: recursion in `helper` went undetected"));
+            assert_cycle_is_real(&compiled.asm, cycle, &what);
+            assert_eq!(lint.bound("helper"), None, "{what}: bounded a recursive function");
+        }
+    }
+}
