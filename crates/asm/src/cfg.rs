@@ -1,7 +1,7 @@
 //! Basic-block and control-flow-graph accessors over [`AsmFunction`]
 //! code.
 //!
-//! The decoded execution core ([`crate::decode`]) already segments a
+//! The decoded execution core (`crate::decode`) already segments a
 //! function implicitly — label runs become pads, control transfers resolve
 //! through the resume table — but keeps that structure private to the
 //! dispatch loop. Static analyses need the same block boundaries as data:

@@ -27,7 +27,16 @@
 //!   over the whole compiled corpus on both targets and fails if the
 //!   analyzer alone (compilation excluded) takes longer than `ms`
 //!   milliseconds, or if it draws any diagnostic on compiler-emitted
-//!   code (a wall-clock ceiling, like the per-pass budgets).
+//!   code (a wall-clock ceiling, like the per-pass budgets);
+//! * `serve <req/s>` — the gate spawns an in-process `sbound serve`
+//!   daemon, replays the full corpus cold then warm with closed-loop
+//!   clients ([`bench::serveload`]), and fails if the warm replay's
+//!   throughput falls below the floor or any served response diverges
+//!   from its one-shot expectation;
+//! * `serve_warm_p99 <ms>` — a ceiling on the warm replay's
+//!   99th-percentile round-trip latency, measured by the same replay
+//!   (tail latency can regress while aggregate throughput still clears
+//!   its floor — a stalled worker, a lock convoy on the cache).
 //!
 //! ```sh
 //! cargo run -p bench --bin budget_gate                # default budget file
@@ -81,6 +90,8 @@ fn main() -> ExitCode {
         && floors.vcache_rv.is_none()
         && floors.obs_overhead.is_none()
         && floors.stacklint.is_none()
+        && floors.serve.is_none()
+        && floors.serve_warm_p99.is_none()
     {
         eprintln!("budget_gate: `{path}` declares no budgets");
         return ExitCode::FAILURE;
@@ -109,6 +120,15 @@ fn main() -> ExitCode {
     }
     if let Some(ms) = floors.stacklint {
         println!("  {:<12} {ms} ms corpus analysis (ceiling)", "stacklint");
+    }
+    if let Some(floor) = floors.serve {
+        println!("  {:<12} {floor} warm req/s (floor)", "serve");
+    }
+    if let Some(ms) = floors.serve_warm_p99 {
+        println!(
+            "  {:<12} {ms} ms warm p99 latency (ceiling)",
+            "serve_warm_p99"
+        );
     }
     println!();
 
@@ -202,6 +222,14 @@ fn main() -> ExitCode {
         }
     }
 
+    if floors.serve.is_some() || floors.serve_warm_p99.is_some() {
+        if failed {
+            eprintln!("\nserve checks skipped: earlier checks already failed");
+        } else if !serve_meets(floors.serve, floors.serve_warm_p99) {
+            failed = true;
+        }
+    }
+
     if failed {
         eprintln!("\nbudget_gate: FAILED");
         ExitCode::FAILURE
@@ -227,6 +255,10 @@ struct Floors {
     obs_overhead: Option<f64>,
     /// `stacklint <ms>` — binary-analyzer corpus wall-clock ceiling.
     stacklint: Option<u64>,
+    /// `serve <req/s>` — warm-replay throughput floor for the daemon.
+    serve: Option<u64>,
+    /// `serve_warm_p99 <ms>` — warm-replay tail-latency ceiling.
+    serve_warm_p99: Option<f64>,
 }
 
 /// Splits the optional `interp` / `vcache` / `obs_overhead` floor lines
@@ -252,12 +284,26 @@ fn split_floors(text: &str) -> Result<(Floors, String), String> {
             }
             continue;
         }
+        if head == Some("serve_warm_p99") {
+            let value = fields
+                .next()
+                .ok_or("`serve_warm_p99` needs a milliseconds value")?
+                .parse::<f64>()
+                .ok()
+                .filter(|ms| ms.is_finite() && *ms > 0.0)
+                .ok_or("bad `serve_warm_p99` ceiling (need a finite number > 0)")?;
+            if floors.serve_warm_p99.replace(value).is_some() {
+                return Err("duplicate `serve_warm_p99` line".to_owned());
+            }
+            continue;
+        }
         let slot = match head {
             Some("interp") => &mut floors.interp,
             Some("interp_rv") => &mut floors.interp_rv,
             Some("vcache") => &mut floors.vcache,
             Some("vcache_rv") => &mut floors.vcache_rv,
             Some("stacklint") => &mut floors.stacklint,
+            Some("serve") => &mut floors.serve,
             _ => {
                 rest.push_str(line);
                 rest.push('\n');
@@ -394,6 +440,79 @@ fn stacklint_meets(ceiling_ms: u64) -> bool {
     }
 }
 
+/// Closed-loop clients for the serve replay (matches `serve_bench`'s
+/// default, and the acceptance shape: concurrency >= 4).
+const SERVE_CONCURRENCY: usize = 4;
+
+/// Spawns an in-process serve daemon, replays the full corpus cold then
+/// warm ([`bench::serveload::corpus_jobs`], every response checked
+/// against its one-shot expectation), and verifies the warm replay's
+/// throughput floor and/or p99 latency ceiling, printing the verdicts.
+fn serve_meets(floor_rps: Option<u64>, p99_ceiling_ms: Option<f64>) -> bool {
+    use stackbound::serve::{ServeOptions, Server, Session};
+
+    let server = Arc::new(Server::new(
+        Session::new(),
+        ServeOptions {
+            fuel: bench::FUEL,
+            ..ServeOptions::default()
+        },
+    ));
+    let handle = match stackbound::serve::spawn_tcp(server) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("\nserve: FAILED: cannot bind loopback: {e}");
+            return false;
+        }
+    };
+    let addr = handle.addr();
+    let jobs = bench::serveload::corpus_jobs();
+    let cold = bench::serveload::replay(addr, "cold", &jobs, SERVE_CONCURRENCY);
+    let warm = bench::serveload::replay(addr, "warm", &jobs, SERVE_CONCURRENCY);
+    if let Err(e) = handle.shutdown() {
+        eprintln!("\nserve: FAILED: unclean shutdown: {e}");
+        return false;
+    }
+
+    if cold.mismatches + warm.mismatches > 0 {
+        eprintln!(
+            "\nserve: FAILED: {} served responses diverged from one-shot runs",
+            cold.mismatches + warm.mismatches
+        );
+        return false;
+    }
+    let mut ok = true;
+    if let Some(floor) = floor_rps {
+        if warm.rps >= floor as f64 {
+            println!(
+                "\nserve: {:.0} warm req/s >= floor {floor} (cold {:.0} req/s, {} requests)",
+                warm.rps, cold.rps, warm.requests
+            );
+        } else {
+            eprintln!(
+                "\nserve: FAILED: {:.0} warm req/s < floor {floor}",
+                warm.rps
+            );
+            ok = false;
+        }
+    }
+    if let Some(ceiling) = p99_ceiling_ms {
+        if warm.p99_ms <= ceiling {
+            println!(
+                "\nserve_warm_p99: {:.3} ms <= ceiling {ceiling} ms (p50 {:.3} ms)",
+                warm.p99_ms, warm.p50_ms
+            );
+        } else {
+            eprintln!(
+                "\nserve_warm_p99: FAILED: {:.3} ms > ceiling {ceiling} ms",
+                warm.p99_ms
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 /// Compiles the Table 1 suite for the rv target (no budgets: the
 /// wall-clock ceilings are enforced once, on the sz32 pass above).
 fn compile_suite_rv(failed: &mut bool) -> Vec<compiler::Compiled> {
@@ -448,7 +567,7 @@ mod tests {
     fn splits_floors_from_pass_budgets() {
         let (floors, rest) = split_floors(
             "# c\ninterp 123\ninterp_rv 99\nvcache 5\nvcache_rv 4\nobs_overhead 1.5\n\
-             stacklint 2000\nasmgen 5\n",
+             stacklint 2000\nserve 200\nserve_warm_p99 50\nasmgen 5\n",
         )
         .unwrap();
         assert_eq!(floors.interp, Some(123));
@@ -457,6 +576,8 @@ mod tests {
         assert_eq!(floors.vcache_rv, Some(4));
         assert_eq!(floors.obs_overhead, Some(1.5));
         assert_eq!(floors.stacklint, Some(2000));
+        assert_eq!(floors.serve, Some(200));
+        assert_eq!(floors.serve_warm_p99, Some(50.0));
         assert_eq!(rest, "# c\nasmgen 5\n");
     }
 
@@ -469,6 +590,8 @@ mod tests {
         assert_eq!(floors.vcache_rv, None);
         assert_eq!(floors.obs_overhead, None);
         assert_eq!(floors.stacklint, None);
+        assert_eq!(floors.serve, None);
+        assert_eq!(floors.serve_warm_p99, None);
         assert_eq!(rest, "asmgen 5\n");
     }
 
@@ -492,5 +615,12 @@ mod tests {
         assert!(split_floors("stacklint\n").is_err());
         assert!(split_floors("stacklint fast\n").is_err());
         assert!(split_floors("stacklint 1\nstacklint 2\n").is_err());
+        assert!(split_floors("serve\n").is_err());
+        assert!(split_floors("serve fast\n").is_err());
+        assert!(split_floors("serve 1\nserve 2\n").is_err());
+        assert!(split_floors("serve_warm_p99\n").is_err());
+        assert!(split_floors("serve_warm_p99 slow\n").is_err());
+        assert!(split_floors("serve_warm_p99 0\n").is_err());
+        assert!(split_floors("serve_warm_p99 5\nserve_warm_p99 6\n").is_err());
     }
 }

@@ -1,0 +1,228 @@
+//! `serve_bench`: load-generator benchmark of the `sbound serve`
+//! verification daemon.
+//!
+//! Spawns an in-process TCP server with one shared verification +
+//! measurement cache, then replays three workloads with closed-loop
+//! clients ([`bench::serveload`]):
+//!
+//! * `cold_corpus` — the full corpus (Table 1 + extras + Table 2) on both
+//!   backend targets, against empty caches: every request pays the whole
+//!   pipeline;
+//! * `warm_corpus` — the same requests again (three repetitions): every
+//!   stage resolves from the shared cache;
+//! * `edit_storm` — single-function edits of one program (only `main`'s
+//!   constant changes), the daemon's motivating interactive workload.
+//!
+//! Every response is byte-compared against the one-shot `Verifier`
+//! rendering for the same source and target — recursive cases against
+//! the analyzer's rejection message — so the throughput numbers can
+//! never come at the cost of wrong answers. The run fails if any
+//! response mismatches, if the warm median exceeds 10 ms, or if the
+//! warm pass is not at least 10x the cold throughput.
+//!
+//! Writes the machine-readable `BENCH_serve.json` consumed by CI
+//! (`ci/BENCH_serve.json` is the checked-in baseline; `budget_gate`
+//! enforces the `serve` floor and `serve_warm_p99` ceiling declared in
+//! `ci/pass_budgets.txt`).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin serve_bench
+//! cargo run --release -p bench --bin serve_bench -- --concurrency 8 --out my.json
+//! ```
+
+use bench::serveload;
+use stackbound::serve::{ServeOptions, Server, Session};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Warm-pass repetitions of the corpus (more samples for the tails).
+const WARM_REPS: usize = 3;
+
+/// Edit-storm shape: distinct single-function variants and total requests.
+const STORM_VARIANTS: u32 = 8;
+const STORM_REQUESTS: usize = 64;
+
+/// Acceptance thresholds (the checked-in floors in `ci/pass_budgets.txt`
+/// gate CI; these are the bench's own, stricter sanity bars).
+const WARM_P50_CEILING_MS: f64 = 10.0;
+const COLD_VS_WARM_FLOOR: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let (out_path, concurrency, workers) = cli_args();
+    println!(
+        "serve_bench: corpus + edit-storm replay, {concurrency} closed-loop clients, \
+         {workers} workers\n"
+    );
+
+    let server = Arc::new(Server::new(
+        Session::new(),
+        ServeOptions {
+            workers,
+            fuel: bench::FUEL,
+            ..ServeOptions::default()
+        },
+    ));
+    let handle = stackbound::serve::spawn_tcp(server).expect("bind loopback");
+    let addr = handle.addr();
+
+    println!("preparing one-shot expectations (uncached)...");
+    let corpus = serveload::corpus_jobs();
+    let storm = serveload::edit_storm_jobs(STORM_VARIANTS, STORM_REQUESTS);
+    let mut warm_jobs = Vec::new();
+    for _ in 0..WARM_REPS {
+        warm_jobs.extend(corpus.iter().map(|j| serveload::LoadJob {
+            line: j.line.clone(),
+            expect_ok: j.expect_ok,
+            expect: j.expect.clone(),
+        }));
+    }
+
+    let cold = serveload::replay(addr, "cold_corpus", &corpus, concurrency);
+    let warm = serveload::replay(addr, "warm_corpus", &warm_jobs, concurrency);
+    let storm_report = serveload::replay(addr, "edit_storm", &storm, concurrency);
+    let metrics = serveload::fetch_metrics(addr);
+    handle.shutdown().expect("clean shutdown");
+
+    let workloads = [&cold, &warm, &storm_report];
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>10} {:>10} {:>11}",
+        "workload", "requests", "req/s", "p50 ms", "p99 ms", "mismatches"
+    );
+    for w in workloads {
+        println!(
+            "{:<12} {:>9} {:>12.1} {:>10.3} {:>10.3} {:>11}",
+            w.label, w.requests, w.rps, w.p50_ms, w.p99_ms, w.mismatches
+        );
+    }
+    let speedup = warm.rps / cold.rps.max(f64::EPSILON);
+    println!("\ncold → warm throughput: {speedup:.1}x");
+
+    let mut failed = false;
+    if workloads.iter().any(|w| w.mismatches > 0) {
+        eprintln!("serve_bench: FAILED: served responses diverged from one-shot runs");
+        failed = true;
+    }
+    if warm.p50_ms > WARM_P50_CEILING_MS {
+        eprintln!(
+            "serve_bench: FAILED: warm p50 {:.3} ms > {WARM_P50_CEILING_MS} ms",
+            warm.p50_ms
+        );
+        failed = true;
+    }
+    if speedup < COLD_VS_WARM_FLOOR {
+        eprintln!("serve_bench: FAILED: cold→warm speedup {speedup:.1}x < {COLD_VS_WARM_FLOOR}x");
+        failed = true;
+    }
+
+    let json = render_json(&workloads, speedup, &metrics);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("serve_bench: cannot write `{out_path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if failed {
+        eprintln!("\nserve_bench: FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("\nserve_bench: all responses identical to one-shot runs");
+    ExitCode::SUCCESS
+}
+
+fn render_json(
+    workloads: &[&serveload::LoadReport],
+    speedup: f64,
+    metrics: &obs::json::Value,
+) -> String {
+    let mut out = String::from("{\n  \"suite\": \"serve\",\n");
+    let _ = writeln!(
+        out,
+        "  \"concurrency\": {},\n  \"workers\": \"available_parallelism\",",
+        workloads[0].concurrency
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"requests\": {}, \"concurrency\": {}, \
+             \"elapsed_ms\": {:.1}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"mismatches\": {}}}",
+            w.label,
+            w.requests,
+            w.concurrency,
+            w.elapsed_s * 1e3,
+            w.rps,
+            w.p50_ms,
+            w.p99_ms,
+            w.mismatches
+        );
+        out.push_str(if i + 1 < workloads.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"cold_vs_warm\": {speedup:.1},");
+    let hits = |stage: &str| {
+        let pair = metrics
+            .get("cache")
+            .and_then(|c| c.get(stage))
+            .and_then(|v| v.as_array());
+        match pair {
+            Some([h, m]) => (
+                h.as_f64().unwrap_or(0.0) as u64,
+                m.as_f64().unwrap_or(0.0) as u64,
+            ),
+            _ => (0, 0),
+        }
+    };
+    out.push_str("  \"cache\": [\n");
+    let stages = ["analyze", "check", "compile", "bound", "measure"];
+    for (i, stage) in stages.iter().enumerate() {
+        let (h, m) = hits(stage);
+        let _ = write!(
+            out,
+            "    {{\"stage\": \"{stage}\", \"hits\": {h}, \"misses\": {m}}}"
+        );
+        out.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"identical\": {}",
+        workloads.iter().all(|w| w.mismatches == 0)
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn cli_args() -> (String, usize, usize) {
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut concurrency = 4usize;
+    let mut workers = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out = p;
+                }
+            }
+            "--concurrency" => {
+                if let Some(n) = args.next().and_then(|n| n.parse().ok()) {
+                    concurrency = n;
+                }
+            }
+            "--workers" => {
+                if let Some(n) = args.next().and_then(|n| n.parse().ok()) {
+                    workers = n;
+                }
+            }
+            other => {
+                eprintln!(
+                    "serve_bench: unknown option `{other}` \
+                     (expected --out PATH, --concurrency N, --workers N)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (out, concurrency, workers)
+}

@@ -13,12 +13,15 @@
 //! | `ablation_opt` | optimizations on/off |
 //! | `ablation_metric` | `M = SF + 4` vs. the naive `M = SF` |
 //! | `interp_bench` | decoded vs. reference interpreter throughput |
+//! | `serve_bench` | `sbound serve` daemon load test ([`serveload`]) |
 //!
 //! Run them with `cargo run -p bench --bin <name>`. The suite-level
 //! binaries accept `--parallel-measure` to fan preparation and machine
 //! executions across threads with byte-identical output.
 
 #![warn(missing_docs)]
+
+pub mod serveload;
 
 use stackbound::{analyzer, asm, clight, compiler, stacklint, vcache};
 use std::sync::Arc;
@@ -233,33 +236,12 @@ pub fn verify_recursive_cached_on(
     cases: &[stackbound::benchsuite::RecursiveCase],
     cache: &Arc<vcache::VCache>,
 ) -> (Vec<String>, f64) {
-    let config = compiler::PipelineConfig::with_options(compiler::Options::for_target(target));
     let started = Instant::now();
     let reports = cases
         .iter()
         .map(|case| {
-            let program = clight::frontend(case.source, &[])
-                .unwrap_or_else(|e| panic!("{}: front end: {e}", case.file));
-            let keys = vcache::keys(&program, &config.options);
-            // One digest covers the whole proof bundle: each verdict
-            // depends on every spec in the case's context, so editing any
-            // proof must invalidate the case. The `Debug` rendering of the
-            // `Vec` is deterministic (ordered fields, ordered elements),
-            // unlike hashing the `Context`'s `HashMap` directly.
-            let proofs = vcache::digest_str("table2-proofs-v1", &format!("{:?}", case.proofs));
-            let verdict = vcache::combine("table2-check-v1", &[keys[case.name], proofs]);
-            vcache::check_cached(cache, verdict, || case.check(&program))
-                .unwrap_or_else(|e| panic!("{}: derivation: {e}", case.file));
-            let compiled = vcache::compile(cache, &program, &config, &keys)
-                .unwrap_or_else(|e| panic!("{}: compiler: {e}", case.file));
-            format!(
-                "{}: {} proofs checked, bound {}, M({}) = {}",
-                case.file,
-                case.proofs.len(),
-                case.bound_display,
-                case.name,
-                compiled.metric.call_cost(case.name),
-            )
+            stackbound::table2::verify_case_cached(case, target, cache)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.file))
         })
         .collect();
     (reports, started.elapsed().as_secs_f64())

@@ -1,0 +1,273 @@
+//! Load-generator harness for the `sbound serve` verification daemon.
+//!
+//! Drives an in-process [`stackbound::serve`] TCP server with closed-loop
+//! clients: each client thread owns one connection and sends the next job
+//! as soon as its previous response arrives, so *concurrency = clients*
+//! and a request's wall clock is a true round-trip latency (queue wait
+//! included). The harness records per-request latencies, aggregates them
+//! into req/s plus p50/p99, and optionally checks every response against
+//! the expected one-shot rendering — a load test that silently returned
+//! wrong bounds would be worse than a slow one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One request of a workload: the protocol line to send and, optionally,
+/// the exact `report` (on `expect_ok`) or `error` (otherwise) string the
+/// response must carry.
+pub struct LoadJob {
+    /// The serialized request line (no trailing newline).
+    pub line: String,
+    /// Whether the response must be `ok`.
+    pub expect_ok: bool,
+    /// Expected `report` / `error` payload, byte-compared when present.
+    pub expect: Option<String>,
+}
+
+/// Aggregated result of one workload replay.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Workload label (`cold_corpus`, `warm_corpus`, `edit_storm`, …).
+    pub label: String,
+    /// Requests completed.
+    pub requests: usize,
+    /// Closed-loop client count.
+    pub concurrency: usize,
+    /// Wall-clock seconds for the whole replay.
+    pub elapsed_s: f64,
+    /// Aggregate requests per second.
+    pub rps: f64,
+    /// Median round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// Responses that failed their expectation.
+    pub mismatches: usize,
+}
+
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (pct / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Replays `jobs` against the server at `addr` with `concurrency`
+/// closed-loop clients, verifying responses against each job's
+/// expectation. Jobs are claimed from a shared cursor, so the schedule
+/// interleaves across clients like real traffic would.
+pub fn replay(
+    addr: std::net::SocketAddr,
+    label: &str,
+    jobs: &[LoadJob],
+    concurrency: usize,
+) -> LoadReport {
+    let cursor = AtomicUsize::new(0);
+    let clients = concurrency.max(1).min(jobs.len().max(1));
+    let started = Instant::now();
+    let per_client: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let _ = stream.set_nodelay(true);
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut latencies = Vec::new();
+                    let mut mismatches = 0usize;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let sent = Instant::now();
+                        writeln!(writer, "{}", job.line).expect("send");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("recv");
+                        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                        if !response_matches(&line, job) {
+                            mismatches += 1;
+                        }
+                    }
+                    (latencies, mismatches)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut mismatches = 0;
+    for (l, m) in per_client {
+        latencies.extend(l);
+        mismatches += m;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LoadReport {
+        label: label.to_owned(),
+        requests: latencies.len(),
+        concurrency: clients,
+        elapsed_s,
+        rps: latencies.len() as f64 / elapsed_s.max(f64::EPSILON),
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        mismatches,
+    }
+}
+
+fn response_matches(line: &str, job: &LoadJob) -> bool {
+    let Ok(v) = obs::json::parse(line) else {
+        return false;
+    };
+    let ok = v.get("ok") == Some(&obs::json::Value::Bool(true));
+    if ok != job.expect_ok {
+        return false;
+    }
+    match &job.expect {
+        None => true,
+        Some(want) => {
+            let field = if job.expect_ok { "report" } else { "error" };
+            v.get(field).and_then(|f| f.as_str()) == Some(want.as_str())
+        }
+    }
+}
+
+/// Asks the server for its `metrics` snapshot and returns the parsed
+/// response (a fresh connection, so it can run mid-load or after).
+pub fn fetch_metrics(addr: std::net::SocketAddr) -> obs::json::Value {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(writer, "{{\"op\":\"metrics\",\"id\":0}}").expect("send");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("recv");
+    obs::json::parse(&line).expect("well-formed metrics")
+}
+
+/// The full-corpus workload: every Table 1 benchmark and extra as a
+/// `verify` request, and every Table 2 recursive case twice — as a
+/// `verify` request (expecting the analyzer's recursion rejection) and
+/// as a `table2` request re-checking its hand-written derivations (the
+/// most expensive, most cache-sensitive work in the corpus) — on both
+/// backend targets, each with its expected one-shot outcome.
+pub fn corpus_jobs() -> Vec<LoadJob> {
+    use stackbound::serve::protocol::escape;
+    let verifier = |target: stackbound::asm::Target| {
+        stackbound::Verifier::new().fuel(crate::FUEL).target(target)
+    };
+    // The expectation runs are one-shot anchors; sharing a cache between
+    // them only speeds preparation up (the rendering is deterministic)
+    // and never leaks into the server under test, which has its own.
+    let expect_cache = stackbound::vcache::VCache::new();
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for target in [stackbound::asm::Target::Sz32, stackbound::asm::Target::Rv] {
+        for b in stackbound::benchsuite::table1_benchmarks()
+            .into_iter()
+            .chain(stackbound::benchsuite::extra_benchmarks())
+        {
+            id += 1;
+            let want = verifier(target)
+                .verify(b.source)
+                .unwrap_or_else(|e| panic!("{}: one-shot: {e}", b.file))
+                .to_string();
+            jobs.push(LoadJob {
+                line: format!(
+                    "{{\"op\":\"verify\",\"id\":{id},\"source\":{},\"target\":\"{}\"}}",
+                    escape(b.source),
+                    target.name()
+                ),
+                expect_ok: true,
+                expect: Some(want),
+            });
+        }
+        for case in stackbound::benchsuite::recursive_cases() {
+            id += 1;
+            let want = verifier(target)
+                .verify(case.source)
+                .expect_err("recursive programs are rejected")
+                .to_string();
+            jobs.push(LoadJob {
+                line: format!(
+                    "{{\"op\":\"verify\",\"id\":{id},\"source\":{},\"target\":\"{}\"}}",
+                    escape(case.source),
+                    target.name()
+                ),
+                expect_ok: false,
+                expect: Some(want),
+            });
+            id += 1;
+            let want = stackbound::table2::verify_case_cached(&case, target, &expect_cache)
+                .unwrap_or_else(|e| panic!("{}: one-shot table2: {e}", case.file));
+            jobs.push(LoadJob {
+                line: format!(
+                    "{{\"op\":\"table2\",\"id\":{id},\"case\":{},\"target\":\"{}\"}}",
+                    escape(case.name),
+                    target.name()
+                ),
+                expect_ok: true,
+                expect: Some(want),
+            });
+        }
+    }
+    jobs
+}
+
+/// An edit-storm workload: `requests` single-function edits of one
+/// program — only `main`'s constant changes between variants, so the
+/// helper functions keep their cache keys and each first-seen variant
+/// recomputes `main` alone. Expectations are precomputed one-shot
+/// reports per variant.
+pub fn edit_storm_jobs(variants: u32, requests: usize) -> Vec<LoadJob> {
+    use stackbound::serve::protocol::escape;
+    let source = |k: u32| {
+        format!(
+            "u32 h1(u32 x) {{ u32 r; r = x + 1; return r; }}\n\
+             u32 h2(u32 x) {{ u32 t; u32 r; t = h1(x); r = t * 2; return r; }}\n\
+             u32 h3(u32 x) {{ u32 t; u32 r; t = h2(x); r = t + 3; return r; }}\n\
+             u32 h4(u32 x) {{ u32 t; u32 r; t = h3(x); r = t ^ 5; return r; }}\n\
+             int main() {{ u32 r; r = h4({k}); return r % 256; }}\n"
+        )
+    };
+    let expected: Vec<String> = (0..variants)
+        .map(|k| {
+            stackbound::Verifier::new()
+                .fuel(crate::FUEL)
+                .verify(&source(k))
+                .expect("storm variant verifies")
+                .to_string()
+        })
+        .collect();
+    (0..requests)
+        .map(|i| {
+            let k = (i as u32) % variants;
+            LoadJob {
+                line: format!(
+                    "{{\"op\":\"verify\",\"id\":{},\"source\":{}}}",
+                    i + 1,
+                    escape(&source(k))
+                ),
+                expect_ok: true,
+                expect: Some(expected[k as usize].clone()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentiles_pick_the_right_ranks() {
+        let ms: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&ms, 50.0), 51.0);
+        assert_eq!(percentile(&ms, 99.0), 99.0);
+        assert_eq!(percentile(&ms, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+}

@@ -61,8 +61,8 @@ mod summary;
 
 pub use hotspot::Hotspot;
 pub use record::{
-    counter, counter_dyn, install, is_enabled, observe, register_thread, report, span, span_dyn,
-    thread_id, uninstall, Histogram, Report, Session, Span, SpanNode,
+    counter, counter_dyn, install, is_enabled, observe, register_thread, report, snapshot, span,
+    span_dyn, thread_id, uninstall, Histogram, Report, Session, Span, SpanNode,
 };
 
 #[cfg(test)]

@@ -426,8 +426,27 @@ impl Report {
     }
 }
 
+/// Takes a *live* snapshot of the running recorder without stopping,
+/// draining, or otherwise perturbing it: recording continues, every
+/// already-closed span keeps its timing, and nothing is reset. This is
+/// the API behind `sbound serve`'s `metrics` protocol verb — a daemon
+/// can be asked for its metrics arbitrarily often.
+///
+/// Successive snapshots are *monotone*: every counter value, histogram
+/// count, and the number of recorded spans can only grow between two
+/// snapshots (pinned by a regression test). Spans still open at snapshot
+/// time appear with a duration of 0.
+///
+/// Returns `None` while nothing has been recorded (or no recorder was
+/// ever installed). [`report`] is the same snapshot taken at
+/// end-of-session; both are non-destructive.
+pub fn snapshot() -> Option<Report> {
+    report()
+}
+
 /// Snapshots the recorded data, or `None` if nothing was ever recorded.
-/// Open spans appear with a duration of 0.
+/// Open spans appear with a duration of 0. Non-destructive — see
+/// [`snapshot`] for the live-recorder contract.
 pub fn report() -> Option<Report> {
     let st = state();
     if st.spans.is_empty() && st.counters.is_empty() && st.histograms.is_empty() {

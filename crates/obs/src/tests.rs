@@ -431,3 +431,68 @@ fn histogram_percentiles_follow_log2_buckets() {
     zeros.record(0);
     assert_eq!(zeros.percentile(99.0), 0);
 }
+
+#[test]
+fn live_snapshots_are_non_destructive_and_monotone() {
+    let _g = lock();
+    let _session = crate::install();
+
+    fn span_count(node: &crate::SpanNode) -> usize {
+        1 + node.children.iter().map(span_count).sum::<usize>()
+    }
+    fn totals(r: &crate::Report) -> (usize, u64, u64) {
+        (
+            r.roots.iter().map(span_count).sum(),
+            r.counters.values().sum(),
+            r.histograms.values().map(|h| h.count).sum(),
+        )
+    }
+
+    let _outer = crate::span("serve/session"); // stays open across snapshots
+    {
+        let _s = crate::span("serve/request");
+        crate::counter("serve/requests", 2);
+        crate::observe("serve/latency_us", 100);
+    }
+    let first = crate::snapshot().expect("recorded data");
+
+    // Taking a snapshot drains nothing: the recorder is still enabled and
+    // keeps accumulating on top of what the first snapshot saw.
+    assert!(crate::is_enabled());
+    {
+        let _s = crate::span("serve/request");
+        crate::counter("serve/requests", 1);
+        crate::observe("serve/latency_us", 70);
+    }
+    let second = crate::snapshot().expect("recorded data");
+
+    let (spans1, counters1, obs1) = totals(&first);
+    let (spans2, counters2, obs2) = totals(&second);
+    assert!(
+        spans2 > spans1,
+        "span count must grow: {spans1} -> {spans2}"
+    );
+    assert_eq!(counters1, 2);
+    assert_eq!(counters2, 3);
+    assert_eq!(obs1, 1);
+    assert_eq!(obs2, 2);
+
+    // Monotonicity key by key: every counter present in the first
+    // snapshot is present in the second with a value at least as large.
+    for (name, &v1) in &first.counters {
+        let v2 = second.counters.get(name).copied().unwrap_or(0);
+        assert!(v2 >= v1, "counter {name} regressed: {v1} -> {v2}");
+    }
+    for (name, h1) in &first.histograms {
+        let c2 = second.histograms.get(name).map_or(0, |h| h.count);
+        assert!(c2 >= h1.count, "histogram {name} regressed");
+    }
+
+    // The still-open enclosing span is visible (duration 0) in both.
+    let open = |r: &crate::Report| {
+        r.roots
+            .iter()
+            .any(|n| n.name == "serve/session" && n.duration_ns == 0)
+    };
+    assert!(open(&first) && open(&second));
+}

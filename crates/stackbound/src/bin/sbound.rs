@@ -7,6 +7,21 @@
 //! ```text
 //! USAGE:
 //!     sbound [OPTIONS] <file.c>
+//!     sbound serve [--listen ADDR] [--uds PATH] [--stdio] [--workers N]
+//!                  [--queue-cap N] [--timeout-ms MS] [--fuel N] [--obs]
+//!                  [--cache-dir DIR] [--cache-cap N]
+//!     sbound cache-key [--target T]
+//!
+//! SUBCOMMANDS:
+//!     serve             run the cache-resident verification daemon: one
+//!                       shared verification + measurement cache, requests
+//!                       over line-delimited JSON (TCP, Unix socket, or
+//!                       stdio); verbs: verify, table2 (re-check a built-in
+//!                       Table 2 case's derivations), metrics, ping,
+//!                       shutdown — see DESIGN.md "Verification server"
+//!     cache-key         print the compiler-configuration digest that
+//!                       scopes a shared `--cache-dir` (CI keys restored
+//!                       caches by toolchain + this digest)
 //!
 //! OPTIONS:
 //!     -D <NAME=VALUE>   define a compile-time parameter (repeatable)
@@ -24,6 +39,8 @@
 //!                       --measure-all; results are byte-identical)
 //!     --cache-dir <D>   load/save a content-addressed verification cache
 //!                       (function-granular; incremental re-verification)
+//!     --cache-cap <N>   cap the persisted cache at N entries (least
+//!                       recently used keys are evicted from the file)
 //!     --lint            re-derive stack bounds from the emitted binary
 //!                       with the stacklint abstract interpreter and
 //!                       cross-check them against the certified bounds
@@ -53,6 +70,7 @@ struct Options {
     measure_all: bool,
     parallel_measure: bool,
     cache_dir: Option<String>,
+    cache_cap: Option<usize>,
     lint: bool,
     emit_asm: bool,
     metric: bool,
@@ -68,14 +86,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sbound [-D NAME=VALUE]... [--target sz32|rv] [--run] [--no-measure] [--check-refinement] \
          [--parallel] [--measure-all] [--parallel-measure] \
-         [--cache-dir DIR] [--lint] [--emit-asm] [--metric] [--symbolic] \
+         [--cache-dir DIR] [--cache-cap N] [--lint] [--emit-asm] [--metric] [--symbolic] \
          [--metrics] [--trace-json FILE] [--trace-chrome FILE] \
-         [--trace-folded FILE] [--profile-stack] <file.c>"
+         [--trace-folded FILE] [--profile-stack] <file.c>\n       \
+         sbound serve [--listen ADDR] [--uds PATH] [--stdio] [--workers N] [--queue-cap N] \
+         [--timeout-ms MS] [--fuel N] [--obs] [--cache-dir DIR] [--cache-cap N]\n       \
+         sbound cache-key [--target sz32|rv]"
     );
     ExitCode::from(2)
 }
 
-fn parse_args() -> Result<Options, ExitCode> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, ExitCode> {
     let mut opts = Options {
         file: None,
         params: Vec::new(),
@@ -87,6 +108,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         measure_all: false,
         parallel_measure: false,
         cache_dir: None,
+        cache_cap: None,
         lint: false,
         emit_asm: false,
         metric: false,
@@ -97,7 +119,6 @@ fn parse_args() -> Result<Options, ExitCode> {
         trace_folded: None,
         profile_stack: false,
     };
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--run" => opts.run = true,
@@ -151,6 +172,12 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
                 opts.cache_dir = Some(dir);
             }
+            "--cache-cap" => {
+                let Some(cap) = args.next().and_then(|c| c.parse().ok()) else {
+                    return Err(usage());
+                };
+                opts.cache_cap = Some(cap);
+            }
             "-D" => {
                 let Some(def) = args.next() else {
                     return Err(usage());
@@ -181,7 +208,13 @@ fn parse_args() -> Result<Options, ExitCode> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let mut args = std::env::args().skip(1).peekable();
+    match args.peek().map(String::as_str) {
+        Some("serve") => return serve_main(args.skip(1)),
+        Some("cache-key") => return cache_key_main(args.skip(1)),
+        _ => {}
+    }
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(code) => return code,
     };
@@ -211,6 +244,7 @@ fn main() -> ExitCode {
     // through shared content-addressed caches, warmed from disk.
     let vcache = opts.cache_dir.as_ref().map(|dir| {
         let cache = std::sync::Arc::new(stackbound::vcache::VCache::new());
+        cache.set_disk_cap(opts.cache_cap);
         if let Err(e) = cache.load_dir(std::path::Path::new(dir)) {
             eprintln!("sbound: cannot load cache from `{dir}`: {e}");
         }
@@ -404,6 +438,140 @@ fn main() -> ExitCode {
     }
     if lint_failed {
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `sbound cache-key`: prints the digest that scopes shared cache
+/// storage — two machines may share a `--cache-dir` exactly when their
+/// toolchain fingerprint and this digest agree.
+fn cache_key_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut target = stackbound::asm::Target::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--target" => {
+                let Some(t) = args.next() else {
+                    return usage();
+                };
+                match t.parse() {
+                    Ok(t) => target = t,
+                    Err(e) => {
+                        eprintln!("sbound: {e}");
+                        return usage();
+                    }
+                }
+            }
+            _ => {
+                eprintln!("sbound: cache-key: unknown option `{arg}`");
+                return usage();
+            }
+        }
+    }
+    let options = stackbound::compiler::Options::for_target(target);
+    println!("{}", stackbound::vcache::config_digest(&options));
+    ExitCode::SUCCESS
+}
+
+/// `sbound serve`: the cache-resident verification daemon.
+fn serve_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    use stackbound::serve::{ServeOptions, Server, Session};
+
+    let mut listen: Option<String> = None;
+    let mut uds: Option<String> = None;
+    let mut stdio = false;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut obs_on = false;
+    let mut opts = ServeOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--obs" => obs_on = true,
+            "--listen" | "--uds" | "--cache-dir" => {
+                let Some(value) = args.next() else {
+                    return usage();
+                };
+                match arg.as_str() {
+                    "--listen" => listen = Some(value),
+                    "--uds" => uds = Some(value),
+                    _ => cache_dir = Some(value),
+                }
+            }
+            "--workers" | "--queue-cap" | "--timeout-ms" | "--fuel" | "--cache-cap" => {
+                let Some(n) = args.next().and_then(|n| n.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match arg.as_str() {
+                    "--workers" => opts.workers = n as usize,
+                    "--queue-cap" => opts.queue_cap = n as usize,
+                    "--timeout-ms" => opts.timeout = std::time::Duration::from_millis(n),
+                    "--fuel" => opts.fuel = n,
+                    _ => cache_cap = Some(n as usize),
+                }
+            }
+            _ => {
+                eprintln!("sbound: serve: unknown option `{arg}`");
+                return usage();
+            }
+        }
+    }
+    if stdio as usize + listen.is_some() as usize + uds.is_some() as usize > 1 {
+        eprintln!("sbound: serve: --listen, --uds, and --stdio are mutually exclusive");
+        return usage();
+    }
+
+    // A long-lived recorder grows without bound, so obs is opt-in; the
+    // `metrics` verb reports `"obs":null` without it.
+    let _session = obs_on.then(obs::install);
+
+    let mut session = Session::new();
+    if let Some(dir) = &cache_dir {
+        let cache = std::sync::Arc::new(stackbound::vcache::VCache::new());
+        cache.set_disk_cap(cache_cap);
+        if let Err(e) = cache.load_dir(std::path::Path::new(dir)) {
+            eprintln!("sbound: cannot load cache from `{dir}`: {e}");
+        }
+        session = session.vcache(cache);
+    }
+    let server = Server::new(session, opts);
+
+    // Protocol answers own stdout under --stdio, so status goes to stderr.
+    let result = if stdio {
+        server.run_stream(std::io::stdin().lock(), std::io::stdout());
+        Ok(())
+    } else if let Some(path) = uds {
+        let _ = std::fs::remove_file(&path); // stale socket from a dead server
+        match std::os::unix::net::UnixListener::bind(&path) {
+            Ok(listener) => {
+                eprintln!("sbound: serving on {path}");
+                let r = server.run_uds(listener);
+                let _ = std::fs::remove_file(&path);
+                r
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        let addr = listen.as_deref().unwrap_or("127.0.0.1:7777");
+        match std::net::TcpListener::bind(addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(a) => eprintln!("sbound: serving on {a}"),
+                    Err(_) => eprintln!("sbound: serving on {addr}"),
+                }
+                server.run_tcp(listener)
+            }
+            Err(e) => Err(e),
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("sbound: serve: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(dir) = &cache_dir {
+        if let Err(e) = server.session().cache().save_dir(std::path::Path::new(dir)) {
+            eprintln!("sbound: cannot save cache to `{dir}`: {e}");
+        }
     }
     ExitCode::SUCCESS
 }

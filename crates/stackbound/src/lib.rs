@@ -54,6 +54,9 @@ pub use stacklint;
 pub use trace;
 pub use vcache;
 
+pub mod serve;
+pub mod table2;
+
 use std::collections::BTreeMap;
 use std::fmt;
 

@@ -1,0 +1,229 @@
+//! The bounded job queue behind the verification daemon's worker pool.
+//!
+//! Connection readers push verification jobs in, worker threads pop them
+//! out. The queue enforces **back-pressure**: [`JobQueue::submit`] blocks
+//! while the queue is at capacity, so a client that pipelines faster than
+//! the workers verify is throttled at its socket (TCP flow control does
+//! the rest) instead of ballooning server memory. A **drain** turns the
+//! queue off gracefully: no new submissions are accepted, every queued
+//! and in-flight job still completes, and the drainer is woken only when
+//! the last response has been handed back.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What [`JobQueue::submit`] did with the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// The job was enqueued (possibly after blocking on back-pressure).
+    Queued,
+    /// The queue is draining; the job was rejected without side effects.
+    Draining,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    draining: bool,
+    in_flight: usize,
+}
+
+/// A blocking, bounded, drainable MPMC queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    idle: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue holding at most `cap` pending jobs (minimum 1).
+    pub fn new(cap: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                draining: false,
+                in_flight: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            idle: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity
+    /// (back-pressure). Returns the job untouched when the queue is
+    /// draining, so the caller can reply with an overload error.
+    pub fn submit(&self, job: T) -> Result<Submit, T> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.jobs.len() >= self.cap && !inner.draining {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.draining {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(Submit::Queued)
+    }
+
+    /// Pops the next job in FIFO order, blocking while the queue is
+    /// empty. Returns `None` once the queue is draining *and* empty — the
+    /// worker's signal to exit. A returned job counts as in-flight until
+    /// the worker calls [`JobQueue::done`].
+    pub fn next(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                inner.in_flight += 1;
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Marks one in-flight job as finished (response written).
+    pub fn done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.in_flight -= 1;
+        if inner.in_flight == 0 && inner.jobs.is_empty() {
+            drop(inner);
+            self.idle.notify_all();
+        }
+    }
+
+    /// Switches the queue into draining mode — subsequent [`submit`]s
+    /// are rejected, blocked submitters wake with a rejection — and
+    /// blocks until every queued and in-flight job has completed.
+    /// Idempotent: concurrent drainers all wake once the queue is idle.
+    ///
+    /// [`submit`]: JobQueue::submit
+    pub fn drain(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.draining = true;
+        // Wake blocked submitters (to reject) and idle workers (so they
+        // observe draining+empty and exit after the backlog is gone).
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        while !(inner.jobs.is_empty() && inner.in_flight == 0) {
+            inner = self.idle.wait(inner).unwrap();
+        }
+    }
+
+    /// Number of jobs waiting (excludes in-flight jobs).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    /// Number of jobs popped but not yet [`done`](JobQueue::done).
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().unwrap().in_flight
+    }
+
+    /// Whether [`drain`](JobQueue::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().unwrap().draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{JobQueue, Submit};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = JobQueue::new(8);
+        assert_eq!(q.submit(1), Ok(Submit::Queued));
+        assert_eq!(q.submit(2), Ok(Submit::Queued));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.in_flight(), 1);
+        q.done();
+        assert_eq!(q.next(), Some(2));
+        q.done();
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn submit_blocks_at_capacity_until_a_worker_pops() {
+        let q = Arc::new(JobQueue::new(1));
+        q.submit(1u32).unwrap();
+        let submitted = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let (q, submitted) = (q.clone(), submitted.clone());
+            std::thread::spawn(move || {
+                q.submit(2).unwrap(); // must block: queue is full
+                submitted.store(1, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            submitted.load(Ordering::SeqCst),
+            0,
+            "submit returned before capacity freed"
+        );
+        assert_eq!(q.next(), Some(1));
+        q.done();
+        handle.join().unwrap();
+        assert_eq!(submitted.load(Ordering::SeqCst), 1);
+        assert_eq!(q.next(), Some(2));
+        q.done();
+    }
+
+    #[test]
+    fn drain_rejects_new_jobs_and_waits_for_in_flight() {
+        let q = Arc::new(JobQueue::new(4));
+        q.submit(1u32).unwrap();
+        let worked = Arc::new(AtomicUsize::new(0));
+        let worker = {
+            let (q, worked) = (q.clone(), worked.clone());
+            std::thread::spawn(move || {
+                while let Some(_job) = q.next() {
+                    std::thread::sleep(Duration::from_millis(30));
+                    worked.fetch_add(1, Ordering::SeqCst);
+                    q.done();
+                }
+            })
+        };
+        q.drain(); // must block until the backlog is worked off
+        assert_eq!(worked.load(Ordering::SeqCst), 1);
+        assert!(q.is_draining());
+        assert_eq!(q.submit(2), Err(2), "draining queue accepted a job");
+        worker.join().unwrap(); // worker exits on draining + empty
+    }
+
+    #[test]
+    fn blocked_submitter_is_rejected_by_drain() {
+        let q = Arc::new(JobQueue::new(1));
+        q.submit(1u32).unwrap();
+        let submitter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.submit(2)) // blocks: queue is full
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        let drainer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.drain())
+        };
+        // Only pop the backlog *after* draining is visible, so the freed
+        // slot can never be won by the blocked submitter.
+        while !q.is_draining() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(submitter.join().unwrap(), Err(2));
+        assert_eq!(q.next(), Some(1));
+        q.done();
+        drainer.join().unwrap();
+    }
+}

@@ -341,7 +341,13 @@ fn env_digest(program: &Program) -> Key {
 /// target participates because every backend artifact — frame layouts,
 /// `GetParam` displacements, the stack metric — depends on it; omitting
 /// it would let an `sz32` verdict answer an `rv` query (cache poisoning).
-fn config_digest(options: &compiler::Options) -> Key {
+///
+/// Public so deployment tooling can key *shared cache storage* the same
+/// way the in-process cache keys entries: `sbound cache-key` prints this
+/// digest and CI scopes its restored `--cache-dir` under it (plus the
+/// toolchain fingerprint), so two machines share warm verdicts exactly
+/// when their compiler configuration agrees.
+pub fn config_digest(options: &compiler::Options) -> Key {
     let mut e = Enc::new("compiler-options-v1");
     e.u8(options.constprop as u8);
     e.u8(options.dce as u8);

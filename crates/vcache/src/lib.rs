@@ -47,7 +47,7 @@
 
 pub mod key;
 
-pub use key::{combine, digest_str, keys, Key};
+pub use key::{combine, config_digest, digest_str, keys, Key};
 
 use analyzer::{Analysis, AnalyzerError};
 use clight::Program;
@@ -142,6 +142,15 @@ pub struct VCache {
     compile: Mutex<HashMap<Key, Arc<FnArtifacts>>>,
     bound: Mutex<HashMap<Key, Option<f64>>>,
     stats: [StageStats; 4],
+    /// Monotone logical clock driving the disk-eviction recency order.
+    clock: AtomicU64,
+    /// Last-touch stamp per persistable key: bumped when a key is loaded
+    /// from disk, hits, or is inserted. [`VCache::save_dir`] evicts the
+    /// least-recently-touched keys past the [`VCache::set_disk_cap`] cap.
+    recency: Mutex<HashMap<Key, u64>>,
+    /// Maximum number of entries [`VCache::save_dir`] writes
+    /// (0 = unlimited).
+    disk_cap: AtomicU64,
 }
 
 impl VCache {
@@ -181,6 +190,30 @@ impl VCache {
         (total > 0).then(|| hits as f64 / total as f64)
     }
 
+    /// Caps the number of entries [`VCache::save_dir`] persists; `None`
+    /// removes the cap. When the persistable entries (check verdicts +
+    /// concrete bounds) exceed the cap, the least-recently-used keys —
+    /// by load, hit, or insertion order — are evicted *from the file*;
+    /// the in-memory cache is untouched.
+    pub fn set_disk_cap(&self, cap: Option<usize>) {
+        self.disk_cap
+            .store(cap.map_or(0, |c| c.max(1) as u64), Ordering::Relaxed);
+    }
+
+    /// The disk entry cap, if one is set.
+    pub fn disk_cap(&self) -> Option<usize> {
+        match self.disk_cap.load(Ordering::Relaxed) {
+            0 => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// Bumps the recency stamp of one persistable key.
+    fn touch(&self, key: Key) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.recency.lock().unwrap().insert(key, stamp);
+    }
+
     fn hit(&self, stage: CacheStage) {
         self.stats[stage as usize]
             .hits
@@ -217,6 +250,7 @@ impl VCache {
         let got = self.check.lock().unwrap().contains(&key);
         if got {
             self.hit(CacheStage::Check);
+            self.touch(key);
         } else {
             self.miss(CacheStage::Check);
         }
@@ -225,6 +259,7 @@ impl VCache {
 
     fn put_check(&self, key: Key) {
         self.check.lock().unwrap().insert(key);
+        self.touch(key);
     }
 
     fn get_compile(&self, key: Key) -> Option<Arc<FnArtifacts>> {
@@ -250,6 +285,7 @@ impl VCache {
         match got {
             Some(b) => {
                 self.hit(CacheStage::Bound);
+                self.touch(key);
                 Some(b)
             }
             None => {
@@ -261,6 +297,7 @@ impl VCache {
 
     fn put_bound(&self, key: Key, bound: Option<f64>) {
         self.bound.lock().unwrap().insert(key, bound);
+        self.touch(key);
     }
 
     /// Loads persisted entries from `dir/vcache.jsonl`, if present.
@@ -314,26 +351,52 @@ impl VCache {
     }
 
     /// Writes the persistable entries to `dir/vcache.jsonl` (creating
-    /// `dir` if needed), sorted by key so the file is deterministic.
+    /// `dir` if needed). The file is always *rewritten whole* —
+    /// deduplicated (the in-memory stores are keyed) and sorted, so
+    /// saving is deterministic and the output is diff- and merge-friendly
+    /// rather than an append-only log.
+    ///
+    /// Under a [`VCache::set_disk_cap`] entry cap, the least-recently
+    /// used keys (by load, hit, or insertion order) are evicted from the
+    /// file until the cap holds, so a long-lived cache directory stops
+    /// growing without bound while the hottest verdicts stay persisted.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn save_dir(&self, dir: &Path) -> std::io::Result<usize> {
         std::fs::create_dir_all(dir)?;
-        let mut lines: Vec<String> = Vec::new();
-        for key in self.check.lock().unwrap().iter() {
-            lines.push(format!("{{\"k\":\"check\",\"key\":\"{key}\"}}"));
+        // (key, line) pairs so eviction can consult the recency stamps.
+        let mut entries: Vec<(Key, String)> = Vec::new();
+        for &key in self.check.lock().unwrap().iter() {
+            entries.push((key, format!("{{\"k\":\"check\",\"key\":\"{key}\"}}")));
         }
-        for (key, bound) in self.bound.lock().unwrap().iter() {
+        for (&key, bound) in self.bound.lock().unwrap().iter() {
             // `None` bounds (unbounded functions) are cheap to recompute
             // and have no canonical JSON number; skip them.
             if let Some(b) = bound {
-                lines.push(format!(
-                    "{{\"k\":\"bound\",\"key\":\"{key}\",\"bound\":{b}}}"
+                entries.push((
+                    key,
+                    format!("{{\"k\":\"bound\",\"key\":\"{key}\",\"bound\":{b}}}"),
                 ));
             }
         }
+        let cap = self.disk_cap();
+        if cap.is_some_and(|cap| entries.len() > cap) {
+            let cap = cap.unwrap();
+            let recency = self.recency.lock().unwrap();
+            // Most recently touched first; the line text tie-breaks keys
+            // sharing a stamp (a check verdict and a bound under the same
+            // function key), keeping eviction deterministic.
+            entries.sort_unstable_by(|(ka, la), (kb, lb)| {
+                let (sa, sb) = (recency.get(ka).copied(), recency.get(kb).copied());
+                sb.cmp(&sa).then_with(|| la.cmp(lb))
+            });
+            let evicted = entries.len() - cap;
+            entries.truncate(cap);
+            obs::counter("vcache/disk_evicted", evicted as u64);
+        }
+        let mut lines: Vec<String> = entries.into_iter().map(|(_, line)| line).collect();
         lines.sort_unstable();
         let mut file = std::fs::File::create(dir.join("vcache.jsonl"))?;
         for line in &lines {
@@ -773,6 +836,77 @@ mod tests {
             std::fs::read_to_string(dir.join("vcache.jsonl")).unwrap(),
             std::fs::read_to_string(dir2.join("vcache.jsonl")).unwrap(),
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cap_evicts_least_recently_used_keys() {
+        let dir = std::env::temp_dir().join(format!("vcache-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = VCache::new();
+        let program = program();
+        let options = compiler::Options::default();
+        let keys = keys(&program, &options);
+        let analysis = analyze(&cache, &program, &keys).unwrap();
+        // Insert check verdicts in topological order (leaf, mid, main),
+        // then re-touch `leaf` so `mid` becomes the coldest key.
+        check(&cache, &program, &analysis, &keys).unwrap();
+        assert!(cache.has_check(keys["leaf"]));
+
+        assert_eq!(cache.disk_cap(), None);
+        cache.set_disk_cap(Some(2));
+        assert_eq!(cache.disk_cap(), Some(2));
+        assert_eq!(cache.save_dir(&dir).unwrap(), 2);
+
+        let warmed = VCache::new();
+        assert_eq!(warmed.load_dir(&dir).unwrap(), 2);
+        assert!(warmed.has_check(keys["leaf"]), "recently touched key kept");
+        assert!(warmed.has_check(keys["main"]), "recently inserted key kept");
+        assert!(!warmed.has_check(keys["mid"]), "coldest key evicted");
+
+        // Without the cap the same cache persists all three verdicts.
+        cache.set_disk_cap(None);
+        assert_eq!(cache.save_dir(&dir).unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_save_roundtrips_and_stays_deterministic() {
+        let dir = std::env::temp_dir().join(format!("vcache-cap-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = VCache::new();
+        let program = program();
+        let options = compiler::Options::default();
+        let keys = keys(&program, &options);
+        let analysis = analyze(&cache, &program, &keys).unwrap();
+        check(&cache, &program, &analysis, &keys).unwrap();
+        let config = compiler::PipelineConfig::with_options(options);
+        let compiled = compile(&cache, &program, &config, &keys).unwrap();
+        for name in ["leaf", "mid", "main"] {
+            concrete_bound(&cache, &analysis, &compiled.metric, name, &keys);
+        }
+        // 6 persistable entries (3 checks + 3 bounds); cap at 4.
+        cache.set_disk_cap(Some(4));
+        assert_eq!(cache.save_dir(&dir).unwrap(), 4);
+
+        // load -> save round-trip: a freshly warmed cache (load order =
+        // recency order) rewrites the identical file under the same cap.
+        let warmed = VCache::new();
+        warmed.set_disk_cap(Some(4));
+        assert_eq!(warmed.load_dir(&dir).unwrap(), 4);
+        let dir2 = dir.join("again");
+        assert_eq!(warmed.save_dir(&dir2).unwrap(), 4);
+        let first = std::fs::read_to_string(dir.join("vcache.jsonl")).unwrap();
+        let second = std::fs::read_to_string(dir2.join("vcache.jsonl")).unwrap();
+        assert_eq!(first, second);
+        // The surviving file is sorted and deduplicated.
+        let lines: Vec<&str> = first.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(lines, sorted);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,526 @@
+//! Integration tests for the `sbound serve` daemon: wire-protocol
+//! behavior, byte-identity of served reports with one-shot runs on both
+//! backend targets (including under concurrent mixed-target load),
+//! queue timeouts, graceful drain, and live metrics.
+
+use stackbound::serve::{protocol, ServeOptions, Server, Session};
+use stackbound::{asm, benchsuite, Verifier};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const FUEL: u64 = 400_000_000;
+
+fn serve_options(workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        fuel: FUEL,
+        ..ServeOptions::default()
+    }
+}
+
+/// One line-oriented protocol client.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let _ = stream.set_nodelay(true);
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> obs::json::Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        obs::json::parse(&line).expect("well-formed response")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> obs::json::Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn verify_line(id: u64, source: &str, target: asm::Target) -> String {
+    format!(
+        "{{\"op\":\"verify\",\"id\":{id},\"source\":{},\"target\":\"{}\"}}",
+        protocol::escape(source),
+        target.name()
+    )
+}
+
+fn id_of(v: &obs::json::Value) -> u64 {
+    v.get("id").unwrap().as_f64().unwrap() as u64
+}
+
+fn is_ok(v: &obs::json::Value) -> bool {
+    v.get("ok") == Some(&obs::json::Value::Bool(true))
+}
+
+/// Every non-recursive benchmark of the corpus.
+fn table_benchmarks() -> Vec<benchsuite::Benchmark> {
+    benchsuite::table1_benchmarks()
+        .into_iter()
+        .chain(benchsuite::extra_benchmarks())
+        .collect()
+}
+
+/// The acceptance property of the tentpole: for every corpus program and
+/// both targets, the `report` field of a served response is byte-for-byte
+/// the table a one-shot `Verifier` renders — cold and warm.
+#[test]
+fn served_reports_match_one_shot_byte_for_byte_on_both_targets() {
+    let server = Arc::new(Server::new(Session::new(), serve_options(4)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let mut id = 0;
+    for target in [asm::Target::Sz32, asm::Target::Rv] {
+        for b in table_benchmarks() {
+            let want = Verifier::new()
+                .fuel(FUEL)
+                .target(target)
+                .verify(b.source)
+                .unwrap_or_else(|e| panic!("{}: one-shot: {e}", b.file))
+                .to_string();
+            for pass in ["cold", "warm"] {
+                id += 1;
+                let resp = client.roundtrip(&verify_line(id, b.source, target));
+                assert!(is_ok(&resp), "{} [{target}] {pass}: {resp:?}", b.file);
+                assert_eq!(
+                    resp.get("report").unwrap().as_str(),
+                    Some(want.as_str()),
+                    "{} [{target}] {pass}: served report diverged",
+                    b.file
+                );
+            }
+        }
+    }
+    handle.shutdown().unwrap();
+}
+
+/// Recursive programs (Table 2) are rejected by the automatic analyzer;
+/// the served error message is exactly the one-shot pipeline's.
+#[test]
+fn recursive_programs_fail_with_the_one_shot_error() {
+    let server = Arc::new(Server::new(Session::new(), serve_options(2)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    for (id, case) in benchsuite::recursive_cases().iter().enumerate() {
+        let want = Verifier::new()
+            .fuel(FUEL)
+            .verify(case.source)
+            .expect_err("recursive programs must be rejected")
+            .to_string();
+        let resp = client.roundtrip(&verify_line(id as u64 + 1, case.source, asm::Target::Sz32));
+        assert!(!is_ok(&resp), "{}: unexpectedly verified", case.file);
+        assert_eq!(
+            resp.get("error").unwrap().as_str(),
+            Some(want.as_str()),
+            "{}: served error diverged",
+            case.file
+        );
+    }
+    handle.shutdown().unwrap();
+}
+
+/// The `table2` verb re-verifies the built-in recursive cases' hand-written
+/// derivations through the shared cache; the served rendering is exactly
+/// the one-shot `table2::verify_case_cached` line, cold and warm, on both
+/// targets — and unknown case names are rejected without dropping the
+/// connection.
+#[test]
+fn served_table2_cases_match_one_shot_on_both_targets() {
+    let server = Arc::new(Server::new(Session::new(), serve_options(4)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let expect_cache = stackbound::vcache::VCache::new();
+    let mut id = 0;
+    for target in [asm::Target::Sz32, asm::Target::Rv] {
+        for case in benchsuite::recursive_cases() {
+            let want = stackbound::table2::verify_case_cached(&case, target, &expect_cache)
+                .unwrap_or_else(|e| panic!("{}: one-shot: {e}", case.file));
+            for pass in ["cold", "warm"] {
+                id += 1;
+                let resp = client.roundtrip(&format!(
+                    "{{\"op\":\"table2\",\"id\":{id},\"case\":{},\"target\":\"{}\"}}",
+                    protocol::escape(case.name),
+                    target.name()
+                ));
+                assert!(is_ok(&resp), "{} [{target}] {pass}: {resp:?}", case.file);
+                assert_eq!(resp.get("case").unwrap().as_str(), Some(case.name));
+                assert_eq!(
+                    resp.get("report").unwrap().as_str(),
+                    Some(want.as_str()),
+                    "{} [{target}] {pass}: served table2 report diverged",
+                    case.file
+                );
+            }
+        }
+    }
+
+    let unknown = client.roundtrip("{\"op\":\"table2\",\"id\":999,\"case\":\"ackermann\"}");
+    assert!(!is_ok(&unknown));
+    assert!(
+        unknown
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("ackermann"),
+        "{unknown:?}"
+    );
+    let pong = client.roundtrip("{\"op\":\"ping\",\"id\":1000}");
+    assert!(is_ok(&pong), "connection should survive an unknown case");
+    handle.shutdown().unwrap();
+}
+
+/// A synthetic edit-storm program: only `main`'s constant varies, so the
+/// leaves keep their cache keys across variants.
+fn storm_source(k: u32) -> String {
+    format!(
+        "u32 leafa(u32 x) {{ u32 r; r = x + 1; return r; }}\n\
+         u32 leafb(u32 x) {{ u32 t; u32 r; t = leafa(x); r = t * 2; return r; }}\n\
+         u32 leafc(u32 x) {{ u32 t; u32 r; t = leafb(x); r = t + 3; return r; }}\n\
+         int main() {{ u32 r; r = leafc({k}); return r % 256; }}\n"
+    )
+}
+
+/// Many clients, overlapping mutated programs, both targets, one shared
+/// server: every response is byte-identical to the serial one-shot run,
+/// and nothing deadlocks across the cache's stage mutexes.
+#[test]
+fn concurrent_mixed_target_load_matches_serial() {
+    const VARIANTS: u32 = 6;
+    const CLIENTS: usize = 8;
+
+    let mut expected = std::collections::HashMap::new();
+    for k in 0..VARIANTS {
+        for target in [asm::Target::Sz32, asm::Target::Rv] {
+            let report = Verifier::new()
+                .fuel(FUEL)
+                .target(target)
+                .verify(&storm_source(k))
+                .unwrap()
+                .to_string();
+            expected.insert((k, target), report);
+        }
+    }
+
+    let server = Arc::new(Server::new(Session::new(), serve_options(4)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                // Each client walks the variants at a different phase and
+                // pipelines everything before reading a single response.
+                let mut plan = Vec::new();
+                for i in 0..VARIANTS * 2 {
+                    let k = (i + c as u32) % VARIANTS;
+                    let target = if (i + c as u32 / 2).is_multiple_of(2) {
+                        asm::Target::Sz32
+                    } else {
+                        asm::Target::Rv
+                    };
+                    let id = u64::from(i) + 1;
+                    plan.push((id, k, target));
+                    client.send(&verify_line(id, &storm_source(k), target));
+                }
+                let mut got = std::collections::HashMap::new();
+                for _ in &plan {
+                    let resp = client.recv();
+                    assert!(is_ok(&resp), "client {c}: {resp:?}");
+                    got.insert(
+                        id_of(&resp),
+                        resp.get("report").unwrap().as_str().unwrap().to_owned(),
+                    );
+                }
+                for (id, k, target) in plan {
+                    assert_eq!(
+                        got[&id],
+                        expected[&(k, target)],
+                        "client {c}: variant {k} [{target}] diverged under load"
+                    );
+                }
+            });
+        }
+    });
+    handle.shutdown().unwrap();
+}
+
+/// `timeout_ms: 0` expires in the queue: the job is rejected without
+/// being verified, with a `timed out` error carrying the request id.
+#[test]
+fn expired_queue_deadline_rejects_the_request() {
+    let server = Arc::new(Server::new(Session::new(), serve_options(1)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let resp = client.roundtrip(&format!(
+        "{{\"op\":\"verify\",\"id\":9,\"source\":{},\"timeout_ms\":0}}",
+        protocol::escape("int main() { return 0; }")
+    ));
+    assert!(!is_ok(&resp));
+    assert_eq!(id_of(&resp), 9);
+    let err = resp.get("error").unwrap().as_str().unwrap();
+    assert!(err.contains("timed out"), "{err}");
+
+    // The connection and the worker survive; a regular request still runs.
+    let resp = client.roundtrip(&verify_line(
+        10,
+        "int main() { return 0; }",
+        asm::Target::Sz32,
+    ));
+    assert!(is_ok(&resp), "{resp:?}");
+    handle.shutdown().unwrap();
+}
+
+/// A `shutdown` drains: every request accepted before it is answered
+/// (none dropped), and the acknowledgement is written only after them.
+#[test]
+fn shutdown_drains_accepted_requests_before_acknowledging() {
+    const PIPELINED: u64 = 6;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(Server::new(Session::new(), serve_options(2)));
+    let join = {
+        let server = server.clone();
+        std::thread::spawn(move || server.run_tcp(listener))
+    };
+
+    // One connection: the reader submits all verifies before it sees the
+    // shutdown line, so all of them are accepted ahead of the drain.
+    let mut client = Client::connect(addr);
+    for id in 1..=PIPELINED {
+        client.send(&verify_line(
+            id,
+            &storm_source(id as u32),
+            asm::Target::Sz32,
+        ));
+    }
+    client.send("{\"op\":\"shutdown\",\"id\":99}");
+
+    let mut answered = std::collections::BTreeSet::new();
+    for _ in 0..PIPELINED {
+        let resp = client.recv();
+        assert!(is_ok(&resp), "{resp:?}");
+        answered.insert(id_of(&resp));
+    }
+    assert_eq!(answered, (1..=PIPELINED).collect());
+    let ack = client.recv();
+    assert_eq!(id_of(&ack), 99);
+    assert_eq!(ack.get("draining"), Some(&obs::json::Value::Bool(true)));
+    join.join().unwrap().unwrap();
+    assert!(server.is_stopping());
+}
+
+/// The `metrics` verb is live (no recorder drain) and monotone across
+/// calls, and its cache statistics reflect the shared caches.
+#[test]
+fn metrics_are_live_and_monotone() {
+    let server = Arc::new(Server::new(Session::new(), serve_options(2)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let first = client.roundtrip("{\"op\":\"metrics\",\"id\":1}");
+    assert!(is_ok(&first));
+    let received = |v: &obs::json::Value| {
+        v.get("requests")
+            .unwrap()
+            .get("received")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    let completed = |v: &obs::json::Value| {
+        v.get("requests")
+            .unwrap()
+            .get("completed")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+
+    let resp = client.roundtrip(&verify_line(
+        2,
+        "int main() { return 0; }",
+        asm::Target::Sz32,
+    ));
+    assert!(is_ok(&resp));
+    let second = client.roundtrip("{\"op\":\"metrics\",\"id\":3}");
+    assert!(received(&second) >= received(&first) + 2.0);
+    assert_eq!(completed(&second), completed(&first) + 1.0);
+    assert!(
+        second
+            .get("cache")
+            .unwrap()
+            .get("vcache_entries")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    assert!(second.get("uptime_ms").unwrap().as_f64().unwrap() >= 0.0);
+    handle.shutdown().unwrap();
+}
+
+/// Malformed lines and unknown verbs produce error responses, never kill
+/// the connection, and recover the request id when one is parseable.
+#[test]
+fn protocol_errors_are_answered_without_dropping_the_connection() {
+    let server = Arc::new(Server::new(Session::new(), serve_options(1)));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let garbage = client.roundtrip("this is not json");
+    assert!(!is_ok(&garbage));
+    assert_eq!(id_of(&garbage), 0);
+
+    let unknown = client.roundtrip("{\"op\":\"frobnicate\",\"id\":4}");
+    assert!(!is_ok(&unknown));
+    assert_eq!(id_of(&unknown), 4);
+
+    let no_source = client.roundtrip("{\"op\":\"verify\",\"id\":5}");
+    assert!(!is_ok(&no_source));
+    assert!(no_source
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("source"));
+
+    let bad_target = client.roundtrip(
+        "{\"op\":\"verify\",\"id\":6,\"source\":\"int main() { return 0; }\",\"target\":\"mips\"}",
+    );
+    assert!(!is_ok(&bad_target));
+    assert!(bad_target
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("mips"));
+
+    let pong = client.roundtrip("{\"op\":\"ping\",\"id\":7}");
+    assert!(is_ok(&pong), "connection should survive protocol errors");
+    handle.shutdown().unwrap();
+}
+
+/// The Unix-domain transport speaks the same protocol.
+#[cfg(unix)]
+#[test]
+fn unix_domain_transport_serves_and_shuts_down() {
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let path = std::env::temp_dir().join(format!("sbound_serve_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).unwrap();
+    let server = Arc::new(Server::new(Session::new(), serve_options(2)));
+    let join = {
+        let server = server.clone();
+        std::thread::spawn(move || server.run_uds(listener))
+    };
+
+    let stream = UnixStream::connect(&path).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str| {
+        writeln!(writer, "{line}").unwrap();
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        obs::json::parse(&out).unwrap()
+    };
+
+    let pong = ask("{\"op\":\"ping\",\"id\":1}");
+    assert!(is_ok(&pong));
+    let resp = ask(&verify_line(2, "int main() { return 0; }", asm::Target::Rv));
+    assert!(is_ok(&resp), "{resp:?}");
+    assert_eq!(resp.get("target").unwrap().as_str(), Some("rv"));
+    let ack = ask("{\"op\":\"shutdown\",\"id\":3}");
+    assert_eq!(ack.get("draining"), Some(&obs::json::Value::Bool(true)));
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An in-memory sink for [`Server::run_stream`] tests.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The stdio transport (`sbound serve --stdio`) answers every request
+/// and returns at EOF — no explicit shutdown needed.
+#[test]
+fn stream_transport_answers_everything_and_stops_at_eof() {
+    let input = format!(
+        "{{\"op\":\"ping\",\"id\":1}}\n{}\n",
+        verify_line(2, "int main() { return 0; }", asm::Target::Sz32)
+    );
+    let out = SharedBuf::default();
+    let server = Server::new(Session::new(), serve_options(2));
+    server.run_stream(input.as_bytes(), out.clone());
+
+    let bytes = out.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let responses: Vec<obs::json::Value> =
+        text.lines().map(|l| obs::json::parse(l).unwrap()).collect();
+    assert_eq!(responses.len(), 2);
+    assert!(responses.iter().all(is_ok));
+    let ids: std::collections::BTreeSet<u64> = responses.iter().map(id_of).collect();
+    assert_eq!(ids, [1, 2].into_iter().collect());
+}
+
+/// Back-pressure sanity: a queue of capacity 1 with a single worker still
+/// answers a deep pipeline of requests, in bounded memory, without
+/// deadlocking the submitting reader against the workers.
+#[test]
+fn tiny_queue_survives_a_deep_pipeline() {
+    let opts = ServeOptions {
+        workers: 1,
+        queue_cap: 1,
+        fuel: FUEL,
+        timeout: Duration::from_secs(30),
+    };
+    let server = Arc::new(Server::new(Session::new(), opts));
+    let handle = stackbound::serve::spawn_tcp(server).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    const DEEP: u64 = 16;
+    for id in 1..=DEEP {
+        client.send(&verify_line(id, &storm_source(1), asm::Target::Sz32));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..DEEP {
+        let resp = client.recv();
+        assert!(is_ok(&resp), "{resp:?}");
+        seen.insert(id_of(&resp));
+    }
+    assert_eq!(seen, (1..=DEEP).collect());
+    handle.shutdown().unwrap();
+}

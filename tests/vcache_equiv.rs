@@ -168,6 +168,52 @@ proptest! {
     }
 }
 
+/// One shared cache under concurrent verifiers: several threads verify
+/// overlapping mutated programs through the same `VCache`/`MeasureCache`
+/// and every report is byte-identical to a serial uncached run — and the
+/// four stage mutexes never deadlock against each other.
+#[test]
+fn concurrent_shared_cache_reports_match_serial() {
+    const THREADS: usize = 4;
+    let variants: Vec<String> = (0..6u32)
+        .map(|k| source(k * 7 + 1, k + 2, k * 3 + 5))
+        .collect();
+    let expected: Vec<String> = variants
+        .iter()
+        .map(|s| {
+            Verifier::new()
+                .fuel(FUEL)
+                .verify(s)
+                .expect("serial verify")
+                .to_string()
+        })
+        .collect();
+
+    let cache = Arc::new(vcache::VCache::new());
+    let measures = Arc::new(stackbound::asm::MeasureCache::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (variants, expected) = (&variants, &expected);
+            let (cache, measures) = (cache.clone(), measures.clone());
+            scope.spawn(move || {
+                // Each thread walks the variants at a different phase, so
+                // the same keys are raced from different stages at once.
+                for i in 0..variants.len() * 2 {
+                    let i = (i + t) % variants.len();
+                    let got = Verifier::new()
+                        .fuel(FUEL)
+                        .vcache(cache.clone())
+                        .measure_cache(measures.clone())
+                        .verify(&variants[i])
+                        .expect("cached verify")
+                        .to_string();
+                    assert_eq!(got, expected[i], "thread {t}: variant {i} diverged");
+                }
+            });
+        }
+    });
+}
+
 /// Editing one function reuses the untouched sibling's compiled artifact
 /// from the cache: after compiling the original, compiling the mutated
 /// program through the same cache hits exactly once (for `c`) and
